@@ -1,0 +1,56 @@
+package pincer
+
+import (
+	"pincer/internal/episodes"
+	"pincer/internal/stocks"
+)
+
+// The paper motivates maximal-itemset mining with two applications beyond
+// market baskets (§1, §6): episode discovery in event sequences and
+// co-movement patterns in stock prices. Both are first-class here.
+
+// Episode mining -------------------------------------------------------
+
+// Event is one timestamped occurrence in an event sequence.
+type Event = episodes.Event
+
+// EventSequence is a time-ordered event stream.
+type EventSequence = episodes.Sequence
+
+// Episode is a maximal frequent parallel episode: a set of event types
+// co-occurring within a time window in at least a fraction Frequency of
+// window positions.
+type Episode = episodes.Episode
+
+// EpisodeGeneratorParams configures the synthetic event-sequence generator.
+type EpisodeGeneratorParams = episodes.GeneratorParams
+
+// MineEpisodes finds all maximal frequent parallel episodes of the
+// sequence: the stream is windowed (width time units) into a transaction
+// database and mined with Pincer-Search. numTypes declares the event-type
+// universe (0 infers it).
+func MineEpisodes(s EventSequence, width int64, minFrequency float64, numTypes int) ([]Episode, *Result, error) {
+	return episodes.MineMaximal(s, width, minFrequency, numTypes)
+}
+
+// GenerateEventSequence produces a synthetic event stream with planted
+// episode signatures over background noise.
+func GenerateEventSequence(p EpisodeGeneratorParams) EventSequence {
+	return episodes.Generate(p)
+}
+
+// Stock-market co-movement ----------------------------------------------
+
+// MarketParams configures the synthetic correlated market generator.
+type MarketParams = stocks.Params
+
+// Market is a generated market: Days holds the per-day baskets of rallying
+// stocks, SectorMembers the planted correlation structure.
+type Market = stocks.Market
+
+// GenerateMarket synthesizes a stock market under a one-factor-per-sector
+// model; mining Market.Days recovers the sectors as long maximal frequent
+// itemsets (the paper's §6 scenario).
+func GenerateMarket(p MarketParams) (*Market, error) {
+	return stocks.Generate(p)
+}

@@ -1,0 +1,131 @@
+// Command benchrun regenerates the paper's evaluation figures: for every
+// benchmark database and minimum support it runs Apriori and Pincer-Search
+// and prints the three panels the paper plots — relative execution time,
+// number of candidates, and number of passes.
+//
+// Usage:
+//
+//	benchrun                        # both figures at the default |D|=10K scale
+//	benchrun -figure 4              # concentrated distributions only
+//	benchrun -spec F4-T20I15        # one experiment
+//	benchrun -d 100000              # paper-scale |D|
+//	benchrun -budget 120s           # skip cells after an algorithm exceeds 2 min
+//	benchrun -csv results.csv       # machine-readable output too
+//
+// Cells run from the highest support downward; once an algorithm blows the
+// -budget on a cell, its harder cells are skipped and marked (the paper
+// reports the same rows as ">2 orders of magnitude").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pincer/internal/bench"
+	"pincer/internal/counting"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
+	figure := fs.Int("figure", 0, "run only figure 3 (scattered) or 4 (concentrated); 0 = both")
+	specID := fs.String("spec", "", "run a single experiment by id, e.g. F4-T20I10")
+	numTx := fs.Int("d", 10_000, "|D|: transactions per database (paper scale: 100000)")
+	budget := fs.Duration("budget", 5*time.Minute, "per-algorithm time budget; harder cells are skipped once exceeded (0 = unlimited)")
+	engineName := fs.String("engine", "hashtree", "counting engine: hashtree, list, or trie")
+	pure := fs.Bool("pure", false, "use pure (non-adaptive) Pincer-Search")
+	csvPath := fs.String("csv", "", "also write results as CSV to this file")
+	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
+	baselines := fs.Bool("baselines", false, "run the cross-algorithm comparison (§5's baselines) instead of the figures")
+	baselineSup := fs.Float64("baseline-support", 0.06, "minimum support for the baseline comparison")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := counting.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+
+	if *baselines {
+		p, ok := bench.SpecByID("F4-T20I10", *numTx)
+		if *specID != "" {
+			p, ok = bench.SpecByID(*specID, *numTx)
+		}
+		if !ok {
+			return fmt.Errorf("unknown spec %q", *specID)
+		}
+		opt := bench.DefaultOptions()
+		opt.Engine = engine
+		rows := bench.RunBaselines(p.Quest, *baselineSup, opt)
+		return bench.WriteBaselines(os.Stdout, p.Quest, *baselineSup, rows)
+	}
+
+	var specs []bench.Spec
+	switch {
+	case *specID != "":
+		s, ok := bench.SpecByID(*specID, *numTx)
+		if !ok {
+			return fmt.Errorf("unknown spec %q (want one of F3-T5I2, F3-T10I4, F3-T20I6, F4-T20I6, F4-T20I10, F4-T20I15)", *specID)
+		}
+		specs = []bench.Spec{s}
+	case *figure == 3:
+		specs = bench.Figure3Specs(*numTx)
+	case *figure == 4:
+		specs = bench.Figure4Specs(*numTx)
+	case *figure == 0:
+		specs = bench.AllSpecs(*numTx)
+	default:
+		return fmt.Errorf("-figure must be 0, 3, or 4")
+	}
+
+	opt := bench.DefaultOptions()
+	opt.Engine = engine
+	opt.Budget = *budget
+	opt.Pincer.Pure = *pure
+	if !*quiet {
+		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	var allCells []bench.Cell
+	for _, spec := range specs {
+		fmt.Fprintf(os.Stderr, "== %s: generating %s (|D|=%d) ==\n", spec.ID, spec.Name(), spec.Quest.Defaults().NumTransactions)
+		cells := bench.RunSpec(spec, opt)
+		if err := bench.WriteTable(os.Stdout, spec, cells); err != nil {
+			return err
+		}
+		allCells = append(allCells, cells...)
+	}
+
+	disagreements := 0
+	for _, c := range allCells {
+		if !c.Agree && !c.Apriori.Skipped && !c.Pincer.Skipped {
+			disagreements++
+		}
+	}
+	if disagreements > 0 {
+		fmt.Fprintf(os.Stderr, "WARNING: %d cells where Apriori and Pincer-Search disagree on the MFS\n", disagreements)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, allCells); err != nil {
+			return err
+		}
+	}
+	if disagreements > 0 {
+		return fmt.Errorf("correctness check failed on %d cells", disagreements)
+	}
+	return nil
+}

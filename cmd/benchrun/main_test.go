@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchrunSingleSpec(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	err := run([]string{"-spec", "F4-T20I6", "-d", "400", "-q", "-csv", csv, "-budget", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "F4-T20I6") {
+		t.Errorf("csv missing spec id:\n%s", out)
+	}
+	// every non-header line ends with agree=true, skipped=false
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("csv too short:\n%s", out)
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasSuffix(l, "true,false") {
+			t.Errorf("cell not agreeing or skipped: %q", l)
+		}
+	}
+}
+
+func TestBenchrunErrors(t *testing.T) {
+	if err := run([]string{"-spec", "F9-NOPE"}); err == nil {
+		t.Error("unknown spec accepted")
+	}
+	if err := run([]string{"-figure", "7"}); err == nil {
+		t.Error("bad figure accepted")
+	}
+	if err := run([]string{"-engine", "abacus"}); err == nil {
+		t.Error("bad engine accepted")
+	}
+}

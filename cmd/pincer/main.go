@@ -1,0 +1,179 @@
+// Command pincer mines the maximum frequent set from a transaction
+// database in the basket text format (one transaction of space-separated
+// item ids per line).
+//
+// Usage:
+//
+//	pincer -input db.basket -support 0.05 [-algorithm pincer|apriori|topdown]
+//	       [-engine hashtree|list|trie] [-pure] [-stats] [-frequent] [-json]
+//
+// The default algorithm is the adaptive Pincer-Search of Lin & Kedem
+// (EDBT 1998). Output is one maximal frequent itemset per line with its
+// support count, or a JSON document with -json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pincer/internal/ais"
+	"pincer/internal/apriori"
+	"pincer/internal/core"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/topdown"
+	"pincer/internal/vertical"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pincer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("pincer", flag.ContinueOnError)
+	input := fs.String("input", "", "basket or binary database file (required)")
+	support := fs.Float64("support", 0.05, "minimum support as a fraction, e.g. 0.05 for 5%")
+	algorithm := fs.String("algorithm", "pincer", "mining algorithm: pincer, apriori, ais, eclat, maxeclat, or topdown")
+	engineName := fs.String("engine", "hashtree", "counting engine: hashtree, list, or trie")
+	pure := fs.Bool("pure", false, "pincer only: disable the adaptive policy")
+	stats := fs.Bool("stats", false, "print per-pass statistics to stderr")
+	frequent := fs.Bool("frequent", false, "also print every explicitly discovered frequent itemset")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" {
+		fs.Usage()
+		return fmt.Errorf("-input is required")
+	}
+	if *support <= 0 || *support > 1 {
+		return fmt.Errorf("-support must be in (0, 1], got %v", *support)
+	}
+	engine, err := counting.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+
+	d, err := dataset.Load(*input)
+	if err != nil {
+		return err
+	}
+	// Sparse item ids (SKUs, hashes) would size the pass-1/2 arrays by the
+	// largest id; remap to a dense universe and translate results back.
+	var comp *dataset.Compaction
+	if dataset.WorthCompacting(d) {
+		comp = dataset.Compact(d)
+		fmt.Fprintf(os.Stderr, "pincer: compacted %d-wide universe to %d distinct items\n",
+			d.NumItems(), comp.NumDenseItems())
+		d = comp.Dataset
+	}
+	sc := dataset.NewScanner(d)
+
+	var res *mfi.Result
+	switch *algorithm {
+	case "pincer":
+		opt := core.DefaultOptions()
+		opt.Engine = engine
+		opt.Pure = *pure
+		opt.KeepFrequent = *frequent
+		res = core.Mine(sc, *support, opt)
+	case "apriori":
+		opt := apriori.DefaultOptions()
+		opt.Engine = engine
+		opt.KeepFrequent = *frequent
+		res = apriori.Mine(sc, *support, opt)
+	case "ais":
+		opt := ais.DefaultOptions()
+		opt.KeepFrequent = *frequent
+		ares := ais.Mine(sc, *support, opt)
+		if ares.Aborted {
+			return fmt.Errorf("ais: candidate explosion; use -algorithm pincer or apriori")
+		}
+		res = &ares.Result
+	case "eclat":
+		opt := vertical.DefaultOptions()
+		opt.KeepFrequent = *frequent
+		res = vertical.Eclat(d, *support, opt)
+	case "maxeclat":
+		vres := vertical.MineMaximal(d, *support, vertical.DefaultOptions())
+		res = &vres.Result
+	case "topdown":
+		tres := topdown.Mine(sc, *support, topdown.DefaultOptions())
+		if tres.Aborted {
+			return fmt.Errorf("topdown: frontier exploded; this algorithm only suits very concentrated data")
+		}
+		res = &tres.Result
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	}
+	if comp != nil {
+		res.MFS = comp.OriginalAll(res.MFS)
+		if res.Frequent != nil {
+			translated := itemset.NewSet(res.Frequent.Len())
+			res.Frequent.Each(func(x itemset.Itemset, c int64) {
+				translated.AddWithCount(comp.Original(x), c)
+			})
+			res.Frequent = translated
+		}
+	}
+
+	if *stats {
+		fmt.Fprintln(os.Stderr, res.Stats.String())
+		for _, p := range res.Stats.PassDetails {
+			fmt.Fprintf(os.Stderr, "  pass %d: candidates=%d mfcs=%d frequent=%d maximal-found=%d\n",
+				p.Pass, p.Candidates, p.MFCSCandidates, p.Frequent, p.MFSFound)
+		}
+	}
+
+	if *asJSON {
+		type jsonItemset struct {
+			Items   []int32 `json:"items"`
+			Support int64   `json:"support"`
+		}
+		doc := struct {
+			Database     string        `json:"database"`
+			Transactions int           `json:"transactions"`
+			MinSupport   float64       `json:"min_support"`
+			MinCount     int64         `json:"min_count"`
+			Algorithm    string        `json:"algorithm"`
+			Passes       int           `json:"passes"`
+			Candidates   int64         `json:"candidates"`
+			MFS          []jsonItemset `json:"maximal_frequent_itemsets"`
+		}{
+			Database: *input, Transactions: d.Len(),
+			MinSupport: *support, MinCount: res.MinCount,
+			Algorithm: *algorithm, Passes: res.Stats.Passes, Candidates: res.Stats.Candidates,
+		}
+		for i, m := range res.MFS {
+			items := make([]int32, len(m))
+			for j, it := range m {
+				items[j] = int32(it)
+			}
+			doc.MFS = append(doc.MFS, jsonItemset{Items: items, Support: res.MFSSupports[i]})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	fmt.Fprintf(out, "# %d transactions, min support %g (count %d), %d maximal frequent itemsets\n",
+		d.Len(), *support, res.MinCount, len(res.MFS))
+	for i, m := range res.MFS {
+		fmt.Fprintf(out, "%v support=%d\n", m, res.MFSSupports[i])
+	}
+	if *frequent && res.Frequent != nil {
+		fmt.Fprintf(out, "# %d frequent itemsets explicitly discovered\n", res.Frequent.Len())
+		for _, f := range res.Frequent.Sorted() {
+			c, _ := res.Frequent.Count(f)
+			fmt.Fprintf(out, "%v support=%d\n", f, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.basket")
+	content := "1 2 3\n1 2 3\n1 2\n3 4\n3 4\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs run() with stdout redirected to a pipe-backed temp file.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunPincerText(t *testing.T) {
+	db := writeTestDB(t)
+	out, err := capture(t, []string{"-input", db, "-support", "0.4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{1,2,3} support=2") {
+		t.Errorf("missing {1,2,3}: %q", out)
+	}
+	if !strings.Contains(out, "{3,4} support=2") {
+		t.Errorf("missing {3,4}: %q", out)
+	}
+}
+
+func TestRunAllAlgorithmsAgree(t *testing.T) {
+	db := writeTestDB(t)
+	var outputs []string
+	for _, alg := range []string{"pincer", "apriori", "ais", "eclat", "maxeclat", "topdown"} {
+		out, err := capture(t, []string{"-input", db, "-support", "0.4", "-algorithm", alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		// strip the header (it differs in algorithm-specific ways)
+		lines := strings.SplitN(out, "\n", 2)
+		outputs = append(outputs, lines[1])
+	}
+	if outputs[0] != outputs[1] || outputs[1] != outputs[2] {
+		t.Errorf("algorithms disagree:\n%v", outputs)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	db := writeTestDB(t)
+	out, err := capture(t, []string{"-input", db, "-support", "0.4", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"algorithm": "pincer"`, `"maximal_frequent_itemsets"`, `"support": 2`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := writeTestDB(t)
+	cases := [][]string{
+		{},                                    // missing -input
+		{"-input", db, "-support", "0"},       // bad support
+		{"-input", db, "-support", "2"},       // bad support
+		{"-input", db, "-algorithm", "magic"}, // bad algorithm
+		{"-input", db, "-engine", "abacus"},   // bad engine
+		{"-input", filepath.Join(t.TempDir(), "missing")}, // missing file
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunCompactsSparseUniverse(t *testing.T) {
+	// Sparse SKU-style ids: the CLI must compact internally and translate
+	// the maximal itemsets back to the original ids.
+	path := filepath.Join(t.TempDir(), "sparse.basket")
+	content := "100001 900002\n100001 900002\n100001\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, []string{"-input", path, "-support", "0.6", "-frequent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{100001,900002} support=2") {
+		t.Errorf("original ids lost: %q", out)
+	}
+	if !strings.Contains(out, "{100001} support=3") {
+		t.Errorf("frequent set not translated: %q", out)
+	}
+}
+
+func TestRunFrequentFlag(t *testing.T) {
+	db := writeTestDB(t)
+	out, err := capture(t, []string{"-input", db, "-support", "0.4", "-frequent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "frequent itemsets explicitly discovered") {
+		t.Errorf("missing frequent section: %q", out)
+	}
+	if !strings.Contains(out, "{1} support=3") {
+		t.Errorf("missing singleton support: %q", out)
+	}
+}

@@ -1,0 +1,96 @@
+// Command questgen emits synthetic transaction databases with the IBM
+// Quest generator of Agrawal & Srikant — the benchmark workloads of the
+// paper's evaluation.
+//
+// Usage:
+//
+//	questgen -name T20.I6.D100K [-l 2000] [-n 1000] [-seed 1] [-o db.basket]
+//	questgen -d 100000 -t 20 -i 6 -l 50 -o concentrated.basket
+//
+// -name parses the conventional T<x>.I<y>.D<z> database name; explicit
+// flags override its fields. Output is the basket text format (or the
+// compact binary format with -binary).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pincer/internal/dataset"
+	"pincer/internal/quest"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "questgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("questgen", flag.ContinueOnError)
+	name := fs.String("name", "", "database name, e.g. T10.I4.D100K")
+	d := fs.Int("d", 0, "|D|: number of transactions")
+	t := fs.Float64("t", 0, "|T|: average transaction length")
+	i := fs.Float64("i", 0, "|I|: average pattern length")
+	l := fs.Int("l", 0, "|L|: number of patterns (2000 scattered, 50 concentrated)")
+	n := fs.Int("n", 0, "N: number of items")
+	seed := fs.Int64("seed", 1, "PRNG seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	binary := fs.Bool("binary", false, "write the compact binary format")
+	showPatterns := fs.Bool("patterns", false, "print the seeded patterns to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p quest.Params
+	if *name != "" {
+		parsed, err := quest.ParseName(*name)
+		if err != nil {
+			return err
+		}
+		p = parsed
+	}
+	if *d > 0 {
+		p.NumTransactions = *d
+	}
+	if *t > 0 {
+		p.AvgTxLen = *t
+	}
+	if *i > 0 {
+		p.AvgPatternLen = *i
+	}
+	if *l > 0 {
+		p.NumPatterns = *l
+	}
+	if *n > 0 {
+		p.NumItems = *n
+	}
+	p.Seed = *seed
+	p = p.Defaults()
+
+	gen := quest.New(p)
+	db := gen.Generate()
+	if *showPatterns {
+		for _, pat := range gen.Patterns() {
+			fmt.Fprintln(os.Stderr, pat)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "questgen: %s |L|=%d N=%d seed=%d: %v\n",
+		p.Name(), p.NumPatterns, p.NumItems, p.Seed, db.Stats())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *binary {
+		return dataset.WriteBinary(w, db)
+	}
+	return dataset.WriteBasket(w, db)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pincer/internal/dataset"
+)
+
+func TestQuestgenWritesBasket(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "db.basket")
+	err := run([]string{"-name", "T5.I2.D200", "-l", "20", "-n", "50", "-seed", "3", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.LoadBasketFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 200 {
+		t.Fatalf("|D| = %d, want 200", d.Len())
+	}
+}
+
+func TestQuestgenWritesBinary(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "db.bin")
+	err := run([]string{"-d", "100", "-t", "5", "-i", "2", "-l", "10", "-n", "30", "-binary", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 100 || d.NumItems() != 30 {
+		t.Fatalf("|D|=%d N=%d", d.Len(), d.NumItems())
+	}
+}
+
+func TestQuestgenDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a")
+	b := filepath.Join(dir, "b")
+	for _, out := range []string{a, b} {
+		if err := run([]string{"-name", "T5.I2.D100", "-n", "40", "-seed", "9", "-o", out}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different files")
+	}
+}
+
+func TestQuestgenBadName(t *testing.T) {
+	if err := run([]string{"-name", "bogus"}); err == nil {
+		t.Fatal("bad name accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRulegenRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.basket")
+	content := "1 2 3\n1 2 3\n1 2 3\n1 2\n4 5\n4 5\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", path, "-support", "0.3", "-confidence", "0.8", "-top", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	// lift filter path
+	if err := run([]string{"-input", path, "-support", "0.3", "-confidence", "0.5", "-lift", "1.1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRulegenErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -input accepted")
+	}
+	if err := run([]string{"-input", filepath.Join(t.TempDir(), "nope")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package pincer_test
+
+import (
+	"fmt"
+
+	"pincer"
+)
+
+// The maximum frequent set of a toy basket database: every frequent itemset
+// is a subset of one of the two maximal ones.
+func ExampleMine() {
+	db := pincer.NewDataset(
+		pincer.NewItemset(1, 2, 3),
+		pincer.NewItemset(1, 2, 3),
+		pincer.NewItemset(1, 2),
+		pincer.NewItemset(3, 4),
+		pincer.NewItemset(3, 4),
+	)
+	res := pincer.Mine(db, 0.4) // frequent = at least 2 of 5 transactions
+	for i, m := range res.MFS {
+		fmt.Println(m, res.MFSSupports[i])
+	}
+	fmt.Println("implied frequent itemsets:", pincer.CountFrequent(res))
+	// Output:
+	// {1,2,3} 2
+	// {3,4} 2
+	// implied frequent itemsets: 9
+}
+
+// Association rules from a mining result, following the paper's §2.1
+// two-stage scheme.
+func ExampleRulesFromResult() {
+	db := pincer.NewDataset(
+		pincer.NewItemset(1, 2),
+		pincer.NewItemset(1, 2),
+		pincer.NewItemset(1, 2),
+		pincer.NewItemset(1),
+		pincer.NewItemset(3),
+	)
+	res := pincer.Mine(db, 0.4)
+	rules, _ := pincer.RulesFromResult(db, res, 0, pincer.RuleParams{MinConfidence: 0.9})
+	for _, r := range rules {
+		fmt.Printf("%v => %v conf %.2f\n", r.Antecedent, r.Consequent, r.Confidence)
+	}
+	// Output:
+	// {2} => {1} conf 1.00
+}
+
+// Minimal keys of a relation via maximal agree-set mining (paper §1).
+func ExampleMinimalKeys() {
+	res, _ := pincer.MinimalKeys(&pincer.Relation{
+		Attrs: []string{"id", "name", "dept"},
+		Rows: [][]string{
+			{"1", "alice", "eng"},
+			{"2", "bob", "eng"},
+			{"3", "alice", "sales"},
+		},
+	})
+	for _, k := range res.MinimalKeys {
+		fmt.Println(k)
+	}
+	// Output:
+	// {0}
+	// {1,2}
+}
+
+// Itemsets normalize on construction.
+func ExampleNewItemset() {
+	fmt.Println(pincer.NewItemset(3, 1, 2, 3, 1))
+	// Output: {1,2,3}
+}

@@ -1,0 +1,76 @@
+// Episode discovery in event sequences — the application (Mannila &
+// Toivonen, KDD'96) the paper cites as a driver for maximal-itemset
+// mining (§1, §6): find the maximal sets of alarm types that fire together
+// within a time window.
+//
+// The example plants multi-alarm failure signatures into a noisy telecom
+// alarm stream, windows the stream, and mines maximal parallel episodes
+// with Pincer-Search.
+//
+//	go run ./examples/episodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pincer"
+)
+
+func main() {
+	length := flag.Int64("length", 20000, "sequence length (time units)")
+	width := flag.Int64("window", 12, "episode window width")
+	minFreq := flag.Float64("freq", 0.03, "minimum episode frequency (fraction of windows)")
+	seed := flag.Int64("seed", 11, "generator seed")
+	flag.Parse()
+
+	// Three failure signatures: a cascading link failure (7 alarms), a
+	// power event (5 alarms), and a flapping interface pair.
+	signatures := []pincer.Itemset{
+		pincer.NewItemset(10, 11, 12, 13, 14, 15, 16),
+		pincer.NewItemset(30, 31, 32, 33, 34),
+		pincer.NewItemset(50, 51),
+	}
+	seq := pincer.GenerateEventSequence(pincer.EpisodeGeneratorParams{
+		NumTypes:   80,
+		Length:     *length,
+		NoiseRate:  0.08,
+		Episodes:   signatures,
+		Period:     60,
+		BurstWidth: *width / 2,
+		Seed:       *seed,
+	})
+	fmt.Printf("alarm stream: %d events over %d time units, %d planted signatures\n",
+		len(seq), *length, len(signatures))
+
+	eps, res, err := pincer.MineEpisodes(seq, *width, *minFreq, 80)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("windows mined in %d passes; %d maximal episodes at frequency ≥ %.1f%%:\n",
+		res.Stats.Passes, len(eps), *minFreq*100)
+	for _, e := range eps {
+		if len(e.Types) < 2 {
+			continue
+		}
+		marker := ""
+		for i, sig := range signatures {
+			if sig.IsSubsetOf(e.Types) {
+				marker = fmt.Sprintf("  <- contains planted signature %d", i)
+			}
+		}
+		fmt.Printf("  %v  freq %.3f%s\n", e.Types, e.Frequency, marker)
+	}
+	recovered := 0
+	for _, sig := range signatures {
+		for _, e := range eps {
+			if sig.IsSubsetOf(e.Types) {
+				recovered++
+				break
+			}
+		}
+	}
+	fmt.Printf("recovered %d/%d planted signatures\n", recovered, len(signatures))
+}

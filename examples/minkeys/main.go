@@ -1,0 +1,78 @@
+// Minimal-key discovery — the paper's §1 "minimal keys" application: find
+// every minimal key of a relation by mining the maximal agree sets with
+// Pincer-Search and taking the minimal transversals of their complements.
+//
+//	go run ./examples/minkeys             # built-in demo relation
+//	go run ./examples/minkeys data.csv    # first row = attribute names
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strings"
+
+	"pincer"
+)
+
+func main() {
+	rel := demoRelation()
+	if len(os.Args) > 1 {
+		loaded, err := loadCSV(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rel = loaded
+	}
+
+	res, err := pincer.MinimalKeys(rel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("relation: %d attributes × %d rows (%d tuple pairs examined)\n",
+		len(rel.Attrs), len(rel.Rows), res.Pairs)
+	if res.HasDuplicateRows {
+		fmt.Println("relation contains duplicate rows: no attribute set is a key")
+		return
+	}
+	fmt.Printf("\nmaximal non-keys (maximal agree sets, mined as an MFS):\n")
+	for _, nk := range res.MaximalNonKeys {
+		fmt.Printf("  {%s}\n", strings.Join(rel.AttrNames(nk), ", "))
+	}
+	fmt.Printf("\nminimal keys:\n")
+	for _, k := range res.MinimalKeys {
+		fmt.Printf("  {%s}\n", strings.Join(rel.AttrNames(k), ", "))
+	}
+}
+
+func demoRelation() *pincer.Relation {
+	return &pincer.Relation{
+		Attrs: []string{"emp_id", "name", "dept", "desk", "city"},
+		Rows: [][]string{
+			{"1", "alice", "eng", "d1", "nyc"},
+			{"2", "bob", "eng", "d2", "nyc"},
+			{"3", "alice", "sales", "d3", "nyc"},
+			{"4", "carol", "sales", "d1", "sf"},
+			{"5", "bob", "sales", "d2", "sf"},
+			{"6", "carol", "eng", "d3", "sf"},
+		},
+	}
+}
+
+func loadCSV(path string) (*pincer.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("%s: empty CSV", path)
+	}
+	return &pincer.Relation{Attrs: records[0], Rows: records[1:]}, nil
+}

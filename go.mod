@@ -1,0 +1,3 @@
+module pincer
+
+go 1.22

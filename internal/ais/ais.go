@@ -1,0 +1,146 @@
+// Package ais implements the original AIS algorithm of Agrawal, Imielinski
+// & Swami ("Mining Association Rules between Sets of Items in Large
+// Databases", SIGMOD 1993) — reference [1] of the paper and the ancestor of
+// every level-wise miner here.
+//
+// AIS differs from Apriori in when candidates are born: instead of a
+// generation step between passes, candidates are created on the fly while
+// scanning — every frequent (k-1)-itemset found inside a transaction is
+// extended by each later item of that transaction. The same candidate can
+// be generated in many transactions (counted once per occurrence), and
+// extensions are not pruned against other (k-1)-subsets, so AIS counts far
+// more candidates than Apriori; that gap is the historical motivation for
+// Apriori-gen, and this package exists to measure it.
+package ais
+
+import (
+	"time"
+
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// Options configures an AIS run.
+type Options struct {
+	// KeepFrequent retains the complete frequent set in the result.
+	KeepFrequent bool
+	// MaxCandidatesPerPass aborts a pass that materializes more than this
+	// many distinct candidates (0 = unlimited); AIS's on-the-fly generation
+	// can explode on dense data, and the bound keeps benchmarks honest
+	// instead of unkillable.
+	MaxCandidatesPerPass int
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{KeepFrequent: true, MaxCandidatesPerPass: 5_000_000}
+}
+
+// Result extends the shared result with the abort flag.
+type Result struct {
+	mfi.Result
+	// Aborted reports the candidate bound was hit; the frequent set is
+	// incomplete.
+	Aborted bool
+}
+
+// Mine runs AIS at a fractional minimum support.
+func Mine(sc dataset.Scanner, minSupport float64, opt Options) *Result {
+	return MineCount(sc, dataset.MinCountFor(sc.Len(), minSupport), opt)
+}
+
+// MineCount runs AIS with an absolute support threshold.
+func MineCount(sc dataset.Scanner, minCount int64, opt Options) *Result {
+	start := time.Now()
+	res := &Result{Result: mfi.Result{
+		MinCount:        minCount,
+		NumTransactions: sc.Len(),
+		Frequent:        itemset.NewSet(0),
+	}}
+	res.Stats.Algorithm = "ais"
+	defer func() { res.Stats.Duration = time.Since(start) }()
+
+	counts := make(map[string]int64)
+	var all []itemset.Itemset
+	note := func(x itemset.Itemset, c int64) {
+		all = append(all, x)
+		counts[x.Key()] = c
+		if opt.KeepFrequent {
+			res.Frequent.AddWithCount(x, c)
+		}
+	}
+	finish := func() *Result {
+		res.MFS = itemset.MaximalOnly(all)
+		res.MFSSupports = make([]int64, len(res.MFS))
+		for i, m := range res.MFS {
+			res.MFSSupports[i] = counts[m.Key()]
+		}
+		if !opt.KeepFrequent {
+			res.Frequent = nil
+		}
+		return res
+	}
+
+	// Pass 1: plain item counting.
+	itemCounts := make([]int64, sc.NumItems())
+	sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) {
+		for _, it := range tx {
+			itemCounts[it]++
+		}
+	})
+	var lk []itemset.Itemset
+	for i, c := range itemCounts {
+		if c >= minCount {
+			s := itemset.Itemset{itemset.Item(i)}
+			lk = append(lk, s)
+			note(s, c)
+		}
+	}
+	res.Stats.AddPass(mfi.PassStats{Candidates: sc.NumItems(), Frequent: len(lk)})
+
+	// Passes ≥ 2: extend frontier itemsets inside each transaction.
+	for len(lk) > 0 {
+		candCounts := make(map[string]int64)
+		aborted := false
+		sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) {
+			if aborted {
+				return
+			}
+			for _, l := range lk {
+				if !l.IsSubsetOf(tx) {
+					continue
+				}
+				// extend l by every transaction item past l's last item
+				last := l.Last()
+				for _, it := range tx {
+					if it <= last {
+						continue
+					}
+					cand := l.With(it)
+					candCounts[cand.Key()]++
+					if opt.MaxCandidatesPerPass > 0 && len(candCounts) > opt.MaxCandidatesPerPass {
+						aborted = true
+						return
+					}
+				}
+			}
+		})
+		if aborted {
+			res.Aborted = true
+			return finish()
+		}
+		var next []itemset.Itemset
+		for key, c := range candCounts {
+			if c >= minCount {
+				x := itemset.KeyToItemset(key)
+				next = append(next, x)
+				note(x, c)
+			}
+		}
+		itemset.SortItemsets(next)
+		res.Stats.AddPass(mfi.PassStats{Candidates: len(candCounts), Frequent: len(next)})
+		lk = next
+	}
+	return finish()
+}

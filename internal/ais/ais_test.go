@@ -1,0 +1,118 @@
+package ais
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/apriori"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+func TestAISSmall(t *testing.T) {
+	d := dataset.New([]dataset.Transaction{
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2),
+		itemset.New(3, 4),
+		itemset.New(3, 4),
+	})
+	res := MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	if res.Aborted {
+		t.Fatal("aborted")
+	}
+	ares := apriori.MineCount(dataset.NewScanner(d), 2, apriori.DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
+		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
+	}
+	if res.Frequent.Len() != ares.Frequent.Len() {
+		t.Fatalf("frequent %d vs %d", res.Frequent.Len(), ares.Frequent.Len())
+	}
+	res.Frequent.Each(func(x itemset.Itemset, c int64) {
+		if c != d.Support(x) {
+			t.Errorf("support(%v) = %d, want %d", x, c, d.Support(x))
+		}
+	})
+}
+
+func TestAISCountsMoreCandidatesThanApriori(t *testing.T) {
+	// The historical motivation for Apriori-gen: AIS generates candidates
+	// per occurrence without subset pruning.
+	d := quest.Generate(quest.Params{
+		NumTransactions: 600, AvgTxLen: 8, AvgPatternLen: 4,
+		NumPatterns: 30, NumItems: 60, Seed: 6,
+	})
+	res := Mine(dataset.NewScanner(d), 0.02, DefaultOptions())
+	ares := apriori.Mine(dataset.NewScanner(d), 0.02, apriori.DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CandidatesAll <= ares.Stats.CandidatesAll {
+		t.Errorf("AIS candidates %d not above Apriori %d", res.Stats.CandidatesAll, ares.Stats.CandidatesAll)
+	}
+}
+
+func TestAISAbortsOnCandidateExplosion(t *testing.T) {
+	d := quest.Generate(quest.Params{
+		NumTransactions: 200, AvgTxLen: 12, AvgPatternLen: 6,
+		NumPatterns: 10, NumItems: 50, Seed: 2,
+	})
+	opt := DefaultOptions()
+	opt.MaxCandidatesPerPass = 5
+	res := Mine(dataset.NewScanner(d), 0.05, opt)
+	if !res.Aborted {
+		t.Fatal("tiny bound did not abort")
+	}
+}
+
+func TestAISEdgeCases(t *testing.T) {
+	res := MineCount(dataset.NewScanner(dataset.Empty(4)), 1, DefaultOptions())
+	if len(res.MFS) != 0 {
+		t.Errorf("empty MFS = %v", res.MFS)
+	}
+	d := dataset.New([]dataset.Transaction{itemset.New(1), itemset.New(2)})
+	res = MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	if len(res.MFS) != 0 {
+		t.Errorf("MFS = %v", res.MFS)
+	}
+	opt := DefaultOptions()
+	opt.KeepFrequent = false
+	d2 := dataset.New([]dataset.Transaction{itemset.New(1, 2), itemset.New(1, 2)})
+	res = MineCount(dataset.NewScanner(d2), 2, opt)
+	if res.Frequent != nil {
+		t.Error("Frequent retained")
+	}
+	if len(res.MFS) != 1 || res.MFSSupports[0] != 2 {
+		t.Errorf("MFS = %v supports = %v", res.MFS, res.MFSSupports)
+	}
+}
+
+func TestQuickAISMatchesApriori(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 4 + r.Intn(8)
+		numTx := 5 + r.Intn(40)
+		d := dataset.Empty(universe)
+		for i := 0; i < numTx; i++ {
+			n := 1 + r.Intn(universe)
+			items := make([]itemset.Item, n)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(universe))
+			}
+			d.Append(itemset.New(items...))
+		}
+		minCount := int64(1 + r.Intn(numTx/2+1))
+		res := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
+		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		if res.Frequent.Len() != ares.Frequent.Len() {
+			return false
+		}
+		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package apriori implements the Apriori algorithm of Agrawal & Srikant
+// (VLDB 1994) — the bottom-up, breadth-first baseline the paper compares
+// against (§3.3), and the source of the join and prune procedures that
+// Pincer-Search modifies.
+//
+// Following the paper's §4.1.1 (after Özden et al.), pass 1 counts items in
+// a flat array and pass 2 counts all pairs of frequent items in a triangular
+// matrix with no candidate generation; the level-wise candidate machinery
+// starts at pass 3.
+package apriori
+
+import (
+	"time"
+
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// Join is the join procedure of Apriori-gen (§3.3): it combines every pair
+// of k-itemsets in lk sharing a (k-1)-prefix into a (k+1)-itemset. lk must
+// be sorted lexicographically; the output is sorted and duplicate-free.
+func Join(lk []itemset.Itemset) []itemset.Itemset {
+	if len(lk) == 0 {
+		return nil
+	}
+	k := len(lk[0])
+	var out []itemset.Itemset
+	for i := 0; i < len(lk); i++ {
+		for j := i + 1; j < len(lk); j++ {
+			if !itemset.SamePrefix(lk[i], lk[j], k-1) {
+				break // sorted input: no later itemset shares the prefix
+			}
+			out = append(out, lk[i].Union(lk[j]))
+		}
+	}
+	return out
+}
+
+// Prune is the prune procedure of Apriori-gen: it removes from candidates
+// every itemset with a k-subset missing from lk (the superset-of-infrequent
+// rule, Observation 1). lkSet must contain exactly the itemsets of the
+// frequent set L_k.
+func Prune(candidates []itemset.Itemset, lkSet *itemset.Set) []itemset.Itemset {
+	out := candidates[:0]
+	for _, c := range candidates {
+		if allFacetsIn(c, lkSet) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func allFacetsIn(c itemset.Itemset, lkSet *itemset.Set) bool {
+	ok := true
+	c.Facets(func(f itemset.Itemset) {
+		if ok && !lkSet.Contains(f) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Gen is the full Apriori-gen candidate generation: Join then Prune.
+func Gen(lk []itemset.Itemset, lkSet *itemset.Set) []itemset.Itemset {
+	return Prune(Join(lk), lkSet)
+}
+
+// Options configures a mining run.
+type Options struct {
+	// Engine selects the support-counting structure for passes ≥ 3
+	// (default: hash tree).
+	Engine counting.Engine
+	// KeepFrequent materializes the complete frequent set with support
+	// counts in the result (default true via DefaultOptions). Apriori
+	// discovers every frequent itemset either way; this only controls
+	// whether they are retained.
+	KeepFrequent bool
+	// MaxPasses bounds the number of passes (0 = unlimited); used to build
+	// partial runs for tests.
+	MaxPasses int
+	// CombineLevels enables the multi-level pass optimization the paper
+	// discusses (§3.5, §5, after [AS94] and [MTV94]): once the candidate
+	// set is small, C_{k+2} is speculatively generated from C_{k+1}
+	// (treating every candidate as frequent) and both levels are counted in
+	// the same pass, halving the remaining database reads at the price of
+	// extra candidates. "This technique is only useful in the later passes"
+	// (§5) — hence the threshold.
+	CombineLevels bool
+	// CombineThreshold is the candidate-count ceiling under which levels
+	// are combined (default 10000 when CombineLevels is set).
+	CombineThreshold int
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{Engine: counting.EngineHashTree, KeepFrequent: true}
+}
+
+// Mine runs Apriori over the scanned database at the given fractional
+// minimum support and returns the complete frequent set and the MFS.
+func Mine(sc dataset.Scanner, minSupport float64, opt Options) *mfi.Result {
+	minCount := dataset.MinCountFor(sc.Len(), minSupport)
+	return MineCount(sc, minCount, opt)
+}
+
+// MineCount is Mine with an absolute support-count threshold.
+func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
+	start := time.Now()
+	res := &mfi.Result{
+		MinCount:        minCount,
+		NumTransactions: sc.Len(),
+		Frequent:        itemset.NewSet(0),
+	}
+	res.Stats.Algorithm = "apriori"
+	defer func() { res.Stats.Duration = time.Since(start) }()
+
+	var allFrequent []itemset.Itemset
+	counts := make(map[string]int64)
+	noteFrequent := func(x itemset.Itemset, count int64) {
+		allFrequent = append(allFrequent, x)
+		counts[x.Key()] = count
+		if opt.KeepFrequent {
+			res.Frequent.AddWithCount(x, count)
+		}
+	}
+	finish := func() *mfi.Result {
+		res.MFS = itemset.MaximalOnly(allFrequent)
+		res.MFSSupports = make([]int64, len(res.MFS))
+		for i, m := range res.MFS {
+			res.MFSSupports[i] = counts[m.Key()]
+		}
+		if !opt.KeepFrequent {
+			res.Frequent = nil
+		}
+		return res
+	}
+
+	// Pass 1: flat per-item array.
+	array := counting.NewItemArray(sc.NumItems())
+	sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { array.Add(tx) })
+	var l1 itemset.Itemset
+	for i, c := range array.Counts() {
+		if c >= minCount {
+			l1 = append(l1, itemset.Item(i))
+			noteFrequent(itemset.Itemset{itemset.Item(i)}, c)
+		}
+	}
+	res.Stats.AddPass(mfi.PassStats{Candidates: sc.NumItems(), Frequent: len(l1)})
+	if len(l1) < 2 || opt.MaxPasses == 1 {
+		return finish()
+	}
+
+	// Pass 2: triangular matrix over frequent items, no candidate generation.
+	tri := counting.NewTriangle(sc.NumItems(), l1)
+	sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { tri.Add(tx) })
+	var l2 []itemset.Itemset
+	tri.Each(func(x, y itemset.Item, count int64) {
+		if count >= minCount {
+			pair := itemset.Itemset{x, y}
+			l2 = append(l2, pair)
+			noteFrequent(pair, count)
+		}
+	})
+	res.Stats.AddPass(mfi.PassStats{Candidates: tri.NumPairs(), Frequent: len(l2)})
+	if len(l2) == 0 || opt.MaxPasses == 2 {
+		return finish()
+	}
+
+	// Passes ≥ 3: Apriori-gen + the configured counting engine.
+	combineThreshold := opt.CombineThreshold
+	if opt.CombineLevels && combineThreshold <= 0 {
+		combineThreshold = 10_000
+	}
+	lk := l2
+	for k := 3; ; k++ {
+		if opt.MaxPasses > 0 && k > opt.MaxPasses {
+			break
+		}
+		lkSet := itemset.SetOf(lk...)
+		ck := Gen(lk, lkSet)
+		if len(ck) == 0 {
+			break
+		}
+		// Optionally stack the next level's speculative candidates into the
+		// same pass: C_{k+1} generated from C_k as if all of C_k were
+		// frequent. Any speculative candidate whose count clears the
+		// threshold is genuinely frequent (support is anti-monotone), so no
+		// separate validation is needed.
+		var speculative []itemset.Itemset
+		if opt.CombineLevels && len(ck) <= combineThreshold {
+			speculative = Gen(ck, itemset.SetOf(ck...))
+		}
+		all := ck
+		if len(speculative) > 0 {
+			all = append(append([]itemset.Itemset(nil), ck...), speculative...)
+		}
+		counter := counting.NewCounter(opt.Engine, all)
+		sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
+		counts := counter.Counts()
+		var next []itemset.Itemset
+		for i, c := range ck {
+			if counts[i] >= minCount {
+				next = append(next, c)
+				noteFrequent(c, counts[i])
+			}
+		}
+		res.Stats.AddPass(mfi.PassStats{Candidates: len(all), Frequent: len(next)})
+		if len(speculative) > 0 {
+			var next2 []itemset.Itemset
+			for i, c := range speculative {
+				if counts[len(ck)+i] >= minCount {
+					next2 = append(next2, c)
+					noteFrequent(c, counts[len(ck)+i])
+				}
+			}
+			res.Stats.PassDetails[len(res.Stats.PassDetails)-1].Frequent += len(next2)
+			res.Stats.FrequentCount += int64(len(next2))
+			if len(next2) == 0 {
+				// The speculative level contains every true C_{k+1}
+				// candidate (Gen over a superset yields a superset), so an
+				// empty frequent result there ends the level-wise climb.
+				break
+			}
+			k++ // the combined pass consumed two levels
+			lk = next2
+			continue
+		}
+		if len(next) == 0 {
+			break
+		}
+		lk = next
+	}
+	return finish()
+}

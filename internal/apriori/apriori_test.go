@@ -1,0 +1,375 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+func TestJoin(t *testing.T) {
+	tests := []struct {
+		name string
+		lk   []itemset.Itemset
+		want []itemset.Itemset
+	}{
+		{"empty", nil, nil},
+		{
+			"singletons join to all pairs",
+			[]itemset.Itemset{itemset.New(1), itemset.New(2), itemset.New(3)},
+			[]itemset.Itemset{itemset.New(1, 2), itemset.New(1, 3), itemset.New(2, 3)},
+		},
+		{
+			"pairs with shared prefix",
+			[]itemset.Itemset{itemset.New(1, 2), itemset.New(1, 3), itemset.New(2, 3)},
+			[]itemset.Itemset{itemset.New(1, 2, 3)},
+		},
+		{
+			"no shared prefixes",
+			[]itemset.Itemset{itemset.New(1, 2), itemset.New(3, 4)},
+			nil,
+		},
+		{
+			"paper §3.4: {2,4,6},{2,5,6},{4,5,6} generate nothing",
+			[]itemset.Itemset{itemset.New(2, 4, 6), itemset.New(2, 5, 6), itemset.New(4, 5, 6)},
+			nil,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Join(tc.lk)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Join = %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if !got[i].Equal(tc.want[i]) {
+					t.Errorf("Join[%d] = %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPrune(t *testing.T) {
+	lk := []itemset.Itemset{
+		itemset.New(1, 2), itemset.New(1, 3), itemset.New(2, 3), itemset.New(2, 4),
+	}
+	lkSet := itemset.SetOf(lk...)
+	cands := []itemset.Itemset{
+		itemset.New(1, 2, 3), // all facets frequent: kept
+		itemset.New(1, 2, 4), // {1,4} missing: pruned
+	}
+	got := Prune(cands, lkSet)
+	if len(got) != 1 || !got[0].Equal(itemset.New(1, 2, 3)) {
+		t.Fatalf("Prune = %v", got)
+	}
+}
+
+func TestGenMatchesAprioriPaperExample(t *testing.T) {
+	// L3 from [AS94]: {123},{124},{134},{135},{234}
+	l3 := []itemset.Itemset{
+		itemset.New(1, 2, 3), itemset.New(1, 2, 4), itemset.New(1, 3, 4),
+		itemset.New(1, 3, 5), itemset.New(2, 3, 4),
+	}
+	got := Gen(l3, itemset.SetOf(l3...))
+	// join yields {1234},{1345}; prune removes {1345} ({145},{345} ∉ L3)
+	if len(got) != 1 || !got[0].Equal(itemset.New(1, 2, 3, 4)) {
+		t.Fatalf("Gen = %v, want [{1,2,3,4}]", got)
+	}
+}
+
+// smallDataset has a known frequent-set structure at minCount 2:
+// maximal frequent itemsets {1,2,3} and {3,4}.
+func smallDataset() *dataset.Dataset {
+	return dataset.New([]dataset.Transaction{
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2, 3, 4),
+		itemset.New(3, 4),
+		itemset.New(1, 5),
+	})
+}
+
+func TestMineSmall(t *testing.T) {
+	d := smallDataset()
+	res := MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	wantMFS := []itemset.Itemset{itemset.New(1, 2, 3), itemset.New(3, 4)}
+	if err := mfi.VerifyAgainst(res.MFS, wantMFS); err != nil {
+		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
+	}
+	if err := mfi.Verify(d, 2, res.MFS); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// complete frequent set with correct supports
+	wantFreq := map[string]int64{
+		itemset.New(1).Key():       3,
+		itemset.New(2).Key():       2,
+		itemset.New(3).Key():       3,
+		itemset.New(4).Key():       2,
+		itemset.New(1, 2).Key():    2,
+		itemset.New(1, 3).Key():    2,
+		itemset.New(2, 3).Key():    2,
+		itemset.New(3, 4).Key():    2,
+		itemset.New(1, 2, 3).Key(): 2,
+	}
+	if res.Frequent.Len() != len(wantFreq) {
+		t.Fatalf("frequent count = %d, want %d: %v", res.Frequent.Len(), len(wantFreq), res.Frequent.Sorted())
+	}
+	res.Frequent.Each(func(x itemset.Itemset, c int64) {
+		if wantFreq[x.Key()] != c {
+			t.Errorf("support(%v) = %d, want %d", x, c, wantFreq[x.Key()])
+		}
+	})
+	// MFS supports
+	for i, m := range res.MFS {
+		if res.MFSSupports[i] != d.Support(m) {
+			t.Errorf("MFSSupports[%v] = %d, want %d", m, res.MFSSupports[i], d.Support(m))
+		}
+	}
+	// stats: 3 passes (pass 3 counts {1,2,3}; pass 4 generates nothing)
+	if res.Stats.Passes != 3 {
+		t.Errorf("Passes = %d, want 3", res.Stats.Passes)
+	}
+	if res.Stats.Candidates != 1 { // only pass-3 candidate {1,2,3} counts in the paper metric
+		t.Errorf("Candidates = %d, want 1", res.Stats.Candidates)
+	}
+	if res.Stats.FrequentCount != int64(len(wantFreq)) {
+		t.Errorf("FrequentCount = %d", res.Stats.FrequentCount)
+	}
+}
+
+func TestMineEdgeCases(t *testing.T) {
+	// empty database
+	res := MineCount(dataset.NewScanner(dataset.Empty(5)), 1, DefaultOptions())
+	if len(res.MFS) != 0 {
+		t.Errorf("empty db MFS = %v", res.MFS)
+	}
+	// threshold higher than |D|: nothing frequent
+	d := smallDataset()
+	res = MineCount(dataset.NewScanner(d), 100, DefaultOptions())
+	if len(res.MFS) != 0 || res.Stats.Passes != 1 {
+		t.Errorf("impossible threshold: MFS=%v passes=%d", res.MFS, res.Stats.Passes)
+	}
+	// minSupport = 1.0: only itemsets in every transaction
+	every := dataset.New([]dataset.Transaction{
+		itemset.New(1, 2), itemset.New(1, 2, 3), itemset.New(1, 2, 4),
+	})
+	res = Mine(dataset.NewScanner(every), 1.0, DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1, 2)}); err != nil {
+		t.Errorf("minSupport=1: %v (got %v)", err, res.MFS)
+	}
+	// single frequent item: no pass 2
+	single := dataset.New([]dataset.Transaction{
+		itemset.New(1), itemset.New(1), itemset.New(2),
+	})
+	res = MineCount(dataset.NewScanner(single), 2, DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1)}); err != nil {
+		t.Errorf("single item: %v", err)
+	}
+	if res.Stats.Passes != 1 {
+		t.Errorf("single item passes = %d", res.Stats.Passes)
+	}
+}
+
+func TestMineKeepFrequentFalse(t *testing.T) {
+	d := smallDataset()
+	opt := DefaultOptions()
+	opt.KeepFrequent = false
+	res := MineCount(dataset.NewScanner(d), 2, opt)
+	if res.Frequent != nil {
+		t.Error("Frequent retained despite KeepFrequent=false")
+	}
+	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1, 2, 3), itemset.New(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineMaxPasses(t *testing.T) {
+	d := smallDataset()
+	opt := DefaultOptions()
+	opt.MaxPasses = 1
+	res := MineCount(dataset.NewScanner(d), 2, opt)
+	if res.Stats.Passes != 1 {
+		t.Fatalf("passes = %d", res.Stats.Passes)
+	}
+	// MFS of what was discovered: the four frequent singletons
+	if len(res.MFS) != 4 {
+		t.Fatalf("MFS after 1 pass = %v", res.MFS)
+	}
+	opt.MaxPasses = 2
+	res = MineCount(dataset.NewScanner(d), 2, opt)
+	if res.Stats.Passes != 2 {
+		t.Fatalf("passes = %d", res.Stats.Passes)
+	}
+}
+
+func TestMineEnginesAgree(t *testing.T) {
+	p := quest.Params{
+		NumTransactions: 800, AvgTxLen: 8, AvgPatternLen: 3,
+		NumPatterns: 40, NumItems: 60, Seed: 5,
+	}
+	d := quest.Generate(p)
+	var ref *mfi.Result
+	for _, e := range []counting.Engine{counting.EngineList, counting.EngineHashTree, counting.EngineTrie} {
+		opt := DefaultOptions()
+		opt.Engine = e
+		res := Mine(dataset.NewScanner(d), 0.02, opt)
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if err := mfi.VerifyAgainst(res.MFS, ref.MFS); err != nil {
+			t.Fatalf("engine %v disagrees: %v", e, err)
+		}
+		if res.Frequent.Len() != ref.Frequent.Len() {
+			t.Fatalf("engine %v frequent count %d vs %d", e, res.Frequent.Len(), ref.Frequent.Len())
+		}
+	}
+	if len(ref.MFS) == 0 {
+		t.Fatal("degenerate test: no frequent itemsets")
+	}
+}
+
+// bruteForceFrequent enumerates the frequent set by exhaustive counting.
+func bruteForceFrequent(d *dataset.Dataset, minCount int64, maxLen int) *itemset.Set {
+	out := itemset.NewSet(0)
+	universe := d.PresentItems()
+	for k := 1; k <= maxLen; k++ {
+		universe.EachSubsetOfSize(k, func(x itemset.Itemset) {
+			c := d.Support(x)
+			if c >= minCount {
+				out.AddWithCount(x.Clone(), c)
+			}
+		})
+	}
+	return out
+}
+
+func TestQuickMineMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 4 + r.Intn(8)
+		numTx := 5 + r.Intn(40)
+		d := dataset.Empty(universe)
+		for i := 0; i < numTx; i++ {
+			n := 1 + r.Intn(universe)
+			items := make([]itemset.Item, n)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(universe))
+			}
+			d.Append(itemset.New(items...))
+		}
+		minCount := int64(1 + r.Intn(numTx/2+1))
+		res := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
+		want := bruteForceFrequent(d, minCount, universe)
+		if res.Frequent.Len() != want.Len() {
+			return false
+		}
+		ok := true
+		want.Each(func(x itemset.Itemset, c int64) {
+			got, present := res.Frequent.Count(x)
+			if !present || got != c {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+		// MFS is the maximal filter of the frequent set
+		return mfi.VerifyAgainst(res.MFS, itemset.MaximalOnly(want.Sorted())) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineLevelsSavesPassesSameResult(t *testing.T) {
+	p := quest.Params{
+		NumTransactions: 800, AvgTxLen: 14, AvgPatternLen: 10,
+		NumPatterns: 20, NumItems: 200, Seed: 23,
+	}
+	d := quest.Generate(p)
+	plain := Mine(dataset.NewScanner(d), 0.05, DefaultOptions())
+	copt := DefaultOptions()
+	copt.CombineLevels = true
+	combined := Mine(dataset.NewScanner(d), 0.05, copt)
+	if err := mfi.VerifyAgainst(combined.MFS, plain.MFS); err != nil {
+		t.Fatalf("combined levels changed the MFS: %v", err)
+	}
+	if combined.Frequent.Len() != plain.Frequent.Len() {
+		t.Fatalf("frequent sets differ: %d vs %d", combined.Frequent.Len(), plain.Frequent.Len())
+	}
+	if combined.Stats.Passes >= plain.Stats.Passes {
+		t.Errorf("combining saved no passes: %d vs %d", combined.Stats.Passes, plain.Stats.Passes)
+	}
+	// the price: at least as many candidates
+	if combined.Stats.Candidates < plain.Stats.Candidates {
+		t.Errorf("combined candidates %d < plain %d?", combined.Stats.Candidates, plain.Stats.Candidates)
+	}
+}
+
+func TestQuickCombineLevelsMatchesPlain(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 4 + r.Intn(8)
+		numTx := 5 + r.Intn(40)
+		d := dataset.Empty(universe)
+		for i := 0; i < numTx; i++ {
+			n := 1 + r.Intn(universe)
+			items := make([]itemset.Item, n)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(universe))
+			}
+			d.Append(itemset.New(items...))
+		}
+		minCount := int64(1 + r.Intn(numTx/2+1))
+		copt := DefaultOptions()
+		copt.CombineLevels = true
+		copt.CombineThreshold = 1 + r.Intn(50)
+		combined := MineCount(dataset.NewScanner(d), minCount, copt)
+		plain := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
+		if combined.Frequent.Len() != plain.Frequent.Len() {
+			return false
+		}
+		ok := true
+		plain.Frequent.Each(func(x itemset.Itemset, c int64) {
+			got, present := combined.Frequent.Count(x)
+			if !present || got != c {
+				ok = false
+			}
+		})
+		return ok && mfi.VerifyAgainst(combined.MFS, plain.MFS) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineOnQuestData(t *testing.T) {
+	p := quest.Params{
+		NumTransactions: 1000, AvgTxLen: 10, AvgPatternLen: 4,
+		NumPatterns: 30, NumItems: 80, Seed: 11,
+	}
+	d := quest.Generate(p)
+	sc := dataset.NewScanner(d)
+	res := Mine(sc, 0.02, DefaultOptions())
+	if len(res.MFS) == 0 {
+		t.Fatal("no maximal frequent itemsets on quest data at 2%")
+	}
+	if err := mfi.Verify(d, res.MinCount, res.MFS); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Passes() != res.Stats.Passes {
+		t.Errorf("scanner passes %d != stats passes %d", sc.Passes(), res.Stats.Passes)
+	}
+	// every frequent itemset's support is correct
+	res.Frequent.Each(func(x itemset.Itemset, c int64) {
+		if c != d.Support(x) {
+			t.Errorf("support(%v) = %d, want %d", x, c, d.Support(x))
+		}
+	})
+}

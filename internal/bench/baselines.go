@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"pincer/internal/ais"
+	"pincer/internal/apriori"
+	"pincer/internal/core"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/partition"
+	"pincer/internal/quest"
+	"pincer/internal/randmax"
+	"pincer/internal/sampling"
+	"pincer/internal/topdown"
+	"pincer/internal/vertical"
+)
+
+// BaselineRow is one algorithm's measurement in the cross-algorithm
+// comparison (a supplementary table beyond the paper's two figures: the
+// paper restricts its evaluation to Apriori "for space limitation", §4, and
+// discusses the rest qualitatively in §5 — this table puts numbers on §5).
+type BaselineRow struct {
+	Algorithm string
+	Time      time.Duration
+	Passes    int
+	MFSSize   int
+	// Exact reports whether the algorithm guarantees the exact MFS
+	// (randmax is probabilistic; topdown may abort).
+	Exact bool
+	// Agrees reports the output matched the reference (Apriori) MFS.
+	Agrees bool
+	// Note carries algorithm-specific diagnostics.
+	Note string
+}
+
+// RunBaselines mines one database at one support with every algorithm in
+// the repository and returns the comparison, reference (Apriori) first.
+func RunBaselines(p quest.Params, minSupport float64, opt Options) []BaselineRow {
+	d := quest.Generate(p)
+	var rows []BaselineRow
+
+	ref := apriori.Mine(dataset.NewScanner(d), minSupport, apriori.Options{Engine: opt.Engine})
+	refMFS := ref.MFS
+	add := func(name string, dur time.Duration, passes int, mfs []itemsetList, exact bool, note string) {
+		rows = append(rows, BaselineRow{
+			Algorithm: name, Time: dur, Passes: passes, MFSSize: len(mfs),
+			Exact: exact, Agrees: sameMFS(mfs, toList(refMFS)), Note: note,
+		})
+	}
+	add("apriori", ref.Stats.Duration, ref.Stats.Passes, toList(ref.MFS), true, "")
+
+	popt := opt.Pincer
+	popt.Engine = opt.Engine
+	pres := core.Mine(dataset.NewScanner(d), minSupport, popt)
+	add("pincer", pres.Stats.Duration, pres.Stats.Passes, toList(pres.MFS), true,
+		adaptiveNote(pres.Stats.AdaptiveOff))
+
+	copt := apriori.Options{Engine: opt.Engine, CombineLevels: true}
+	cres := apriori.Mine(dataset.NewScanner(d), minSupport, copt)
+	add("apriori+combine", cres.Stats.Duration, cres.Stats.Passes, toList(cres.MFS), true, "")
+
+	ares := ais.Mine(dataset.NewScanner(d), minSupport, ais.Options{MaxCandidatesPerPass: 5_000_000})
+	note := ""
+	if ares.Aborted {
+		note = "aborted: candidate explosion"
+	}
+	add("ais", ares.Stats.Duration, ares.Stats.Passes, toList(ares.MFS), !ares.Aborted, note)
+
+	part := partition.Mine(d, minSupport, partition.Options{NumPartitions: 4, Engine: opt.Engine})
+	add("partition", part.Stats.Duration, part.Stats.Passes, toList(part.MFS), true, "4 partitions")
+
+	samp := sampling.Mine(d, minSupport, sampling.Options{LowerFactor: 0.8, Engine: opt.Engine, Seed: 7})
+	add("sampling", samp.Stats.Duration, samp.Stats.Passes, toList(samp.MFS), true,
+		fmt.Sprintf("misses=%d expansions=%d", samp.BorderMisses, samp.Expansions))
+
+	ecl := vertical.Eclat(d, minSupport, vertical.Options{})
+	add("eclat", ecl.Stats.Duration, ecl.Stats.Passes, toList(ecl.MFS), true, "vertical, 1 pass")
+
+	mx := vertical.MineMaximal(d, minSupport, vertical.Options{})
+	add("maxeclat", mx.Stats.Duration, mx.Stats.Passes, toList(mx.MFS), true,
+		fmt.Sprintf("%d intersections", mx.Intersections))
+
+	rm := randmax.Mine(d, minSupport, randmax.Options{Patience: 128, Seed: 7})
+	add("randmax", rm.Stats.Duration, 0, toList(rm.MFS), false,
+		fmt.Sprintf("%d walks, probabilistic", rm.Walks))
+
+	// The pure top-down frontier explodes on any universe wider than a few
+	// dozen items (that is §3.1's point); give it a tight budget so the
+	// comparison reports the abort rather than hanging.
+	td := topdown.Mine(dataset.NewScanner(d), minSupport, topdown.Options{MaxElements: 20_000, MaxPasses: 16})
+	tdNote := "pure top-down"
+	if td.Aborted {
+		tdNote = "aborted: frontier explosion"
+	}
+	add("topdown", td.Stats.Duration, td.Stats.Passes, toList(td.MFS), !td.Aborted, tdNote)
+
+	return rows
+}
+
+type itemsetList = string
+
+func toList(mfs []itemset.Itemset) []itemsetList {
+	out := make([]itemsetList, len(mfs))
+	for i, m := range mfs {
+		out[i] = m.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameMFS(a, b []itemsetList) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func adaptiveNote(off bool) string {
+	if off {
+		return "adaptive fallback engaged"
+	}
+	return ""
+}
+
+// WriteBaselines renders the comparison table.
+func WriteBaselines(w io.Writer, p quest.Params, minSupport float64, rows []BaselineRow) error {
+	fmt.Fprintf(w, "Baseline comparison — %s |L|=%d at minsup %.4g\n",
+		p.Name(), p.Defaults().NumPatterns, minSupport)
+	fmt.Fprintf(w, "%-16s %12s %7s %7s %7s %7s  %s\n",
+		"algorithm", "time", "passes", "|MFS|", "exact", "agrees", "notes")
+	fmt.Fprintln(w, strings.Repeat("-", 90))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %12s %7d %7d %7v %7v  %s\n",
+			r.Algorithm, r.Time.Round(time.Millisecond), r.Passes, r.MFSSize, r.Exact, r.Agrees, r.Note)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

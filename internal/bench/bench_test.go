@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinySpec() Spec {
+	s := Figure4Specs(600)[0] // T20.I6, |L|=50, scaled to 600 transactions
+	s.Supports = []float64{0.18, 0.12}
+	return s
+}
+
+func TestSpecsCoverEveryFigureRow(t *testing.T) {
+	f3 := Figure3Specs(0)
+	f4 := Figure4Specs(0)
+	if len(f3) != 3 || len(f4) != 3 {
+		t.Fatalf("spec counts: %d + %d, want 3 + 3", len(f3), len(f4))
+	}
+	wantNames := map[string]string{
+		"F3-T5I2":   "T5.I2.D100K (|L|=2000)",
+		"F3-T10I4":  "T10.I4.D100K (|L|=2000)",
+		"F3-T20I6":  "T20.I6.D100K (|L|=2000)",
+		"F4-T20I6":  "T20.I6.D100K (|L|=50)",
+		"F4-T20I10": "T20.I10.D100K (|L|=50)",
+		"F4-T20I15": "T20.I15.D100K (|L|=50)",
+	}
+	for _, s := range AllSpecs(0) {
+		want, ok := wantNames[s.ID]
+		if !ok {
+			t.Errorf("unexpected spec %q", s.ID)
+			continue
+		}
+		if got := s.Name(); got != want {
+			t.Errorf("spec %s Name = %q, want %q", s.ID, got, want)
+		}
+		if len(s.Supports) == 0 {
+			t.Errorf("spec %s has no support sweep", s.ID)
+		}
+		if s.Figure != 3 && s.Figure != 4 {
+			t.Errorf("spec %s figure = %d", s.ID, s.Figure)
+		}
+	}
+	if _, ok := SpecByID("f4-t20i10", 0); !ok {
+		t.Error("SpecByID case-insensitive lookup failed")
+	}
+	if _, ok := SpecByID("nope", 0); ok {
+		t.Error("SpecByID found a ghost")
+	}
+}
+
+func TestScalingOverridesD(t *testing.T) {
+	s := Figure3Specs(1234)[0]
+	if s.Quest.NumTransactions != 1234 {
+		t.Fatalf("|D| = %d", s.Quest.NumTransactions)
+	}
+	s = Figure3Specs(0)[0]
+	if s.Quest.NumTransactions != 100_000 {
+		t.Fatalf("default |D| = %d", s.Quest.NumTransactions)
+	}
+}
+
+func TestRunSpecProducesAgreeingCells(t *testing.T) {
+	var progress []string
+	opt := DefaultOptions()
+	opt.Progress = func(l string) { progress = append(progress, l) }
+	spec := tinySpec()
+	cells := RunSpec(spec, opt)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Apriori.Skipped || c.Pincer.Skipped {
+			t.Fatalf("unexpected skip: %+v", c)
+		}
+		if !c.Agree {
+			t.Errorf("algorithms disagree at sup %v", c.Support)
+		}
+		if c.Apriori.Passes == 0 || c.Pincer.Passes == 0 {
+			t.Errorf("empty pass counts: %+v", c)
+		}
+		if c.Apriori.Time <= 0 || c.Pincer.Time <= 0 {
+			t.Errorf("no timing recorded: %+v", c)
+		}
+	}
+	// supports are swept in descending order
+	if cells[0].Support < cells[1].Support {
+		t.Errorf("supports not descending: %v then %v", cells[0].Support, cells[1].Support)
+	}
+	if len(progress) != 2 {
+		t.Errorf("progress lines = %d", len(progress))
+	}
+}
+
+func TestBudgetSkipsHarderCells(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Budget = time.Nanosecond // everything exceeds this after the first cell
+	spec := tinySpec()
+	cells := RunSpec(spec, opt)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if cells[0].Apriori.Skipped || cells[0].Pincer.Skipped {
+		t.Fatal("first cell must run")
+	}
+	if !cells[1].Apriori.Skipped || !cells[1].Pincer.Skipped {
+		t.Fatal("second cell should be budget-skipped")
+	}
+	if cells[1].RelativeTime() != 0 {
+		t.Error("skipped cell reports a relative time")
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ten algorithms; skipped in -short mode")
+	}
+	spec := Figure4Specs(400)[0]
+	rows := RunBaselines(spec.Quest, 0.15, DefaultOptions())
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]BaselineRow{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+		if r.Time <= 0 {
+			t.Errorf("%s: no timing", r.Algorithm)
+		}
+	}
+	// every exact algorithm must agree with the Apriori reference
+	for _, name := range []string{"apriori", "pincer", "apriori+combine", "ais", "partition", "sampling", "eclat", "maxeclat"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if !r.Exact {
+			t.Errorf("%s unexpectedly inexact: %s", name, r.Note)
+			continue
+		}
+		if !r.Agrees {
+			t.Errorf("%s disagrees with the reference MFS", name)
+		}
+	}
+	// the probabilistic one is labeled as such
+	if byName["randmax"].Exact {
+		t.Error("randmax labeled exact")
+	}
+	var buf bytes.Buffer
+	if err := WriteBaselines(&buf, spec.Quest, 0.15, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pincer", "eclat", "agrees"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	spec := tinySpec()
+	cells := RunSpec(spec, DefaultOptions())
+	var tbl bytes.Buffer
+	if err := WriteTable(&tbl, spec, cells); err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"F4-T20I6", "minsup", "18%", "12%", "agree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, cells); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "spec,database,minsup") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "F4-T20I6") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}

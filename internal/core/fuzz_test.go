@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"pincer/internal/apriori"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// FuzzPincerMatchesApriori decodes arbitrary bytes into a transaction
+// database and checks the fundamental contract: Pincer-Search and Apriori
+// agree on the maximum frequent set for every input and threshold.
+//
+// Encoding: the first byte selects the support threshold; the rest is a
+// stream of items in a small universe, with the high bit terminating a
+// transaction.
+func FuzzPincerMatchesApriori(f *testing.F) {
+	f.Add([]byte{2, 1, 2, 0x83, 1, 2, 0x83, 1, 0x82})
+	f.Add([]byte{1, 0x80})
+	f.Add([]byte{3, 5, 6, 7, 0x85, 5, 6, 0x87})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 256 {
+			t.Skip()
+		}
+		minCount := int64(data[0]%8) + 1
+		d := dataset.Empty(16)
+		var cur []itemset.Item
+		for _, b := range data[1:] {
+			cur = append(cur, itemset.Item(b&0x0f))
+			if b&0x80 != 0 {
+				d.Append(itemset.New(cur...))
+				cur = nil
+			}
+		}
+		if len(cur) > 0 {
+			d.Append(itemset.New(cur...))
+		}
+		if d.Len() == 0 {
+			t.Skip()
+		}
+		res := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
+		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
+			t.Fatalf("disagreement at minCount=%d on %v: %v", minCount, d.Transactions(), err)
+		}
+		// supports reported for MFS elements are exact
+		for i, m := range res.MFS {
+			if res.MFSSupports[i] != d.Support(m) {
+				t.Fatalf("support(%v) = %d, want %d", m, res.MFSSupports[i], d.Support(m))
+			}
+		}
+		// the pure variant agrees too
+		popt := DefaultOptions()
+		popt.Pure = true
+		pres := MineCount(dataset.NewScanner(d), minCount, popt)
+		if err := mfi.VerifyAgainst(pres.MFS, ares.MFS); err != nil {
+			t.Fatalf("pure variant disagrees at minCount=%d: %v", minCount, err)
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"pincer/internal/apriori"
+	"pincer/internal/itemset"
+)
+
+// mfsView is the read-side of the discovered maximal frequent itemsets the
+// candidate generator needs: subset tests against MFS elements.
+//
+// The collection is a *lazy* antichain: harvested MFCS elements are almost
+// always pairwise incomparable already (frequent MFCS elements are maximal
+// and the MFCS is an antichain), so add only rejects exact duplicates in
+// O(1) instead of running subset tests against every entry — with many
+// thousands of maximal itemsets the eager variant turns harvesting
+// quadratic. Rare comparable pairs (possible only across a pass-2 batch
+// rebuild) are harmless: containsSuperset answers identically, and the
+// miner's finish() runs a final MaximalOnly.
+type mfsView struct {
+	numItems int
+	sets     []itemset.Itemset
+	bits     []*itemset.Bitset
+	keys     map[string]bool
+}
+
+func newMFSView(numItems int) *mfsView {
+	return &mfsView{numItems: numItems, keys: make(map[string]bool)}
+}
+
+// add records a new maximal frequent itemset; exact duplicates are ignored.
+func (v *mfsView) add(s itemset.Itemset) bool {
+	k := s.Key()
+	if v.keys[k] {
+		return false
+	}
+	v.keys[k] = true
+	v.sets = append(v.sets, s)
+	v.bits = append(v.bits, itemset.BitsetOf(v.numItems, s))
+	return true
+}
+
+// containsSuperset reports whether x is a subset of some MFS element —
+// Observation 2: x is then known frequent and need not be examined.
+func (v *mfsView) containsSuperset(x itemset.Itemset) bool {
+	xb := itemset.BitsetOf(v.numItems, x)
+	return v.containsSupersetBits(xb)
+}
+
+func (v *mfsView) containsSupersetBits(xb *itemset.Bitset) bool {
+	for _, b := range v.bits {
+		if xb.IsSubsetOf(b) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *mfsView) len() int { return len(v.sets) }
+
+// recover implements the paper's recovery procedure (§3.4). After subsets
+// of MFS elements are removed from L_k, the plain join can miss candidates;
+// for each surviving Y ∈ L_k and each MFS element X longer than k whose
+// items include Y's (k-1)-prefix, the k-subsets of X sharing that prefix
+// are reconstructed and joined with Y, i.e. the candidates Y ∪ {x_i} for
+// every item x_i of X past the prefix.
+func recoverCandidates(lk []itemset.Itemset, mfs *mfsView, k int, emit func(itemset.Itemset)) {
+	if k < 2 {
+		// Pass 1 never needs recovery: pass 2 counts all pairs of frequent
+		// items without candidate generation (§4.1.1).
+		return
+	}
+	for _, y := range lk {
+		prefix := y[:k-1]
+		last := y[k-1]
+		for _, x := range mfs.sets {
+			if len(x) <= k {
+				continue
+			}
+			if !prefix.IsSubsetOf(x) {
+				continue
+			}
+			j := x.IndexOf(prefix[len(prefix)-1])
+			for idx := j + 1; idx < len(x); idx++ {
+				if x[idx] == last {
+					continue
+				}
+				emit(y.With(x[idx]))
+			}
+		}
+	}
+}
+
+// pruneState carries what the new prune procedure consults.
+type pruneState struct {
+	lk  *itemset.Set // surviving frequent k-itemsets
+	mfs *mfsView
+}
+
+// keepCandidate applies the paper's new prune procedure (§3.4) with the
+// correction described in DESIGN.md §2: a candidate is dropped if it is a
+// subset of an MFS element (known frequent — Observation 2), or if one of
+// its k-subsets is infrequent. Because L_k has had subsets of MFS elements
+// removed, "k-subset is frequent" must be tested as "in L_k OR a subset of
+// an MFS element"; the paper's literal line 6 (∉ L_k alone) would delete
+// the very candidates the recovery procedure restores — including the
+// paper's own §3.4 example {2,4,5,6}, whose 3-subset {2,4,5} was removed
+// from L_3 as a subset of the maximal frequent itemset {1,2,3,4,5}.
+func (p *pruneState) keepCandidate(c itemset.Itemset) bool {
+	if p.mfs.containsSuperset(c) {
+		return false
+	}
+	keep := true
+	c.Facets(func(f itemset.Itemset) {
+		if !keep {
+			return
+		}
+		if p.lk.Contains(f) {
+			return
+		}
+		if p.mfs.containsSuperset(f) {
+			return
+		}
+		keep = false
+	})
+	return keep
+}
+
+// generateCandidates produces C_{k+1} from the surviving L_k: the
+// Apriori-gen join, the recovery procedure (when anything was removed from
+// L_k), and the new prune (paper §3.4's three steps).
+func generateCandidates(lk []itemset.Itemset, mfs *mfsView, k int, removedAny, disableRecovery bool) []itemset.Itemset {
+	itemset.SortItemsets(lk)
+	seen := itemset.NewSet(0)
+	var raw []itemset.Itemset
+	for _, c := range apriori.Join(lk) {
+		if !seen.Contains(c) {
+			seen.Add(c)
+			raw = append(raw, c)
+		}
+	}
+	if removedAny && !disableRecovery {
+		recoverCandidates(lk, mfs, k, func(c itemset.Itemset) {
+			if !seen.Contains(c) {
+				seen.Add(c)
+				raw = append(raw, c)
+			}
+		})
+	}
+	ps := &pruneState{lk: itemset.SetOf(lk...), mfs: mfs}
+	out := raw[:0]
+	for _, c := range raw {
+		if ps.keepCandidate(c) {
+			out = append(out, c)
+		}
+	}
+	itemset.SortItemsets(out)
+	return out
+}

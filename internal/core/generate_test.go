@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"pincer/internal/itemset"
+)
+
+// TestRecoveryPaperExample replays §3.4: MFS = {{1,2,3,4,5}}, surviving
+// L_3 = {{2,4,6},{2,5,6},{4,5,6}}; the join yields nothing, and the
+// recovery procedure must produce exactly {2,4,5,6}.
+func TestRecoveryPaperExample(t *testing.T) {
+	mfs := newMFSView(8)
+	mfs.add(itemset.New(1, 2, 3, 4, 5))
+	l3 := []itemset.Itemset{itemset.New(2, 4, 6), itemset.New(2, 5, 6), itemset.New(4, 5, 6)}
+
+	got := generateCandidates(l3, mfs, 3, true, false)
+	if len(got) != 1 || !got[0].Equal(itemset.New(2, 4, 5, 6)) {
+		t.Fatalf("candidates = %v, want [{2,4,5,6}]", got)
+	}
+}
+
+// TestPruneKeepsRecoveredCandidate is the regression test for DESIGN.md §2
+// issue 1: the candidate {2,4,5,6} has the 3-subset {2,4,5} which is NOT in
+// L_3 (it was removed as a subset of the maximal frequent itemset
+// {1,2,3,4,5}); the paper's literal prune would delete it, ours must not.
+func TestPruneKeepsRecoveredCandidate(t *testing.T) {
+	mfs := newMFSView(8)
+	mfs.add(itemset.New(1, 2, 3, 4, 5))
+	ps := &pruneState{
+		lk:  itemset.SetOf(itemset.New(2, 4, 6), itemset.New(2, 5, 6), itemset.New(4, 5, 6)),
+		mfs: mfs,
+	}
+	if !ps.keepCandidate(itemset.New(2, 4, 5, 6)) {
+		t.Fatal("recovered candidate pruned: the literal paper prune bug")
+	}
+	// a candidate fully inside the MFS element is known frequent: pruned
+	if ps.keepCandidate(itemset.New(2, 3, 4, 5)) {
+		t.Fatal("subset of MFS element not pruned")
+	}
+	// a candidate with a genuinely infrequent subset is pruned
+	if ps.keepCandidate(itemset.New(2, 4, 6, 7)) {
+		t.Fatal("candidate with infrequent subset {2,4,7} kept")
+	}
+}
+
+func TestGenerateWithoutRemovalsMatchesAprioriGen(t *testing.T) {
+	// With nothing removed from L_k, generation must reduce to Apriori-gen.
+	lk := []itemset.Itemset{
+		itemset.New(1, 2, 3), itemset.New(1, 2, 4), itemset.New(1, 3, 4),
+		itemset.New(1, 3, 5), itemset.New(2, 3, 4),
+	}
+	got := generateCandidates(lk, newMFSView(8), 3, false, false)
+	if len(got) != 1 || !got[0].Equal(itemset.New(1, 2, 3, 4)) {
+		t.Fatalf("candidates = %v, want [{1,2,3,4}]", got)
+	}
+}
+
+func TestGenerateDisableRecovery(t *testing.T) {
+	mfs := newMFSView(8)
+	mfs.add(itemset.New(1, 2, 3, 4, 5))
+	l3 := []itemset.Itemset{itemset.New(2, 4, 6), itemset.New(2, 5, 6), itemset.New(4, 5, 6)}
+	got := generateCandidates(l3, mfs, 3, true, true)
+	if len(got) != 0 {
+		t.Fatalf("recovery disabled but candidates = %v", got)
+	}
+}
+
+func TestRecoverySkipsShortMFSElements(t *testing.T) {
+	// Elements of length ≤ k contribute no k-subsets with a (k-1)-prefix
+	// plus an extra item.
+	mfs := newMFSView(8)
+	mfs.add(itemset.New(1, 2, 3))
+	var got []itemset.Itemset
+	recoverCandidates([]itemset.Itemset{itemset.New(1, 2, 7)}, mfs, 3, func(c itemset.Itemset) {
+		got = append(got, c)
+	})
+	if len(got) != 0 {
+		t.Fatalf("recovered %v from a too-short MFS element", got)
+	}
+}
+
+func TestRecoveryPassOneIsNoop(t *testing.T) {
+	mfs := newMFSView(8)
+	mfs.add(itemset.New(1, 2, 3))
+	called := false
+	recoverCandidates([]itemset.Itemset{itemset.New(5)}, mfs, 1, func(itemset.Itemset) { called = true })
+	if called {
+		t.Fatal("recovery ran at pass 1")
+	}
+}
+
+func TestRecoveryMultipleElements(t *testing.T) {
+	// Y={2,4,6}: against X1={1,2,3,4,5} recovers {2,4,5,6};
+	// against X2={2,4,7,8} recovers {2,4,6,7} and {2,4,6,8}.
+	mfs := newMFSView(10)
+	mfs.add(itemset.New(1, 2, 3, 4, 5))
+	mfs.add(itemset.New(2, 4, 7, 8))
+	var got []itemset.Itemset
+	recoverCandidates([]itemset.Itemset{itemset.New(2, 4, 6)}, mfs, 3, func(c itemset.Itemset) {
+		got = append(got, c.Clone())
+	})
+	itemset.SortItemsets(got)
+	want := []itemset.Itemset{itemset.New(2, 4, 5, 6), itemset.New(2, 4, 6, 7), itemset.New(2, 4, 6, 8)}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("recovered[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMFSViewDedupAndQueries(t *testing.T) {
+	v := newMFSView(8)
+	if !v.add(itemset.New(1, 2)) {
+		t.Fatal("first add failed")
+	}
+	if v.add(itemset.New(1, 2)) {
+		t.Fatal("exact duplicate accepted")
+	}
+	if !v.add(itemset.New(1, 2, 3)) {
+		t.Fatal("second add failed")
+	}
+	if v.len() != 2 {
+		t.Fatalf("len = %d, want 2 (lazy antichain keeps both)", v.len())
+	}
+	if !v.containsSuperset(itemset.New(2, 3)) {
+		t.Fatal("containsSuperset({2,3}) = false")
+	}
+	if !v.containsSuperset(itemset.New(1, 2)) {
+		t.Fatal("containsSuperset({1,2}) = false")
+	}
+	if v.containsSuperset(itemset.New(4)) {
+		t.Fatal("containsSuperset({4}) = true")
+	}
+	if v.containsSuperset(itemset.New(1, 2, 3, 4)) {
+		t.Fatal("containsSuperset of a strict superset = true")
+	}
+}

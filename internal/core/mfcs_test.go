@@ -1,0 +1,342 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/itemset"
+)
+
+func newTestMFCS(numItems int, initial ...itemset.Itemset) *MFCS {
+	m := NewMFCS(numItems, 2, 0, nil)
+	if len(initial) > 0 {
+		m.Replace(initial)
+	}
+	return m
+}
+
+func elementsOf(m *MFCS) []itemset.Itemset {
+	return m.Elements()
+}
+
+func TestNewMFCSStartsWithUniverse(t *testing.T) {
+	m := NewMFCS(5, 2, 0, nil)
+	es := elementsOf(m)
+	if len(es) != 1 || !es[0].Equal(itemset.Range(0, 5)) {
+		t.Fatalf("initial MFCS = %v", es)
+	}
+	if m.Len() != 1 || m.Exploded() {
+		t.Fatalf("Len=%d Exploded=%v", m.Len(), m.Exploded())
+	}
+	// empty universe
+	if NewMFCS(0, 2, 0, nil).Len() != 0 {
+		t.Fatal("empty universe MFCS not empty")
+	}
+}
+
+// TestMFCSGenPaperExample replays the worked example of §3.2: MFCS
+// {{1,2,3,4,5,6}}, new infrequent itemsets {1,6} then {3,6}, expected
+// result {{1,2,3,4,5},{2,4,5,6}}.
+func TestMFCSGenPaperExample(t *testing.T) {
+	m := newTestMFCS(7, itemset.New(1, 2, 3, 4, 5, 6))
+	m.Split(itemset.New(1, 6))
+	got := m.Elements()
+	itemset.SortItemsets(got)
+	want := []itemset.Itemset{itemset.New(1, 2, 3, 4, 5), itemset.New(2, 3, 4, 5, 6)}
+	if len(got) != 2 || !got[0].Equal(want[0]) || !got[1].Equal(want[1]) {
+		t.Fatalf("after {1,6}: %v, want %v", got, want)
+	}
+	m.Split(itemset.New(3, 6))
+	got = m.Elements()
+	itemset.SortItemsets(got)
+	want = []itemset.Itemset{itemset.New(1, 2, 3, 4, 5), itemset.New(2, 4, 5, 6)}
+	if len(got) != 2 || !got[0].Equal(want[0]) || !got[1].Equal(want[1]) {
+		t.Fatalf("after {3,6}: %v, want %v", got, want)
+	}
+}
+
+func TestMFCSPassOneManyLevels(t *testing.T) {
+	// §3.1: m infrequent 1-itemsets take the single element down m levels in
+	// one update.
+	m := NewMFCS(10, 2, 0, nil)
+	m.Update([]itemset.Itemset{itemset.New(3), itemset.New(7), itemset.New(9)})
+	es := elementsOf(m)
+	if len(es) != 1 || !es[0].Equal(itemset.New(0, 1, 2, 4, 5, 6, 8)) {
+		t.Fatalf("MFCS = %v", es)
+	}
+}
+
+func TestMFCSSplitNoElementContainsS(t *testing.T) {
+	m := newTestMFCS(6, itemset.New(1, 2, 3))
+	m.Split(itemset.New(4, 5)) // disjoint: no-op
+	if es := elementsOf(m); len(es) != 1 || !es[0].Equal(itemset.New(1, 2, 3)) {
+		t.Fatalf("MFCS = %v", es)
+	}
+}
+
+func TestMFCSSplitMultipleElements(t *testing.T) {
+	m := newTestMFCS(8, itemset.New(1, 2, 3, 4), itemset.New(2, 3, 5, 6))
+	m.Split(itemset.New(2, 3)) // hits both elements
+	es := m.Elements()
+	if !itemset.IsAntichain(es) {
+		t.Fatalf("not an antichain: %v", es)
+	}
+	for _, e := range es {
+		if itemset.New(2, 3).IsSubsetOf(e) {
+			t.Fatalf("element %v still contains the infrequent itemset", e)
+		}
+	}
+	// coverage: itemsets not containing {2,3} stay covered
+	for _, x := range []itemset.Itemset{itemset.New(1, 2, 4), itemset.New(3, 5, 6), itemset.New(1, 3, 4), itemset.New(2, 5, 6)} {
+		if !m.Covers(x) {
+			t.Errorf("%v lost coverage: %v", x, es)
+		}
+	}
+}
+
+func TestMFCSAddKeepsAntichain(t *testing.T) {
+	// The §3.2 example's own subtlety: a generated subset that is covered
+	// by another element must be dropped.
+	m := newTestMFCS(8, itemset.New(1, 2, 3, 4, 5), itemset.New(2, 3, 4, 5, 6))
+	m.Split(itemset.New(3, 6))
+	// {2,3,4,5,6} splits to {2,4,5,6} and {2,3,4,5}; the latter is inside
+	// {1,2,3,4,5} and must vanish.
+	got := m.Elements()
+	itemset.SortItemsets(got)
+	if len(got) != 2 || !got[0].Equal(itemset.New(1, 2, 3, 4, 5)) || !got[1].Equal(itemset.New(2, 4, 5, 6)) {
+		t.Fatalf("MFCS = %v", got)
+	}
+}
+
+func TestMFCSSplitSelf(t *testing.T) {
+	m := newTestMFCS(6, itemset.New(1, 2, 3))
+	e := m.elems[0]
+	e.state = stateInfrequent
+	m.SplitSelf(e)
+	got := m.Elements()
+	itemset.SortItemsets(got)
+	want := []itemset.Itemset{itemset.New(1, 2), itemset.New(1, 3), itemset.New(2, 3)}
+	if len(got) != 3 {
+		t.Fatalf("SplitSelf = %v", got)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("SplitSelf[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// singleton splits to nothing
+	m2 := newTestMFCS(6, itemset.New(4))
+	m2.SplitSelf(m2.elems[0])
+	if m2.Len() != 0 {
+		t.Fatalf("singleton SplitSelf left %v", m2.Elements())
+	}
+}
+
+func TestMFCSCapExplodes(t *testing.T) {
+	m := NewMFCS(8, 2, 2, nil)
+	// splitting the universe element by a long infrequent itemset makes
+	// many replacements
+	m.Update([]itemset.Itemset{itemset.New(0, 1, 2, 3)})
+	if !m.Exploded() {
+		t.Fatalf("cap 2 not exceeded: %d elements", m.Len())
+	}
+	// further updates are no-ops once exploded
+	n := m.Len()
+	m.Split(itemset.New(4, 5))
+	if m.Len() != n {
+		t.Fatal("Split mutated an exploded MFCS")
+	}
+}
+
+func TestMFCSResolver(t *testing.T) {
+	resolved := map[string]int64{
+		itemset.New(1, 2).Key(): 5,
+		itemset.New(3).Key():    1,
+	}
+	resolve := func(s itemset.Itemset) (int64, bool) {
+		c, ok := resolved[s.Key()]
+		return c, ok
+	}
+	m := NewMFCS(4, 2, 0, resolve)
+	m.Replace([]itemset.Itemset{itemset.New(1, 2), itemset.New(3)})
+	if len(m.Uncounted()) != 0 {
+		t.Fatalf("resolver left uncounted: %v", m.Uncounted())
+	}
+	if fr := m.FrequentElements(); len(fr) != 1 || !fr[0].Equal(itemset.New(1, 2)) {
+		t.Fatalf("FrequentElements = %v", fr)
+	}
+	if in := m.Infrequent(); len(in) != 1 || !in[0].set.Equal(itemset.New(3)) {
+		t.Fatalf("Infrequent = %v", in)
+	}
+}
+
+// TestQuickMFCSGenInvariants checks Definition 1 on random update streams:
+// after feeding random infrequent itemsets, the MFCS is an antichain, no
+// element contains an infrequent itemset, and every itemset that contains
+// no infrequent subset remains covered.
+func TestQuickMFCSGenInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 4 + r.Intn(6)
+		m := NewMFCS(universe, 2, 0, nil)
+		var infrequents []itemset.Itemset
+		for i := 0; i < 2+r.Intn(8); i++ {
+			s := randomNonEmpty(r, universe, 3)
+			infrequents = append(infrequents, s)
+			m.Split(s)
+		}
+		es := m.Elements()
+		if !itemset.IsAntichain(es) {
+			return false
+		}
+		for _, e := range es {
+			for _, s := range infrequents {
+				if s.IsSubsetOf(e) {
+					return false
+				}
+			}
+		}
+		// coverage of all "possibly frequent" itemsets (≤4 items to bound cost)
+		full := itemset.Range(0, itemset.Item(universe))
+		ok := true
+		for k := 1; k <= 4 && k <= universe && ok; k++ {
+			full.EachSubsetOfSize(k, func(x itemset.Itemset) {
+				if !ok {
+					return
+				}
+				for _, s := range infrequents {
+					if s.IsSubsetOf(x) {
+						return // known infrequent: no coverage required
+					}
+				}
+				if !m.Covers(x) {
+					ok = false
+				}
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCliqueRebuildMatchesIncremental verifies the algebraic
+// equivalence that makes Pincer-Search practical on scattered data: the
+// batch rebuild (maximal cliques of the frequent-pair graph) equals the
+// paper's incremental MFCS-gen fed every infrequent pair.
+func TestQuickCliqueRebuildMatchesIncremental(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(9)
+		vertices := itemset.Range(0, itemset.Item(n))
+		edge := make(map[[2]itemset.Item]bool)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) > 0 {
+					edge[[2]itemset.Item{itemset.Item(i), itemset.Item(j)}] = true
+				}
+			}
+		}
+		isEdge := func(a, b itemset.Item) bool {
+			if a > b {
+				a, b = b, a
+			}
+			return edge[[2]itemset.Item{a, b}]
+		}
+		// incremental: start from the universe element, split by every
+		// infrequent pair
+		inc := NewMFCS(n, 2, 0, nil)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if !isEdge(itemset.Item(i), itemset.Item(j)) {
+					inc.Split(itemset.New(itemset.Item(i), itemset.Item(j)))
+				}
+			}
+		}
+		// batch: Bron–Kerbosch
+		batch := NewMFCS(n, 2, 0, nil)
+		if !batch.RebuildFromPairGraph(vertices, isEdge, 0) {
+			return false
+		}
+		a, b := inc.Elements(), batch.Elements()
+		itemset.SortItemsets(a)
+		itemset.SortItemsets(b)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueBudgetAborts(t *testing.T) {
+	m := NewMFCS(12, 2, 0, nil)
+	vertices := itemset.Range(0, 12)
+	allEdges := func(a, b itemset.Item) bool { return true }
+	if !m.RebuildFromPairGraph(vertices, allEdges, 0) {
+		t.Fatal("unlimited budget failed on complete graph")
+	}
+	if m.Len() != 1 || !m.Elements()[0].Equal(vertices) {
+		t.Fatalf("complete graph cliques = %v", m.Elements())
+	}
+	m2 := NewMFCS(12, 2, 0, nil)
+	if m2.RebuildFromPairGraph(vertices, allEdges, 2) {
+		t.Fatal("tiny budget did not abort")
+	}
+	if !m2.Exploded() {
+		t.Fatal("aborted rebuild did not mark exploded")
+	}
+}
+
+func TestCliqueCapAborts(t *testing.T) {
+	// a perfect matching has n/2 maximal 2-cliques
+	m := NewMFCS(10, 2, 3, nil)
+	ok := m.RebuildFromPairGraph(itemset.Range(0, 10), func(a, b itemset.Item) bool {
+		return b == a+1 && a%2 == 0
+	}, 0)
+	if ok || !m.Exploded() {
+		t.Fatalf("cap 3 with 5 cliques: ok=%v exploded=%v", ok, m.Exploded())
+	}
+}
+
+func TestCliqueIsolatedVerticesAreSingletons(t *testing.T) {
+	m := NewMFCS(4, 2, 0, nil)
+	// only edge 0-1; 2 and 3 isolated
+	m.RebuildFromPairGraph(itemset.Range(0, 4), func(a, b itemset.Item) bool {
+		return (a == 0 && b == 1) || (a == 1 && b == 0)
+	}, 0)
+	got := m.Elements()
+	itemset.SortItemsets(got)
+	want := []itemset.Itemset{itemset.New(0, 1), itemset.New(2), itemset.New(3)}
+	if len(got) != 3 {
+		t.Fatalf("cliques = %v", got)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("clique[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func randomNonEmpty(r *rand.Rand, universe, maxLen int) itemset.Itemset {
+	for {
+		n := 1 + r.Intn(maxLen)
+		items := make([]itemset.Item, n)
+		for i := range items {
+			items[i] = itemset.Item(r.Intn(universe))
+		}
+		s := itemset.New(items...)
+		if len(s) > 0 {
+			return s
+		}
+	}
+}

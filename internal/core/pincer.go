@@ -1,0 +1,584 @@
+package core
+
+import (
+	"time"
+
+	"pincer/internal/apriori"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// Options configures a Pincer-Search run.
+type Options struct {
+	// Engine selects the support-counting structure for bottom-up
+	// candidates in passes ≥ 3 (default: hash tree).
+	Engine counting.Engine
+	// Pure disables the adaptive policy: no caps, MFCS is maintained to the
+	// bitter end (paper §3.5 calls this the "pure" version; the evaluated
+	// algorithm is the adaptive one).
+	Pure bool
+	// MFCSCap bounds |MFCS|; exceeding it makes the adaptive algorithm
+	// abandon the MFCS and degrade to bottom-up search (0 = unlimited).
+	MFCSCap int
+	// CliqueNodeBudget bounds the pass-2 maximal-clique enumeration
+	// (recursion states); exhausting it likewise abandons the MFCS.
+	CliqueNodeBudget int
+	// IncrementalSplitMax selects the pass-2 MFCS-gen strategy: at most
+	// this many infrequent pairs are fed through the paper's incremental
+	// MFCS-gen; beyond it the batch (maximal-clique) rebuild runs instead.
+	// Both compute the same set — see clique.go.
+	IncrementalSplitMax int
+	// KeepFrequent retains every explicitly counted frequent itemset (with
+	// support) in the result. Pincer-Search's point is that this set can be
+	// far smaller than the full frequent set.
+	KeepFrequent bool
+	// DisableRecovery skips the recovery procedure (§3.4) — for ablation
+	// only. The tail phase still makes the output correct; the bottom-up
+	// search just loses candidates and more work shifts to the MFCS.
+	DisableRecovery bool
+	// MaxTailPasses bounds the MFCS-only passes after the bottom-up search
+	// exhausts (0 = unlimited). If exceeded, the run falls back to Apriori
+	// to guarantee a correct result.
+	MaxTailPasses int
+	// MFSCap bounds the number of maximal frequent itemsets the MFCS path
+	// tracks; a maximum frequent set that large means the distribution is
+	// hostile to Pincer-Search and the run falls back to Apriori
+	// (0 = unlimited, implied by Pure).
+	MFSCap int
+	// CombineAfterAbandon implements the rest of §3.5's adaptive sentence:
+	// once the MFCS is abandoned ("we may simply count candidates of
+	// different sizes in one pass, as in [3] and [12]"), the degraded
+	// bottom-up search counts two candidate levels per pass when the
+	// candidate set is small (≤ CombineThreshold, default 10000).
+	CombineAfterAbandon bool
+	// CombineThreshold is the candidate ceiling for the combined passes.
+	CombineThreshold int
+}
+
+// DefaultOptions returns the adaptive configuration evaluated in the paper.
+// The caps embody §3.5's adaptive policy: when the MFCS (or the MFS it
+// discovers) grows so large that maintaining it is counterproductive, the
+// run degrades to bottom-up search.
+func DefaultOptions() Options {
+	return Options{
+		Engine:              counting.EngineHashTree,
+		MFCSCap:             10_000,
+		CliqueNodeBudget:    1_000_000,
+		IncrementalSplitMax: 256,
+		KeepFrequent:        true,
+		MFSCap:              50_000,
+		CombineAfterAbandon: true,
+		CombineThreshold:    10_000,
+	}
+}
+
+// Mine runs Pincer-Search at a fractional minimum support.
+func Mine(sc dataset.Scanner, minSupport float64, opt Options) *mfi.Result {
+	return MineCount(sc, dataset.MinCountFor(sc.Len(), minSupport), opt)
+}
+
+// MineCount runs Pincer-Search with an absolute support-count threshold and
+// returns the maximum frequent set.
+func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
+	m := &miner{
+		sc:       sc,
+		opt:      opt,
+		minCount: minCount,
+		cache:    make(map[string]int64),
+		res: &mfi.Result{
+			MinCount:        minCount,
+			NumTransactions: sc.Len(),
+			Frequent:        itemset.NewSet(0),
+		},
+	}
+	m.res.Stats.Algorithm = "pincer"
+	start := time.Now()
+	m.run()
+	m.res.Stats.Duration = time.Since(start)
+	return m.res
+}
+
+type miner struct {
+	sc       dataset.Scanner
+	opt      Options
+	minCount int64
+	res      *mfi.Result
+
+	mfcs *MFCS
+	mfs  *mfsView
+	// mfsAtPass records, parallel to mfs additions, nothing — supports are
+	// kept in cache; allFrequent keeps every explicitly discovered frequent
+	// itemset for the defensive final merge.
+	allFrequent []itemset.Itemset
+	cache       map[string]int64 // every support this run has determined
+	itemCounts  []int64          // pass-1 array
+	tri         *counting.Triangle
+
+	abandoned bool // adaptive policy dropped the MFCS
+	fellBack  bool // full Apriori fallback produced the result
+
+	// lastMFCSCounted is the number of MFCS elements counted by the most
+	// recent countPass, for the per-pass statistics.
+	lastMFCSCounted int
+}
+
+// resolveSupport is the MFCS SupportResolver: pass-1 array, pass-2
+// triangle, then the cache of everything counted so far.
+func (m *miner) resolveSupport(s itemset.Itemset) (int64, bool) {
+	switch len(s) {
+	case 0:
+		return int64(m.sc.Len()), true
+	case 1:
+		if m.itemCounts != nil {
+			return m.itemCounts[s[0]], true
+		}
+	case 2:
+		if m.tri != nil {
+			// Count returns 0 for pairs involving an infrequent item; the
+			// exact value is unknown but the pair is certainly infrequent,
+			// so classification (all the resolver is used for) is sound.
+			return m.tri.Count(s[0], s[1]), true
+		}
+	}
+	c, ok := m.cache[s.Key()]
+	return c, ok
+}
+
+func (m *miner) noteFrequent(x itemset.Itemset, count int64) {
+	m.allFrequent = append(m.allFrequent, x)
+	m.cache[x.Key()] = count
+	if m.opt.KeepFrequent {
+		m.res.Frequent.AddWithCount(x, count)
+	}
+}
+
+// harvest moves newly classified frequent MFCS elements into the MFS and
+// returns how many were new.
+func (m *miner) harvest() int {
+	found := 0
+	for _, e := range m.mfcs.elems {
+		if e.state == stateFrequent && !e.harvested {
+			e.harvested = true
+			m.cache[e.set.Key()] = e.count
+			if m.mfs.add(e.set) {
+				found++
+			}
+		}
+	}
+	return found
+}
+
+// settle records counted supports on elements and in the cache.
+func (m *miner) settle(elems []*element, counts []int64) {
+	for i, e := range elems {
+		e.markCounted(counts[i], m.minCount)
+		m.cache[e.set.Key()] = counts[i]
+	}
+}
+
+// filterByMFS implements line 8 of the main algorithm: frequent itemsets
+// that are subsets of MFS elements leave the bottom-up search. It reports
+// whether anything was removed (the trigger for the recovery procedure).
+func (m *miner) filterByMFS(frequent []itemset.Itemset) ([]itemset.Itemset, bool) {
+	if m.mfs.len() == 0 {
+		return frequent, false
+	}
+	out := frequent[:0]
+	removed := false
+	for _, x := range frequent {
+		if m.mfs.containsSuperset(x) {
+			removed = true
+		} else {
+			out = append(out, x)
+		}
+	}
+	return out, removed
+}
+
+// countPass performs one database read, counting the bottom-up candidates
+// (if any) and the uncounted MFCS elements together, exactly as the paper's
+// line 6 prescribes. It returns the candidate counts.
+func (m *miner) countPass(candidates []itemset.Itemset) []int64 {
+	var counter counting.Counter
+	if len(candidates) > 0 {
+		counter = counting.NewCounter(m.opt.Engine, candidates)
+	}
+	var uncounted []*element
+	if !m.abandoned {
+		uncounted = m.mfcs.Uncounted()
+	}
+	var elemCounter counting.Counter
+	var elemCounts []int64
+	direct := len(uncounted) <= 16
+	if !direct && len(uncounted) > 0 {
+		sets := make([]itemset.Itemset, len(uncounted))
+		for i, e := range uncounted {
+			sets[i] = e.set
+		}
+		// MFCS elements form an antichain, so no element is a prefix of
+		// another and the trie handles the mixed lengths safely.
+		elemCounter = counting.NewTrie(sets)
+	}
+	if direct {
+		elemCounts = make([]int64, len(uncounted))
+	}
+	m.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		if counter != nil {
+			counter.Add(tx)
+		}
+		if elemCounter != nil {
+			elemCounter.Add(tx)
+		} else {
+			for i, e := range uncounted {
+				if e.bits.IsSubsetOf(bits) {
+					elemCounts[i]++
+				}
+			}
+		}
+	})
+	if elemCounter != nil {
+		elemCounts = elemCounter.Counts()
+	}
+	if len(uncounted) > 0 {
+		m.settle(uncounted, elemCounts)
+	}
+	m.lastMFCSCounted = len(uncounted)
+	if counter != nil {
+		return counter.Counts()
+	}
+	return nil
+}
+
+func (m *miner) run() {
+	n := m.sc.NumItems()
+	cap := m.opt.MFCSCap
+	budget := m.opt.CliqueNodeBudget
+	if m.opt.Pure {
+		cap, budget = 0, 0
+	}
+	m.mfcs = NewMFCS(n, m.minCount, cap, m.resolveSupport)
+	m.mfs = newMFSView(n)
+
+	// ---- Pass 1: flat item array + the initial MFCS element ----
+	array := counting.NewItemArray(n)
+	uncounted := m.mfcs.Uncounted()
+	elemCounts := make([]int64, len(uncounted))
+	m.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		array.Add(tx)
+		for i, e := range uncounted {
+			if e.bits.IsSubsetOf(bits) {
+				elemCounts[i]++
+			}
+		}
+	})
+	m.itemCounts = array.Counts()
+	m.settle(uncounted, elemCounts)
+	found := m.harvest()
+	var l1 itemset.Itemset
+	var s1 []itemset.Itemset
+	for i, c := range m.itemCounts {
+		if c >= m.minCount {
+			l1 = append(l1, itemset.Item(i))
+			m.noteFrequent(itemset.Itemset{itemset.Item(i)}, c)
+		} else {
+			s1 = append(s1, itemset.Itemset{itemset.Item(i)})
+		}
+	}
+	// MFCS-gen on the infrequent items: the top-down search drops |s1|
+	// levels in this single pass (paper §3.1).
+	m.mfcs.Update(s1)
+	found += m.harvest()
+	m.res.Stats.AddPass(mfi.PassStats{
+		Candidates: n, MFCSCandidates: len(uncounted), Frequent: len(l1), MFSFound: found,
+	})
+	if len(l1) < 2 {
+		m.finish()
+		return
+	}
+	// After pass 1 the MFCS holds a single element. If it is already
+	// frequent it covers every frequent item, every itemset over them is
+	// frequent, and the MFS is complete after one database read.
+	if m.mfs.len() > 0 {
+		singles := make([]itemset.Itemset, len(l1))
+		for i, it := range l1 {
+			singles[i] = itemset.Itemset{it}
+		}
+		if rest, _ := m.filterByMFS(singles); len(rest) == 0 {
+			m.finish()
+			return
+		}
+	}
+
+	// ---- Pass 2: triangular pair matrix + uncounted MFCS elements ----
+	tri := counting.NewTriangle(n, l1)
+	uncounted = m.mfcs.Uncounted()
+	elemCounts = make([]int64, len(uncounted))
+	m.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		tri.Add(tx)
+		for i, e := range uncounted {
+			if e.bits.IsSubsetOf(bits) {
+				elemCounts[i]++
+			}
+		}
+	})
+	m.tri = tri
+	m.settle(uncounted, elemCounts)
+	found = m.harvest()
+	var l2 []itemset.Itemset
+	infreqPairs := 0
+	tri.Each(func(x, y itemset.Item, count int64) {
+		if count >= m.minCount {
+			pair := itemset.Itemset{x, y}
+			l2 = append(l2, pair)
+			m.noteFrequent(pair, count)
+		} else {
+			infreqPairs++
+		}
+	})
+	frequentL2 := l2 // unfiltered, for a potential pass-2 abandonment
+
+	// MFCS-gen for pass 2: incremental splits when the infrequent-pair set
+	// is small, the algebraically equivalent maximal-clique rebuild when it
+	// is large (see clique.go).
+	if infreqPairs > 0 {
+		if infreqPairs <= m.opt.IncrementalSplitMax || m.opt.Pure {
+			var s2 []itemset.Itemset
+			tri.Each(func(x, y itemset.Item, count int64) {
+				if count < m.minCount {
+					s2 = append(s2, itemset.Itemset{x, y})
+				}
+			})
+			m.mfcs.Update(s2)
+		} else {
+			m.mfcs.RebuildFromPairGraph(l1, func(a, b itemset.Item) bool {
+				return tri.Count(a, b) >= m.minCount
+			}, budget)
+		}
+	}
+	if m.mfcs.Exploded() {
+		l2 = m.abandon(frequentL2)
+		if m.fellBack {
+			return
+		}
+	}
+	found += m.harvest()
+	m.res.Stats.AddPass(mfi.PassStats{
+		Candidates: tri.NumPairs(), MFCSCandidates: len(uncounted), Frequent: len(frequentL2), MFSFound: found,
+	})
+
+	removedAny := false
+	if !m.abandoned {
+		l2, removedAny = m.filterByMFS(l2)
+	}
+
+	// ---- Passes ≥ 3: join + recovery + new prune, with MFCS counting ----
+	lk := l2
+	emptyView := newMFSView(n)
+	for k := 2; ; k++ {
+		view := m.mfs
+		if m.abandoned {
+			view = emptyView
+		}
+		ck := generateCandidates(lk, view, k, removedAny, m.opt.DisableRecovery)
+		if len(ck) == 0 && (m.abandoned || len(m.mfcs.Uncounted()) == 0) {
+			break
+		}
+		// §3.5's degraded mode: with no MFCS to maintain, count two levels
+		// per pass while the candidate sets stay small.
+		combineThreshold := m.opt.CombineThreshold
+		if combineThreshold <= 0 {
+			combineThreshold = 10_000
+		}
+		if m.abandoned && m.opt.CombineAfterAbandon && len(ck) > 0 && len(ck) <= combineThreshold {
+			speculative := generateCandidates(ck, emptyView, k+1, false, true)
+			all := ck
+			if len(speculative) > 0 {
+				all = append(append([]itemset.Itemset(nil), ck...), speculative...)
+			}
+			counts := m.countPass(all)
+			var frequentCk, frequentSpec []itemset.Itemset
+			for i, c := range ck {
+				if counts[i] >= m.minCount {
+					frequentCk = append(frequentCk, c)
+					m.noteFrequent(c, counts[i])
+				}
+			}
+			for i, c := range speculative {
+				if counts[len(ck)+i] >= m.minCount {
+					frequentSpec = append(frequentSpec, c)
+					m.noteFrequent(c, counts[len(ck)+i])
+				}
+			}
+			m.res.Stats.AddPass(mfi.PassStats{
+				Candidates: len(all), Frequent: len(frequentCk) + len(frequentSpec),
+			})
+			if len(frequentSpec) == 0 {
+				// The speculative set contains every true next-level
+				// candidate, so nothing survives above level k+1 either.
+				break
+			}
+			k++ // this pass consumed two levels
+			lk = frequentSpec
+			removedAny = false
+			continue
+		}
+		counts := m.countPass(ck)
+		found := m.harvest()
+		var frequentCk, sk []itemset.Itemset
+		for i, c := range ck {
+			if counts[i] >= m.minCount {
+				frequentCk = append(frequentCk, c)
+				m.noteFrequent(c, counts[i])
+			} else {
+				sk = append(sk, c)
+				m.cache[c.Key()] = counts[i]
+			}
+		}
+		if !m.abandoned {
+			m.mfcs.Update(sk)
+			if m.mfcs.Exploded() {
+				frequentCk = m.abandon(frequentCk)
+				if m.fellBack {
+					return
+				}
+			}
+		}
+		found += m.harvest()
+		if m.mfsOverCap() {
+			m.fallbackFullApriori()
+			return
+		}
+		m.res.Stats.AddPass(mfi.PassStats{
+			Candidates: len(ck), MFCSCandidates: m.lastMFCSCounted,
+			Frequent: len(frequentCk), MFSFound: found,
+		})
+		removedAny = false
+		if !m.abandoned {
+			frequentCk, removedAny = m.filterByMFS(frequentCk)
+		}
+		lk = frequentCk
+	}
+
+	if !m.abandoned {
+		m.tailPhase()
+		if m.fellBack {
+			return
+		}
+	}
+	m.finish()
+}
+
+// tailPhase classifies whatever remains of the MFCS once the bottom-up
+// search has exhausted its candidates. Infrequent elements are split one
+// level at a time (the pure top-down step) and the new elements counted in
+// MFCS-only passes until every element is frequent. This restores the
+// Definition-1 invariant the paper's pseudocode can violate (DESIGN.md §2
+// issue 2) and yields the exact-termination argument: at the end every
+// MFCS element is frequent and the closure covers all frequent itemsets,
+// so MFCS = MFS.
+func (m *miner) tailPhase() {
+	for tail := 1; ; tail++ {
+		for _, e := range m.mfcs.Infrequent() {
+			m.mfcs.SplitSelf(e)
+			if m.mfcs.Exploded() {
+				m.fallbackFullApriori()
+				return
+			}
+		}
+		found := m.harvest()
+		if m.mfsOverCap() {
+			m.fallbackFullApriori()
+			return
+		}
+		uncounted := m.mfcs.Uncounted()
+		if len(uncounted) == 0 {
+			if len(m.mfcs.Infrequent()) == 0 {
+				if found > 0 && len(m.res.Stats.PassDetails) > 0 {
+					m.res.Stats.PassDetails[len(m.res.Stats.PassDetails)-1].MFSFound += found
+				}
+				return
+			}
+			continue // resolver classified everything; keep splitting
+		}
+		if m.opt.MaxTailPasses > 0 && tail > m.opt.MaxTailPasses {
+			m.fallbackFullApriori()
+			return
+		}
+		m.countPass(nil)
+		found += m.harvest()
+		m.res.Stats.TailPasses++
+		m.res.Stats.AddPass(mfi.PassStats{
+			MFCSCandidates: m.lastMFCSCounted, MFSFound: found,
+		})
+	}
+}
+
+// mfsOverCap reports whether the discovered maximal-itemset count exceeds
+// the adaptive MFSCap.
+func (m *miner) mfsOverCap() bool {
+	return !m.opt.Pure && m.opt.MFSCap > 0 && m.mfs.len() > m.opt.MFSCap
+}
+
+// abandon implements the adaptive fallback (paper §3.5): the MFCS has grown
+// past its cap, so maintaining it is counterproductive. If no maximal
+// frequent itemset has been discovered yet (the overwhelmingly common case
+// — explosion happens on scattered data in pass 2), the bottom-up state is
+// still complete and the run simply continues as Apriori; the unfiltered
+// frequent set of the current pass is returned as the new L_k. Otherwise
+// bottom-up completeness may already be compromised (subsets of MFS
+// elements were pruned), and the run restarts as a full Apriori.
+func (m *miner) abandon(frequentCk []itemset.Itemset) []itemset.Itemset {
+	m.abandoned = true
+	m.res.Stats.AdaptiveOff = true
+	if m.mfs.len() == 0 {
+		m.mfcs.Replace(nil) // release the exploded structure
+		return frequentCk
+	}
+	m.fallbackFullApriori()
+	return nil
+}
+
+// fallbackFullApriori produces a guaranteed-correct result by running the
+// Apriori baseline, merging its statistics into this run's. It is the
+// safety net for pathological configurations; none of the benchmark
+// workloads trigger it.
+func (m *miner) fallbackFullApriori() {
+	m.fellBack = true
+	m.res.Stats.AdaptiveOff = true
+	aopt := apriori.DefaultOptions()
+	aopt.Engine = m.opt.Engine
+	aopt.KeepFrequent = m.opt.KeepFrequent
+	ares := apriori.MineCount(m.sc, m.minCount, aopt)
+	for _, p := range ares.Stats.PassDetails {
+		m.res.Stats.AddPass(mfi.PassStats{
+			Candidates: p.Candidates, Frequent: p.Frequent, MFSFound: p.MFSFound,
+		})
+	}
+	m.res.MFS = ares.MFS
+	m.res.MFSSupports = ares.MFSSupports
+	if m.opt.KeepFrequent {
+		m.res.Frequent = ares.Frequent
+	} else {
+		m.res.Frequent = nil
+	}
+}
+
+// finish assembles the final MFS. The MFCS termination argument makes
+// m.mfs complete on its own; the explicitly discovered frequent itemsets
+// are merged defensively (after an adaptive abandonment they are the sole
+// source).
+func (m *miner) finish() {
+	all := make([]itemset.Itemset, 0, m.mfs.len()+len(m.allFrequent))
+	all = append(all, m.mfs.sets...)
+	all = append(all, m.allFrequent...)
+	m.res.MFS = itemset.MaximalOnly(all)
+	m.res.MFSSupports = make([]int64, len(m.res.MFS))
+	for i, x := range m.res.MFS {
+		m.res.MFSSupports[i] = m.cache[x.Key()]
+	}
+	if !m.opt.KeepFrequent {
+		m.res.Frequent = nil
+	}
+}

@@ -1,0 +1,213 @@
+// Package counting provides support-counting engines for candidate itemsets.
+//
+// The paper (§4.1.1) counts pass 1 with a one-dimensional array, pass 2 with
+// a two-dimensional (triangular) array — both following Özden et al. — and
+// later passes with a linked list of candidates scanned per transaction.
+// This package implements all three, plus the hash tree of Agrawal &
+// Srikant and a prefix trie, as interchangeable engines. Every engine
+// produces identical counts (verified by cross-engine property tests); they
+// differ only in speed, so the choice never affects the paper's candidate
+// and pass metrics.
+package counting
+
+import (
+	"fmt"
+
+	"pincer/internal/itemset"
+)
+
+// Engine selects a candidate-counting implementation for passes ≥ 3.
+type Engine int
+
+const (
+	// EngineList scans every candidate per transaction — the paper's
+	// linked-list structure (§4.1.1), kept as the faithful baseline.
+	EngineList Engine = iota
+	// EngineHashTree is the hash tree of [AS94]; the default.
+	EngineHashTree
+	// EngineTrie is a prefix trie keyed by item.
+	EngineTrie
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineList:
+		return "list"
+	case EngineHashTree:
+		return "hashtree"
+	case EngineTrie:
+		return "trie"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses the String form.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "list":
+		return EngineList, nil
+	case "hashtree", "hash-tree", "hash":
+		return EngineHashTree, nil
+	case "trie":
+		return EngineTrie, nil
+	}
+	return 0, fmt.Errorf("counting: unknown engine %q (want list, hashtree, or trie)", s)
+}
+
+// Counter accumulates, over one database pass, the support counts of a fixed
+// candidate list supplied at construction. Add is called once per
+// transaction; Counts returns the totals parallel to the candidate list.
+type Counter interface {
+	// Add registers one transaction. Transactions are sorted itemsets.
+	Add(tx itemset.Itemset)
+	// Counts returns the support counts, indexed like the candidate slice
+	// the counter was built from.
+	Counts() []int64
+	// NumCandidates returns the number of candidates being counted.
+	NumCandidates() int
+}
+
+// NewCounter builds a Counter of the chosen engine for the candidate list.
+// The candidates slice is retained; it must not be mutated during counting.
+func NewCounter(e Engine, candidates []itemset.Itemset) Counter {
+	switch e {
+	case EngineList:
+		return NewList(candidates)
+	case EngineHashTree:
+		return NewHashTree(candidates)
+	case EngineTrie:
+		return NewTrie(candidates)
+	default:
+		panic(fmt.Sprintf("counting: unknown engine %d", int(e)))
+	}
+}
+
+// List is the paper-faithful engine: a flat list of candidates, each tested
+// for containment in every transaction.
+type List struct {
+	candidates []itemset.Itemset
+	counts     []int64
+}
+
+// NewList builds a List counter.
+func NewList(candidates []itemset.Itemset) *List {
+	return &List{candidates: candidates, counts: make([]int64, len(candidates))}
+}
+
+// Add implements Counter.
+func (l *List) Add(tx itemset.Itemset) {
+	for i, c := range l.candidates {
+		if c.IsSubsetOf(tx) {
+			l.counts[i]++
+		}
+	}
+}
+
+// Counts implements Counter.
+func (l *List) Counts() []int64 { return l.counts }
+
+// NumCandidates implements Counter.
+func (l *List) NumCandidates() int { return len(l.candidates) }
+
+// ItemArray is the pass-1 engine: one counter per item of the universe.
+type ItemArray struct {
+	counts []int64
+}
+
+// NewItemArray builds an ItemArray for a universe of n items.
+func NewItemArray(n int) *ItemArray {
+	return &ItemArray{counts: make([]int64, n)}
+}
+
+// Add registers one transaction.
+func (a *ItemArray) Add(tx itemset.Itemset) {
+	for _, it := range tx {
+		a.counts[it]++
+	}
+}
+
+// Count returns the support count of item i.
+func (a *ItemArray) Count(i itemset.Item) int64 { return a.counts[i] }
+
+// Counts returns all per-item counts.
+func (a *ItemArray) Counts() []int64 { return a.counts }
+
+// Triangle is the pass-2 engine: a triangular matrix holding a counter for
+// every unordered pair of "live" items (the frequent 1-itemsets). No
+// candidate generation is needed for pass 2 (§4.1.1): all pairs of frequent
+// items are counted implicitly.
+type Triangle struct {
+	index  []int32 // item -> dense index among live items, -1 if not live
+	items  itemset.Itemset
+	counts []int64 // row-major upper triangle
+	n      int
+}
+
+// NewTriangle builds a Triangle over the given live items (sorted).
+func NewTriangle(universe int, live itemset.Itemset) *Triangle {
+	t := &Triangle{
+		index: make([]int32, universe),
+		items: live.Clone(),
+		n:     len(live),
+	}
+	for i := range t.index {
+		t.index[i] = -1
+	}
+	for i, it := range live {
+		t.index[it] = int32(i)
+	}
+	t.counts = make([]int64, t.n*(t.n-1)/2)
+	return t
+}
+
+// cell maps dense indices i<j to the flat triangle offset.
+func (t *Triangle) cell(i, j int32) int {
+	// offset of row i = i*(2n-i-1)/2
+	return int(i)*(2*t.n-int(i)-1)/2 + int(j-i) - 1
+}
+
+// Add registers one transaction: every pair of live items it contains.
+func (t *Triangle) Add(tx itemset.Itemset) {
+	// project onto live items first
+	var live []int32
+	for _, it := range tx {
+		if int(it) < len(t.index) && t.index[it] >= 0 {
+			live = append(live, t.index[it])
+		}
+	}
+	for a := 0; a < len(live); a++ {
+		for b := a + 1; b < len(live); b++ {
+			t.counts[t.cell(live[a], live[b])]++
+		}
+	}
+}
+
+// Count returns the support count of the pair {x, y}. Both items must be
+// live; it returns 0 for non-live items.
+func (t *Triangle) Count(x, y itemset.Item) int64 {
+	if int(x) >= len(t.index) || int(y) >= len(t.index) {
+		return 0
+	}
+	i, j := t.index[x], t.index[y]
+	if i < 0 || j < 0 || i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return t.counts[t.cell(i, j)]
+}
+
+// Each calls f for every pair with its count, pairs in lexicographic order.
+func (t *Triangle) Each(f func(x, y itemset.Item, count int64)) {
+	for i := 0; i < t.n; i++ {
+		for j := i + 1; j < t.n; j++ {
+			f(t.items[i], t.items[j], t.counts[t.cell(int32(i), int32(j))])
+		}
+	}
+}
+
+// NumPairs returns the number of implicit pair candidates.
+func (t *Triangle) NumPairs() int { return len(t.counts) }

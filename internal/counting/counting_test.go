@@ -1,0 +1,362 @@
+package counting
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/itemset"
+)
+
+var testTransactions = []itemset.Itemset{
+	itemset.New(0, 1, 2, 3),
+	itemset.New(1, 2, 3),
+	itemset.New(0, 2),
+	itemset.New(0, 1, 3),
+	itemset.New(2, 3, 4),
+	itemset.New(0, 1, 2, 3, 4),
+}
+
+var testCandidates = []itemset.Itemset{
+	itemset.New(0, 1),       // 3
+	itemset.New(1, 2, 3),    // 3
+	itemset.New(0, 4),       // 1
+	itemset.New(2, 3),       // 4
+	itemset.New(0, 1, 2, 3), // 2
+	itemset.New(4),          // 2
+	itemset.New(5),          // 0
+}
+
+var wantCounts = []int64{3, 3, 1, 4, 2, 2, 0}
+
+func runEngine(t *testing.T, e Engine) {
+	t.Helper()
+	c := NewCounter(e, testCandidates)
+	if c.NumCandidates() != len(testCandidates) {
+		t.Fatalf("NumCandidates = %d", c.NumCandidates())
+	}
+	for _, tx := range testTransactions {
+		c.Add(tx)
+	}
+	got := c.Counts()
+	for i := range wantCounts {
+		if got[i] != wantCounts[i] {
+			t.Errorf("%s: count[%v] = %d, want %d", e, testCandidates[i], got[i], wantCounts[i])
+		}
+	}
+}
+
+func TestEngines(t *testing.T) {
+	for _, e := range []Engine{EngineList, EngineHashTree, EngineTrie} {
+		t.Run(e.String(), func(t *testing.T) { runEngine(t, e) })
+	}
+}
+
+func TestEngineStringAndParse(t *testing.T) {
+	for _, e := range []Engine{EngineList, EngineHashTree, EngineTrie} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseEngine("nope"); err == nil {
+		t.Error("ParseEngine accepted garbage")
+	}
+	if Engine(99).String() == "" {
+		t.Error("unknown engine has empty String")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCounter with bad engine should panic")
+		}
+	}()
+	NewCounter(Engine(99), nil)
+}
+
+func TestEmptyCandidateList(t *testing.T) {
+	for _, e := range []Engine{EngineList, EngineHashTree, EngineTrie} {
+		c := NewCounter(e, nil)
+		c.Add(itemset.New(1, 2, 3))
+		if len(c.Counts()) != 0 || c.NumCandidates() != 0 {
+			t.Errorf("%s: empty candidate list misbehaves", e)
+		}
+	}
+}
+
+func TestHashTreeSplitsAndStillCounts(t *testing.T) {
+	// Enough same-length candidates to force several levels of splitting.
+	var cands []itemset.Itemset
+	for a := 0; a < 12; a++ {
+		for b := a + 1; b < 12; b++ {
+			for c := b + 1; c < 12; c++ {
+				cands = append(cands, itemset.New(itemset.Item(a), itemset.Item(b), itemset.Item(c)))
+			}
+		}
+	}
+	h := NewHashTree(cands)
+	tx := itemset.Range(0, 12)
+	h.Add(tx) // contains every candidate
+	for i, c := range h.Counts() {
+		if c != 1 {
+			t.Fatalf("candidate %v counted %d times in a superset transaction", cands[i], c)
+		}
+	}
+	h.Add(itemset.New(0, 1)) // contains none
+	for i, c := range h.Counts() {
+		if c != 1 {
+			t.Fatalf("candidate %v count changed to %d after irrelevant transaction", cands[i], c)
+		}
+	}
+}
+
+func TestHashTreeNoDoubleCountOnHashCollisions(t *testing.T) {
+	// Items 1 and 9 collide (mod 8); a transaction containing both must
+	// still count each candidate at most once.
+	cands := []itemset.Itemset{itemset.New(1, 9), itemset.New(9, 17)}
+	h := NewHashTree(cands)
+	h.Add(itemset.New(1, 9, 17))
+	counts := h.Counts()
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("counts = %v, want [1 1]", counts)
+	}
+}
+
+func TestItemArray(t *testing.T) {
+	a := NewItemArray(5)
+	for _, tx := range testTransactions {
+		a.Add(tx)
+	}
+	want := []int64{4, 4, 5, 5, 2}
+	for i, w := range want {
+		if got := a.Count(itemset.Item(i)); got != w {
+			t.Errorf("item %d count = %d, want %d", i, got, w)
+		}
+	}
+	if len(a.Counts()) != 5 {
+		t.Errorf("Counts len = %d", len(a.Counts()))
+	}
+}
+
+func TestTriangle(t *testing.T) {
+	live := itemset.New(0, 1, 2, 3) // exclude item 4
+	tri := NewTriangle(5, live)
+	if tri.NumPairs() != 6 {
+		t.Fatalf("NumPairs = %d, want 6", tri.NumPairs())
+	}
+	for _, tx := range testTransactions {
+		tri.Add(tx)
+	}
+	tests := []struct {
+		x, y itemset.Item
+		want int64
+	}{
+		{0, 1, 3},
+		{1, 0, 3}, // order-insensitive
+		{0, 2, 3},
+		{0, 3, 3},
+		{1, 2, 3},
+		{1, 3, 4},
+		{2, 3, 4},
+		{0, 4, 0}, // 4 not live
+		{4, 4, 0},
+		{2, 2, 0}, // degenerate pair
+	}
+	for _, tc := range tests {
+		if got := tri.Count(tc.x, tc.y); got != tc.want {
+			t.Errorf("Count(%d,%d) = %d, want %d", tc.x, tc.y, got, tc.want)
+		}
+	}
+	// Each visits all pairs in lexicographic order with correct counts.
+	var seen int
+	var prev [2]itemset.Item
+	first := true
+	tri.Each(func(x, y itemset.Item, count int64) {
+		seen++
+		if got := tri.Count(x, y); got != count {
+			t.Errorf("Each count mismatch for (%d,%d): %d vs %d", x, y, count, got)
+		}
+		if !first {
+			if x < prev[0] || (x == prev[0] && y <= prev[1]) {
+				t.Errorf("Each out of order: (%d,%d) after (%d,%d)", x, y, prev[0], prev[1])
+			}
+		}
+		prev = [2]itemset.Item{x, y}
+		first = false
+	})
+	if seen != 6 {
+		t.Errorf("Each visited %d pairs", seen)
+	}
+	// out-of-universe item
+	if got := tri.Count(99, 0); got != 0 {
+		t.Errorf("Count(99,0) = %d", got)
+	}
+}
+
+func TestTriangleSparseLiveItems(t *testing.T) {
+	live := itemset.New(10, 500, 999)
+	tri := NewTriangle(1000, live)
+	tri.Add(itemset.New(10, 500, 999))
+	tri.Add(itemset.New(10, 999))
+	if got := tri.Count(10, 500); got != 1 {
+		t.Errorf("Count(10,500) = %d", got)
+	}
+	if got := tri.Count(10, 999); got != 2 {
+		t.Errorf("Count(10,999) = %d", got)
+	}
+	if got := tri.Count(500, 999); got != 1 {
+		t.Errorf("Count(500,999) = %d", got)
+	}
+}
+
+// TestQuickEnginesAgree cross-checks all engines against naive counting on
+// random workloads — the guarantee that engine choice cannot change any
+// mining result.
+// TestQuickEnginesAgreeMixedLengths covers arbitrary candidate collections
+// — nested subsets, mixed lengths — which the Sampling algorithm and the
+// MFCS counter rely on (the regression here was a hash tree that
+// undercounted candidates shorter than their leaf depth).
+func TestQuickEnginesAgreeMixedLengths(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 2 + r.Intn(20)
+		txs := make([]itemset.Itemset, r.Intn(50))
+		for i := range txs {
+			txs[i] = randomItemsetOver(r, universe, 8)
+		}
+		seen := map[string]bool{}
+		var cands []itemset.Itemset
+		for i := 0; i < r.Intn(60); i++ {
+			c := randomItemsetOver(r, universe, 6)
+			if len(c) == 0 || seen[c.Key()] {
+				continue
+			}
+			seen[c.Key()] = true
+			cands = append(cands, c)
+		}
+		want := make([]int64, len(cands))
+		for i, c := range cands {
+			for _, tx := range txs {
+				if c.IsSubsetOf(tx) {
+					want[i]++
+				}
+			}
+		}
+		for _, e := range []Engine{EngineList, EngineHashTree, EngineTrie} {
+			ctr := NewCounter(e, cands)
+			for _, tx := range txs {
+				ctr.Add(tx)
+			}
+			got := ctr.Counts()
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashTreeMixedLengthsNestedCandidates(t *testing.T) {
+	// Force splits with many long candidates, then verify nested short ones
+	// (prefixes of the long ones) still count correctly.
+	var cands []itemset.Itemset
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			for c := b + 1; c < 10; c++ {
+				cands = append(cands, itemset.New(itemset.Item(a), itemset.Item(b), itemset.Item(c)))
+			}
+		}
+	}
+	cands = append(cands, itemset.New(0, 1), itemset.New(5), itemset.New(8, 9))
+	h := NewHashTree(cands)
+	h.Add(itemset.Range(0, 10))
+	for i, c := range h.Counts() {
+		if c != 1 {
+			t.Fatalf("candidate %v counted %d, want 1", cands[i], c)
+		}
+	}
+	h.Add(itemset.New(0, 1, 5))
+	wantSecond := map[string]int64{
+		itemset.New(0, 1).Key():    2,
+		itemset.New(5).Key():       2,
+		itemset.New(0, 1, 5).Key(): 2, // the triple itself is contained too
+	}
+	for i, c := range cands {
+		want := int64(1)
+		if w, ok := wantSecond[c.Key()]; ok {
+			want = w
+		}
+		if h.Counts()[i] != want {
+			t.Fatalf("candidate %v counted %d, want %d", c, h.Counts()[i], want)
+		}
+	}
+}
+
+func TestQuickEnginesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 2 + r.Intn(30)
+		numTx := r.Intn(60)
+		txs := make([]itemset.Itemset, numTx)
+		for i := range txs {
+			txs[i] = randomItemsetOver(r, universe, 10)
+		}
+		numCand := r.Intn(40)
+		cands := make([]itemset.Itemset, 0, numCand)
+		seen := map[string]bool{}
+		maxK := 4
+		if universe < maxK {
+			maxK = universe
+		}
+		k := 1 + r.Intn(maxK) // level-wise mining counts equal-length candidates
+		for len(cands) < numCand {
+			c := randomItemsetOver(r, universe, k)
+			if len(c) != k {
+				continue
+			}
+			if seen[c.Key()] {
+				numCand--
+				continue
+			}
+			seen[c.Key()] = true
+			cands = append(cands, c)
+		}
+		want := make([]int64, len(cands))
+		for i, c := range cands {
+			for _, tx := range txs {
+				if c.IsSubsetOf(tx) {
+					want[i]++
+				}
+			}
+		}
+		for _, e := range []Engine{EngineList, EngineHashTree, EngineTrie} {
+			ctr := NewCounter(e, cands)
+			for _, tx := range txs {
+				ctr.Add(tx)
+			}
+			got := ctr.Counts()
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomItemsetOver(r *rand.Rand, universe, maxLen int) itemset.Itemset {
+	n := r.Intn(maxLen + 1)
+	items := make([]itemset.Item, n)
+	for i := range items {
+		items[i] = itemset.Item(r.Intn(universe))
+	}
+	return itemset.New(items...)
+}

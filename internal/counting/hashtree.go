@@ -1,0 +1,140 @@
+package counting
+
+import "pincer/internal/itemset"
+
+// HashTree is the candidate store of Agrawal & Srikant [AS94]: interior
+// nodes hash the next item of a candidate into a fixed fan-out, leaves hold
+// small buckets of candidates. Counting a transaction descends the tree once
+// per viable item position, touching only candidates that can possibly be
+// contained.
+//
+// Candidates of mixed lengths are supported: a candidate whose items are
+// exhausted at an interior node is stored in that node's bucket, and buckets
+// are checked at every node visited during a descent. Because distinct items
+// can hash to the same child, a node may be reached through several paths
+// for one transaction; a per-candidate transaction stamp guarantees each
+// candidate is counted at most once per transaction.
+type HashTree struct {
+	candidates []itemset.Itemset
+	counts     []int64
+	stamp      []int64 // last transaction id that counted candidate i
+	txID       int64
+	root       *htNode
+	fanout     int
+	maxLeaf    int
+}
+
+// htNode is a tree node. Leaves (children == nil) hold arbitrary candidates
+// in bucket; interior nodes hold only candidates exhausted at their depth.
+type htNode struct {
+	children []*htNode // nil for leaves; length fanout for interior nodes
+	bucket   []int32   // candidate indices
+	depth    int
+}
+
+const (
+	defaultFanout  = 8
+	defaultMaxLeaf = 16
+)
+
+// NewHashTree builds a hash tree over the candidate list.
+func NewHashTree(candidates []itemset.Itemset) *HashTree {
+	h := &HashTree{
+		candidates: candidates,
+		counts:     make([]int64, len(candidates)),
+		stamp:      make([]int64, len(candidates)),
+		fanout:     defaultFanout,
+		maxLeaf:    defaultMaxLeaf,
+		root:       &htNode{},
+	}
+	for i := range h.stamp {
+		h.stamp[i] = -1
+	}
+	for i := range candidates {
+		h.insert(int32(i))
+	}
+	return h
+}
+
+func (h *HashTree) hash(it itemset.Item) int { return int(it) % h.fanout }
+
+func (h *HashTree) insert(ci int32) {
+	c := h.candidates[ci]
+	n := h.root
+	for {
+		if n.children == nil { // leaf
+			n.bucket = append(n.bucket, ci)
+			h.maybeSplit(n)
+			return
+		}
+		if len(c) <= n.depth {
+			// Exhausted at an interior node: stash here; descend checks
+			// interior buckets too.
+			n.bucket = append(n.bucket, ci)
+			return
+		}
+		n = n.children[h.hash(c[n.depth])]
+	}
+}
+
+// maybeSplit converts an overfull leaf into an interior node, distributing
+// candidates with items left to hash and keeping exhausted ones in place.
+func (h *HashTree) maybeSplit(n *htNode) {
+	movable := 0
+	for _, ci := range n.bucket {
+		if len(h.candidates[ci]) > n.depth {
+			movable++
+		}
+	}
+	if movable <= h.maxLeaf {
+		return
+	}
+	bucket := n.bucket
+	n.bucket = nil
+	n.children = make([]*htNode, h.fanout)
+	for i := range n.children {
+		n.children[i] = &htNode{depth: n.depth + 1}
+	}
+	for _, ci := range bucket {
+		c := h.candidates[ci]
+		if len(c) <= n.depth {
+			n.bucket = append(n.bucket, ci) // stays stashed here
+			continue
+		}
+		child := n.children[h.hash(c[n.depth])]
+		child.bucket = append(child.bucket, ci)
+	}
+	for _, child := range n.children {
+		h.maybeSplit(child)
+	}
+}
+
+// Add implements Counter.
+func (h *HashTree) Add(tx itemset.Itemset) {
+	h.txID++
+	h.descend(h.root, tx, 0)
+}
+
+func (h *HashTree) descend(n *htNode, tx itemset.Itemset, pos int) {
+	for _, ci := range n.bucket {
+		if h.stamp[ci] == h.txID {
+			continue
+		}
+		if h.candidates[ci].IsSubsetOf(tx) {
+			h.stamp[ci] = h.txID
+			h.counts[ci]++
+		}
+	}
+	if n.children == nil {
+		return
+	}
+	for i := pos; i < len(tx); i++ {
+		h.descend(n.children[h.hash(tx[i])], tx, i+1)
+	}
+}
+
+// Counts implements Counter.
+func (h *HashTree) Counts() []int64 { return h.counts }
+
+// NumCandidates implements Counter.
+func (h *HashTree) NumCandidates() int { return len(h.candidates) }

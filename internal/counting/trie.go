@@ -1,0 +1,93 @@
+package counting
+
+import (
+	"sort"
+
+	"pincer/internal/itemset"
+)
+
+// Trie counts candidates stored in a prefix tree keyed by item. Each
+// candidate is a root-to-node path of strictly increasing items, so every
+// candidate matches a transaction along exactly one descent — no
+// transaction stamps are needed. Candidates of arbitrary mixed lengths are
+// supported: a candidate that is a prefix of another simply terminates at
+// an interior node.
+type Trie struct {
+	candidates []itemset.Itemset
+	counts     []int64
+	root       *trieNode
+}
+
+type trieNode struct {
+	items    []itemset.Item // sorted child keys
+	children []*trieNode    // parallel to items
+	terminal int32          // candidate index terminating here, -1 otherwise
+}
+
+func newTrieNode() *trieNode { return &trieNode{terminal: -1} }
+
+// NewTrie builds a Trie counter over the candidate list.
+func NewTrie(candidates []itemset.Itemset) *Trie {
+	t := &Trie{
+		candidates: candidates,
+		counts:     make([]int64, len(candidates)),
+		root:       newTrieNode(),
+	}
+	for i, c := range candidates {
+		t.insert(int32(i), c)
+	}
+	return t
+}
+
+func (t *Trie) insert(ci int32, c itemset.Itemset) {
+	n := t.root
+	for _, it := range c {
+		j := sort.Search(len(n.items), func(k int) bool { return n.items[k] >= it })
+		if j == len(n.items) || n.items[j] != it {
+			child := newTrieNode()
+			n.items = append(n.items, 0)
+			n.children = append(n.children, nil)
+			copy(n.items[j+1:], n.items[j:])
+			copy(n.children[j+1:], n.children[j:])
+			n.items[j] = it
+			n.children[j] = child
+		}
+		n = n.children[j]
+	}
+	n.terminal = ci
+}
+
+// Add implements Counter.
+func (t *Trie) Add(tx itemset.Itemset) {
+	t.count(t.root, tx)
+}
+
+// count merges the node's child keys with the transaction's remaining items
+// (both sorted) and recurses on every match.
+func (t *Trie) count(n *trieNode, tx itemset.Itemset) {
+	i, j := 0, 0
+	for i < len(n.items) && j < len(tx) {
+		switch {
+		case n.items[i] < tx[j]:
+			i++
+		case n.items[i] > tx[j]:
+			j++
+		default:
+			child := n.children[i]
+			if child.terminal >= 0 {
+				t.counts[child.terminal]++
+			}
+			if len(child.items) > 0 {
+				t.count(child, tx[j+1:])
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// Counts implements Counter.
+func (t *Trie) Counts() []int64 { return t.counts }
+
+// NumCandidates implements Counter.
+func (t *Trie) NumCandidates() int { return len(t.candidates) }

@@ -1,0 +1,66 @@
+package dataset
+
+import "pincer/internal/itemset"
+
+// Compaction remaps sparse item identifiers onto a dense [0, n) range.
+// Real-world basket files use SKUs or hashes as item ids; the pass-1 array,
+// the pass-2 triangular matrix, and every bitset in the library are sized
+// by the universe, so mining a file whose largest id is 10⁷ would waste
+// memory proportional to it. Compact the dataset, mine, then translate
+// results back with Original.
+type Compaction struct {
+	// Dataset is the remapped database over the dense universe.
+	Dataset *Dataset
+	// toOriginal maps dense id -> original id (sorted ascending).
+	toOriginal []itemset.Item
+}
+
+// Compact builds a dense remapping of d. Items keep their relative order,
+// so lexicographic relationships between itemsets are preserved.
+func Compact(d *Dataset) *Compaction {
+	present := d.PresentItems()
+	toDense := make(map[itemset.Item]itemset.Item, len(present))
+	for i, it := range present {
+		toDense[it] = itemset.Item(i)
+	}
+	c := &Compaction{Dataset: Empty(len(present)), toOriginal: present}
+	for _, tx := range d.Transactions() {
+		dense := make(itemset.Itemset, len(tx))
+		for i, it := range tx {
+			dense[i] = toDense[it]
+		}
+		c.Dataset.Append(dense)
+	}
+	return c
+}
+
+// NumOriginalItems returns the size of the dense universe (the number of
+// distinct original items).
+func (c *Compaction) NumDenseItems() int { return len(c.toOriginal) }
+
+// Original translates a dense itemset back to original item ids. Because
+// the remapping is order-preserving, the result is already sorted.
+func (c *Compaction) Original(dense itemset.Itemset) itemset.Itemset {
+	out := make(itemset.Itemset, len(dense))
+	for i, it := range dense {
+		out[i] = c.toOriginal[it]
+	}
+	return out
+}
+
+// OriginalAll translates a slice of dense itemsets.
+func (c *Compaction) OriginalAll(dense []itemset.Itemset) []itemset.Itemset {
+	out := make([]itemset.Itemset, len(dense))
+	for i, s := range dense {
+		out[i] = c.Original(s)
+	}
+	return out
+}
+
+// WorthCompacting reports whether the declared universe is sparse enough
+// (less than half occupied, and large enough to matter) for compaction to
+// pay off.
+func WorthCompacting(d *Dataset) bool {
+	distinct := len(d.PresentItems())
+	return d.NumItems() > 10_000 && distinct*2 < d.NumItems()
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/itemset"
+)
+
+func TestCompactRemapsAndTranslatesBack(t *testing.T) {
+	d := Empty(1_000_000)
+	d.Append(itemset.New(5, 999_999))
+	d.Append(itemset.New(5, 70_000))
+	d.Append(itemset.New(70_000))
+	c := Compact(d)
+	if c.NumDenseItems() != 3 {
+		t.Fatalf("dense items = %d", c.NumDenseItems())
+	}
+	if c.Dataset.NumItems() != 3 {
+		t.Fatalf("dense universe = %d", c.Dataset.NumItems())
+	}
+	// order preserved: 5 -> 0, 70000 -> 1, 999999 -> 2
+	if !c.Dataset.Transaction(0).Equal(itemset.New(0, 2)) {
+		t.Errorf("tx0 = %v", c.Dataset.Transaction(0))
+	}
+	if !c.Dataset.Transaction(1).Equal(itemset.New(0, 1)) {
+		t.Errorf("tx1 = %v", c.Dataset.Transaction(1))
+	}
+	// translation round-trips
+	if got := c.Original(itemset.New(0, 1, 2)); !got.Equal(itemset.New(5, 70_000, 999_999)) {
+		t.Errorf("Original = %v", got)
+	}
+	all := c.OriginalAll([]itemset.Itemset{itemset.New(1), itemset.New(0, 2)})
+	if !all[0].Equal(itemset.New(70_000)) || !all[1].Equal(itemset.New(5, 999_999)) {
+		t.Errorf("OriginalAll = %v", all)
+	}
+}
+
+func TestWorthCompacting(t *testing.T) {
+	dense := Empty(100)
+	dense.Append(itemset.Range(0, 100))
+	if WorthCompacting(dense) {
+		t.Error("dense small universe flagged")
+	}
+	sparse := Empty(1_000_000)
+	sparse.Append(itemset.New(1, 999_999))
+	if !WorthCompacting(sparse) {
+		t.Error("sparse universe not flagged")
+	}
+}
+
+func TestQuickCompactPreservesSupports(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := Empty(10_000)
+		numTx := 3 + r.Intn(20)
+		for i := 0; i < numTx; i++ {
+			n := 1 + r.Intn(6)
+			items := make([]itemset.Item, n)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(10_000))
+			}
+			d.Append(itemset.New(items...))
+		}
+		c := Compact(d)
+		if c.Dataset.Len() != d.Len() {
+			return false
+		}
+		// support of every compacted transaction equals the original's
+		for i := 0; i < d.Len(); i++ {
+			dense := c.Dataset.Transaction(i)
+			if c.Dataset.Support(dense) != d.Support(d.Transaction(i)) {
+				return false
+			}
+			if !c.Original(dense).Equal(d.Transaction(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

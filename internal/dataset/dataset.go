@@ -1,0 +1,229 @@
+// Package dataset provides the transaction-database substrate: an in-memory
+// database of transactions, text ("basket") and binary file formats, and a
+// pass-counting reader abstraction so that mining algorithms can be audited
+// for the number of times they read the database — one of the three metrics
+// the paper reports (passes, candidates, time).
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"pincer/internal/itemset"
+)
+
+// Transaction is a single customer transaction: a sorted, duplicate-free
+// itemset. The type alias keeps call sites readable without introducing a
+// conversion layer.
+type Transaction = itemset.Itemset
+
+// Dataset is an in-memory transaction database D.
+type Dataset struct {
+	transactions []Transaction
+	numItems     int // size of the item universe I (max item + 1)
+}
+
+// New creates a Dataset from transactions. Each transaction is normalized
+// (sorted, de-duplicated); the item universe is inferred as max item + 1.
+func New(transactions []Transaction) *Dataset {
+	d := &Dataset{transactions: make([]Transaction, 0, len(transactions))}
+	for _, t := range transactions {
+		d.Append(t)
+	}
+	return d
+}
+
+// Empty creates a Dataset with no transactions and an explicit item
+// universe size. Use it when the universe is known a priori (for example,
+// the N parameter of a synthetic workload), so that the initial MFCS element
+// {0, …, N-1} covers items that happen not to occur.
+func Empty(numItems int) *Dataset {
+	return &Dataset{numItems: numItems}
+}
+
+// Append adds one transaction, normalizing item order and duplicates.
+func (d *Dataset) Append(t Transaction) {
+	n := itemset.New(t...)
+	d.transactions = append(d.transactions, n)
+	if len(n) > 0 && int(n.Last())+1 > d.numItems {
+		d.numItems = int(n.Last()) + 1
+	}
+}
+
+// Len returns |D|, the number of transactions.
+func (d *Dataset) Len() int { return len(d.transactions) }
+
+// NumItems returns the size of the item universe (one past the largest item).
+func (d *Dataset) NumItems() int { return d.numItems }
+
+// SetNumItems widens the declared universe; it refuses to shrink below the
+// largest observed item.
+func (d *Dataset) SetNumItems(n int) {
+	if n > d.numItems {
+		d.numItems = n
+	}
+}
+
+// Transaction returns the i-th transaction. The returned slice must not be
+// modified.
+func (d *Dataset) Transaction(i int) Transaction { return d.transactions[i] }
+
+// Transactions returns the backing slice. The caller must not modify it.
+func (d *Dataset) Transactions() []Transaction { return d.transactions }
+
+// MinCount converts a fractional minimum support (for example 0.02 for 2%)
+// into the smallest absolute transaction count that satisfies it. An itemset
+// is frequent iff its count ≥ MinCount. Support thresholds of zero or below
+// map to a count of 1 (an itemset must occur at all to be frequent).
+func (d *Dataset) MinCount(minSupport float64) int64 {
+	return MinCountFor(len(d.transactions), minSupport)
+}
+
+// MinCountFor is MinCount for an explicit database size.
+func MinCountFor(numTransactions int, minSupport float64) int64 {
+	if minSupport <= 0 {
+		return 1
+	}
+	c := int64(float64(numTransactions)*minSupport + 0.9999999)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Support counts the transactions containing x by a full scan. It is the
+// reference (and deliberately naive) counting path used by tests and by the
+// rule generator's "one extra pass" scheme.
+func (d *Dataset) Support(x itemset.Itemset) int64 {
+	var n int64
+	for _, t := range d.transactions {
+		if x.IsSubsetOf(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// SupportFraction returns Support(x) / |D|.
+func (d *Dataset) SupportFraction(x itemset.Itemset) float64 {
+	if len(d.transactions) == 0 {
+		return 0
+	}
+	return float64(d.Support(x)) / float64(len(d.transactions))
+}
+
+// ItemCounts returns the per-item occurrence counts over the declared
+// universe. It is the pass-1 "one-dimensional array" counter of §4.1.1.
+func (d *Dataset) ItemCounts() []int64 {
+	counts := make([]int64, d.numItems)
+	for _, t := range d.transactions {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	return counts
+}
+
+// PresentItems returns the sorted set of items that occur in at least one
+// transaction.
+func (d *Dataset) PresentItems() itemset.Itemset {
+	seen := make([]bool, d.numItems)
+	for _, t := range d.transactions {
+		for _, it := range t {
+			seen[it] = true
+		}
+	}
+	var out itemset.Itemset
+	for i, ok := range seen {
+		if ok {
+			out = append(out, itemset.Item(i))
+		}
+	}
+	return out
+}
+
+// Stats summarizes a dataset for reporting.
+type Stats struct {
+	Transactions  int
+	Items         int     // declared universe size
+	DistinctItems int     // items that actually occur
+	AvgLength     float64 // average transaction length
+	MaxLength     int
+	MinLength     int
+}
+
+// Stats computes summary statistics.
+func (d *Dataset) Stats() Stats {
+	s := Stats{Transactions: len(d.transactions), Items: d.numItems}
+	if len(d.transactions) == 0 {
+		return s
+	}
+	s.MinLength = len(d.transactions[0])
+	total := 0
+	for _, t := range d.transactions {
+		total += len(t)
+		if len(t) > s.MaxLength {
+			s.MaxLength = len(t)
+		}
+		if len(t) < s.MinLength {
+			s.MinLength = len(t)
+		}
+	}
+	s.AvgLength = float64(total) / float64(len(d.transactions))
+	s.DistinctItems = len(d.PresentItems())
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("|D|=%d N=%d distinct=%d avg|T|=%.2f min|T|=%d max|T|=%d",
+		s.Transactions, s.Items, s.DistinctItems, s.AvgLength, s.MinLength, s.MaxLength)
+}
+
+// Sample returns a new dataset holding transactions [lo, hi).
+// It shares transaction storage with d.
+func (d *Dataset) Slice(lo, hi int) *Dataset {
+	if lo < 0 || hi > len(d.transactions) || lo > hi {
+		panic(fmt.Sprintf("dataset: Slice(%d,%d) out of range [0,%d]", lo, hi, len(d.transactions)))
+	}
+	return &Dataset{transactions: d.transactions[lo:hi], numItems: d.numItems}
+}
+
+// Partitions splits d into n near-equal contiguous partitions (the unit of
+// work of the Partition algorithm). Partitions share storage with d.
+func (d *Dataset) Partitions(n int) []*Dataset {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(d.transactions) && len(d.transactions) > 0 {
+		n = len(d.transactions)
+	}
+	out := make([]*Dataset, 0, n)
+	total := len(d.transactions)
+	for i := 0; i < n; i++ {
+		lo := i * total / n
+		hi := (i + 1) * total / n
+		out = append(out, d.Slice(lo, hi))
+	}
+	return out
+}
+
+// Bitsets converts every transaction into a dense bitset over the declared
+// universe. MFCS support counting uses this form: testing whether an MFCS
+// element (often hundreds of items long) is contained in a transaction is
+// far cheaper against the transaction's bitset.
+func (d *Dataset) Bitsets() []*itemset.Bitset {
+	out := make([]*itemset.Bitset, len(d.transactions))
+	for i, t := range d.transactions {
+		out[i] = itemset.BitsetOf(d.numItems, t)
+	}
+	return out
+}
+
+// SortByLength orders transactions by increasing length (stable), which
+// improves counting locality. Metrics are unaffected; provided for
+// experimentation.
+func (d *Dataset) SortByLength() {
+	sort.SliceStable(d.transactions, func(i, j int) bool {
+		return len(d.transactions[i]) < len(d.transactions[j])
+	})
+}

@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pincer/internal/itemset"
+)
+
+// FileScanner is a Scanner that re-reads a basket file from disk on every
+// pass instead of materializing the database in memory. It models the
+// paper's cost regime literally — each pass is one sequential read of the
+// database — and lets the miners run on databases larger than RAM.
+//
+// The first pass determines the transaction count and item universe; these
+// are cached so Len and NumItems are cheap afterwards. Transactions are
+// normalized (sorted, de-duplicated) while streaming. I/O or parse errors
+// abort the pass via panic with a *FileScanError, because the Scanner
+// interface is error-free by design (an in-memory scan cannot fail);
+// callers opening untrusted files should Validate first.
+type FileScanner struct {
+	path     string
+	passes   int
+	numTx    int
+	numItems int
+	scanned  bool
+}
+
+// FileScanError wraps an error encountered mid-pass.
+type FileScanError struct {
+	Path string
+	Err  error
+}
+
+func (e *FileScanError) Error() string {
+	return fmt.Sprintf("dataset: scanning %s: %v", e.Path, e.Err)
+}
+
+func (e *FileScanError) Unwrap() error { return e.Err }
+
+// OpenFileScanner validates the basket file with one full pass and returns
+// a Scanner over it.
+func OpenFileScanner(path string) (*FileScanner, error) {
+	fs := &FileScanner{path: path}
+	if err := fs.validate(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// validate performs the initial pass: syntax check plus size/universe
+// discovery. It does not count toward Passes.
+func (fs *FileScanner) validate() error {
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if se, ok := r.(*FileScanError); ok {
+					err = se
+					return
+				}
+				panic(r)
+			}
+		}()
+		fs.scanFile(func(tx itemset.Itemset, _ *itemset.Bitset) {
+			fs.numTx++
+			if len(tx) > 0 && int(tx.Last())+1 > fs.numItems {
+				fs.numItems = int(tx.Last()) + 1
+			}
+		})
+	}()
+	fs.scanned = err == nil
+	return err
+}
+
+// Scan implements Scanner: one sequential pass over the file.
+func (fs *FileScanner) Scan(fn func(tx itemset.Itemset, bits *itemset.Bitset)) {
+	fs.passes++
+	fs.scanFile(fn)
+}
+
+func (fs *FileScanner) scanFile(fn func(tx itemset.Itemset, bits *itemset.Bitset)) {
+	f, err := os.Open(fs.path)
+	if err != nil {
+		panic(&FileScanError{Path: fs.path, Err: err})
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	var bits *itemset.Bitset
+	if fs.scanned {
+		bits = itemset.NewBitset(fs.numItems)
+	} else {
+		bits = itemset.NewBitset(0)
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		items := make([]itemset.Item, 0, len(fields))
+		for _, fld := range fields {
+			v, err := strconv.ParseInt(fld, 10, 32)
+			if err != nil || v < 0 {
+				panic(&FileScanError{Path: fs.path, Err: fmt.Errorf("line %d: bad item %q", line, fld)})
+			}
+			items = append(items, itemset.Item(v))
+		}
+		tx := itemset.New(items...)
+		bits.Clear()
+		for _, it := range tx {
+			bits.Add(it)
+		}
+		fn(tx, bits)
+	}
+	if err := sc.Err(); err != nil {
+		panic(&FileScanError{Path: fs.path, Err: err})
+	}
+}
+
+// Len implements Scanner.
+func (fs *FileScanner) Len() int { return fs.numTx }
+
+// NumItems implements Scanner.
+func (fs *FileScanner) NumItems() int { return fs.numItems }
+
+// Passes implements Scanner.
+func (fs *FileScanner) Passes() int { return fs.passes }

@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pincer/internal/itemset"
+)
+
+func writeBasket(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.basket")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFileScannerMatchesMemoryScanner(t *testing.T) {
+	path := writeBasket(t, "1 2 3\n# comment\n\n4 5\n2 3 1\n")
+	fsc, err := OpenFileScanner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsc.Len() != 3 || fsc.NumItems() != 6 {
+		t.Fatalf("Len=%d NumItems=%d", fsc.Len(), fsc.NumItems())
+	}
+	mem, err := LoadBasketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msc := NewScanner(mem)
+
+	var fromFile, fromMem []itemset.Itemset
+	fsc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		if !bits.Items().Equal(tx) {
+			t.Errorf("bits mismatch: %v vs %v", bits.Items(), tx)
+		}
+		fromFile = append(fromFile, tx.Clone())
+	})
+	msc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) {
+		fromMem = append(fromMem, tx.Clone())
+	})
+	if len(fromFile) != len(fromMem) {
+		t.Fatalf("tx counts: %d vs %d", len(fromFile), len(fromMem))
+	}
+	for i := range fromMem {
+		if !fromFile[i].Equal(fromMem[i]) {
+			t.Errorf("tx %d: %v vs %v", i, fromFile[i], fromMem[i])
+		}
+	}
+	if fsc.Passes() != 1 {
+		t.Errorf("Passes = %d", fsc.Passes())
+	}
+	fsc.Scan(func(itemset.Itemset, *itemset.Bitset) {})
+	if fsc.Passes() != 2 {
+		t.Errorf("Passes = %d", fsc.Passes())
+	}
+}
+
+func TestFileScannerRejectsBadFiles(t *testing.T) {
+	if _, err := OpenFileScanner(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeBasket(t, "1 2\n3 x\n")
+	if _, err := OpenFileScanner(bad); err == nil {
+		t.Error("bad item accepted")
+	}
+	neg := writeBasket(t, "1 -2\n")
+	if _, err := OpenFileScanner(neg); err == nil {
+		t.Error("negative item accepted")
+	}
+}
+
+func TestFileScannerEmptyFile(t *testing.T) {
+	path := writeBasket(t, "")
+	fsc, err := OpenFileScanner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsc.Len() != 0 || fsc.NumItems() != 0 {
+		t.Fatalf("Len=%d NumItems=%d", fsc.Len(), fsc.NumItems())
+	}
+	n := 0
+	fsc.Scan(func(itemset.Itemset, *itemset.Bitset) { n++ })
+	if n != 0 {
+		t.Fatalf("scanned %d transactions", n)
+	}
+}

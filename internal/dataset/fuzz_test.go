@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBasket checks the text parser never panics and that everything it
+// accepts round-trips through WriteBasket.
+func FuzzReadBasket(f *testing.F) {
+	f.Add("1 2 3\n4 5\n")
+	f.Add("# comment\n\n7\n")
+	f.Add("1,2,3")
+	f.Add("999999999999999999999")
+	f.Add("-4")
+	f.Add("1\t2 ,3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadBasket(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteBasket(&buf, d); err != nil {
+			t.Fatalf("WriteBasket failed on accepted input: %v", err)
+		}
+		back, err := ReadBasket(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != d.Len() {
+			t.Fatalf("round trip lost transactions: %d vs %d", back.Len(), d.Len())
+		}
+		for i := 0; i < d.Len(); i++ {
+			if !back.Transaction(i).Equal(d.Transaction(i)) {
+				t.Fatalf("tx %d changed: %v vs %v", i, back.Transaction(i), d.Transaction(i))
+			}
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary parser is panic-free on corrupt input.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, New([]Transaction{{1, 2, 3}, {4}}))
+	f.Add(buf.Bytes())
+	f.Add([]byte("PNCR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// accepted: must be internally consistent
+		if d.Len() < 0 || d.NumItems() < 0 {
+			t.Fatal("negative sizes")
+		}
+	})
+}

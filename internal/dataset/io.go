@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pincer/internal/itemset"
+)
+
+// The basket text format is one transaction per line, items as non-negative
+// integers separated by spaces (or tabs or commas). Blank lines and lines
+// beginning with '#' are ignored. This is the de-facto format of public
+// frequent-itemset mining repositories.
+
+// ReadBasket parses the basket text format.
+func ReadBasket(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		if len(fields) == 0 {
+			continue // separator-only line: treat as blank (the text format
+			// cannot represent empty transactions; use the binary format)
+		}
+		items := make([]itemset.Item, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad item %q: %w", line, f, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("dataset: line %d: negative item %d", line, v)
+			}
+			items = append(items, itemset.Item(v))
+		}
+		d.Append(itemset.New(items...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	return d, nil
+}
+
+// WriteBasket emits the basket text format.
+func WriteBasket(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range d.Transactions() {
+		for i, it := range t {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(it))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadBasketFile reads a basket file from disk.
+func LoadBasketFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBasket(f)
+}
+
+// SaveBasketFile writes a basket file to disk.
+func SaveBasketFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBasket(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// binaryMagic identifies the compact binary format: "PNCR" + version byte.
+var binaryMagic = [5]byte{'P', 'N', 'C', 'R', 1}
+
+// WriteBinary emits a compact little-endian binary encoding:
+//
+//	magic[5] numItems:u32 numTx:u32 { len:u32 item:u32* }*
+//
+// The binary format preserves the declared universe size, which the text
+// format cannot.
+func WriteBinary(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	put := func(v uint32) error {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	if err := put(uint32(d.NumItems())); err != nil {
+		return err
+	}
+	if err := put(uint32(d.Len())); err != nil {
+		return err
+	}
+	for _, t := range d.Transactions() {
+		if err := put(uint32(len(t))); err != nil {
+			return err
+		}
+		for _, it := range t {
+			if err := put(uint32(it)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: binary header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("dataset: not a pincer binary database")
+	}
+	var u32 [4]byte
+	get := func() (uint32, error) {
+		if _, err := io.ReadFull(br, u32[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	numItems, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: binary numItems: %w", err)
+	}
+	numTx, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: binary numTx: %w", err)
+	}
+	d := Empty(int(numItems))
+	for i := uint32(0); i < numTx; i++ {
+		n, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: binary tx %d: %w", i, err)
+		}
+		items := make([]itemset.Item, n)
+		for j := range items {
+			v, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("dataset: binary tx %d item %d: %w", i, j, err)
+			}
+			items[j] = itemset.Item(v)
+		}
+		d.Append(itemset.New(items...))
+	}
+	return d, nil
+}
+
+// Load reads a database from disk, sniffing the binary magic and falling
+// back to the basket text format.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(5)
+	if err == nil && [5]byte(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return ReadBasket(br)
+}

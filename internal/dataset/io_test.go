@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pincer/internal/itemset"
+)
+
+func TestReadBasket(t *testing.T) {
+	in := "1 2 3\n# comment\n\n5,7\n9\t11\n"
+	d, err := ReadBasket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	want := []itemset.Itemset{itemset.New(1, 2, 3), itemset.New(5, 7), itemset.New(9, 11)}
+	for i, w := range want {
+		if !d.Transaction(i).Equal(w) {
+			t.Errorf("tx %d = %v, want %v", i, d.Transaction(i), w)
+		}
+	}
+	if d.NumItems() != 12 {
+		t.Errorf("NumItems = %d", d.NumItems())
+	}
+}
+
+func TestReadBasketErrors(t *testing.T) {
+	for _, bad := range []string{"1 x 3\n", "-1 2\n", "1 999999999999999\n"} {
+		if _, err := ReadBasket(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadBasket(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestBasketRoundTrip(t *testing.T) {
+	d := newTestDataset()
+	var buf bytes.Buffer
+	if err := WriteBasket(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadBasket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameTransactions(t, d, d2)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	d := Empty(100) // universe wider than any observed item
+	d.Append(itemset.New(1, 2, 3))
+	d.Append(itemset.Itemset(nil)) // empty transaction survives binary form
+	d.Append(itemset.New(42))
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameTransactions(t, d, d2)
+	if d2.NumItems() != 100 {
+		t.Errorf("binary lost universe size: %d", d2.NumItems())
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a database")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("PN")); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, newTestDataset()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestFileRoundTripAndSniffing(t *testing.T) {
+	dir := t.TempDir()
+	d := newTestDataset()
+
+	textPath := filepath.Join(dir, "db.basket")
+	if err := SaveBasketFile(textPath, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameTransactions(t, d, got)
+
+	binPath := filepath.Join(dir, "db.bin")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, d); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err = Load(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameTransactions(t, d, got)
+
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+	if _, err := LoadBasketFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("LoadBasketFile of missing file succeeded")
+	}
+}
+
+func requireSameTransactions(t *testing.T, a, b *Dataset) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("Len mismatch: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Transaction(i).Equal(b.Transaction(i)) {
+			t.Fatalf("tx %d mismatch: %v vs %v", i, a.Transaction(i), b.Transaction(i))
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package episodes
+
+import (
+	"testing"
+
+	"pincer/internal/itemset"
+)
+
+func TestWindowsBasic(t *testing.T) {
+	seq := Sequence{
+		{Time: 0, Type: 1},
+		{Time: 1, Type: 2},
+		{Time: 5, Type: 3},
+	}
+	d, err := Windows(seq, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// window starts: -1..5 → 7 windows
+	if d.Len() != 7 {
+		t.Fatalf("windows = %d, want 7", d.Len())
+	}
+	wants := []itemset.Itemset{
+		itemset.New(1),    // [-1,0]
+		itemset.New(1, 2), // [0,1]
+		itemset.New(2),    // [1,2]
+		nil,               // [2,3]
+		nil,               // [3,4]
+		itemset.New(3),    // [4,5]
+		itemset.New(3),    // [5,6]
+	}
+	for i, w := range wants {
+		if !d.Transaction(i).Equal(w) {
+			t.Errorf("window %d = %v, want %v", i, d.Transaction(i), w)
+		}
+	}
+}
+
+func TestWindowsErrors(t *testing.T) {
+	if _, err := Windows(Sequence{{Time: 1, Type: 1}}, 0, 5); err == nil {
+		t.Error("zero width accepted")
+	}
+	unsorted := Sequence{{Time: 5, Type: 1}, {Time: 1, Type: 2}}
+	if _, err := Windows(unsorted, 2, 5); err == nil {
+		t.Error("unsorted sequence accepted")
+	}
+	d, err := Windows(nil, 3, 5)
+	if err != nil || d.Len() != 0 {
+		t.Errorf("empty sequence: %v, %v", d.Len(), err)
+	}
+}
+
+func TestSequenceSortAndSpan(t *testing.T) {
+	s := Sequence{{Time: 3, Type: 1}, {Time: 1, Type: 2}, {Time: 2, Type: 3}}
+	s.Sort()
+	if s[0].Time != 1 || s[2].Time != 3 {
+		t.Fatalf("Sort failed: %v", s)
+	}
+	first, last, ok := s.Span()
+	if !ok || first != 1 || last != 3 {
+		t.Fatalf("Span = %d,%d,%v", first, last, ok)
+	}
+	if _, _, ok := Sequence(nil).Span(); ok {
+		t.Error("empty Span ok=true")
+	}
+}
+
+func TestMineMaximalFindsPlantedEpisode(t *testing.T) {
+	planted := itemset.New(10, 11, 12, 13, 14)
+	seq := Generate(GeneratorParams{
+		NumTypes:   40,
+		Length:     3000,
+		NoiseRate:  0.05,
+		Episodes:   []itemset.Itemset{planted},
+		Period:     30,
+		BurstWidth: 5,
+		Seed:       6,
+	})
+	eps, res, err := MineMaximal(seq, 10, 0.05, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no result")
+	}
+	found := false
+	for _, e := range eps {
+		if planted.IsSubsetOf(e.Types) {
+			found = true
+			if e.Frequency < 0.05 {
+				t.Errorf("reported frequency %v below threshold", e.Frequency)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted episode not recovered; got %v", eps)
+	}
+}
+
+func TestMineMaximalEmpty(t *testing.T) {
+	eps, res, err := MineMaximal(nil, 5, 0.1, 10)
+	if err != nil || eps != nil || res != nil {
+		t.Fatalf("empty mine: %v %v %v", eps, res, err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := GeneratorParams{
+		NumTypes: 20, Length: 500, NoiseRate: 0.2,
+		Episodes: []itemset.Itemset{itemset.New(1, 2)}, Period: 20, BurstWidth: 3, Seed: 3,
+	}
+	a := Generate(p)
+	b := Generate(p)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("empty sequence generated")
+	}
+	// sortedness
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Time > a[i].Time {
+			t.Fatal("generated sequence unsorted")
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package itemset
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Bitset is a dense fixed-universe set of items, used where subset tests
+// dominate: transaction membership during MFCS support counting and the
+// antichain maintenance inside MFCS-gen. For the benchmark universe
+// (N = 1000 items) a Bitset is sixteen 64-bit words, and a subset test is
+// sixteen AND/compare pairs.
+type Bitset struct {
+	words []uint64
+}
+
+// NewBitset returns an empty bitset able to hold items in [0, universe).
+func NewBitset(universe int) *Bitset {
+	if universe < 0 {
+		universe = 0
+	}
+	return &Bitset{words: make([]uint64, (universe+63)/64)}
+}
+
+// BitsetOf builds a bitset over the given universe from an itemset.
+func BitsetOf(universe int, s Itemset) *Bitset {
+	b := NewBitset(universe)
+	for _, it := range s {
+		b.Add(it)
+	}
+	return b
+}
+
+// Add inserts item x, growing the word slice if needed.
+func (b *Bitset) Add(x Item) {
+	w := int(x) / 64
+	for w >= len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	b.words[w] |= 1 << (uint(x) % 64)
+}
+
+// Remove deletes item x if present.
+func (b *Bitset) Remove(x Item) {
+	w := int(x) / 64
+	if w < len(b.words) {
+		b.words[w] &^= 1 << (uint(x) % 64)
+	}
+}
+
+// Contains reports membership of x.
+func (b *Bitset) Contains(x Item) bool {
+	w := int(x) / 64
+	return w < len(b.words) && b.words[w]&(1<<(uint(x)%64)) != 0
+}
+
+// Len returns the number of items in the set.
+func (b *Bitset) Len() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsSubsetOf reports whether every item of b is in c.
+func (b *Bitset) IsSubsetOf(c *Bitset) bool {
+	for i, w := range b.words {
+		var cw uint64
+		if i < len(c.words) {
+			cw = c.words[i]
+		}
+		if w&^cw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether b and c share any item.
+func (b *Bitset) Intersects(c *Bitset) bool {
+	n := len(b.words)
+	if len(c.words) < n {
+		n = len(c.words)
+	}
+	for i := 0; i < n; i++ {
+		if b.words[i]&c.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports set equality.
+func (b *Bitset) Equal(c *Bitset) bool {
+	n := len(b.words)
+	if len(c.words) > n {
+		n = len(c.words)
+	}
+	for i := 0; i < n; i++ {
+		var bw, cw uint64
+		if i < len(b.words) {
+			bw = b.words[i]
+		}
+		if i < len(c.words) {
+			cw = c.words[i]
+		}
+		if bw != cw {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w}
+}
+
+// Clear removes all items without releasing storage.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// AndNot removes every item of c from b in place.
+func (b *Bitset) AndNot(c *Bitset) {
+	n := len(b.words)
+	if len(c.words) < n {
+		n = len(c.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] &^= c.words[i]
+	}
+}
+
+// Or adds every item of c to b in place.
+func (b *Bitset) Or(c *Bitset) {
+	for len(b.words) < len(c.words) {
+		b.words = append(b.words, 0)
+	}
+	for i, w := range c.words {
+		b.words[i] |= w
+	}
+}
+
+// CountAnd returns |b ∩ c| without materializing the intersection.
+func (b *Bitset) CountAnd(c *Bitset) int {
+	n := len(b.words)
+	if len(c.words) < n {
+		n = len(c.words)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += bits.OnesCount64(b.words[i] & c.words[i])
+	}
+	return total
+}
+
+// Items materializes the members as a sorted Itemset.
+func (b *Bitset) Items() Itemset {
+	out := make(Itemset, 0, b.Len())
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, Item(wi*64+bit))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Each calls f for every member in increasing order.
+func (b *Bitset) Each(f func(Item)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			f(Item(wi*64 + bit))
+			w &= w - 1
+		}
+	}
+}
+
+// String renders like Itemset.String.
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	b.Each(func(it Item) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(itoa(int(it)))
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

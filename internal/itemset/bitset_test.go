@@ -1,0 +1,167 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(128)
+	if b.Len() != 0 {
+		t.Fatalf("new bitset Len = %d", b.Len())
+	}
+	b.Add(0)
+	b.Add(63)
+	b.Add(64)
+	b.Add(127)
+	for _, x := range []Item{0, 63, 64, 127} {
+		if !b.Contains(x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []Item{1, 62, 65, 126, 500} {
+		if b.Contains(x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+	if b.Len() != 4 {
+		t.Errorf("Len = %d, want 4", b.Len())
+	}
+	b.Remove(63)
+	if b.Contains(63) || b.Len() != 3 {
+		t.Errorf("after Remove: Contains(63)=%v Len=%d", b.Contains(63), b.Len())
+	}
+	b.Remove(999) // out of range: no-op
+	if b.Len() != 3 {
+		t.Errorf("Remove out of range changed Len to %d", b.Len())
+	}
+}
+
+func TestBitsetGrowsOnAdd(t *testing.T) {
+	b := NewBitset(0)
+	b.Add(1000)
+	if !b.Contains(1000) {
+		t.Fatal("Add beyond universe did not grow")
+	}
+	if b.Contains(999) {
+		t.Fatal("spurious membership")
+	}
+}
+
+func TestBitsetSubsetAndEqual(t *testing.T) {
+	u := 256
+	a := BitsetOf(u, New(1, 2, 3))
+	b := BitsetOf(u, New(1, 2, 3, 200))
+	c := BitsetOf(u, New(1, 2, 4))
+	if !a.IsSubsetOf(b) {
+		t.Error("a ⊆ b expected")
+	}
+	if b.IsSubsetOf(a) {
+		t.Error("b ⊆ a unexpected")
+	}
+	if a.IsSubsetOf(c) || c.IsSubsetOf(a) {
+		t.Error("a,c incomparable expected")
+	}
+	if !a.Equal(BitsetOf(u, New(3, 2, 1))) {
+		t.Error("Equal failed")
+	}
+	if a.Equal(c) {
+		t.Error("Equal false positive")
+	}
+	// different word lengths still compare correctly
+	short := BitsetOf(10, New(1, 2, 3))
+	if !a.Equal(short) || !short.Equal(a) {
+		t.Error("Equal across different universes failed")
+	}
+	if !short.IsSubsetOf(b) {
+		t.Error("short ⊆ b expected")
+	}
+	if b.IsSubsetOf(short) {
+		t.Error("b ⊆ short unexpected")
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	u := 128
+	a := BitsetOf(u, New(1, 2, 3, 70))
+	b := BitsetOf(u, New(2, 3, 4))
+	if !a.Intersects(b) {
+		t.Error("Intersects expected")
+	}
+	if a.Intersects(BitsetOf(u, New(9, 90))) {
+		t.Error("Intersects unexpected")
+	}
+	if got := a.CountAnd(b); got != 2 {
+		t.Errorf("CountAnd = %d, want 2", got)
+	}
+	c := a.Clone()
+	c.AndNot(b)
+	if !c.Items().Equal(New(1, 70)) {
+		t.Errorf("AndNot = %v", c.Items())
+	}
+	c.Or(b)
+	if !c.Items().Equal(New(1, 2, 3, 4, 70)) {
+		t.Errorf("Or = %v", c.Items())
+	}
+	// Clone independence
+	a2 := a.Clone()
+	a2.Remove(1)
+	if !a.Contains(1) {
+		t.Error("Clone not independent")
+	}
+	a2.Clear()
+	if a2.Len() != 0 {
+		t.Errorf("Clear left %d items", a2.Len())
+	}
+}
+
+func TestBitsetItemsAndEach(t *testing.T) {
+	want := New(0, 5, 63, 64, 100)
+	b := BitsetOf(128, want)
+	if got := b.Items(); !got.Equal(want) {
+		t.Errorf("Items = %v, want %v", got, want)
+	}
+	var got Itemset
+	b.Each(func(it Item) { got = append(got, it) })
+	if !got.Equal(want) {
+		t.Errorf("Each = %v, want %v", got, want)
+	}
+	if s := b.String(); s != "{0,5,63,64,100}" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestQuickBitsetAgreesWithItemset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomItemset(r), randomItemset(r)
+		ba, bb := BitsetOf(32, a), BitsetOf(32, b)
+		if ba.IsSubsetOf(bb) != a.IsSubsetOf(b) {
+			return false
+		}
+		if !ba.Items().Equal(a) {
+			return false
+		}
+		if ba.Len() != len(a) {
+			return false
+		}
+		if ba.CountAnd(bb) != len(a.Intersect(b)) {
+			return false
+		}
+		if ba.Intersects(bb) != (len(a.Intersect(b)) > 0) {
+			return false
+		}
+		u := ba.Clone()
+		u.Or(bb)
+		if !u.Items().Equal(a.Union(b)) {
+			return false
+		}
+		d := ba.Clone()
+		d.AndNot(bb)
+		return d.Items().Equal(a.Minus(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,406 @@
+// Package itemset provides the fundamental value types of frequent-itemset
+// mining: items, itemsets (sorted, duplicate-free sequences of items), dense
+// bitset representations, and hashed collections of itemsets.
+//
+// Itemsets are maintained in sorted lexicographic order throughout the
+// library; the candidate-generation procedures of both Apriori and
+// Pincer-Search rely on this invariant (paper §3.3).
+package itemset
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Item identifies a single item. The synthetic benchmark databases use item
+// identifiers in [0, N) with N = 1000; nothing in the library assumes a
+// particular range beyond non-negativity.
+type Item int32
+
+// Itemset is a set of items represented as a strictly increasing slice.
+// The zero value is the empty itemset.
+//
+// All exported functions and methods preserve the sortedness invariant and
+// never alias their inputs unless documented otherwise.
+type Itemset []Item
+
+// New builds an Itemset from an arbitrary list of items, sorting and
+// de-duplicating. The input slice is not modified.
+func New(items ...Item) Itemset {
+	if len(items) == 0 {
+		return nil
+	}
+	s := make(Itemset, len(items))
+	copy(s, items)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, it := range s[1:] {
+		if it != out[len(out)-1] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// FromSorted wraps a slice that is already strictly increasing. It panics if
+// the invariant does not hold; use it only on slices you constructed.
+func FromSorted(items []Item) Itemset {
+	for i := 1; i < len(items); i++ {
+		if items[i-1] >= items[i] {
+			panic(fmt.Sprintf("itemset.FromSorted: not strictly increasing at %d: %v", i, items))
+		}
+	}
+	return Itemset(items)
+}
+
+// Len returns the number of items (the paper's "length" of an itemset).
+func (s Itemset) Len() int { return len(s) }
+
+// Empty reports whether the itemset has no items.
+func (s Itemset) Empty() bool { return len(s) == 0 }
+
+// Clone returns an independent copy.
+func (s Itemset) Clone() Itemset {
+	if s == nil {
+		return nil
+	}
+	c := make(Itemset, len(s))
+	copy(c, s)
+	return c
+}
+
+// Contains reports whether item x is a member.
+func (s Itemset) Contains(x Item) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// IndexOf returns the position of x in s, or -1.
+func (s Itemset) IndexOf(x Item) int {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		return i
+	}
+	return -1
+}
+
+// IsSubsetOf reports whether every item of s belongs to t.
+// Runs in O(len(s)+len(t)).
+func (s Itemset) IsSubsetOf(t Itemset) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			i++
+			j++
+		case s[i] > t[j]:
+			j++
+		default:
+			return false
+		}
+		if len(s)-i > len(t)-j {
+			return false
+		}
+	}
+	return i == len(s)
+}
+
+// IsSupersetOf reports whether s contains every item of t.
+func (s Itemset) IsSupersetOf(t Itemset) bool { return t.IsSubsetOf(s) }
+
+// Equal reports item-wise equality.
+func (s Itemset) Equal(t Itemset) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders itemsets lexicographically by items, with ties broken by
+// length (a proper prefix sorts first). It returns -1, 0, or +1.
+func (s Itemset) Compare(t Itemset) int {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		if s[i] != t[i] {
+			if s[i] < t[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(s) < len(t):
+		return -1
+	case len(s) > len(t):
+		return 1
+	}
+	return 0
+}
+
+// Union returns the sorted union of s and t as a fresh slice.
+func (s Itemset) Union(t Itemset) Itemset {
+	out := make(Itemset, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Intersect returns the sorted intersection of s and t as a fresh slice.
+func (s Itemset) Intersect(t Itemset) Itemset {
+	var out Itemset
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Minus returns s \ t as a fresh slice.
+func (s Itemset) Minus(t Itemset) Itemset {
+	var out Itemset
+	i, j := 0, 0
+	for i < len(s) {
+		if j >= len(t) || s[i] < t[j] {
+			out = append(out, s[i])
+			i++
+		} else if s[i] > t[j] {
+			j++
+		} else {
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Without returns a fresh copy of s with item x removed. If x is not a
+// member, it returns a plain copy. This is the elementary MFCS-gen step
+// (paper §3.2, line 7: m \ {e}).
+func (s Itemset) Without(x Item) Itemset {
+	i := s.IndexOf(x)
+	if i < 0 {
+		return s.Clone()
+	}
+	out := make(Itemset, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	return out
+}
+
+// WithoutIndex returns a fresh copy of s with the item at position i removed.
+func (s Itemset) WithoutIndex(i int) Itemset {
+	out := make(Itemset, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	return out
+}
+
+// With returns a fresh copy of s with item x inserted (no-op copy if
+// already present).
+func (s Itemset) With(x Item) Itemset {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		return s.Clone()
+	}
+	out := make(Itemset, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, x)
+	out = append(out, s[i:]...)
+	return out
+}
+
+// Prefix returns the first k items of s (aliasing s, not a copy).
+func (s Itemset) Prefix(k int) Itemset { return s[:k] }
+
+// HasPrefix reports whether the first len(p) items of s equal p.
+func (s Itemset) HasPrefix(p Itemset) bool {
+	if len(p) > len(s) {
+		return false
+	}
+	for i := range p {
+		if s[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SamePrefix reports whether s and t agree on their first k items. Both must
+// have at least k items. This is the Apriori-gen join test (paper §3.3).
+func SamePrefix(s, t Itemset, k int) bool {
+	if len(s) < k || len(t) < k {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Last returns the final (largest) item. It panics on the empty itemset.
+func (s Itemset) Last() Item { return s[len(s)-1] }
+
+// Subsets invokes f on every proper non-empty subset of s obtained by
+// deleting exactly one item — the k-1 facets of a k-itemset. The slice passed
+// to f is reused across calls; clone it to retain.
+func (s Itemset) Facets(f func(Itemset)) {
+	if len(s) <= 1 {
+		return
+	}
+	buf := make(Itemset, len(s)-1)
+	for i := range s {
+		copy(buf, s[:i])
+		copy(buf[i:], s[i+1:])
+		f(buf)
+	}
+}
+
+// EachSubsetOfSize invokes f on every subset of s of exactly k items, in
+// lexicographic order. The slice passed to f is reused; clone to retain.
+func (s Itemset) EachSubsetOfSize(k int, f func(Itemset)) {
+	if k < 0 || k > len(s) {
+		return
+	}
+	if k == 0 {
+		f(nil)
+		return
+	}
+	idx := make([]int, k)
+	buf := make(Itemset, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		for i, j := range idx {
+			buf[i] = s[j]
+		}
+		f(buf)
+		// advance the combination
+		i := k - 1
+		for i >= 0 && idx[i] == len(s)-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// String renders the itemset as "{1,5,9}".
+func (s Itemset) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, it := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(it)))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Parse parses the String form (braces optional, comma- or space-separated).
+func Parse(s string) (Itemset, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "{")
+	s = strings.TrimSuffix(s, "}")
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	items := make([]Item, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("itemset: parse %q: %w", f, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("itemset: negative item %d", v)
+		}
+		items = append(items, Item(v))
+	}
+	return New(items...), nil
+}
+
+// Range returns the itemset {lo, lo+1, ..., hi-1}; it is the conventional
+// initial MFCS element "{1, 2, ..., n}" of paper §3.5 line 3.
+func Range(lo, hi Item) Itemset {
+	if hi <= lo {
+		return nil
+	}
+	out := make(Itemset, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Key returns a compact string usable as a map key. Unlike String it does
+// not allocate per-item separators beyond a single byte and is not meant to
+// be human-readable.
+func (s Itemset) Key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, len(s)*4)
+	for _, it := range s {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+// KeyToItemset reverses Key.
+func KeyToItemset(k string) Itemset {
+	if len(k)%4 != 0 {
+		panic("itemset: malformed key")
+	}
+	out := make(Itemset, 0, len(k)/4)
+	for i := 0; i < len(k); i += 4 {
+		out = append(out, Item(uint32(k[i])|uint32(k[i+1])<<8|uint32(k[i+2])<<16|uint32(k[i+3])<<24))
+	}
+	return out
+}

@@ -1,0 +1,460 @@
+package itemset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedups(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Item
+		want Itemset
+	}{
+		{"empty", nil, nil},
+		{"single", []Item{7}, Itemset{7}},
+		{"sorted", []Item{1, 2, 3}, Itemset{1, 2, 3}},
+		{"reverse", []Item{3, 2, 1}, Itemset{1, 2, 3}},
+		{"dups", []Item{5, 1, 5, 1, 5}, Itemset{1, 5}},
+		{"all same", []Item{4, 4, 4}, Itemset{4}},
+		{"interleaved", []Item{9, 0, 4, 9, 2, 0}, Itemset{0, 2, 4, 9}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := New(tc.in...)
+			if !got.Equal(tc.want) {
+				t.Fatalf("New(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewDoesNotMutateInput(t *testing.T) {
+	in := []Item{3, 1, 2}
+	New(in...)
+	if !reflect.DeepEqual(in, []Item{3, 1, 2}) {
+		t.Fatalf("New mutated its input: %v", in)
+	}
+}
+
+func TestFromSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted input")
+		}
+	}()
+	FromSorted([]Item{2, 1})
+}
+
+func TestFromSortedPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate input")
+		}
+	}()
+	FromSorted([]Item{1, 1})
+}
+
+func TestContainsAndIndexOf(t *testing.T) {
+	s := New(2, 4, 6, 8)
+	for i, x := range []Item{2, 4, 6, 8} {
+		if !s.Contains(x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+		if got := s.IndexOf(x); got != i {
+			t.Errorf("IndexOf(%d) = %d, want %d", x, got, i)
+		}
+	}
+	for _, x := range []Item{0, 1, 3, 5, 7, 9, 100} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+		if got := s.IndexOf(x); got != -1 {
+			t.Errorf("IndexOf(%d) = %d, want -1", x, got)
+		}
+	}
+}
+
+func TestIsSubsetOf(t *testing.T) {
+	tests := []struct {
+		s, t Itemset
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, New(1), true},
+		{New(1), nil, false},
+		{New(1), New(1), true},
+		{New(1, 3), New(1, 2, 3), true},
+		{New(1, 4), New(1, 2, 3), false},
+		{New(2, 3), New(1, 2, 3, 4), true},
+		{New(1, 2, 3), New(1, 2), false},
+		{New(0), New(1, 2), false},
+		{New(5), New(1, 2, 5), true},
+		{New(1, 2, 3, 4, 5), New(1, 2, 3, 4, 5), true},
+		{New(1, 6), New(1, 2, 3, 4, 5, 6), true},
+	}
+	for _, tc := range tests {
+		if got := tc.s.IsSubsetOf(tc.t); got != tc.want {
+			t.Errorf("%v.IsSubsetOf(%v) = %v, want %v", tc.s, tc.t, got, tc.want)
+		}
+		if got := tc.t.IsSupersetOf(tc.s); got != tc.want {
+			t.Errorf("%v.IsSupersetOf(%v) = %v, want %v", tc.t, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Itemset
+		want int
+	}{
+		{nil, nil, 0},
+		{nil, New(1), -1},
+		{New(1), nil, 1},
+		{New(1, 2), New(1, 2), 0},
+		{New(1, 2), New(1, 3), -1},
+		{New(1, 3), New(1, 2), 1},
+		{New(1, 2), New(1, 2, 3), -1},
+		{New(1, 2, 3), New(1, 2), 1},
+		{New(2), New(10), -1},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestUnionIntersectMinus(t *testing.T) {
+	a := New(1, 3, 5, 7)
+	b := New(3, 4, 5, 6)
+	if got := a.Union(b); !got.Equal(New(1, 3, 4, 5, 6, 7)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(New(3, 5)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(New(1, 7)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := b.Minus(a); !got.Equal(New(4, 6)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := a.Union(nil); !got.Equal(a) {
+		t.Errorf("Union nil = %v", got)
+	}
+	if got := a.Intersect(nil); !got.Empty() {
+		t.Errorf("Intersect nil = %v", got)
+	}
+	if got := a.Minus(nil); !got.Equal(a) {
+		t.Errorf("Minus nil = %v", got)
+	}
+}
+
+func TestWithoutAndWith(t *testing.T) {
+	s := New(1, 2, 3)
+	if got := s.Without(2); !got.Equal(New(1, 3)) {
+		t.Errorf("Without(2) = %v", got)
+	}
+	if got := s.Without(9); !got.Equal(s) {
+		t.Errorf("Without(9) = %v", got)
+	}
+	if got := s.With(0); !got.Equal(New(0, 1, 2, 3)) {
+		t.Errorf("With(0) = %v", got)
+	}
+	if got := s.With(2); !got.Equal(s) {
+		t.Errorf("With(2) = %v", got)
+	}
+	if got := s.With(9); !got.Equal(New(1, 2, 3, 9)) {
+		t.Errorf("With(9) = %v", got)
+	}
+	if got := s.WithoutIndex(0); !got.Equal(New(2, 3)) {
+		t.Errorf("WithoutIndex(0) = %v", got)
+	}
+	if got := s.WithoutIndex(2); !got.Equal(New(1, 2)) {
+		t.Errorf("WithoutIndex(2) = %v", got)
+	}
+	// original is untouched
+	if !s.Equal(New(1, 2, 3)) {
+		t.Errorf("receiver mutated: %v", s)
+	}
+}
+
+func TestPrefixOps(t *testing.T) {
+	a := New(1, 2, 5)
+	b := New(1, 2, 9)
+	c := New(1, 3, 5)
+	if !SamePrefix(a, b, 2) {
+		t.Error("SamePrefix(a,b,2) = false")
+	}
+	if SamePrefix(a, c, 2) {
+		t.Error("SamePrefix(a,c,2) = true")
+	}
+	if !SamePrefix(a, c, 1) {
+		t.Error("SamePrefix(a,c,1) = false")
+	}
+	if SamePrefix(a, New(1), 2) {
+		t.Error("SamePrefix with short operand should be false")
+	}
+	if !a.HasPrefix(New(1, 2)) {
+		t.Error("HasPrefix")
+	}
+	if a.HasPrefix(New(2)) {
+		t.Error("HasPrefix wrong start")
+	}
+	if a.HasPrefix(New(1, 2, 5, 7)) {
+		t.Error("HasPrefix longer than s")
+	}
+	if got := a.Prefix(2); !got.Equal(New(1, 2)) {
+		t.Errorf("Prefix(2) = %v", got)
+	}
+	if a.Last() != 5 {
+		t.Errorf("Last = %d", a.Last())
+	}
+}
+
+func TestFacets(t *testing.T) {
+	s := New(1, 2, 3)
+	var got []Itemset
+	s.Facets(func(f Itemset) { got = append(got, f.Clone()) })
+	want := []Itemset{New(2, 3), New(1, 3), New(1, 2)}
+	if len(got) != len(want) {
+		t.Fatalf("got %d facets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("facet %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// singletons and empties yield nothing
+	count := 0
+	New(1).Facets(func(Itemset) { count++ })
+	Itemset(nil).Facets(func(Itemset) { count++ })
+	if count != 0 {
+		t.Errorf("unexpected facets for trivial sets: %d", count)
+	}
+}
+
+func TestEachSubsetOfSize(t *testing.T) {
+	s := New(1, 2, 3, 4)
+	var got []Itemset
+	s.EachSubsetOfSize(2, func(x Itemset) { got = append(got, x.Clone()) })
+	want := []Itemset{
+		New(1, 2), New(1, 3), New(1, 4),
+		New(2, 3), New(2, 4), New(3, 4),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d subsets, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("subset %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	n := 0
+	s.EachSubsetOfSize(0, func(x Itemset) {
+		n++
+		if !x.Empty() {
+			t.Errorf("size-0 subset = %v", x)
+		}
+	})
+	if n != 1 {
+		t.Errorf("size-0 subsets = %d, want 1", n)
+	}
+	n = 0
+	s.EachSubsetOfSize(4, func(x Itemset) {
+		n++
+		if !x.Equal(s) {
+			t.Errorf("size-4 subset = %v", x)
+		}
+	})
+	if n != 1 {
+		t.Errorf("size-4 subsets = %d, want 1", n)
+	}
+	s.EachSubsetOfSize(5, func(Itemset) { t.Error("size-5 subset of 4-set") })
+	s.EachSubsetOfSize(-1, func(Itemset) { t.Error("negative size") })
+}
+
+func TestStringAndParse(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Itemset
+	}{
+		{"{1,2,3}", New(1, 2, 3)},
+		{"1 2 3", New(1, 2, 3)},
+		{"{}", nil},
+		{"", nil},
+		{"{42}", New(42)},
+		{"3,1,2", New(1, 2, 3)},
+		{"  {7, 9}  ", New(7, 9)},
+	}
+	for _, tc := range tests {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", tc.in, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("Parse(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"{1,x}", "1,-2", "{1 2 z}"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	if got := New(1, 5, 9).String(); got != "{1,5,9}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Itemset(nil).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	if got := Range(0, 4); !got.Equal(New(0, 1, 2, 3)) {
+		t.Errorf("Range(0,4) = %v", got)
+	}
+	if got := Range(2, 3); !got.Equal(New(2)) {
+		t.Errorf("Range(2,3) = %v", got)
+	}
+	if got := Range(3, 3); got != nil {
+		t.Errorf("Range(3,3) = %v", got)
+	}
+	if got := Range(5, 2); got != nil {
+		t.Errorf("Range(5,2) = %v", got)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	sets := []Itemset{nil, New(0), New(1, 2, 3), New(255, 256, 65536), Range(0, 100)}
+	for _, s := range sets {
+		got := KeyToItemset(s.Key())
+		if !got.Equal(s) {
+			t.Errorf("KeyToItemset(Key(%v)) = %v", s, got)
+		}
+	}
+	if New(1, 2).Key() == New(1, 3).Key() {
+		t.Error("distinct sets share a key")
+	}
+}
+
+// --- property-based tests ---
+
+// randomItemset generates a sorted duplicate-free itemset over [0, 32).
+func randomItemset(r *rand.Rand) Itemset {
+	n := r.Intn(8)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item(r.Intn(32))
+	}
+	return New(items...)
+}
+
+func TestQuickSubsetUnionLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomItemset(r), randomItemset(r)
+		u := a.Union(b)
+		if !a.IsSubsetOf(u) || !b.IsSubsetOf(u) {
+			return false
+		}
+		i := a.Intersect(b)
+		if !i.IsSubsetOf(a) || !i.IsSubsetOf(b) {
+			return false
+		}
+		// |A| + |B| = |A ∪ B| + |A ∩ B|
+		if len(a)+len(b) != len(u)+len(i) {
+			return false
+		}
+		// A \ B and A ∩ B partition A
+		d := a.Minus(b)
+		if len(d)+len(i) != len(a) {
+			return false
+		}
+		if !d.Union(i).Equal(a) {
+			return false
+		}
+		// commutativity
+		if !u.Equal(b.Union(a)) || !i.Equal(b.Intersect(a)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomItemset(r), randomItemset(r)
+		naive := true
+		for _, x := range a {
+			if !b.Contains(x) {
+				naive = false
+				break
+			}
+		}
+		return a.IsSubsetOf(b) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareIsTotalOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomItemset(r), randomItemset(r), randomItemset(r)
+		// antisymmetry
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// reflexivity / equality agreement
+		if (a.Compare(b) == 0) != a.Equal(b) {
+			return false
+		}
+		// transitivity (on the ≤ relation)
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEachSubsetCounts(t *testing.T) {
+	binom := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		c := 1
+		for i := 0; i < k; i++ {
+			c = c * (n - i) / (i + 1)
+		}
+		return c
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomItemset(r)
+		k := r.Intn(len(s) + 2)
+		count := 0
+		ok := true
+		s.EachSubsetOfSize(k, func(x Itemset) {
+			count++
+			if len(x) != k || !x.IsSubsetOf(s) {
+				ok = false
+			}
+		})
+		return ok && count == binom(len(s), k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package itemset
+
+import "sort"
+
+// Set is a hashed collection of distinct itemsets with optional associated
+// support counts. It is the working representation of L_k (the frequent set
+// of a pass), S_k (the infrequent set), and the MFS while mining.
+type Set struct {
+	m map[string]entry
+}
+
+type entry struct {
+	set   Itemset
+	count int64
+}
+
+// NewSet returns an empty Set with capacity hint n.
+func NewSet(n int) *Set {
+	return &Set{m: make(map[string]entry, n)}
+}
+
+// SetOf builds a Set from itemsets (support counts zero).
+func SetOf(sets ...Itemset) *Set {
+	s := NewSet(len(sets))
+	for _, x := range sets {
+		s.Add(x)
+	}
+	return s
+}
+
+// Len returns the number of itemsets.
+func (s *Set) Len() int { return len(s.m) }
+
+// Add inserts x with count 0 if absent; the existing count is preserved.
+func (s *Set) Add(x Itemset) {
+	k := x.Key()
+	if _, ok := s.m[k]; !ok {
+		s.m[k] = entry{set: x.Clone()}
+	}
+}
+
+// AddWithCount inserts or replaces x with the given support count.
+func (s *Set) AddWithCount(x Itemset, count int64) {
+	s.m[x.Key()] = entry{set: x.Clone(), count: count}
+}
+
+// Remove deletes x; it is a no-op if absent.
+func (s *Set) Remove(x Itemset) { delete(s.m, x.Key()) }
+
+// Contains reports membership of exactly x.
+func (s *Set) Contains(x Itemset) bool {
+	_, ok := s.m[x.Key()]
+	return ok
+}
+
+// Count returns the support count stored for x and whether x is present.
+func (s *Set) Count(x Itemset) (int64, bool) {
+	e, ok := s.m[x.Key()]
+	return e.count, ok
+}
+
+// Each calls f for every member in unspecified order. f must not mutate s.
+func (s *Set) Each(f func(Itemset, int64)) {
+	for _, e := range s.m {
+		f(e.set, e.count)
+	}
+}
+
+// Sorted returns the members in lexicographic order.
+func (s *Set) Sorted() []Itemset {
+	out := make([]Itemset, 0, len(s.m))
+	for _, e := range s.m {
+		out = append(out, e.set)
+	}
+	SortItemsets(out)
+	return out
+}
+
+// ContainsSubsetOf reports whether some member of s is a subset of x.
+// This is the Observation-1 test: x is known infrequent if a recorded
+// infrequent itemset is contained in it.
+func (s *Set) ContainsSubsetOf(x Itemset) bool {
+	for _, e := range s.m {
+		if e.set.IsSubsetOf(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsSupersetOf reports whether some member of s is a superset of x.
+// This is the Observation-2 test: x is known frequent if a recorded frequent
+// itemset contains it.
+func (s *Set) ContainsSupersetOf(x Itemset) bool {
+	for _, e := range s.m {
+		if x.IsSubsetOf(e.set) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	c := NewSet(len(s.m))
+	for k, e := range s.m {
+		c.m[k] = entry{set: e.set.Clone(), count: e.count}
+	}
+	return c
+}
+
+// SortItemsets sorts a slice of itemsets into lexicographic order in place.
+func SortItemsets(xs []Itemset) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].Compare(xs[j]) < 0 })
+}
+
+// MaximalOnly filters xs down to its maximal elements (those not a proper
+// subset of another element) and returns them in lexicographic order. This
+// is the "maximal filter" used to derive an MFS from a plain frequent set.
+func MaximalOnly(xs []Itemset) []Itemset {
+	// Sort by decreasing length so that any superset precedes its subsets;
+	// then a linear scan with subset tests against kept elements suffices.
+	sorted := make([]Itemset, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if len(sorted[i]) != len(sorted[j]) {
+			return len(sorted[i]) > len(sorted[j])
+		}
+		return sorted[i].Compare(sorted[j]) < 0
+	})
+	var kept []Itemset
+	for _, x := range sorted {
+		dominated := false
+		for _, m := range kept {
+			if x.IsSubsetOf(m) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, x)
+		}
+	}
+	SortItemsets(kept)
+	return kept
+}
+
+// MinimalOnly filters xs down to its minimal elements (those not a proper
+// superset of another element), the dual of MaximalOnly; it is used by the
+// hypergraph-transversal machinery behind minimal-key discovery.
+func MinimalOnly(xs []Itemset) []Itemset {
+	sorted := make([]Itemset, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if len(sorted[i]) != len(sorted[j]) {
+			return len(sorted[i]) < len(sorted[j])
+		}
+		return sorted[i].Compare(sorted[j]) < 0
+	})
+	var kept []Itemset
+	for _, x := range sorted {
+		dominated := false
+		for _, m := range kept {
+			if m.IsSubsetOf(x) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, x)
+		}
+	}
+	SortItemsets(kept)
+	return kept
+}
+
+// IsAntichain reports whether no element of xs is a subset of another
+// (the MFCS minimality invariant of paper Definition 1).
+func IsAntichain(xs []Itemset) bool {
+	for i := range xs {
+		for j := range xs {
+			if i != j && xs[i].IsSubsetOf(xs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

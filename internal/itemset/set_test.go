@@ -1,0 +1,197 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(0)
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	a := New(1, 2)
+	s.Add(a)
+	s.Add(a) // idempotent
+	if s.Len() != 1 || !s.Contains(a) {
+		t.Fatalf("after Add: Len=%d Contains=%v", s.Len(), s.Contains(a))
+	}
+	if _, ok := s.Count(a); !ok {
+		t.Fatal("Count missing after Add")
+	}
+	s.AddWithCount(a, 42)
+	if c, _ := s.Count(a); c != 42 {
+		t.Fatalf("Count = %d, want 42", c)
+	}
+	// Add preserves existing count
+	s.Add(a)
+	if c, _ := s.Count(a); c != 42 {
+		t.Fatalf("Add clobbered count: %d", c)
+	}
+	s.Remove(a)
+	if s.Contains(a) || s.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+	s.Remove(a) // no-op
+}
+
+func TestSetAddClones(t *testing.T) {
+	s := NewSet(0)
+	x := New(1, 2, 3)
+	s.Add(x)
+	x[0] = 99 // violate the caller's copy; the set must be unaffected
+	if !s.Contains(New(1, 2, 3)) {
+		t.Fatal("Set aliased its input")
+	}
+}
+
+func TestSetSorted(t *testing.T) {
+	s := SetOf(New(2, 3), New(1), New(1, 5), New(1, 2))
+	got := s.Sorted()
+	want := []Itemset{New(1), New(1, 2), New(1, 5), New(2, 3)}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted len = %d", len(got))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("Sorted[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetSubsetQueries(t *testing.T) {
+	s := SetOf(New(1, 2), New(3, 4, 5))
+	if !s.ContainsSubsetOf(New(1, 2, 9)) {
+		t.Error("ContainsSubsetOf({1,2,9}) = false")
+	}
+	if s.ContainsSubsetOf(New(1, 3, 9)) {
+		t.Error("ContainsSubsetOf({1,3,9}) = true")
+	}
+	if !s.ContainsSupersetOf(New(3, 5)) {
+		t.Error("ContainsSupersetOf({3,5}) = false")
+	}
+	if s.ContainsSupersetOf(New(2, 3)) {
+		t.Error("ContainsSupersetOf({2,3}) = true")
+	}
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	s := SetOf(New(1), New(2))
+	c := s.Clone()
+	c.Remove(New(1))
+	c.Add(New(3))
+	if !s.Contains(New(1)) || s.Contains(New(3)) || s.Len() != 2 {
+		t.Fatal("Clone not independent")
+	}
+	if c.Len() != 2 || c.Contains(New(1)) {
+		t.Fatal("Clone wrong contents")
+	}
+}
+
+func TestMaximalOnly(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Itemset
+		want []Itemset
+	}{
+		{"empty", nil, nil},
+		{"single", []Itemset{New(1)}, []Itemset{New(1)}},
+		{
+			"chain",
+			[]Itemset{New(1), New(1, 2), New(1, 2, 3)},
+			[]Itemset{New(1, 2, 3)},
+		},
+		{
+			"antichain kept",
+			[]Itemset{New(1, 2), New(2, 3)},
+			[]Itemset{New(1, 2), New(2, 3)},
+		},
+		{
+			"paper example §3.2",
+			[]Itemset{New(1, 2, 3, 4, 5), New(2, 3, 4, 5), New(2, 4, 5, 6)},
+			[]Itemset{New(1, 2, 3, 4, 5), New(2, 4, 5, 6)},
+		},
+		{
+			"duplicates collapse",
+			[]Itemset{New(1, 2), New(1, 2)},
+			[]Itemset{New(1, 2)},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MaximalOnly(tc.in)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if !got[i].Equal(tc.want[i]) {
+					t.Errorf("got[%d] = %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+			if !IsAntichain(got) {
+				t.Error("result not an antichain")
+			}
+		})
+	}
+}
+
+func TestIsAntichain(t *testing.T) {
+	if !IsAntichain([]Itemset{New(1, 2), New(2, 3), New(1, 3)}) {
+		t.Error("true antichain rejected")
+	}
+	if IsAntichain([]Itemset{New(1), New(1, 2)}) {
+		t.Error("chain accepted")
+	}
+	if IsAntichain([]Itemset{New(1, 2), New(1, 2)}) {
+		t.Error("duplicates accepted (each is a subset of the other)")
+	}
+	if !IsAntichain(nil) {
+		t.Error("empty rejected")
+	}
+}
+
+func TestQuickMaximalOnlyInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(12)
+		in := make([]Itemset, n)
+		for i := range in {
+			in[i] = randomItemset(r)
+		}
+		out := MaximalOnly(in)
+		if !IsAntichain(out) {
+			return false
+		}
+		// every input is a subset of some output
+		for _, x := range in {
+			covered := false
+			for _, m := range out {
+				if x.IsSubsetOf(m) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		// every output is one of the inputs
+		for _, m := range out {
+			found := false
+			for _, x := range in {
+				if m.Equal(x) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

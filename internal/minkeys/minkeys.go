@@ -1,0 +1,179 @@
+// Package minkeys discovers the minimal keys of a relation — one of the
+// data mining problems the paper lists in §1 as reducible to maximum-
+// frequent-set discovery (via Mannila & Toivonen's theory of levelwise
+// search and borders, the paper's reference [11]).
+//
+// The reduction: the *agree set* of two tuples is the set of attributes on
+// which they coincide. An attribute set X fails to be a key exactly when
+// some pair of tuples agrees on all of X, i.e. when X is a subset of some
+// agree set. The maximal non-keys are therefore the maximal agree sets —
+// which is precisely a maximum-frequent-set computation over the database
+// whose "transactions" are the agree sets (support threshold: one
+// occurrence), solved here by Pincer-Search. The minimal keys are then the
+// minimal transversals (hitting sets) of the complements of the maximal
+// non-keys, computed with Berge's algorithm.
+package minkeys
+
+import (
+	"fmt"
+
+	"pincer/internal/core"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+// Relation is a table: Attrs names the columns, Rows holds the tuples
+// (each the same length as Attrs).
+type Relation struct {
+	Attrs []string
+	Rows  [][]string
+}
+
+// Validate checks the shape of the relation.
+func (r *Relation) Validate() error {
+	if len(r.Attrs) == 0 {
+		return fmt.Errorf("minkeys: relation has no attributes")
+	}
+	for i, row := range r.Rows {
+		if len(row) != len(r.Attrs) {
+			return fmt.Errorf("minkeys: row %d has %d values, want %d", i, len(row), len(r.Attrs))
+		}
+	}
+	return nil
+}
+
+// Result reports the discovery outcome. Attribute sets are itemsets over
+// column indices; use AttrNames to render them.
+type Result struct {
+	// MinimalKeys holds every minimal key, in lexicographic order. Empty
+	// when the relation contains duplicate rows (then no attribute set is
+	// a key). A single empty itemset means the empty set is a key (the
+	// relation has at most one row).
+	MinimalKeys []itemset.Itemset
+	// MaximalNonKeys holds the maximal agree sets — the complements drive
+	// the transversal computation and are reported for inspection.
+	MaximalNonKeys []itemset.Itemset
+	// HasDuplicateRows reports that two identical rows exist.
+	HasDuplicateRows bool
+	// Pairs is the number of tuple pairs examined.
+	Pairs int
+}
+
+// AttrNames renders an attribute set using the relation's column names.
+func (r *Relation) AttrNames(s itemset.Itemset) []string {
+	out := make([]string, len(s))
+	for i, a := range s {
+		out[i] = r.Attrs[a]
+	}
+	return out
+}
+
+// Find computes the minimal keys of the relation.
+//
+// The agree-set step examines every pair of rows (O(n²·|Attrs|)); cap the
+// row count for very large relations (the agree-set distribution stabilizes
+// quickly on real data).
+func Find(rel *Relation) (*Result, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	numAttrs := len(rel.Attrs)
+	res := &Result{}
+
+	if len(rel.Rows) <= 1 {
+		// Any set — including the empty one — identifies at most one tuple.
+		res.MinimalKeys = []itemset.Itemset{nil}
+		return res, nil
+	}
+
+	// Agree sets of all row pairs form the transaction database.
+	agree := dataset.Empty(numAttrs)
+	full := itemset.Range(0, itemset.Item(numAttrs))
+	for i := 0; i < len(rel.Rows); i++ {
+		for j := i + 1; j < len(rel.Rows); j++ {
+			res.Pairs++
+			var s itemset.Itemset
+			for a := 0; a < numAttrs; a++ {
+				if rel.Rows[i][a] == rel.Rows[j][a] {
+					s = append(s, itemset.Item(a))
+				}
+			}
+			if len(s) == numAttrs {
+				res.HasDuplicateRows = true
+			}
+			agree.Append(s)
+		}
+	}
+	if res.HasDuplicateRows {
+		// Two identical tuples: nothing separates them, no key exists.
+		res.MaximalNonKeys = []itemset.Itemset{full}
+		return res, nil
+	}
+
+	// Maximal non-keys = maximal agree sets = the MFS of the agree-set
+	// database at support ≥ 1 occurrence.
+	opt := core.DefaultOptions()
+	opt.KeepFrequent = false
+	mined := core.MineCount(dataset.NewScanner(agree), 1, opt)
+	res.MaximalNonKeys = mined.MFS
+	if len(res.MaximalNonKeys) == 0 {
+		// Every pair disagrees on every attribute: the only non-key is the
+		// empty set (itemset miners report non-empty itemsets only), and
+		// its complement edge — the full attribute set — forces every key
+		// to be non-empty.
+		res.MaximalNonKeys = []itemset.Itemset{nil}
+	}
+
+	// Minimal keys = minimal transversals of the complements.
+	edges := make([]itemset.Itemset, 0, len(res.MaximalNonKeys))
+	for _, nk := range res.MaximalNonKeys {
+		edges = append(edges, full.Minus(nk))
+	}
+	res.MinimalKeys = MinimalTransversals(numAttrs, edges)
+	return res, nil
+}
+
+// MinimalTransversals computes the minimal hitting sets of a hypergraph
+// over the universe {0..numItems-1} with Berge's incremental algorithm:
+// fold edges in one at a time, extending every transversal that misses the
+// new edge by each of its vertices and re-minimizing.
+//
+// An empty edge has no transversal: the result is empty. No edges at all
+// are hit vacuously: the result is the single empty set.
+func MinimalTransversals(numItems int, edges []itemset.Itemset) []itemset.Itemset {
+	current := []itemset.Itemset{nil} // the empty transversal hits no edges yet
+	for _, e := range edges {
+		if len(e) == 0 {
+			return nil
+		}
+		var next []itemset.Itemset
+		for _, t := range current {
+			if len(t.Intersect(e)) > 0 {
+				next = append(next, t)
+				continue
+			}
+			for _, v := range e {
+				next = append(next, t.With(v))
+			}
+		}
+		current = itemset.MinimalOnly(next)
+	}
+	return current
+}
+
+// IsKey reports whether the attribute set distinguishes every pair of rows.
+// It is the direct O(n²) check used to validate discovery results.
+func IsKey(rel *Relation, attrs itemset.Itemset) bool {
+	seen := make(map[string]bool, len(rel.Rows))
+	for _, row := range rel.Rows {
+		key := ""
+		for _, a := range attrs {
+			key += row[a] + "\x00"
+		}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+	}
+	return true
+}

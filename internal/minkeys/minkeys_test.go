@@ -1,0 +1,201 @@
+package minkeys
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/itemset"
+)
+
+func employeeRelation() *Relation {
+	// id is a key; (name, dept) is a key; name alone is not (two Alices).
+	return &Relation{
+		Attrs: []string{"id", "name", "dept", "city"},
+		Rows: [][]string{
+			{"1", "alice", "eng", "nyc"},
+			{"2", "bob", "eng", "nyc"},
+			{"3", "alice", "sales", "nyc"},
+			{"4", "carol", "sales", "sf"},
+		},
+	}
+}
+
+func TestFindEmployeeKeys(t *testing.T) {
+	rel := employeeRelation()
+	res, err := Find(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasDuplicateRows {
+		t.Fatal("no duplicates expected")
+	}
+	// every reported key is actually a key and is minimal
+	for _, k := range res.MinimalKeys {
+		if !IsKey(rel, k) {
+			t.Errorf("%v (attrs %v) is not a key", k, rel.AttrNames(k))
+		}
+		k.Facets(func(sub itemset.Itemset) {
+			if IsKey(rel, sub.Clone()) {
+				t.Errorf("%v is not minimal: %v already a key", k, sub)
+			}
+		})
+	}
+	// id must be among them
+	foundID := false
+	for _, k := range res.MinimalKeys {
+		if k.Equal(itemset.New(0)) {
+			foundID = true
+		}
+	}
+	if !foundID {
+		t.Errorf("id not found as minimal key: %v", res.MinimalKeys)
+	}
+	// completeness: brute force over all attribute subsets
+	want := bruteForceMinimalKeys(rel)
+	if len(want) != len(res.MinimalKeys) {
+		t.Fatalf("keys = %v, want %v", res.MinimalKeys, want)
+	}
+	for i := range want {
+		if !want[i].Equal(res.MinimalKeys[i]) {
+			t.Errorf("key %d = %v, want %v", i, res.MinimalKeys[i], want[i])
+		}
+	}
+	if res.Pairs != 6 {
+		t.Errorf("Pairs = %d", res.Pairs)
+	}
+}
+
+func TestFindDegenerateRelations(t *testing.T) {
+	// empty relation: empty set is a key
+	res, err := Find(&Relation{Attrs: []string{"a"}, Rows: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MinimalKeys) != 1 || len(res.MinimalKeys[0]) != 0 {
+		t.Errorf("keys = %v, want [{}]", res.MinimalKeys)
+	}
+	// single row: same
+	res, err = Find(&Relation{Attrs: []string{"a", "b"}, Rows: [][]string{{"x", "y"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MinimalKeys) != 1 || len(res.MinimalKeys[0]) != 0 {
+		t.Errorf("keys = %v", res.MinimalKeys)
+	}
+	// duplicate rows: no key
+	res, err = Find(&Relation{Attrs: []string{"a"}, Rows: [][]string{{"x"}, {"x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasDuplicateRows || len(res.MinimalKeys) != 0 {
+		t.Errorf("dup=%v keys=%v", res.HasDuplicateRows, res.MinimalKeys)
+	}
+	// shape errors
+	if _, err := Find(&Relation{}); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := Find(&Relation{Attrs: []string{"a"}, Rows: [][]string{{"x", "y"}}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestAttrNames(t *testing.T) {
+	rel := employeeRelation()
+	got := rel.AttrNames(itemset.New(1, 2))
+	if len(got) != 2 || got[0] != "name" || got[1] != "dept" {
+		t.Errorf("AttrNames = %v", got)
+	}
+}
+
+func TestMinimalTransversals(t *testing.T) {
+	tests := []struct {
+		name  string
+		edges []itemset.Itemset
+		want  []itemset.Itemset
+	}{
+		{"no edges", nil, []itemset.Itemset{nil}},
+		{"single edge", []itemset.Itemset{itemset.New(0, 1)},
+			[]itemset.Itemset{itemset.New(0), itemset.New(1)}},
+		{"empty edge kills all", []itemset.Itemset{itemset.New(0), nil}, nil},
+		{
+			"two disjoint edges",
+			[]itemset.Itemset{itemset.New(0), itemset.New(1)},
+			[]itemset.Itemset{itemset.New(0, 1)},
+		},
+		{
+			"triangle",
+			[]itemset.Itemset{itemset.New(0, 1), itemset.New(1, 2), itemset.New(0, 2)},
+			[]itemset.Itemset{itemset.New(0, 1), itemset.New(0, 2), itemset.New(1, 2)},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MinimalTransversals(3, tc.edges)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if !got[i].Equal(tc.want[i]) {
+					t.Errorf("transversal %d = %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func bruteForceMinimalKeys(rel *Relation) []itemset.Itemset {
+	n := len(rel.Attrs)
+	var keys []itemset.Itemset
+	full := itemset.Range(0, itemset.Item(n))
+	for k := 0; k <= n; k++ {
+		full.EachSubsetOfSize(k, func(s itemset.Itemset) {
+			if IsKey(rel, s) {
+				keys = append(keys, s.Clone())
+			}
+		})
+	}
+	return itemset.MinimalOnly(keys)
+}
+
+func TestQuickFindMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numAttrs := 2 + r.Intn(4)
+		numRows := 2 + r.Intn(8)
+		domain := 2 + r.Intn(3)
+		rel := &Relation{}
+		for a := 0; a < numAttrs; a++ {
+			rel.Attrs = append(rel.Attrs, "a"+strconv.Itoa(a))
+		}
+		for i := 0; i < numRows; i++ {
+			row := make([]string, numAttrs)
+			for a := range row {
+				row[a] = strconv.Itoa(r.Intn(domain))
+			}
+			rel.Rows = append(rel.Rows, row)
+		}
+		res, err := Find(rel)
+		if err != nil {
+			return false
+		}
+		if res.HasDuplicateRows {
+			// brute force agrees there is no key
+			return len(bruteForceMinimalKeys(rel)) == 0
+		}
+		want := bruteForceMinimalKeys(rel)
+		if len(want) != len(res.MinimalKeys) {
+			return false
+		}
+		for i := range want {
+			if !want[i].Equal(res.MinimalKeys[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/apriori"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+func TestPartitionSmall(t *testing.T) {
+	d := dataset.New([]dataset.Transaction{
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2),
+		itemset.New(3, 4),
+		itemset.New(3, 4),
+		itemset.New(5),
+	})
+	res := Mine(d, 2.0/6.0, DefaultOptions())
+	ares := apriori.Mine(dataset.NewScanner(d), 2.0/6.0, apriori.DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
+		t.Fatalf("MFS: %v (got %v want %v)", err, res.MFS, ares.MFS)
+	}
+	if res.Stats.Passes != 2 {
+		t.Errorf("Passes = %d, want 2", res.Stats.Passes)
+	}
+	// supports agree with direct counting
+	res.Frequent.Each(func(x itemset.Itemset, c int64) {
+		if c != d.Support(x) {
+			t.Errorf("support(%v) = %d, want %d", x, c, d.Support(x))
+		}
+	})
+	for i, m := range res.MFS {
+		if res.MFSSupports[i] != d.Support(m) {
+			t.Errorf("MFSSupports[%v] = %d", m, res.MFSSupports[i])
+		}
+	}
+}
+
+func TestPartitionCountsMatchApriori(t *testing.T) {
+	d := quest.Generate(quest.Params{
+		NumTransactions: 900, AvgTxLen: 8, AvgPatternLen: 3,
+		NumPatterns: 40, NumItems: 60, Seed: 7,
+	})
+	res := Mine(d, 0.02, DefaultOptions())
+	ares := apriori.Mine(dataset.NewScanner(d), 0.02, apriori.DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
+		t.Fatal(err)
+	}
+	if res.Frequent.Len() != ares.Frequent.Len() {
+		t.Fatalf("frequent sizes differ: %d vs %d", res.Frequent.Len(), ares.Frequent.Len())
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	// empty database
+	res := Mine(dataset.Empty(4), 0.5, DefaultOptions())
+	if len(res.MFS) != 0 {
+		t.Errorf("empty MFS = %v", res.MFS)
+	}
+	// more partitions than transactions
+	d := dataset.New([]dataset.Transaction{itemset.New(1), itemset.New(1)})
+	opt := DefaultOptions()
+	opt.NumPartitions = 10
+	res = Mine(d, 1.0, opt)
+	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1)}); err != nil {
+		t.Errorf("%v", err)
+	}
+	// zero partitions clamps to 1
+	opt.NumPartitions = 0
+	res = Mine(d, 1.0, opt)
+	if len(res.MFS) != 1 {
+		t.Errorf("MFS = %v", res.MFS)
+	}
+	// KeepFrequent=false
+	opt = DefaultOptions()
+	opt.KeepFrequent = false
+	res = Mine(d, 1.0, opt)
+	if res.Frequent != nil {
+		t.Error("Frequent retained")
+	}
+}
+
+func TestQuickPartitionMatchesApriori(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 4 + r.Intn(8)
+		numTx := 8 + r.Intn(40)
+		d := dataset.Empty(universe)
+		for i := 0; i < numTx; i++ {
+			n := 1 + r.Intn(universe)
+			items := make([]itemset.Item, n)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(universe))
+			}
+			d.Append(itemset.New(items...))
+		}
+		sup := 0.05 + r.Float64()*0.4
+		opt := DefaultOptions()
+		opt.NumPartitions = 1 + r.Intn(5)
+		res := Mine(d, sup, opt)
+		ares := apriori.Mine(dataset.NewScanner(d), sup, apriori.DefaultOptions())
+		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,357 @@
+// Package quest implements the IBM Quest synthetic transaction-data
+// generator of Agrawal and Srikant ("Fast Algorithms for Mining Association
+// Rules", VLDB 1994, §Experiments), the benchmark workload the paper's
+// evaluation uses. Database names follow the convention
+//
+//	T<avg tx len>.I<avg pattern len>.D<num transactions>
+//
+// so T20.I6.D100K is |T|=20, |I|=6, |D|=100 000. Two further parameters
+// control the distribution: N, the number of items (1000 throughout the
+// paper), and |L|, the number of maximal potentially large itemsets —
+// 2000 for the paper's "scattered" experiments (Figure 3) and 50 for the
+// "concentrated" ones (Figure 4).
+package quest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+// Params configures the generator. Zero fields are replaced by the paper's
+// defaults (see Defaults).
+type Params struct {
+	NumTransactions int     // |D|: number of transactions
+	AvgTxLen        float64 // |T|: average transaction size (Poisson mean)
+	AvgPatternLen   float64 // |I|: average size of maximal potentially large itemsets (Poisson mean)
+	NumPatterns     int     // |L|: number of maximal potentially large itemsets
+	NumItems        int     // N: item universe size
+
+	// CorrelationLevel is the mean of the exponential distribution that
+	// decides what fraction of each pattern is drawn from its predecessor
+	// (0.5 in [AS94]).
+	CorrelationLevel float64
+	// CorruptionMean / CorruptionStdDev parameterize the per-pattern
+	// corruption level, drawn from a clamped normal distribution
+	// (0.5 / 0.1 in [AS94]).
+	CorruptionMean   float64
+	CorruptionStdDev float64
+
+	Seed int64 // PRNG seed; runs with equal Params and Seed are identical
+}
+
+// Defaults fills in the paper's default values for unset fields.
+func (p Params) Defaults() Params {
+	if p.NumTransactions <= 0 {
+		p.NumTransactions = 100_000
+	}
+	if p.AvgTxLen <= 0 {
+		p.AvgTxLen = 10
+	}
+	if p.AvgPatternLen <= 0 {
+		p.AvgPatternLen = 4
+	}
+	if p.NumPatterns <= 0 {
+		p.NumPatterns = 2000
+	}
+	if p.NumItems <= 0 {
+		p.NumItems = 1000
+	}
+	if p.CorrelationLevel <= 0 {
+		p.CorrelationLevel = 0.5
+	}
+	if p.CorruptionMean <= 0 {
+		p.CorruptionMean = 0.5
+	}
+	if p.CorruptionStdDev <= 0 {
+		p.CorruptionStdDev = 0.1
+	}
+	return p
+}
+
+// Name renders the conventional database name, e.g. "T20.I6.D100K".
+func (p Params) Name() string {
+	p = p.Defaults()
+	d := strconv.Itoa(p.NumTransactions)
+	if p.NumTransactions%1000 == 0 {
+		d = strconv.Itoa(p.NumTransactions/1000) + "K"
+	}
+	return fmt.Sprintf("T%s.I%s.D%s",
+		trimFloat(p.AvgTxLen), trimFloat(p.AvgPatternLen), d)
+}
+
+func trimFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', -1, 64)
+	return s
+}
+
+var nameRE = regexp.MustCompile(`^T([0-9.]+)\.I([0-9.]+)\.D([0-9]+)(K|k)?$`)
+
+// ParseName parses a conventional database name into Params (other fields
+// keep their zero values, i.e. the paper defaults apply).
+func ParseName(name string) (Params, error) {
+	m := nameRE.FindStringSubmatch(strings.TrimSpace(name))
+	if m == nil {
+		return Params{}, fmt.Errorf("quest: cannot parse database name %q (want e.g. T10.I4.D100K)", name)
+	}
+	t, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		return Params{}, fmt.Errorf("quest: bad |T| in %q: %w", name, err)
+	}
+	i, err := strconv.ParseFloat(m[2], 64)
+	if err != nil {
+		return Params{}, fmt.Errorf("quest: bad |I| in %q: %w", name, err)
+	}
+	d, err := strconv.Atoi(m[3])
+	if err != nil {
+		return Params{}, fmt.Errorf("quest: bad |D| in %q: %w", name, err)
+	}
+	if m[4] != "" {
+		d *= 1000
+	}
+	return Params{AvgTxLen: t, AvgPatternLen: i, NumTransactions: d}, nil
+}
+
+// pattern is one maximal potentially large itemset with its selection weight
+// and corruption level. order holds the items in a fixed random order:
+// corruption truncates its tail, so the subsets a corrupted pattern leaves
+// behind are nested prefixes — this matches the original Quest generator
+// and is what makes "concentrated" databases have few, long maximal
+// frequent itemsets rather than a combinatorial smear of subsets.
+type pattern struct {
+	items      itemset.Itemset
+	order      []itemset.Item // items in corruption order
+	weight     float64        // cumulative after normalization
+	corruption float64
+}
+
+// Generator produces synthetic transaction databases. Create one with New,
+// then call Generate (or GenerateInto for streaming use).
+type Generator struct {
+	params   Params
+	rng      *rand.Rand
+	patterns []pattern
+}
+
+// New builds a generator: it draws the |L| potentially large itemsets, their
+// weights, and their corruption levels. The transaction stream itself is
+// produced by Generate.
+func New(p Params) *Generator {
+	p = p.Defaults()
+	g := &Generator{params: p, rng: rand.New(rand.NewSource(p.Seed))}
+	g.buildPatterns()
+	return g
+}
+
+// Params returns the fully-defaulted parameters in effect.
+func (g *Generator) Params() Params { return g.params }
+
+// Patterns exposes the maximal potentially large itemsets that seed the
+// data (useful for validating that mining recovers them). The returned
+// slices must not be modified.
+func (g *Generator) Patterns() []itemset.Itemset {
+	out := make([]itemset.Itemset, len(g.patterns))
+	for i, p := range g.patterns {
+		out[i] = p.items
+	}
+	return out
+}
+
+func (g *Generator) buildPatterns() {
+	p := g.params
+	g.patterns = make([]pattern, p.NumPatterns)
+	var prev itemset.Itemset
+	weights := make([]float64, p.NumPatterns)
+	totalW := 0.0
+	for i := range g.patterns {
+		size := g.poisson(p.AvgPatternLen - 1)
+		size++ // at least one item
+		if size > p.NumItems {
+			size = p.NumItems
+		}
+		items := make(map[itemset.Item]bool, size)
+		if i > 0 && len(prev) > 0 {
+			// Take an exponentially-distributed fraction of items from the
+			// previous pattern, to model cross-pattern correlation.
+			frac := g.exponential(p.CorrelationLevel)
+			if frac > 1 {
+				frac = 1
+			}
+			take := int(math.Round(frac * float64(size)))
+			if take > len(prev) {
+				take = len(prev)
+			}
+			perm := g.rng.Perm(len(prev))
+			for _, j := range perm[:take] {
+				items[prev[j]] = true
+			}
+		}
+		for len(items) < size {
+			items[itemset.Item(g.rng.Intn(p.NumItems))] = true
+		}
+		flat := make([]itemset.Item, 0, len(items))
+		for it := range items {
+			flat = append(flat, it)
+		}
+		g.patterns[i].items = itemset.New(flat...)
+		prev = g.patterns[i].items
+		order := make([]itemset.Item, len(g.patterns[i].items))
+		copy(order, g.patterns[i].items)
+		g.rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		g.patterns[i].order = order
+
+		w := g.exponential(1)
+		weights[i] = w
+		totalW += w
+
+		c := p.CorruptionMean + g.rng.NormFloat64()*p.CorruptionStdDev
+		if c < 0 {
+			c = 0
+		}
+		if c > 1 {
+			c = 1
+		}
+		g.patterns[i].corruption = c
+	}
+	// cumulative weights for O(log L) pattern selection
+	cum := 0.0
+	for i := range g.patterns {
+		cum += weights[i] / totalW
+		g.patterns[i].weight = cum
+	}
+	g.patterns[len(g.patterns)-1].weight = 1
+}
+
+// pickPattern samples a pattern index according to the normalized weights.
+func (g *Generator) pickPattern() *pattern {
+	u := g.rng.Float64()
+	lo, hi := 0, len(g.patterns)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.patterns[mid].weight < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &g.patterns[lo]
+}
+
+// Generate materializes the complete database.
+func (g *Generator) Generate() *dataset.Dataset {
+	d := dataset.Empty(g.params.NumItems)
+	g.GenerateInto(func(t itemset.Itemset) { d.Append(t) })
+	return d
+}
+
+// GenerateInto streams |D| transactions to sink, in order. Each call
+// continues the PRNG stream, so two calls yield different transactions.
+func (g *Generator) GenerateInto(sink func(itemset.Itemset)) {
+	var carry itemset.Itemset // corrupted pattern deferred to the next transaction
+	for i := 0; i < g.params.NumTransactions; i++ {
+		sink(g.transaction(&carry))
+	}
+}
+
+// transaction assembles one transaction following [AS94]: draw a Poisson
+// length, then fill it with (possibly corrupted) patterns; a pattern that
+// does not fit is kept anyway half the time and deferred to the next
+// transaction otherwise.
+func (g *Generator) transaction(carry *itemset.Itemset) itemset.Itemset {
+	want := g.poisson(g.params.AvgTxLen)
+	if want < 1 {
+		want = 1
+	}
+	tx := make(map[itemset.Item]bool, want)
+	add := func(s itemset.Itemset) {
+		for _, it := range s {
+			tx[it] = true
+		}
+	}
+	if *carry != nil {
+		add(*carry)
+		*carry = nil
+	}
+	guard := 0
+	for len(tx) < want {
+		guard++
+		if guard > 64 { // pathological parameters; never triggered by paper settings
+			break
+		}
+		p := g.pickPattern()
+		corrupted := g.corrupt(p)
+		if len(corrupted) == 0 {
+			continue
+		}
+		if len(tx)+len(corrupted) > want && len(tx) > 0 {
+			// Does not fit: half the time keep it regardless, otherwise
+			// defer it to the next transaction.
+			if g.rng.Float64() < 0.5 {
+				add(corrupted)
+			} else {
+				*carry = corrupted
+			}
+			break
+		}
+		add(corrupted)
+	}
+	flat := make([]itemset.Item, 0, len(tx))
+	for it := range tx {
+		flat = append(flat, it)
+	}
+	return itemset.New(flat...)
+}
+
+// corrupt drops items from the tail of the pattern's fixed random order
+// while successive uniform draws stay below the pattern's corruption level
+// — the original Quest rule. Because the order is fixed per pattern, the
+// surviving subsets form a nested chain of prefixes, concentrating support
+// on one subset per length instead of smearing it over all C(l,k) subsets.
+func (g *Generator) corrupt(p *pattern) itemset.Itemset {
+	keep := len(p.order)
+	for keep > 0 && g.rng.Float64() < p.corruption {
+		keep--
+	}
+	if keep == len(p.order) {
+		return p.items
+	}
+	return itemset.New(p.order[:keep]...)
+}
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's product method — adequate for the small means used here.
+func (g *Generator) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10_000 {
+			return k
+		}
+	}
+}
+
+// exponential draws from an exponential distribution with the given mean.
+func (g *Generator) exponential(mean float64) float64 {
+	return g.rng.ExpFloat64() * mean
+}
+
+// Generate is the package-level convenience: build a generator and produce
+// the database in one call.
+func Generate(p Params) *dataset.Dataset {
+	return New(p).Generate()
+}

@@ -1,0 +1,249 @@
+package quest
+
+import (
+	"math"
+	"testing"
+
+	"pincer/internal/itemset"
+)
+
+func smallParams() Params {
+	return Params{
+		NumTransactions: 2000,
+		AvgTxLen:        10,
+		AvgPatternLen:   4,
+		NumPatterns:     100,
+		NumItems:        200,
+		Seed:            1,
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Params{}.Defaults()
+	if p.NumTransactions != 100_000 || p.NumItems != 1000 || p.NumPatterns != 2000 {
+		t.Fatalf("Defaults = %+v", p)
+	}
+	if p.AvgTxLen != 10 || p.AvgPatternLen != 4 {
+		t.Fatalf("Defaults = %+v", p)
+	}
+	if p.CorrelationLevel != 0.5 || p.CorruptionMean != 0.5 || p.CorruptionStdDev != 0.1 {
+		t.Fatalf("Defaults = %+v", p)
+	}
+	// explicit values are preserved
+	p = Params{NumTransactions: 7, AvgTxLen: 5, NumItems: 3}.Defaults()
+	if p.NumTransactions != 7 || p.AvgTxLen != 5 || p.NumItems != 3 {
+		t.Fatalf("Defaults clobbered explicit values: %+v", p)
+	}
+}
+
+func TestName(t *testing.T) {
+	tests := []struct {
+		p    Params
+		want string
+	}{
+		{Params{AvgTxLen: 20, AvgPatternLen: 6, NumTransactions: 100_000}, "T20.I6.D100K"},
+		{Params{AvgTxLen: 5, AvgPatternLen: 2, NumTransactions: 100_000}, "T5.I2.D100K"},
+		{Params{AvgTxLen: 10, AvgPatternLen: 4, NumTransactions: 1234}, "T10.I4.D1234"},
+		{Params{AvgTxLen: 2.5, AvgPatternLen: 1, NumTransactions: 1000}, "T2.5.I1.D1K"},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Name(); got != tc.want {
+			t.Errorf("Name(%+v) = %q, want %q", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestParseName(t *testing.T) {
+	p, err := ParseName("T20.I15.D100K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AvgTxLen != 20 || p.AvgPatternLen != 15 || p.NumTransactions != 100_000 {
+		t.Fatalf("ParseName = %+v", p)
+	}
+	p, err = ParseName("T5.I2.D400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumTransactions != 400 {
+		t.Fatalf("ParseName = %+v", p)
+	}
+	for _, bad := range []string{"", "T20", "I4.T10.D100K", "T20.I6", "T20.I6.Dabc"} {
+		if _, err := ParseName(bad); err == nil {
+			t.Errorf("ParseName(%q) succeeded", bad)
+		}
+	}
+	// round trip
+	orig := Params{AvgTxLen: 10, AvgPatternLen: 4, NumTransactions: 100_000}
+	back, err := ParseName(orig.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.AvgTxLen != orig.AvgTxLen || back.NumTransactions != orig.NumTransactions {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := smallParams()
+	d := Generate(p)
+	if d.Len() != p.NumTransactions {
+		t.Fatalf("|D| = %d, want %d", d.Len(), p.NumTransactions)
+	}
+	if d.NumItems() != p.NumItems {
+		t.Fatalf("N = %d, want %d", d.NumItems(), p.NumItems)
+	}
+	st := d.Stats()
+	// The mean transaction length should be near |T| (generous tolerance:
+	// corruption and the fit rule shift it slightly below the Poisson mean).
+	if st.AvgLength < p.AvgTxLen*0.5 || st.AvgLength > p.AvgTxLen*1.5 {
+		t.Errorf("avg length %v too far from |T|=%v", st.AvgLength, p.AvgTxLen)
+	}
+	for _, tx := range d.Transactions() {
+		if len(tx) == 0 {
+			continue
+		}
+		if int(tx.Last()) >= p.NumItems {
+			t.Fatalf("item %d out of universe", tx.Last())
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Generate(smallParams())
+	b := Generate(smallParams())
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different |D|")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Transaction(i).Equal(b.Transaction(i)) {
+			t.Fatalf("same seed diverges at tx %d: %v vs %v", i, a.Transaction(i), b.Transaction(i))
+		}
+	}
+	p := smallParams()
+	p.Seed = 2
+	c := Generate(p)
+	same := true
+	for i := 0; i < a.Len() && i < c.Len(); i++ {
+		if !a.Transaction(i).Equal(c.Transaction(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produce identical databases")
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	g := New(smallParams())
+	pats := g.Patterns()
+	if len(pats) != 100 {
+		t.Fatalf("|L| = %d", len(pats))
+	}
+	totalLen := 0
+	for _, p := range pats {
+		if len(p) == 0 {
+			t.Fatal("empty pattern")
+		}
+		if int(p.Last()) >= g.Params().NumItems {
+			t.Fatalf("pattern item out of range: %v", p)
+		}
+		totalLen += len(p)
+	}
+	avg := float64(totalLen) / float64(len(pats))
+	if avg < 2 || avg > 7 {
+		t.Errorf("avg pattern length %v too far from |I|=4", avg)
+	}
+}
+
+func TestPatternsActuallyOccur(t *testing.T) {
+	// Concentrated parameters: few long patterns, so at least some of them
+	// should be frequent in the generated data — this is the property the
+	// whole benchmark design depends on.
+	p := Params{
+		NumTransactions: 2000,
+		AvgTxLen:        20,
+		AvgPatternLen:   10,
+		NumPatterns:     10,
+		NumItems:        200,
+		Seed:            7,
+	}
+	g := New(p)
+	d := g.Generate()
+	found := 0
+	for _, pat := range g.Patterns() {
+		if d.SupportFraction(pat) >= 0.01 {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no seeded pattern reaches 1% support; generator is not planting patterns")
+	}
+}
+
+func TestLongTransactionsForLongPatterns(t *testing.T) {
+	// T20.I15-style parameters must yield long frequent itemsets: verify a
+	// 10+-item itemset has noticeable support.
+	p := Params{
+		NumTransactions: 1500,
+		AvgTxLen:        20,
+		AvgPatternLen:   15,
+		NumPatterns:     10,
+		NumItems:        200,
+		Seed:            3,
+	}
+	g := New(p)
+	d := g.Generate()
+	best := 0.0
+	bestLen := 0
+	for _, pat := range g.Patterns() {
+		if len(pat) >= 10 {
+			if s := d.SupportFraction(pat); s > best {
+				best = s
+				bestLen = len(pat)
+			}
+		}
+	}
+	if best < 0.02 {
+		t.Fatalf("no long pattern with support ≥ 2%% (best %.3f, len %d)", best, bestLen)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := New(smallParams())
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += g.poisson(6)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-6) > 0.2 {
+		t.Fatalf("poisson mean = %v, want ≈6", mean)
+	}
+	if g.poisson(0) != 0 || g.poisson(-1) != 0 {
+		t.Fatal("poisson of non-positive mean should be 0")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := New(smallParams())
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.exponential(0.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("exponential mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestGenerateIntoStreams(t *testing.T) {
+	g := New(smallParams())
+	var got []itemset.Itemset
+	g.GenerateInto(func(tx itemset.Itemset) { got = append(got, tx) })
+	if len(got) != g.Params().NumTransactions {
+		t.Fatalf("streamed %d transactions", len(got))
+	}
+}

@@ -1,0 +1,122 @@
+// Package randmax implements a randomized maximal-frequent-itemset
+// discoverer in the spirit of Gunopulos, Mannila & Saluja (ICDT 1997),
+// the randomized alternative the paper contrasts itself with in §5
+// ("we present a deterministic algorithm for solving this problem").
+//
+// Each trial performs a random maximalization walk: starting from a random
+// frequent item, items are added in random order, keeping the set frequent,
+// until no item can be added — the result is a maximal frequent itemset.
+// Trials repeat until a patience budget passes without discovering a new
+// maximal itemset. The output is therefore a subset of the true MFS with
+// high probability of completeness on benign distributions, but without the
+// determinism of Pincer-Search — the benchmark suite uses it to show what
+// the randomized alternative costs and misses.
+package randmax
+
+import (
+	"math/rand"
+	"time"
+
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// Options configures the randomized search.
+type Options struct {
+	// Patience is the number of consecutive fruitless walks after which the
+	// search stops (default 64).
+	Patience int
+	// MaxWalks hard-bounds the number of walks (0 = unlimited).
+	MaxWalks int
+	// Seed drives the PRNG.
+	Seed int64
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{Patience: 64}
+}
+
+// Result extends the shared result with randomized-search diagnostics.
+type Result struct {
+	mfi.Result
+	// Walks is the number of maximalization walks performed.
+	Walks int
+	// SupportQueries counts the support computations (each a full database
+	// scan in this reference implementation) — the algorithm's cost unit.
+	SupportQueries int64
+}
+
+// Mine runs the randomized search over an in-memory dataset. The result is
+// a (probabilistically complete) subset of the maximum frequent set.
+func Mine(d *dataset.Dataset, minSupport float64, opt Options) *Result {
+	start := time.Now()
+	if opt.Patience <= 0 {
+		opt.Patience = 64
+	}
+	minCount := d.MinCount(minSupport)
+	res := &Result{Result: mfi.Result{
+		MinCount:        minCount,
+		NumTransactions: d.Len(),
+	}}
+	res.Stats.Algorithm = "randmax"
+	defer func() { res.Stats.Duration = time.Since(start) }()
+
+	support := func(x itemset.Itemset) int64 {
+		res.SupportQueries++
+		return d.Support(x)
+	}
+
+	// Frequent items form the walk alphabet.
+	var frequentItems []itemset.Item
+	counts := d.ItemCounts()
+	for i, c := range counts {
+		if c >= minCount {
+			frequentItems = append(frequentItems, itemset.Item(i))
+		}
+	}
+	if len(frequentItems) == 0 {
+		return res
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	found := itemset.NewSet(0)
+	fruitless := 0
+	for fruitless < opt.Patience {
+		if opt.MaxWalks > 0 && res.Walks >= opt.MaxWalks {
+			break
+		}
+		res.Walks++
+		m, sup := walk(rng, frequentItems, minCount, support)
+		if found.Contains(m) {
+			fruitless++
+			continue
+		}
+		fruitless = 0
+		found.AddWithCount(m, sup)
+	}
+
+	res.MFS = itemset.MaximalOnly(found.Sorted())
+	res.MFSSupports = make([]int64, len(res.MFS))
+	for i, m := range res.MFS {
+		c, _ := found.Count(m)
+		res.MFSSupports[i] = c
+	}
+	return res
+}
+
+// walk grows a random frequent itemset until maximal.
+func walk(rng *rand.Rand, alphabet []itemset.Item, minCount int64, support func(itemset.Itemset) int64) (itemset.Itemset, int64) {
+	order := rng.Perm(len(alphabet))
+	current := itemset.Itemset{alphabet[order[0]]}
+	sup := support(current) // frequent by construction of the alphabet
+	for _, oi := range order[1:] {
+		ext := current.With(alphabet[oi])
+		if s := support(ext); s >= minCount {
+			current = ext
+			sup = s
+		}
+	}
+	return current, sup
+}

@@ -1,0 +1,100 @@
+package randmax
+
+import (
+	"testing"
+
+	"pincer/internal/apriori"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+func TestRandMaxFindsObviousMaximal(t *testing.T) {
+	d := dataset.Empty(10)
+	for i := 0; i < 5; i++ {
+		d.Append(itemset.New(1, 2, 3, 4))
+		d.Append(itemset.New(6, 7))
+	}
+	opt := DefaultOptions()
+	opt.Seed = 1
+	res := Mine(d, 0.5, opt)
+	want := []itemset.Itemset{itemset.New(1, 2, 3, 4), itemset.New(6, 7)}
+	if err := mfi.VerifyAgainst(res.MFS, want); err != nil {
+		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
+	}
+	for i, m := range res.MFS {
+		if res.MFSSupports[i] != d.Support(m) {
+			t.Errorf("support(%v) = %d", m, res.MFSSupports[i])
+		}
+	}
+	if res.Walks == 0 || res.SupportQueries == 0 {
+		t.Errorf("diagnostics empty: %+v", res)
+	}
+}
+
+func TestRandMaxEveryOutputIsTrulyMaximal(t *testing.T) {
+	d := quest.Generate(quest.Params{
+		NumTransactions: 500, AvgTxLen: 8, AvgPatternLen: 4,
+		NumPatterns: 20, NumItems: 40, Seed: 4,
+	})
+	opt := DefaultOptions()
+	opt.Seed = 7
+	res := Mine(d, 0.05, opt)
+	if len(res.MFS) == 0 {
+		t.Fatal("nothing found")
+	}
+	// soundness: every reported itemset is frequent and maximal
+	if err := mfi.Verify(d, res.MinCount, res.MFS); err != nil {
+		t.Fatal(err)
+	}
+	// probabilistic completeness: the output is a subset of the true MFS
+	ares := apriori.Mine(dataset.NewScanner(d), 0.05, apriori.DefaultOptions())
+	trueSet := itemset.SetOf(ares.MFS...)
+	for _, m := range res.MFS {
+		if !trueSet.Contains(m) {
+			t.Errorf("%v not in the true MFS", m)
+		}
+	}
+	missing := len(ares.MFS) - len(res.MFS)
+	if missing < 0 {
+		t.Errorf("found more maximal itemsets (%d) than exist (%d)?", len(res.MFS), len(ares.MFS))
+	}
+}
+
+func TestRandMaxEdgeCases(t *testing.T) {
+	res := Mine(dataset.Empty(4), 0.5, DefaultOptions())
+	if len(res.MFS) != 0 || res.Walks != 0 {
+		t.Fatalf("empty db: %+v", res)
+	}
+	d := dataset.New([]dataset.Transaction{itemset.New(1), itemset.New(2)})
+	res = Mine(d, 0.9, DefaultOptions())
+	if len(res.MFS) != 0 {
+		t.Fatalf("MFS = %v, want empty", res.MFS)
+	}
+	// MaxWalks bounds work
+	d2 := dataset.New([]dataset.Transaction{itemset.New(1, 2), itemset.New(1, 2)})
+	opt := DefaultOptions()
+	opt.MaxWalks = 3
+	res = Mine(d2, 0.5, opt)
+	if res.Walks > 3 {
+		t.Errorf("walks = %d > MaxWalks", res.Walks)
+	}
+}
+
+func TestRandMaxDeterministicBySeed(t *testing.T) {
+	d := quest.Generate(quest.Params{
+		NumTransactions: 300, AvgTxLen: 6, AvgPatternLen: 3,
+		NumPatterns: 15, NumItems: 30, Seed: 2,
+	})
+	opt := DefaultOptions()
+	opt.Seed = 99
+	a := Mine(d, 0.05, opt)
+	b := Mine(d, 0.05, opt)
+	if err := mfi.VerifyAgainst(a.MFS, b.MFS); err != nil {
+		t.Fatalf("same seed differs: %v", err)
+	}
+	if a.Walks != b.Walks {
+		t.Errorf("walks differ: %d vs %d", a.Walks, b.Walks)
+	}
+}

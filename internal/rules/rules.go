@@ -1,0 +1,266 @@
+// Package rules implements the second stage of association-rule mining
+// (paper §2.1): generating the rules X → Y with support and confidence above
+// user thresholds from the discovered frequent itemsets.
+//
+// Two generators are provided. FromFrequentSet is the classic ap-genrules
+// of Agrawal & Srikant, which needs the complete frequent set with supports
+// — what Apriori produces. FromMFS implements the paper's observation that
+// the maximum frequent set suffices: the subsets of the maximal frequent
+// itemsets are generated on demand and their supports counted with one extra
+// database pass, "which is quite straightforward" (§2.1).
+package rules
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// Rule is an association rule Antecedent → Consequent.
+type Rule struct {
+	Antecedent itemset.Itemset
+	Consequent itemset.Itemset
+	// Support is the fractional support of Antecedent ∪ Consequent.
+	Support float64
+	// Confidence is support(A ∪ C) / support(A).
+	Confidence float64
+	// Lift is confidence / support(C): > 1 indicates positive correlation.
+	Lift float64
+	// AntecedentSupport and ConsequentSupport are the marginal supports,
+	// retained so the strong-rule measures below need no recounting.
+	AntecedentSupport float64
+	ConsequentSupport float64
+}
+
+// Leverage is Piatetsky-Shapiro's rule-interest measure (the paper's §1
+// "strong rules" reference [14]): support(A∪C) − support(A)·support(C).
+// Zero means independence; the PS framework calls a rule strong when the
+// leverage is significantly positive.
+func (r Rule) Leverage() float64 {
+	return r.Support - r.AntecedentSupport*r.ConsequentSupport
+}
+
+// Conviction is (1 − support(C)) / (1 − confidence): the ratio by which the
+// rule would be wrong more often if A and C were independent. It diverges
+// to +Inf for exact rules (confidence 1).
+func (r Rule) Conviction() float64 {
+	denom := 1 - r.Confidence
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return (1 - r.ConsequentSupport) / denom
+}
+
+// ChiSquare computes the χ² statistic of the 2×2 contingency table of A
+// and C over n transactions. Values above 3.84 reject independence at the
+// 5% level (one degree of freedom).
+func (r Rule) ChiSquare(n int) float64 {
+	fN := float64(n)
+	observed := [2][2]float64{
+		{r.Support * fN, (r.AntecedentSupport - r.Support) * fN},
+		{(r.ConsequentSupport - r.Support) * fN,
+			(1 - r.AntecedentSupport - r.ConsequentSupport + r.Support) * fN},
+	}
+	pa, pc := r.AntecedentSupport, r.ConsequentSupport
+	expected := [2][2]float64{
+		{pa * pc * fN, pa * (1 - pc) * fN},
+		{(1 - pa) * pc * fN, (1 - pa) * (1 - pc) * fN},
+	}
+	chi := 0.0
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if expected[i][j] <= 0 {
+				continue
+			}
+			d := observed[i][j] - expected[i][j]
+			chi += d * d / expected[i][j]
+		}
+	}
+	return chi
+}
+
+// IsStrong applies the Piatetsky-Shapiro strength test at the 5% χ² level
+// with positive leverage.
+func (r Rule) IsStrong(n int) bool {
+	return r.Leverage() > 0 && r.ChiSquare(n) >= 3.841
+}
+
+// String renders "{1,2} => {3} (sup 0.40, conf 0.80, lift 1.60)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup %.3f, conf %.3f, lift %.2f)",
+		r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// Params are the rule-quality thresholds.
+type Params struct {
+	MinConfidence float64
+	// MaxConsequent bounds the consequent length (0 = unlimited);
+	// ap-genrules grows consequents level-wise, so this caps work on long
+	// maximal itemsets.
+	MaxConsequent int
+}
+
+// Sort orders rules by descending confidence, then descending support, then
+// lexicographically — a stable, deterministic presentation order.
+func Sort(rs []Rule) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if c := a.Antecedent.Compare(b.Antecedent); c != 0 {
+			return c < 0
+		}
+		return a.Consequent.Compare(b.Consequent) < 0
+	})
+}
+
+// supportOracle answers fractional supports for itemsets known frequent.
+type supportOracle struct {
+	counts  *itemset.Set
+	numTx   float64
+	missing bool // a lookup failed (indicates an inconsistent input)
+}
+
+func (o *supportOracle) frac(x itemset.Itemset) float64 {
+	c, ok := o.counts.Count(x)
+	if !ok {
+		o.missing = true
+		return 0
+	}
+	return float64(c) / o.numTx
+}
+
+// FromFrequentSet runs ap-genrules over a complete frequent set with
+// support counts (for example apriori's Result.Frequent). numTransactions
+// is |D|. It returns the rules sorted by Sort.
+func FromFrequentSet(frequent *itemset.Set, numTransactions int, p Params) ([]Rule, error) {
+	if numTransactions <= 0 {
+		return nil, fmt.Errorf("rules: numTransactions must be positive")
+	}
+	oracle := &supportOracle{counts: frequent, numTx: float64(numTransactions)}
+	var out []Rule
+	frequent.Each(func(f itemset.Itemset, _ int64) {
+		if len(f) < 2 {
+			return
+		}
+		out = append(out, genRulesFor(f, oracle, p)...)
+	})
+	if oracle.missing {
+		return nil, fmt.Errorf("rules: frequent set is not downward closed (missing subset supports)")
+	}
+	Sort(out)
+	return out, nil
+}
+
+// genRulesFor is ap-genrules for one frequent itemset f: consequents grow
+// level-wise, and a consequent that fails the confidence test prunes all its
+// supersets (confidence is anti-monotone in the consequent).
+func genRulesFor(f itemset.Itemset, oracle *supportOracle, p Params) []Rule {
+	fSup := oracle.frac(f)
+	var out []Rule
+	// level 1 consequents
+	var level []itemset.Itemset
+	for _, it := range f {
+		level = append(level, itemset.Itemset{it})
+	}
+	maxLen := len(f) - 1
+	if p.MaxConsequent > 0 && p.MaxConsequent < maxLen {
+		maxLen = p.MaxConsequent
+	}
+	for k := 1; k <= maxLen && len(level) > 0; k++ {
+		var surviving []itemset.Itemset
+		for _, cons := range level {
+			ant := f.Minus(cons)
+			conf := 0.0
+			if aSup := oracle.frac(ant); aSup > 0 {
+				conf = fSup / aSup
+			}
+			if conf >= p.MinConfidence {
+				aSup := oracle.frac(ant)
+				cSup := oracle.frac(cons)
+				lift := 0.0
+				if cSup > 0 {
+					lift = conf / cSup
+				}
+				out = append(out, Rule{
+					Antecedent: ant, Consequent: cons,
+					Support: fSup, Confidence: conf, Lift: lift,
+					AntecedentSupport: aSup, ConsequentSupport: cSup,
+				})
+				surviving = append(surviving, cons)
+			}
+		}
+		if k == maxLen {
+			break
+		}
+		// next-level consequents: joins of surviving ones (ap-genrules uses
+		// Apriori-gen on the consequent sets)
+		itemset.SortItemsets(surviving)
+		seen := itemset.NewSet(0)
+		var next []itemset.Itemset
+		for i := 0; i < len(surviving); i++ {
+			for j := i + 1; j < len(surviving); j++ {
+				if !itemset.SamePrefix(surviving[i], surviving[j], k-1) {
+					break
+				}
+				c := surviving[i].Union(surviving[j])
+				if !seen.Contains(c) {
+					seen.Add(c)
+					next = append(next, c)
+				}
+			}
+		}
+		level = next
+	}
+	return out
+}
+
+// FromMFS generates rules from a maximum frequent set alone, per §2.1: all
+// subsets of the maximal frequent itemsets down to the needed lengths are
+// materialized, their supports counted in one extra pass over the database,
+// and ap-genrules is run on the result.
+//
+// maxItemsetLen caps the length of frequent itemsets considered as rule
+// sources (0 = no cap); with very long maximal itemsets the subset lattice
+// is exponential, and the paper's own use case examines "the maximal
+// frequent itemsets and ... itemsets a little shorter".
+func FromMFS(sc dataset.Scanner, mfs []itemset.Itemset, maxItemsetLen int, p Params) ([]Rule, error) {
+	subsets := mfi.Expand(mfs, maxItemsetLen)
+	if len(subsets) == 0 {
+		return nil, nil
+	}
+	counts := CountSubsets(sc, subsets)
+	return FromFrequentSet(counts, sc.Len(), p)
+}
+
+// CountSubsets counts the supports of the given itemsets in one database
+// pass and returns them as a support-annotated Set.
+func CountSubsets(sc dataset.Scanner, sets []itemset.Itemset) *itemset.Set {
+	counter := counting.NewHashTree(sets)
+	sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
+	out := itemset.NewSet(len(sets))
+	for i, c := range counter.Counts() {
+		out.AddWithCount(sets[i], c)
+	}
+	return out
+}
+
+// Filter returns the rules matching pred.
+func Filter(rs []Rule, pred func(Rule) bool) []Rule {
+	var out []Rule
+	for _, r := range rs {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

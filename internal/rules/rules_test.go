@@ -1,0 +1,342 @@
+package rules
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/apriori"
+	"pincer/internal/core"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+// rulesDataset: {1,2,3} in 4 of 5 transactions, {4} breaks things up.
+func rulesDataset() *dataset.Dataset {
+	return dataset.New([]dataset.Transaction{
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2, 3, 4),
+		itemset.New(1, 4),
+	})
+}
+
+func mineFrequent(t *testing.T, d *dataset.Dataset, minCount int64) *itemset.Set {
+	t.Helper()
+	res := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+	return res.Frequent
+}
+
+func findRule(rs []Rule, ant, cons itemset.Itemset) (Rule, bool) {
+	for _, r := range rs {
+		if r.Antecedent.Equal(ant) && r.Consequent.Equal(cons) {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+func TestFromFrequentSetBasic(t *testing.T) {
+	d := rulesDataset()
+	freq := mineFrequent(t, d, 2)
+	rs, err := FromFrequentSet(freq, d.Len(), Params{MinConfidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {2} => {1}: support(1,2)=4/5, support(2)=4/5, conf=1.0
+	r, ok := findRule(rs, itemset.New(2), itemset.New(1))
+	if !ok {
+		t.Fatalf("rule {2}=>{1} missing from %v", rs)
+	}
+	if math.Abs(r.Support-0.8) > 1e-9 || math.Abs(r.Confidence-1.0) > 1e-9 {
+		t.Errorf("rule = %+v", r)
+	}
+	// {1} => {2}: conf = 0.8/1.0 = 0.8 < 0.9: excluded
+	if _, ok := findRule(rs, itemset.New(1), itemset.New(2)); ok {
+		t.Error("rule {1}=>{2} should fail the confidence threshold")
+	}
+	// multi-item consequent: {3} => {1,2} has conf 1.0
+	if _, ok := findRule(rs, itemset.New(3), itemset.New(1, 2)); !ok {
+		t.Errorf("rule {3}=>{1,2} missing: %v", rs)
+	}
+	// every returned rule satisfies the threshold and has consistent math
+	for _, r := range rs {
+		if r.Confidence < 0.9 {
+			t.Errorf("rule below threshold: %v", r)
+		}
+		union := r.Antecedent.Union(r.Consequent)
+		wantSup := d.SupportFraction(union)
+		if math.Abs(r.Support-wantSup) > 1e-9 {
+			t.Errorf("support mismatch for %v: %v vs %v", r, r.Support, wantSup)
+		}
+		wantConf := wantSup / d.SupportFraction(r.Antecedent)
+		if math.Abs(r.Confidence-wantConf) > 1e-9 {
+			t.Errorf("confidence mismatch for %v", r)
+		}
+		if len(r.Antecedent) == 0 || len(r.Consequent) == 0 {
+			t.Errorf("degenerate rule %v", r)
+		}
+		if len(r.Antecedent.Intersect(r.Consequent)) != 0 {
+			t.Errorf("overlapping rule %v", r)
+		}
+	}
+}
+
+func TestFromFrequentSetErrors(t *testing.T) {
+	freq := itemset.NewSet(0)
+	freq.AddWithCount(itemset.New(1, 2), 3) // subsets missing: not downward closed
+	if _, err := FromFrequentSet(freq, 10, Params{MinConfidence: 0.5}); err == nil {
+		t.Fatal("non-downward-closed input accepted")
+	}
+	if _, err := FromFrequentSet(freq, 0, Params{}); err == nil {
+		t.Fatal("zero transactions accepted")
+	}
+}
+
+func TestMaxConsequent(t *testing.T) {
+	d := rulesDataset()
+	freq := mineFrequent(t, d, 2)
+	rs, err := FromFrequentSet(freq, d.Len(), Params{MinConfidence: 0.1, MaxConsequent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if len(r.Consequent) > 1 {
+			t.Errorf("consequent too long: %v", r)
+		}
+	}
+	if len(rs) == 0 {
+		t.Fatal("no rules")
+	}
+}
+
+func TestFromMFSMatchesFromFrequentSet(t *testing.T) {
+	d := rulesDataset()
+	sc := dataset.NewScanner(d)
+	res := core.MineCount(sc, 2, core.DefaultOptions())
+	got, err := FromMFS(sc, res.MFS, 0, Params{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FromFrequentSet(mineFrequent(t, d, 2), d.Len(), Params{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("FromMFS %d rules, FromFrequentSet %d:\n%v\nvs\n%v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if !got[i].Antecedent.Equal(want[i].Antecedent) || !got[i].Consequent.Equal(want[i].Consequent) {
+			t.Errorf("rule %d: %v vs %v", i, got[i], want[i])
+		}
+		if math.Abs(got[i].Confidence-want[i].Confidence) > 1e-9 {
+			t.Errorf("rule %d confidence: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickFromMFSMatchesFromFrequentSet(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 4 + r.Intn(6)
+		d := dataset.Empty(universe)
+		numTx := 6 + r.Intn(30)
+		for i := 0; i < numTx; i++ {
+			n := 1 + r.Intn(universe)
+			items := make([]itemset.Item, n)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(universe))
+			}
+			d.Append(itemset.New(items...))
+		}
+		minCount := int64(2 + r.Intn(numTx/2))
+		conf := 0.3 + r.Float64()*0.6
+		sc := dataset.NewScanner(d)
+		res := core.MineCount(sc, minCount, core.DefaultOptions())
+		got, err := FromMFS(sc, res.MFS, 0, Params{MinConfidence: conf})
+		if err != nil {
+			return false
+		}
+		freq := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()).Frequent
+		want, err := FromFrequentSet(freq, d.Len(), Params{MinConfidence: conf})
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !got[i].Antecedent.Equal(want[i].Antecedent) ||
+				!got[i].Consequent.Equal(want[i].Consequent) ||
+				math.Abs(got[i].Confidence-want[i].Confidence) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfidencePruningIsSound(t *testing.T) {
+	// ap-genrules prunes consequent supersets of failed consequents; verify
+	// against brute force on a fixed dataset.
+	d := dataset.New([]dataset.Transaction{
+		itemset.New(1, 2, 3, 4),
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2, 4),
+		itemset.New(1, 3, 4),
+		itemset.New(2, 3, 4),
+		itemset.New(1, 2),
+	})
+	freq := mineFrequent(t, d, 2)
+	for _, conf := range []float64{0.4, 0.6, 0.8, 1.0} {
+		rs, err := FromFrequentSet(freq, d.Len(), Params{MinConfidence: conf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := bruteForceRules(d, freq, conf)
+		if len(rs) != len(brute) {
+			t.Fatalf("conf %v: %d rules, brute force %d\n%v\nvs\n%v", conf, len(rs), len(brute), rs, brute)
+		}
+		for i := range brute {
+			if !rs[i].Antecedent.Equal(brute[i].Antecedent) || !rs[i].Consequent.Equal(brute[i].Consequent) {
+				t.Fatalf("conf %v rule %d: %v vs %v", conf, i, rs[i], brute[i])
+			}
+		}
+	}
+}
+
+func bruteForceRules(d *dataset.Dataset, freq *itemset.Set, minConf float64) []Rule {
+	var out []Rule
+	freq.Each(func(f itemset.Itemset, _ int64) {
+		if len(f) < 2 {
+			return
+		}
+		fSup := d.SupportFraction(f)
+		for k := 1; k < len(f); k++ {
+			f.EachSubsetOfSize(k, func(cons itemset.Itemset) {
+				ant := f.Minus(cons)
+				conf := fSup / d.SupportFraction(ant)
+				if conf >= minConf {
+					cSup := d.SupportFraction(cons)
+					out = append(out, Rule{
+						Antecedent: ant, Consequent: cons.Clone(),
+						Support: fSup, Confidence: conf, Lift: conf / cSup,
+					})
+				}
+			})
+		}
+	})
+	Sort(out)
+	return out
+}
+
+func TestSortAndString(t *testing.T) {
+	rs := []Rule{
+		{Antecedent: itemset.New(2), Consequent: itemset.New(3), Confidence: 0.5, Support: 0.2},
+		{Antecedent: itemset.New(1), Consequent: itemset.New(2), Confidence: 0.9, Support: 0.1},
+		{Antecedent: itemset.New(1), Consequent: itemset.New(3), Confidence: 0.9, Support: 0.3},
+	}
+	Sort(rs)
+	if !rs[0].Antecedent.Equal(itemset.New(1)) || !rs[0].Consequent.Equal(itemset.New(3)) {
+		t.Errorf("sort order wrong: %v", rs)
+	}
+	if rs[2].Confidence != 0.5 {
+		t.Errorf("lowest confidence not last: %v", rs)
+	}
+	s := Rule{
+		Antecedent: itemset.New(1, 2), Consequent: itemset.New(3),
+		Support: 0.4, Confidence: 0.8, Lift: 1.6,
+	}.String()
+	if !strings.Contains(s, "{1,2} => {3}") || !strings.Contains(s, "conf 0.800") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	rs := []Rule{
+		{Lift: 2.0}, {Lift: 0.5}, {Lift: 1.5},
+	}
+	hi := Filter(rs, func(r Rule) bool { return r.Lift > 1 })
+	if len(hi) != 2 {
+		t.Fatalf("Filter = %v", hi)
+	}
+	if got := Filter(nil, func(Rule) bool { return true }); got != nil {
+		t.Errorf("Filter(nil) = %v", got)
+	}
+}
+
+func TestStrongRuleMeasures(t *testing.T) {
+	d := rulesDataset() // 5 transactions; {1,2,3} in 4, {4} in 2
+	freq := mineFrequent(t, d, 2)
+	rs, err := FromFrequentSet(freq, d.Len(), Params{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := findRule(rs, itemset.New(2), itemset.New(1))
+	if !ok {
+		t.Fatalf("rule {2}=>{1} missing")
+	}
+	// support(1,2)=0.8, support(2)=0.8, support(1)=1.0
+	if math.Abs(r.AntecedentSupport-0.8) > 1e-9 || math.Abs(r.ConsequentSupport-1.0) > 1e-9 {
+		t.Fatalf("marginals = %v / %v", r.AntecedentSupport, r.ConsequentSupport)
+	}
+	// leverage = 0.8 - 0.8*1.0 = 0: {1} is in every transaction, so the
+	// rule carries no information beyond the marginal.
+	if math.Abs(r.Leverage()) > 1e-9 {
+		t.Errorf("Leverage = %v, want 0", r.Leverage())
+	}
+	// conviction with confidence 1 diverges
+	if !math.IsInf(r.Conviction(), 1) {
+		t.Errorf("Conviction = %v, want +Inf", r.Conviction())
+	}
+	if r.IsStrong(d.Len()) {
+		t.Error("an uninformative rule passed the strength test")
+	}
+
+	// a genuinely correlated rule on a larger dataset
+	big := dataset.Empty(4)
+	for i := 0; i < 50; i++ {
+		big.Append(itemset.New(1, 2))
+	}
+	for i := 0; i < 50; i++ {
+		big.Append(itemset.New(3))
+	}
+	freqBig := mineFrequent(t, big, 10)
+	rs, err = FromFrequentSet(freqBig, big.Len(), Params{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok = findRule(rs, itemset.New(1), itemset.New(2))
+	if !ok {
+		t.Fatal("rule {1}=>{2} missing")
+	}
+	// leverage = 0.5 - 0.25 = 0.25; χ² = n for a perfect 2x2 association
+	if math.Abs(r.Leverage()-0.25) > 1e-9 {
+		t.Errorf("Leverage = %v, want 0.25", r.Leverage())
+	}
+	if got := r.ChiSquare(big.Len()); math.Abs(got-float64(big.Len())) > 1e-6 {
+		t.Errorf("ChiSquare = %v, want %d", got, big.Len())
+	}
+	if !r.IsStrong(big.Len()) {
+		t.Error("perfectly correlated rule not strong")
+	}
+	// conviction of a non-exact rule is finite
+	imperfect := Rule{Support: 0.4, Confidence: 0.8, AntecedentSupport: 0.5, ConsequentSupport: 0.6}
+	if c := imperfect.Conviction(); math.IsInf(c, 1) || math.Abs(c-2.0) > 1e-9 {
+		t.Errorf("Conviction = %v, want 2.0", c)
+	}
+}
+
+func TestFromMFSEmpty(t *testing.T) {
+	sc := dataset.NewScanner(dataset.Empty(3))
+	rs, err := FromMFS(sc, nil, 0, Params{MinConfidence: 0.5})
+	if err != nil || rs != nil {
+		t.Fatalf("FromMFS empty = %v, %v", rs, err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package sampling implements Toivonen's Sampling algorithm (VLDB 1996),
+// a related-work baseline the paper discusses (§5). A random sample of the
+// database is mined in memory at a lowered support threshold; the sample's
+// frequent set plus its negative border is then counted against the full
+// database. If nothing in the negative border turns out globally frequent,
+// one full pass sufficed; otherwise the candidate collection is expanded
+// border-by-border with additional passes until it closes — the rare
+// "failure" path that trades an extra scan for exactness.
+//
+// The paper's critique stands here too: the sample is mined bottom-up, so a
+// long maximal frequent itemset still forces the enumeration of its 2^l
+// subsets, just in memory instead of on disk.
+package sampling
+
+import (
+	"math/rand"
+	"time"
+
+	"pincer/internal/apriori"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// Options configures the Sampling run.
+type Options struct {
+	// SampleSize is the number of transactions drawn (with replacement)
+	// for the in-memory mining step (default: |D|/4, at least 1).
+	SampleSize int
+	// LowerFactor multiplies the support threshold used on the sample;
+	// Toivonen lowers it to reduce the miss probability (default 0.8).
+	LowerFactor float64
+	// Seed drives the sampling PRNG.
+	Seed int64
+	// Engine selects the counting engine for the full-database passes.
+	Engine counting.Engine
+	// KeepFrequent retains the global frequent set in the result.
+	KeepFrequent bool
+	// MaxExpansions bounds the failure-path iterations (0 = until closure,
+	// which is what guarantees an exact result; set a bound only to trade
+	// exactness for a hard pass limit).
+	MaxExpansions int
+}
+
+// DefaultOptions returns Toivonen's standard configuration.
+func DefaultOptions() Options {
+	return Options{LowerFactor: 0.8, Engine: counting.EngineHashTree, KeepFrequent: true}
+}
+
+// Result extends the shared result with sampling diagnostics.
+type Result struct {
+	mfi.Result
+	// BorderMisses counts negative-border itemsets that turned out globally
+	// frequent — zero means the single-pass fast path succeeded.
+	BorderMisses int
+	// Expansions counts failure-path candidate expansions performed.
+	Expansions int
+}
+
+// Mine runs the Sampling algorithm over an in-memory dataset.
+func Mine(d *dataset.Dataset, minSupport float64, opt Options) *Result {
+	start := time.Now()
+	if opt.SampleSize <= 0 {
+		opt.SampleSize = d.Len() / 4
+		if opt.SampleSize < 1 {
+			opt.SampleSize = 1
+		}
+	}
+	if opt.LowerFactor <= 0 || opt.LowerFactor > 1 {
+		opt.LowerFactor = 0.8
+	}
+	minCount := d.MinCount(minSupport)
+	res := &Result{Result: mfi.Result{
+		MinCount:        minCount,
+		NumTransactions: d.Len(),
+		Frequent:        itemset.NewSet(0),
+	}}
+	res.Stats.Algorithm = "sampling"
+	defer func() { res.Stats.Duration = time.Since(start) }()
+	if d.Len() == 0 {
+		return res
+	}
+
+	// Draw the sample (with replacement) and mine it in memory.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	sample := dataset.Empty(d.NumItems())
+	for i := 0; i < opt.SampleSize; i++ {
+		sample.Append(d.Transaction(rng.Intn(d.Len())))
+	}
+	aopt := apriori.DefaultOptions()
+	aopt.Engine = opt.Engine
+	sampleRes := apriori.Mine(dataset.NewScanner(sample), minSupport*opt.LowerFactor, aopt)
+
+	universe := d.PresentItems()
+	sampleFrequent := sampleRes.Frequent.Sorted()
+	border := mfi.NegativeBorder(universe, sampleFrequent)
+
+	counted := itemset.NewSet(0) // every itemset counted against the full DB
+	countAll := func(sets []itemset.Itemset) {
+		if len(sets) == 0 {
+			return
+		}
+		ctr := counting.NewCounter(opt.Engine, sets)
+		for _, tx := range d.Transactions() {
+			ctr.Add(tx)
+		}
+		frequent := 0
+		for i, c := range ctr.Counts() {
+			counted.AddWithCount(sets[i], c)
+			if c >= minCount {
+				frequent++
+			}
+		}
+		res.Stats.AddPass(mfi.PassStats{Candidates: len(sets), Frequent: frequent})
+	}
+
+	first := append(append([]itemset.Itemset(nil), sampleFrequent...), border...)
+	countAll(dedupe(first))
+
+	// Fast-path check: any border itemset globally frequent means the
+	// sample missed part of the frequent set.
+	for _, b := range border {
+		if c, ok := counted.Count(b); ok && c >= minCount {
+			res.BorderMisses++
+		}
+	}
+
+	// Failure path: expand by the negative border of the global frequent
+	// collection until it closes.
+	for res.BorderMisses > 0 && (opt.MaxExpansions == 0 || res.Expansions < opt.MaxExpansions) {
+		var globallyFrequent []itemset.Itemset
+		counted.Each(func(x itemset.Itemset, c int64) {
+			if c >= minCount {
+				globallyFrequent = append(globallyFrequent, x)
+			}
+		})
+		nb := mfi.NegativeBorder(universe, globallyFrequent)
+		var fresh []itemset.Itemset
+		for _, x := range nb {
+			if !counted.Contains(x) {
+				fresh = append(fresh, x)
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		res.Expansions++
+		countAll(fresh)
+	}
+
+	// Assemble the result from everything counted.
+	var all []itemset.Itemset
+	counted.Each(func(x itemset.Itemset, c int64) {
+		if c >= minCount {
+			all = append(all, x)
+			if opt.KeepFrequent {
+				res.Frequent.AddWithCount(x, c)
+			}
+		}
+	})
+	res.MFS = itemset.MaximalOnly(all)
+	res.MFSSupports = make([]int64, len(res.MFS))
+	for i, m := range res.MFS {
+		c, _ := counted.Count(m)
+		res.MFSSupports[i] = c
+	}
+	if !opt.KeepFrequent {
+		res.Frequent = nil
+	}
+	return res
+}
+
+func dedupe(sets []itemset.Itemset) []itemset.Itemset {
+	seen := itemset.NewSet(len(sets))
+	out := sets[:0]
+	for _, s := range sets {
+		if !seen.Contains(s) {
+			seen.Add(s)
+			out = append(out, s)
+		}
+	}
+	return out
+}

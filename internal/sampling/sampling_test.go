@@ -1,0 +1,119 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/apriori"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+func TestSamplingSmall(t *testing.T) {
+	d := dataset.New([]dataset.Transaction{
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2),
+		itemset.New(3, 4),
+		itemset.New(3, 4),
+	})
+	opt := DefaultOptions()
+	opt.SampleSize = 5
+	opt.Seed = 1
+	res := Mine(d, 0.4, opt)
+	ares := apriori.Mine(dataset.NewScanner(d), 0.4, apriori.DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
+		t.Fatalf("MFS: %v (got %v want %v)", err, res.MFS, ares.MFS)
+	}
+	res.Frequent.Each(func(x itemset.Itemset, c int64) {
+		if c != d.Support(x) {
+			t.Errorf("support(%v) = %d, want %d", x, c, d.Support(x))
+		}
+	})
+}
+
+func TestSamplingEmptyDatabase(t *testing.T) {
+	res := Mine(dataset.Empty(4), 0.5, DefaultOptions())
+	if len(res.MFS) != 0 || res.Stats.Passes != 0 {
+		t.Fatalf("MFS=%v passes=%d", res.MFS, res.Stats.Passes)
+	}
+}
+
+func TestSamplingFastPathUsesOnePass(t *testing.T) {
+	// With the sample being the whole database the border never misses.
+	d := quest.Generate(quest.Params{
+		NumTransactions: 400, AvgTxLen: 6, AvgPatternLen: 3,
+		NumPatterns: 20, NumItems: 40, Seed: 5,
+	})
+	opt := DefaultOptions()
+	opt.SampleSize = d.Len() * 2 // oversample: near-exact estimate
+	opt.Seed = 2
+	res := Mine(d, 0.05, opt)
+	ares := apriori.Mine(dataset.NewScanner(d), 0.05, apriori.DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
+		t.Fatalf("MFS: %v", err)
+	}
+	if res.BorderMisses == 0 && res.Stats.Passes != 1 {
+		t.Errorf("fast path took %d passes", res.Stats.Passes)
+	}
+}
+
+func TestSamplingFailurePathStillExact(t *testing.T) {
+	// A pathologically tiny sample forces border misses; the expansion loop
+	// must still converge to the exact result.
+	d := quest.Generate(quest.Params{
+		NumTransactions: 600, AvgTxLen: 8, AvgPatternLen: 4,
+		NumPatterns: 25, NumItems: 50, Seed: 9,
+	})
+	sawMiss := false
+	for seed := int64(0); seed < 8; seed++ {
+		opt := DefaultOptions()
+		opt.SampleSize = 12
+		opt.LowerFactor = 1.0 // no lowering: misses likely
+		opt.Seed = seed
+		res := Mine(d, 0.05, opt)
+		ares := apriori.Mine(dataset.NewScanner(d), 0.05, apriori.DefaultOptions())
+		if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.BorderMisses > 0 {
+			sawMiss = true
+			if res.Expansions == 0 {
+				t.Errorf("seed %d: misses without expansion", seed)
+			}
+		}
+	}
+	if !sawMiss {
+		t.Log("no border miss observed across seeds (unusual but not wrong)")
+	}
+}
+
+func TestQuickSamplingMatchesApriori(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 4 + r.Intn(6)
+		numTx := 10 + r.Intn(40)
+		d := dataset.Empty(universe)
+		for i := 0; i < numTx; i++ {
+			n := 1 + r.Intn(universe)
+			items := make([]itemset.Item, n)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(universe))
+			}
+			d.Append(itemset.New(items...))
+		}
+		sup := 0.1 + r.Float64()*0.3
+		opt := DefaultOptions()
+		opt.SampleSize = 1 + r.Intn(numTx)
+		opt.Seed = seed
+		res := Mine(d, sup, opt)
+		ares := apriori.Mine(dataset.NewScanner(d), sup, apriori.DefaultOptions())
+		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package stocks synthesizes correlated stock-price-movement data — the
+// paper's concluding motivation (§6): "prices of individual stocks are
+// frequently quite correlated with each other ... the discovered patterns
+// may contain many items (stocks) and the frequent itemsets are long."
+//
+// The generator uses a standard one-factor-per-sector model: each trading
+// day has a market return, each sector a sector return, each stock an
+// idiosyncratic residual. A day's "basket" is the set of stocks that rose
+// by more than a threshold, so a strongly coupled sector shows up as a long
+// maximal frequent itemset — the regime where Pincer-Search dominates
+// bottom-up mining.
+package stocks
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+// Params configures the market model.
+type Params struct {
+	NumStocks int // total stocks (items)
+	NumDays   int // trading days (transactions)
+	// Sectors maps each sector to its stock count; stocks are assigned to
+	// sectors in order, any remainder is unsectored (pure idiosyncratic).
+	Sectors []int
+	// MarketVol, SectorVol, IdioVol are the standard deviations of the
+	// market, sector, and idiosyncratic return components.
+	MarketVol float64
+	SectorVol float64
+	IdioVol   float64
+	// SectorBeta scales how strongly sector members load on their sector
+	// factor (default 1).
+	SectorBeta float64
+	// UpThreshold is the return above which a stock counts as "up" for the
+	// day's basket.
+	UpThreshold float64
+	Seed        int64
+}
+
+// Defaults fills unset fields with a configuration that yields a few long,
+// strongly correlated sectors.
+func (p Params) Defaults() Params {
+	if p.NumStocks <= 0 {
+		p.NumStocks = 100
+	}
+	if p.NumDays <= 0 {
+		p.NumDays = 1000
+	}
+	if len(p.Sectors) == 0 {
+		p.Sectors = []int{15, 12, 10, 8}
+	}
+	if p.MarketVol <= 0 {
+		p.MarketVol = 0.5
+	}
+	if p.SectorVol <= 0 {
+		p.SectorVol = 1.0
+	}
+	if p.IdioVol <= 0 {
+		p.IdioVol = 0.4
+	}
+	if p.SectorBeta <= 0 {
+		p.SectorBeta = 1
+	}
+	if p.UpThreshold == 0 {
+		p.UpThreshold = 0.8
+	}
+	return p
+}
+
+// Market is a generated market: daily up-baskets plus the ground-truth
+// sector memberships.
+type Market struct {
+	// Days is the basket database: one transaction per day holding the
+	// stocks that closed up more than the threshold.
+	Days *dataset.Dataset
+	// SectorMembers lists each sector's stocks (the planted correlation
+	// structure mining should recover).
+	SectorMembers []itemset.Itemset
+	// Returns holds the raw daily returns, Returns[day][stock].
+	Returns [][]float64
+}
+
+// Generate builds a market under the one-factor model.
+func Generate(p Params) (*Market, error) {
+	p = p.Defaults()
+	total := 0
+	for _, n := range p.Sectors {
+		if n < 0 {
+			return nil, fmt.Errorf("stocks: negative sector size %d", n)
+		}
+		total += n
+	}
+	if total > p.NumStocks {
+		return nil, fmt.Errorf("stocks: sectors need %d stocks, only %d available", total, p.NumStocks)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	sectorOf := make([]int, p.NumStocks)
+	for i := range sectorOf {
+		sectorOf[i] = -1
+	}
+	m := &Market{Days: dataset.Empty(p.NumStocks)}
+	next := 0
+	for s, n := range p.Sectors {
+		members := make(itemset.Itemset, 0, n)
+		for j := 0; j < n; j++ {
+			sectorOf[next] = s
+			members = append(members, itemset.Item(next))
+			next++
+		}
+		m.SectorMembers = append(m.SectorMembers, members)
+	}
+
+	m.Returns = make([][]float64, p.NumDays)
+	for day := 0; day < p.NumDays; day++ {
+		market := rng.NormFloat64() * p.MarketVol
+		sector := make([]float64, len(p.Sectors))
+		for s := range sector {
+			sector[s] = rng.NormFloat64() * p.SectorVol
+		}
+		rets := make([]float64, p.NumStocks)
+		var up []itemset.Item
+		for i := 0; i < p.NumStocks; i++ {
+			r := market + rng.NormFloat64()*p.IdioVol
+			if s := sectorOf[i]; s >= 0 {
+				r += p.SectorBeta * sector[s]
+			}
+			rets[i] = r
+			if r > p.UpThreshold {
+				up = append(up, itemset.Item(i))
+			}
+		}
+		m.Returns[day] = rets
+		m.Days.Append(itemset.New(up...))
+	}
+	return m, nil
+}
+
+// Correlation computes the Pearson correlation of two stocks' return series.
+func (m *Market) Correlation(a, b itemset.Item) float64 {
+	n := float64(len(m.Returns))
+	if n == 0 {
+		return 0
+	}
+	var sa, sb, saa, sbb, sab float64
+	for _, day := range m.Returns {
+		x, y := day[a], day[b]
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	cov := sab/n - (sa/n)*(sb/n)
+	va := saa/n - (sa/n)*(sa/n)
+	vb := sbb/n - (sb/n)*(sb/n)
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / (math.Sqrt(va) * math.Sqrt(vb))
+}

@@ -1,0 +1,107 @@
+package stocks
+
+import (
+	"testing"
+
+	"pincer/internal/core"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+func TestGenerateShape(t *testing.T) {
+	m, err := Generate(Params{NumStocks: 50, NumDays: 300, Sectors: []int{8, 6}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Days.Len() != 300 {
+		t.Fatalf("days = %d", m.Days.Len())
+	}
+	if m.Days.NumItems() != 50 {
+		t.Fatalf("stocks = %d", m.Days.NumItems())
+	}
+	if len(m.SectorMembers) != 2 || len(m.SectorMembers[0]) != 8 || len(m.SectorMembers[1]) != 6 {
+		t.Fatalf("sectors = %v", m.SectorMembers)
+	}
+	if len(m.Returns) != 300 || len(m.Returns[0]) != 50 {
+		t.Fatal("returns shape wrong")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Params{NumStocks: 5, Sectors: []int{10}}); err == nil {
+		t.Error("oversubscribed sectors accepted")
+	}
+	if _, err := Generate(Params{NumStocks: 5, Sectors: []int{-1}}); err == nil {
+		t.Error("negative sector accepted")
+	}
+}
+
+func TestSectorMembersAreCorrelated(t *testing.T) {
+	m, err := Generate(Params{NumStocks: 60, NumDays: 800, Sectors: []int{10, 10}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := m.Correlation(m.SectorMembers[0][0], m.SectorMembers[0][1])
+	if within < 0.5 {
+		t.Errorf("within-sector correlation %v, want > 0.5", within)
+	}
+	across := m.Correlation(m.SectorMembers[0][0], m.SectorMembers[1][0])
+	if across >= within {
+		t.Errorf("across-sector correlation %v not below within %v", across, within)
+	}
+	unsectored := itemset.Item(m.Days.NumItems() - 1)
+	idio := m.Correlation(unsectored, m.SectorMembers[0][0])
+	if idio >= within {
+		t.Errorf("idiosyncratic correlation %v not below within %v", idio, within)
+	}
+}
+
+func TestMiningRecoversSectorStructure(t *testing.T) {
+	// The §6 claim end-to-end: sector co-movement shows up as long maximal
+	// frequent itemsets dominated by single-sector members.
+	m, err := Generate(Params{
+		NumStocks: 80, NumDays: 1500, Sectors: []int{12, 10},
+		SectorVol: 1.4, IdioVol: 0.3, UpThreshold: 0.9, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Mine(dataset.NewScanner(m.Days), 0.05, core.DefaultOptions())
+	if len(res.MFS) == 0 {
+		t.Fatal("no frequent itemsets at 5%")
+	}
+	if res.LongestMFS() < 10 {
+		t.Fatalf("longest maximal itemset has %d stocks; too short for a sector story", res.LongestMFS())
+	}
+	// each planted sector moves together: its full member set is frequent
+	for s, sec := range m.SectorMembers {
+		if !res.IsFrequent(sec) {
+			t.Errorf("sector %d (%v) not frequent at 5%%", s, sec)
+		}
+	}
+	// unsectored stocks have no reason to co-move that long: no maximal
+	// itemset should consist mostly of them
+	for _, x := range res.MFS {
+		if len(x) < 10 {
+			continue
+		}
+		overlap := 0
+		for _, sec := range m.SectorMembers {
+			overlap += len(x.Intersect(sec))
+		}
+		if float64(overlap) < 0.8*float64(len(x)) {
+			t.Errorf("long itemset %v is mostly unsectored stocks (overlap %d)", x, overlap)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{NumStocks: 30, NumDays: 100, Sectors: []int{5}, Seed: 3}
+	a, _ := Generate(p)
+	b, _ := Generate(p)
+	for i := 0; i < a.Days.Len(); i++ {
+		if !a.Days.Transaction(i).Equal(b.Days.Transaction(i)) {
+			t.Fatalf("day %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package topdown implements the "pure" top-down search of paper §3.1 as an
+// ablation baseline: only Observation 2 (subsets of frequent itemsets are
+// frequent) prunes the search. The frontier starts at the full item universe
+// and is split one level per infrequent element, exactly the MFCS machinery
+// with no bottom-up search feeding it.
+//
+// The paper argues (and the benchmarks confirm) that this direction alone is
+// hopeless when maximal frequent itemsets are short: the frontier must creep
+// down level by level from the top. It exists here to quantify that claim
+// and to validate the MFCS mechanics in isolation.
+package topdown
+
+import (
+	"time"
+
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// Options configures the top-down miner.
+type Options struct {
+	// MaxElements aborts the run (returning an error result) when the
+	// frontier grows past this size; the pure top-down frontier is
+	// exponential on all but the most concentrated databases (0 = unlimited).
+	MaxElements int
+	// MaxPasses bounds the number of passes (0 = unlimited).
+	MaxPasses int
+}
+
+// DefaultOptions returns a guarded configuration.
+func DefaultOptions() Options {
+	return Options{MaxElements: 1_000_000}
+}
+
+// frontierElement tracks one candidate maximal itemset.
+type frontierElement struct {
+	set  itemset.Itemset
+	bits *itemset.Bitset
+}
+
+// Result extends the shared mining result with an abort flag.
+type Result struct {
+	mfi.Result
+	// Aborted reports that the frontier exceeded Options.MaxElements and
+	// the MFS is incomplete (a lower set of the true MFS).
+	Aborted bool
+}
+
+// Mine runs the pure top-down search at a fractional minimum support.
+func Mine(sc dataset.Scanner, minSupport float64, opt Options) *Result {
+	return MineCount(sc, dataset.MinCountFor(sc.Len(), minSupport), opt)
+}
+
+// MineCount runs the pure top-down search with an absolute threshold.
+func MineCount(sc dataset.Scanner, minCount int64, opt Options) *Result {
+	start := time.Now()
+	res := &Result{Result: mfi.Result{
+		MinCount:        minCount,
+		NumTransactions: sc.Len(),
+	}}
+	res.Stats.Algorithm = "topdown"
+	defer func() { res.Stats.Duration = time.Since(start) }()
+
+	n := sc.NumItems()
+	mfs := itemset.NewSet(0)
+	var mfsBits []*itemset.Bitset
+	var mfsSupports []int64
+	noteMaximal := func(e *frontierElement, count int64) {
+		mfs.AddWithCount(e.set, count)
+		mfsBits = append(mfsBits, e.bits)
+		mfsSupports = append(mfsSupports, count)
+	}
+	coveredByMFS := func(b *itemset.Bitset) bool {
+		for _, mb := range mfsBits {
+			if b.IsSubsetOf(mb) {
+				return true
+			}
+		}
+		return false
+	}
+
+	frontier := []*frontierElement{}
+	if n > 0 {
+		u := itemset.Range(0, itemset.Item(n))
+		frontier = append(frontier, &frontierElement{set: u, bits: itemset.BitsetOf(n, u)})
+	}
+	seen := map[string]bool{}
+	for len(frontier) > 0 {
+		if opt.MaxPasses > 0 && res.Stats.Passes >= opt.MaxPasses {
+			res.Aborted = true
+			break
+		}
+		// Count the whole frontier in one pass. Frontier elements at the
+		// same level form an antichain, so the trie counter is safe.
+		sets := make([]itemset.Itemset, len(frontier))
+		for i, e := range frontier {
+			sets[i] = e.set
+		}
+		counter := counting.NewTrie(sets)
+		sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
+		counts := counter.Counts()
+
+		var next []*frontierElement
+		mfsFound := 0
+		frequentHere := 0
+		for i, e := range frontier {
+			if counts[i] >= minCount {
+				frequentHere++
+				if !coveredByMFS(e.bits) {
+					noteMaximal(e, counts[i])
+					mfsFound++
+				}
+				continue
+			}
+			// split one level down
+			for j := range e.set {
+				child := e.set.WithoutIndex(j)
+				if len(child) == 0 {
+					continue
+				}
+				key := child.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				cb := itemset.BitsetOf(n, child)
+				if coveredByMFS(cb) {
+					continue
+				}
+				next = append(next, &frontierElement{set: child, bits: cb})
+			}
+		}
+		res.Stats.AddPass(mfi.PassStats{
+			Candidates: len(frontier), Frequent: frequentHere, MFSFound: mfsFound,
+		})
+		if opt.MaxElements > 0 && len(next) > opt.MaxElements {
+			res.Aborted = true
+			break
+		}
+		frontier = next
+	}
+
+	res.MFS = itemset.MaximalOnly(mfs.Sorted())
+	res.MFSSupports = make([]int64, len(res.MFS))
+	for i, m := range res.MFS {
+		c, _ := mfs.Count(m)
+		res.MFSSupports[i] = c
+	}
+	res.Frequent = mfs
+	return res
+}

@@ -1,0 +1,119 @@
+package topdown
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/apriori"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+func TestTopDownLongMaximalIsFast(t *testing.T) {
+	// The favourable case: the maximal itemset is the (near-)whole universe,
+	// so the top-down search finds it immediately.
+	d := dataset.Empty(8)
+	for i := 0; i < 5; i++ {
+		d.Append(itemset.Range(0, 8))
+	}
+	res := MineCount(dataset.NewScanner(d), 3, DefaultOptions())
+	if res.Aborted {
+		t.Fatal("aborted")
+	}
+	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.Range(0, 8)}); err != nil {
+		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
+	}
+	if res.Stats.Passes != 1 {
+		t.Errorf("passes = %d, want 1", res.Stats.Passes)
+	}
+}
+
+func TestTopDownDescendsLevels(t *testing.T) {
+	d := dataset.New([]dataset.Transaction{
+		itemset.New(0, 1, 2),
+		itemset.New(0, 1, 2),
+		itemset.New(0, 3),
+		itemset.New(0, 3),
+	})
+	res := MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	if res.Aborted {
+		t.Fatal("aborted")
+	}
+	want := []itemset.Itemset{itemset.New(0, 1, 2), itemset.New(0, 3)}
+	if err := mfi.VerifyAgainst(res.MFS, want); err != nil {
+		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
+	}
+	// universe {0,1,2,3} → level 3 → level 2: at least 3 passes
+	if res.Stats.Passes < 3 {
+		t.Errorf("passes = %d, want ≥ 3", res.Stats.Passes)
+	}
+}
+
+func TestTopDownEmptyAndInfrequent(t *testing.T) {
+	res := MineCount(dataset.NewScanner(dataset.Empty(4)), 1, DefaultOptions())
+	if len(res.MFS) != 0 || res.Aborted {
+		t.Fatalf("empty db: MFS=%v aborted=%v", res.MFS, res.Aborted)
+	}
+	d := dataset.New([]dataset.Transaction{itemset.New(0), itemset.New(1)})
+	res = MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	if len(res.MFS) != 0 {
+		t.Fatalf("MFS = %v, want empty", res.MFS)
+	}
+}
+
+func TestTopDownAbortsOnFrontierExplosion(t *testing.T) {
+	// Frequent singletons only over a wide universe: the frontier must blow
+	// past a tiny element budget on its way down.
+	d := dataset.Empty(24)
+	for i := 0; i < 24; i++ {
+		d.Append(itemset.New(itemset.Item(i)))
+		d.Append(itemset.New(itemset.Item(i)))
+	}
+	opt := Options{MaxElements: 50}
+	res := MineCount(dataset.NewScanner(d), 2, opt)
+	if !res.Aborted {
+		t.Fatal("expected abort")
+	}
+}
+
+func TestTopDownMaxPasses(t *testing.T) {
+	d := dataset.New([]dataset.Transaction{itemset.New(0, 1), itemset.New(0, 1), itemset.New(2)})
+	opt := DefaultOptions()
+	opt.MaxPasses = 1
+	res := MineCount(dataset.NewScanner(d), 2, opt)
+	if !res.Aborted {
+		t.Fatal("expected abort after 1 pass")
+	}
+	if res.Stats.Passes != 1 {
+		t.Errorf("passes = %d", res.Stats.Passes)
+	}
+}
+
+func TestQuickTopDownMatchesApriori(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 3 + r.Intn(6) // small: the frontier is exponential in it
+		numTx := 4 + r.Intn(30)
+		d := dataset.Empty(universe)
+		for i := 0; i < numTx; i++ {
+			n := 1 + r.Intn(universe)
+			items := make([]itemset.Item, n)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(universe))
+			}
+			d.Append(itemset.New(items...))
+		}
+		minCount := int64(1 + r.Intn(numTx/2+1))
+		res := MineCount(dataset.NewScanner(d), minCount, Options{})
+		if res.Aborted {
+			return false
+		}
+		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package vertical
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pincer/internal/apriori"
+	"pincer/internal/core"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+func smallDB() *dataset.Dataset {
+	return dataset.New([]dataset.Transaction{
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2, 3),
+		itemset.New(1, 2),
+		itemset.New(3, 4),
+		itemset.New(3, 4),
+	})
+}
+
+func TestEclatSmall(t *testing.T) {
+	d := smallDB()
+	res := Eclat(d, 0.4, DefaultOptions())
+	ares := apriori.Mine(dataset.NewScanner(d), 0.4, apriori.DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
+		t.Fatalf("MFS: %v", err)
+	}
+	if res.Frequent.Len() != ares.Frequent.Len() {
+		t.Fatalf("frequent: %d vs %d", res.Frequent.Len(), ares.Frequent.Len())
+	}
+	res.Frequent.Each(func(x itemset.Itemset, c int64) {
+		if c != d.Support(x) {
+			t.Errorf("support(%v) = %d, want %d", x, c, d.Support(x))
+		}
+	})
+	if res.Stats.Passes != 1 {
+		t.Errorf("vertical mining made %d passes", res.Stats.Passes)
+	}
+}
+
+func TestMineMaximalSmall(t *testing.T) {
+	d := smallDB()
+	res := MineMaximal(d, 0.4, DefaultOptions())
+	ares := apriori.Mine(dataset.NewScanner(d), 0.4, apriori.DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
+		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
+	}
+	for i, m := range res.MFS {
+		if res.MFSSupports[i] != d.Support(m) {
+			t.Errorf("support(%v) = %d, want %d", m, res.MFSSupports[i], d.Support(m))
+		}
+	}
+	if res.Intersections == 0 {
+		t.Error("no intersections recorded")
+	}
+}
+
+func TestMineMaximalLookAheadCollapses(t *testing.T) {
+	// A single long maximal itemset: the head∪tail look-ahead should find
+	// it with a handful of intersections instead of 2^12 enumerations.
+	d := dataset.Empty(16)
+	for i := 0; i < 10; i++ {
+		d.Append(itemset.Range(0, 12))
+	}
+	res := MineMaximal(d, 0.5, DefaultOptions())
+	if len(res.MFS) != 1 || !res.MFS[0].Equal(itemset.Range(0, 12)) {
+		t.Fatalf("MFS = %v", res.MFS)
+	}
+	if res.Intersections > 50 {
+		t.Errorf("look-ahead failed: %d intersections", res.Intersections)
+	}
+}
+
+func TestVerticalEdgeCases(t *testing.T) {
+	res := Eclat(dataset.Empty(4), 0.5, DefaultOptions())
+	if len(res.MFS) != 0 {
+		t.Errorf("empty Eclat MFS = %v", res.MFS)
+	}
+	mres := MineMaximal(dataset.Empty(4), 0.5, DefaultOptions())
+	if len(mres.MFS) != 0 {
+		t.Errorf("empty MineMaximal MFS = %v", mres.MFS)
+	}
+	// nothing frequent
+	d := dataset.New([]dataset.Transaction{itemset.New(1), itemset.New(2)})
+	if res := MineMaximal(d, 0.9, DefaultOptions()); len(res.MFS) != 0 {
+		t.Errorf("MFS = %v", res.MFS)
+	}
+	// KeepFrequent=false
+	opt := DefaultOptions()
+	opt.KeepFrequent = false
+	res = Eclat(smallDB(), 0.4, opt)
+	if res.Frequent != nil {
+		t.Error("Frequent retained")
+	}
+	// MaxDepth truncates Eclat
+	opt = DefaultOptions()
+	opt.MaxDepth = 1
+	res = Eclat(smallDB(), 0.4, opt)
+	for _, m := range res.MFS {
+		if len(m) > 2 {
+			t.Errorf("MaxDepth=1 produced %v", m)
+		}
+	}
+}
+
+func TestQuickEclatMatchesApriori(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDB(r)
+		minCount := int64(1 + r.Intn(d.Len()/2+1))
+		sup := float64(minCount) / float64(d.Len())
+		res := Eclat(d, sup, DefaultOptions())
+		ares := apriori.MineCount(dataset.NewScanner(d), d.MinCount(sup), apriori.DefaultOptions())
+		if res.Frequent.Len() != ares.Frequent.Len() {
+			return false
+		}
+		ok := true
+		ares.Frequent.Each(func(x itemset.Itemset, c int64) {
+			got, present := res.Frequent.Count(x)
+			if !present || got != c {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMineMaximalMatchesPincer(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDB(r)
+		minCount := int64(1 + r.Intn(d.Len()/2+1))
+		sup := float64(minCount) / float64(d.Len())
+		res := MineMaximal(d, sup, DefaultOptions())
+		pres := core.MineCount(dataset.NewScanner(d), d.MinCount(sup), core.DefaultOptions())
+		return mfi.VerifyAgainst(res.MFS, pres.MFS) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerticalOnQuestConcentrated(t *testing.T) {
+	d := quest.Generate(quest.Params{
+		NumTransactions: 800, AvgTxLen: 14, AvgPatternLen: 10,
+		NumPatterns: 20, NumItems: 500, Seed: 23,
+	})
+	res := MineMaximal(d, 0.05, DefaultOptions())
+	pres := core.Mine(dataset.NewScanner(d), 0.05, core.DefaultOptions())
+	if err := mfi.VerifyAgainst(res.MFS, pres.MFS); err != nil {
+		t.Fatalf("quest: %v", err)
+	}
+}
+
+func randomDB(r *rand.Rand) *dataset.Dataset {
+	universe := 4 + r.Intn(8)
+	numTx := 5 + r.Intn(40)
+	d := dataset.Empty(universe)
+	for i := 0; i < numTx; i++ {
+		n := 1 + r.Intn(universe)
+		items := make([]itemset.Item, n)
+		for j := range items {
+			items[j] = itemset.Item(r.Intn(universe))
+		}
+		d.Append(itemset.New(items...))
+	}
+	return d
+}

@@ -1,0 +1,193 @@
+// Package pincer is a Go implementation of the Pincer-Search algorithm for
+// discovering the maximum frequent set (MFS) — the set of all maximal
+// frequent itemsets — from transaction databases, after:
+//
+//	Dao-I Lin and Zvi M. Kedem. "Pincer-Search: A New Algorithm for
+//	Discovering the Maximum Frequent Set." EDBT 1998.
+//
+// The package is a facade over the full library: the Pincer-Search miner
+// and its MFCS data structure, the Apriori, Partition, Sampling, top-down
+// and randomized baselines, the IBM Quest synthetic workload generator,
+// association-rule generation, and the benchmark harness that regenerates
+// the paper's figures. See the README for an overview and examples/ for
+// runnable programs.
+//
+// # Quick start
+//
+//	db := pincer.GenerateQuest(pincer.QuestParams{NumTransactions: 10000})
+//	res := pincer.Mine(db, 0.05) // maximal frequent itemsets at 5% support
+//	for i, m := range res.MFS {
+//	    fmt.Println(m, res.MFSSupports[i])
+//	}
+package pincer
+
+import (
+	"io"
+
+	"pincer/internal/apriori"
+	"pincer/internal/core"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/minkeys"
+	"pincer/internal/quest"
+	"pincer/internal/rules"
+)
+
+// The aliases below re-export the library's vocabulary so downstream users
+// never import internal packages.
+type (
+	// Item identifies a single item (a non-negative integer id).
+	Item = itemset.Item
+	// Itemset is a sorted, duplicate-free set of items. Use NewItemset to
+	// build one from arbitrary input.
+	Itemset = itemset.Itemset
+)
+
+// NewItemset builds a normalized (sorted, de-duplicated) itemset.
+func NewItemset(items ...Item) Itemset { return itemset.New(items...) }
+
+// ParseItemset parses "{1,2,3}" or "1 2 3" into an itemset.
+func ParseItemset(s string) (Itemset, error) { return itemset.Parse(s) }
+
+// MaximalOnly filters a collection of itemsets down to its maximal
+// elements (those not contained in another element).
+func MaximalOnly(sets []Itemset) []Itemset { return itemset.MaximalOnly(sets) }
+
+// Dataset is an in-memory transaction database.
+type Dataset = dataset.Dataset
+
+// Result is the outcome of a mining run; MFS holds the maximal frequent
+// itemsets in lexicographic order with supports in MFSSupports.
+type Result = mfi.Result
+
+// Stats describes a mining run: passes, candidates (paper accounting),
+// and wall-clock duration.
+type Stats = mfi.Stats
+
+// QuestParams configures the IBM Quest synthetic data generator.
+type QuestParams = quest.Params
+
+// PincerOptions configures the Pincer-Search miner.
+type PincerOptions = core.Options
+
+// AprioriOptions configures the Apriori baseline miner.
+type AprioriOptions = apriori.Options
+
+// Rule is an association rule with support, confidence, and lift.
+type Rule = rules.Rule
+
+// RuleParams are rule-quality thresholds.
+type RuleParams = rules.Params
+
+// Engine names a support-counting engine ("list", "hashtree", "trie").
+type Engine = counting.Engine
+
+// Counting engines.
+const (
+	EngineList     = counting.EngineList
+	EngineHashTree = counting.EngineHashTree
+	EngineTrie     = counting.EngineTrie
+)
+
+// NewDataset builds a dataset from transactions (each normalized).
+func NewDataset(transactions ...Itemset) *Dataset {
+	d := dataset.Empty(0)
+	for _, t := range transactions {
+		d.Append(t)
+	}
+	return d
+}
+
+// LoadDataset reads a transaction database from disk — the basket text
+// format (one transaction of space-separated item ids per line) or this
+// library's binary format, sniffed automatically.
+func LoadDataset(path string) (*Dataset, error) { return dataset.Load(path) }
+
+// MineFile mines a basket file without materializing it in memory: the
+// file is re-read once per pass, exactly the I/O regime of the paper's
+// cost model. Use it for databases larger than RAM.
+func MineFile(path string, minSupport float64, opt PincerOptions) (*Result, error) {
+	sc, err := dataset.OpenFileScanner(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.Mine(sc, minSupport, opt), nil
+}
+
+// SaveDataset writes a dataset in the basket text format.
+func SaveDataset(path string, d *Dataset) error { return dataset.SaveBasketFile(path, d) }
+
+// ReadDataset parses the basket text format from a reader.
+func ReadDataset(r io.Reader) (*Dataset, error) { return dataset.ReadBasket(r) }
+
+// GenerateQuest produces a synthetic benchmark database; zero-valued
+// parameters take the paper's defaults (T10.I4.D100K, N=1000, |L|=2000).
+func GenerateQuest(p QuestParams) *Dataset { return quest.Generate(p) }
+
+// ParseQuestName parses a conventional benchmark database name such as
+// "T20.I6.D100K" into generator parameters.
+func ParseQuestName(name string) (QuestParams, error) { return quest.ParseName(name) }
+
+// Mine discovers the maximum frequent set with Pincer-Search at a
+// fractional minimum support (0.05 = 5%).
+func Mine(d *Dataset, minSupport float64) *Result {
+	return MineWithOptions(d, minSupport, core.DefaultOptions())
+}
+
+// MineWithOptions is Mine with explicit Pincer-Search options.
+func MineWithOptions(d *Dataset, minSupport float64, opt PincerOptions) *Result {
+	return core.Mine(dataset.NewScanner(d), minSupport, opt)
+}
+
+// MineApriori discovers the complete frequent set (and its MFS) with the
+// Apriori baseline.
+func MineApriori(d *Dataset, minSupport float64) *Result {
+	return MineAprioriWithOptions(d, minSupport, apriori.DefaultOptions())
+}
+
+// MineAprioriWithOptions is MineApriori with explicit options.
+func MineAprioriWithOptions(d *Dataset, minSupport float64, opt AprioriOptions) *Result {
+	return apriori.Mine(dataset.NewScanner(d), minSupport, opt)
+}
+
+// DefaultPincerOptions returns the adaptive configuration the paper
+// evaluates.
+func DefaultPincerOptions() PincerOptions { return core.DefaultOptions() }
+
+// DefaultAprioriOptions returns the standard Apriori configuration.
+func DefaultAprioriOptions() AprioriOptions { return apriori.DefaultOptions() }
+
+// RulesFromResult generates association rules from a mining result. For a
+// Pincer-Search result it uses the paper's §2.1 scheme: the subsets of the
+// maximal frequent itemsets are counted with one extra pass over the
+// database. maxItemsetLen caps the subset expansion (0 = unlimited; set it
+// when maximal itemsets are very long).
+func RulesFromResult(d *Dataset, res *Result, maxItemsetLen int, p RuleParams) ([]Rule, error) {
+	sc := dataset.NewScanner(d)
+	return rules.FromMFS(sc, res.MFS, maxItemsetLen, p)
+}
+
+// ExpandFrequent enumerates every frequent itemset implied by a result's
+// MFS (capped at maxLen items; 0 = unlimited). The expansion is exponential
+// in the longest maximal itemset.
+func ExpandFrequent(res *Result, maxLen int) []Itemset {
+	return mfi.Expand(res.MFS, maxLen)
+}
+
+// CountFrequent returns how many frequent itemsets the result's MFS
+// implies, without materializing them.
+func CountFrequent(res *Result) int64 { return mfi.CountFrequent(res.MFS) }
+
+// Relation is a table whose minimal keys can be discovered — the paper's
+// §1 minimal-keys application.
+type Relation = minkeys.Relation
+
+// KeyResult reports a minimal-key discovery.
+type KeyResult = minkeys.Result
+
+// MinimalKeys discovers every minimal key of the relation by mining the
+// maximal agree sets with Pincer-Search and taking minimal hypergraph
+// transversals of their complements.
+func MinimalKeys(rel *Relation) (*KeyResult, error) { return minkeys.Find(rel) }
