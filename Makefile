@@ -1,0 +1,29 @@
+# CI entry points. `make ci` is what the pipeline runs; the parallel and
+# core packages additionally run under the race detector because they are
+# the only packages with concurrency.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-parallel
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel/... ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate BENCH_parallel.json (T20.I10.D10K, workers 1/2/4).
+bench-parallel:
+	$(GO) run ./cmd/benchrun -workers 1,2,4 -spec F4-T20I10 -d 10000 \
+		-parallel-support 0.06 -repeats 3 -json BENCH_parallel.json

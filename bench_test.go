@@ -16,6 +16,8 @@ import (
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
+	"pincer/internal/mfi"
+	"pincer/internal/parallel"
 	"pincer/internal/quest"
 	"pincer/internal/rules"
 	"pincer/internal/topdown"
@@ -201,6 +203,50 @@ func BenchmarkTopDownVsPincer(b *testing.B) {
 			core.Mine(dataset.NewScanner(d), 0.10, opt)
 		}
 	})
+}
+
+// BenchmarkParallelPincer sweeps worker counts for count-distribution
+// parallel Pincer-Search on the concentrated workload (the regime where
+// candidate-heavy passes dominate and parallel counting pays off). The
+// first iteration of every setting verifies the parallel result against
+// the sequential miner.
+func BenchmarkParallelPincer(b *testing.B) {
+	d := concentratedDB(b)
+	copt := core.DefaultOptions()
+	copt.KeepFrequent = false
+	seq := core.Mine(dataset.NewScanner(d), 0.08, copt)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Mine(dataset.NewScanner(d), 0.08, copt)
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := parallel.DefaultOptions()
+			opt.Workers = workers
+			opt.KeepFrequent = false
+			for i := 0; i < b.N; i++ {
+				res := parallel.MinePincerOpts(d, 0.08, copt, opt)
+				if i == 0 {
+					if err := mfi.VerifyAgainst(res.MFS, seq.MFS); err != nil {
+						b.Fatalf("workers=%d: %v", workers, err)
+					}
+					for j := range res.MFSSupports {
+						if res.MFSSupports[j] != seq.MFSSupports[j] {
+							b.Fatalf("workers=%d: support(%v) = %d, want %d",
+								workers, res.MFS[j], res.MFSSupports[j], seq.MFSSupports[j])
+						}
+					}
+					if res.Stats.Passes != seq.Stats.Passes || res.Stats.Candidates != seq.Stats.Candidates {
+						b.Fatalf("workers=%d: pass/candidate stats differ: %d/%d vs %d/%d",
+							workers, res.Stats.Passes, res.Stats.Candidates,
+							seq.Stats.Passes, seq.Stats.Candidates)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkQuestGenerate measures the workload generator itself.

@@ -11,6 +11,7 @@
 //	benchrun -d 100000              # paper-scale |D|
 //	benchrun -budget 120s           # skip cells after an algorithm exceeds 2 min
 //	benchrun -csv results.csv       # machine-readable output too
+//	benchrun -workers 1,2,4         # parallel Pincer workers sweep (with -json out.json)
 //
 // Cells run from the highest support downward; once an algorithm blows the
 // -budget on a cell, its harder cells are skipped and marked (the paper
@@ -21,11 +22,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"pincer/internal/bench"
 	"pincer/internal/counting"
 )
+
+// parseWorkers parses a comma-separated worker-count list such as "1,2,4".
+// 0 is allowed and means GOMAXPROCS.
+func parseWorkers(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-workers wants a comma-separated list of non-negative counts, got %q", s)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -46,12 +63,56 @@ func run(args []string) error {
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
 	baselines := fs.Bool("baselines", false, "run the cross-algorithm comparison (§5's baselines) instead of the figures")
 	baselineSup := fs.Float64("baseline-support", 0.06, "minimum support for the baseline comparison")
+	workersList := fs.String("workers", "", "comma-separated worker counts, e.g. 1,2,4 (0 = GOMAXPROCS): run the count-distribution parallel Pincer sweep instead of the figures")
+	parallelSup := fs.Float64("parallel-support", 0.06, "minimum support for the parallel sweep")
+	repeats := fs.Int("repeats", 3, "parallel sweep: measurements per setting (minimum is reported)")
+	jsonPath := fs.String("json", "", "parallel sweep: also write the report as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	engine, err := counting.ParseEngine(*engineName)
 	if err != nil {
 		return err
+	}
+
+	if *workersList != "" {
+		counts, err := parseWorkers(*workersList)
+		if err != nil {
+			return err
+		}
+		spec, ok := bench.SpecByID("F4-T20I10", *numTx)
+		if *specID != "" {
+			spec, ok = bench.SpecByID(*specID, *numTx)
+		}
+		if !ok {
+			return fmt.Errorf("unknown spec %q", *specID)
+		}
+		opt := bench.DefaultOptions()
+		opt.Engine = engine
+		opt.Pincer.Pure = *pure
+		if !*quiet {
+			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		rep := bench.RunParallelSweep(spec, *parallelSup, counts, *repeats, opt)
+		if err := bench.WriteParallelTable(os.Stdout, rep); err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteParallelJSON(f, []bench.ParallelReport{rep}); err != nil {
+				return err
+			}
+		}
+		for _, m := range rep.Runs {
+			if !m.Agree {
+				return fmt.Errorf("correctness check failed: workers=%d disagrees with the sequential run", m.Workers)
+			}
+		}
+		return nil
 	}
 
 	if *baselines {

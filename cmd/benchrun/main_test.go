@@ -43,4 +43,32 @@ func TestBenchrunErrors(t *testing.T) {
 	if err := run([]string{"-engine", "abacus"}); err == nil {
 		t.Error("bad engine accepted")
 	}
+	if err := run([]string{"-workers", "1,two"}); err == nil {
+		t.Error("bad worker list accepted")
+	}
+	if err := run([]string{"-workers", "-3"}); err == nil {
+		t.Error("negative worker count accepted")
+	}
+	if err := run([]string{"-workers", "1,2", "-spec", "F9-NOPE"}); err == nil {
+		t.Error("unknown spec accepted in parallel sweep")
+	}
+}
+
+func TestBenchrunParallelSweep(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "parallel.json")
+	err := run([]string{"-workers", "1,2", "-spec", "F4-T20I6", "-d", "400",
+		"-parallel-support", "0.15", "-repeats", "1", "-q", "-json", jsonPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{`"spec": "F4-T20I6"`, `"workers": 2`, `"agree": true`, `"sequential_seconds"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json missing %q:\n%s", want, out)
+		}
+	}
 }

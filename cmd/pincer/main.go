@@ -5,11 +5,15 @@
 // Usage:
 //
 //	pincer -input db.basket -support 0.05 [-algorithm pincer|apriori|topdown]
-//	       [-engine hashtree|list|trie] [-pure] [-stats] [-frequent] [-json]
+//	       [-engine hashtree|list|trie] [-workers n] [-pure] [-stats]
+//	       [-frequent] [-json]
 //
 // The default algorithm is the adaptive Pincer-Search of Lin & Kedem
 // (EDBT 1998). Output is one maximal frequent itemset per line with its
-// support count, or a JSON document with -json.
+// support count, or a JSON document with -json. -workers selects the
+// count-distribution parallel miners (pincer and apriori only): counting is
+// distributed over that many goroutines (0 = GOMAXPROCS) with results
+// identical to the sequential run.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
+	"pincer/internal/parallel"
 	"pincer/internal/topdown"
 	"pincer/internal/vertical"
 )
@@ -42,6 +47,7 @@ func run(args []string, out *os.File) error {
 	support := fs.Float64("support", 0.05, "minimum support as a fraction, e.g. 0.05 for 5%")
 	algorithm := fs.String("algorithm", "pincer", "mining algorithm: pincer, apriori, ais, eclat, maxeclat, or topdown")
 	engineName := fs.String("engine", "hashtree", "counting engine: hashtree, list, or trie")
+	workers := fs.Int("workers", -1, "count-distribution parallel mining with this many workers (0 = GOMAXPROCS; pincer and apriori only; omit for sequential)")
 	pure := fs.Bool("pure", false, "pincer only: disable the adaptive policy")
 	stats := fs.Bool("stats", false, "print per-pass statistics to stderr")
 	frequent := fs.Bool("frequent", false, "also print every explicitly discovered frequent itemset")
@@ -76,6 +82,14 @@ func run(args []string, out *os.File) error {
 	}
 	sc := dataset.NewScanner(d)
 
+	if *workers >= 0 && *algorithm != "pincer" && *algorithm != "apriori" {
+		return fmt.Errorf("-workers requires -algorithm pincer or apriori, got %q", *algorithm)
+	}
+	popt := parallel.DefaultOptions()
+	popt.Workers = *workers
+	popt.Engine = engine
+	popt.KeepFrequent = *frequent
+
 	var res *mfi.Result
 	switch *algorithm {
 	case "pincer":
@@ -83,12 +97,20 @@ func run(args []string, out *os.File) error {
 		opt.Engine = engine
 		opt.Pure = *pure
 		opt.KeepFrequent = *frequent
-		res = core.Mine(sc, *support, opt)
+		if *workers >= 0 {
+			res = parallel.MinePincerOpts(d, *support, opt, popt)
+		} else {
+			res = core.Mine(sc, *support, opt)
+		}
 	case "apriori":
-		opt := apriori.DefaultOptions()
-		opt.Engine = engine
-		opt.KeepFrequent = *frequent
-		res = apriori.Mine(sc, *support, opt)
+		if *workers >= 0 {
+			res = parallel.MineApriori(d, *support, popt)
+		} else {
+			opt := apriori.DefaultOptions()
+			opt.Engine = engine
+			opt.KeepFrequent = *frequent
+			res = apriori.Mine(sc, *support, opt)
+		}
 	case "ais":
 		opt := ais.DefaultOptions()
 		opt.KeepFrequent = *frequent

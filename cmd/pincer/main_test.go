@@ -94,6 +94,39 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunWorkersFlag(t *testing.T) {
+	db := writeTestDB(t)
+	want, err := capture(t, []string{"-input", db, "-support", "0.4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// parallel runs must print byte-identical output, for any worker count,
+	// for both parallel algorithms, including 0 (= GOMAXPROCS)
+	for _, args := range [][]string{
+		{"-input", db, "-support", "0.4", "-workers", "1"},
+		{"-input", db, "-support", "0.4", "-workers", "4"},
+		{"-input", db, "-support", "0.4", "-workers", "0"},
+		{"-input", db, "-support", "0.4", "-workers", "4", "-algorithm", "apriori"},
+	} {
+		out, err := capture(t, args)
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if out != want {
+			t.Errorf("%v: output differs from sequential:\ngot  %q\nwant %q", args, out, want)
+		}
+	}
+}
+
+func TestRunWorkersFlagRejectsOtherAlgorithms(t *testing.T) {
+	db := writeTestDB(t)
+	for _, alg := range []string{"eclat", "maxeclat", "topdown", "ais"} {
+		if _, err := capture(t, []string{"-input", db, "-workers", "2", "-algorithm", alg}); err == nil {
+			t.Errorf("-workers with -algorithm %s accepted, want error", alg)
+		}
+	}
+}
+
 func TestRunCompactsSparseUniverse(t *testing.T) {
 	// Sparse SKU-style ids: the CLI must compact internally and translate
 	// the maximal itemsets back to the original ids.

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pincer/internal/core"
+	"pincer/internal/dataset"
+	"pincer/internal/mfi"
+	"pincer/internal/parallel"
+	"pincer/internal/quest"
+)
+
+// ParallelMeasure is one workers setting of a count-distribution sweep.
+type ParallelMeasure struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	// Speedup is sequential seconds / this setting's seconds (> 1 means the
+	// parallel run wins).
+	Speedup float64 `json:"speedup"`
+	// Agree reports the built-in correctness check: identical MFS, supports,
+	// and per-pass candidate statistics against the sequential run.
+	Agree bool `json:"agree"`
+}
+
+// ParallelReport is one spec's sequential-vs-parallel wall-clock sweep.
+type ParallelReport struct {
+	SpecID       string  `json:"spec"`
+	Database     string  `json:"database"`
+	Support      float64 `json:"min_support"`
+	Transactions int     `json:"transactions"`
+	// CPUs and GoMaxProcs record the hardware context: count distribution
+	// cannot beat the sequential run on a single-CPU machine, so speedups
+	// are only meaningful relative to these.
+	CPUs       int `json:"cpus"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Repeats is the measurements per setting; Seconds values are the
+	// minimum over the repeats.
+	Repeats           int               `json:"repeats"`
+	SequentialSeconds float64           `json:"sequential_seconds"`
+	Passes            int               `json:"passes"`
+	Candidates        int64             `json:"candidates"`
+	MFSSize           int               `json:"mfs_size"`
+	Runs              []ParallelMeasure `json:"runs"`
+}
+
+// sameMiningResults checks the equivalence RunParallelSweep certifies:
+// identical MFS with identical supports, and identical pass/candidate
+// statistics.
+func sameMiningResults(a, b *mfi.Result) bool {
+	if len(a.MFS) != len(b.MFS) {
+		return false
+	}
+	for i := range a.MFS {
+		if !a.MFS[i].Equal(b.MFS[i]) || a.MFSSupports[i] != b.MFSSupports[i] {
+			return false
+		}
+	}
+	if a.Stats.Passes != b.Stats.Passes || a.Stats.Candidates != b.Stats.Candidates ||
+		a.Stats.MFCSCandidates != b.Stats.MFCSCandidates {
+		return false
+	}
+	for i, p := range a.Stats.PassDetails {
+		if p != b.Stats.PassDetails[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunParallelSweep generates the spec's database once, runs sequential
+// Pincer-Search, then count-distribution parallel Pincer-Search at each
+// worker count, verifying every parallel run against the sequential result.
+// Each setting is measured `repeats` times and the minimum wall clock is
+// reported (the standard noise-robust statistic for speedup curves).
+func RunParallelSweep(spec Spec, support float64, workerCounts []int, repeats int, opt Options) ParallelReport {
+	if repeats < 1 {
+		repeats = 1
+	}
+	d := quest.Generate(spec.Quest)
+	rep := ParallelReport{
+		SpecID: spec.ID, Database: spec.Name(), Support: support,
+		Transactions: d.Len(), CPUs: runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0), Repeats: repeats,
+	}
+
+	popt := opt.Pincer
+	popt.Engine = opt.Engine
+	popt.KeepFrequent = false
+
+	var seq *mfi.Result
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		res := core.Mine(dataset.NewScanner(d), support, popt)
+		if seq == nil || res.Stats.Duration < best {
+			seq, best = res, res.Stats.Duration
+		}
+	}
+	rep.SequentialSeconds = best.Seconds()
+	rep.Passes = seq.Stats.Passes
+	rep.Candidates = seq.Stats.Candidates
+	rep.MFSSize = len(seq.MFS)
+
+	paropt := parallel.DefaultOptions()
+	paropt.Engine = opt.Engine
+	paropt.KeepFrequent = false
+	for _, w := range workerCounts {
+		paropt.Workers = w
+		var par *mfi.Result
+		pbest := time.Duration(0)
+		for i := 0; i < repeats; i++ {
+			res := parallel.MinePincerOpts(d, support, popt, paropt)
+			if par == nil || res.Stats.Duration < pbest {
+				par, pbest = res, res.Stats.Duration
+			}
+		}
+		m := ParallelMeasure{
+			Workers: w, Seconds: pbest.Seconds(),
+			Agree: sameMiningResults(par, seq),
+		}
+		if pbest > 0 {
+			m.Speedup = best.Seconds() / pbest.Seconds()
+		}
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("%s sup=%.4f workers=%d: %v (%.2fx vs sequential %v), agree=%v",
+				spec.ID, support, w, pbest.Round(time.Millisecond), m.Speedup,
+				best.Round(time.Millisecond), m.Agree))
+		}
+		rep.Runs = append(rep.Runs, m)
+	}
+	return rep
+}
+
+// WriteParallelTable renders a sweep as a human-readable table.
+func WriteParallelTable(w io.Writer, rep ParallelReport) error {
+	fmt.Fprintf(w, "%s — parallel Pincer-Search — %s at minsup %s (|D|=%d, %d CPUs, GOMAXPROCS=%d)\n",
+		rep.SpecID, rep.Database, fmtSup(rep.Support), rep.Transactions, rep.CPUs, rep.GoMaxProcs)
+	fmt.Fprintf(w, "sequential: %.3fs over %d passes, %d candidates, |MFS|=%d (min of %d runs)\n",
+		rep.SequentialSeconds, rep.Passes, rep.Candidates, rep.MFSSize, rep.Repeats)
+	fmt.Fprintf(w, "%-8s | %10s %8s %6s\n", "workers", "seconds", "speedup", "agree")
+	for _, m := range rep.Runs {
+		fmt.Fprintf(w, "%-8d | %10.3f %7.2fx %6v\n", m.Workers, m.Seconds, m.Speedup, m.Agree)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteParallelJSON writes sweeps as an indented JSON document.
+func WriteParallelJSON(w io.Writer, reps []ParallelReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reps)
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunParallelSweep(t *testing.T) {
+	var progress []string
+	opt := DefaultOptions()
+	opt.Progress = func(l string) { progress = append(progress, l) }
+	spec := tinySpec()
+	rep := RunParallelSweep(spec, 0.12, []int{1, 2, 4}, 2, opt)
+	if rep.SpecID != spec.ID || rep.Transactions != 600 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.SequentialSeconds <= 0 || rep.Passes == 0 {
+		t.Fatalf("no sequential measurement: %+v", rep)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d", len(rep.Runs))
+	}
+	for _, m := range rep.Runs {
+		if !m.Agree {
+			t.Errorf("workers=%d: parallel result disagrees with sequential", m.Workers)
+		}
+		if m.Seconds <= 0 || m.Speedup <= 0 {
+			t.Errorf("workers=%d: no timing (%+v)", m.Workers, m)
+		}
+	}
+	if len(progress) != 3 {
+		t.Errorf("progress lines = %d", len(progress))
+	}
+
+	var tbl bytes.Buffer
+	if err := WriteParallelTable(&tbl, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"workers", "speedup", "sequential:", spec.ID} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteParallelJSON(&buf, []ParallelReport{rep}); err != nil {
+		t.Fatal(err)
+	}
+	var back []ParallelReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(back) != 1 || len(back[0].Runs) != 3 || back[0].Runs[2].Workers != 4 {
+		t.Fatalf("round-tripped report: %+v", back)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+// PassCounter is the miner's injection seam for per-pass support counting.
+// Each method performs the counting work of one database pass — pass 1
+// (per-item array), pass 2 (triangular pair matrix), or a pass ≥ 3
+// (candidate engine) — together with the support counts of the given MFCS
+// elements, and is charged as exactly one database read by the miner's pass
+// accounting.
+//
+// Implementations must return counts positionally parallel to their inputs
+// and must be observationally equivalent to one sequential scan: identical
+// counts, independent of transaction order or partitioning. The sequential
+// default scans the miner's Scanner; internal/parallel injects a
+// count-distribution implementation that scans horizontal partitions
+// concurrently and merges per-worker counters at the pass barrier.
+//
+// elems is always an antichain of mixed-length itemsets (MFCS elements)
+// with elemBits their dense forms, parallel to elems; both may be empty.
+type PassCounter interface {
+	// CountItems counts every item of the universe plus the elements.
+	CountItems(numItems int, elems []itemset.Itemset, elemBits []*itemset.Bitset) (itemCounts, elemCounts []int64)
+	// CountPairs counts every pair of live items plus the elements.
+	CountPairs(numItems int, live itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) (*counting.Triangle, []int64)
+	// CountCandidates counts the bottom-up candidates with the given engine
+	// plus the elements. candidates may be empty (MFCS-only tail passes).
+	CountCandidates(engine counting.Engine, candidates []itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) (candCounts, elemCounts []int64)
+}
+
+// directElemsMax is the element count up to which a pass counts MFCS
+// elements by direct per-transaction bitset subset tests; above it a trie
+// over the elements is cheaper. Either way the counts are identical.
+const directElemsMax = 16
+
+// seqPassCounter is the default PassCounter: one sequential scan of the
+// miner's Scanner per call, exactly the paper's counting procedure.
+type seqPassCounter struct {
+	sc dataset.Scanner
+}
+
+func (s *seqPassCounter) CountItems(numItems int, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
+	array := counting.NewItemArray(numItems)
+	elemCounts := make([]int64, len(elems))
+	s.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		array.Add(tx)
+		for i, eb := range elemBits {
+			if eb.IsSubsetOf(bits) {
+				elemCounts[i]++
+			}
+		}
+	})
+	return array.Counts(), elemCounts
+}
+
+func (s *seqPassCounter) CountPairs(numItems int, live itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) (*counting.Triangle, []int64) {
+	tri := counting.NewTriangle(numItems, live)
+	elemCounts := make([]int64, len(elems))
+	s.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		tri.Add(tx)
+		for i, eb := range elemBits {
+			if eb.IsSubsetOf(bits) {
+				elemCounts[i]++
+			}
+		}
+	})
+	return tri, elemCounts
+}
+
+func (s *seqPassCounter) CountCandidates(engine counting.Engine, candidates []itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
+	var counter counting.Counter
+	if len(candidates) > 0 {
+		counter = counting.NewCounter(engine, candidates)
+	}
+	var elemCounter counting.Counter
+	var elemCounts []int64
+	if len(elems) > directElemsMax {
+		// MFCS elements form an antichain, so no element is a prefix of
+		// another and the trie handles the mixed lengths safely.
+		elemCounter = counting.NewTrie(elems)
+	} else {
+		elemCounts = make([]int64, len(elems))
+	}
+	s.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		if counter != nil {
+			counter.Add(tx)
+		}
+		if elemCounter != nil {
+			elemCounter.Add(tx)
+		} else {
+			for i, eb := range elemBits {
+				if eb.IsSubsetOf(bits) {
+					elemCounts[i]++
+				}
+			}
+		}
+	})
+	if elemCounter != nil {
+		elemCounts = elemCounter.Counts()
+	}
+	if counter != nil {
+		return counter.Counts(), elemCounts
+	}
+	return nil, elemCounts
+}
+
+// elemSets extracts the itemset and bitset forms of uncounted MFCS elements
+// for a PassCounter call.
+func elemSets(uncounted []*element) ([]itemset.Itemset, []*itemset.Bitset) {
+	if len(uncounted) == 0 {
+		return nil, nil
+	}
+	sets := make([]itemset.Itemset, len(uncounted))
+	bits := make([]*itemset.Bitset, len(uncounted))
+	for i, e := range uncounted {
+		sets[i] = e.set
+		bits[i] = e.bits
+	}
+	return sets, bits
+}

@@ -55,6 +55,12 @@ type Options struct {
 	CombineAfterAbandon bool
 	// CombineThreshold is the candidate ceiling for the combined passes.
 	CombineThreshold int
+	// Counter overrides the per-pass support counting (nil: one sequential
+	// scan of the Scanner per pass). internal/parallel injects its
+	// count-distribution implementation here; the algorithm, pass
+	// accounting, and results are unchanged by the override — only how each
+	// pass's counts are produced.
+	Counter PassCounter
 }
 
 // DefaultOptions returns the adaptive configuration evaluated in the paper.
@@ -82,8 +88,13 @@ func Mine(sc dataset.Scanner, minSupport float64, opt Options) *mfi.Result {
 // MineCount runs Pincer-Search with an absolute support-count threshold and
 // returns the maximum frequent set.
 func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
+	pc := opt.Counter
+	if pc == nil {
+		pc = &seqPassCounter{sc: sc}
+	}
 	m := &miner{
 		sc:       sc,
+		pc:       pc,
 		opt:      opt,
 		minCount: minCount,
 		cache:    make(map[string]int64),
@@ -102,6 +113,7 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
 
 type miner struct {
 	sc       dataset.Scanner
+	pc       PassCounter
 	opt      Options
 	minCount int64
 	res      *mfi.Result
@@ -199,56 +211,20 @@ func (m *miner) filterByMFS(frequent []itemset.Itemset) ([]itemset.Itemset, bool
 
 // countPass performs one database read, counting the bottom-up candidates
 // (if any) and the uncounted MFCS elements together, exactly as the paper's
-// line 6 prescribes. It returns the candidate counts.
+// line 6 prescribes. It returns the candidate counts. The read itself is
+// delegated to the PassCounter seam.
 func (m *miner) countPass(candidates []itemset.Itemset) []int64 {
-	var counter counting.Counter
-	if len(candidates) > 0 {
-		counter = counting.NewCounter(m.opt.Engine, candidates)
-	}
 	var uncounted []*element
 	if !m.abandoned {
 		uncounted = m.mfcs.Uncounted()
 	}
-	var elemCounter counting.Counter
-	var elemCounts []int64
-	direct := len(uncounted) <= 16
-	if !direct && len(uncounted) > 0 {
-		sets := make([]itemset.Itemset, len(uncounted))
-		for i, e := range uncounted {
-			sets[i] = e.set
-		}
-		// MFCS elements form an antichain, so no element is a prefix of
-		// another and the trie handles the mixed lengths safely.
-		elemCounter = counting.NewTrie(sets)
-	}
-	if direct {
-		elemCounts = make([]int64, len(uncounted))
-	}
-	m.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
-		if counter != nil {
-			counter.Add(tx)
-		}
-		if elemCounter != nil {
-			elemCounter.Add(tx)
-		} else {
-			for i, e := range uncounted {
-				if e.bits.IsSubsetOf(bits) {
-					elemCounts[i]++
-				}
-			}
-		}
-	})
-	if elemCounter != nil {
-		elemCounts = elemCounter.Counts()
-	}
+	elems, elemBits := elemSets(uncounted)
+	candCounts, elemCounts := m.pc.CountCandidates(m.opt.Engine, candidates, elems, elemBits)
 	if len(uncounted) > 0 {
 		m.settle(uncounted, elemCounts)
 	}
 	m.lastMFCSCounted = len(uncounted)
-	if counter != nil {
-		return counter.Counts()
-	}
-	return nil
+	return candCounts
 }
 
 func (m *miner) run() {
@@ -262,18 +238,10 @@ func (m *miner) run() {
 	m.mfs = newMFSView(n)
 
 	// ---- Pass 1: flat item array + the initial MFCS element ----
-	array := counting.NewItemArray(n)
 	uncounted := m.mfcs.Uncounted()
-	elemCounts := make([]int64, len(uncounted))
-	m.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
-		array.Add(tx)
-		for i, e := range uncounted {
-			if e.bits.IsSubsetOf(bits) {
-				elemCounts[i]++
-			}
-		}
-	})
-	m.itemCounts = array.Counts()
+	elems, elemBits := elemSets(uncounted)
+	itemCounts, elemCounts := m.pc.CountItems(n, elems, elemBits)
+	m.itemCounts = itemCounts
 	m.settle(uncounted, elemCounts)
 	found := m.harvest()
 	var l1 itemset.Itemset
@@ -312,17 +280,9 @@ func (m *miner) run() {
 	}
 
 	// ---- Pass 2: triangular pair matrix + uncounted MFCS elements ----
-	tri := counting.NewTriangle(n, l1)
 	uncounted = m.mfcs.Uncounted()
-	elemCounts = make([]int64, len(uncounted))
-	m.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
-		tri.Add(tx)
-		for i, e := range uncounted {
-			if e.bits.IsSubsetOf(bits) {
-				elemCounts[i]++
-			}
-		}
-	})
+	elems, elemBits = elemSets(uncounted)
+	tri, elemCounts := m.pc.CountPairs(n, l1, elems, elemBits)
 	m.tri = tri
 	m.settle(uncounted, elemCounts)
 	found = m.harvest()

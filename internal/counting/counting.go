@@ -134,6 +134,10 @@ func (a *ItemArray) Count(i itemset.Item) int64 { return a.counts[i] }
 // Counts returns all per-item counts.
 func (a *ItemArray) Counts() []int64 { return a.counts }
 
+// Merge adds o's counts into a (count-distribution merge of per-partition
+// pass-1 arrays). Both arrays must cover the same universe.
+func (a *ItemArray) Merge(o *ItemArray) { SumInto(a.counts, o.counts) }
+
 // Triangle is the pass-2 engine: a triangular matrix holding a counter for
 // every unordered pair of "live" items (the frequent 1-itemsets). No
 // candidate generation is needed for pass 2 (§4.1.1): all pairs of frequent
@@ -211,3 +215,19 @@ func (t *Triangle) Each(f func(x, y itemset.Item, count int64)) {
 
 // NumPairs returns the number of implicit pair candidates.
 func (t *Triangle) NumPairs() int { return len(t.counts) }
+
+// Shard returns a Triangle sharing t's live-item index — immutable once
+// built — with a private count array, so concurrent Adds on distinct shards
+// touch no common memory. Merge the shards back with Merge.
+func (t *Triangle) Shard() *Triangle {
+	return &Triangle{index: t.index, items: t.items, counts: make([]int64, len(t.counts)), n: t.n}
+}
+
+// Merge adds o's counts into t. o must be a Shard of t (or a Triangle over
+// the same live items).
+func (t *Triangle) Merge(o *Triangle) {
+	if t.n != o.n {
+		panic(fmt.Sprintf("counting: Triangle.Merge over different live sets: %d vs %d items", t.n, o.n))
+	}
+	SumInto(t.counts, o.counts)
+}

@@ -109,6 +109,24 @@ func (h *HashTree) maybeSplit(n *htNode) {
 	}
 }
 
+// shard returns a counter sharing h's tree — immutable once built — while
+// owning private count and stamp arrays, so Adds on distinct shards touch no
+// common memory. Used by Sharded; h must not be mutated afterwards.
+func (h *HashTree) shard() *HashTree {
+	s := &HashTree{
+		candidates: h.candidates,
+		counts:     make([]int64, len(h.candidates)),
+		stamp:      make([]int64, len(h.candidates)),
+		root:       h.root,
+		fanout:     h.fanout,
+		maxLeaf:    h.maxLeaf,
+	}
+	for i := range s.stamp {
+		s.stamp[i] = -1
+	}
+	return s
+}
+
 // Add implements Counter.
 func (h *HashTree) Add(tx itemset.Itemset) {
 	h.txID++

@@ -1,0 +1,163 @@
+package counting
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pincer/internal/itemset"
+)
+
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, e := range []Engine{EngineList, EngineHashTree, EngineTrie} {
+		for _, workers := range []int{1, 2, 3, 7} {
+			s := NewSharded(e, testCandidates, workers)
+			if s.NumCandidates() != len(testCandidates) || s.Workers() != workers {
+				t.Fatalf("%s/w=%d: NumCandidates=%d Workers=%d", e, workers, s.NumCandidates(), s.Workers())
+			}
+			// round-robin the transactions over the shards, concurrently
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					sh := s.Shard(w)
+					for i := w; i < len(testTransactions); i += workers {
+						sh.Add(testTransactions[i])
+					}
+				}(w)
+			}
+			wg.Wait()
+			got := s.Counts()
+			for i := range wantCounts {
+				if got[i] != wantCounts[i] {
+					t.Errorf("%s/w=%d: count[%v] = %d, want %d", e, workers, testCandidates[i], got[i], wantCounts[i])
+				}
+			}
+		}
+	}
+}
+
+func TestShardedRandomizedAgainstList(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		universe := 4 + r.Intn(12)
+		// engines require distinct candidates (as real candidate lists are)
+		seen := map[string]bool{}
+		var cands []itemset.Itemset
+		for i := 0; i < 1+r.Intn(20); i++ {
+			n := 1 + r.Intn(4)
+			items := make([]itemset.Item, n)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(universe))
+			}
+			c := itemset.New(items...)
+			if !seen[c.Key()] {
+				seen[c.Key()] = true
+				cands = append(cands, c)
+			}
+		}
+		var txs []itemset.Itemset
+		for i := 0; i < 1+r.Intn(50); i++ {
+			n := 1 + r.Intn(universe)
+			items := make([]itemset.Item, n)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(universe))
+			}
+			txs = append(txs, itemset.New(items...))
+		}
+		want := NewList(cands)
+		for _, tx := range txs {
+			want.Add(tx)
+		}
+		workers := 1 + r.Intn(5)
+		for _, e := range []Engine{EngineList, EngineHashTree, EngineTrie} {
+			s := NewSharded(e, cands, workers)
+			for i, tx := range txs {
+				s.Shard(i % workers).Add(tx)
+			}
+			got := s.Counts()
+			for i := range cands {
+				if got[i] != want.Counts()[i] {
+					t.Fatalf("trial %d %s/w=%d: count[%v] = %d, want %d",
+						trial, e, workers, cands[i], got[i], want.Counts()[i])
+				}
+			}
+		}
+	}
+}
+
+func TestShardedAsPlainCounter(t *testing.T) {
+	// A Sharded used single-threaded through the Counter interface counts
+	// like any other engine.
+	var c Counter = NewSharded(EngineHashTree, testCandidates, 4)
+	for _, tx := range testTransactions {
+		c.Add(tx)
+	}
+	got := c.Counts()
+	for i := range wantCounts {
+		if got[i] != wantCounts[i] {
+			t.Errorf("count[%v] = %d, want %d", testCandidates[i], got[i], wantCounts[i])
+		}
+	}
+}
+
+func TestShardedClampsWorkers(t *testing.T) {
+	if w := NewSharded(EngineTrie, testCandidates, 0).Workers(); w != 1 {
+		t.Errorf("workers clamped to %d, want 1", w)
+	}
+}
+
+func TestTriangleShardMerge(t *testing.T) {
+	live := itemset.New(0, 1, 2, 3, 4)
+	seq := NewTriangle(6, live)
+	for _, tx := range testTransactions {
+		seq.Add(tx)
+	}
+	base := NewTriangle(6, live)
+	shards := []*Triangle{base, base.Shard(), base.Shard()}
+	for i, tx := range testTransactions {
+		shards[i%len(shards)].Add(tx)
+	}
+	for _, s := range shards[1:] {
+		base.Merge(s)
+	}
+	seq.Each(func(x, y itemset.Item, want int64) {
+		if got := base.Count(x, y); got != want {
+			t.Errorf("merged count(%v,%v) = %d, want %d", x, y, got, want)
+		}
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge over different live sets did not panic")
+		}
+	}()
+	base.Merge(NewTriangle(6, itemset.New(0, 1)))
+}
+
+func TestItemArrayMerge(t *testing.T) {
+	a, b, want := NewItemArray(6), NewItemArray(6), NewItemArray(6)
+	for i, tx := range testTransactions {
+		want.Add(tx)
+		if i%2 == 0 {
+			a.Add(tx)
+		} else {
+			b.Add(tx)
+		}
+	}
+	a.Merge(b)
+	for i, w := range want.Counts() {
+		if a.Counts()[i] != w {
+			t.Errorf("merged item %d = %d, want %d", i, a.Counts()[i], w)
+		}
+	}
+}
+
+func TestSumIntoMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SumInto length mismatch did not panic")
+		}
+	}()
+	SumInto(make([]int64, 2), make([]int64, 3))
+}

@@ -57,6 +57,17 @@ func (t *Trie) insert(ci int32, c itemset.Itemset) {
 	n.terminal = ci
 }
 
+// shard returns a counter sharing t's prefix tree — immutable once built —
+// with a private count array. Used by Sharded; t must not be mutated
+// afterwards.
+func (t *Trie) shard() *Trie {
+	return &Trie{
+		candidates: t.candidates,
+		counts:     make([]int64, len(t.candidates)),
+		root:       t.root,
+	}
+}
+
 // Add implements Counter.
 func (t *Trie) Add(tx itemset.Itemset) {
 	t.count(t.root, tx)

@@ -4,17 +4,25 @@
 // notes its approach applies.
 //
 // In count distribution every worker owns a horizontal partition of the
-// database and a private copy of the candidate set; each pass, workers
-// count their partitions concurrently and the per-candidate counts are
-// summed at the barrier. The algorithm's pass/candidate structure is
-// identical to the sequential one — only wall-clock time changes — so the
-// package exposes parallel variants of both Apriori-style candidate
-// counting and the full Pincer-Search loop through a drop-in Counter.
+// database and all workers share the candidate set; each pass, workers
+// count their partitions concurrently into private counters and the
+// per-candidate counts are summed at the pass barrier. The algorithm's
+// pass/candidate structure is identical to the sequential one — only
+// wall-clock time changes — so the package exposes parallel variants of
+// both Apriori-style candidate counting (MineApriori) and the full
+// Pincer-Search loop (MinePincer), the latter by injecting a partitioned
+// counting strategy into internal/core's PassCounter seam.
+//
+// Counting is contention-free: worker w touches only state indexed by w
+// (its partition, its counter shard), so the hot per-transaction path takes
+// no locks and sends no messages. The only synchronization is the
+// WaitGroup barrier at the end of each pass, where counters merge.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"pincer/internal/apriori"
 	"pincer/internal/counting"
@@ -49,132 +57,69 @@ func (o Options) workers() int {
 	return n
 }
 
-// parallelScanner implements dataset.Scanner by fanning each Scan out to
-// one goroutine per partition. The callback fn must therefore be safe for
-// concurrent invocation — the miners' callbacks are not, so this type is
-// unexported and used only through countingScanner below.
-type countingScanner struct {
+// partitions is the horizontally partitioned database: one contiguous
+// transaction slice (with precomputed bitsets) per worker. It is the unit
+// of count distribution — worker w scans exactly parts[w] every pass.
+type partitions struct {
 	parts    [][]itemset.Itemset
 	bits     [][]*itemset.Bitset
 	numItems int
 	total    int
-	passes   int
-	opt      Options
 }
 
-// newCountingScanner splits the dataset into per-worker slices.
-func newCountingScanner(d *dataset.Dataset, opt Options) *countingScanner {
-	w := opt.workers()
-	cs := &countingScanner{numItems: d.NumItems(), total: d.Len(), opt: opt}
-	parts := d.Partitions(w)
-	for _, p := range parts {
-		cs.parts = append(cs.parts, p.Transactions())
-		cs.bits = append(cs.bits, p.Bitsets())
+// newPartitions splits the dataset into per-worker slices. The number of
+// partitions may be lower than workers when the database is smaller than
+// the worker count.
+func newPartitions(d *dataset.Dataset, workers int) *partitions {
+	p := &partitions{numItems: d.NumItems(), total: d.Len()}
+	for _, part := range d.Partitions(workers) {
+		p.parts = append(p.parts, part.Transactions())
+		p.bits = append(p.bits, part.Bitsets())
 	}
-	return cs
+	return p
 }
 
-// Scan implements dataset.Scanner. Counting work is distributed: the
-// callback is invoked concurrently from one goroutine per partition, so fn
-// must be internally synchronized — which the mergeable counters below are.
-func (cs *countingScanner) Scan(fn func(tx itemset.Itemset, bits *itemset.Bitset)) {
-	cs.passes++
+// workers returns the effective worker count (= number of partitions).
+func (p *partitions) workers() int { return len(p.parts) }
+
+// each runs fn once per partition, one goroutine each, and waits for all of
+// them — one distributed database pass. fn receives the worker index w; the
+// contention-free discipline is that everything fn writes must be indexed
+// by w (a counter shard, a private slice), never shared.
+func (p *partitions) each(fn func(w int, txs []itemset.Itemset, bits []*itemset.Bitset)) {
 	var wg sync.WaitGroup
-	for i := range cs.parts {
+	for i := range p.parts {
 		wg.Add(1)
-		go func(txs []itemset.Itemset, bits []*itemset.Bitset) {
+		go func(w int) {
 			defer wg.Done()
-			for j, tx := range txs {
-				fn(tx, bits[j])
-			}
-		}(cs.parts[i], cs.bits[i])
+			fn(w, p.parts[w], p.bits[w])
+		}(i)
 	}
 	wg.Wait()
 }
 
-func (cs *countingScanner) Len() int      { return cs.total }
-func (cs *countingScanner) NumItems() int { return cs.numItems }
-func (cs *countingScanner) Passes() int   { return cs.passes }
-
-// shardedCounter gives each goroutine its own engine instance keyed by a
-// cheap goroutine-local: a channel-based free list. Counts merge on demand.
-type shardedCounter struct {
-	candidates []itemset.Itemset
-	engine     counting.Engine
-	pool       chan counting.Counter
-	all        []counting.Counter
-	mu         sync.Mutex
-}
-
-func newShardedCounter(e counting.Engine, candidates []itemset.Itemset, workers int) *shardedCounter {
-	return &shardedCounter{
-		candidates: candidates,
-		engine:     e,
-		pool:       make(chan counting.Counter, workers*2),
-	}
-}
-
-// Add counts one transaction on a private engine instance drawn from the
-// pool (created lazily), so concurrent Adds never contend on counter state.
-func (s *shardedCounter) Add(tx itemset.Itemset) {
-	var c counting.Counter
-	select {
-	case c = <-s.pool:
-	default:
-		c = counting.NewCounter(s.engine, s.candidates)
-		s.mu.Lock()
-		s.all = append(s.all, c)
-		s.mu.Unlock()
-	}
-	c.Add(tx)
-	s.pool <- c
-}
-
-// Counts merges the shards.
-func (s *shardedCounter) Counts() []int64 {
-	total := make([]int64, len(s.candidates))
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, c := range s.all {
-		for i, v := range c.Counts() {
-			total[i] += v
-		}
-	}
-	return total
-}
-
-// NumCandidates implements counting.Counter.
-func (s *shardedCounter) NumCandidates() int { return len(s.candidates) }
-
 // MineApriori runs count-distribution Apriori: pass structure identical to
-// the sequential algorithm, counting distributed over Workers goroutines.
+// the sequential algorithm, counting distributed over Workers goroutines
+// with a private counter shard per worker.
 func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Result {
-	workers := opt.workers()
+	start := time.Now()
 	minCount := d.MinCount(minSupport)
-	sc := newCountingScanner(d, opt)
+	p := newPartitions(d, opt.workers())
 
 	res := &mfi.Result{MinCount: minCount, NumTransactions: d.Len(), Frequent: itemset.NewSet(0)}
 	res.Stats.Algorithm = "apriori-parallel"
 
-	// Pass 1: per-worker item arrays, merged.
-	arrays := make([]*counting.ItemArray, len(sc.parts))
-	var wg sync.WaitGroup
-	for i := range sc.parts {
-		arrays[i] = counting.NewItemArray(d.NumItems())
-		wg.Add(1)
-		go func(a *counting.ItemArray, txs []itemset.Itemset) {
-			defer wg.Done()
-			for _, tx := range txs {
-				a.Add(tx)
-			}
-		}(arrays[i], sc.parts[i])
-	}
-	wg.Wait()
+	// Pass 1: per-worker item arrays, merged at the barrier.
+	arrays := make([]*counting.ItemArray, p.workers())
+	p.each(func(w int, txs []itemset.Itemset, _ []*itemset.Bitset) {
+		arrays[w] = counting.NewItemArray(d.NumItems())
+		for _, tx := range txs {
+			arrays[w].Add(tx)
+		}
+	})
 	itemCounts := make([]int64, d.NumItems())
 	for _, a := range arrays {
-		for i, v := range a.Counts() {
-			itemCounts[i] += v
-		}
+		counting.SumInto(itemCounts, a.Counts())
 	}
 	var lk []itemset.Itemset
 	counts := make(map[string]int64)
@@ -203,8 +148,13 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Resul
 		if len(ck) == 0 {
 			break
 		}
-		ctr := newShardedCounter(opt.Engine, ck, workers)
-		sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { ctr.Add(tx) })
+		ctr := counting.NewSharded(opt.Engine, ck, p.workers())
+		p.each(func(w int, txs []itemset.Itemset, _ []*itemset.Bitset) {
+			sh := ctr.Shard(w)
+			for _, tx := range txs {
+				sh.Add(tx)
+			}
+		})
 		merged := ctr.Counts()
 		var next []itemset.Itemset
 		for i, c := range ck {
@@ -229,5 +179,6 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Resul
 	if !opt.KeepFrequent {
 		res.Frequent = nil
 	}
+	res.Stats.Duration = time.Since(start)
 	return res
 }

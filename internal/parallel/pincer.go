@@ -1,0 +1,179 @@
+package parallel
+
+import (
+	"pincer/internal/core"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// passCounter implements core.PassCounter with count distribution: every
+// pass, each worker scans its partition into private counters — a shard of
+// the candidate structure, a private element-count slice — and the counts
+// are summed at the barrier. Integer addition is associative and
+// commutative, so the merged counts, and therefore the miner's every
+// decision, are identical to a sequential scan.
+type passCounter struct {
+	p *partitions
+}
+
+// NewPassCounter builds the count-distribution counting strategy for
+// injection into core.Options.Counter. The database is partitioned once;
+// every pass reuses the same partitions.
+func NewPassCounter(d *dataset.Dataset, workers int) core.PassCounter {
+	if workers < 1 {
+		workers = 1
+	}
+	return &passCounter{p: newPartitions(d, workers)}
+}
+
+// CountItems implements core.PassCounter (the pass-1 shape).
+func (pc *passCounter) CountItems(numItems int, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
+	w := pc.p.workers()
+	arrays := make([]*counting.ItemArray, w)
+	partElems := make([][]int64, w)
+	pc.p.each(func(wi int, txs []itemset.Itemset, bits []*itemset.Bitset) {
+		arrays[wi] = counting.NewItemArray(numItems)
+		partElems[wi] = countElemsDirect(elemBits, txs, bits, func(tx itemset.Itemset) {
+			arrays[wi].Add(tx)
+		})
+	})
+	itemCounts := make([]int64, numItems)
+	for _, a := range arrays {
+		counting.SumInto(itemCounts, a.Counts())
+	}
+	return itemCounts, mergeElemCounts(len(elems), partElems)
+}
+
+// CountPairs implements core.PassCounter (the pass-2 shape): per-worker
+// Triangle shards over a shared live-item index, merged at the barrier.
+func (pc *passCounter) CountPairs(numItems int, live itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) (*counting.Triangle, []int64) {
+	w := pc.p.workers()
+	base := counting.NewTriangle(numItems, live)
+	shards := make([]*counting.Triangle, w)
+	for i := range shards {
+		if i == 0 {
+			shards[i] = base
+		} else {
+			shards[i] = base.Shard()
+		}
+	}
+	partElems := make([][]int64, w)
+	pc.p.each(func(wi int, txs []itemset.Itemset, bits []*itemset.Bitset) {
+		tri := shards[wi]
+		partElems[wi] = countElemsDirect(elemBits, txs, bits, tri.Add)
+	})
+	for _, s := range shards[1:] {
+		base.Merge(s)
+	}
+	return base, mergeElemCounts(len(elems), partElems)
+}
+
+// CountCandidates implements core.PassCounter (the pass ≥ 3 shape).
+func (pc *passCounter) CountCandidates(engine counting.Engine, candidates []itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
+	w := pc.p.workers()
+	var cands *counting.Sharded
+	if len(candidates) > 0 {
+		cands = counting.NewSharded(engine, candidates, w)
+	}
+	// Mirror the sequential element strategy: a trie over the elements when
+	// there are many, direct bitset subset tests when few. The MFCS is an
+	// antichain, so the mixed-length trie is safe.
+	var elemTrie *counting.Sharded
+	if len(elems) > 16 {
+		elemTrie = counting.NewSharded(counting.EngineTrie, elems, w)
+	}
+	partElems := make([][]int64, w)
+	pc.p.each(func(wi int, txs []itemset.Itemset, bits []*itemset.Bitset) {
+		var candShard, elemShard counting.Counter
+		if cands != nil {
+			candShard = cands.Shard(wi)
+		}
+		if elemTrie != nil {
+			elemShard = elemTrie.Shard(wi)
+		}
+		if elemShard != nil {
+			for _, tx := range txs {
+				if candShard != nil {
+					candShard.Add(tx)
+				}
+				elemShard.Add(tx)
+			}
+		} else {
+			add := func(itemset.Itemset) {}
+			if candShard != nil {
+				add = candShard.Add
+			}
+			partElems[wi] = countElemsDirect(elemBits, txs, bits, add)
+		}
+	})
+	var elemCounts []int64
+	if elemTrie != nil {
+		elemCounts = elemTrie.Counts()
+	} else {
+		elemCounts = mergeElemCounts(len(elems), partElems)
+	}
+	if cands != nil {
+		return cands.Counts(), elemCounts
+	}
+	return nil, elemCounts
+}
+
+// countElemsDirect scans one partition, invoking extra per transaction
+// (the worker's candidate counting) and testing each element bitset for
+// containment. It returns the partition's element counts.
+func countElemsDirect(elemBits []*itemset.Bitset, txs []itemset.Itemset, bits []*itemset.Bitset, extra func(itemset.Itemset)) []int64 {
+	counts := make([]int64, len(elemBits))
+	for j, tx := range txs {
+		extra(tx)
+		for i, eb := range elemBits {
+			if eb.IsSubsetOf(bits[j]) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+// mergeElemCounts sums per-partition element counts.
+func mergeElemCounts(n int, parts [][]int64) []int64 {
+	total := make([]int64, n)
+	for _, p := range parts {
+		if p != nil {
+			counting.SumInto(total, p)
+		}
+	}
+	return total
+}
+
+// MinePincer runs count-distribution parallel Pincer-Search with the
+// default core options: the full sequential algorithm of internal/core —
+// bottom-up candidate counting, top-down MFCS counting, recovery, and tail
+// passes — with every database pass distributed over Workers goroutines.
+// The result (MFS, supports, frequent set, pass and candidate statistics)
+// is identical to sequential core.Mine; only wall-clock time changes.
+func MinePincer(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Result {
+	return MinePincerOpts(d, minSupport, core.DefaultOptions(), opt)
+}
+
+// MinePincerOpts is MinePincer with explicit Pincer-Search options. The
+// parallel Options' Engine and KeepFrequent take precedence over copt's.
+func MinePincerOpts(d *dataset.Dataset, minSupport float64, copt core.Options, opt Options) *mfi.Result {
+	return minePincer(d, dataset.MinCountFor(d.Len(), minSupport), copt, opt)
+}
+
+// MinePincerCount is MinePincerOpts with an absolute support-count
+// threshold.
+func MinePincerCount(d *dataset.Dataset, minCount int64, copt core.Options, opt Options) *mfi.Result {
+	return minePincer(d, minCount, copt, opt)
+}
+
+func minePincer(d *dataset.Dataset, minCount int64, copt core.Options, opt Options) *mfi.Result {
+	copt.Engine = opt.Engine
+	copt.KeepFrequent = opt.KeepFrequent
+	copt.Counter = NewPassCounter(d, opt.workers())
+	res := core.MineCount(dataset.NewScanner(d), minCount, copt)
+	res.Stats.Algorithm = "pincer-parallel"
+	return res
+}

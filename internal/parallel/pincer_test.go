@@ -1,0 +1,164 @@
+package parallel
+
+import (
+	"strconv"
+	"testing"
+
+	"pincer/internal/core"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+// comparePincerResults asserts the full observable equivalence the
+// count-distribution argument promises: identical MFS (order and supports),
+// identical frequent set, and identical per-pass candidate accounting.
+func comparePincerResults(t *testing.T, label string, par, seq *mfi.Result) {
+	t.Helper()
+	if len(par.MFS) != len(seq.MFS) {
+		t.Fatalf("%s: |MFS| = %d, want %d", label, len(par.MFS), len(seq.MFS))
+	}
+	for i := range seq.MFS {
+		if !par.MFS[i].Equal(seq.MFS[i]) {
+			t.Fatalf("%s: MFS[%d] = %v, want %v", label, i, par.MFS[i], seq.MFS[i])
+		}
+		if par.MFSSupports[i] != seq.MFSSupports[i] {
+			t.Fatalf("%s: support(%v) = %d, want %d", label, seq.MFS[i], par.MFSSupports[i], seq.MFSSupports[i])
+		}
+	}
+	if (par.Frequent == nil) != (seq.Frequent == nil) {
+		t.Fatalf("%s: frequent-set presence differs", label)
+	}
+	if seq.Frequent != nil {
+		if par.Frequent.Len() != seq.Frequent.Len() {
+			t.Fatalf("%s: |frequent| = %d, want %d", label, par.Frequent.Len(), seq.Frequent.Len())
+		}
+		seq.Frequent.Each(func(x itemset.Itemset, c int64) {
+			if got, ok := par.Frequent.Count(x); !ok || got != c {
+				t.Fatalf("%s: frequent support(%v) = %d,%v want %d", label, x, got, ok, c)
+			}
+		})
+	}
+	ps, ss := par.Stats, seq.Stats
+	if ps.Passes != ss.Passes || ps.Candidates != ss.Candidates ||
+		ps.MFCSCandidates != ss.MFCSCandidates || ps.TailPasses != ss.TailPasses ||
+		ps.FrequentCount != ss.FrequentCount || ps.AdaptiveOff != ss.AdaptiveOff {
+		t.Fatalf("%s: stats differ: parallel %+v, sequential %+v", label, ps, ss)
+	}
+	for i, pp := range ps.PassDetails {
+		sp := ss.PassDetails[i]
+		if pp != sp {
+			t.Fatalf("%s: pass %d stats = %+v, want %+v", label, i+1, pp, sp)
+		}
+	}
+}
+
+// TestMinePincerMatchesSequential is the count-distribution property test:
+// across quest-generated workloads of both distribution shapes and across
+// worker counts, parallel Pincer-Search reports results byte-identical to
+// the sequential miner.
+func TestMinePincerMatchesSequential(t *testing.T) {
+	type workload struct {
+		params  quest.Params
+		support float64
+	}
+	var workloads []workload
+	// concentrated shapes (few patterns, long maximal itemsets) — the
+	// paper's Figure-4 regime where the MFCS does the work
+	for seed := int64(1); seed <= 5; seed++ {
+		workloads = append(workloads, workload{quest.Params{
+			NumTransactions: 300 + 40*int(seed), AvgTxLen: 14, AvgPatternLen: 7,
+			NumPatterns: 15, NumItems: 60, Seed: seed,
+		}, 0.10})
+	}
+	// scattered shapes (many patterns, short maximal itemsets) — the
+	// Figure-3 regime dominated by bottom-up counting
+	for seed := int64(6); seed <= 10; seed++ {
+		workloads = append(workloads, workload{quest.Params{
+			NumTransactions: 300 + 40*int(seed), AvgTxLen: 8, AvgPatternLen: 3,
+			NumPatterns: 80, NumItems: 100, Seed: seed,
+		}, 0.03})
+	}
+	// small dense edge shape: high support, tiny universe
+	workloads = append(workloads,
+		workload{quest.Params{NumTransactions: 120, AvgTxLen: 6, AvgPatternLen: 4,
+			NumPatterns: 5, NumItems: 12, Seed: 11}, 0.25},
+		workload{quest.Params{NumTransactions: 200, AvgTxLen: 10, AvgPatternLen: 5,
+			NumPatterns: 10, NumItems: 30, Seed: 12}, 0.08},
+	)
+
+	for _, wl := range workloads {
+		d := quest.Generate(wl.params)
+		copt := core.DefaultOptions()
+		seq := core.Mine(dataset.NewScanner(d), wl.support, copt)
+		for _, workers := range []int{1, 2, 4, 7} {
+			opt := DefaultOptions()
+			opt.Workers = workers
+			par := MinePincer(d, wl.support, opt)
+			label := wl.params.Name()
+			comparePincerResults(t, label+"/workers="+strconv.Itoa(workers), par, seq)
+			if par.Stats.Algorithm != "pincer-parallel" {
+				t.Errorf("algorithm = %q", par.Stats.Algorithm)
+			}
+		}
+	}
+}
+
+func TestMinePincerKeepFrequentOff(t *testing.T) {
+	d := quest.Generate(quest.Params{
+		NumTransactions: 200, AvgTxLen: 10, AvgPatternLen: 5,
+		NumPatterns: 10, NumItems: 40, Seed: 3,
+	})
+	opt := DefaultOptions()
+	opt.Workers = 3
+	opt.KeepFrequent = false
+	par := MinePincer(d, 0.08, opt)
+	if par.Frequent != nil {
+		t.Error("Frequent retained with KeepFrequent=false")
+	}
+	copt := core.DefaultOptions()
+	copt.KeepFrequent = false
+	seq := core.Mine(dataset.NewScanner(d), 0.08, copt)
+	comparePincerResults(t, "keepfrequent-off", par, seq)
+}
+
+func TestMinePincerPure(t *testing.T) {
+	// The pure (non-adaptive) variant exercises unlimited MFCS maintenance
+	// through the same seam.
+	d := quest.Generate(quest.Params{
+		NumTransactions: 250, AvgTxLen: 12, AvgPatternLen: 6,
+		NumPatterns: 12, NumItems: 50, Seed: 9,
+	})
+	copt := core.DefaultOptions()
+	copt.Pure = true
+	seq := core.Mine(dataset.NewScanner(d), 0.10, copt)
+	opt := DefaultOptions()
+	opt.Workers = 4
+	par := MinePincerOpts(d, 0.10, copt, opt)
+	comparePincerResults(t, "pure", par, seq)
+}
+
+func TestMinePincerEdgeCases(t *testing.T) {
+	// empty database
+	res := MinePincer(dataset.Empty(5), 0.5, DefaultOptions())
+	if len(res.MFS) != 0 {
+		t.Errorf("empty MFS = %v", res.MFS)
+	}
+	// fewer transactions than workers
+	d := dataset.New([]dataset.Transaction{itemset.New(1, 2), itemset.New(1, 2)})
+	opt := DefaultOptions()
+	opt.Workers = 16
+	res = MinePincer(d, 1.0, opt)
+	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if res.MFSSupports[0] != 2 {
+		t.Errorf("support = %d", res.MFSSupports[0])
+	}
+	// explicit count threshold
+	res = MinePincerCount(d, 2, core.DefaultOptions(), opt)
+	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+}

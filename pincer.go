@@ -31,6 +31,7 @@ import (
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
 	"pincer/internal/minkeys"
+	"pincer/internal/parallel"
 	"pincer/internal/quest"
 	"pincer/internal/rules"
 )
@@ -150,6 +151,28 @@ func MineApriori(d *Dataset, minSupport float64) *Result {
 // MineAprioriWithOptions is MineApriori with explicit options.
 func MineAprioriWithOptions(d *Dataset, minSupport float64, opt AprioriOptions) *Result {
 	return apriori.Mine(dataset.NewScanner(d), minSupport, opt)
+}
+
+// ParallelOptions configures count-distribution parallel mining: worker
+// count, per-worker counting engine, and frequent-set retention.
+type ParallelOptions = parallel.Options
+
+// DefaultParallelOptions returns the standard parallel configuration
+// (GOMAXPROCS workers, hash-tree engine).
+func DefaultParallelOptions() ParallelOptions { return parallel.DefaultOptions() }
+
+// MineParallel runs count-distribution parallel Pincer-Search: every
+// counting pass is distributed over opt.Workers goroutines scanning
+// horizontal partitions of the database, with per-worker counters merged at
+// the pass barrier. The result — MFS, supports, statistics — is identical
+// to Mine; only wall-clock time changes.
+func MineParallel(d *Dataset, minSupport float64, opt ParallelOptions) *Result {
+	return parallel.MinePincer(d, minSupport, opt)
+}
+
+// MineAprioriParallel is the count-distribution parallel Apriori baseline.
+func MineAprioriParallel(d *Dataset, minSupport float64, opt ParallelOptions) *Result {
+	return parallel.MineApriori(d, minSupport, opt)
 }
 
 // DefaultPincerOptions returns the adaptive configuration the paper
