@@ -1,10 +1,10 @@
-# CI entry points. `make ci` is what the pipeline runs; the parallel and
-# core packages additionally run under the race detector because they are
-# the only packages with concurrency.
+# CI entry points. `make ci` is what the pipeline runs; the parallel, core,
+# and obsv packages additionally run under the race detector because they
+# are the packages with concurrency (counting workers, metrics scraping).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-parallel
+.PHONY: ci vet build test race bench bench-parallel profile
 
 ci: vet build test race
 
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/core/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obsv/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -27,3 +27,11 @@ bench:
 bench-parallel:
 	$(GO) run ./cmd/benchrun -workers 1,2,4 -spec F4-T20I10 -d 10000 \
 		-parallel-support 0.06 -repeats 3 -json BENCH_parallel.json
+
+# CPU-profile a representative mine (T10.I4.D10K) and print the ten
+# hottest functions.
+profile:
+	$(GO) run ./cmd/questgen -name T10.I4.D10K -seed 1 -o /tmp/pincer-t10i4.basket
+	$(GO) run ./cmd/pincer -input /tmp/pincer-t10i4.basket -support 0.03 \
+		-cpuprofile /tmp/pincer-cpu.prof > /dev/null
+	$(GO) tool pprof -top -nodecount=10 /tmp/pincer-cpu.prof

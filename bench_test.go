@@ -25,6 +25,15 @@ import (
 
 const benchTransactions = 1000
 
+// must unwraps the (result, error) mining returns; in-memory benchmark
+// scans cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 var (
 	benchDBMu sync.Mutex
 	benchDBs  = map[string]*dataset.Dataset{}
@@ -60,7 +69,7 @@ func benchFigureRow(b *testing.B, specID string, supports []float64) {
 			opt.KeepFrequent = false
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res := apriori.Mine(dataset.NewScanner(d), sup, opt)
+				res := must(apriori.Mine(dataset.NewScanner(d), sup, opt))
 				b.ReportMetric(float64(res.Stats.Passes), "passes")
 				b.ReportMetric(float64(res.Stats.Candidates), "candidates")
 			}
@@ -70,7 +79,7 @@ func benchFigureRow(b *testing.B, specID string, supports []float64) {
 			opt.KeepFrequent = false
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res := core.Mine(dataset.NewScanner(d), sup, opt)
+				res := must(core.Mine(dataset.NewScanner(d), sup, opt))
 				b.ReportMetric(float64(res.Stats.Passes), "passes")
 				b.ReportMetric(float64(res.Stats.Candidates), "candidates")
 			}
@@ -113,7 +122,7 @@ func BenchmarkAblationEngine(b *testing.B) {
 			opt.Engine = e
 			opt.KeepFrequent = false
 			for i := 0; i < b.N; i++ {
-				apriori.Mine(dataset.NewScanner(d), 0.10, opt)
+				must(apriori.Mine(dataset.NewScanner(d), 0.10, opt))
 			}
 		})
 	}
@@ -133,7 +142,7 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 			opt.Pure = pure
 			opt.KeepFrequent = false
 			for i := 0; i < b.N; i++ {
-				core.Mine(dataset.NewScanner(d), 0.08, opt)
+				must(core.Mine(dataset.NewScanner(d), 0.08, opt))
 			}
 		})
 	}
@@ -154,7 +163,7 @@ func BenchmarkAblationRecovery(b *testing.B) {
 			opt.DisableRecovery = disabled
 			opt.KeepFrequent = false
 			for i := 0; i < b.N; i++ {
-				res := core.Mine(dataset.NewScanner(d), 0.08, opt)
+				res := must(core.Mine(dataset.NewScanner(d), 0.08, opt))
 				b.ReportMetric(float64(res.Stats.TailPasses), "tailpasses")
 			}
 		})
@@ -176,7 +185,7 @@ func BenchmarkAblationMFCSSplitStrategy(b *testing.B) {
 			opt.IncrementalSplitMax = incMax
 			opt.KeepFrequent = false
 			for i := 0; i < b.N; i++ {
-				core.Mine(dataset.NewScanner(d), 0.10, opt)
+				must(core.Mine(dataset.NewScanner(d), 0.10, opt))
 			}
 		})
 	}
@@ -193,7 +202,7 @@ func BenchmarkTopDownVsPincer(b *testing.B) {
 	})
 	b.Run("topdown", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			topdown.Mine(dataset.NewScanner(d), 0.10, topdown.DefaultOptions())
+			must(topdown.Mine(dataset.NewScanner(d), 0.10, topdown.DefaultOptions()))
 		}
 	})
 	b.Run("pincer", func(b *testing.B) {
@@ -214,10 +223,10 @@ func BenchmarkParallelPincer(b *testing.B) {
 	d := concentratedDB(b)
 	copt := core.DefaultOptions()
 	copt.KeepFrequent = false
-	seq := core.Mine(dataset.NewScanner(d), 0.08, copt)
+	seq := must(core.Mine(dataset.NewScanner(d), 0.08, copt))
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.Mine(dataset.NewScanner(d), 0.08, copt)
+			must(core.Mine(dataset.NewScanner(d), 0.08, copt))
 		}
 	})
 	for _, workers := range []int{1, 2, 4} {
@@ -227,7 +236,7 @@ func BenchmarkParallelPincer(b *testing.B) {
 			opt.Workers = workers
 			opt.KeepFrequent = false
 			for i := 0; i < b.N; i++ {
-				res := parallel.MinePincerOpts(d, 0.08, copt, opt)
+				res := must(parallel.MinePincerOpts(d, 0.08, copt, opt))
 				if i == 0 {
 					if err := mfi.VerifyAgainst(res.MFS, seq.MFS); err != nil {
 						b.Fatalf("workers=%d: %v", workers, err)
@@ -264,7 +273,7 @@ func BenchmarkRulesFromMFS(b *testing.B) {
 	d := concentratedDB(b)
 	opt := core.DefaultOptions()
 	opt.KeepFrequent = false
-	res := core.Mine(dataset.NewScanner(d), 0.10, opt)
+	res := must(core.Mine(dataset.NewScanner(d), 0.10, opt))
 	sc := dataset.NewScanner(d)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -277,7 +286,7 @@ func BenchmarkRulesFromMFS(b *testing.B) {
 // BenchmarkCountingEngines isolates the per-transaction counting cost.
 func BenchmarkCountingEngines(b *testing.B) {
 	d := concentratedDB(b)
-	res := apriori.Mine(dataset.NewScanner(d), 0.10, apriori.DefaultOptions())
+	res := must(apriori.Mine(dataset.NewScanner(d), 0.10, apriori.DefaultOptions()))
 	var cands []Itemset
 	res.Frequent.Each(func(x Itemset, _ int64) {
 		if len(x) == 3 {

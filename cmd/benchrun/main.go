@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,6 +29,7 @@ import (
 
 	"pincer/internal/bench"
 	"pincer/internal/counting"
+	"pincer/internal/obsv"
 )
 
 // parseWorkers parses a comma-separated worker-count list such as "1,2,4".
@@ -67,12 +69,49 @@ func run(args []string) error {
 	parallelSup := fs.Float64("parallel-support", 0.06, "minimum support for the parallel sweep")
 	repeats := fs.Int("repeats", 3, "parallel sweep: measurements per setting (minimum is reported)")
 	jsonPath := fs.String("json", "", "parallel sweep: also write the report as JSON to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address while the benchmark runs (e.g. localhost:6060)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	traceJSON := fs.String("trace-json", "", "parallel sweep: trace per-pass events — written as JSON lines to this file (\"-\" for stderr) and folded into the -json report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	engine, err := counting.ParseEngine(*engineName)
 	if err != nil {
 		return err
+	}
+
+	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", perr)
+		}
+	}()
+	var tracer obsv.Tracer
+	if *metricsAddr != "" {
+		reg := obsv.NewRegistry()
+		tracer = obsv.NewMetricsTracer(reg)
+		srv, err := obsv.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "benchrun: serving metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", srv.Addr)
+	}
+	if *traceJSON != "" {
+		w := io.Writer(os.Stderr)
+		if *traceJSON != "-" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		tracer = obsv.Multi(tracer, obsv.NewJSONTracer(w))
 	}
 
 	if *workersList != "" {
@@ -90,6 +129,7 @@ func run(args []string) error {
 		opt := bench.DefaultOptions()
 		opt.Engine = engine
 		opt.Pincer.Pure = *pure
+		opt.Tracer = tracer
 		if !*quiet {
 			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 		}

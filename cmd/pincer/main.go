@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pincer/internal/ais"
@@ -29,6 +30,7 @@ import (
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
+	"pincer/internal/obsv"
 	"pincer/internal/parallel"
 	"pincer/internal/topdown"
 	"pincer/internal/vertical"
@@ -52,6 +54,10 @@ func run(args []string, out *os.File) error {
 	stats := fs.Bool("stats", false, "print per-pass statistics to stderr")
 	frequent := fs.Bool("frequent", false, "also print every explicitly discovered frequent itemset")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address for the run's duration (e.g. localhost:6060)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	traceJSON := fs.String("trace-json", "", "write per-pass trace events as JSON lines to this file (\"-\" for stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +71,39 @@ func run(args []string, out *os.File) error {
 	engine, err := counting.ParseEngine(*engineName)
 	if err != nil {
 		return err
+	}
+
+	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil {
+			fmt.Fprintln(os.Stderr, "pincer:", perr)
+		}
+	}()
+	var tracer obsv.Tracer
+	if *metricsAddr != "" {
+		reg := obsv.NewRegistry()
+		tracer = obsv.NewMetricsTracer(reg)
+		srv, err := obsv.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pincer: serving metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", srv.Addr)
+	}
+	if *traceJSON != "" {
+		w := io.Writer(os.Stderr)
+		if *traceJSON != "-" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		tracer = obsv.Multi(tracer, obsv.NewJSONTracer(w))
 	}
 
 	d, err := dataset.Load(*input)
@@ -89,6 +128,7 @@ func run(args []string, out *os.File) error {
 	popt.Workers = *workers
 	popt.Engine = engine
 	popt.KeepFrequent = *frequent
+	popt.Tracer = tracer
 
 	var res *mfi.Result
 	switch *algorithm {
@@ -97,24 +137,35 @@ func run(args []string, out *os.File) error {
 		opt.Engine = engine
 		opt.Pure = *pure
 		opt.KeepFrequent = *frequent
+		opt.Tracer = tracer
 		if *workers >= 0 {
-			res = parallel.MinePincerOpts(d, *support, opt, popt)
+			res, err = parallel.MinePincerOpts(d, *support, opt, popt)
 		} else {
-			res = core.Mine(sc, *support, opt)
+			res, err = core.Mine(sc, *support, opt)
+		}
+		if err != nil {
+			return err
 		}
 	case "apriori":
 		if *workers >= 0 {
-			res = parallel.MineApriori(d, *support, popt)
+			res, err = parallel.MineApriori(d, *support, popt)
 		} else {
 			opt := apriori.DefaultOptions()
 			opt.Engine = engine
 			opt.KeepFrequent = *frequent
-			res = apriori.Mine(sc, *support, opt)
+			opt.Tracer = tracer
+			res, err = apriori.Mine(sc, *support, opt)
+		}
+		if err != nil {
+			return err
 		}
 	case "ais":
 		opt := ais.DefaultOptions()
 		opt.KeepFrequent = *frequent
-		ares := ais.Mine(sc, *support, opt)
+		ares, err := ais.Mine(sc, *support, opt)
+		if err != nil {
+			return err
+		}
 		if ares.Aborted {
 			return fmt.Errorf("ais: candidate explosion; use -algorithm pincer or apriori")
 		}
@@ -127,7 +178,12 @@ func run(args []string, out *os.File) error {
 		vres := vertical.MineMaximal(d, *support, vertical.DefaultOptions())
 		res = &vres.Result
 	case "topdown":
-		tres := topdown.Mine(sc, *support, topdown.DefaultOptions())
+		topt := topdown.DefaultOptions()
+		topt.Tracer = tracer
+		tres, err := topdown.Mine(sc, *support, topt)
+		if err != nil {
+			return err
+		}
 		if tres.Aborted {
 			return fmt.Errorf("topdown: frontier exploded; this algorithm only suits very concentrated data")
 		}

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"pincer/internal/dataset"
+	"pincer/internal/obsv"
 	"pincer/internal/quest"
 )
 
@@ -40,9 +41,21 @@ func run(args []string) error {
 	out := fs.String("o", "", "output file (default stdout)")
 	binary := fs.Bool("binary", false, "write the compact binary format")
 	showPatterns := fs.Bool("patterns", false, "print the seeded patterns to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil {
+			fmt.Fprintln(os.Stderr, "questgen:", perr)
+		}
+	}()
 
 	var p quest.Params
 	if *name != "" {

@@ -16,6 +16,7 @@ import (
 
 	"pincer/internal/core"
 	"pincer/internal/dataset"
+	"pincer/internal/obsv"
 	"pincer/internal/rules"
 )
 
@@ -34,6 +35,8 @@ func run(args []string) error {
 	top := fs.Int("top", 0, "print only the strongest N rules (0 = all)")
 	maxLen := fs.Int("maxlen", 14, "cap on frequent-itemset length considered for rules (0 = unlimited; beware exponential expansion)")
 	minLift := fs.Float64("lift", 0, "minimum lift filter")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,6 +45,16 @@ func run(args []string) error {
 		return fmt.Errorf("-input is required")
 	}
 
+	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil {
+			fmt.Fprintln(os.Stderr, "rulegen:", perr)
+		}
+	}()
+
 	d, err := dataset.Load(*input)
 	if err != nil {
 		return err
@@ -49,7 +62,10 @@ func run(args []string) error {
 	sc := dataset.NewScanner(d)
 	opt := core.DefaultOptions()
 	opt.KeepFrequent = false
-	res := core.Mine(sc, *support, opt)
+	res, err := core.Mine(sc, *support, opt)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "rulegen: %d maximal frequent itemsets (longest %d) in %d passes\n",
 		len(res.MFS), res.LongestMFS(), res.Stats.Passes)
 

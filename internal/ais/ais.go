@@ -45,13 +45,16 @@ type Result struct {
 	Aborted bool
 }
 
-// Mine runs AIS at a fractional minimum support.
-func Mine(sc dataset.Scanner, minSupport float64, opt Options) *Result {
+// Mine runs AIS at a fractional minimum support. A non-nil error reports a
+// mid-pass failure re-reading a file-backed database (see
+// mfi.RecoverMiningError); in-memory scans cannot fail.
+func Mine(sc dataset.Scanner, minSupport float64, opt Options) (*Result, error) {
 	return MineCount(sc, dataset.MinCountFor(sc.Len(), minSupport), opt)
 }
 
 // MineCount runs AIS with an absolute support threshold.
-func MineCount(sc dataset.Scanner, minCount int64, opt Options) *Result {
+func MineCount(sc dataset.Scanner, minCount int64, opt Options) (_ *Result, err error) {
+	defer mfi.RecoverMiningError(&err)
 	start := time.Now()
 	res := &Result{Result: mfi.Result{
 		MinCount:        minCount,
@@ -128,7 +131,7 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *Result {
 		})
 		if aborted {
 			res.Aborted = true
-			return finish()
+			return finish(), nil
 		}
 		var next []itemset.Itemset
 		for key, c := range candCounts {
@@ -142,5 +145,5 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *Result {
 		res.Stats.AddPass(mfi.PassStats{Candidates: len(candCounts), Frequent: len(next)})
 		lk = next
 	}
-	return finish()
+	return finish(), nil
 }

@@ -12,6 +12,15 @@ import (
 	"pincer/internal/quest"
 )
 
+// must unwraps the (result, error) mining returns; in-memory scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 func TestAISSmall(t *testing.T) {
 	d := dataset.New([]dataset.Transaction{
 		itemset.New(1, 2, 3),
@@ -20,11 +29,11 @@ func TestAISSmall(t *testing.T) {
 		itemset.New(3, 4),
 		itemset.New(3, 4),
 	})
-	res := MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(d), 2, DefaultOptions()))
 	if res.Aborted {
 		t.Fatal("aborted")
 	}
-	ares := apriori.MineCount(dataset.NewScanner(d), 2, apriori.DefaultOptions())
+	ares := must(apriori.MineCount(dataset.NewScanner(d), 2, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
 	}
@@ -45,8 +54,8 @@ func TestAISCountsMoreCandidatesThanApriori(t *testing.T) {
 		NumTransactions: 600, AvgTxLen: 8, AvgPatternLen: 4,
 		NumPatterns: 30, NumItems: 60, Seed: 6,
 	})
-	res := Mine(dataset.NewScanner(d), 0.02, DefaultOptions())
-	ares := apriori.Mine(dataset.NewScanner(d), 0.02, apriori.DefaultOptions())
+	res := must(Mine(dataset.NewScanner(d), 0.02, DefaultOptions()))
+	ares := must(apriori.Mine(dataset.NewScanner(d), 0.02, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatal(err)
 	}
@@ -62,26 +71,26 @@ func TestAISAbortsOnCandidateExplosion(t *testing.T) {
 	})
 	opt := DefaultOptions()
 	opt.MaxCandidatesPerPass = 5
-	res := Mine(dataset.NewScanner(d), 0.05, opt)
+	res := must(Mine(dataset.NewScanner(d), 0.05, opt))
 	if !res.Aborted {
 		t.Fatal("tiny bound did not abort")
 	}
 }
 
 func TestAISEdgeCases(t *testing.T) {
-	res := MineCount(dataset.NewScanner(dataset.Empty(4)), 1, DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(dataset.Empty(4)), 1, DefaultOptions()))
 	if len(res.MFS) != 0 {
 		t.Errorf("empty MFS = %v", res.MFS)
 	}
 	d := dataset.New([]dataset.Transaction{itemset.New(1), itemset.New(2)})
-	res = MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	res = must(MineCount(dataset.NewScanner(d), 2, DefaultOptions()))
 	if len(res.MFS) != 0 {
 		t.Errorf("MFS = %v", res.MFS)
 	}
 	opt := DefaultOptions()
 	opt.KeepFrequent = false
 	d2 := dataset.New([]dataset.Transaction{itemset.New(1, 2), itemset.New(1, 2)})
-	res = MineCount(dataset.NewScanner(d2), 2, opt)
+	res = must(MineCount(dataset.NewScanner(d2), 2, opt))
 	if res.Frequent != nil {
 		t.Error("Frequent retained")
 	}
@@ -105,8 +114,8 @@ func TestQuickAISMatchesApriori(t *testing.T) {
 			d.Append(itemset.New(items...))
 		}
 		minCount := int64(1 + r.Intn(numTx/2+1))
-		res := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
-		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		res := must(MineCount(dataset.NewScanner(d), minCount, DefaultOptions()))
+		ares := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 		if res.Frequent.Len() != ares.Frequent.Len() {
 			return false
 		}

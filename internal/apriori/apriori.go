@@ -16,6 +16,7 @@ import (
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
+	"pincer/internal/obsv"
 )
 
 // Join is the join procedure of Apriori-gen (§3.3): it combines every pair
@@ -91,6 +92,9 @@ type Options struct {
 	// CombineThreshold is the candidate-count ceiling under which levels
 	// are combined (default 10000 when CombineLevels is set).
 	CombineThreshold int
+	// Tracer receives per-pass trace events; nil disables tracing (no
+	// timestamps are taken).
+	Tracer obsv.Tracer
 }
 
 // DefaultOptions returns the standard configuration.
@@ -99,22 +103,66 @@ func DefaultOptions() Options {
 }
 
 // Mine runs Apriori over the scanned database at the given fractional
-// minimum support and returns the complete frequent set and the MFS.
-func Mine(sc dataset.Scanner, minSupport float64, opt Options) *mfi.Result {
+// minimum support and returns the complete frequent set and the MFS. A
+// non-nil error reports a mid-pass failure re-reading a file-backed
+// database (see mfi.RecoverMiningError); in-memory scans cannot fail.
+func Mine(sc dataset.Scanner, minSupport float64, opt Options) (*mfi.Result, error) {
 	minCount := dataset.MinCountFor(sc.Len(), minSupport)
 	return MineCount(sc, minCount, opt)
 }
 
 // MineCount is Mine with an absolute support-count threshold.
-func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
+func MineCount(sc dataset.Scanner, minCount int64, opt Options) (res *mfi.Result, err error) {
+	defer mfi.RecoverMiningError(&err)
 	start := time.Now()
-	res := &mfi.Result{
+	r := &mfi.Result{
 		MinCount:        minCount,
 		NumTransactions: sc.Len(),
 		Frequent:        itemset.NewSet(0),
 	}
-	res.Stats.Algorithm = "apriori"
-	defer func() { res.Stats.Duration = time.Since(start) }()
+	r.Stats.Algorithm = "apriori"
+
+	// Tracing seam: when a Tracer is set, every database read is timed and
+	// each pass emits an event mirroring its PassDetails entry. With a nil
+	// Tracer the scan helper is a plain passthrough — no timestamps.
+	tr := opt.Tracer
+	var scanDur time.Duration
+	scan := func(f func(itemset.Itemset, *itemset.Bitset)) {
+		if tr == nil {
+			sc.Scan(f)
+			return
+		}
+		t0 := time.Now()
+		sc.Scan(f)
+		scanDur = time.Since(t0)
+	}
+	emit := func() {
+		if tr == nil {
+			return
+		}
+		p := r.Stats.PassDetails[len(r.Stats.PassDetails)-1]
+		d := scanDur
+		scanDur = 0
+		tr.PassDone(obsv.PassEvent{
+			Algorithm:    r.Stats.Algorithm,
+			Pass:         p.Pass,
+			Phase:        obsv.PhaseBottomUp,
+			Candidates:   p.Candidates,
+			Frequent:     p.Frequent,
+			Infrequent:   p.Candidates - p.Frequent,
+			MFSFound:     p.MFSFound,
+			ScanDuration: d,
+			Workers:      1,
+		})
+	}
+	if tr != nil {
+		tr.RunStart(obsv.RunInfo{
+			Algorithm:       r.Stats.Algorithm,
+			Workers:         1,
+			MinCount:        minCount,
+			NumTransactions: sc.Len(),
+		})
+	}
 
 	var allFrequent []itemset.Itemset
 	counts := make(map[string]int64)
@@ -122,24 +170,34 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
 		allFrequent = append(allFrequent, x)
 		counts[x.Key()] = count
 		if opt.KeepFrequent {
-			res.Frequent.AddWithCount(x, count)
+			r.Frequent.AddWithCount(x, count)
 		}
 	}
 	finish := func() *mfi.Result {
-		res.MFS = itemset.MaximalOnly(allFrequent)
-		res.MFSSupports = make([]int64, len(res.MFS))
-		for i, m := range res.MFS {
-			res.MFSSupports[i] = counts[m.Key()]
+		r.MFS = itemset.MaximalOnly(allFrequent)
+		r.MFSSupports = make([]int64, len(r.MFS))
+		for i, m := range r.MFS {
+			r.MFSSupports[i] = counts[m.Key()]
 		}
 		if !opt.KeepFrequent {
-			res.Frequent = nil
+			r.Frequent = nil
 		}
-		return res
+		r.Stats.Duration = time.Since(start)
+		if tr != nil {
+			tr.RunDone(obsv.RunSummary{
+				Algorithm:  r.Stats.Algorithm,
+				Passes:     r.Stats.Passes,
+				Candidates: r.Stats.Candidates,
+				MFSSize:    len(r.MFS),
+				Duration:   r.Stats.Duration,
+			})
+		}
+		return r
 	}
 
 	// Pass 1: flat per-item array.
 	array := counting.NewItemArray(sc.NumItems())
-	sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { array.Add(tx) })
+	scan(func(tx itemset.Itemset, _ *itemset.Bitset) { array.Add(tx) })
 	var l1 itemset.Itemset
 	for i, c := range array.Counts() {
 		if c >= minCount {
@@ -147,14 +205,15 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
 			noteFrequent(itemset.Itemset{itemset.Item(i)}, c)
 		}
 	}
-	res.Stats.AddPass(mfi.PassStats{Candidates: sc.NumItems(), Frequent: len(l1)})
+	r.Stats.AddPass(mfi.PassStats{Candidates: sc.NumItems(), Frequent: len(l1)})
+	emit()
 	if len(l1) < 2 || opt.MaxPasses == 1 {
-		return finish()
+		return finish(), nil
 	}
 
 	// Pass 2: triangular matrix over frequent items, no candidate generation.
 	tri := counting.NewTriangle(sc.NumItems(), l1)
-	sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { tri.Add(tx) })
+	scan(func(tx itemset.Itemset, _ *itemset.Bitset) { tri.Add(tx) })
 	var l2 []itemset.Itemset
 	tri.Each(func(x, y itemset.Item, count int64) {
 		if count >= minCount {
@@ -163,9 +222,10 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
 			noteFrequent(pair, count)
 		}
 	})
-	res.Stats.AddPass(mfi.PassStats{Candidates: tri.NumPairs(), Frequent: len(l2)})
+	r.Stats.AddPass(mfi.PassStats{Candidates: tri.NumPairs(), Frequent: len(l2)})
+	emit()
 	if len(l2) == 0 || opt.MaxPasses == 2 {
-		return finish()
+		return finish(), nil
 	}
 
 	// Passes ≥ 3: Apriori-gen + the configured counting engine.
@@ -197,7 +257,7 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
 			all = append(append([]itemset.Itemset(nil), ck...), speculative...)
 		}
 		counter := counting.NewCounter(opt.Engine, all)
-		sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
+		scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
 		counts := counter.Counts()
 		var next []itemset.Itemset
 		for i, c := range ck {
@@ -206,7 +266,7 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
 				noteFrequent(c, counts[i])
 			}
 		}
-		res.Stats.AddPass(mfi.PassStats{Candidates: len(all), Frequent: len(next)})
+		r.Stats.AddPass(mfi.PassStats{Candidates: len(all), Frequent: len(next)})
 		if len(speculative) > 0 {
 			var next2 []itemset.Itemset
 			for i, c := range speculative {
@@ -215,8 +275,9 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
 					noteFrequent(c, counts[len(ck)+i])
 				}
 			}
-			res.Stats.PassDetails[len(res.Stats.PassDetails)-1].Frequent += len(next2)
-			res.Stats.FrequentCount += int64(len(next2))
+			r.Stats.PassDetails[len(r.Stats.PassDetails)-1].Frequent += len(next2)
+			r.Stats.FrequentCount += int64(len(next2))
+			emit() // after the speculative fold, so the event matches PassDetails
 			if len(next2) == 0 {
 				// The speculative level contains every true C_{k+1}
 				// candidate (Gen over a superset yields a superset), so an
@@ -227,10 +288,11 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
 			lk = next2
 			continue
 		}
+		emit()
 		if len(next) == 0 {
 			break
 		}
 		lk = next
 	}
-	return finish()
+	return finish(), nil
 }

@@ -96,7 +96,7 @@ func smallDataset() *dataset.Dataset {
 
 func TestMineSmall(t *testing.T) {
 	d := smallDataset()
-	res := MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(d), 2, DefaultOptions()))
 	wantMFS := []itemset.Itemset{itemset.New(1, 2, 3), itemset.New(3, 4)}
 	if err := mfi.VerifyAgainst(res.MFS, wantMFS); err != nil {
 		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
@@ -144,13 +144,13 @@ func TestMineSmall(t *testing.T) {
 
 func TestMineEdgeCases(t *testing.T) {
 	// empty database
-	res := MineCount(dataset.NewScanner(dataset.Empty(5)), 1, DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(dataset.Empty(5)), 1, DefaultOptions()))
 	if len(res.MFS) != 0 {
 		t.Errorf("empty db MFS = %v", res.MFS)
 	}
 	// threshold higher than |D|: nothing frequent
 	d := smallDataset()
-	res = MineCount(dataset.NewScanner(d), 100, DefaultOptions())
+	res = must(MineCount(dataset.NewScanner(d), 100, DefaultOptions()))
 	if len(res.MFS) != 0 || res.Stats.Passes != 1 {
 		t.Errorf("impossible threshold: MFS=%v passes=%d", res.MFS, res.Stats.Passes)
 	}
@@ -158,7 +158,7 @@ func TestMineEdgeCases(t *testing.T) {
 	every := dataset.New([]dataset.Transaction{
 		itemset.New(1, 2), itemset.New(1, 2, 3), itemset.New(1, 2, 4),
 	})
-	res = Mine(dataset.NewScanner(every), 1.0, DefaultOptions())
+	res = must(Mine(dataset.NewScanner(every), 1.0, DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1, 2)}); err != nil {
 		t.Errorf("minSupport=1: %v (got %v)", err, res.MFS)
 	}
@@ -166,7 +166,7 @@ func TestMineEdgeCases(t *testing.T) {
 	single := dataset.New([]dataset.Transaction{
 		itemset.New(1), itemset.New(1), itemset.New(2),
 	})
-	res = MineCount(dataset.NewScanner(single), 2, DefaultOptions())
+	res = must(MineCount(dataset.NewScanner(single), 2, DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1)}); err != nil {
 		t.Errorf("single item: %v", err)
 	}
@@ -179,7 +179,7 @@ func TestMineKeepFrequentFalse(t *testing.T) {
 	d := smallDataset()
 	opt := DefaultOptions()
 	opt.KeepFrequent = false
-	res := MineCount(dataset.NewScanner(d), 2, opt)
+	res := must(MineCount(dataset.NewScanner(d), 2, opt))
 	if res.Frequent != nil {
 		t.Error("Frequent retained despite KeepFrequent=false")
 	}
@@ -192,7 +192,7 @@ func TestMineMaxPasses(t *testing.T) {
 	d := smallDataset()
 	opt := DefaultOptions()
 	opt.MaxPasses = 1
-	res := MineCount(dataset.NewScanner(d), 2, opt)
+	res := must(MineCount(dataset.NewScanner(d), 2, opt))
 	if res.Stats.Passes != 1 {
 		t.Fatalf("passes = %d", res.Stats.Passes)
 	}
@@ -201,7 +201,7 @@ func TestMineMaxPasses(t *testing.T) {
 		t.Fatalf("MFS after 1 pass = %v", res.MFS)
 	}
 	opt.MaxPasses = 2
-	res = MineCount(dataset.NewScanner(d), 2, opt)
+	res = must(MineCount(dataset.NewScanner(d), 2, opt))
 	if res.Stats.Passes != 2 {
 		t.Fatalf("passes = %d", res.Stats.Passes)
 	}
@@ -217,7 +217,7 @@ func TestMineEnginesAgree(t *testing.T) {
 	for _, e := range []counting.Engine{counting.EngineList, counting.EngineHashTree, counting.EngineTrie} {
 		opt := DefaultOptions()
 		opt.Engine = e
-		res := Mine(dataset.NewScanner(d), 0.02, opt)
+		res := must(Mine(dataset.NewScanner(d), 0.02, opt))
 		if ref == nil {
 			ref = res
 			continue
@@ -264,7 +264,7 @@ func TestQuickMineMatchesBruteForce(t *testing.T) {
 			d.Append(itemset.New(items...))
 		}
 		minCount := int64(1 + r.Intn(numTx/2+1))
-		res := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
+		res := must(MineCount(dataset.NewScanner(d), minCount, DefaultOptions()))
 		want := bruteForceFrequent(d, minCount, universe)
 		if res.Frequent.Len() != want.Len() {
 			return false
@@ -293,10 +293,10 @@ func TestCombineLevelsSavesPassesSameResult(t *testing.T) {
 		NumPatterns: 20, NumItems: 200, Seed: 23,
 	}
 	d := quest.Generate(p)
-	plain := Mine(dataset.NewScanner(d), 0.05, DefaultOptions())
+	plain := must(Mine(dataset.NewScanner(d), 0.05, DefaultOptions()))
 	copt := DefaultOptions()
 	copt.CombineLevels = true
-	combined := Mine(dataset.NewScanner(d), 0.05, copt)
+	combined := must(Mine(dataset.NewScanner(d), 0.05, copt))
 	if err := mfi.VerifyAgainst(combined.MFS, plain.MFS); err != nil {
 		t.Fatalf("combined levels changed the MFS: %v", err)
 	}
@@ -330,8 +330,8 @@ func TestQuickCombineLevelsMatchesPlain(t *testing.T) {
 		copt := DefaultOptions()
 		copt.CombineLevels = true
 		copt.CombineThreshold = 1 + r.Intn(50)
-		combined := MineCount(dataset.NewScanner(d), minCount, copt)
-		plain := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
+		combined := must(MineCount(dataset.NewScanner(d), minCount, copt))
+		plain := must(MineCount(dataset.NewScanner(d), minCount, DefaultOptions()))
 		if combined.Frequent.Len() != plain.Frequent.Len() {
 			return false
 		}
@@ -356,7 +356,7 @@ func TestMineOnQuestData(t *testing.T) {
 	}
 	d := quest.Generate(p)
 	sc := dataset.NewScanner(d)
-	res := Mine(sc, 0.02, DefaultOptions())
+	res := must(Mine(sc, 0.02, DefaultOptions()))
 	if len(res.MFS) == 0 {
 		t.Fatal("no maximal frequent itemsets on quest data at 2%")
 	}
@@ -372,4 +372,13 @@ func TestMineOnQuestData(t *testing.T) {
 			t.Errorf("support(%v) = %d, want %d", x, c, d.Support(x))
 		}
 	})
+}
+
+// must unwraps the (result, error) mining returns; in-memory test scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -44,7 +44,7 @@ func RunBaselines(p quest.Params, minSupport float64, opt Options) []BaselineRow
 	d := quest.Generate(p)
 	var rows []BaselineRow
 
-	ref := apriori.Mine(dataset.NewScanner(d), minSupport, apriori.Options{Engine: opt.Engine})
+	ref := must(apriori.Mine(dataset.NewScanner(d), minSupport, apriori.Options{Engine: opt.Engine}))
 	refMFS := ref.MFS
 	add := func(name string, dur time.Duration, passes int, mfs []itemsetList, exact bool, note string) {
 		rows = append(rows, BaselineRow{
@@ -56,15 +56,15 @@ func RunBaselines(p quest.Params, minSupport float64, opt Options) []BaselineRow
 
 	popt := opt.Pincer
 	popt.Engine = opt.Engine
-	pres := core.Mine(dataset.NewScanner(d), minSupport, popt)
+	pres := must(core.Mine(dataset.NewScanner(d), minSupport, popt))
 	add("pincer", pres.Stats.Duration, pres.Stats.Passes, toList(pres.MFS), true,
 		adaptiveNote(pres.Stats.AdaptiveOff))
 
 	copt := apriori.Options{Engine: opt.Engine, CombineLevels: true}
-	cres := apriori.Mine(dataset.NewScanner(d), minSupport, copt)
+	cres := must(apriori.Mine(dataset.NewScanner(d), minSupport, copt))
 	add("apriori+combine", cres.Stats.Duration, cres.Stats.Passes, toList(cres.MFS), true, "")
 
-	ares := ais.Mine(dataset.NewScanner(d), minSupport, ais.Options{MaxCandidatesPerPass: 5_000_000})
+	ares := must(ais.Mine(dataset.NewScanner(d), minSupport, ais.Options{MaxCandidatesPerPass: 5_000_000}))
 	note := ""
 	if ares.Aborted {
 		note = "aborted: candidate explosion"
@@ -92,7 +92,7 @@ func RunBaselines(p quest.Params, minSupport float64, opt Options) []BaselineRow
 	// The pure top-down frontier explodes on any universe wider than a few
 	// dozen items (that is §3.1's point); give it a tight budget so the
 	// comparison reports the abort rather than hanging.
-	td := topdown.Mine(dataset.NewScanner(d), minSupport, topdown.Options{MaxElements: 20_000, MaxPasses: 16})
+	td := must(topdown.Mine(dataset.NewScanner(d), minSupport, topdown.Options{MaxElements: 20_000, MaxPasses: 16}))
 	tdNote := "pure top-down"
 	if td.Aborted {
 		tdNote = "aborted: frontier explosion"

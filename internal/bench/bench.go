@@ -16,6 +16,7 @@ import (
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
+	"pincer/internal/obsv"
 	"pincer/internal/quest"
 )
 
@@ -164,6 +165,19 @@ type Options struct {
 	Budget time.Duration
 	// Progress, when non-nil, receives one line per finished cell.
 	Progress func(string)
+	// Tracer, when non-nil, receives per-pass span events from the first
+	// repeat of each configuration in RunParallelSweep, and the same events
+	// are folded into ParallelReport.Trace.
+	Tracer obsv.Tracer
+}
+
+// must strips the impossible error of an in-memory mining run: memory scans
+// cannot fail, so any error here is a programmer error.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // DefaultOptions returns the standard harness configuration.
@@ -191,7 +205,7 @@ func RunSpec(spec Spec, opt Options) []Cell {
 			aopt := apriori.DefaultOptions()
 			aopt.Engine = opt.Engine
 			aopt.KeepFrequent = false
-			res := apriori.Mine(dataset.NewScanner(d), sup, aopt)
+			res := must(apriori.Mine(dataset.NewScanner(d), sup, aopt))
 			cell.Apriori = Measure{
 				Time: res.Stats.Duration, Candidates: res.Stats.Candidates,
 				Passes: res.Stats.Passes, Frequent: res.Stats.FrequentCount,
@@ -210,7 +224,7 @@ func RunSpec(spec Spec, opt Options) []Cell {
 		} else {
 			popt := opt.Pincer
 			popt.Engine = opt.Engine
-			res := core.Mine(dataset.NewScanner(d), sup, popt)
+			res := must(core.Mine(dataset.NewScanner(d), sup, popt))
 			cell.Pincer = Measure{
 				Time: res.Stats.Duration, Candidates: res.Stats.Candidates,
 				Passes: res.Stats.Passes, Frequent: res.Stats.FrequentCount,

@@ -10,6 +10,7 @@ import (
 	"pincer/internal/core"
 	"pincer/internal/dataset"
 	"pincer/internal/mfi"
+	"pincer/internal/obsv"
 	"pincer/internal/parallel"
 	"pincer/internal/quest"
 )
@@ -45,6 +46,10 @@ type ParallelReport struct {
 	Candidates        int64             `json:"candidates"`
 	MFSSize           int               `json:"mfs_size"`
 	Runs              []ParallelMeasure `json:"runs"`
+	// Trace holds the per-pass span events of the first sequential repeat
+	// and the first repeat of each worker setting, populated only when
+	// Options.Tracer is set.
+	Trace []obsv.PassEvent `json:"trace,omitempty"`
 }
 
 // sameMiningResults checks the equivalence RunParallelSweep certifies:
@@ -91,10 +96,27 @@ func RunParallelSweep(spec Spec, support float64, workerCounts []int, repeats in
 	popt.Engine = opt.Engine
 	popt.KeepFrequent = false
 
+	// When tracing is requested, the first repeat of every configuration
+	// also feeds a local collector whose pass events fold into the report.
+	// Repeats beyond the first stay untraced so the timing loop is not
+	// perturbed.
+	var collect *obsv.Collector
+	if opt.Tracer != nil {
+		collect = obsv.NewCollector()
+	}
+	tracerFor := func(i int) obsv.Tracer {
+		if collect == nil || i > 0 {
+			return nil
+		}
+		return obsv.Multi(opt.Tracer, collect)
+	}
+
 	var seq *mfi.Result
 	best := time.Duration(0)
 	for i := 0; i < repeats; i++ {
-		res := core.Mine(dataset.NewScanner(d), support, popt)
+		ropt := popt
+		ropt.Tracer = tracerFor(i)
+		res := must(core.Mine(dataset.NewScanner(d), support, ropt))
 		if seq == nil || res.Stats.Duration < best {
 			seq, best = res, res.Stats.Duration
 		}
@@ -112,7 +134,8 @@ func RunParallelSweep(spec Spec, support float64, workerCounts []int, repeats in
 		var par *mfi.Result
 		pbest := time.Duration(0)
 		for i := 0; i < repeats; i++ {
-			res := parallel.MinePincerOpts(d, support, popt, paropt)
+			paropt.Tracer = tracerFor(i)
+			res := must(parallel.MinePincerOpts(d, support, popt, paropt))
 			if par == nil || res.Stats.Duration < pbest {
 				par, pbest = res, res.Stats.Duration
 			}
@@ -130,6 +153,9 @@ func RunParallelSweep(spec Spec, support float64, workerCounts []int, repeats in
 				best.Round(time.Millisecond), m.Agree))
 		}
 		rep.Runs = append(rep.Runs, m)
+	}
+	if collect != nil {
+		rep.Trace = collect.Passes()
 	}
 	return rep
 }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+// corruptingScanner delegates to a FileScanner and appends a malformed line
+// to the file once a given number of passes have started — a database file
+// corrupted mid-mine.
+type corruptingScanner struct {
+	fs    *dataset.FileScanner
+	path  string
+	after int
+	scans int
+}
+
+func (c *corruptingScanner) Scan(fn func(tx itemset.Itemset, bits *itemset.Bitset)) {
+	c.scans++
+	if c.scans == c.after+1 {
+		f, err := os.OpenFile(c.path, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := f.WriteString("3 bogus 5\n"); err != nil {
+			panic(err)
+		}
+		f.Close()
+	}
+	c.fs.Scan(fn)
+}
+
+func (c *corruptingScanner) Len() int      { return c.fs.Len() }
+func (c *corruptingScanner) NumItems() int { return c.fs.NumItems() }
+func (c *corruptingScanner) Passes() int   { return c.fs.Passes() }
+
+func writeBasketFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.basket")
+	content := strings.Repeat("1 2 3\n1 2\n2 3\n1 3 4\n", 20)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMineCorruptedFileAfterPassOneReturnsError is the regression test for
+// the mining boundary: a *dataset.FileScanError panic raised by a mid-run
+// pass must come back as an error from MineCount, not crash the caller.
+func TestMineCorruptedFileAfterPassOneReturnsError(t *testing.T) {
+	path := writeBasketFile(t)
+	fs, err := dataset.OpenFileScanner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &corruptingScanner{fs: fs, path: path, after: 1}
+	res, err := MineCount(sc, 2, DefaultOptions())
+	if err == nil {
+		t.Fatal("mining a corrupted file reported no error")
+	}
+	var fse *dataset.FileScanError
+	if !errors.As(err, &fse) {
+		t.Fatalf("err = %T (%v), want *dataset.FileScanError", err, err)
+	}
+	if res != nil {
+		t.Errorf("result %+v returned alongside the error", res)
+	}
+	if sc.scans < 2 {
+		t.Errorf("error surfaced on scan %d; the corruption happens after pass 1", sc.scans)
+	}
+}
+
+// TestMineIntactFileMatchesInMemory pins the healthy path of the same
+// scanner: file-backed mining equals in-memory mining.
+func TestMineIntactFileMatchesInMemory(t *testing.T) {
+	path := writeBasketFile(t)
+	fs, err := dataset.OpenFileScanner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := MineCount(fs, 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fres.MFS) != len(mres.MFS) || fres.Stats.Passes != mres.Stats.Passes {
+		t.Errorf("file-backed run differs: |MFS| %d vs %d, passes %d vs %d",
+			len(fres.MFS), len(mres.MFS), fres.Stats.Passes, mres.Stats.Passes)
+	}
+}

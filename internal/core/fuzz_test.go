@@ -42,8 +42,8 @@ func FuzzPincerMatchesApriori(f *testing.F) {
 		if d.Len() == 0 {
 			t.Skip()
 		}
-		res := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
-		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		res := must(MineCount(dataset.NewScanner(d), minCount, DefaultOptions()))
+		ares := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 		if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 			t.Fatalf("disagreement at minCount=%d on %v: %v", minCount, d.Transactions(), err)
 		}
@@ -56,7 +56,7 @@ func FuzzPincerMatchesApriori(f *testing.F) {
 		// the pure variant agrees too
 		popt := DefaultOptions()
 		popt.Pure = true
-		pres := MineCount(dataset.NewScanner(d), minCount, popt)
+		pres := must(MineCount(dataset.NewScanner(d), minCount, popt))
 		if err := mfi.VerifyAgainst(pres.MFS, ares.MFS); err != nil {
 			t.Fatalf("pure variant disagrees at minCount=%d: %v", minCount, err)
 		}

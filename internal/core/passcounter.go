@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
@@ -31,6 +33,65 @@ type PassCounter interface {
 	// plus the elements. candidates may be empty (MFCS-only tail passes).
 	CountCandidates(engine counting.Engine, candidates []itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) (candCounts, elemCounts []int64)
 }
+
+// WorkerCounted is implemented by PassCounters that distribute a pass over
+// worker goroutines; the miner reports the count in trace events.
+type WorkerCounted interface {
+	// Workers returns the number of counting goroutines per pass.
+	Workers() int
+}
+
+// countingWorkers reports how many goroutines a PassCounter counts with
+// (1 unless it says otherwise).
+func countingWorkers(pc PassCounter) int {
+	if wc, ok := pc.(WorkerCounted); ok {
+		if w := wc.Workers(); w > 0 {
+			return w
+		}
+	}
+	return 1
+}
+
+// timedPassCounter decorates a PassCounter with per-call wall-clock
+// measurement — the tracing hook at the PassCounter seam. It is installed
+// only when a Tracer is configured, so untraced runs keep the undecorated
+// counter and take no timestamps.
+type timedPassCounter struct {
+	pc   PassCounter
+	last time.Duration
+}
+
+// take returns the duration of the most recent pass and resets it, so a
+// pass that performs no database read reports zero.
+func (t *timedPassCounter) take() time.Duration {
+	d := t.last
+	t.last = 0
+	return d
+}
+
+func (t *timedPassCounter) CountItems(numItems int, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
+	start := time.Now()
+	itemCounts, elemCounts := t.pc.CountItems(numItems, elems, elemBits)
+	t.last = time.Since(start)
+	return itemCounts, elemCounts
+}
+
+func (t *timedPassCounter) CountPairs(numItems int, live itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) (*counting.Triangle, []int64) {
+	start := time.Now()
+	tri, elemCounts := t.pc.CountPairs(numItems, live, elems, elemBits)
+	t.last = time.Since(start)
+	return tri, elemCounts
+}
+
+func (t *timedPassCounter) CountCandidates(engine counting.Engine, candidates []itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
+	start := time.Now()
+	candCounts, elemCounts := t.pc.CountCandidates(engine, candidates, elems, elemBits)
+	t.last = time.Since(start)
+	return candCounts, elemCounts
+}
+
+// Workers delegates to the wrapped counter.
+func (t *timedPassCounter) Workers() int { return countingWorkers(t.pc) }
 
 // directElemsMax is the element count up to which a pass counts MFCS
 // elements by direct per-transaction bitset subset tests; above it a trie

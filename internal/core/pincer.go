@@ -8,6 +8,7 @@ import (
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
+	"pincer/internal/obsv"
 )
 
 // Options configures a Pincer-Search run.
@@ -61,6 +62,15 @@ type Options struct {
 	// accounting, and results are unchanged by the override — only how each
 	// pass's counts are produced.
 	Counter PassCounter
+	// Tracer receives one span event per database pass plus run start and
+	// finish notifications (see internal/obsv). Nil disables tracing: the
+	// miner then takes no timestamps and emits nothing, so the hot path is
+	// unchanged.
+	Tracer obsv.Tracer
+	// Algorithm overrides the name recorded in Stats and trace events
+	// (default "pincer"); internal/parallel labels its runs
+	// "pincer-parallel".
+	Algorithm string
 }
 
 // DefaultOptions returns the adaptive configuration evaluated in the paper.
@@ -80,14 +90,21 @@ func DefaultOptions() Options {
 	}
 }
 
-// Mine runs Pincer-Search at a fractional minimum support.
-func Mine(sc dataset.Scanner, minSupport float64, opt Options) *mfi.Result {
+// Mine runs Pincer-Search at a fractional minimum support. A mid-pass
+// failure of the database read (e.g. a corrupt or vanished basket file
+// behind a dataset.FileScanner) is returned as an error; an in-memory scan
+// cannot fail.
+func Mine(sc dataset.Scanner, minSupport float64, opt Options) (*mfi.Result, error) {
 	return MineCount(sc, dataset.MinCountFor(sc.Len(), minSupport), opt)
 }
 
 // MineCount runs Pincer-Search with an absolute support-count threshold and
-// returns the maximum frequent set.
-func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
+// returns the maximum frequent set. It is a mining boundary: I/O and parse
+// panics raised mid-pass, counter-merge mismatches, and captured worker
+// panics from a parallel PassCounter all surface as the returned error
+// (see mfi.RecoverMiningError).
+func MineCount(sc dataset.Scanner, minCount int64, opt Options) (res *mfi.Result, err error) {
+	defer mfi.RecoverMiningError(&err)
 	pc := opt.Counter
 	if pc == nil {
 		pc = &seqPassCounter{sc: sc}
@@ -105,10 +122,32 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *mfi.Result {
 		},
 	}
 	m.res.Stats.Algorithm = "pincer"
+	if opt.Algorithm != "" {
+		m.res.Stats.Algorithm = opt.Algorithm
+	}
+	if opt.Tracer != nil {
+		// Thread the tracer through the PassCounter seam: the timing
+		// decorator records each pass's scan wall clock for the events.
+		m.tracer = opt.Tracer
+		m.workers = countingWorkers(pc)
+		m.timed = &timedPassCounter{pc: pc}
+		m.pc = m.timed
+		m.tracer.RunStart(obsv.RunInfo{
+			Algorithm: m.res.Stats.Algorithm, Workers: m.workers,
+			MinCount: minCount, NumTransactions: sc.Len(),
+		})
+	}
 	start := time.Now()
 	m.run()
 	m.res.Stats.Duration = time.Since(start)
-	return m.res
+	if m.tracer != nil {
+		m.tracer.RunDone(obsv.RunSummary{
+			Algorithm: m.res.Stats.Algorithm, Passes: m.res.Stats.Passes,
+			Candidates: m.res.Stats.Candidates, MFSSize: len(m.res.MFS),
+			Duration: m.res.Stats.Duration,
+		})
+	}
+	return m.res, nil
 }
 
 type miner struct {
@@ -134,6 +173,40 @@ type miner struct {
 	// lastMFCSCounted is the number of MFCS elements counted by the most
 	// recent countPass, for the per-pass statistics.
 	lastMFCSCounted int
+
+	// tracer/workers/timed are set only when Options.Tracer is non-nil;
+	// every emission site checks tracer for nil, so an untraced run takes
+	// no timestamps and allocates nothing extra.
+	tracer  obsv.Tracer
+	workers int
+	timed   *timedPassCounter
+}
+
+// emitPass reports the pass just recorded by AddPass to the tracer. The
+// event mirrors the PassStats entry exactly (same pass number, candidate,
+// MFCS, frequent, and MFS-found figures) and adds the phase tag, current
+// |MFCS|, scan wall clock, and worker count.
+func (m *miner) emitPass(phase obsv.Phase) {
+	if m.tracer == nil {
+		return
+	}
+	p := m.res.Stats.PassDetails[len(m.res.Stats.PassDetails)-1]
+	mfcsSize := 0
+	if !m.abandoned && m.mfcs != nil {
+		mfcsSize = m.mfcs.Len()
+	}
+	var scan time.Duration
+	if m.timed != nil {
+		scan = m.timed.take()
+	}
+	m.tracer.PassDone(obsv.PassEvent{
+		Algorithm: m.res.Stats.Algorithm,
+		Pass:      p.Pass, Phase: phase,
+		Candidates: p.Candidates, MFCSCandidates: p.MFCSCandidates,
+		MFCSSize: mfcsSize, Frequent: p.Frequent,
+		Infrequent: p.Candidates - p.Frequent, MFSFound: p.MFSFound,
+		ScanDuration: scan, Workers: m.workers,
+	})
 }
 
 // resolveSupport is the MFCS SupportResolver: pass-1 array, pass-2
@@ -261,6 +334,7 @@ func (m *miner) run() {
 	m.res.Stats.AddPass(mfi.PassStats{
 		Candidates: n, MFCSCandidates: len(uncounted), Frequent: len(l1), MFSFound: found,
 	})
+	m.emitPass(obsv.PhaseBottomUp)
 	if len(l1) < 2 {
 		m.finish()
 		return
@@ -327,6 +401,7 @@ func (m *miner) run() {
 	m.res.Stats.AddPass(mfi.PassStats{
 		Candidates: tri.NumPairs(), MFCSCandidates: len(uncounted), Frequent: len(frequentL2), MFSFound: found,
 	})
+	m.emitPass(obsv.PhaseBottomUp)
 
 	removedAny := false
 	if !m.abandoned {
@@ -344,6 +419,12 @@ func (m *miner) run() {
 		ck := generateCandidates(lk, view, k, removedAny, m.opt.DisableRecovery)
 		if len(ck) == 0 && (m.abandoned || len(m.mfcs.Uncounted()) == 0) {
 			break
+		}
+		phase := obsv.PhaseBottomUp
+		if len(ck) == 0 {
+			phase = obsv.PhaseMFCSCount
+		} else if removedAny && !m.opt.DisableRecovery {
+			phase = obsv.PhaseRecovery
 		}
 		// §3.5's degraded mode: with no MFCS to maintain, count two levels
 		// per pass while the candidate sets stay small.
@@ -374,6 +455,7 @@ func (m *miner) run() {
 			m.res.Stats.AddPass(mfi.PassStats{
 				Candidates: len(all), Frequent: len(frequentCk) + len(frequentSpec),
 			})
+			m.emitPass(obsv.PhaseBottomUp)
 			if len(frequentSpec) == 0 {
 				// The speculative set contains every true next-level
 				// candidate, so nothing survives above level k+1 either.
@@ -414,6 +496,7 @@ func (m *miner) run() {
 			Candidates: len(ck), MFCSCandidates: m.lastMFCSCounted,
 			Frequent: len(frequentCk), MFSFound: found,
 		})
+		m.emitPass(phase)
 		removedAny = false
 		if !m.abandoned {
 			frequentCk, removedAny = m.filterByMFS(frequentCk)
@@ -472,6 +555,7 @@ func (m *miner) tailPhase() {
 		m.res.Stats.AddPass(mfi.PassStats{
 			MFCSCandidates: m.lastMFCSCounted, MFSFound: found,
 		})
+		m.emitPass(obsv.PhaseTail)
 	}
 }
 
@@ -510,11 +594,19 @@ func (m *miner) fallbackFullApriori() {
 	aopt := apriori.DefaultOptions()
 	aopt.Engine = m.opt.Engine
 	aopt.KeepFrequent = m.opt.KeepFrequent
-	ares := apriori.MineCount(m.sc, m.minCount, aopt)
+	ares, err := apriori.MineCount(m.sc, m.minCount, aopt)
+	if err != nil {
+		// Re-raise so this run's own mining boundary reports the error with
+		// the merged statistics discarded, exactly as for a direct failure.
+		panic(err)
+	}
 	for _, p := range ares.Stats.PassDetails {
 		m.res.Stats.AddPass(mfi.PassStats{
 			Candidates: p.Candidates, Frequent: p.Frequent, MFSFound: p.MFSFound,
 		})
+		// The sub-run's scan durations are not attributable pass-by-pass
+		// here; events carry the merged accounting with a zero scan time.
+		m.emitPass(obsv.PhaseBottomUp)
 	}
 	m.res.MFS = ares.MFS
 	m.res.MFSSupports = ares.MFSSupports

@@ -27,7 +27,7 @@ func figure2Dataset() *dataset.Dataset {
 func TestPincerFigure2(t *testing.T) {
 	d := figure2Dataset()
 	sc := dataset.NewScanner(d)
-	res := MineCount(sc, 2, DefaultOptions())
+	res := must(MineCount(sc, 2, DefaultOptions()))
 	want := []itemset.Itemset{itemset.New(1, 2, 3, 4, 5), itemset.New(2, 4, 5, 6)}
 	if err := mfi.VerifyAgainst(res.MFS, want); err != nil {
 		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
@@ -42,7 +42,7 @@ func TestPincerFigure2(t *testing.T) {
 	if res.Stats.Passes > 3 {
 		t.Errorf("Pincer passes = %d, want ≤ 3", res.Stats.Passes)
 	}
-	ares := apriori.MineCount(dataset.NewScanner(d), 2, apriori.DefaultOptions())
+	ares := must(apriori.MineCount(dataset.NewScanner(d), 2, apriori.DefaultOptions()))
 	if ares.Stats.Passes <= res.Stats.Passes {
 		t.Errorf("Apriori passes (%d) should exceed Pincer passes (%d) here",
 			ares.Stats.Passes, res.Stats.Passes)
@@ -57,7 +57,7 @@ func TestPincerFigure2PureIncremental(t *testing.T) {
 	d := figure2Dataset()
 	opt := DefaultOptions()
 	opt.Pure = true
-	res := MineCount(dataset.NewScanner(d), 2, opt)
+	res := must(MineCount(dataset.NewScanner(d), 2, opt))
 	want := []itemset.Itemset{itemset.New(1, 2, 3, 4, 5), itemset.New(2, 4, 5, 6)}
 	if err := mfi.VerifyAgainst(res.MFS, want); err != nil {
 		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
@@ -69,19 +69,19 @@ func TestPincerFigure2PureIncremental(t *testing.T) {
 
 func TestPincerEdgeCases(t *testing.T) {
 	// empty database
-	res := MineCount(dataset.NewScanner(dataset.Empty(4)), 1, DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(dataset.Empty(4)), 1, DefaultOptions()))
 	if len(res.MFS) != 0 {
 		t.Errorf("empty db MFS = %v", res.MFS)
 	}
 	// nothing frequent
 	d := dataset.New([]dataset.Transaction{itemset.New(1), itemset.New(2)})
-	res = MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	res = must(MineCount(dataset.NewScanner(d), 2, DefaultOptions()))
 	if len(res.MFS) != 0 {
 		t.Errorf("MFS = %v, want empty", res.MFS)
 	}
 	// single frequent item
 	d = dataset.New([]dataset.Transaction{itemset.New(1), itemset.New(1), itemset.New(2)})
-	res = MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	res = must(MineCount(dataset.NewScanner(d), 2, DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1)}); err != nil {
 		t.Errorf("single item: %v (got %v)", err, res.MFS)
 	}
@@ -89,7 +89,7 @@ func TestPincerEdgeCases(t *testing.T) {
 	d = dataset.New([]dataset.Transaction{
 		itemset.New(0, 1, 2), itemset.New(0, 1, 2), itemset.New(0, 1, 2),
 	})
-	res = MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	res = must(MineCount(dataset.NewScanner(d), 2, DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(0, 1, 2)}); err != nil {
 		t.Errorf("universe frequent: %v (got %v)", err, res.MFS)
 	}
@@ -108,11 +108,11 @@ func TestPincerAdaptiveAbandonment(t *testing.T) {
 	})
 	opt := DefaultOptions()
 	opt.MFCSCap = 1
-	res := Mine(dataset.NewScanner(d), 0.03, opt)
+	res := must(Mine(dataset.NewScanner(d), 0.03, opt))
 	if !res.Stats.AdaptiveOff {
 		t.Fatal("cap 1 did not trigger abandonment")
 	}
-	ares := apriori.Mine(dataset.NewScanner(d), 0.03, apriori.DefaultOptions())
+	ares := must(apriori.Mine(dataset.NewScanner(d), 0.03, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("abandoned run wrong: %v", err)
 	}
@@ -134,11 +134,11 @@ func TestPincerFallbackAfterMFSFound(t *testing.T) {
 	opt := DefaultOptions()
 	opt.MFCSCap = 3
 	opt.IncrementalSplitMax = 1_000_000 // keep the incremental pass-2 path
-	res := MineCount(dataset.NewScanner(d), 2, opt)
+	res := must(MineCount(dataset.NewScanner(d), 2, opt))
 	if !res.Stats.AdaptiveOff {
 		t.Fatal("expected adaptive fallback")
 	}
-	ares := apriori.MineCount(dataset.NewScanner(d), 2, apriori.DefaultOptions())
+	ares := must(apriori.MineCount(dataset.NewScanner(d), 2, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("fallback result wrong: %v (got %v, want %v)", err, res.MFS, ares.MFS)
 	}
@@ -159,9 +159,9 @@ func TestPincerAbandonedCombineLevels(t *testing.T) {
 	combined := base
 	combined.CombineAfterAbandon = true
 
-	resPlain := Mine(dataset.NewScanner(d), 0.03, plain)
-	resComb := Mine(dataset.NewScanner(d), 0.03, combined)
-	ares := apriori.Mine(dataset.NewScanner(d), 0.03, apriori.DefaultOptions())
+	resPlain := must(Mine(dataset.NewScanner(d), 0.03, plain))
+	resComb := must(Mine(dataset.NewScanner(d), 0.03, combined))
+	ares := must(apriori.Mine(dataset.NewScanner(d), 0.03, apriori.DefaultOptions()))
 	if !resPlain.Stats.AdaptiveOff || !resComb.Stats.AdaptiveOff {
 		t.Fatal("abandonment did not trigger")
 	}
@@ -188,8 +188,8 @@ func TestQuickPincerAbandonedCombineMatchesApriori(t *testing.T) {
 		opt.MFCSCap = 1
 		opt.CombineAfterAbandon = true
 		opt.CombineThreshold = 1 + r.Intn(40)
-		res := MineCount(dataset.NewScanner(d), minCount, opt)
-		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		res := must(MineCount(dataset.NewScanner(d), minCount, opt))
+		ares := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
@@ -201,7 +201,7 @@ func TestPincerKeepFrequentFalse(t *testing.T) {
 	d := figure2Dataset()
 	opt := DefaultOptions()
 	opt.KeepFrequent = false
-	res := MineCount(dataset.NewScanner(d), 2, opt)
+	res := must(MineCount(dataset.NewScanner(d), 2, opt))
 	if res.Frequent != nil {
 		t.Fatal("Frequent retained")
 	}
@@ -225,14 +225,14 @@ func TestPincerExaminesFewerItemsets(t *testing.T) {
 	}
 	d.Append(itemset.New(15, 16))
 	sc := dataset.NewScanner(d)
-	res := MineCount(sc, 10, DefaultOptions())
+	res := must(MineCount(sc, 10, DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{long}); err != nil {
 		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
 	}
 	if res.Stats.Passes > 2 {
 		t.Errorf("passes = %d, want ≤ 2", res.Stats.Passes)
 	}
-	ares := apriori.MineCount(dataset.NewScanner(d), 10, apriori.DefaultOptions())
+	ares := must(apriori.MineCount(dataset.NewScanner(d), 10, apriori.DefaultOptions()))
 	if ares.Stats.Passes != 12 {
 		t.Errorf("apriori passes = %d, want 12", ares.Stats.Passes)
 	}
@@ -256,16 +256,16 @@ func TestPincerTailPhaseRescuesRecoveryHole(t *testing.T) {
 	}
 	opt := DefaultOptions()
 	opt.DisableRecovery = true
-	res := MineCount(dataset.NewScanner(d), 2, opt)
-	ares := apriori.MineCount(dataset.NewScanner(d), 2, apriori.DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(d), 2, opt))
+	ares := must(apriori.MineCount(dataset.NewScanner(d), 2, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("recovery-off run incomplete: %v (got %v, want %v)", err, res.MFS, ares.MFS)
 	}
 }
 
 func comparePincerApriori(t testing.TB, d *dataset.Dataset, minCount int64, opt Options) {
-	res := MineCount(dataset.NewScanner(d), minCount, opt)
-	ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(d), minCount, opt))
+	ares := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("pincer (opt=%+v) vs apriori at minCount %d: %v\n got %v\nwant %v\ndata %v",
 			opt, minCount, err, res.MFS, ares.MFS, d.Transactions())
@@ -298,8 +298,8 @@ func TestQuickPincerMatchesApriori(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		d := randomDB(r)
 		minCount := int64(1 + r.Intn(d.Len()/2+1))
-		res := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
-		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		res := must(MineCount(dataset.NewScanner(d), minCount, DefaultOptions()))
+		ares := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
@@ -314,8 +314,8 @@ func TestQuickPincerPureMatchesApriori(t *testing.T) {
 		minCount := int64(1 + r.Intn(d.Len()/2+1))
 		opt := DefaultOptions()
 		opt.Pure = true
-		res := MineCount(dataset.NewScanner(d), minCount, opt)
-		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		res := must(MineCount(dataset.NewScanner(d), minCount, opt))
+		ares := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
@@ -330,8 +330,8 @@ func TestQuickPincerNoRecoveryMatchesApriori(t *testing.T) {
 		minCount := int64(1 + r.Intn(d.Len()/2+1))
 		opt := DefaultOptions()
 		opt.DisableRecovery = true
-		res := MineCount(dataset.NewScanner(d), minCount, opt)
-		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		res := must(MineCount(dataset.NewScanner(d), minCount, opt))
+		ares := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
@@ -348,8 +348,8 @@ func TestQuickPincerTinyCapMatchesApriori(t *testing.T) {
 		opt := DefaultOptions()
 		opt.MFCSCap = 1 + r.Intn(3)
 		opt.IncrementalSplitMax = r.Intn(8)
-		res := MineCount(dataset.NewScanner(d), minCount, opt)
-		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		res := must(MineCount(dataset.NewScanner(d), minCount, opt))
+		ares := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
@@ -377,8 +377,8 @@ func TestPincerOnQuestConcentrated(t *testing.T) {
 		NumPatterns: 20, NumItems: 500, Seed: 23,
 	})
 	minCount := dataset.MinCountFor(d.Len(), 0.05)
-	res := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
-	ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(d), minCount, DefaultOptions()))
+	ares := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("concentrated: %v", err)
 	}
@@ -403,7 +403,7 @@ func TestPincerEnginesAgree(t *testing.T) {
 	for _, e := range []counting.Engine{counting.EngineList, counting.EngineHashTree, counting.EngineTrie} {
 		opt := DefaultOptions()
 		opt.Engine = e
-		res := Mine(dataset.NewScanner(d), 0.02, opt)
+		res := must(Mine(dataset.NewScanner(d), 0.02, opt))
 		if ref == nil {
 			ref = res
 			continue
@@ -430,12 +430,12 @@ func TestNonMonotoneMFS(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		d.Append(itemset.New(0))
 	}
-	high := MineCount(dataset.NewScanner(d), 4, DefaultOptions()) // pairs yes, triple no
+	high := must(MineCount(dataset.NewScanner(d), 4, DefaultOptions())) // pairs yes, triple no
 	wantHigh := []itemset.Itemset{itemset.New(0), itemset.New(1, 2), itemset.New(1, 3), itemset.New(2, 3)}
 	if err := mfi.VerifyAgainst(high.MFS, wantHigh); err != nil {
 		t.Fatalf("high threshold: %v (got %v)", err, high.MFS)
 	}
-	low := MineCount(dataset.NewScanner(d), 2, DefaultOptions()) // triple becomes frequent
+	low := must(MineCount(dataset.NewScanner(d), 2, DefaultOptions())) // triple becomes frequent
 	foundTriple := false
 	for _, m := range low.MFS {
 		if m.Equal(itemset.New(1, 2, 3)) {
@@ -468,7 +468,7 @@ func TestNonMonotoneMFS(t *testing.T) {
 func TestStatsAggregatesMatchPassDetails(t *testing.T) {
 	d := figure2Dataset()
 	for _, opt := range []Options{DefaultOptions(), {Engine: counting.EngineTrie, Pure: true, KeepFrequent: true}} {
-		res := MineCount(dataset.NewScanner(d), 2, opt)
+		res := must(MineCount(dataset.NewScanner(d), 2, opt))
 		var candAll, mfcs, freq int64
 		var cand3 int64
 		for _, p := range res.Stats.PassDetails {
@@ -500,7 +500,7 @@ func TestStatsAggregatesMatchPassDetails(t *testing.T) {
 func TestPincerStatsConsistency(t *testing.T) {
 	d := figure2Dataset()
 	sc := dataset.NewScanner(d)
-	res := MineCount(sc, 2, DefaultOptions())
+	res := must(MineCount(sc, 2, DefaultOptions()))
 	if sc.Passes() != res.Stats.Passes {
 		t.Errorf("scanner passes %d != stats passes %d", sc.Passes(), res.Stats.Passes)
 	}
@@ -514,4 +514,13 @@ func TestPincerStatsConsistency(t *testing.T) {
 	if res.Stats.Algorithm != "pincer" {
 		t.Errorf("Algorithm = %q", res.Stats.Algorithm)
 	}
+}
+
+// must unwraps the (result, error) mining returns; in-memory test scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -224,10 +224,27 @@ func (t *Triangle) Shard() *Triangle {
 }
 
 // Merge adds o's counts into t. o must be a Shard of t (or a Triangle over
-// the same live items).
+// the same live items); merging incompatible triangles raises a
+// *MismatchError panic, which the mining boundary converts into a returned
+// error (see mfi.RecoverMiningError).
 func (t *Triangle) Merge(o *Triangle) {
 	if t.n != o.n {
-		panic(fmt.Sprintf("counting: Triangle.Merge over different live sets: %d vs %d items", t.n, o.n))
+		panic(&MismatchError{Op: "Triangle.Merge", Want: t.n, Got: o.n})
 	}
 	SumInto(t.counts, o.counts)
+}
+
+// MismatchError reports a merge of structurally incompatible counters:
+// count arrays of different lengths (SumInto) or triangles over different
+// live sets (Triangle.Merge). These are programmer errors on the parallel
+// merge path; they are raised as a typed panic so the mining boundary can
+// convert them into a returned error instead of crashing the process.
+type MismatchError struct {
+	Op        string // the merge operation, e.g. "SumInto"
+	Want, Got int    // the mismatched sizes
+}
+
+// Error implements error.
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("counting: %s merge mismatch: %d vs %d", e.Op, e.Want, e.Got)
 }

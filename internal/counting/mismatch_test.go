@@ -1,0 +1,75 @@
+package counting
+
+import (
+	"strings"
+	"testing"
+
+	"pincer/internal/itemset"
+)
+
+// recoverMismatch runs fn expecting a *MismatchError panic and returns it.
+func recoverMismatch(t *testing.T, fn func()) *MismatchError {
+	t.Helper()
+	var me *MismatchError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("no panic")
+			}
+			var ok bool
+			me, ok = r.(*MismatchError)
+			if !ok {
+				t.Fatalf("panic value %T (%v), want *MismatchError", r, r)
+			}
+		}()
+		fn()
+	}()
+	return me
+}
+
+func TestSumIntoLengthMismatchPanicsTyped(t *testing.T) {
+	me := recoverMismatch(t, func() {
+		SumInto(make([]int64, 3), make([]int64, 5))
+	})
+	if me.Op != "SumInto" || me.Want != 3 || me.Got != 5 {
+		t.Errorf("MismatchError = %+v, want Op=SumInto Want=3 Got=5", me)
+	}
+	if !strings.Contains(me.Error(), "SumInto") || !strings.Contains(me.Error(), "3 vs 5") {
+		t.Errorf("Error() = %q", me.Error())
+	}
+}
+
+func TestTriangleMergeMismatchPanicsTyped(t *testing.T) {
+	a := NewTriangle(6, itemset.New(0, 1, 2))
+	b := NewTriangle(6, itemset.New(0, 1, 2, 3))
+	me := recoverMismatch(t, func() { a.Merge(b) })
+	if me.Op != "Triangle.Merge" || me.Want != 3 || me.Got != 4 {
+		t.Errorf("MismatchError = %+v, want Op=Triangle.Merge Want=3 Got=4", me)
+	}
+}
+
+func TestSumIntoMatchedLengths(t *testing.T) {
+	dst := []int64{1, 2, 3}
+	SumInto(dst, []int64{10, 20, 30})
+	for i, want := range []int64{11, 22, 33} {
+		if dst[i] != want {
+			t.Errorf("dst[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+}
+
+func TestTriangleMergeShard(t *testing.T) {
+	live := itemset.New(0, 1, 2)
+	base := NewTriangle(4, live)
+	sh := base.Shard()
+	base.Add(itemset.New(0, 1, 2))
+	sh.Add(itemset.New(0, 1))
+	base.Merge(sh)
+	if got := base.Count(0, 1); got != 2 {
+		t.Errorf("count(0,1) after merge = %d, want 2", got)
+	}
+	if got := base.Count(1, 2); got != 1 {
+		t.Errorf("count(1,2) after merge = %d, want 1", got)
+	}
+}

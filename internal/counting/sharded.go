@@ -1,16 +1,17 @@
 package counting
 
 import (
-	"fmt"
-
 	"pincer/internal/itemset"
 )
 
 // SumInto adds src into dst element-wise. It is the merge step of
 // count-distribution parallel counting; both slices must have equal length.
+// A length mismatch — a counter merged against the wrong candidate list —
+// raises a *MismatchError panic, which the mining boundary converts into a
+// returned error (see mfi.RecoverMiningError).
 func SumInto(dst, src []int64) {
 	if len(dst) != len(src) {
-		panic(fmt.Sprintf("counting: SumInto length mismatch: %d vs %d", len(dst), len(src)))
+		panic(&MismatchError{Op: "SumInto", Want: len(dst), Got: len(src)})
 	}
 	for i, v := range src {
 		dst[i] += v

@@ -105,7 +105,10 @@ func MineMaximal(s Sequence, width int64, minFrequency float64, numTypes int) ([
 	}
 	opt := core.DefaultOptions()
 	opt.KeepFrequent = false
-	res := core.Mine(dataset.NewScanner(d), minFrequency, opt)
+	res, err := core.Mine(dataset.NewScanner(d), minFrequency, opt)
+	if err != nil {
+		return nil, nil, err
+	}
 	episodes := make([]Episode, len(res.MFS))
 	for i, m := range res.MFS {
 		episodes[i] = Episode{

@@ -1,0 +1,60 @@
+package mfi
+
+import (
+	"fmt"
+
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+)
+
+// WorkerPanic wraps a panic captured inside a counting worker goroutine.
+// The parallel pass counters recover worker panics, re-raise them on the
+// mining goroutine wrapped in this type, and the mining boundary converts
+// them into a returned error — so a failure inside one worker surfaces as
+// an error from Mine* instead of crashing the whole process.
+type WorkerPanic struct {
+	// Value is the original panic value.
+	Value interface{}
+	// Stack is the worker goroutine's stack at the point of the panic.
+	Stack []byte
+}
+
+// Error implements error.
+func (w *WorkerPanic) Error() string {
+	return fmt.Sprintf("mining worker panicked: %v", w.Value)
+}
+
+// Unwrap exposes the original panic value when it was itself an error.
+func (w *WorkerPanic) Unwrap() error {
+	if err, ok := w.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// RecoverMiningError is the mining-API boundary: deferred at the top of
+// every Mine* entry point, it converts the panics that legitimately arise
+// mid-pass — I/O and parse failures from a re-read database file
+// (*dataset.FileScanError), counter-merge mismatches at the PassCounter
+// seam (*counting.MismatchError), and captured worker-goroutine panics
+// (*WorkerPanic) — into the returned error. Any other panic is a programmer
+// error and is re-raised unchanged.
+//
+// An in-memory scan cannot fail, so entry points that only ever mine
+// in-memory datasets report a nil error.
+func RecoverMiningError(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	switch e := r.(type) {
+	case *dataset.FileScanError:
+		*errp = e
+	case *counting.MismatchError:
+		*errp = e
+	case *WorkerPanic:
+		*errp = e
+	default:
+		panic(r)
+	}
+}

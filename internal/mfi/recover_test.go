@@ -1,0 +1,69 @@
+package mfi
+
+import (
+	"errors"
+	"testing"
+
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+)
+
+func TestRecoverMiningErrorConvertsTypedPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		value error
+	}{
+		{"file-scan", &dataset.FileScanError{Path: "db.basket", Err: errors.New("line 3: bad item")}},
+		{"counter-mismatch", &counting.MismatchError{Op: "SumInto", Want: 4, Got: 7}},
+		{"worker-panic", &WorkerPanic{Value: "boom"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := func() (err error) {
+				defer RecoverMiningError(&err)
+				panic(tc.value)
+			}()
+			if err != tc.value {
+				t.Fatalf("err = %v (%T), want the panicked value %v", err, err, tc.value)
+			}
+		})
+	}
+}
+
+func TestRecoverMiningErrorNoPanicLeavesErrNil(t *testing.T) {
+	err := func() (err error) {
+		defer RecoverMiningError(&err)
+		return nil
+	}()
+	if err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+func TestRecoverMiningErrorRepanicsUnknownValues(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "programmer error" {
+			t.Fatalf("recovered %v, want the original panic value", r)
+		}
+	}()
+	func() (err error) {
+		defer RecoverMiningError(&err)
+		panic("programmer error")
+	}()
+	t.Fatal("panic did not propagate")
+}
+
+func TestWorkerPanicUnwrap(t *testing.T) {
+	inner := &dataset.FileScanError{Path: "x", Err: errors.New("io")}
+	wp := &WorkerPanic{Value: inner}
+	var fse *dataset.FileScanError
+	if !errors.As(wp, &fse) {
+		t.Fatal("WorkerPanic does not unwrap to the wrapped error")
+	}
+	if (&WorkerPanic{Value: 42}).Unwrap() != nil {
+		t.Error("non-error panic value should unwrap to nil")
+	}
+	if msg := (&WorkerPanic{Value: "boom"}).Error(); msg != "mining worker panicked: boom" {
+		t.Errorf("Error() = %q", msg)
+	}
+}

@@ -114,7 +114,10 @@ func Find(rel *Relation) (*Result, error) {
 	// database at support ≥ 1 occurrence.
 	opt := core.DefaultOptions()
 	opt.KeepFrequent = false
-	mined := core.MineCount(dataset.NewScanner(agree), 1, opt)
+	mined, err := core.MineCount(dataset.NewScanner(agree), 1, opt)
+	if err != nil {
+		return nil, err
+	}
 	res.MaximalNonKeys = mined.MFS
 	if len(res.MaximalNonKeys) == 0 {
 		// Every pair disagrees on every attribute: the only non-key is the

@@ -1,0 +1,77 @@
+package obsv
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the debug endpoint for a registry:
+//
+//	/metrics       Prometheus text exposition
+//	/debug/vars    expvar-compatible JSON: every expvar-published variable
+//	               (cmdline, memstats, ...) plus the registry's metrics
+//	/debug/pprof/  the standard net/http/pprof handlers
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprint(w, "{")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprint(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "\n%q: %s", kv.Key, kv.Value.String())
+		})
+		for _, m := range reg.sorted() {
+			if !first {
+				fmt.Fprint(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "\n%q: %d", m.name, m.value())
+		}
+		fmt.Fprint(w, "\n}\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	// Addr is the bound address (useful with a ":0" listen request).
+	Addr string
+	srv  *http.Server
+}
+
+// Serve starts the debug endpoint on addr in a background goroutine and
+// returns immediately. Close it when the process is done serving.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg)}
+	go srv.Serve(ln)
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close shuts the server down, waiting briefly for in-flight scrapes.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

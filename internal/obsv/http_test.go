@@ -1,0 +1,108 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	feedFixedRun(NewMetricsTracer(reg))
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	body, resp := get(t, base+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q, want the Prometheus text version", ct)
+	}
+	if body != wantPrometheus {
+		t.Errorf("/metrics body:\n%s\nwant:\n%s", body, wantPrometheus)
+	}
+
+	body, resp = get(t, base+"/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	// expvar's own variables and the registry's metrics coexist.
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars is missing expvar's memstats")
+	}
+	if got, ok := vars["pincer_runs_total"].(float64); !ok || got != 1 {
+		t.Errorf("/debug/vars pincer_runs_total = %v, want 1", vars["pincer_runs_total"])
+	}
+
+	if _, resp = get(t, base+"/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+}
+
+func TestStartProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	prof, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to write.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := prof.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if err := prof.Stop(); err != nil {
+		t.Errorf("second Stop: %v", err)
+	}
+}
+
+func TestStartProfilesDisabled(t *testing.T) {
+	prof, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.Stop(); err != nil {
+		t.Errorf("Stop with no profiles: %v", err)
+	}
+}

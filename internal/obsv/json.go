@@ -1,0 +1,48 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONTracer streams the event stream as JSON lines, one object per event,
+// each tagged with a "type" field ("run_start", "pass", "run_done"). The
+// stream is valid JSONL and is what `-trace-json` writes.
+type JSONTracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONTracer writes events to w (one JSON object per line).
+func NewJSONTracer(w io.Writer) *JSONTracer {
+	return &JSONTracer{enc: json.NewEncoder(w)}
+}
+
+type jsonEvent struct {
+	Type    string      `json:"type"`
+	Run     *RunInfo    `json:"run,omitempty"`
+	Pass    *PassEvent  `json:"pass,omitempty"`
+	Summary *RunSummary `json:"summary,omitempty"`
+}
+
+// RunStart implements Tracer.
+func (t *JSONTracer) RunStart(info RunInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enc.Encode(jsonEvent{Type: "run_start", Run: &info})
+}
+
+// PassDone implements Tracer.
+func (t *JSONTracer) PassDone(ev PassEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enc.Encode(jsonEvent{Type: "pass", Pass: &ev})
+}
+
+// RunDone implements Tracer.
+func (t *JSONTracer) RunDone(sum RunSummary) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enc.Encode(jsonEvent{Type: "run_done", Summary: &sum})
+}

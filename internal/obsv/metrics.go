@@ -1,0 +1,203 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+const (
+	kindCounter = "counter"
+	kindGauge   = "gauge"
+)
+
+type metric struct {
+	name, help, kind string
+	value            func() int64
+}
+
+// Registry is a named collection of counters and gauges with two text
+// expositions: the Prometheus format (WritePrometheus, for /metrics) and a
+// flat expvar-style JSON object (WriteExpvar, merged into /debug/vars).
+// Registration is idempotent by name; registering an existing name with a
+// different kind panics (a programmer error caught at startup).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	vars    map[string]interface{} // name -> *Counter or *Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}, vars: map[string]interface{}{}}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindCounter {
+			panic(fmt.Sprintf("obsv: metric %q registered as %s, requested as counter", name, m.kind))
+		}
+		return r.vars[name].(*Counter)
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindCounter, value: c.Value}
+	r.vars[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindGauge {
+			panic(fmt.Sprintf("obsv: metric %q registered as %s, requested as gauge", name, m.kind))
+		}
+		return r.vars[name].(*Gauge)
+	}
+	g := &Gauge{}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindGauge, value: g.Value}
+	r.vars[name] = g
+	return g
+}
+
+// sorted returns the metrics in name order (exposition must be stable).
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	return ms
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4), names sorted.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteExpvar writes every metric as one flat JSON object in the style of
+// expvar's /debug/vars (names sorted; integer values).
+func (r *Registry) WriteExpvar(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "{"); err != nil {
+		return err
+	}
+	for i, m := range r.sorted() {
+		sep := ",\n"
+		if i == 0 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%q: %d", sep, m.name, m.value()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "\n}\n")
+	return err
+}
+
+// Snapshot returns a name → value map of every metric.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := map[string]int64{}
+	for _, m := range r.sorted() {
+		out[m.name] = m.value()
+	}
+	return out
+}
+
+// MetricsTracer is a Tracer that folds the event stream into a Registry's
+// counters and gauges — the bridge between per-run tracing and long-lived
+// process metrics.
+type MetricsTracer struct {
+	runs, passes, candidates, mfcsCandidates *Counter
+	frequent, mfsFound                       *Counter
+	scanNanos, miningNanos                   *Counter
+	workers, lastPasses, lastMFSSize         *Gauge
+}
+
+// NewMetricsTracer registers the standard mining metrics on reg and returns
+// the tracer feeding them.
+func NewMetricsTracer(reg *Registry) *MetricsTracer {
+	return &MetricsTracer{
+		runs:           reg.Counter("pincer_runs_total", "Mining runs started."),
+		passes:         reg.Counter("pincer_passes_total", "Database passes completed."),
+		candidates:     reg.Counter("pincer_candidates_total", "Bottom-up candidates counted."),
+		mfcsCandidates: reg.Counter("pincer_mfcs_candidates_total", "MFCS elements counted."),
+		frequent:       reg.Counter("pincer_frequent_total", "Frequent itemsets discovered."),
+		mfsFound:       reg.Counter("pincer_mfs_found_total", "Maximal frequent itemsets established."),
+		scanNanos:      reg.Counter("pincer_scan_nanoseconds_total", "Wall clock spent in database passes."),
+		miningNanos:    reg.Counter("pincer_mining_nanoseconds_total", "Wall clock spent in whole mining runs."),
+		workers:        reg.Gauge("pincer_workers", "Counting goroutines of the most recent run."),
+		lastPasses:     reg.Gauge("pincer_last_run_passes", "Passes of the most recently finished run."),
+		lastMFSSize:    reg.Gauge("pincer_last_run_mfs_size", "|MFS| of the most recently finished run."),
+	}
+}
+
+// RunStart implements Tracer.
+func (t *MetricsTracer) RunStart(info RunInfo) {
+	t.runs.Inc()
+	t.workers.Set(int64(info.Workers))
+}
+
+// PassDone implements Tracer.
+func (t *MetricsTracer) PassDone(ev PassEvent) {
+	t.passes.Inc()
+	t.candidates.Add(int64(ev.Candidates))
+	t.mfcsCandidates.Add(int64(ev.MFCSCandidates))
+	t.frequent.Add(int64(ev.Frequent))
+	t.mfsFound.Add(int64(ev.MFSFound))
+	t.scanNanos.Add(ev.ScanDuration.Nanoseconds())
+}
+
+// RunDone implements Tracer.
+func (t *MetricsTracer) RunDone(sum RunSummary) {
+	t.miningNanos.Add(sum.Duration.Nanoseconds())
+	t.lastPasses.Set(int64(sum.Passes))
+	t.lastMFSSize.Set(int64(sum.MFSSize))
+}

@@ -1,0 +1,187 @@
+// Package obsv is the miners' observability layer: per-pass trace events,
+// process-level counters and gauges with expvar- and Prometheus-compatible
+// exposition, and an HTTP endpoint bundling both with net/http/pprof.
+//
+// The paper's evaluation (§4) is organized around per-pass behavior —
+// candidate counts, MFCS size, passes over the database — so the unit of
+// tracing here is the database pass: every miner emits one PassEvent per
+// pass, mirroring its Stats.PassDetails entry exactly, plus a RunStart /
+// RunDone pair bracketing the run. A nil Tracer in the mining options
+// disables everything; the miners guard each emission with a single nil
+// check, so the untraced hot path pays nothing.
+//
+// Everything here is standard library only.
+package obsv
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase tags what a database pass was spent on.
+type Phase string
+
+const (
+	// PhaseBottomUp is a level-wise candidate-counting pass (Apriori and
+	// the bottom-up half of Pincer-Search, possibly with MFCS elements
+	// piggybacked).
+	PhaseBottomUp Phase = "bottom-up"
+	// PhaseMFCSCount is a pass counting only top-down candidates: MFCS
+	// elements in Pincer-Search, the frontier in the pure top-down miner.
+	PhaseMFCSCount Phase = "mfcs-count"
+	// PhaseRecovery is a bottom-up pass whose candidates include itemsets
+	// reconstructed by the recovery procedure (paper §3.4).
+	PhaseRecovery Phase = "recovery"
+	// PhaseTail is an MFCS-only pass after the bottom-up search exhausted
+	// (the termination fix of DESIGN.md §2 issue 2).
+	PhaseTail Phase = "tail"
+)
+
+// RunInfo describes a mining run as it starts.
+type RunInfo struct {
+	Algorithm       string `json:"algorithm"`
+	Workers         int    `json:"workers"`
+	MinCount        int64  `json:"min_count"`
+	NumTransactions int    `json:"transactions"`
+}
+
+// PassEvent is the span record of one completed database pass. Pass,
+// Candidates, MFCSCandidates, Frequent, and MFSFound agree exactly with the
+// run's Stats.PassDetails entry of the same pass number; the remaining
+// fields add what Stats does not record (phase, MFCS size, scan wall-clock,
+// worker count).
+type PassEvent struct {
+	Algorithm string `json:"algorithm"`
+	Pass      int    `json:"pass"`
+	Phase     Phase  `json:"phase"`
+	// Candidates is the number of bottom-up candidates counted.
+	Candidates int `json:"candidates"`
+	// MFCSCandidates is the number of MFCS elements counted this pass.
+	MFCSCandidates int `json:"mfcs_candidates"`
+	// MFCSSize is |MFCS| after the pass (0 once the adaptive policy
+	// abandons the structure, and for miners without an MFCS).
+	MFCSSize int `json:"mfcs_size"`
+	// Frequent / Infrequent split the counted bottom-up candidates.
+	Frequent   int `json:"frequent"`
+	Infrequent int `json:"infrequent"`
+	// MFSFound is the number of maximal frequent itemsets established.
+	MFSFound int `json:"mfs_found"`
+	// ScanDuration is the wall clock of the pass's database read.
+	ScanDuration time.Duration `json:"scan_ns"`
+	// Workers is the number of counting goroutines (1 = sequential).
+	Workers int `json:"workers"`
+}
+
+// RunSummary describes a finished run.
+type RunSummary struct {
+	Algorithm  string        `json:"algorithm"`
+	Passes     int           `json:"passes"`
+	Candidates int64         `json:"candidates"`
+	MFSSize    int           `json:"mfs_size"`
+	Duration   time.Duration `json:"duration_ns"`
+}
+
+// Tracer receives the event stream of a mining run. Implementations must be
+// safe for concurrent use: parallel miners emit from the mining goroutine
+// only, but one Tracer may be shared by several concurrent runs.
+type Tracer interface {
+	RunStart(info RunInfo)
+	PassDone(ev PassEvent)
+	RunDone(sum RunSummary)
+}
+
+// Multi fans every event out to each tracer in order.
+func Multi(tracers ...Tracer) Tracer {
+	// Flatten nils so callers can pass optional tracers unconditionally.
+	var ts []Tracer
+	for _, t := range tracers {
+		if t != nil {
+			ts = append(ts, t)
+		}
+	}
+	if len(ts) == 1 {
+		return ts[0]
+	}
+	return multiTracer(ts)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) RunStart(info RunInfo) {
+	for _, t := range m {
+		t.RunStart(info)
+	}
+}
+
+func (m multiTracer) PassDone(ev PassEvent) {
+	for _, t := range m {
+		t.PassDone(ev)
+	}
+}
+
+func (m multiTracer) RunDone(sum RunSummary) {
+	for _, t := range m {
+		t.RunDone(sum)
+	}
+}
+
+// Collector is a Tracer that accumulates the event stream in memory, for
+// tests and for benchrun's report folding.
+type Collector struct {
+	mu     sync.Mutex
+	runs   []RunInfo
+	passes []PassEvent
+	done   []RunSummary
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// RunStart implements Tracer.
+func (c *Collector) RunStart(info RunInfo) {
+	c.mu.Lock()
+	c.runs = append(c.runs, info)
+	c.mu.Unlock()
+}
+
+// PassDone implements Tracer.
+func (c *Collector) PassDone(ev PassEvent) {
+	c.mu.Lock()
+	c.passes = append(c.passes, ev)
+	c.mu.Unlock()
+}
+
+// RunDone implements Tracer.
+func (c *Collector) RunDone(sum RunSummary) {
+	c.mu.Lock()
+	c.done = append(c.done, sum)
+	c.mu.Unlock()
+}
+
+// Runs returns a copy of the collected run starts.
+func (c *Collector) Runs() []RunInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RunInfo(nil), c.runs...)
+}
+
+// Passes returns a copy of the collected pass events.
+func (c *Collector) Passes() []PassEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]PassEvent(nil), c.passes...)
+}
+
+// Summaries returns a copy of the collected run summaries.
+func (c *Collector) Summaries() []RunSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RunSummary(nil), c.done...)
+}
+
+// Reset discards everything collected so far.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.runs, c.passes, c.done = nil, nil, nil
+	c.mu.Unlock()
+}

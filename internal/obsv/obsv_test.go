@@ -1,0 +1,92 @@
+package obsv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestMultiFansOutAndSkipsNils(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	tr := Multi(nil, a, nil, b)
+	feedFixedRun(tr)
+	for i, c := range []*Collector{a, b} {
+		if len(c.Runs()) != 1 || len(c.Passes()) != 2 || len(c.Summaries()) != 1 {
+			t.Errorf("collector %d saw %d/%d/%d events, want 1/2/1",
+				i, len(c.Runs()), len(c.Passes()), len(c.Summaries()))
+		}
+	}
+}
+
+func TestMultiUnwrapsSingleTracer(t *testing.T) {
+	c := NewCollector()
+	if got := Multi(nil, c, nil); got != Tracer(c) {
+		t.Errorf("Multi with one non-nil tracer = %T, want the tracer itself", got)
+	}
+}
+
+func TestCollectorCopiesAndResets(t *testing.T) {
+	c := NewCollector()
+	feedFixedRun(c)
+	passes := c.Passes()
+	if len(passes) != 2 || passes[0].Pass != 1 || passes[1].Phase != PhaseRecovery {
+		t.Fatalf("collected passes = %+v", passes)
+	}
+	sum := c.Summaries()[0]
+	if sum.Passes != 2 || sum.Duration != 2500*time.Nanosecond {
+		t.Errorf("summary = %+v", sum)
+	}
+	c.Reset()
+	if len(c.Runs())+len(c.Passes())+len(c.Summaries()) != 0 {
+		t.Error("Reset left events behind")
+	}
+}
+
+// TestJSONTracerEmitsValidJSONL checks the -trace-json stream: one typed
+// JSON object per line, round-tripping the event fields.
+func TestJSONTracerEmitsValidJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	feedFixedRun(NewJSONTracer(&buf))
+
+	var types []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev struct {
+			Type    string      `json:"type"`
+			Run     *RunInfo    `json:"run"`
+			Pass    *PassEvent  `json:"pass"`
+			Summary *RunSummary `json:"summary"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		types = append(types, ev.Type)
+		switch ev.Type {
+		case "run_start":
+			if ev.Run == nil || ev.Run.Algorithm != "pincer" || ev.Run.Workers != 2 {
+				t.Errorf("run_start = %+v", ev.Run)
+			}
+		case "pass":
+			if ev.Pass == nil || ev.Pass.Candidates == 0 {
+				t.Errorf("pass = %+v", ev.Pass)
+			}
+		case "run_done":
+			if ev.Summary == nil || ev.Summary.MFSSize != 3 {
+				t.Errorf("run_done = %+v", ev.Summary)
+			}
+		default:
+			t.Errorf("unknown event type %q", ev.Type)
+		}
+	}
+	want := []string{"run_start", "pass", "pass", "run_done"}
+	if len(types) != len(want) {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event types = %v, want %v", types, want)
+		}
+	}
+}

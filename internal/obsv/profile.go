@@ -1,0 +1,60 @@
+package obsv
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles manages the -cpuprofile/-memprofile lifecycle shared by the CLI
+// tools: start at flag-parse time, Stop on the way out.
+type Profiles struct {
+	cpu     *os.File
+	memPath string
+}
+
+// StartProfiles begins a CPU profile to cpuPath (if non-empty) and arranges
+// a heap profile to memPath (if non-empty) to be written by Stop.
+func StartProfiles(cpuPath, memPath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obsv: -cpuprofile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile. It is safe to
+// call on a zero Profiles and is idempotent for the CPU half.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return err
+		}
+		p.cpu = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("obsv: -memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("obsv: -memprofile: %w", err)
+		}
+	}
+	return nil
+}

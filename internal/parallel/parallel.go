@@ -21,6 +21,7 @@ package parallel
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
+	"pincer/internal/obsv"
 )
 
 // Options configures parallel mining.
@@ -39,6 +41,9 @@ type Options struct {
 	Engine counting.Engine
 	// KeepFrequent retains the frequent set (passed through to the miner).
 	KeepFrequent bool
+	// Tracer receives per-pass trace events; nil disables tracing (no
+	// timestamps are taken).
+	Tracer obsv.Tracer
 }
 
 // DefaultOptions returns the standard configuration.
@@ -86,22 +91,43 @@ func (p *partitions) workers() int { return len(p.parts) }
 // them — one distributed database pass. fn receives the worker index w; the
 // contention-free discipline is that everything fn writes must be indexed
 // by w (a counter shard, a private slice), never shared.
+//
+// A panic inside a worker is recovered on that goroutine, and the first one
+// is re-raised on the calling goroutine at the barrier wrapped in
+// *mfi.WorkerPanic, so the mining boundary converts it into a returned
+// error instead of the panic killing the process from an anonymous
+// goroutine (where no caller's recover could see it).
 func (p *partitions) each(fn func(w int, txs []itemset.Itemset, bits []*itemset.Bitset)) {
 	var wg sync.WaitGroup
+	var once sync.Once
+	var wp *mfi.WorkerPanic
 	for i := range p.parts {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() {
+						wp = &mfi.WorkerPanic{Value: r, Stack: debug.Stack()}
+					})
+				}
+			}()
 			fn(w, p.parts[w], p.bits[w])
 		}(i)
 	}
 	wg.Wait()
+	if wp != nil {
+		panic(wp)
+	}
 }
 
 // MineApriori runs count-distribution Apriori: pass structure identical to
 // the sequential algorithm, counting distributed over Workers goroutines
-// with a private counter shard per worker.
-func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Result {
+// with a private counter shard per worker. A non-nil error reports a
+// captured worker panic or counter-merge mismatch (see
+// mfi.RecoverMiningError).
+func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) (_ *mfi.Result, err error) {
+	defer mfi.RecoverMiningError(&err)
 	start := time.Now()
 	minCount := d.MinCount(minSupport)
 	p := newPartitions(d, opt.workers())
@@ -109,9 +135,48 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Resul
 	res := &mfi.Result{MinCount: minCount, NumTransactions: d.Len(), Frequent: itemset.NewSet(0)}
 	res.Stats.Algorithm = "apriori-parallel"
 
+	tr := opt.Tracer
+	var scanDur time.Duration
+	pass := func(fn func(w int, txs []itemset.Itemset, bits []*itemset.Bitset)) {
+		if tr == nil {
+			p.each(fn)
+			return
+		}
+		t0 := time.Now()
+		p.each(fn)
+		scanDur = time.Since(t0)
+	}
+	emit := func() {
+		if tr == nil {
+			return
+		}
+		ps := res.Stats.PassDetails[len(res.Stats.PassDetails)-1]
+		d := scanDur
+		scanDur = 0
+		tr.PassDone(obsv.PassEvent{
+			Algorithm:    res.Stats.Algorithm,
+			Pass:         ps.Pass,
+			Phase:        obsv.PhaseBottomUp,
+			Candidates:   ps.Candidates,
+			Frequent:     ps.Frequent,
+			Infrequent:   ps.Candidates - ps.Frequent,
+			MFSFound:     ps.MFSFound,
+			ScanDuration: d,
+			Workers:      p.workers(),
+		})
+	}
+	if tr != nil {
+		tr.RunStart(obsv.RunInfo{
+			Algorithm:       res.Stats.Algorithm,
+			Workers:         p.workers(),
+			MinCount:        minCount,
+			NumTransactions: d.Len(),
+		})
+	}
+
 	// Pass 1: per-worker item arrays, merged at the barrier.
 	arrays := make([]*counting.ItemArray, p.workers())
-	p.each(func(w int, txs []itemset.Itemset, _ []*itemset.Bitset) {
+	pass(func(w int, txs []itemset.Itemset, _ []*itemset.Bitset) {
 		arrays[w] = counting.NewItemArray(d.NumItems())
 		for _, tx := range txs {
 			arrays[w].Add(tx)
@@ -139,6 +204,7 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Resul
 		}
 	}
 	res.Stats.AddPass(mfi.PassStats{Candidates: d.NumItems(), Frequent: len(lk)})
+	emit()
 
 	// Passes ≥ 2: sharded counting over Apriori-gen candidates. (The
 	// triangular-matrix pass-2 shortcut is omitted here: sharding the flat
@@ -149,7 +215,7 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Resul
 			break
 		}
 		ctr := counting.NewSharded(opt.Engine, ck, p.workers())
-		p.each(func(w int, txs []itemset.Itemset, _ []*itemset.Bitset) {
+		pass(func(w int, txs []itemset.Itemset, _ []*itemset.Bitset) {
 			sh := ctr.Shard(w)
 			for _, tx := range txs {
 				sh.Add(tx)
@@ -165,6 +231,7 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Resul
 			}
 		}
 		res.Stats.AddPass(mfi.PassStats{Candidates: len(ck), Frequent: len(next)})
+		emit()
 		if len(next) == 0 {
 			break
 		}
@@ -180,5 +247,14 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Resul
 		res.Frequent = nil
 	}
 	res.Stats.Duration = time.Since(start)
-	return res
+	if tr != nil {
+		tr.RunDone(obsv.RunSummary{
+			Algorithm:  res.Stats.Algorithm,
+			Passes:     res.Stats.Passes,
+			Candidates: res.Stats.Candidates,
+			MFSSize:    len(res.MFS),
+			Duration:   res.Stats.Duration,
+		})
+	}
+	return res, nil
 }

@@ -17,11 +17,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 		NumTransactions: 1000, AvgTxLen: 10, AvgPatternLen: 4,
 		NumPatterns: 40, NumItems: 80, Seed: 5,
 	})
-	seq := apriori.Mine(dataset.NewScanner(d), 0.02, apriori.DefaultOptions())
+	seq := must(apriori.Mine(dataset.NewScanner(d), 0.02, apriori.DefaultOptions()))
 	for _, workers := range []int{1, 2, 4, 7} {
 		opt := DefaultOptions()
 		opt.Workers = workers
-		par := MineApriori(d, 0.02, opt)
+		par := must(MineApriori(d, 0.02, opt))
 		if err := mfi.VerifyAgainst(par.MFS, seq.MFS); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -46,7 +46,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 func TestParallelEdgeCases(t *testing.T) {
 	// empty database
-	res := MineApriori(dataset.Empty(5), 0.5, DefaultOptions())
+	res := must(MineApriori(dataset.Empty(5), 0.5, DefaultOptions()))
 	if len(res.MFS) != 0 {
 		t.Errorf("empty MFS = %v", res.MFS)
 	}
@@ -54,7 +54,7 @@ func TestParallelEdgeCases(t *testing.T) {
 	d := dataset.New([]dataset.Transaction{itemset.New(1, 2), itemset.New(1, 2)})
 	opt := DefaultOptions()
 	opt.Workers = 16
-	res = MineApriori(d, 1.0, opt)
+	res = must(MineApriori(d, 1.0, opt))
 	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1, 2)}); err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestParallelEdgeCases(t *testing.T) {
 	}
 	// KeepFrequent=false
 	opt.KeepFrequent = false
-	res = MineApriori(d, 1.0, opt)
+	res = must(MineApriori(d, 1.0, opt))
 	if res.Frequent != nil {
 		t.Error("Frequent retained")
 	}
@@ -89,11 +89,20 @@ func TestQuickParallelMatchesSequential(t *testing.T) {
 		sup := 0.05 + r.Float64()*0.4
 		opt := DefaultOptions()
 		opt.Workers = 1 + r.Intn(6)
-		par := MineApriori(d, sup, opt)
-		seq := apriori.Mine(dataset.NewScanner(d), sup, apriori.DefaultOptions())
+		par := must(MineApriori(d, sup, opt))
+		seq := must(apriori.Mine(dataset.NewScanner(d), sup, apriori.DefaultOptions()))
 		return mfi.VerifyAgainst(par.MFS, seq.MFS) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// must unwraps the (result, error) mining returns; in-memory test scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -28,6 +28,10 @@ func NewPassCounter(d *dataset.Dataset, workers int) core.PassCounter {
 	return &passCounter{p: newPartitions(d, workers)}
 }
 
+// Workers implements core.WorkerCounted: the number of counting goroutines
+// (= partitions) per pass, reported in trace events.
+func (pc *passCounter) Workers() int { return pc.p.workers() }
+
 // CountItems implements core.PassCounter (the pass-1 shape).
 func (pc *passCounter) CountItems(numItems int, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
 	w := pc.p.workers()
@@ -152,28 +156,33 @@ func mergeElemCounts(n int, parts [][]int64) []int64 {
 // bottom-up candidate counting, top-down MFCS counting, recovery, and tail
 // passes — with every database pass distributed over Workers goroutines.
 // The result (MFS, supports, frequent set, pass and candidate statistics)
-// is identical to sequential core.Mine; only wall-clock time changes.
-func MinePincer(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Result {
+// is identical to sequential core.Mine; only wall-clock time changes. A
+// non-nil error reports a captured worker panic or counter-merge mismatch
+// (see mfi.RecoverMiningError).
+func MinePincer(d *dataset.Dataset, minSupport float64, opt Options) (*mfi.Result, error) {
 	return MinePincerOpts(d, minSupport, core.DefaultOptions(), opt)
 }
 
 // MinePincerOpts is MinePincer with explicit Pincer-Search options. The
-// parallel Options' Engine and KeepFrequent take precedence over copt's.
-func MinePincerOpts(d *dataset.Dataset, minSupport float64, copt core.Options, opt Options) *mfi.Result {
+// parallel Options' Engine, KeepFrequent, and (when set) Tracer take
+// precedence over copt's.
+func MinePincerOpts(d *dataset.Dataset, minSupport float64, copt core.Options, opt Options) (*mfi.Result, error) {
 	return minePincer(d, dataset.MinCountFor(d.Len(), minSupport), copt, opt)
 }
 
 // MinePincerCount is MinePincerOpts with an absolute support-count
 // threshold.
-func MinePincerCount(d *dataset.Dataset, minCount int64, copt core.Options, opt Options) *mfi.Result {
+func MinePincerCount(d *dataset.Dataset, minCount int64, copt core.Options, opt Options) (*mfi.Result, error) {
 	return minePincer(d, minCount, copt, opt)
 }
 
-func minePincer(d *dataset.Dataset, minCount int64, copt core.Options, opt Options) *mfi.Result {
+func minePincer(d *dataset.Dataset, minCount int64, copt core.Options, opt Options) (*mfi.Result, error) {
 	copt.Engine = opt.Engine
 	copt.KeepFrequent = opt.KeepFrequent
 	copt.Counter = NewPassCounter(d, opt.workers())
-	res := core.MineCount(dataset.NewScanner(d), minCount, copt)
-	res.Stats.Algorithm = "pincer-parallel"
-	return res
+	copt.Algorithm = "pincer-parallel"
+	if opt.Tracer != nil {
+		copt.Tracer = opt.Tracer
+	}
+	return core.MineCount(dataset.NewScanner(d), minCount, copt)
 }

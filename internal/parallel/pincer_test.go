@@ -91,11 +91,11 @@ func TestMinePincerMatchesSequential(t *testing.T) {
 	for _, wl := range workloads {
 		d := quest.Generate(wl.params)
 		copt := core.DefaultOptions()
-		seq := core.Mine(dataset.NewScanner(d), wl.support, copt)
+		seq := must(core.Mine(dataset.NewScanner(d), wl.support, copt))
 		for _, workers := range []int{1, 2, 4, 7} {
 			opt := DefaultOptions()
 			opt.Workers = workers
-			par := MinePincer(d, wl.support, opt)
+			par := must(MinePincer(d, wl.support, opt))
 			label := wl.params.Name()
 			comparePincerResults(t, label+"/workers="+strconv.Itoa(workers), par, seq)
 			if par.Stats.Algorithm != "pincer-parallel" {
@@ -113,13 +113,13 @@ func TestMinePincerKeepFrequentOff(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Workers = 3
 	opt.KeepFrequent = false
-	par := MinePincer(d, 0.08, opt)
+	par := must(MinePincer(d, 0.08, opt))
 	if par.Frequent != nil {
 		t.Error("Frequent retained with KeepFrequent=false")
 	}
 	copt := core.DefaultOptions()
 	copt.KeepFrequent = false
-	seq := core.Mine(dataset.NewScanner(d), 0.08, copt)
+	seq := must(core.Mine(dataset.NewScanner(d), 0.08, copt))
 	comparePincerResults(t, "keepfrequent-off", par, seq)
 }
 
@@ -132,16 +132,16 @@ func TestMinePincerPure(t *testing.T) {
 	})
 	copt := core.DefaultOptions()
 	copt.Pure = true
-	seq := core.Mine(dataset.NewScanner(d), 0.10, copt)
+	seq := must(core.Mine(dataset.NewScanner(d), 0.10, copt))
 	opt := DefaultOptions()
 	opt.Workers = 4
-	par := MinePincerOpts(d, 0.10, copt, opt)
+	par := must(MinePincerOpts(d, 0.10, copt, opt))
 	comparePincerResults(t, "pure", par, seq)
 }
 
 func TestMinePincerEdgeCases(t *testing.T) {
 	// empty database
-	res := MinePincer(dataset.Empty(5), 0.5, DefaultOptions())
+	res := must(MinePincer(dataset.Empty(5), 0.5, DefaultOptions()))
 	if len(res.MFS) != 0 {
 		t.Errorf("empty MFS = %v", res.MFS)
 	}
@@ -149,7 +149,7 @@ func TestMinePincerEdgeCases(t *testing.T) {
 	d := dataset.New([]dataset.Transaction{itemset.New(1, 2), itemset.New(1, 2)})
 	opt := DefaultOptions()
 	opt.Workers = 16
-	res = MinePincer(d, 1.0, opt)
+	res = must(MinePincer(d, 1.0, opt))
 	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1, 2)}); err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestMinePincerEdgeCases(t *testing.T) {
 		t.Errorf("support = %d", res.MFSSupports[0])
 	}
 	// explicit count threshold
-	res = MinePincerCount(d, 2, core.DefaultOptions(), opt)
+	res = must(MinePincerCount(d, 2, core.DefaultOptions(), opt))
 	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1, 2)}); err != nil {
 		t.Fatal(err)
 	}

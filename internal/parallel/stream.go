@@ -1,0 +1,250 @@
+package parallel
+
+import (
+	"errors"
+	"runtime/debug"
+	"sync"
+
+	"pincer/internal/core"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// streamBatch is the number of transactions handed to a worker at once; it
+// amortizes channel synchronization without holding a large fraction of the
+// database in flight.
+const streamBatch = 512
+
+// errAbortScan is the sentinel the producer panics with to abandon a Scan
+// mid-pass once a worker has already failed; distribute swallows it (the
+// worker's panic is the one reported).
+var errAbortScan = errors.New("parallel: scan aborted by worker failure")
+
+// streamPassCounter is the count-distribution strategy for file-backed
+// databases, where the transactions cannot be partitioned up front because
+// each pass re-reads the file. One producer — the mining goroutine itself —
+// streams the Scanner's transactions in batches to a channel; Workers
+// goroutines consume them into private counter shards merged at the pass
+// barrier. Counts are identical to a sequential scan (integer addition
+// commutes), so the miner's decisions, pass metrics, and results are
+// unchanged; only wall-clock time differs.
+//
+// The Scanner's per-transaction bitset is a reused buffer and never crosses
+// a goroutine boundary: workers test element containment on the transaction
+// itemsets (freshly allocated per transaction) instead.
+//
+// Failure handling: the producer scans on the mining goroutine, so a
+// mid-pass *dataset.FileScanError panic propagates naturally to the mining
+// boundary. A worker panic is captured, the producer is told to abandon the
+// scan, and the panic is re-raised at the barrier wrapped in
+// *mfi.WorkerPanic — both surface as errors from Mine*, at any worker
+// count.
+type streamPassCounter struct {
+	sc      dataset.Scanner
+	workers int
+}
+
+// NewStreamPassCounter builds the streaming count-distribution strategy for
+// injection into core.Options.Counter. Unlike NewPassCounter it does not
+// materialize the database: sc is re-scanned every pass, making it the
+// parallel counterpart of mining straight from a dataset.FileScanner.
+func NewStreamPassCounter(sc dataset.Scanner, workers int) core.PassCounter {
+	if workers < 1 {
+		workers = 1
+	}
+	return &streamPassCounter{sc: sc, workers: workers}
+}
+
+// Workers implements core.WorkerCounted.
+func (s *streamPassCounter) Workers() int { return s.workers }
+
+// distribute runs one distributed pass: the calling goroutine scans sc and
+// batches transactions onto a channel, and every worker w consumes batches
+// via add(w, tx). add must write only state indexed by w.
+func (s *streamPassCounter) distribute(add func(w int, tx itemset.Itemset)) {
+	ch := make(chan []itemset.Itemset, 2*s.workers)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var once sync.Once
+	var wp *mfi.WorkerPanic
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					stack := debug.Stack()
+					once.Do(func() {
+						wp = &mfi.WorkerPanic{Value: r, Stack: stack}
+						close(done)
+					})
+				}
+			}()
+			for batch := range ch {
+				for _, tx := range batch {
+					add(w, tx)
+				}
+			}
+		}(w)
+	}
+
+	send := func(batch []itemset.Itemset) {
+		select {
+		case ch <- batch:
+		case <-done:
+			// A worker already failed; unwind out of sc.Scan. The sentinel
+			// is swallowed below and the worker's panic reported instead.
+			panic(errAbortScan)
+		}
+	}
+	var scanPanic interface{}
+	func() {
+		defer close(ch)
+		defer func() {
+			if r := recover(); r != nil && !isAbortScan(r) {
+				scanPanic = r
+			}
+		}()
+		batch := make([]itemset.Itemset, 0, streamBatch)
+		s.sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) {
+			batch = append(batch, tx)
+			if len(batch) == streamBatch {
+				send(batch)
+				batch = make([]itemset.Itemset, 0, streamBatch)
+			}
+		})
+		if len(batch) > 0 {
+			send(batch)
+		}
+	}()
+	wg.Wait()
+	if scanPanic != nil {
+		panic(scanPanic)
+	}
+	if wp != nil {
+		panic(wp)
+	}
+}
+
+func isAbortScan(r interface{}) bool {
+	err, ok := r.(error)
+	return ok && errors.Is(err, errAbortScan)
+}
+
+// CountItems implements core.PassCounter (the pass-1 shape).
+func (s *streamPassCounter) CountItems(numItems int, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
+	arrays := make([]*counting.ItemArray, s.workers)
+	partElems := make([][]int64, s.workers)
+	for w := range arrays {
+		arrays[w] = counting.NewItemArray(numItems)
+		partElems[w] = make([]int64, len(elems))
+	}
+	s.distribute(func(w int, tx itemset.Itemset) {
+		arrays[w].Add(tx)
+		for i, e := range elems {
+			if e.IsSubsetOf(tx) {
+				partElems[w][i]++
+			}
+		}
+	})
+	itemCounts := make([]int64, numItems)
+	for _, a := range arrays {
+		counting.SumInto(itemCounts, a.Counts())
+	}
+	return itemCounts, mergeElemCounts(len(elems), partElems)
+}
+
+// CountPairs implements core.PassCounter (the pass-2 shape).
+func (s *streamPassCounter) CountPairs(numItems int, live itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) (*counting.Triangle, []int64) {
+	base := counting.NewTriangle(numItems, live)
+	shards := make([]*counting.Triangle, s.workers)
+	partElems := make([][]int64, s.workers)
+	for w := range shards {
+		if w == 0 {
+			shards[w] = base
+		} else {
+			shards[w] = base.Shard()
+		}
+		partElems[w] = make([]int64, len(elems))
+	}
+	s.distribute(func(w int, tx itemset.Itemset) {
+		shards[w].Add(tx)
+		for i, e := range elems {
+			if e.IsSubsetOf(tx) {
+				partElems[w][i]++
+			}
+		}
+	})
+	for _, sh := range shards[1:] {
+		base.Merge(sh)
+	}
+	return base, mergeElemCounts(len(elems), partElems)
+}
+
+// CountCandidates implements core.PassCounter (the pass ≥ 3 shape).
+func (s *streamPassCounter) CountCandidates(engine counting.Engine, candidates []itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
+	var cands *counting.Sharded
+	if len(candidates) > 0 {
+		cands = counting.NewSharded(engine, candidates, s.workers)
+	}
+	// Mirror the partitioned strategy: a sharded trie over many elements,
+	// direct subset tests when few. The MFCS is an antichain, so the
+	// mixed-length trie is safe.
+	var elemTrie *counting.Sharded
+	partElems := make([][]int64, s.workers)
+	if len(elems) > 16 {
+		elemTrie = counting.NewSharded(counting.EngineTrie, elems, s.workers)
+	} else {
+		for w := range partElems {
+			partElems[w] = make([]int64, len(elems))
+		}
+	}
+	s.distribute(func(w int, tx itemset.Itemset) {
+		if cands != nil {
+			cands.Shard(w).Add(tx)
+		}
+		if elemTrie != nil {
+			elemTrie.Shard(w).Add(tx)
+			return
+		}
+		for i, e := range elems {
+			if e.IsSubsetOf(tx) {
+				partElems[w][i]++
+			}
+		}
+	})
+	var elemCounts []int64
+	if elemTrie != nil {
+		elemCounts = elemTrie.Counts()
+	} else {
+		elemCounts = mergeElemCounts(len(elems), partElems)
+	}
+	if cands != nil {
+		return cands.Counts(), elemCounts
+	}
+	return nil, elemCounts
+}
+
+// MinePincerFile runs parallel Pincer-Search over a Scanner that re-reads
+// its database every pass (typically a dataset.FileScanner), using the
+// streaming count-distribution strategy: one reader, Workers counting
+// goroutines. Results and pass metrics are identical to sequential
+// core.Mine over the same Scanner.
+func MinePincerFile(sc dataset.Scanner, minSupport float64, copt core.Options, opt Options) (*mfi.Result, error) {
+	return MinePincerFileCount(sc, dataset.MinCountFor(sc.Len(), minSupport), copt, opt)
+}
+
+// MinePincerFileCount is MinePincerFile with an absolute support-count
+// threshold.
+func MinePincerFileCount(sc dataset.Scanner, minCount int64, copt core.Options, opt Options) (*mfi.Result, error) {
+	copt.Engine = opt.Engine
+	copt.KeepFrequent = opt.KeepFrequent
+	copt.Counter = NewStreamPassCounter(sc, opt.workers())
+	copt.Algorithm = "pincer-parallel"
+	if opt.Tracer != nil {
+		copt.Tracer = opt.Tracer
+	}
+	return core.MineCount(sc, minCount, copt)
+}

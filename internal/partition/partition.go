@@ -69,7 +69,11 @@ func Mine(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Result {
 		if part.Len() == 0 {
 			continue
 		}
-		local := apriori.Mine(dataset.NewScanner(part), minSupport, aopt)
+		local, err := apriori.Mine(dataset.NewScanner(part), minSupport, aopt)
+		if err != nil {
+			// In-memory partitions cannot fail a scan.
+			panic(err)
+		}
 		local.Frequent.Each(func(x itemset.Itemset, _ int64) {
 			candidates.Add(x)
 		})

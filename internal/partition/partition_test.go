@@ -22,7 +22,7 @@ func TestPartitionSmall(t *testing.T) {
 		itemset.New(5),
 	})
 	res := Mine(d, 2.0/6.0, DefaultOptions())
-	ares := apriori.Mine(dataset.NewScanner(d), 2.0/6.0, apriori.DefaultOptions())
+	ares := must(apriori.Mine(dataset.NewScanner(d), 2.0/6.0, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("MFS: %v (got %v want %v)", err, res.MFS, ares.MFS)
 	}
@@ -48,7 +48,7 @@ func TestPartitionCountsMatchApriori(t *testing.T) {
 		NumPatterns: 40, NumItems: 60, Seed: 7,
 	})
 	res := Mine(d, 0.02, DefaultOptions())
-	ares := apriori.Mine(dataset.NewScanner(d), 0.02, apriori.DefaultOptions())
+	ares := must(apriori.Mine(dataset.NewScanner(d), 0.02, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatal(err)
 	}
@@ -104,10 +104,19 @@ func TestQuickPartitionMatchesApriori(t *testing.T) {
 		opt := DefaultOptions()
 		opt.NumPartitions = 1 + r.Intn(5)
 		res := Mine(d, sup, opt)
-		ares := apriori.Mine(dataset.NewScanner(d), sup, apriori.DefaultOptions())
+		ares := must(apriori.Mine(dataset.NewScanner(d), sup, apriori.DefaultOptions()))
 		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// must unwraps the (result, error) mining returns; in-memory test scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -49,7 +49,7 @@ func TestRandMaxEveryOutputIsTrulyMaximal(t *testing.T) {
 		t.Fatal(err)
 	}
 	// probabilistic completeness: the output is a subset of the true MFS
-	ares := apriori.Mine(dataset.NewScanner(d), 0.05, apriori.DefaultOptions())
+	ares := must(apriori.Mine(dataset.NewScanner(d), 0.05, apriori.DefaultOptions()))
 	trueSet := itemset.SetOf(ares.MFS...)
 	for _, m := range res.MFS {
 		if !trueSet.Contains(m) {
@@ -97,4 +97,13 @@ func TestRandMaxDeterministicBySeed(t *testing.T) {
 	if a.Walks != b.Walks {
 		t.Errorf("walks differ: %d vs %d", a.Walks, b.Walks)
 	}
+}
+
+// must unwraps the (result, error) mining returns; in-memory test scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

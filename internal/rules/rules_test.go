@@ -26,7 +26,7 @@ func rulesDataset() *dataset.Dataset {
 
 func mineFrequent(t *testing.T, d *dataset.Dataset, minCount int64) *itemset.Set {
 	t.Helper()
-	res := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+	res := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 	return res.Frequent
 }
 
@@ -116,7 +116,7 @@ func TestMaxConsequent(t *testing.T) {
 func TestFromMFSMatchesFromFrequentSet(t *testing.T) {
 	d := rulesDataset()
 	sc := dataset.NewScanner(d)
-	res := core.MineCount(sc, 2, core.DefaultOptions())
+	res := must(core.MineCount(sc, 2, core.DefaultOptions()))
 	got, err := FromMFS(sc, res.MFS, 0, Params{MinConfidence: 0.5})
 	if err != nil {
 		t.Fatal(err)
@@ -155,12 +155,12 @@ func TestQuickFromMFSMatchesFromFrequentSet(t *testing.T) {
 		minCount := int64(2 + r.Intn(numTx/2))
 		conf := 0.3 + r.Float64()*0.6
 		sc := dataset.NewScanner(d)
-		res := core.MineCount(sc, minCount, core.DefaultOptions())
+		res := must(core.MineCount(sc, minCount, core.DefaultOptions()))
 		got, err := FromMFS(sc, res.MFS, 0, Params{MinConfidence: conf})
 		if err != nil {
 			return false
 		}
-		freq := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()).Frequent
+		freq := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())).Frequent
 		want, err := FromFrequentSet(freq, d.Len(), Params{MinConfidence: conf})
 		if err != nil {
 			return false
@@ -339,4 +339,13 @@ func TestFromMFSEmpty(t *testing.T) {
 	if err != nil || rs != nil {
 		t.Fatalf("FromMFS empty = %v, %v", rs, err)
 	}
+}
+
+// must unwraps the (result, error) mining returns; in-memory test scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -90,7 +90,11 @@ func Mine(d *dataset.Dataset, minSupport float64, opt Options) *Result {
 	}
 	aopt := apriori.DefaultOptions()
 	aopt.Engine = opt.Engine
-	sampleRes := apriori.Mine(dataset.NewScanner(sample), minSupport*opt.LowerFactor, aopt)
+	sampleRes, err := apriori.Mine(dataset.NewScanner(sample), minSupport*opt.LowerFactor, aopt)
+	if err != nil {
+		// In-memory samples cannot fail a scan.
+		panic(err)
+	}
 
 	universe := d.PresentItems()
 	sampleFrequent := sampleRes.Frequent.Sorted()

@@ -24,7 +24,7 @@ func TestSamplingSmall(t *testing.T) {
 	opt.SampleSize = 5
 	opt.Seed = 1
 	res := Mine(d, 0.4, opt)
-	ares := apriori.Mine(dataset.NewScanner(d), 0.4, apriori.DefaultOptions())
+	ares := must(apriori.Mine(dataset.NewScanner(d), 0.4, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("MFS: %v (got %v want %v)", err, res.MFS, ares.MFS)
 	}
@@ -52,7 +52,7 @@ func TestSamplingFastPathUsesOnePass(t *testing.T) {
 	opt.SampleSize = d.Len() * 2 // oversample: near-exact estimate
 	opt.Seed = 2
 	res := Mine(d, 0.05, opt)
-	ares := apriori.Mine(dataset.NewScanner(d), 0.05, apriori.DefaultOptions())
+	ares := must(apriori.Mine(dataset.NewScanner(d), 0.05, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("MFS: %v", err)
 	}
@@ -75,7 +75,7 @@ func TestSamplingFailurePathStillExact(t *testing.T) {
 		opt.LowerFactor = 1.0 // no lowering: misses likely
 		opt.Seed = seed
 		res := Mine(d, 0.05, opt)
-		ares := apriori.Mine(dataset.NewScanner(d), 0.05, apriori.DefaultOptions())
+		ares := must(apriori.Mine(dataset.NewScanner(d), 0.05, apriori.DefaultOptions()))
 		if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -110,10 +110,19 @@ func TestQuickSamplingMatchesApriori(t *testing.T) {
 		opt.SampleSize = 1 + r.Intn(numTx)
 		opt.Seed = seed
 		res := Mine(d, sup, opt)
-		ares := apriori.Mine(dataset.NewScanner(d), sup, apriori.DefaultOptions())
+		ares := must(apriori.Mine(dataset.NewScanner(d), sup, apriori.DefaultOptions()))
 		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// must unwraps the (result, error) mining returns; in-memory test scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -66,7 +66,7 @@ func TestMiningRecoversSectorStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := core.Mine(dataset.NewScanner(m.Days), 0.05, core.DefaultOptions())
+	res := must(core.Mine(dataset.NewScanner(m.Days), 0.05, core.DefaultOptions()))
 	if len(res.MFS) == 0 {
 		t.Fatal("no frequent itemsets at 5%")
 	}
@@ -104,4 +104,13 @@ func TestGenerateDeterministic(t *testing.T) {
 			t.Fatalf("day %d differs", i)
 		}
 	}
+}
+
+// must unwraps the (result, error) mining returns; in-memory test scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -17,6 +17,7 @@ import (
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
+	"pincer/internal/obsv"
 )
 
 // Options configures the top-down miner.
@@ -27,6 +28,9 @@ type Options struct {
 	MaxElements int
 	// MaxPasses bounds the number of passes (0 = unlimited).
 	MaxPasses int
+	// Tracer receives per-pass trace events; nil disables tracing (no
+	// timestamps are taken).
+	Tracer obsv.Tracer
 }
 
 // DefaultOptions returns a guarded configuration.
@@ -48,20 +52,32 @@ type Result struct {
 	Aborted bool
 }
 
-// Mine runs the pure top-down search at a fractional minimum support.
-func Mine(sc dataset.Scanner, minSupport float64, opt Options) *Result {
+// Mine runs the pure top-down search at a fractional minimum support. A
+// non-nil error reports a mid-pass failure re-reading a file-backed
+// database (see mfi.RecoverMiningError); in-memory scans cannot fail.
+func Mine(sc dataset.Scanner, minSupport float64, opt Options) (*Result, error) {
 	return MineCount(sc, dataset.MinCountFor(sc.Len(), minSupport), opt)
 }
 
 // MineCount runs the pure top-down search with an absolute threshold.
-func MineCount(sc dataset.Scanner, minCount int64, opt Options) *Result {
+func MineCount(sc dataset.Scanner, minCount int64, opt Options) (_ *Result, err error) {
+	defer mfi.RecoverMiningError(&err)
 	start := time.Now()
 	res := &Result{Result: mfi.Result{
 		MinCount:        minCount,
 		NumTransactions: sc.Len(),
 	}}
 	res.Stats.Algorithm = "topdown"
-	defer func() { res.Stats.Duration = time.Since(start) }()
+
+	tr := opt.Tracer
+	if tr != nil {
+		tr.RunStart(obsv.RunInfo{
+			Algorithm:       res.Stats.Algorithm,
+			Workers:         1,
+			MinCount:        minCount,
+			NumTransactions: sc.Len(),
+		})
+	}
 
 	n := sc.NumItems()
 	mfs := itemset.NewSet(0)
@@ -99,7 +115,14 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *Result {
 			sets[i] = e.set
 		}
 		counter := counting.NewTrie(sets)
-		sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
+		var scanDur time.Duration
+		if tr == nil {
+			sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
+		} else {
+			t0 := time.Now()
+			sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
+			scanDur = time.Since(t0)
+		}
 		counts := counter.Counts()
 
 		var next []*frontierElement
@@ -135,6 +158,23 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *Result {
 		res.Stats.AddPass(mfi.PassStats{
 			Candidates: len(frontier), Frequent: frequentHere, MFSFound: mfsFound,
 		})
+		if tr != nil {
+			p := res.Stats.PassDetails[len(res.Stats.PassDetails)-1]
+			// The frontier is this miner's top-down structure; report its
+			// post-pass size in the MFCSSize slot.
+			tr.PassDone(obsv.PassEvent{
+				Algorithm:    res.Stats.Algorithm,
+				Pass:         p.Pass,
+				Phase:        obsv.PhaseMFCSCount,
+				Candidates:   p.Candidates,
+				MFCSSize:     len(next),
+				Frequent:     p.Frequent,
+				Infrequent:   p.Candidates - p.Frequent,
+				MFSFound:     p.MFSFound,
+				ScanDuration: scanDur,
+				Workers:      1,
+			})
+		}
 		if opt.MaxElements > 0 && len(next) > opt.MaxElements {
 			res.Aborted = true
 			break
@@ -149,5 +189,15 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) *Result {
 		res.MFSSupports[i] = c
 	}
 	res.Frequent = mfs
-	return res
+	res.Stats.Duration = time.Since(start)
+	if tr != nil {
+		tr.RunDone(obsv.RunSummary{
+			Algorithm:  res.Stats.Algorithm,
+			Passes:     res.Stats.Passes,
+			Candidates: res.Stats.Candidates,
+			MFSSize:    len(res.MFS),
+			Duration:   res.Stats.Duration,
+		})
+	}
+	return res, nil
 }

@@ -18,7 +18,7 @@ func TestTopDownLongMaximalIsFast(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		d.Append(itemset.Range(0, 8))
 	}
-	res := MineCount(dataset.NewScanner(d), 3, DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(d), 3, DefaultOptions()))
 	if res.Aborted {
 		t.Fatal("aborted")
 	}
@@ -37,7 +37,7 @@ func TestTopDownDescendsLevels(t *testing.T) {
 		itemset.New(0, 3),
 		itemset.New(0, 3),
 	})
-	res := MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(d), 2, DefaultOptions()))
 	if res.Aborted {
 		t.Fatal("aborted")
 	}
@@ -52,12 +52,12 @@ func TestTopDownDescendsLevels(t *testing.T) {
 }
 
 func TestTopDownEmptyAndInfrequent(t *testing.T) {
-	res := MineCount(dataset.NewScanner(dataset.Empty(4)), 1, DefaultOptions())
+	res := must(MineCount(dataset.NewScanner(dataset.Empty(4)), 1, DefaultOptions()))
 	if len(res.MFS) != 0 || res.Aborted {
 		t.Fatalf("empty db: MFS=%v aborted=%v", res.MFS, res.Aborted)
 	}
 	d := dataset.New([]dataset.Transaction{itemset.New(0), itemset.New(1)})
-	res = MineCount(dataset.NewScanner(d), 2, DefaultOptions())
+	res = must(MineCount(dataset.NewScanner(d), 2, DefaultOptions()))
 	if len(res.MFS) != 0 {
 		t.Fatalf("MFS = %v, want empty", res.MFS)
 	}
@@ -72,7 +72,7 @@ func TestTopDownAbortsOnFrontierExplosion(t *testing.T) {
 		d.Append(itemset.New(itemset.Item(i)))
 	}
 	opt := Options{MaxElements: 50}
-	res := MineCount(dataset.NewScanner(d), 2, opt)
+	res := must(MineCount(dataset.NewScanner(d), 2, opt))
 	if !res.Aborted {
 		t.Fatal("expected abort")
 	}
@@ -82,7 +82,7 @@ func TestTopDownMaxPasses(t *testing.T) {
 	d := dataset.New([]dataset.Transaction{itemset.New(0, 1), itemset.New(0, 1), itemset.New(2)})
 	opt := DefaultOptions()
 	opt.MaxPasses = 1
-	res := MineCount(dataset.NewScanner(d), 2, opt)
+	res := must(MineCount(dataset.NewScanner(d), 2, opt))
 	if !res.Aborted {
 		t.Fatal("expected abort after 1 pass")
 	}
@@ -106,14 +106,23 @@ func TestQuickTopDownMatchesApriori(t *testing.T) {
 			d.Append(itemset.New(items...))
 		}
 		minCount := int64(1 + r.Intn(numTx/2+1))
-		res := MineCount(dataset.NewScanner(d), minCount, Options{})
+		res := must(MineCount(dataset.NewScanner(d), minCount, Options{}))
 		if res.Aborted {
 			return false
 		}
-		ares := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+		ares := must(apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions()))
 		return mfi.VerifyAgainst(res.MFS, ares.MFS) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// must unwraps the (result, error) mining returns; in-memory test scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -26,7 +26,7 @@ func smallDB() *dataset.Dataset {
 func TestEclatSmall(t *testing.T) {
 	d := smallDB()
 	res := Eclat(d, 0.4, DefaultOptions())
-	ares := apriori.Mine(dataset.NewScanner(d), 0.4, apriori.DefaultOptions())
+	ares := must(apriori.Mine(dataset.NewScanner(d), 0.4, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("MFS: %v", err)
 	}
@@ -46,7 +46,7 @@ func TestEclatSmall(t *testing.T) {
 func TestMineMaximalSmall(t *testing.T) {
 	d := smallDB()
 	res := MineMaximal(d, 0.4, DefaultOptions())
-	ares := apriori.Mine(dataset.NewScanner(d), 0.4, apriori.DefaultOptions())
+	ares := must(apriori.Mine(dataset.NewScanner(d), 0.4, apriori.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, ares.MFS); err != nil {
 		t.Fatalf("MFS: %v (got %v)", err, res.MFS)
 	}
@@ -115,7 +115,7 @@ func TestQuickEclatMatchesApriori(t *testing.T) {
 		minCount := int64(1 + r.Intn(d.Len()/2+1))
 		sup := float64(minCount) / float64(d.Len())
 		res := Eclat(d, sup, DefaultOptions())
-		ares := apriori.MineCount(dataset.NewScanner(d), d.MinCount(sup), apriori.DefaultOptions())
+		ares := must(apriori.MineCount(dataset.NewScanner(d), d.MinCount(sup), apriori.DefaultOptions()))
 		if res.Frequent.Len() != ares.Frequent.Len() {
 			return false
 		}
@@ -140,7 +140,7 @@ func TestQuickMineMaximalMatchesPincer(t *testing.T) {
 		minCount := int64(1 + r.Intn(d.Len()/2+1))
 		sup := float64(minCount) / float64(d.Len())
 		res := MineMaximal(d, sup, DefaultOptions())
-		pres := core.MineCount(dataset.NewScanner(d), d.MinCount(sup), core.DefaultOptions())
+		pres := must(core.MineCount(dataset.NewScanner(d), d.MinCount(sup), core.DefaultOptions()))
 		return mfi.VerifyAgainst(res.MFS, pres.MFS) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
@@ -154,7 +154,7 @@ func TestVerticalOnQuestConcentrated(t *testing.T) {
 		NumPatterns: 20, NumItems: 500, Seed: 23,
 	})
 	res := MineMaximal(d, 0.05, DefaultOptions())
-	pres := core.Mine(dataset.NewScanner(d), 0.05, core.DefaultOptions())
+	pres := must(core.Mine(dataset.NewScanner(d), 0.05, core.DefaultOptions()))
 	if err := mfi.VerifyAgainst(res.MFS, pres.MFS); err != nil {
 		t.Fatalf("quest: %v", err)
 	}
@@ -173,4 +173,13 @@ func randomDB(r *rand.Rand) *dataset.Dataset {
 		d.Append(itemset.New(items...))
 	}
 	return d
+}
+
+// must unwraps the (result, error) mining returns; in-memory test scans
+// cannot fail.
+func must[R any](res R, err error) R {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

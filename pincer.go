@@ -108,13 +108,35 @@ func LoadDataset(path string) (*Dataset, error) { return dataset.Load(path) }
 
 // MineFile mines a basket file without materializing it in memory: the
 // file is re-read once per pass, exactly the I/O regime of the paper's
-// cost model. Use it for databases larger than RAM.
+// cost model. Use it for databases larger than RAM. A file that turns
+// corrupt or unreadable between passes surfaces as an error, not a panic.
 func MineFile(path string, minSupport float64, opt PincerOptions) (*Result, error) {
 	sc, err := dataset.OpenFileScanner(path)
 	if err != nil {
 		return nil, err
 	}
-	return core.Mine(sc, minSupport, opt), nil
+	return core.Mine(sc, minSupport, opt)
+}
+
+// MineFileParallel is MineFile with streaming count distribution: one
+// reader goroutine re-reads the file each pass while popt.Workers
+// goroutines count. Results are identical to MineFile; only wall-clock
+// time changes.
+func MineFileParallel(path string, minSupport float64, opt PincerOptions, popt ParallelOptions) (*Result, error) {
+	sc, err := dataset.OpenFileScanner(path)
+	if err != nil {
+		return nil, err
+	}
+	return parallel.MinePincerFile(sc, minSupport, opt, popt)
+}
+
+// mustMine strips the impossible error of an in-memory mining run: memory
+// scans cannot fail, so any error here is a programmer error.
+func mustMine(res *Result, err error) *Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // SaveDataset writes a dataset in the basket text format.
@@ -139,7 +161,7 @@ func Mine(d *Dataset, minSupport float64) *Result {
 
 // MineWithOptions is Mine with explicit Pincer-Search options.
 func MineWithOptions(d *Dataset, minSupport float64, opt PincerOptions) *Result {
-	return core.Mine(dataset.NewScanner(d), minSupport, opt)
+	return mustMine(core.Mine(dataset.NewScanner(d), minSupport, opt))
 }
 
 // MineApriori discovers the complete frequent set (and its MFS) with the
@@ -150,7 +172,7 @@ func MineApriori(d *Dataset, minSupport float64) *Result {
 
 // MineAprioriWithOptions is MineApriori with explicit options.
 func MineAprioriWithOptions(d *Dataset, minSupport float64, opt AprioriOptions) *Result {
-	return apriori.Mine(dataset.NewScanner(d), minSupport, opt)
+	return mustMine(apriori.Mine(dataset.NewScanner(d), minSupport, opt))
 }
 
 // ParallelOptions configures count-distribution parallel mining: worker
@@ -167,12 +189,12 @@ func DefaultParallelOptions() ParallelOptions { return parallel.DefaultOptions()
 // the pass barrier. The result — MFS, supports, statistics — is identical
 // to Mine; only wall-clock time changes.
 func MineParallel(d *Dataset, minSupport float64, opt ParallelOptions) *Result {
-	return parallel.MinePincer(d, minSupport, opt)
+	return mustMine(parallel.MinePincer(d, minSupport, opt))
 }
 
 // MineAprioriParallel is the count-distribution parallel Apriori baseline.
 func MineAprioriParallel(d *Dataset, minSupport float64, opt ParallelOptions) *Result {
-	return parallel.MineApriori(d, minSupport, opt)
+	return mustMine(parallel.MineApriori(d, minSupport, opt))
 }
 
 // DefaultPincerOptions returns the adaptive configuration the paper
