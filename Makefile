@@ -1,12 +1,14 @@
 # CI entry points. `make ci` is what the pipeline runs; the parallel, core,
 # and obsv packages additionally run under the race detector because they
-# are the packages with concurrency (counting workers, metrics scraping).
+# are the packages with concurrency (counting workers, metrics scraping),
+# and the fault-injection matrix re-runs race-clean because it interleaves
+# kills and cancellations with the parallel counting barriers.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-parallel profile
+.PHONY: ci vet build test race faults bench bench-parallel profile
 
-ci: vet build test race
+ci: vet build test race faults
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +21,11 @@ test:
 
 race:
 	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obsv/...
+
+# Kill/cancel every miner at every pass boundary and mid-scan point and
+# assert that resuming from the checkpoint matches an uninterrupted run.
+faults:
+	$(GO) test -race ./internal/faultinject/... ./internal/checkpoint/...
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -12,6 +12,8 @@
 //	benchrun -budget 120s           # skip cells after an algorithm exceeds 2 min
 //	benchrun -csv results.csv       # machine-readable output too
 //	benchrun -workers 1,2,4         # parallel Pincer workers sweep (with -json out.json)
+//	benchrun -timeout 10m           # stop cleanly after 10 minutes (Ctrl-C does the same)
+//	benchrun -checkpoint run.ckpt -resume   # continue pincer cells from an interrupted run
 //
 // Cells run from the highest support downward; once an algorithm blows the
 // -budget on a cell, its harder cells are skipped and marked (the paper
@@ -19,15 +21,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
 	"pincer/internal/bench"
+	"pincer/internal/checkpoint"
 	"pincer/internal/counting"
 	"pincer/internal/obsv"
 )
@@ -73,12 +78,32 @@ func run(args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	traceJSON := fs.String("trace-json", "", "parallel sweep: trace per-pass events — written as JSON lines to this file (\"-\" for stderr) and folded into the -json report")
+	timeout := fs.Duration("timeout", 0, "overall wall-clock limit: the harness is cancelled and the remaining cells are marked skipped (0 = none)")
+	maxCandidates := fs.Int("max-candidates", 0, "per-pass candidate budget for both algorithms; a cell whose pass exceeds it is marked skipped (0 = unlimited)")
+	ckptPath := fs.String("checkpoint", "", "pincer cells persist a resumable checkpoint to this file at every pass boundary")
+	resume := fs.Bool("resume", false, "pincer cells continue from a matching -checkpoint file instead of starting fresh")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *baselines && (*timeout > 0 || *maxCandidates > 0 || *ckptPath != "") {
+		return fmt.Errorf("-timeout, -max-candidates, and -checkpoint are not supported with -baselines")
 	}
 	engine, err := counting.ParseEngine(*engineName)
 	if err != nil {
 		return err
+	}
+
+	// Ctrl-C (or -timeout) cancels the harness: in-flight cells stop at the
+	// next cancellation point and the tables report what finished.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile)
@@ -129,7 +154,13 @@ func run(args []string) error {
 		opt := bench.DefaultOptions()
 		opt.Engine = engine
 		opt.Pincer.Pure = *pure
+		opt.Pincer.MaxCandidatesPerPass = *maxCandidates
 		opt.Tracer = tracer
+		opt.Context = ctx
+		opt.Resume = *resume
+		if *ckptPath != "" {
+			opt.Pincer.Checkpointer = checkpoint.NewFileCheckpointer(*ckptPath)
+		}
 		if !*quiet {
 			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 		}
@@ -147,8 +178,12 @@ func run(args []string) error {
 				return err
 			}
 		}
+		if rep.Err != "" {
+			fmt.Fprintf(os.Stderr, "benchrun: sweep stopped early: %s\n", rep.Err)
+			return nil
+		}
 		for _, m := range rep.Runs {
-			if !m.Agree {
+			if !m.Agree && m.Err == "" {
 				return fmt.Errorf("correctness check failed: workers=%d disagrees with the sequential run", m.Workers)
 			}
 		}
@@ -191,6 +226,13 @@ func run(args []string) error {
 	opt.Engine = engine
 	opt.Budget = *budget
 	opt.Pincer.Pure = *pure
+	opt.Pincer.MaxCandidatesPerPass = *maxCandidates
+	opt.Apriori.MaxCandidatesPerPass = *maxCandidates
+	opt.Context = ctx
+	opt.Resume = *resume
+	if *ckptPath != "" {
+		opt.Pincer.Checkpointer = checkpoint.NewFileCheckpointer(*ckptPath)
+	}
 	if !*quiet {
 		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -203,6 +245,10 @@ func run(args []string) error {
 			return err
 		}
 		allCells = append(allCells, cells...)
+	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: stopped early (%v); unfinished cells are marked skipped\n", ctx.Err())
 	}
 
 	disagreements := 0

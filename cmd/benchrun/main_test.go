@@ -72,3 +72,54 @@ func TestBenchrunParallelSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestBenchrunFlagValidation(t *testing.T) {
+	if err := run([]string{"-resume"}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	if err := run([]string{"-baselines", "-timeout", "1s"}); err == nil {
+		t.Error("-baselines with -timeout accepted")
+	}
+	if err := run([]string{"-baselines", "-checkpoint", "x"}); err == nil {
+		t.Error("-baselines with -checkpoint accepted")
+	}
+}
+
+// TestBenchrunTimeoutSkipsCells runs the figure harness with an expired
+// deadline: every cell must be marked skipped, and the command must still
+// exit cleanly with a complete CSV.
+func TestBenchrunTimeoutSkipsCells(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	err := run([]string{"-spec", "F4-T20I6", "-d", "400", "-q", "-budget", "0",
+		"-timeout", "1ns", "-csv", csv})
+	if err != nil {
+		t.Fatalf("timed-out run should exit cleanly, got %v", err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("csv too short:\n%s", string(data))
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasSuffix(l, "true") { // skipped column
+			t.Errorf("cell not marked skipped: %q", l)
+		}
+	}
+}
+
+func TestBenchrunCheckpointSweepCompletes(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	err := run([]string{"-workers", "1", "-spec", "F4-T20I6", "-d", "400",
+		"-parallel-support", "0.15", "-repeats", "1", "-q",
+		"-checkpoint", ckpt, "-resume"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completed runs clear their checkpoint.
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not cleared after a completed sweep: %v", err)
+	}
+}

@@ -14,17 +14,28 @@
 // count-distribution parallel miners (pincer and apriori only): counting is
 // distributed over that many goroutines (0 = GOMAXPROCS) with results
 // identical to the sequential run.
+//
+// Long runs are interruptible: Ctrl-C (or -timeout / -max-candidates)
+// stops the mine at the next cancellation point and the command prints
+// the partial anytime result — every maximal set found so far, a lower
+// bound on the true MFS — and exits with status 0. With -checkpoint the
+// miner also persists its state at every pass boundary, and -resume
+// continues an interrupted run from that file instead of starting over.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"pincer/internal/ais"
 	"pincer/internal/apriori"
+	"pincer/internal/checkpoint"
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
@@ -58,6 +69,10 @@ func run(args []string, out *os.File) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	traceJSON := fs.String("trace-json", "", "write per-pass trace events as JSON lines to this file (\"-\" for stderr)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long and print the partial anytime result (0 = no limit; pincer, apriori, and topdown)")
+	maxCandidates := fs.Int("max-candidates", 0, "abort when a pass would count more candidates than this and print the partial result (0 = unlimited; pincer and apriori)")
+	ckptPath := fs.String("checkpoint", "", "persist a resumable checkpoint to this file at every pass boundary (pincer and sequential apriori)")
+	resume := fs.Bool("resume", false, "continue from the -checkpoint file instead of starting fresh")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,9 +83,41 @@ func run(args []string, out *os.File) error {
 	if *support <= 0 || *support > 1 {
 		return fmt.Errorf("-support must be in (0, 1], got %v", *support)
 	}
+	cancellable := *algorithm == "pincer" || *algorithm == "apriori" || *algorithm == "topdown"
+	if *timeout > 0 && !cancellable {
+		return fmt.Errorf("-timeout requires -algorithm pincer, apriori, or topdown, got %q", *algorithm)
+	}
+	if *maxCandidates > 0 {
+		if *algorithm != "pincer" && *algorithm != "apriori" {
+			return fmt.Errorf("-max-candidates requires -algorithm pincer or apriori, got %q", *algorithm)
+		}
+		if *algorithm == "apriori" && *workers >= 0 {
+			return fmt.Errorf("-max-candidates is not supported by the parallel apriori miner; drop -workers")
+		}
+	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *ckptPath != "" {
+		if *algorithm != "pincer" && *algorithm != "apriori" {
+			return fmt.Errorf("-checkpoint requires -algorithm pincer or apriori, got %q", *algorithm)
+		}
+		if *algorithm == "apriori" && *workers >= 0 {
+			return fmt.Errorf("-checkpoint is not supported by the parallel apriori miner; drop -workers")
+		}
+	}
 	engine, err := counting.ParseEngine(*engineName)
 	if err != nil {
 		return err
+	}
+
+	// Ctrl-C cancels the mine at the next cancellation point; the partial
+	// anytime result found so far is still printed below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var ckpt checkpoint.Checkpointer
+	if *ckptPath != "" {
+		ckpt = checkpoint.NewFileCheckpointer(*ckptPath)
 	}
 
 	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile)
@@ -129,6 +176,21 @@ func run(args []string, out *os.File) error {
 	popt.Engine = engine
 	popt.KeepFrequent = *frequent
 	popt.Tracer = tracer
+	popt.Context = ctx
+	popt.Deadline = *timeout
+
+	// A budget or cancellation surfaces as a *mfi.PartialResultError whose
+	// Result is the anytime answer; treat it as a successful (partial) run.
+	var partial *mfi.PartialResultError
+	handle := func(err error) error {
+		var pe *mfi.PartialResultError
+		if errors.As(err, &pe) && pe.Result != nil {
+			partial = pe
+			return nil
+		}
+		return err
+	}
+	minCount := dataset.MinCountFor(d.Len(), *support)
 
 	var res *mfi.Result
 	switch *algorithm {
@@ -138,12 +200,21 @@ func run(args []string, out *os.File) error {
 		opt.Pure = *pure
 		opt.KeepFrequent = *frequent
 		opt.Tracer = tracer
-		if *workers >= 0 {
+		opt.Context = ctx
+		opt.Deadline = *timeout
+		opt.MaxCandidatesPerPass = *maxCandidates
+		opt.Checkpointer = ckpt
+		switch {
+		case *workers >= 0 && *resume:
+			res, err = parallel.MinePincerResume(d, minCount, opt, popt)
+		case *workers >= 0:
 			res, err = parallel.MinePincerOpts(d, *support, opt, popt)
-		} else {
+		case *resume:
+			res, err = core.MineResume(sc, minCount, opt)
+		default:
 			res, err = core.Mine(sc, *support, opt)
 		}
-		if err != nil {
+		if err = handle(err); err != nil {
 			return err
 		}
 	case "apriori":
@@ -154,9 +225,17 @@ func run(args []string, out *os.File) error {
 			opt.Engine = engine
 			opt.KeepFrequent = *frequent
 			opt.Tracer = tracer
-			res, err = apriori.Mine(sc, *support, opt)
+			opt.Context = ctx
+			opt.Deadline = *timeout
+			opt.MaxCandidatesPerPass = *maxCandidates
+			opt.Checkpointer = ckpt
+			if *resume {
+				res, err = apriori.MineResume(sc, minCount, opt)
+			} else {
+				res, err = apriori.Mine(sc, *support, opt)
+			}
 		}
-		if err != nil {
+		if err = handle(err); err != nil {
 			return err
 		}
 	case "ais":
@@ -180,16 +259,30 @@ func run(args []string, out *os.File) error {
 	case "topdown":
 		topt := topdown.DefaultOptions()
 		topt.Tracer = tracer
+		topt.Context = ctx
+		topt.Deadline = *timeout
 		tres, err := topdown.Mine(sc, *support, topt)
-		if err != nil {
+		if err = handle(err); err != nil {
 			return err
 		}
-		if tres.Aborted {
-			return fmt.Errorf("topdown: frontier exploded; this algorithm only suits very concentrated data")
+		if tres != nil {
+			if tres.Aborted {
+				return fmt.Errorf("topdown: frontier exploded; this algorithm only suits very concentrated data")
+			}
+			res = &tres.Result
 		}
-		res = &tres.Result
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	}
+	if partial != nil {
+		res = partial.Result
+		fmt.Fprintf(os.Stderr, "pincer: run stopped early (%s) at pass %d; printing the partial anytime result\n",
+			partial.Reason, partial.Pass)
+		if ckpt != nil {
+			if st, _ := ckpt.Load(); st != nil {
+				fmt.Fprintf(os.Stderr, "pincer: checkpoint saved; rerun with -resume -checkpoint %s to continue\n", *ckptPath)
+			}
+		}
 	}
 	if comp != nil {
 		res.MFS = comp.OriginalAll(res.MFS)
@@ -223,11 +316,17 @@ func run(args []string, out *os.File) error {
 			Algorithm    string        `json:"algorithm"`
 			Passes       int           `json:"passes"`
 			Candidates   int64         `json:"candidates"`
+			Partial      string        `json:"partial_reason,omitempty"`
+			PartialPass  int           `json:"partial_pass,omitempty"`
 			MFS          []jsonItemset `json:"maximal_frequent_itemsets"`
 		}{
 			Database: *input, Transactions: d.Len(),
 			MinSupport: *support, MinCount: res.MinCount,
 			Algorithm: *algorithm, Passes: res.Stats.Passes, Candidates: res.Stats.Candidates,
+		}
+		if partial != nil {
+			doc.Partial = partial.Reason
+			doc.PartialPass = partial.Pass
 		}
 		for i, m := range res.MFS {
 			items := make([]int32, len(m))
@@ -241,6 +340,10 @@ func run(args []string, out *os.File) error {
 		return enc.Encode(doc)
 	}
 
+	if partial != nil {
+		fmt.Fprintf(out, "# PARTIAL result (%s, stopped at pass %d): the sets below are frequent but may not be maximal\n",
+			partial.Reason, partial.Pass)
+	}
 	fmt.Fprintf(out, "# %d transactions, min support %g (count %d), %d maximal frequent itemsets\n",
 		d.Len(), *support, res.MinCount, len(res.MFS))
 	for i, m := range res.MFS {

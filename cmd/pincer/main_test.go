@@ -147,6 +147,132 @@ func TestRunCompactsSparseUniverse(t *testing.T) {
 	}
 }
 
+// writeDenseDB returns a database whose every transaction is {1..6}: all 15
+// pairs are frequent, so apriori's pass 3 joins 20 triple candidates — enough
+// to trip a tiny -max-candidates budget deterministically.
+func writeDenseDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dense.basket")
+	content := strings.Repeat("1 2 3 4 5 6\n", 5)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	db := writeTestDB(t)
+	cases := [][]string{
+		{"-input", db, "-resume"},                                                    // -resume without -checkpoint
+		{"-input", db, "-checkpoint", "x", "-algorithm", "eclat"},                    // checkpoint needs pincer/apriori
+		{"-input", db, "-checkpoint", "x", "-algorithm", "apriori", "-workers", "2"}, // parallel apriori cannot checkpoint
+		{"-input", db, "-timeout", "1s", "-algorithm", "eclat"},                      // eclat is not cancellable
+		{"-input", db, "-max-candidates", "5", "-algorithm", "topdown"},              // topdown has no candidate budget
+		{"-input", db, "-max-candidates", "5", "-algorithm", "apriori", "-workers", "2"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunTimeoutPrintsPartial(t *testing.T) {
+	db := writeTestDB(t)
+	// A 1ns deadline is already expired at the first cancellation point: the
+	// run must still succeed and print an (empty) partial anytime result.
+	out, err := capture(t, []string{"-input", db, "-support", "0.4", "-timeout", "1ns"})
+	if err != nil {
+		t.Fatalf("timed-out run should exit cleanly, got %v", err)
+	}
+	if !strings.Contains(out, "# PARTIAL result (deadline") {
+		t.Errorf("missing partial header: %q", out)
+	}
+}
+
+func TestRunTimeoutJSONPartial(t *testing.T) {
+	db := writeTestDB(t)
+	out, err := capture(t, []string{"-input", db, "-support", "0.4", "-timeout", "1ns", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"partial_reason": "deadline"`) {
+		t.Errorf("json missing partial reason: %q", out)
+	}
+}
+
+func TestRunMaxCandidatesPartial(t *testing.T) {
+	db := writeDenseDB(t)
+	out, err := capture(t, []string{"-input", db, "-support", "0.6", "-algorithm", "apriori", "-max-candidates", "1"})
+	if err != nil {
+		t.Fatalf("budgeted run should exit cleanly, got %v", err)
+	}
+	if !strings.Contains(out, "# PARTIAL result (max-candidates") {
+		t.Errorf("missing partial header: %q", out)
+	}
+	// Passes 1–2 completed, so the pairs are already known frequent.
+	if !strings.Contains(out, "{1,2} support=5") {
+		t.Errorf("partial result missing the frequent pairs: %q", out)
+	}
+}
+
+func TestRunCheckpointResume(t *testing.T) {
+	db := writeDenseDB(t)
+	ckpt := filepath.Join(t.TempDir(), "mine.ckpt")
+	want, err := capture(t, []string{"-input", db, "-support", "0.6", "-algorithm", "apriori"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Abort at pass 3 with a checkpoint on disk...
+	out, err := capture(t, []string{"-input", db, "-support", "0.6", "-algorithm", "apriori",
+		"-checkpoint", ckpt, "-max-candidates", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "PARTIAL") {
+		t.Fatalf("first run did not abort: %q", out)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	// ...then resume without the budget and match the uninterrupted output.
+	out, err = capture(t, []string{"-input", db, "-support", "0.6", "-algorithm", "apriori",
+		"-checkpoint", ckpt, "-resume"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != want {
+		t.Errorf("resumed output differs:\ngot  %q\nwant %q", out, want)
+	}
+	// A completed run clears its checkpoint.
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not cleared after completion: %v", err)
+	}
+}
+
+func TestRunResumeWithEmptyCheckpointRunsFresh(t *testing.T) {
+	db := writeTestDB(t)
+	want, err := capture(t, []string{"-input", db, "-support", "0.4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{
+		{"-checkpoint", filepath.Join(t.TempDir(), "a.ckpt"), "-resume"},
+		{"-checkpoint", filepath.Join(t.TempDir(), "b.ckpt"), "-resume", "-workers", "2"},
+	} {
+		args := append([]string{"-input", db, "-support", "0.4"}, extra...)
+		out, err := capture(t, args)
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if out != want {
+			t.Errorf("%v: output differs from plain run:\ngot  %q\nwant %q", args, out, want)
+		}
+	}
+}
+
 func TestRunFrequentFlag(t *testing.T) {
 	db := writeTestDB(t)
 	out, err := capture(t, []string{"-input", db, "-support", "0.4", "-frequent"})

@@ -10,8 +10,12 @@
 package apriori
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"time"
 
+	"pincer/internal/checkpoint"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
@@ -79,7 +83,8 @@ type Options struct {
 	// whether they are retained.
 	KeepFrequent bool
 	// MaxPasses bounds the number of passes (0 = unlimited); used to build
-	// partial runs for tests.
+	// partial runs for tests. Unlike the budgets below this is a normal
+	// truncation, not an error.
 	MaxPasses int
 	// CombineLevels enables the multi-level pass optimization the paper
 	// discusses (§3.5, §5, after [AS94] and [MTV94]): once the candidate
@@ -95,6 +100,24 @@ type Options struct {
 	// Tracer receives per-pass trace events; nil disables tracing (no
 	// timestamps are taken).
 	Tracer obsv.Tracer
+
+	// Context cancels the run at pass boundaries and inside scan loops
+	// (every CancelCheckEvery transactions); cancellation surfaces as a
+	// *mfi.PartialResultError whose Result carries the frequent sets found
+	// so far (Apriori maintains no MFCS, so the error's upper bound is nil).
+	Context context.Context
+	// Deadline, if positive, bounds the run's wall clock via a timeout
+	// context derived from Context.
+	Deadline time.Duration
+	// MaxCandidatesPerPass bounds the candidate set of any pass ≥ 3
+	// (0 = unlimited); exceeding it aborts with reason "max-candidates".
+	MaxCandidatesPerPass int
+	// CancelCheckEvery is the number of transactions between in-scan
+	// context checks (default mfi.DefaultCancelCheckEvery).
+	CancelCheckEvery int
+	// Checkpointer, if set, persists the run's state at every pass barrier
+	// (cleared on completion); MineResume restarts from it.
+	Checkpointer checkpoint.Checkpointer
 }
 
 // DefaultOptions returns the standard configuration.
@@ -114,134 +137,308 @@ func Mine(sc dataset.Scanner, minSupport float64, opt Options) (*mfi.Result, err
 // MineCount is Mine with an absolute support-count threshold.
 func MineCount(sc dataset.Scanner, minCount int64, opt Options) (res *mfi.Result, err error) {
 	defer mfi.RecoverMiningError(&err)
-	start := time.Now()
-	r := &mfi.Result{
-		MinCount:        minCount,
-		NumTransactions: sc.Len(),
-		Frequent:        itemset.NewSet(0),
-	}
-	r.Stats.Algorithm = "apriori"
+	m := newAprioriMiner(sc, minCount, opt)
+	return m.mine()
+}
 
-	// Tracing seam: when a Tracer is set, every database read is timed and
-	// each pass emits an event mirroring its PassDetails entry. With a nil
-	// Tracer the scan helper is a plain passthrough — no timestamps.
-	tr := opt.Tracer
-	var scanDur time.Duration
-	scan := func(f func(itemset.Itemset, *itemset.Bitset)) {
-		if tr == nil {
-			sc.Scan(f)
-			return
-		}
-		t0 := time.Now()
-		sc.Scan(f)
-		scanDur = time.Since(t0)
+// MineResume continues an Apriori run interrupted after a checkpoint; with
+// no checkpoint on record it mines from scratch. The same resume invariant
+// as core.MineResume holds: the result and per-pass statistics equal an
+// uninterrupted run's.
+func MineResume(sc dataset.Scanner, minCount int64, opt Options) (res *mfi.Result, err error) {
+	if opt.Checkpointer == nil {
+		return nil, errors.New("apriori: MineResume requires Options.Checkpointer")
 	}
-	emit := func() {
-		if tr == nil {
-			return
-		}
-		p := r.Stats.PassDetails[len(r.Stats.PassDetails)-1]
-		d := scanDur
-		scanDur = 0
-		tr.PassDone(obsv.PassEvent{
-			Algorithm:    r.Stats.Algorithm,
-			Pass:         p.Pass,
-			Phase:        obsv.PhaseBottomUp,
-			Candidates:   p.Candidates,
-			Frequent:     p.Frequent,
-			Infrequent:   p.Candidates - p.Frequent,
-			MFSFound:     p.MFSFound,
-			ScanDuration: d,
-			Workers:      1,
-		})
+	st, err := opt.Checkpointer.Load()
+	if err != nil {
+		return nil, err
 	}
-	if tr != nil {
-		tr.RunStart(obsv.RunInfo{
-			Algorithm:       r.Stats.Algorithm,
-			Workers:         1,
+	if st == nil {
+		return MineCount(sc, minCount, opt)
+	}
+	if err := validateState(st, sc, minCount); err != nil {
+		return nil, err
+	}
+	defer mfi.RecoverMiningError(&err)
+	m := newAprioriMiner(sc, minCount, opt)
+	if rerr := m.restore(st); rerr != nil {
+		return nil, rerr
+	}
+	return m.mine()
+}
+
+func validateState(st *checkpoint.State, sc dataset.Scanner, minCount int64) error {
+	switch {
+	case st.Algorithm != "apriori":
+		return &checkpoint.MismatchError{Field: "algorithm", Want: "apriori", Got: st.Algorithm}
+	case st.MinCount != minCount:
+		return &checkpoint.MismatchError{Field: "min count",
+			Want: fmt.Sprint(minCount), Got: fmt.Sprint(st.MinCount)}
+	case st.NumTransactions != int64(sc.Len()):
+		return &checkpoint.MismatchError{Field: "transactions",
+			Want: fmt.Sprint(sc.Len()), Got: fmt.Sprint(st.NumTransactions)}
+	case st.NumItems != sc.NumItems():
+		return &checkpoint.MismatchError{Field: "item universe",
+			Want: fmt.Sprint(sc.NumItems()), Got: fmt.Sprint(st.NumItems)}
+	}
+	return nil
+}
+
+// aprioriStage positions the staged run loop, mirroring core's runStage.
+type aprioriStage uint8
+
+const (
+	stageFresh     aprioriStage = iota // nothing counted yet
+	stagePass2                         // pass 1 done, pair pass next
+	stageLevelwise                     // level-wise loop at miner.k
+)
+
+func (s aprioriStage) stageName() string {
+	switch s {
+	case stagePass2:
+		return "pass2"
+	case stageLevelwise:
+		return "levelwise"
+	}
+	return "fresh"
+}
+
+// aprioriMiner holds the pass-barrier state of a run, on the struct rather
+// than in locals so checkpoints can persist it and restore can re-enter.
+type aprioriMiner struct {
+	sc       dataset.Scanner
+	opt      Options
+	minCount int64
+	res      *mfi.Result
+
+	allFrequent []itemset.Itemset
+	counts      map[string]int64
+	itemCounts  []int64 // pass-1 array; l1 is its frequent entries
+
+	stage aprioriStage
+	lk    []itemset.Itemset
+	k     int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	cp     checkpoint.Checkpointer
+	start  time.Time
+
+	tr      obsv.Tracer
+	scanDur time.Duration
+}
+
+func newAprioriMiner(sc dataset.Scanner, minCount int64, opt Options) *aprioriMiner {
+	ctx := opt.Context
+	var cancel context.CancelFunc
+	if opt.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+	}
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // uncancellable: skip every check
+	}
+	m := &aprioriMiner{
+		sc:       sc,
+		opt:      opt,
+		minCount: minCount,
+		counts:   make(map[string]int64),
+		stage:    stageFresh,
+		k:        3,
+		ctx:      ctx,
+		cancel:   cancel,
+		cp:       opt.Checkpointer,
+		tr:       opt.Tracer,
+		res: &mfi.Result{
 			MinCount:        minCount,
 			NumTransactions: sc.Len(),
+			Frequent:        itemset.NewSet(0),
+		},
+	}
+	m.res.Stats.Algorithm = "apriori"
+	return m
+}
+
+func (m *aprioriMiner) mine() (res *mfi.Result, err error) {
+	if m.cancel != nil {
+		defer m.cancel()
+	}
+	defer m.recoverAbort(&err)
+	if m.tr != nil {
+		m.tr.RunStart(obsv.RunInfo{
+			Algorithm:       m.res.Stats.Algorithm,
+			Workers:         1,
+			MinCount:        m.minCount,
+			NumTransactions: m.sc.Len(),
 		})
 	}
-
-	var allFrequent []itemset.Itemset
-	counts := make(map[string]int64)
-	noteFrequent := func(x itemset.Itemset, count int64) {
-		allFrequent = append(allFrequent, x)
-		counts[x.Key()] = count
-		if opt.KeepFrequent {
-			r.Frequent.AddWithCount(x, count)
+	m.start = time.Now()
+	m.run()
+	r := m.assemble()
+	if m.tr != nil {
+		m.tr.RunDone(obsv.RunSummary{
+			Algorithm:  r.Stats.Algorithm,
+			Passes:     r.Stats.Passes,
+			Candidates: r.Stats.Candidates,
+			MFSSize:    len(r.MFS),
+			Duration:   r.Stats.Duration,
+		})
+	}
+	if m.cp != nil {
+		if cerr := m.cp.Clear(); cerr != nil {
+			return nil, cerr
 		}
 	}
-	finish := func() *mfi.Result {
-		r.MFS = itemset.MaximalOnly(allFrequent)
-		r.MFSSupports = make([]int64, len(r.MFS))
-		for i, m := range r.MFS {
-			r.MFSSupports[i] = counts[m.Key()]
-		}
-		if !opt.KeepFrequent {
-			r.Frequent = nil
-		}
-		r.Stats.Duration = time.Since(start)
-		if tr != nil {
-			tr.RunDone(obsv.RunSummary{
-				Algorithm:  r.Stats.Algorithm,
-				Passes:     r.Stats.Passes,
-				Candidates: r.Stats.Candidates,
-				MFSSize:    len(r.MFS),
-				Duration:   r.Stats.Duration,
-			})
-		}
-		return r
-	}
+	return r, nil
+}
 
-	// Pass 1: flat per-item array.
-	array := counting.NewItemArray(sc.NumItems())
-	scan(func(tx itemset.Itemset, _ *itemset.Bitset) { array.Add(tx) })
+// scan performs one timed, guarded database read. The tracing seam: with a
+// Tracer the read is timed for the pass event; with a cancellable context
+// each transaction ticks a ScanGuard. Neither costs anything when unused.
+func (m *aprioriMiner) scan(f func(itemset.Itemset, *itemset.Bitset)) {
+	fn := f
+	if guard := mfi.NewScanGuard(m.ctx, m.opt.CancelCheckEvery); guard != nil {
+		fn = func(tx itemset.Itemset, bits *itemset.Bitset) {
+			guard.Tick()
+			f(tx, bits)
+		}
+	}
+	if m.tr == nil {
+		m.sc.Scan(fn)
+		return
+	}
+	t0 := time.Now()
+	m.sc.Scan(fn)
+	m.scanDur = time.Since(t0)
+}
+
+// emit reports the pass just recorded by AddPass, mirroring its
+// PassDetails entry exactly.
+func (m *aprioriMiner) emit() {
+	if m.tr == nil {
+		return
+	}
+	p := m.res.Stats.PassDetails[len(m.res.Stats.PassDetails)-1]
+	d := m.scanDur
+	m.scanDur = 0
+	m.tr.PassDone(obsv.PassEvent{
+		Algorithm:    m.res.Stats.Algorithm,
+		Pass:         p.Pass,
+		Phase:        obsv.PhaseBottomUp,
+		Candidates:   p.Candidates,
+		Frequent:     p.Frequent,
+		Infrequent:   p.Candidates - p.Frequent,
+		MFSFound:     p.MFSFound,
+		ScanDuration: d,
+		Workers:      1,
+	})
+}
+
+func (m *aprioriMiner) noteFrequent(x itemset.Itemset, count int64) {
+	m.allFrequent = append(m.allFrequent, x)
+	m.counts[x.Key()] = count
+	if m.opt.KeepFrequent {
+		m.res.Frequent.AddWithCount(x, count)
+	}
+}
+
+// beforePass is the pass-boundary gate: context cancellation plus the
+// per-pass candidate budget.
+func (m *aprioriMiner) beforePass(candidates int) {
+	mfi.CheckContext(m.ctx)
+	if b := m.opt.MaxCandidatesPerPass; b > 0 && candidates > b {
+		panic(&mfi.Abort{Reason: mfi.ReasonMaxCandidates,
+			Cause: fmt.Errorf("pass would count %d candidates, budget is %d", candidates, b)})
+	}
+}
+
+// l1 returns the frequent items of the pass-1 array.
+func (m *aprioriMiner) l1() itemset.Itemset {
 	var l1 itemset.Itemset
-	for i, c := range array.Counts() {
-		if c >= minCount {
+	for i, c := range m.itemCounts {
+		if c >= m.minCount {
 			l1 = append(l1, itemset.Item(i))
-			noteFrequent(itemset.Itemset{itemset.Item(i)}, c)
 		}
 	}
-	r.Stats.AddPass(mfi.PassStats{Candidates: sc.NumItems(), Frequent: len(l1)})
-	emit()
-	if len(l1) < 2 || opt.MaxPasses == 1 {
-		return finish(), nil
-	}
+	return l1
+}
 
-	// Pass 2: triangular matrix over frequent items, no candidate generation.
-	tri := counting.NewTriangle(sc.NumItems(), l1)
-	scan(func(tx itemset.Itemset, _ *itemset.Bitset) { tri.Add(tx) })
+// run drives the stages in order, entering at m.stage.
+func (m *aprioriMiner) run() {
+	if m.stage == stageFresh {
+		if m.pass1() {
+			return
+		}
+		m.stage = stagePass2
+		m.checkpointNow()
+	}
+	if m.stage == stagePass2 {
+		if m.pass2() {
+			return
+		}
+		m.stage = stageLevelwise
+		m.k = 3
+		m.checkpointNow()
+	}
+	m.levelwise()
+}
+
+// pass1 counts every item in a flat array; done means the run is complete.
+func (m *aprioriMiner) pass1() (done bool) {
+	m.beforePass(0)
+	array := counting.NewItemArray(m.sc.NumItems())
+	m.scan(func(tx itemset.Itemset, _ *itemset.Bitset) { array.Add(tx) })
+	m.itemCounts = array.Counts()
+	var l1 itemset.Itemset
+	for i, c := range m.itemCounts {
+		if c >= m.minCount {
+			l1 = append(l1, itemset.Item(i))
+			m.noteFrequent(itemset.Itemset{itemset.Item(i)}, c)
+		}
+	}
+	m.res.Stats.AddPass(mfi.PassStats{Candidates: m.sc.NumItems(), Frequent: len(l1)})
+	m.emit()
+	return len(l1) < 2 || m.opt.MaxPasses == 1
+}
+
+// pass2 counts all pairs of frequent items in a triangular matrix with no
+// candidate generation; done means the run is complete.
+func (m *aprioriMiner) pass2() (done bool) {
+	m.beforePass(0)
+	tri := counting.NewTriangle(m.sc.NumItems(), m.l1())
+	m.scan(func(tx itemset.Itemset, _ *itemset.Bitset) { tri.Add(tx) })
 	var l2 []itemset.Itemset
 	tri.Each(func(x, y itemset.Item, count int64) {
-		if count >= minCount {
+		if count >= m.minCount {
 			pair := itemset.Itemset{x, y}
 			l2 = append(l2, pair)
-			noteFrequent(pair, count)
+			m.noteFrequent(pair, count)
 		}
 	})
-	r.Stats.AddPass(mfi.PassStats{Candidates: tri.NumPairs(), Frequent: len(l2)})
-	emit()
-	if len(l2) == 0 || opt.MaxPasses == 2 {
-		return finish(), nil
-	}
+	m.res.Stats.AddPass(mfi.PassStats{Candidates: tri.NumPairs(), Frequent: len(l2)})
+	m.emit()
+	m.lk = l2
+	return len(l2) == 0 || m.opt.MaxPasses == 2
+}
 
-	// Passes ≥ 3: Apriori-gen + the configured counting engine.
-	combineThreshold := opt.CombineThreshold
-	if opt.CombineLevels && combineThreshold <= 0 {
+// levelwise runs passes ≥ 3: Apriori-gen + the configured counting engine,
+// checkpointing after every pass barrier.
+func (m *aprioriMiner) levelwise() {
+	combineThreshold := m.opt.CombineThreshold
+	if m.opt.CombineLevels && combineThreshold <= 0 {
 		combineThreshold = 10_000
 	}
-	lk := l2
-	for k := 3; ; k++ {
-		if opt.MaxPasses > 0 && k > opt.MaxPasses {
-			break
+	for {
+		k := m.k
+		if m.opt.MaxPasses > 0 && k > m.opt.MaxPasses {
+			return
 		}
-		lkSet := itemset.SetOf(lk...)
-		ck := Gen(lk, lkSet)
+		lkSet := itemset.SetOf(m.lk...)
+		ck := Gen(m.lk, lkSet)
 		if len(ck) == 0 {
-			break
+			return
 		}
 		// Optionally stack the next level's speculative candidates into the
 		// same pass: C_{k+1} generated from C_k as if all of C_k were
@@ -249,50 +446,152 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) (res *mfi.Result
 		// threshold is genuinely frequent (support is anti-monotone), so no
 		// separate validation is needed.
 		var speculative []itemset.Itemset
-		if opt.CombineLevels && len(ck) <= combineThreshold {
+		if m.opt.CombineLevels && len(ck) <= combineThreshold {
 			speculative = Gen(ck, itemset.SetOf(ck...))
 		}
 		all := ck
 		if len(speculative) > 0 {
 			all = append(append([]itemset.Itemset(nil), ck...), speculative...)
 		}
-		counter := counting.NewCounter(opt.Engine, all)
-		scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
+		m.beforePass(len(all))
+		counter := counting.NewCounter(m.opt.Engine, all)
+		m.scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
 		counts := counter.Counts()
 		var next []itemset.Itemset
 		for i, c := range ck {
-			if counts[i] >= minCount {
+			if counts[i] >= m.minCount {
 				next = append(next, c)
-				noteFrequent(c, counts[i])
+				m.noteFrequent(c, counts[i])
 			}
 		}
-		r.Stats.AddPass(mfi.PassStats{Candidates: len(all), Frequent: len(next)})
+		m.res.Stats.AddPass(mfi.PassStats{Candidates: len(all), Frequent: len(next)})
 		if len(speculative) > 0 {
 			var next2 []itemset.Itemset
 			for i, c := range speculative {
-				if counts[len(ck)+i] >= minCount {
+				if counts[len(ck)+i] >= m.minCount {
 					next2 = append(next2, c)
-					noteFrequent(c, counts[len(ck)+i])
+					m.noteFrequent(c, counts[len(ck)+i])
 				}
 			}
-			r.Stats.PassDetails[len(r.Stats.PassDetails)-1].Frequent += len(next2)
-			r.Stats.FrequentCount += int64(len(next2))
-			emit() // after the speculative fold, so the event matches PassDetails
+			m.res.Stats.PassDetails[len(m.res.Stats.PassDetails)-1].Frequent += len(next2)
+			m.res.Stats.FrequentCount += int64(len(next2))
+			m.emit() // after the speculative fold, so the event matches PassDetails
 			if len(next2) == 0 {
 				// The speculative level contains every true C_{k+1}
 				// candidate (Gen over a superset yields a superset), so an
 				// empty frequent result there ends the level-wise climb.
-				break
+				return
 			}
-			k++ // the combined pass consumed two levels
-			lk = next2
+			m.k = k + 2 // the combined pass consumed two levels
+			m.lk = next2
+			m.checkpointNow()
 			continue
 		}
-		emit()
+		m.emit()
 		if len(next) == 0 {
-			break
+			return
 		}
-		lk = next
+		m.lk = next
+		m.k = k + 1
+		m.checkpointNow()
 	}
-	return finish(), nil
+}
+
+// assemble builds the final (or partial) result from the frequent sets
+// discovered so far and stamps the duration.
+func (m *aprioriMiner) assemble() *mfi.Result {
+	r := m.res
+	r.MFS = itemset.MaximalOnly(m.allFrequent)
+	r.MFSSupports = make([]int64, len(r.MFS))
+	for i, x := range r.MFS {
+		r.MFSSupports[i] = m.counts[x.Key()]
+	}
+	if !m.opt.KeepFrequent {
+		r.Frequent = nil
+	}
+	r.Stats.Duration = time.Since(m.start)
+	return r
+}
+
+// recoverAbort converts the Abort sentinel into a *mfi.PartialResultError.
+// Apriori maintains no top-down frontier, so the error's MFCS bound is nil.
+func (m *aprioriMiner) recoverAbort(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	ab := mfi.AbortFrom(r)
+	if ab == nil {
+		panic(r)
+	}
+	res := m.assemble()
+	if m.tr != nil {
+		m.tr.RunDone(obsv.RunSummary{
+			Algorithm:  res.Stats.Algorithm,
+			Passes:     res.Stats.Passes,
+			Candidates: res.Stats.Candidates,
+			MFSSize:    len(res.MFS),
+			Duration:   res.Stats.Duration,
+			Aborted:    true, AbortReason: ab.Reason,
+		})
+	}
+	*errp = &mfi.PartialResultError{
+		Result: res, Pass: res.Stats.Passes, Reason: ab.Reason, Cause: ab.Cause,
+	}
+}
+
+// checkpointNow persists the pass-barrier state (no-op without a
+// Checkpointer); a failed write aborts the run.
+func (m *aprioriMiner) checkpointNow() {
+	if m.cp == nil {
+		return
+	}
+	start := time.Now()
+	st := &checkpoint.State{
+		Version:         checkpoint.Version,
+		Algorithm:       m.res.Stats.Algorithm,
+		MinCount:        m.minCount,
+		NumTransactions: int64(m.sc.Len()),
+		NumItems:        m.sc.NumItems(),
+		Stage:           m.stage.stageName(),
+		K:               m.k,
+		Lk:              m.lk,
+		AllFrequent:     m.allFrequent,
+		Cache:           m.counts,
+		ItemCounts:      m.itemCounts,
+		Stats:           m.res.Stats,
+	}
+	if err := m.cp.Save(st); err != nil {
+		panic(&mfi.Abort{Reason: mfi.ReasonCheckpoint, Cause: err})
+	}
+	obsv.EmitCheckpoint(m.tr, obsv.CheckpointEvent{
+		Algorithm: m.res.Stats.Algorithm, Pass: m.res.Stats.Passes,
+		Stage: m.stage.stageName(), Duration: time.Since(start),
+	})
+}
+
+// restore re-enters from a checkpoint's pass barrier.
+func (m *aprioriMiner) restore(st *checkpoint.State) error {
+	switch st.Stage {
+	case "pass2":
+		m.stage = stagePass2
+	case "levelwise":
+		m.stage = stageLevelwise
+	default:
+		return &checkpoint.CorruptError{Path: "(state)", Err: fmt.Errorf("unknown stage %q", st.Stage)}
+	}
+	m.k = st.K
+	m.lk = st.Lk
+	m.allFrequent = st.AllFrequent
+	if st.Cache != nil {
+		m.counts = st.Cache
+	}
+	m.itemCounts = st.ItemCounts
+	m.res.Stats = st.Stats
+	if m.opt.KeepFrequent {
+		for _, f := range m.allFrequent {
+			m.res.Frequent.AddWithCount(f, m.counts[f.Key()])
+		}
+	}
+	return nil
 }

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
+	"pincer/internal/mfi"
 	"pincer/internal/obsv"
 	"pincer/internal/quest"
 )
@@ -129,7 +131,11 @@ type Measure struct {
 	MFSSize     int
 	LongestMFS  int
 	AdaptiveOff bool
-	Skipped     bool // budget-skipped (Time is meaningless)
+	Skipped     bool // budget-skipped or aborted (Time is meaningless)
+	// Note explains a Skipped cell that did not come from the wall-clock
+	// budget: a cancelled context, an exceeded resource budget, or any
+	// other mining error.
+	Note string
 }
 
 // Cell is one (database, support) measurement pair.
@@ -157,7 +163,20 @@ func (c Cell) RelativeTime() float64 {
 type Options struct {
 	Engine counting.Engine
 	// Pincer configures the Pincer-Search variant (zero value: defaults).
+	// Its Context, Deadline, budget, and Checkpointer fields apply to the
+	// pincer cells of RunSpec and to RunParallelSweep.
 	Pincer core.Options
+	// Apriori configures the Apriori baseline of RunSpec (zero value:
+	// defaults), including its Context, Deadline, and budget fields.
+	Apriori apriori.Options
+	// Context, when non-nil, cancels the whole harness: it is checked
+	// between cells and propagated into every miner that has no context of
+	// its own, so a cancellation mid-cell also stops that cell's run.
+	// Remaining cells are marked skipped.
+	Context context.Context
+	// Resume makes pincer cells continue from Pincer.Checkpointer's saved
+	// state (when one exists and matches) instead of starting fresh.
+	Resume bool
 	// Budget is a soft per-algorithm wall-clock guard: cells are run from
 	// the highest support downward, and once an algorithm exceeds the
 	// budget on a cell, its remaining (harder) cells in the spec are
@@ -180,14 +199,24 @@ func must[R any](res R, err error) R {
 	return res
 }
 
+// cancelled reports whether the harness context has been cancelled.
+func (o Options) cancelled() bool {
+	return o.Context != nil && o.Context.Err() != nil
+}
+
 // DefaultOptions returns the standard harness configuration.
 func DefaultOptions() Options {
 	p := core.DefaultOptions()
 	p.KeepFrequent = false
-	return Options{Engine: counting.EngineHashTree, Pincer: p}
+	a := apriori.DefaultOptions()
+	a.KeepFrequent = false
+	return Options{Engine: counting.EngineHashTree, Pincer: p, Apriori: a}
 }
 
-// RunSpec generates the spec's database once and sweeps its supports.
+// RunSpec generates the spec's database once and sweeps its supports. A
+// cell whose miner aborts (cancellation, deadline, or a resource budget
+// from Options.Apriori / Options.Pincer) is marked skipped with its Note
+// set; the sweep carries on with the other algorithm until both are dead.
 func RunSpec(spec Spec, opt Options) []Cell {
 	d := quest.Generate(spec.Quest)
 	supports := append([]float64(nil), spec.Supports...)
@@ -196,46 +225,77 @@ func RunSpec(spec Spec, opt Options) []Cell {
 	cells := make([]Cell, 0, len(supports))
 	aprioriDead, pincerDead := false, false
 	for _, sup := range supports {
+		var cancelNote string
+		if opt.cancelled() {
+			aprioriDead, pincerDead = true, true
+			cancelNote = "harness " + opt.Context.Err().Error()
+		}
 		cell := Cell{SpecID: spec.ID, Database: spec.Name(), Support: sup}
 		var aMFS, pMFS []string
 
 		if aprioriDead {
 			cell.Apriori.Skipped = true
+			cell.Apriori.Note = cancelNote
 		} else {
-			aopt := apriori.DefaultOptions()
+			aopt := opt.Apriori
 			aopt.Engine = opt.Engine
 			aopt.KeepFrequent = false
-			res := must(apriori.Mine(dataset.NewScanner(d), sup, aopt))
-			cell.Apriori = Measure{
-				Time: res.Stats.Duration, Candidates: res.Stats.Candidates,
-				Passes: res.Stats.Passes, Frequent: res.Stats.FrequentCount,
-				MFSSize: len(res.MFS), LongestMFS: res.LongestMFS(),
+			if aopt.Context == nil {
+				aopt.Context = opt.Context
 			}
-			for _, m := range res.MFS {
-				aMFS = append(aMFS, m.String())
-			}
-			if opt.Budget > 0 && res.Stats.Duration > opt.Budget {
+			res, err := apriori.Mine(dataset.NewScanner(d), sup, aopt)
+			if err != nil {
+				cell.Apriori.Skipped = true
+				cell.Apriori.Note = err.Error()
 				aprioriDead = true
+			} else {
+				cell.Apriori = Measure{
+					Time: res.Stats.Duration, Candidates: res.Stats.Candidates,
+					Passes: res.Stats.Passes, Frequent: res.Stats.FrequentCount,
+					MFSSize: len(res.MFS), LongestMFS: res.LongestMFS(),
+				}
+				for _, m := range res.MFS {
+					aMFS = append(aMFS, m.String())
+				}
+				if opt.Budget > 0 && res.Stats.Duration > opt.Budget {
+					aprioriDead = true
+				}
 			}
 		}
 
 		if pincerDead {
 			cell.Pincer.Skipped = true
+			cell.Pincer.Note = cancelNote
 		} else {
 			popt := opt.Pincer
 			popt.Engine = opt.Engine
-			res := must(core.Mine(dataset.NewScanner(d), sup, popt))
-			cell.Pincer = Measure{
-				Time: res.Stats.Duration, Candidates: res.Stats.Candidates,
-				Passes: res.Stats.Passes, Frequent: res.Stats.FrequentCount,
-				MFSSize: len(res.MFS), LongestMFS: res.LongestMFS(),
-				AdaptiveOff: res.Stats.AdaptiveOff,
+			if popt.Context == nil {
+				popt.Context = opt.Context
 			}
-			for _, m := range res.MFS {
-				pMFS = append(pMFS, m.String())
+			var res *mfi.Result
+			var err error
+			if opt.Resume && popt.Checkpointer != nil {
+				res, err = core.MineResume(dataset.NewScanner(d), dataset.MinCountFor(d.Len(), sup), popt)
+			} else {
+				res, err = core.Mine(dataset.NewScanner(d), sup, popt)
 			}
-			if opt.Budget > 0 && res.Stats.Duration > opt.Budget {
+			if err != nil {
+				cell.Pincer.Skipped = true
+				cell.Pincer.Note = err.Error()
 				pincerDead = true
+			} else {
+				cell.Pincer = Measure{
+					Time: res.Stats.Duration, Candidates: res.Stats.Candidates,
+					Passes: res.Stats.Passes, Frequent: res.Stats.FrequentCount,
+					MFSSize: len(res.MFS), LongestMFS: res.LongestMFS(),
+					AdaptiveOff: res.Stats.AdaptiveOff,
+				}
+				for _, m := range res.MFS {
+					pMFS = append(pMFS, m.String())
+				}
+				if opt.Budget > 0 && res.Stats.Duration > opt.Budget {
+					pincerDead = true
+				}
 			}
 		}
 
@@ -266,7 +326,13 @@ func equalStringSets(a, b []string) bool {
 
 func progressLine(c Cell) string {
 	if c.Apriori.Skipped || c.Pincer.Skipped {
-		return fmt.Sprintf("%s sup=%.4f: skipped (budget)", c.SpecID, c.Support)
+		reason := "budget"
+		if c.Apriori.Note != "" {
+			reason = c.Apriori.Note
+		} else if c.Pincer.Note != "" {
+			reason = c.Pincer.Note
+		}
+		return fmt.Sprintf("%s sup=%.4f: skipped (%s)", c.SpecID, c.Support, reason)
 	}
 	return fmt.Sprintf("%s sup=%.4f: apriori %v/%d passes, pincer %v/%d passes, rel %.2fx, agree=%v",
 		c.SpecID, c.Support, c.Apriori.Time.Round(time.Millisecond), c.Apriori.Passes,
@@ -285,7 +351,13 @@ func WriteTable(w io.Writer, spec Spec, cells []Cell) error {
 	fmt.Fprintln(w, strings.Repeat("-", 124))
 	for _, c := range cells {
 		if c.Apriori.Skipped || c.Pincer.Skipped {
-			fmt.Fprintf(w, "%-8s | %s\n", fmtSup(c.Support), "skipped: previous cell exceeded the time budget")
+			reason := "previous cell exceeded the time budget"
+			if c.Apriori.Note != "" {
+				reason = c.Apriori.Note
+			} else if c.Pincer.Note != "" {
+				reason = c.Pincer.Note
+			}
+			fmt.Fprintf(w, "%-8s | skipped: %s\n", fmtSup(c.Support), reason)
 			continue
 		}
 		fmt.Fprintf(w, "%-8s | %12.3f %12.3f %7.2fx | %10d %10d | %6d %6d | %6d %7d %5v\n",

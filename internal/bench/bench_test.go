@@ -2,9 +2,12 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
+
+	"pincer/internal/checkpoint"
 )
 
 func tinySpec() Spec {
@@ -110,6 +113,79 @@ func TestBudgetSkipsHarderCells(t *testing.T) {
 	}
 	if cells[1].RelativeTime() != 0 {
 		t.Error("skipped cell reports a relative time")
+	}
+}
+
+func TestCancelledContextSkipsEverything(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := DefaultOptions()
+	opt.Context = ctx
+	cells := RunSpec(tinySpec(), opt)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if !c.Apriori.Skipped || !c.Pincer.Skipped {
+			t.Errorf("cell at sup %v ran under a cancelled context: %+v", c.Support, c)
+		}
+	}
+}
+
+func TestCandidateBudgetMarksCellsSkipped(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Apriori.MaxCandidatesPerPass = 1
+	opt.Pincer.MaxCandidatesPerPass = 1
+	cells := RunSpec(tinySpec(), opt)
+	for _, c := range cells {
+		if !c.Apriori.Skipped || !c.Pincer.Skipped {
+			t.Fatalf("cell at sup %v survived a 1-candidate budget: %+v", c.Support, c)
+		}
+	}
+	// The first cell carries the abort reason; later ones inherit the skip.
+	if note := cells[0].Pincer.Note; !strings.Contains(note, "max-candidates") {
+		t.Errorf("pincer note = %q, want a max-candidates abort", note)
+	}
+	var tbl bytes.Buffer
+	if err := WriteTable(&tbl, tinySpec(), cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "skipped: ") {
+		t.Errorf("table does not surface the skip reason:\n%s", tbl.String())
+	}
+}
+
+// TestResumeContinuesFromCheckpoint aborts a pincer cell with a pass budget,
+// then reruns the sweep with Resume: the resumed cell must complete and agree
+// with Apriori exactly as an uninterrupted sweep would.
+func TestResumeContinuesFromCheckpoint(t *testing.T) {
+	spec := tinySpec()
+	spec.Supports = spec.Supports[:1]
+
+	cp := &checkpoint.MemCheckpointer{}
+	opt := DefaultOptions()
+	opt.Pincer.Checkpointer = cp
+	opt.Pincer.MaxTotalPasses = 2
+	cells := RunSpec(spec, opt)
+	if !cells[0].Pincer.Skipped {
+		t.Fatalf("budgeted pincer cell not skipped: %+v", cells[0])
+	}
+	if cp.Saves == 0 {
+		t.Fatal("no checkpoint written by the aborted run")
+	}
+
+	opt.Pincer.MaxTotalPasses = 0
+	opt.Resume = true
+	cells = RunSpec(spec, opt)
+	if cells[0].Pincer.Skipped || !cells[0].Agree {
+		t.Fatalf("resumed cell did not complete and agree: %+v", cells[0])
+	}
+	// Resume ≡ uninterrupted: the restored statistics include the passes
+	// counted before the abort, so the totals must match a fresh sweep.
+	full := RunSpec(spec, DefaultOptions())
+	if cells[0].Pincer.Passes != full[0].Pincer.Passes ||
+		cells[0].Pincer.MFSSize != full[0].Pincer.MFSSize {
+		t.Errorf("resumed cell %+v differs from uninterrupted %+v", cells[0].Pincer, full[0].Pincer)
 	}
 }
 

@@ -25,6 +25,9 @@ type ParallelMeasure struct {
 	// Agree reports the built-in correctness check: identical MFS, supports,
 	// and per-pass candidate statistics against the sequential run.
 	Agree bool `json:"agree"`
+	// Err records why this setting produced no measurement (cancellation
+	// or a mining failure); Seconds and Agree are meaningless when set.
+	Err string `json:"error,omitempty"`
 }
 
 // ParallelReport is one spec's sequential-vs-parallel wall-clock sweep.
@@ -46,6 +49,9 @@ type ParallelReport struct {
 	Candidates        int64             `json:"candidates"`
 	MFSSize           int               `json:"mfs_size"`
 	Runs              []ParallelMeasure `json:"runs"`
+	// Err records why the sweep stopped before producing its runs (for
+	// example a cancelled sequential baseline).
+	Err string `json:"error,omitempty"`
 	// Trace holds the per-pass span events of the first sequential repeat
 	// and the first repeat of each worker setting, populated only when
 	// Options.Tracer is set.
@@ -111,12 +117,22 @@ func RunParallelSweep(spec Spec, support float64, workerCounts []int, repeats in
 		return obsv.Multi(opt.Tracer, collect)
 	}
 
+	if popt.Context == nil {
+		popt.Context = opt.Context
+	}
+
 	var seq *mfi.Result
 	best := time.Duration(0)
 	for i := 0; i < repeats; i++ {
 		ropt := popt
 		ropt.Tracer = tracerFor(i)
-		res := must(core.Mine(dataset.NewScanner(d), support, ropt))
+		res, err := core.Mine(dataset.NewScanner(d), support, ropt)
+		if err != nil {
+			// Without an uninterrupted sequential baseline there is nothing
+			// to compare the parallel runs against; stop the sweep here.
+			rep.Err = err.Error()
+			return rep
+		}
 		if seq == nil || res.Stats.Duration < best {
 			seq, best = res, res.Stats.Duration
 		}
@@ -129,16 +145,30 @@ func RunParallelSweep(spec Spec, support float64, workerCounts []int, repeats in
 	paropt := parallel.DefaultOptions()
 	paropt.Engine = opt.Engine
 	paropt.KeepFrequent = false
+	paropt.Context = opt.Context
 	for _, w := range workerCounts {
+		if opt.cancelled() {
+			rep.Runs = append(rep.Runs, ParallelMeasure{Workers: w, Err: opt.Context.Err().Error()})
+			continue
+		}
 		paropt.Workers = w
 		var par *mfi.Result
+		var runErr error
 		pbest := time.Duration(0)
 		for i := 0; i < repeats; i++ {
 			paropt.Tracer = tracerFor(i)
-			res := must(parallel.MinePincerOpts(d, support, popt, paropt))
+			res, err := parallel.MinePincerOpts(d, support, popt, paropt)
+			if err != nil {
+				runErr = err
+				break
+			}
 			if par == nil || res.Stats.Duration < pbest {
 				par, pbest = res, res.Stats.Duration
 			}
+		}
+		if runErr != nil {
+			rep.Runs = append(rep.Runs, ParallelMeasure{Workers: w, Err: runErr.Error()})
+			continue
 		}
 		m := ParallelMeasure{
 			Workers: w, Seconds: pbest.Seconds(),
@@ -166,8 +196,16 @@ func WriteParallelTable(w io.Writer, rep ParallelReport) error {
 		rep.SpecID, rep.Database, fmtSup(rep.Support), rep.Transactions, rep.CPUs, rep.GoMaxProcs)
 	fmt.Fprintf(w, "sequential: %.3fs over %d passes, %d candidates, |MFS|=%d (min of %d runs)\n",
 		rep.SequentialSeconds, rep.Passes, rep.Candidates, rep.MFSSize, rep.Repeats)
+	if rep.Err != "" {
+		fmt.Fprintf(w, "sweep stopped: %s\n\n", rep.Err)
+		return nil
+	}
 	fmt.Fprintf(w, "%-8s | %10s %8s %6s\n", "workers", "seconds", "speedup", "agree")
 	for _, m := range rep.Runs {
+		if m.Err != "" {
+			fmt.Fprintf(w, "%-8d | skipped: %s\n", m.Workers, m.Err)
+			continue
+		}
 		fmt.Fprintf(w, "%-8d | %10.3f %7.2fx %6v\n", m.Workers, m.Seconds, m.Speedup, m.Agree)
 	}
 	fmt.Fprintln(w)

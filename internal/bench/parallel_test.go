@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -54,5 +55,25 @@ func TestRunParallelSweep(t *testing.T) {
 	}
 	if len(back) != 1 || len(back[0].Runs) != 3 || back[0].Runs[2].Workers != 4 {
 		t.Fatalf("round-tripped report: %+v", back)
+	}
+}
+
+// A cancelled context must stop the sweep before the sequential baseline and
+// report the reason instead of panicking or hanging.
+func TestRunParallelSweepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := DefaultOptions()
+	opt.Context = ctx
+	rep := RunParallelSweep(tinySpec(), 0.12, []int{1, 2}, 1, opt)
+	if rep.Err == "" {
+		t.Fatalf("cancelled sweep reported no error: %+v", rep)
+	}
+	var tbl bytes.Buffer
+	if err := WriteParallelTable(&tbl, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "sweep stopped:") {
+		t.Errorf("table does not surface the stop reason:\n%s", tbl.String())
 	}
 }

@@ -1,0 +1,159 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+func sampleState() *State {
+	st := &State{
+		Version:         Version,
+		Algorithm:       "pincer",
+		MinCount:        42,
+		NumTransactions: 1000,
+		NumItems:        30,
+		Stage:           "levelwise",
+		K:               3,
+		Tail:            1,
+		Lk:              []itemset.Itemset{{0, 1}, {0, 2}},
+		RemovedAny:      true,
+		MFS:             []itemset.Itemset{{5, 6, 7}},
+		AllFrequent:     []itemset.Itemset{{0, 1}, {0, 2}, {5, 6, 7}},
+		Cache:           map[string]int64{itemset.Itemset{0, 1}.Key(): 99},
+		ItemCounts:      []int64{10, 20, 30},
+		Pairs:           &TriangleState{Universe: 30, Live: []itemset.Item{0, 1, 2}, Counts: []int64{1, 2, 3}},
+		MFCS:            []MFCSElement{{Set: itemset.Itemset{5, 6, 7}, State: 2, Count: 50, Harvested: true}},
+	}
+	st.Stats.Algorithm = "pincer"
+	st.Stats.AddPass(mfi.PassStats{Candidates: 30, Frequent: 3})
+	return st
+}
+
+func TestFileCheckpointerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mine.ckpt")
+	cp := NewFileCheckpointer(path)
+
+	// No checkpoint yet: Load is (nil, nil), Clear is a no-op.
+	if st, err := cp.Load(); st != nil || err != nil {
+		t.Fatalf("Load on missing file = (%v, %v), want (nil, nil)", st, err)
+	}
+	if err := cp.Clear(); err != nil {
+		t.Fatalf("Clear on missing file: %v", err)
+	}
+
+	want := sampleState()
+	if err := cp.Save(want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := cp.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	if err := cp.Clear(); err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	if st, err := cp.Load(); st != nil || err != nil {
+		t.Fatalf("Load after Clear = (%v, %v), want (nil, nil)", st, err)
+	}
+}
+
+// TestTruncatedCheckpoint is the regression test for the atomic-write
+// protocol: a checkpoint file cut short mid-write must surface as a
+// *CorruptError — never a zero state or a silent nil.
+func TestTruncatedCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mine.ckpt")
+	cp := NewFileCheckpointer(path)
+	if err := cp.Save(sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cp.Load()
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Load of truncated checkpoint = %v, want *CorruptError", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mine.ckpt")
+	cp := NewFileCheckpointer(path)
+	st := sampleState()
+	st.Version = Version + 1
+	if err := cp.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cp.Load()
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Load of future-version checkpoint = %v, want *CorruptError", err)
+	}
+}
+
+// TestSaveLeavesNoTempFiles checks that both the success path and the
+// steady-state overwrite leave only the checkpoint itself in the directory.
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	cp := NewFileCheckpointer(filepath.Join(dir, "mine.ckpt"))
+	for i := 0; i < 3; i++ {
+		if err := cp.Save(sampleState()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "mine.ckpt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory after saves = %v, want just mine.ckpt", names)
+	}
+}
+
+func TestMemCheckpointerIsolation(t *testing.T) {
+	cp := &MemCheckpointer{}
+	st := sampleState()
+	if err := cp.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the live state after saving; the stored copy must not change.
+	st.Lk[0][0] = 99
+	st.Cache["mutated"] = 1
+	got, err := cp.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lk[0][0] == 99 {
+		t.Fatal("stored state aliases the live Lk slice")
+	}
+	if _, ok := got.Cache["mutated"]; ok {
+		t.Fatal("stored state aliases the live cache map")
+	}
+	if cp.Saves != 1 {
+		t.Fatalf("Saves = %d, want 1", cp.Saves)
+	}
+	if err := cp.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := cp.Load(); st != nil || err != nil {
+		t.Fatalf("Load after Clear = (%v, %v), want (nil, nil)", st, err)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pincer/internal/checkpoint"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+// partialWorkloads are the quest configurations the anytime property is
+// checked on — three distinct shapes: scattered short patterns, longer
+// correlated patterns, and a concentrated distribution.
+var partialWorkloads = []struct {
+	name       string
+	params     quest.Params
+	minSupport float64
+}{
+	{"T8.I4.scattered", quest.Params{
+		NumTransactions: 600, AvgTxLen: 8, AvgPatternLen: 4,
+		NumPatterns: 25, NumItems: 40, Seed: 11,
+	}, 0.04},
+	{"T12.I6.long", quest.Params{
+		NumTransactions: 500, AvgTxLen: 12, AvgPatternLen: 6,
+		NumPatterns: 12, NumItems: 30, Seed: 5,
+	}, 0.06},
+	{"T10.I4.concentrated", quest.Params{
+		NumTransactions: 700, AvgTxLen: 10, AvgPatternLen: 4,
+		NumPatterns: 6, NumItems: 25, Seed: 3,
+	}, 0.08},
+}
+
+// TestPartialResultBounds is the anytime-property test of ISSUE 3: when a
+// run is cut off after pass k by the MaxTotalPasses budget, the partial MFS
+// must be a lower bound of the full MFS (every partial maximal set lies
+// below some true one) and the reported MFCS must be an upper bound (every
+// true maximal set lies below some reported element).
+func TestPartialResultBounds(t *testing.T) {
+	for _, w := range partialWorkloads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			d := quest.Generate(w.params)
+			sc := dataset.NewScanner(d)
+			minCount := dataset.MinCountFor(d.Len(), w.minSupport)
+			full, err := MineCount(sc, minCount, DefaultOptions())
+			if err != nil {
+				t.Fatalf("full run: %v", err)
+			}
+			if full.Stats.Passes < 3 {
+				t.Fatalf("workload finished in %d passes; pick a harder one", full.Stats.Passes)
+			}
+			for k := 1; k < full.Stats.Passes; k++ {
+				opt := DefaultOptions()
+				opt.MaxTotalPasses = k
+				_, err := MineCount(dataset.NewScanner(d), minCount, opt)
+				var pe *mfi.PartialResultError
+				if !errors.As(err, &pe) {
+					t.Fatalf("MaxTotalPasses=%d: got %v, want *mfi.PartialResultError", k, err)
+				}
+				if pe.Reason != mfi.ReasonMaxPasses {
+					t.Errorf("MaxTotalPasses=%d: reason %q, want %q", k, pe.Reason, mfi.ReasonMaxPasses)
+				}
+				if pe.Pass != k {
+					t.Errorf("MaxTotalPasses=%d: aborted at pass %d", k, pe.Pass)
+				}
+				checkBounds(t, k, pe, full.MFS)
+			}
+		})
+	}
+}
+
+// checkBounds asserts partial.MFS ⊑ fullMFS ⊑ partial.MFCS (⊑ meaning
+// every element of the left side is a subset of some element of the right).
+func checkBounds(t *testing.T, k int, pe *mfi.PartialResultError, fullMFS []itemset.Itemset) {
+	t.Helper()
+	for _, m := range pe.Result.MFS {
+		if !coveredBy(m, fullMFS) {
+			t.Errorf("pass %d: partial MFS element %v is not below any true maximal set", k, m)
+		}
+	}
+	for _, full := range fullMFS {
+		if !coveredBy(full, pe.MFCS) {
+			t.Errorf("pass %d: true maximal set %v is not covered by the MFCS bound %v", k, full, pe.MFCS)
+		}
+	}
+}
+
+func coveredBy(x itemset.Itemset, sets []itemset.Itemset) bool {
+	for _, s := range sets {
+		if x.IsSubsetOf(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCancellationLatency bounds how fast a cancelled mine returns on the
+// paper-sized T20.I10.D10K workload: well under one full pass, let alone
+// the full run. The context is cancelled while the first pass is scanning;
+// with in-scan checks the miner must return without finishing the pass.
+func TestCancellationLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping latency measurement in -short mode")
+	}
+	d := quest.Generate(quest.Params{
+		NumTransactions: 10_000, AvgTxLen: 20, AvgPatternLen: 10,
+		NumPatterns: 50, NumItems: 200, Seed: 1,
+	})
+	minCount := dataset.MinCountFor(d.Len(), 0.06)
+
+	fullStart := time.Now()
+	full, err := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDur := time.Since(fullStart)
+	perPass := fullDur / time.Duration(full.Stats.Passes)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	opt := DefaultOptions()
+	opt.Context = ctx
+	opt.CancelCheckEvery = 256
+	var cancelledAt time.Time
+	fired := 0
+	sc := hookScanner{Scanner: dataset.NewScanner(d), every: 1000, hook: func() {
+		if fired == 0 {
+			cancelledAt = time.Now()
+			cancel()
+		}
+		fired++
+	}}
+	_, err = MineCount(sc, minCount, opt)
+	latency := time.Since(cancelledAt)
+	var pe *mfi.PartialResultError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *mfi.PartialResultError", err)
+	}
+	if pe.Reason != mfi.ReasonCancelled {
+		t.Errorf("reason %q, want %q", pe.Reason, mfi.ReasonCancelled)
+	}
+	// Generous bound: cancellation must beat half a pass plus scheduling
+	// slack; in practice it is microseconds (256 transactions of counting).
+	bound := perPass/2 + 250*time.Millisecond
+	if latency > bound {
+		t.Errorf("cancellation latency %v exceeds bound %v (full run %v over %d passes)",
+			latency, bound, fullDur, full.Stats.Passes)
+	}
+}
+
+// hookScanner invokes hook every `every` transactions of every scan — used
+// to cancel a context from inside a pass without a goroutine race.
+type hookScanner struct {
+	dataset.Scanner
+	every int
+	hook  func()
+}
+
+func (h hookScanner) Scan(fn func(itemset.Itemset, *itemset.Bitset)) {
+	n := 0
+	h.Scanner.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		if n%h.every == 0 {
+			h.hook()
+		}
+		n++
+		fn(tx, bits)
+	})
+}
+
+// TestBudgets exercises the remaining resource budgets end to end.
+func TestBudgets(t *testing.T) {
+	d := quest.Generate(quest.Params{
+		NumTransactions: 600, AvgTxLen: 10, AvgPatternLen: 4,
+		NumPatterns: 20, NumItems: 30, Seed: 2,
+	})
+	minCount := dataset.MinCountFor(d.Len(), 0.05)
+
+	t.Run("deadline", func(t *testing.T) {
+		opt := DefaultOptions()
+		opt.Deadline = time.Nanosecond
+		opt.CancelCheckEvery = 1
+		_, err := MineCount(dataset.NewScanner(d), minCount, opt)
+		var pe *mfi.PartialResultError
+		if !errors.As(err, &pe) {
+			t.Fatalf("got %v, want *mfi.PartialResultError", err)
+		}
+		if pe.Reason != mfi.ReasonDeadline {
+			t.Errorf("reason %q, want %q", pe.Reason, mfi.ReasonDeadline)
+		}
+	})
+
+	t.Run("max-candidates", func(t *testing.T) {
+		opt := DefaultOptions()
+		opt.MaxCandidatesPerPass = 1
+		_, err := MineCount(dataset.NewScanner(d), minCount, opt)
+		var pe *mfi.PartialResultError
+		if !errors.As(err, &pe) {
+			t.Fatalf("got %v, want *mfi.PartialResultError", err)
+		}
+		if pe.Reason != mfi.ReasonMaxCandidates {
+			t.Errorf("reason %q, want %q", pe.Reason, mfi.ReasonMaxCandidates)
+		}
+		// Passes 1 and 2 count fixed universes and are exempt from the
+		// candidate budget, so the abort lands at a pass ≥ 3 boundary.
+		if pe.Pass < 2 {
+			t.Errorf("aborted at pass %d; the budget applies from pass 3", pe.Pass)
+		}
+	})
+
+	t.Run("memory", func(t *testing.T) {
+		opt := DefaultOptions()
+		opt.MaxMemoryBytes = 1 // any live heap exceeds this
+		_, err := MineCount(dataset.NewScanner(d), minCount, opt)
+		var pe *mfi.PartialResultError
+		if !errors.As(err, &pe) {
+			t.Fatalf("got %v, want *mfi.PartialResultError", err)
+		}
+		if pe.Reason != mfi.ReasonMemory {
+			t.Errorf("reason %q, want %q", pe.Reason, mfi.ReasonMemory)
+		}
+	})
+}
+
+// TestResumeValidation covers the failure modes of MineResume itself.
+func TestResumeValidation(t *testing.T) {
+	d := quest.Generate(quest.Params{
+		NumTransactions: 400, AvgTxLen: 8, AvgPatternLen: 4,
+		NumPatterns: 15, NumItems: 25, Seed: 9,
+	})
+	minCount := dataset.MinCountFor(d.Len(), 0.05)
+
+	t.Run("no-checkpointer", func(t *testing.T) {
+		if _, err := MineResume(dataset.NewScanner(d), minCount, DefaultOptions()); err == nil {
+			t.Fatal("MineResume without a Checkpointer must fail")
+		}
+	})
+
+	t.Run("empty-checkpoint-runs-fresh", func(t *testing.T) {
+		opt := DefaultOptions()
+		opt.Checkpointer = &checkpoint.MemCheckpointer{}
+		got, err := MineResume(dataset.NewScanner(d), minCount, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := MineCount(dataset.NewScanner(d), minCount, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.MFS) != len(want.MFS) {
+			t.Fatalf("fresh-resume MFS size %d, want %d", len(got.MFS), len(want.MFS))
+		}
+	})
+
+	t.Run("mismatched-threshold", func(t *testing.T) {
+		cp := &checkpoint.MemCheckpointer{}
+		opt := DefaultOptions()
+		opt.Checkpointer = cp
+		opt.MaxTotalPasses = 2
+		if _, err := MineCount(dataset.NewScanner(d), minCount, opt); err == nil {
+			t.Fatal("budgeted run should abort")
+		}
+		opt.MaxTotalPasses = 0
+		if _, err := MineResume(dataset.NewScanner(d), minCount+1, opt); err == nil {
+			t.Fatal("resume with a different threshold must be rejected")
+		}
+	})
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
+	"pincer/internal/mfi"
 )
 
 // PassCounter is the miner's injection seam for per-pass support counting.
@@ -32,6 +34,15 @@ type PassCounter interface {
 	// CountCandidates counts the bottom-up candidates with the given engine
 	// plus the elements. candidates may be empty (MFCS-only tail passes).
 	CountCandidates(engine counting.Engine, candidates []itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) (candCounts, elemCounts []int64)
+}
+
+// ContextBinder is implemented by PassCounters that perform their own
+// database scans and need the run's context for mid-scan cancellation
+// checks (every checkEvery transactions, per worker for parallel
+// counters). The miner calls it once, before the first pass, and only when
+// the context can actually be cancelled.
+type ContextBinder interface {
+	BindContext(ctx context.Context, checkEvery int)
 }
 
 // WorkerCounted is implemented by PassCounters that distribute a pass over
@@ -99,15 +110,28 @@ func (t *timedPassCounter) Workers() int { return countingWorkers(t.pc) }
 const directElemsMax = 16
 
 // seqPassCounter is the default PassCounter: one sequential scan of the
-// miner's Scanner per call, exactly the paper's counting procedure.
+// miner's Scanner per call, exactly the paper's counting procedure. When a
+// cancellable context is bound, each scan checks it every checkEvery
+// transactions via a ScanGuard; unbound (the common case) the guard is nil
+// and Tick is a single nil test.
 type seqPassCounter struct {
-	sc dataset.Scanner
+	sc         dataset.Scanner
+	ctx        context.Context
+	checkEvery int
+}
+
+// BindContext implements ContextBinder.
+func (s *seqPassCounter) BindContext(ctx context.Context, checkEvery int) {
+	s.ctx = ctx
+	s.checkEvery = checkEvery
 }
 
 func (s *seqPassCounter) CountItems(numItems int, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
 	array := counting.NewItemArray(numItems)
 	elemCounts := make([]int64, len(elems))
+	guard := mfi.NewScanGuard(s.ctx, s.checkEvery)
 	s.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		guard.Tick()
 		array.Add(tx)
 		for i, eb := range elemBits {
 			if eb.IsSubsetOf(bits) {
@@ -121,7 +145,9 @@ func (s *seqPassCounter) CountItems(numItems int, elems []itemset.Itemset, elemB
 func (s *seqPassCounter) CountPairs(numItems int, live itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) (*counting.Triangle, []int64) {
 	tri := counting.NewTriangle(numItems, live)
 	elemCounts := make([]int64, len(elems))
+	guard := mfi.NewScanGuard(s.ctx, s.checkEvery)
 	s.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		guard.Tick()
 		tri.Add(tx)
 		for i, eb := range elemBits {
 			if eb.IsSubsetOf(bits) {
@@ -146,7 +172,9 @@ func (s *seqPassCounter) CountCandidates(engine counting.Engine, candidates []it
 	} else {
 		elemCounts = make([]int64, len(elems))
 	}
+	guard := mfi.NewScanGuard(s.ctx, s.checkEvery)
 	s.sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		guard.Tick()
 		if counter != nil {
 			counter.Add(tx)
 		}

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"time"
 
 	"pincer/internal/apriori"
+	"pincer/internal/checkpoint"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
@@ -71,6 +75,37 @@ type Options struct {
 	// (default "pincer"); internal/parallel labels its runs
 	// "pincer-parallel".
 	Algorithm string
+
+	// Context cancels the run: cancellation is observed at every pass
+	// boundary and inside scan loops (every CancelCheckEvery transactions,
+	// in each worker for parallel counters), and surfaces as a
+	// *mfi.PartialResultError carrying the anytime result. Nil means
+	// context.Background() — an uncancellable context adds no per-
+	// transaction work.
+	Context context.Context
+	// Deadline, if positive, bounds the run's wall clock: the miner derives
+	// a timeout context from Context, so expiry behaves exactly like
+	// cancellation with reason "deadline".
+	Deadline time.Duration
+	// MaxTotalPasses bounds the number of database passes (0 = unlimited);
+	// exceeding it aborts with reason "max-passes".
+	MaxTotalPasses int
+	// MaxCandidatesPerPass bounds the bottom-up candidate set of any
+	// single pass ≥ 3 (0 = unlimited); a larger generated set aborts with
+	// reason "max-candidates" before the pass is counted.
+	MaxCandidatesPerPass int
+	// MaxMemoryBytes is an approximate heap ceiling, compared against
+	// runtime.MemStats.HeapAlloc at pass boundaries only (0 = unlimited);
+	// exceeding it aborts with reason "memory-budget".
+	MaxMemoryBytes int64
+	// CancelCheckEvery is the number of transactions between context checks
+	// inside a scan loop (default mfi.DefaultCancelCheckEvery).
+	CancelCheckEvery int
+	// Checkpointer, if set, persists the miner's state at every pass
+	// barrier and is cleared when the run completes; MineResume restarts an
+	// interrupted run from it. A checkpoint write failure aborts the run
+	// with reason "checkpoint-failure" rather than continuing undurably.
+	Checkpointer checkpoint.Checkpointer
 }
 
 // DefaultOptions returns the adaptive configuration evaluated in the paper.
@@ -102,52 +137,48 @@ func Mine(sc dataset.Scanner, minSupport float64, opt Options) (*mfi.Result, err
 // returns the maximum frequent set. It is a mining boundary: I/O and parse
 // panics raised mid-pass, counter-merge mismatches, and captured worker
 // panics from a parallel PassCounter all surface as the returned error
-// (see mfi.RecoverMiningError).
+// (see mfi.RecoverMiningError), and cancellation or a tripped resource
+// budget surfaces as a *mfi.PartialResultError carrying the anytime result.
 func MineCount(sc dataset.Scanner, minCount int64, opt Options) (res *mfi.Result, err error) {
 	defer mfi.RecoverMiningError(&err)
-	pc := opt.Counter
-	if pc == nil {
-		pc = &seqPassCounter{sc: sc}
+	m := newMiner(sc, minCount, opt)
+	return m.mine()
+}
+
+// runStage names the phase of the staged run loop a checkpoint re-enters.
+type runStage uint8
+
+const (
+	stageFresh     runStage = iota // nothing counted yet
+	stagePass2     runStage = iota // pass 1 done, pair pass next
+	stageLevelwise                 // level-wise loop, position in miner.k
+	stageTail                      // MFCS-only tail passes
+)
+
+// stageName maps the stage to its persisted checkpoint string.
+func (s runStage) stageName() string {
+	switch s {
+	case stagePass2:
+		return "pass2"
+	case stageLevelwise:
+		return "levelwise"
+	case stageTail:
+		return "tail"
 	}
-	m := &miner{
-		sc:       sc,
-		pc:       pc,
-		opt:      opt,
-		minCount: minCount,
-		cache:    make(map[string]int64),
-		res: &mfi.Result{
-			MinCount:        minCount,
-			NumTransactions: sc.Len(),
-			Frequent:        itemset.NewSet(0),
-		},
+	return "fresh"
+}
+
+// stageFromName is the inverse of stageName for checkpoint loading.
+func stageFromName(name string) (runStage, bool) {
+	switch name {
+	case "pass2":
+		return stagePass2, true
+	case "levelwise":
+		return stageLevelwise, true
+	case "tail":
+		return stageTail, true
 	}
-	m.res.Stats.Algorithm = "pincer"
-	if opt.Algorithm != "" {
-		m.res.Stats.Algorithm = opt.Algorithm
-	}
-	if opt.Tracer != nil {
-		// Thread the tracer through the PassCounter seam: the timing
-		// decorator records each pass's scan wall clock for the events.
-		m.tracer = opt.Tracer
-		m.workers = countingWorkers(pc)
-		m.timed = &timedPassCounter{pc: pc}
-		m.pc = m.timed
-		m.tracer.RunStart(obsv.RunInfo{
-			Algorithm: m.res.Stats.Algorithm, Workers: m.workers,
-			MinCount: minCount, NumTransactions: sc.Len(),
-		})
-	}
-	start := time.Now()
-	m.run()
-	m.res.Stats.Duration = time.Since(start)
-	if m.tracer != nil {
-		m.tracer.RunDone(obsv.RunSummary{
-			Algorithm: m.res.Stats.Algorithm, Passes: m.res.Stats.Passes,
-			Candidates: m.res.Stats.Candidates, MFSSize: len(m.res.MFS),
-			Duration: m.res.Stats.Duration,
-		})
-	}
-	return m.res, nil
+	return stageFresh, false
 }
 
 type miner struct {
@@ -170,6 +201,24 @@ type miner struct {
 	abandoned bool // adaptive policy dropped the MFCS
 	fellBack  bool // full Apriori fallback produced the result
 
+	// Staged-loop state: everything the run loop carries across a pass
+	// barrier lives on the miner (not in locals) so checkpoints can
+	// persist it and MineResume can re-enter run() at the saved stage.
+	stage      runStage
+	l1         itemset.Itemset   // frequent items (pass 1)
+	lk         []itemset.Itemset // current frequent level L_k
+	k          int               // level the next iteration generates from
+	removedAny bool              // L_k was filtered by the MFS
+	tailNum    int               // 1-based tail-pass number
+
+	// ctx is the effective run context (Options.Context plus Deadline), or
+	// nil when the run is uncancellable so no checks are emitted; cancel
+	// releases the deadline timer. cp persists pass-barrier checkpoints.
+	ctx    context.Context
+	cancel context.CancelFunc
+	cp     checkpoint.Checkpointer
+	start  time.Time
+
 	// lastMFCSCounted is the number of MFCS elements counted by the most
 	// recent countPass, for the per-pass statistics.
 	lastMFCSCounted int
@@ -180,6 +229,103 @@ type miner struct {
 	tracer  obsv.Tracer
 	workers int
 	timed   *timedPassCounter
+}
+
+// newMiner assembles a fresh miner: effective context, pass counter (bound
+// to the context when it can be cancelled), MFCS/MFS structures, and the
+// staged-loop state positioned at the start.
+func newMiner(sc dataset.Scanner, minCount int64, opt Options) *miner {
+	ctx := opt.Context
+	var cancel context.CancelFunc
+	if opt.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+	}
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // uncancellable: skip every check
+	}
+	pc := opt.Counter
+	if pc == nil {
+		pc = &seqPassCounter{sc: sc}
+	}
+	if ctx != nil {
+		if cb, ok := pc.(ContextBinder); ok {
+			cb.BindContext(ctx, opt.CancelCheckEvery)
+		}
+	}
+	m := &miner{
+		sc:       sc,
+		pc:       pc,
+		opt:      opt,
+		minCount: minCount,
+		cache:    make(map[string]int64),
+		ctx:      ctx,
+		cancel:   cancel,
+		cp:       opt.Checkpointer,
+		stage:    stageFresh,
+		k:        2,
+		tailNum:  1,
+		res: &mfi.Result{
+			MinCount:        minCount,
+			NumTransactions: sc.Len(),
+			Frequent:        itemset.NewSet(0),
+		},
+	}
+	m.res.Stats.Algorithm = "pincer"
+	if opt.Algorithm != "" {
+		m.res.Stats.Algorithm = opt.Algorithm
+	}
+	n := sc.NumItems()
+	mfcsCap := opt.MFCSCap
+	if opt.Pure {
+		mfcsCap = 0
+	}
+	m.mfcs = NewMFCS(n, minCount, mfcsCap, m.resolveSupport)
+	m.mfs = newMFSView(n)
+	if opt.Tracer != nil {
+		// Thread the tracer through the PassCounter seam: the timing
+		// decorator records each pass's scan wall clock for the events.
+		m.tracer = opt.Tracer
+		m.workers = countingWorkers(pc)
+		m.timed = &timedPassCounter{pc: pc}
+		m.pc = m.timed
+	}
+	return m
+}
+
+// mine drives the (possibly resumed) staged run to completion, converting
+// the Abort sentinel into a *mfi.PartialResultError on the way out.
+func (m *miner) mine() (res *mfi.Result, err error) {
+	if m.cancel != nil {
+		defer m.cancel()
+	}
+	defer m.recoverAbort(&err)
+	if m.tracer != nil {
+		m.tracer.RunStart(obsv.RunInfo{
+			Algorithm: m.res.Stats.Algorithm, Workers: m.workers,
+			MinCount: m.minCount, NumTransactions: m.sc.Len(),
+		})
+	}
+	m.start = time.Now()
+	m.run()
+	m.res.Stats.Duration = time.Since(m.start)
+	if m.tracer != nil {
+		m.tracer.RunDone(obsv.RunSummary{
+			Algorithm: m.res.Stats.Algorithm, Passes: m.res.Stats.Passes,
+			Candidates: m.res.Stats.Candidates, MFSSize: len(m.res.MFS),
+			Duration: m.res.Stats.Duration,
+		})
+	}
+	if m.cp != nil {
+		// The run is complete; a lingering checkpoint would make a later
+		// MineResume replay a finished mine.
+		if cerr := m.cp.Clear(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return m.res, nil
 }
 
 // emitPass reports the pass just recorded by AddPass to the tracer. The
@@ -300,15 +446,52 @@ func (m *miner) countPass(candidates []itemset.Itemset) []int64 {
 	return candCounts
 }
 
+// run drives the stages in order, entering at m.stage (stageFresh for a new
+// run, later stages when MineResume restored a checkpoint) and writing a
+// checkpoint at every stage transition and pass barrier.
 func (m *miner) run() {
-	n := m.sc.NumItems()
-	cap := m.opt.MFCSCap
-	budget := m.opt.CliqueNodeBudget
-	if m.opt.Pure {
-		cap, budget = 0, 0
+	if m.stage == stageFresh {
+		if m.pass1() {
+			m.finish()
+			return
+		}
+		m.stage = stagePass2
+		m.checkpointNow()
 	}
-	m.mfcs = NewMFCS(n, m.minCount, cap, m.resolveSupport)
-	m.mfs = newMFSView(n)
+	if m.stage == stagePass2 {
+		m.pass2()
+		if m.fellBack {
+			return
+		}
+		m.stage = stageLevelwise
+		m.checkpointNow()
+	}
+	if m.stage == stageLevelwise {
+		m.levelwise()
+		if m.fellBack {
+			return
+		}
+		if m.abandoned {
+			m.finish()
+			return
+		}
+		m.stage = stageTail
+		m.checkpointNow()
+	}
+	m.tailPhase()
+	if m.fellBack {
+		return
+	}
+	m.finish()
+}
+
+// pass1 counts every item plus the initial MFCS element and reports whether
+// the run is already complete (fewer than two frequent items, or the MFS
+// covers every frequent item after one read). The early exits happen before
+// the first checkpoint, so a resumed run never skips them.
+func (m *miner) pass1() (done bool) {
+	n := m.sc.NumItems()
+	m.beforePass(0)
 
 	// ---- Pass 1: flat item array + the initial MFCS element ----
 	uncounted := m.mfcs.Uncounted()
@@ -317,11 +500,10 @@ func (m *miner) run() {
 	m.itemCounts = itemCounts
 	m.settle(uncounted, elemCounts)
 	found := m.harvest()
-	var l1 itemset.Itemset
 	var s1 []itemset.Itemset
 	for i, c := range m.itemCounts {
 		if c >= m.minCount {
-			l1 = append(l1, itemset.Item(i))
+			m.l1 = append(m.l1, itemset.Item(i))
 			m.noteFrequent(itemset.Itemset{itemset.Item(i)}, c)
 		} else {
 			s1 = append(s1, itemset.Itemset{itemset.Item(i)})
@@ -332,34 +514,44 @@ func (m *miner) run() {
 	m.mfcs.Update(s1)
 	found += m.harvest()
 	m.res.Stats.AddPass(mfi.PassStats{
-		Candidates: n, MFCSCandidates: len(uncounted), Frequent: len(l1), MFSFound: found,
+		Candidates: n, MFCSCandidates: len(uncounted), Frequent: len(m.l1), MFSFound: found,
 	})
 	m.emitPass(obsv.PhaseBottomUp)
-	if len(l1) < 2 {
-		m.finish()
-		return
+	if len(m.l1) < 2 {
+		return true
 	}
 	// After pass 1 the MFCS holds a single element. If it is already
 	// frequent it covers every frequent item, every itemset over them is
 	// frequent, and the MFS is complete after one database read.
 	if m.mfs.len() > 0 {
-		singles := make([]itemset.Itemset, len(l1))
-		for i, it := range l1 {
+		singles := make([]itemset.Itemset, len(m.l1))
+		for i, it := range m.l1 {
 			singles[i] = itemset.Itemset{it}
 		}
 		if rest, _ := m.filterByMFS(singles); len(rest) == 0 {
-			m.finish()
-			return
+			return true
 		}
 	}
+	return false
+}
+
+// pass2 counts the triangular pair matrix plus uncounted MFCS elements and
+// leaves the level-wise loop positioned at k=2 with L_2 in m.lk.
+func (m *miner) pass2() {
+	n := m.sc.NumItems()
+	budget := m.opt.CliqueNodeBudget
+	if m.opt.Pure {
+		budget = 0
+	}
+	m.beforePass(0)
 
 	// ---- Pass 2: triangular pair matrix + uncounted MFCS elements ----
-	uncounted = m.mfcs.Uncounted()
-	elems, elemBits = elemSets(uncounted)
-	tri, elemCounts := m.pc.CountPairs(n, l1, elems, elemBits)
+	uncounted := m.mfcs.Uncounted()
+	elems, elemBits := elemSets(uncounted)
+	tri, elemCounts := m.pc.CountPairs(n, m.l1, elems, elemBits)
 	m.tri = tri
 	m.settle(uncounted, elemCounts)
-	found = m.harvest()
+	found := m.harvest()
 	var l2 []itemset.Itemset
 	infreqPairs := 0
 	tri.Each(func(x, y itemset.Item, count int64) {
@@ -386,7 +578,7 @@ func (m *miner) run() {
 			})
 			m.mfcs.Update(s2)
 		} else {
-			m.mfcs.RebuildFromPairGraph(l1, func(a, b itemset.Item) bool {
+			m.mfcs.RebuildFromPairGraph(m.l1, func(a, b itemset.Item) bool {
 				return tri.Count(a, b) >= m.minCount
 			}, budget)
 		}
@@ -403,27 +595,35 @@ func (m *miner) run() {
 	})
 	m.emitPass(obsv.PhaseBottomUp)
 
-	removedAny := false
+	m.removedAny = false
 	if !m.abandoned {
-		l2, removedAny = m.filterByMFS(l2)
+		l2, m.removedAny = m.filterByMFS(l2)
 	}
+	m.lk = l2
+	m.k = 2
+}
 
-	// ---- Passes ≥ 3: join + recovery + new prune, with MFCS counting ----
-	lk := l2
+// levelwise runs the passes ≥ 3 — join + recovery + new prune, with MFCS
+// counting — checkpointing after every pass barrier. It returns when the
+// bottom-up search exhausts (the tail phase follows) or the run abandoned
+// the MFCS and the degraded search finished.
+func (m *miner) levelwise() {
+	n := m.sc.NumItems()
 	emptyView := newMFSView(n)
-	for k := 2; ; k++ {
+	for {
+		k := m.k
 		view := m.mfs
 		if m.abandoned {
 			view = emptyView
 		}
-		ck := generateCandidates(lk, view, k, removedAny, m.opt.DisableRecovery)
+		ck := generateCandidates(m.lk, view, k, m.removedAny, m.opt.DisableRecovery)
 		if len(ck) == 0 && (m.abandoned || len(m.mfcs.Uncounted()) == 0) {
-			break
+			return
 		}
 		phase := obsv.PhaseBottomUp
 		if len(ck) == 0 {
 			phase = obsv.PhaseMFCSCount
-		} else if removedAny && !m.opt.DisableRecovery {
+		} else if m.removedAny && !m.opt.DisableRecovery {
 			phase = obsv.PhaseRecovery
 		}
 		// §3.5's degraded mode: with no MFCS to maintain, count two levels
@@ -438,6 +638,7 @@ func (m *miner) run() {
 			if len(speculative) > 0 {
 				all = append(append([]itemset.Itemset(nil), ck...), speculative...)
 			}
+			m.beforePass(len(all))
 			counts := m.countPass(all)
 			var frequentCk, frequentSpec []itemset.Itemset
 			for i, c := range ck {
@@ -459,13 +660,15 @@ func (m *miner) run() {
 			if len(frequentSpec) == 0 {
 				// The speculative set contains every true next-level
 				// candidate, so nothing survives above level k+1 either.
-				break
+				return
 			}
-			k++ // this pass consumed two levels
-			lk = frequentSpec
-			removedAny = false
+			m.k = k + 2 // this pass consumed two levels
+			m.lk = frequentSpec
+			m.removedAny = false
+			m.checkpointNow()
 			continue
 		}
+		m.beforePass(len(ck))
 		counts := m.countPass(ck)
 		found := m.harvest()
 		var frequentCk, sk []itemset.Itemset
@@ -497,20 +700,14 @@ func (m *miner) run() {
 			Frequent: len(frequentCk), MFSFound: found,
 		})
 		m.emitPass(phase)
-		removedAny = false
+		m.removedAny = false
 		if !m.abandoned {
-			frequentCk, removedAny = m.filterByMFS(frequentCk)
+			frequentCk, m.removedAny = m.filterByMFS(frequentCk)
 		}
-		lk = frequentCk
+		m.lk = frequentCk
+		m.k = k + 1
+		m.checkpointNow()
 	}
-
-	if !m.abandoned {
-		m.tailPhase()
-		if m.fellBack {
-			return
-		}
-	}
-	m.finish()
 }
 
 // tailPhase classifies whatever remains of the MFCS once the bottom-up
@@ -522,7 +719,7 @@ func (m *miner) run() {
 // MFCS element is frequent and the closure covers all frequent itemsets,
 // so MFCS = MFS.
 func (m *miner) tailPhase() {
-	for tail := 1; ; tail++ {
+	for tail := m.tailNum; ; tail++ {
 		for _, e := range m.mfcs.Infrequent() {
 			m.mfcs.SplitSelf(e)
 			if m.mfcs.Exploded() {
@@ -549,6 +746,7 @@ func (m *miner) tailPhase() {
 			m.fallbackFullApriori()
 			return
 		}
+		m.beforePass(0)
 		m.countPass(nil)
 		found += m.harvest()
 		m.res.Stats.TailPasses++
@@ -556,7 +754,139 @@ func (m *miner) tailPhase() {
 			MFCSCandidates: m.lastMFCSCounted, MFSFound: found,
 		})
 		m.emitPass(obsv.PhaseTail)
+		m.tailNum = tail + 1
+		m.checkpointNow()
 	}
+}
+
+// beforePass is the pass-boundary gate: context cancellation, the total-
+// pass budget, the per-pass candidate budget (passes ≥ 3 only — passes 1
+// and 2 count the fixed item/pair universe), and the approximate memory
+// ceiling. Any trip raises the Abort sentinel, which mine() converts into
+// a *mfi.PartialResultError carrying the anytime result.
+func (m *miner) beforePass(candidates int) {
+	mfi.CheckContext(m.ctx)
+	if b := m.opt.MaxTotalPasses; b > 0 && m.res.Stats.Passes >= b {
+		panic(&mfi.Abort{Reason: mfi.ReasonMaxPasses,
+			Cause: fmt.Errorf("pass budget exhausted: %d passes completed", m.res.Stats.Passes)})
+	}
+	if b := m.opt.MaxCandidatesPerPass; b > 0 && candidates > b {
+		panic(&mfi.Abort{Reason: mfi.ReasonMaxCandidates,
+			Cause: fmt.Errorf("pass would count %d candidates, budget is %d", candidates, b)})
+	}
+	if b := m.opt.MaxMemoryBytes; b > 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > uint64(b) {
+			panic(&mfi.Abort{Reason: mfi.ReasonMemory,
+				Cause: fmt.Errorf("heap %d bytes exceeds ceiling %d", ms.HeapAlloc, b)})
+		}
+	}
+}
+
+// recoverAbort converts the Abort sentinel (raised directly by a boundary
+// or budget check, or captured inside a counting worker and re-raised
+// wrapped in a WorkerPanic) into a *mfi.PartialResultError assembled from
+// the miner's best-so-far state; any other panic continues to the outer
+// mfi.RecoverMiningError.
+func (m *miner) recoverAbort(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	ab := mfi.AbortFrom(r)
+	if ab == nil {
+		panic(r)
+	}
+	m.res.Stats.Duration = time.Since(m.start)
+	m.finish()
+	if m.tracer != nil {
+		m.tracer.RunDone(obsv.RunSummary{
+			Algorithm: m.res.Stats.Algorithm, Passes: m.res.Stats.Passes,
+			Candidates: m.res.Stats.Candidates, MFSSize: len(m.res.MFS),
+			Duration: m.res.Stats.Duration,
+			Aborted:  true, AbortReason: ab.Reason,
+		})
+	}
+	*errp = &mfi.PartialResultError{
+		Result: m.res,
+		MFCS:   m.upperBound(),
+		Pass:   m.res.Stats.Passes,
+		Reason: ab.Reason,
+		Cause:  ab.Cause,
+	}
+}
+
+// upperBound returns the current anytime upper bound on the MFS: the MFCS
+// elements (whose closure covers every actually-frequent itemset throughout
+// the run — infrequent elements linger until split, so their still-viable
+// subsets are covered too) merged with the harvested MFS. Nil once the
+// adaptive policy abandoned the MFCS: no bound is maintained then.
+func (m *miner) upperBound() []itemset.Itemset {
+	if m.abandoned || m.mfcs == nil {
+		return nil
+	}
+	sets := make([]itemset.Itemset, 0, m.mfcs.Len()+m.mfs.len())
+	sets = append(sets, m.mfcs.Elements()...)
+	sets = append(sets, m.mfs.sets...)
+	return itemset.MaximalOnly(sets)
+}
+
+// checkpointNow persists the miner's state through the configured
+// Checkpointer (a no-op without one). A failed write aborts the run: a
+// caller that asked for durability should not silently lose it.
+func (m *miner) checkpointNow() {
+	if m.cp == nil {
+		return
+	}
+	start := time.Now()
+	st := m.snapshot()
+	if err := m.cp.Save(st); err != nil {
+		panic(&mfi.Abort{Reason: mfi.ReasonCheckpoint, Cause: err})
+	}
+	obsv.EmitCheckpoint(m.tracer, obsv.CheckpointEvent{
+		Algorithm: m.res.Stats.Algorithm, Pass: m.res.Stats.Passes,
+		Stage: m.stage.stageName(), Duration: time.Since(start),
+	})
+}
+
+// snapshot captures everything run() carries across the current pass
+// barrier. The pass-1 item array and pass-2 pair triangle are included
+// because the support resolver answers from them for the rest of the run;
+// without them a resumed run would recount resolved MFCS elements and its
+// per-pass statistics would diverge from the uninterrupted run's.
+func (m *miner) snapshot() *checkpoint.State {
+	st := &checkpoint.State{
+		Version:         checkpoint.Version,
+		Algorithm:       m.res.Stats.Algorithm,
+		MinCount:        m.minCount,
+		NumTransactions: int64(m.sc.Len()),
+		NumItems:        m.sc.NumItems(),
+		Stage:           m.stage.stageName(),
+		K:               m.k,
+		Tail:            m.tailNum,
+		Lk:              m.lk,
+		RemovedAny:      m.removedAny,
+		Abandoned:       m.abandoned,
+		MFS:             m.mfs.sets,
+		AllFrequent:     m.allFrequent,
+		Cache:           m.cache,
+		ItemCounts:      m.itemCounts,
+		Stats:           m.res.Stats,
+	}
+	if m.tri != nil {
+		universe, live, counts := m.tri.Snapshot()
+		st.Pairs = &checkpoint.TriangleState{Universe: universe, Live: live, Counts: counts}
+	}
+	if !m.abandoned {
+		st.MFCS = make([]checkpoint.MFCSElement, len(m.mfcs.elems))
+		for i, e := range m.mfcs.elems {
+			st.MFCS[i] = checkpoint.MFCSElement{
+				Set: e.set, State: uint8(e.state), Count: e.count, Harvested: e.harvested,
+			}
+		}
+	}
+	return st
 }
 
 // mfsOverCap reports whether the discovered maximal-itemset count exceeds
@@ -587,15 +917,24 @@ func (m *miner) abandon(frequentCk []itemset.Itemset) []itemset.Itemset {
 // fallbackFullApriori produces a guaranteed-correct result by running the
 // Apriori baseline, merging its statistics into this run's. It is the
 // safety net for pathological configurations; none of the benchmark
-// workloads trigger it.
+// workloads trigger it. The sub-run inherits this run's context so
+// cancellation still lands, but never the Checkpointer: the fallback
+// replays deterministically from the last Pincer checkpoint on resume.
 func (m *miner) fallbackFullApriori() {
 	m.fellBack = true
 	m.res.Stats.AdaptiveOff = true
 	aopt := apriori.DefaultOptions()
 	aopt.Engine = m.opt.Engine
 	aopt.KeepFrequent = m.opt.KeepFrequent
+	aopt.Context = m.ctx
+	aopt.CancelCheckEvery = m.opt.CancelCheckEvery
 	ares, err := apriori.MineCount(m.sc, m.minCount, aopt)
 	if err != nil {
+		if pe, ok := err.(*mfi.PartialResultError); ok {
+			// The sub-run was cancelled; re-raise as an Abort so this run's
+			// own partial (the state before the fallback) is reported.
+			panic(&mfi.Abort{Reason: pe.Reason, Cause: pe.Cause})
+		}
 		// Re-raise so this run's own mining boundary reports the error with
 		// the merged statistics discarded, exactly as for a direct failure.
 		panic(err)

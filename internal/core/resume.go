@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pincer/internal/checkpoint"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// MineResume continues a mine that was interrupted after writing a
+// checkpoint: it loads the latest state from opt.Checkpointer, validates it
+// against this run's database and threshold, and re-enters the staged run
+// loop at the saved pass barrier. With no checkpoint on record it simply
+// runs MineCount from scratch — so "mine with -resume" is always safe, even
+// when the previous attempt died before the first barrier.
+//
+// The resume invariant (enforced by the fault-injection suite): for any
+// interruption point, resume produces the same MFS, supports, and per-pass
+// statistics as an uninterrupted run, because checkpoints are written only
+// at pass barriers and every mutation between barriers is replayed from the
+// barrier's snapshot.
+func MineResume(sc dataset.Scanner, minCount int64, opt Options) (res *mfi.Result, err error) {
+	if opt.Checkpointer == nil {
+		return nil, errors.New("core: MineResume requires Options.Checkpointer")
+	}
+	st, err := opt.Checkpointer.Load()
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return MineCount(sc, minCount, opt)
+	}
+	if err := validateState(st, sc, minCount, opt); err != nil {
+		return nil, err
+	}
+	defer mfi.RecoverMiningError(&err)
+	m := newMiner(sc, minCount, opt)
+	if rerr := m.restore(st); rerr != nil {
+		return nil, rerr
+	}
+	return m.mine()
+}
+
+// validateState rejects a checkpoint recorded for a different run: another
+// database, support threshold, or algorithm variant.
+func validateState(st *checkpoint.State, sc dataset.Scanner, minCount int64, opt Options) error {
+	algorithm := "pincer"
+	if opt.Algorithm != "" {
+		algorithm = opt.Algorithm
+	}
+	switch {
+	case st.Algorithm != algorithm:
+		return &checkpoint.MismatchError{Field: "algorithm", Want: algorithm, Got: st.Algorithm}
+	case st.MinCount != minCount:
+		return &checkpoint.MismatchError{Field: "min count",
+			Want: fmt.Sprint(minCount), Got: fmt.Sprint(st.MinCount)}
+	case st.NumTransactions != int64(sc.Len()):
+		return &checkpoint.MismatchError{Field: "transactions",
+			Want: fmt.Sprint(sc.Len()), Got: fmt.Sprint(st.NumTransactions)}
+	case st.NumItems != sc.NumItems():
+		return &checkpoint.MismatchError{Field: "item universe",
+			Want: fmt.Sprint(sc.NumItems()), Got: fmt.Sprint(st.NumItems)}
+	}
+	return nil
+}
+
+// restore rebuilds the miner's pass-barrier state from a checkpoint: the
+// staged-loop position, discovered frequent sets and supports, the pass-1/
+// pass-2 counting structures backing the support resolver, and the MFCS
+// with per-element states.
+func (m *miner) restore(st *checkpoint.State) error {
+	stage, ok := stageFromName(st.Stage)
+	if !ok {
+		return &checkpoint.CorruptError{Path: "(state)", Err: fmt.Errorf("unknown stage %q", st.Stage)}
+	}
+	m.stage = stage
+	m.k = st.K
+	m.tailNum = st.Tail
+	m.lk = st.Lk
+	m.removedAny = st.RemovedAny
+	m.abandoned = st.Abandoned
+	m.allFrequent = st.AllFrequent
+	if st.Cache != nil {
+		m.cache = st.Cache
+	}
+	m.itemCounts = st.ItemCounts
+	if st.Pairs != nil {
+		m.tri = counting.RestoreTriangle(st.Pairs.Universe, st.Pairs.Live, st.Pairs.Counts)
+	}
+	m.res.Stats = st.Stats
+
+	// l1 is not persisted: it is exactly the frequent items of the pass-1
+	// array, which is.
+	m.l1 = nil
+	for i, c := range m.itemCounts {
+		if c >= m.minCount {
+			m.l1 = append(m.l1, itemset.Item(i))
+		}
+	}
+
+	for _, s := range st.MFS {
+		m.mfs.add(s)
+	}
+	if m.abandoned {
+		m.mfcs.Replace(nil)
+	} else {
+		m.mfcs.elems = m.mfcs.elems[:0]
+		for _, e := range st.MFCS {
+			m.mfcs.elems = append(m.mfcs.elems, &element{
+				set:       e.Set,
+				bits:      itemset.BitsetOf(m.mfcs.numItems, e.Set),
+				state:     elementState(e.State),
+				count:     e.Count,
+				harvested: e.Harvested,
+			})
+		}
+	}
+
+	// Rebuild the retained frequent-set view from the persisted itemsets
+	// and the support cache.
+	if m.opt.KeepFrequent {
+		for _, f := range m.allFrequent {
+			m.res.Frequent.AddWithCount(f, m.cache[f.Key()])
+		}
+	}
+	return nil
+}

@@ -234,6 +234,27 @@ func (t *Triangle) Merge(o *Triangle) {
 	SumInto(t.counts, o.counts)
 }
 
+// Snapshot returns copies of the triangle's universe size, live items, and
+// flat count array — everything RestoreTriangle needs to rebuild it. Used
+// by checkpointing: the pair triangle backs the 2-itemset support resolver
+// for the rest of the run, so it must survive a restart.
+func (t *Triangle) Snapshot() (universe int, live itemset.Itemset, counts []int64) {
+	counts = make([]int64, len(t.counts))
+	copy(counts, t.counts)
+	return len(t.index), t.items.Clone(), counts
+}
+
+// RestoreTriangle rebuilds a Triangle from a Snapshot. It panics with a
+// *MismatchError if counts does not have the triangle size implied by live.
+func RestoreTriangle(universe int, live itemset.Itemset, counts []int64) *Triangle {
+	t := NewTriangle(universe, live)
+	if len(t.counts) != len(counts) {
+		panic(&MismatchError{Op: "RestoreTriangle", Want: len(t.counts), Got: len(counts)})
+	}
+	copy(t.counts, counts)
+	return t
+}
+
 // MismatchError reports a merge of structurally incompatible counters:
 // count arrays of different lengths (SumInto) or triangles over different
 // live sets (Triangle.Merge). These are programmer errors on the parallel

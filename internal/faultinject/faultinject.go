@@ -1,0 +1,147 @@
+// Package faultinject provides test-only fault injection at the two seams
+// every miner shares: the dataset.Scanner (mid-scan and pass-boundary
+// crashes for miners that scan directly) and the core.PassCounter
+// (pass-boundary crashes and cancellations for the Pincer miners, whose
+// every database pass is exactly one counting call).
+//
+// A "kill" is simulated by panicking with an *mfi.Abort carrying
+// ReasonKill: the run unwinds through the normal abort recovery, returns a
+// *mfi.PartialResultError, and — crucially for the resume tests — never
+// reaches the success path that clears the checkpoint, exactly like a
+// crashed process whose checkpoint file survives on disk. A "cancel" calls
+// the run's context CancelFunc at the fault point and then proceeds into
+// the pass, so the in-scan guards (sequential and per-worker) abort
+// mid-scan.
+package faultinject
+
+import (
+	"context"
+	"errors"
+
+	"pincer/internal/core"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+)
+
+// ErrInjected is the cause carried by every injected fault.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ReasonKill is the abort reason of a simulated crash.
+const ReasonKill = "fault-kill"
+
+// Mode selects what happens at the fault point.
+type Mode int
+
+const (
+	// ModeKill panics with an *mfi.Abort — a simulated crash.
+	ModeKill Mode = iota
+	// ModeCancel invokes the configured CancelFunc and continues into the
+	// pass, so the miner's own mid-scan guards abort it.
+	ModeCancel
+)
+
+func kill() {
+	panic(&mfi.Abort{Reason: ReasonKill, Cause: ErrInjected})
+}
+
+// Counter wraps a core.PassCounter and trips at the start of the TripAt-th
+// counting call (1-based) — the boundary of the TripAt-th database pass,
+// since the miner charges exactly one counting call per pass.
+type Counter struct {
+	Inner  core.PassCounter
+	TripAt int
+	Mode   Mode
+	// Cancel is invoked by ModeCancel at the fault point.
+	Cancel context.CancelFunc
+
+	calls int
+}
+
+func (c *Counter) trip() {
+	c.calls++
+	if c.calls != c.TripAt {
+		return
+	}
+	switch c.Mode {
+	case ModeKill:
+		kill()
+	case ModeCancel:
+		if c.Cancel != nil {
+			c.Cancel()
+		}
+	}
+}
+
+// CountItems implements core.PassCounter.
+func (c *Counter) CountItems(numItems int, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
+	c.trip()
+	return c.Inner.CountItems(numItems, elems, elemBits)
+}
+
+// CountPairs implements core.PassCounter.
+func (c *Counter) CountPairs(numItems int, live itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) (*counting.Triangle, []int64) {
+	c.trip()
+	return c.Inner.CountPairs(numItems, live, elems, elemBits)
+}
+
+// CountCandidates implements core.PassCounter.
+func (c *Counter) CountCandidates(engine counting.Engine, candidates []itemset.Itemset, elems []itemset.Itemset, elemBits []*itemset.Bitset) ([]int64, []int64) {
+	c.trip()
+	return c.Inner.CountCandidates(engine, candidates, elems, elemBits)
+}
+
+// BindContext forwards the run's context to the wrapped counter when it
+// supports mid-scan checks.
+func (c *Counter) BindContext(ctx context.Context, checkEvery int) {
+	if b, ok := c.Inner.(core.ContextBinder); ok {
+		b.BindContext(ctx, checkEvery)
+	}
+}
+
+// Workers reports the wrapped counter's goroutine count.
+func (c *Counter) Workers() int {
+	if w, ok := c.Inner.(core.WorkerCounted); ok {
+		return w.Workers()
+	}
+	return 1
+}
+
+// Scanner wraps a dataset.Scanner and trips during the TripAtScan-th Scan
+// call (1-based), after AfterTx transactions have been delivered to the
+// callback (0 = immediately, a pass-boundary crash). By default the trip
+// simulates a crash — the scan panics with an *mfi.Abort; with OnTrip set
+// the hook runs once instead (e.g. a context CancelFunc) and the scan
+// continues, letting the miner's own guards abort it. Other Scan calls pass
+// through untouched.
+type Scanner struct {
+	dataset.Scanner
+	TripAtScan int
+	AfterTx    int
+	OnTrip     func()
+
+	scans int
+}
+
+// Scan implements dataset.Scanner.
+func (s *Scanner) Scan(fn func(itemset.Itemset, *itemset.Bitset)) {
+	s.scans++
+	if s.scans != s.TripAtScan {
+		s.Scanner.Scan(fn)
+		return
+	}
+	delivered := 0
+	tripped := false
+	s.Scanner.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+		if delivered >= s.AfterTx && !tripped {
+			tripped = true
+			if s.OnTrip == nil {
+				kill()
+			}
+			s.OnTrip()
+		}
+		delivered++
+		fn(tx, bits)
+	})
+}

@@ -1,0 +1,171 @@
+package mfi
+
+import (
+	"context"
+	"fmt"
+
+	"pincer/internal/itemset"
+)
+
+// Abort reasons, recorded on PartialResultError.Reason. They name which
+// cancellation point or resource budget ended the run early.
+const (
+	// ReasonCancelled: the run's context was cancelled.
+	ReasonCancelled = "cancelled"
+	// ReasonDeadline: the context deadline (or Options.Deadline) expired.
+	ReasonDeadline = "deadline"
+	// ReasonMaxPasses: the total-pass budget was exhausted.
+	ReasonMaxPasses = "max-passes"
+	// ReasonMaxCandidates: a pass exceeded the per-pass candidate budget.
+	ReasonMaxCandidates = "max-candidates"
+	// ReasonMemory: the approximate heap ceiling was exceeded.
+	ReasonMemory = "memory-budget"
+	// ReasonCheckpoint: writing a checkpoint failed; the run stops rather
+	// than silently continuing without durability.
+	ReasonCheckpoint = "checkpoint-failure"
+)
+
+// PartialResultError is returned by the miners when a run is cut short by
+// context cancellation or a resource budget. Pincer-Search is an anytime
+// algorithm: at every pass the frequent itemsets found so far are a lower
+// bound on the maximum frequent set and the MFCS is an upper bound, so
+// instead of discarding the work the error carries the best-so-far result.
+type PartialResultError struct {
+	// Result is the anytime result at the abort point: MFS holds the
+	// maximal itemsets among the frequent itemsets explicitly discovered so
+	// far (a lower bound on the true MFS — every element is a subset of a
+	// true maximal frequent itemset), with supports and the pass statistics
+	// accumulated up to the abort.
+	Result *Result
+	// MFCS is the current top-down frontier, an upper bound on the MFS:
+	// every frequent itemset of the database is a subset of some element.
+	// It is nil when the miner maintains no frontier (Apriori) or had
+	// abandoned it (the adaptive fallback), in which case no upper bound is
+	// available.
+	MFCS []itemset.Itemset
+	// Pass is the number of completed database passes.
+	Pass int
+	// Reason names the cancellation point or budget (Reason* constants).
+	Reason string
+	// Cause is the underlying error (e.g. context.Canceled), if any.
+	Cause error
+}
+
+// Error implements error.
+func (e *PartialResultError) Error() string {
+	msg := fmt.Sprintf("mining aborted (%s) after %d passes: partial result with %d maximal frequent itemsets",
+		e.Reason, e.Pass, len(e.Result.MFS))
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause (so errors.Is(err, context.Canceled)
+// works across the mining boundary).
+func (e *PartialResultError) Unwrap() error { return e.Cause }
+
+// Abort is the panic sentinel raised at cancellation and budget points —
+// inside scan loops, in counting workers, and at pass boundaries. The
+// mining entry points recover it (also when wrapped in a WorkerPanic from a
+// counting goroutine) and convert it into a *PartialResultError carrying
+// the miner's best-so-far state.
+type Abort struct {
+	Reason string
+	Cause  error
+}
+
+// Error implements error.
+func (a *Abort) Error() string {
+	if a.Cause != nil {
+		return fmt.Sprintf("mining aborted (%s): %v", a.Reason, a.Cause)
+	}
+	return fmt.Sprintf("mining aborted (%s)", a.Reason)
+}
+
+// Unwrap exposes the cause.
+func (a *Abort) Unwrap() error { return a.Cause }
+
+// NewAbort builds the Abort for a context error, classifying deadline
+// expiry separately from explicit cancellation.
+func NewAbort(ctxErr error) *Abort {
+	reason := ReasonCancelled
+	if ctxErr == context.DeadlineExceeded {
+		reason = ReasonDeadline
+	}
+	return &Abort{Reason: reason, Cause: ctxErr}
+}
+
+// AbortFrom extracts the Abort sentinel from a recovered panic value: the
+// sentinel itself, or one captured inside a counting worker and re-raised
+// wrapped in a WorkerPanic. It returns nil for any other panic.
+func AbortFrom(r interface{}) *Abort {
+	switch v := r.(type) {
+	case *Abort:
+		return v
+	case *WorkerPanic:
+		if ab, ok := v.Value.(*Abort); ok {
+			return ab
+		}
+	}
+	return nil
+}
+
+// DefaultCancelCheckEvery is the number of transactions between context
+// checks inside a scan loop when the mining options don't override it.
+const DefaultCancelCheckEvery = 1024
+
+// ScanGuard checks a context every N transactions inside a scan loop and
+// raises the Abort sentinel when it is cancelled, bounding cancellation
+// latency to a fraction of a pass instead of a whole one. A nil guard is
+// valid and free: NewScanGuard returns nil for uncancellable contexts, and
+// Tick on a nil receiver is a no-op, so unbudgeted runs pay a single
+// pointer test per transaction at most.
+//
+// A guard is not safe for concurrent use; parallel counters create one per
+// worker.
+type ScanGuard struct {
+	ctx   context.Context
+	every int
+	n     int
+}
+
+// NewScanGuard builds a guard for ctx, checking every `every` transactions
+// (≤ 0 means DefaultCancelCheckEvery). It returns nil when ctx is nil or
+// can never be cancelled.
+func NewScanGuard(ctx context.Context, every int) *ScanGuard {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = DefaultCancelCheckEvery
+	}
+	return &ScanGuard{ctx: ctx, every: every}
+}
+
+// Tick registers one transaction, panicking with an Abort if the context
+// was cancelled and a check is due.
+func (g *ScanGuard) Tick() {
+	if g == nil {
+		return
+	}
+	g.n++
+	if g.n < g.every {
+		return
+	}
+	g.n = 0
+	if err := g.ctx.Err(); err != nil {
+		panic(NewAbort(err))
+	}
+}
+
+// CheckContext raises the Abort sentinel if ctx is non-nil and cancelled —
+// the pass-boundary check.
+func CheckContext(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		panic(NewAbort(err))
+	}
+}

@@ -54,6 +54,11 @@ func RecoverMiningError(errp *error) {
 		*errp = e
 	case *WorkerPanic:
 		*errp = e
+	case *Abort:
+		// Safety net: an Abort that escaped a miner's own partial-result
+		// recovery (e.g. raised before any state existed) still surfaces as
+		// an error instead of crashing.
+		*errp = e
 	default:
 		panic(r)
 	}

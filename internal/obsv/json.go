@@ -20,10 +20,11 @@ func NewJSONTracer(w io.Writer) *JSONTracer {
 }
 
 type jsonEvent struct {
-	Type    string      `json:"type"`
-	Run     *RunInfo    `json:"run,omitempty"`
-	Pass    *PassEvent  `json:"pass,omitempty"`
-	Summary *RunSummary `json:"summary,omitempty"`
+	Type       string           `json:"type"`
+	Run        *RunInfo         `json:"run,omitempty"`
+	Pass       *PassEvent       `json:"pass,omitempty"`
+	Summary    *RunSummary      `json:"summary,omitempty"`
+	Checkpoint *CheckpointEvent `json:"checkpoint,omitempty"`
 }
 
 // RunStart implements Tracer.
@@ -45,4 +46,11 @@ func (t *JSONTracer) RunDone(sum RunSummary) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.enc.Encode(jsonEvent{Type: "run_done", Summary: &sum})
+}
+
+// CheckpointDone implements CheckpointTracer.
+func (t *JSONTracer) CheckpointDone(ev CheckpointEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enc.Encode(jsonEvent{Type: "checkpoint", Checkpoint: &ev})
 }

@@ -158,7 +158,9 @@ type MetricsTracer struct {
 	runs, passes, candidates, mfcsCandidates *Counter
 	frequent, mfsFound                       *Counter
 	scanNanos, miningNanos                   *Counter
+	cancellations, checkpointsWritten        *Counter
 	workers, lastPasses, lastMFSSize         *Gauge
+	lastCheckpointPass                       *Gauge
 }
 
 // NewMetricsTracer registers the standard mining metrics on reg and returns
@@ -176,6 +178,10 @@ func NewMetricsTracer(reg *Registry) *MetricsTracer {
 		workers:        reg.Gauge("pincer_workers", "Counting goroutines of the most recent run."),
 		lastPasses:     reg.Gauge("pincer_last_run_passes", "Passes of the most recently finished run."),
 		lastMFSSize:    reg.Gauge("pincer_last_run_mfs_size", "|MFS| of the most recently finished run."),
+
+		cancellations:      reg.Counter("pincer_mine_cancellations_total", "Mining runs ended early by cancellation or a resource budget."),
+		checkpointsWritten: reg.Counter("pincer_checkpoints_written_total", "Pass-barrier checkpoints persisted."),
+		lastCheckpointPass: reg.Gauge("pincer_last_checkpoint_pass", "Pass number of the most recently written checkpoint."),
 	}
 }
 
@@ -200,4 +206,13 @@ func (t *MetricsTracer) RunDone(sum RunSummary) {
 	t.miningNanos.Add(sum.Duration.Nanoseconds())
 	t.lastPasses.Set(int64(sum.Passes))
 	t.lastMFSSize.Set(int64(sum.MFSSize))
+	if sum.Aborted {
+		t.cancellations.Inc()
+	}
+}
+
+// CheckpointDone implements CheckpointTracer.
+func (t *MetricsTracer) CheckpointDone(ev CheckpointEvent) {
+	t.checkpointsWritten.Inc()
+	t.lastCheckpointPass.Set(int64(ev.Pass))
 }

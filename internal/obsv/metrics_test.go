@@ -17,11 +17,19 @@ func feedFixedRun(tr Tracer) {
 		Frequent: 25, Infrequent: 15, MFSFound: 1,
 		ScanDuration: 1500 * time.Nanosecond, Workers: 2,
 	})
+	EmitCheckpoint(tr, CheckpointEvent{
+		Algorithm: "pincer", Pass: 1, Stage: "levelwise",
+		Duration: 100 * time.Nanosecond,
+	})
 	tr.PassDone(PassEvent{
 		Algorithm: "pincer", Pass: 2, Phase: PhaseRecovery,
 		Candidates: 60, MFCSCandidates: 2, MFCSSize: 1,
 		Frequent: 30, Infrequent: 30, MFSFound: 2,
 		ScanDuration: 500 * time.Nanosecond, Workers: 2,
+	})
+	EmitCheckpoint(tr, CheckpointEvent{
+		Algorithm: "pincer", Pass: 2, Stage: "tail",
+		Duration: 100 * time.Nanosecond,
 	})
 	tr.RunDone(RunSummary{
 		Algorithm: "pincer", Passes: 2, Candidates: 102, MFSSize: 3,
@@ -32,9 +40,15 @@ func feedFixedRun(tr Tracer) {
 const wantPrometheus = `# HELP pincer_candidates_total Bottom-up candidates counted.
 # TYPE pincer_candidates_total counter
 pincer_candidates_total 100
+# HELP pincer_checkpoints_written_total Pass-barrier checkpoints persisted.
+# TYPE pincer_checkpoints_written_total counter
+pincer_checkpoints_written_total 2
 # HELP pincer_frequent_total Frequent itemsets discovered.
 # TYPE pincer_frequent_total counter
 pincer_frequent_total 55
+# HELP pincer_last_checkpoint_pass Pass number of the most recently written checkpoint.
+# TYPE pincer_last_checkpoint_pass gauge
+pincer_last_checkpoint_pass 2
 # HELP pincer_last_run_mfs_size |MFS| of the most recently finished run.
 # TYPE pincer_last_run_mfs_size gauge
 pincer_last_run_mfs_size 3
@@ -47,6 +61,9 @@ pincer_mfcs_candidates_total 6
 # HELP pincer_mfs_found_total Maximal frequent itemsets established.
 # TYPE pincer_mfs_found_total counter
 pincer_mfs_found_total 3
+# HELP pincer_mine_cancellations_total Mining runs ended early by cancellation or a resource budget.
+# TYPE pincer_mine_cancellations_total counter
+pincer_mine_cancellations_total 0
 # HELP pincer_mining_nanoseconds_total Wall clock spent in whole mining runs.
 # TYPE pincer_mining_nanoseconds_total counter
 pincer_mining_nanoseconds_total 2500
@@ -103,6 +120,32 @@ func TestMetricsTracerExpvarExposition(t *testing.T) {
 	}
 	if decoded["pincer_candidates_total"] != 100 {
 		t.Errorf("pincer_candidates_total = %d, want 100", decoded["pincer_candidates_total"])
+	}
+}
+
+// TestMetricsTracerCancellation checks the aborted-run counter: only
+// summaries flagged Aborted increment pincer_mine_cancellations_total.
+func TestMetricsTracerCancellation(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewMetricsTracer(reg)
+	feedFixedRun(tr)
+	tr.RunStart(RunInfo{Algorithm: "pincer", Workers: 1, MinCount: 3, NumTransactions: 100})
+	tr.RunDone(RunSummary{
+		Algorithm: "pincer", Passes: 1, Candidates: 40, MFSSize: 1,
+		Duration: 700 * time.Nanosecond, Aborted: true, AbortReason: "cancelled",
+	})
+	snap := reg.Snapshot()
+	if got := snap["pincer_mine_cancellations_total"]; got != 1 {
+		t.Errorf("pincer_mine_cancellations_total = %d, want 1", got)
+	}
+	if got := snap["pincer_runs_total"]; got != 2 {
+		t.Errorf("pincer_runs_total = %d, want 2", got)
+	}
+	if got := snap["pincer_checkpoints_written_total"]; got != 2 {
+		t.Errorf("pincer_checkpoints_written_total = %d, want 2", got)
+	}
+	if got := snap["pincer_last_checkpoint_pass"]; got != 2 {
+		t.Errorf("pincer_last_checkpoint_pass = %d, want 2", got)
 	}
 }
 

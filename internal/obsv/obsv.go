@@ -79,6 +79,22 @@ type RunSummary struct {
 	Candidates int64         `json:"candidates"`
 	MFSSize    int           `json:"mfs_size"`
 	Duration   time.Duration `json:"duration_ns"`
+	// Aborted marks a run cut short by cancellation or a resource budget;
+	// AbortReason carries the mfi.Reason* constant. The summary then
+	// describes the partial anytime result.
+	Aborted     bool   `json:"aborted,omitempty"`
+	AbortReason string `json:"abort_reason,omitempty"`
+}
+
+// CheckpointEvent records one persisted pass-barrier checkpoint.
+type CheckpointEvent struct {
+	Algorithm string `json:"algorithm"`
+	// Pass is the number of completed passes captured by the checkpoint.
+	Pass int `json:"pass"`
+	// Stage is the phase the checkpoint re-enters on resume.
+	Stage string `json:"stage"`
+	// Duration is the wall clock spent encoding and persisting the state.
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // Tracer receives the event stream of a mining run. Implementations must be
@@ -88,6 +104,21 @@ type Tracer interface {
 	RunStart(info RunInfo)
 	PassDone(ev PassEvent)
 	RunDone(sum RunSummary)
+}
+
+// CheckpointTracer is optionally implemented by Tracers that also want the
+// checkpoint event stream; the miners feed it with a type assertion, so
+// plain Tracers keep working unchanged.
+type CheckpointTracer interface {
+	CheckpointDone(ev CheckpointEvent)
+}
+
+// EmitCheckpoint forwards ev to tr if it implements CheckpointTracer; a nil
+// or plain Tracer is a no-op. Miners call this at every checkpoint.
+func EmitCheckpoint(tr Tracer, ev CheckpointEvent) {
+	if ct, ok := tr.(CheckpointTracer); ok {
+		ct.CheckpointDone(ev)
+	}
 }
 
 // Multi fans every event out to each tracer in order.
@@ -125,13 +156,22 @@ func (m multiTracer) RunDone(sum RunSummary) {
 	}
 }
 
+// CheckpointDone implements CheckpointTracer, forwarding to the members
+// that implement it.
+func (m multiTracer) CheckpointDone(ev CheckpointEvent) {
+	for _, t := range m {
+		EmitCheckpoint(t, ev)
+	}
+}
+
 // Collector is a Tracer that accumulates the event stream in memory, for
 // tests and for benchrun's report folding.
 type Collector struct {
-	mu     sync.Mutex
-	runs   []RunInfo
-	passes []PassEvent
-	done   []RunSummary
+	mu          sync.Mutex
+	runs        []RunInfo
+	passes      []PassEvent
+	done        []RunSummary
+	checkpoints []CheckpointEvent
 }
 
 // NewCollector returns an empty Collector.
@@ -179,9 +219,23 @@ func (c *Collector) Summaries() []RunSummary {
 	return append([]RunSummary(nil), c.done...)
 }
 
+// CheckpointDone implements CheckpointTracer.
+func (c *Collector) CheckpointDone(ev CheckpointEvent) {
+	c.mu.Lock()
+	c.checkpoints = append(c.checkpoints, ev)
+	c.mu.Unlock()
+}
+
+// Checkpoints returns a copy of the collected checkpoint events.
+func (c *Collector) Checkpoints() []CheckpointEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]CheckpointEvent(nil), c.checkpoints...)
+}
+
 // Reset discards everything collected so far.
 func (c *Collector) Reset() {
 	c.mu.Lock()
-	c.runs, c.passes, c.done = nil, nil, nil
+	c.runs, c.passes, c.done, c.checkpoints = nil, nil, nil, nil
 	c.mu.Unlock()
 }

@@ -54,10 +54,11 @@ func TestJSONTracerEmitsValidJSONL(t *testing.T) {
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
 		var ev struct {
-			Type    string      `json:"type"`
-			Run     *RunInfo    `json:"run"`
-			Pass    *PassEvent  `json:"pass"`
-			Summary *RunSummary `json:"summary"`
+			Type       string           `json:"type"`
+			Run        *RunInfo         `json:"run"`
+			Pass       *PassEvent       `json:"pass"`
+			Summary    *RunSummary      `json:"summary"`
+			Checkpoint *CheckpointEvent `json:"checkpoint"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
@@ -76,11 +77,15 @@ func TestJSONTracerEmitsValidJSONL(t *testing.T) {
 			if ev.Summary == nil || ev.Summary.MFSSize != 3 {
 				t.Errorf("run_done = %+v", ev.Summary)
 			}
+		case "checkpoint":
+			if ev.Checkpoint == nil || ev.Checkpoint.Stage == "" {
+				t.Errorf("checkpoint = %+v", ev.Checkpoint)
+			}
 		default:
 			t.Errorf("unknown event type %q", ev.Type)
 		}
 	}
-	want := []string{"run_start", "pass", "pass", "run_done"}
+	want := []string{"run_start", "pass", "checkpoint", "pass", "checkpoint", "run_done"}
 	if len(types) != len(want) {
 		t.Fatalf("event types = %v, want %v", types, want)
 	}

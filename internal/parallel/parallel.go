@@ -20,12 +20,14 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
 	"pincer/internal/apriori"
+	"pincer/internal/checkpoint"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
@@ -44,6 +46,20 @@ type Options struct {
 	// Tracer receives per-pass trace events; nil disables tracing (no
 	// timestamps are taken).
 	Tracer obsv.Tracer
+	// Context cancels the run at pass boundaries and inside every worker's
+	// scan loop (each worker checks independently every CancelCheckEvery
+	// transactions); cancellation surfaces as a *mfi.PartialResultError.
+	Context context.Context
+	// Deadline, if positive, bounds the run's wall clock via a timeout
+	// context derived from Context.
+	Deadline time.Duration
+	// CancelCheckEvery is the per-worker number of transactions between
+	// in-scan context checks (default mfi.DefaultCancelCheckEvery).
+	CancelCheckEvery int
+	// Checkpointer, for the MinePincer* family, persists pass-barrier state
+	// for MinePincerResume / MinePincerFileResume (ignored by MineApriori,
+	// which supports cancellation but not checkpointing).
+	Checkpointer checkpoint.Checkpointer
 }
 
 // DefaultOptions returns the standard configuration.
@@ -128,6 +144,20 @@ func (p *partitions) each(fn func(w int, txs []itemset.Itemset, bits []*itemset.
 // mfi.RecoverMiningError).
 func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) (_ *mfi.Result, err error) {
 	defer mfi.RecoverMiningError(&err)
+	ctx := opt.Context
+	var cancel context.CancelFunc
+	if opt.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // uncancellable: skip every check
+	}
 	start := time.Now()
 	minCount := d.MinCount(minSupport)
 	p := newPartitions(d, opt.workers())
@@ -174,18 +204,6 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) (_ *mfi.Re
 		})
 	}
 
-	// Pass 1: per-worker item arrays, merged at the barrier.
-	arrays := make([]*counting.ItemArray, p.workers())
-	pass(func(w int, txs []itemset.Itemset, _ []*itemset.Bitset) {
-		arrays[w] = counting.NewItemArray(d.NumItems())
-		for _, tx := range txs {
-			arrays[w].Add(tx)
-		}
-	})
-	itemCounts := make([]int64, d.NumItems())
-	for _, a := range arrays {
-		counting.SumInto(itemCounts, a.Counts())
-	}
 	var lk []itemset.Itemset
 	counts := make(map[string]int64)
 	note := func(x itemset.Itemset, c int64) {
@@ -195,6 +213,63 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) (_ *mfi.Re
 		}
 	}
 	var all []itemset.Itemset
+	// finish assembles the result from the frequent sets found so far; it
+	// serves both the normal return and the abort recovery below.
+	finish := func() {
+		res.MFS = itemset.MaximalOnly(all)
+		res.MFSSupports = make([]int64, len(res.MFS))
+		for i, m := range res.MFS {
+			res.MFSSupports[i] = counts[m.Key()]
+		}
+		if !opt.KeepFrequent {
+			res.Frequent = nil
+		}
+		res.Stats.Duration = time.Since(start)
+	}
+	// Cancellation raises an Abort — at a pass boundary on this goroutine,
+	// or inside a worker (captured and re-raised at the barrier wrapped in
+	// *mfi.WorkerPanic, which AbortFrom unwraps). Either way it becomes a
+	// *mfi.PartialResultError; Apriori keeps no MFCS, so the bound is nil.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ab := mfi.AbortFrom(r)
+		if ab == nil {
+			panic(r)
+		}
+		finish()
+		if tr != nil {
+			tr.RunDone(obsv.RunSummary{
+				Algorithm:  res.Stats.Algorithm,
+				Passes:     res.Stats.Passes,
+				Candidates: res.Stats.Candidates,
+				MFSSize:    len(res.MFS),
+				Duration:   res.Stats.Duration,
+				Aborted:    true, AbortReason: ab.Reason,
+			})
+		}
+		err = &mfi.PartialResultError{
+			Result: res, Pass: res.Stats.Passes, Reason: ab.Reason, Cause: ab.Cause,
+		}
+	}()
+
+	// Pass 1: per-worker item arrays, merged at the barrier.
+	mfi.CheckContext(ctx)
+	arrays := make([]*counting.ItemArray, p.workers())
+	pass(func(w int, txs []itemset.Itemset, _ []*itemset.Bitset) {
+		guard := mfi.NewScanGuard(ctx, opt.CancelCheckEvery)
+		arrays[w] = counting.NewItemArray(d.NumItems())
+		for _, tx := range txs {
+			guard.Tick()
+			arrays[w].Add(tx)
+		}
+	})
+	itemCounts := make([]int64, d.NumItems())
+	for _, a := range arrays {
+		counting.SumInto(itemCounts, a.Counts())
+	}
 	for i, c := range itemCounts {
 		if c >= minCount {
 			s := itemset.Itemset{itemset.Item(i)}
@@ -210,14 +285,17 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) (_ *mfi.Re
 	// triangular-matrix pass-2 shortcut is omitted here: sharding the flat
 	// candidate list keeps the code uniform; pass accounting is unchanged.)
 	for len(lk) > 1 {
+		mfi.CheckContext(ctx)
 		ck := apriori.Gen(lk, itemset.SetOf(lk...))
 		if len(ck) == 0 {
 			break
 		}
 		ctr := counting.NewSharded(opt.Engine, ck, p.workers())
 		pass(func(w int, txs []itemset.Itemset, _ []*itemset.Bitset) {
+			guard := mfi.NewScanGuard(ctx, opt.CancelCheckEvery)
 			sh := ctr.Shard(w)
 			for _, tx := range txs {
+				guard.Tick()
 				sh.Add(tx)
 			}
 		})
@@ -238,15 +316,7 @@ func MineApriori(d *dataset.Dataset, minSupport float64, opt Options) (_ *mfi.Re
 		lk = next
 	}
 
-	res.MFS = itemset.MaximalOnly(all)
-	res.MFSSupports = make([]int64, len(res.MFS))
-	for i, m := range res.MFS {
-		res.MFSSupports[i] = counts[m.Key()]
-	}
-	if !opt.KeepFrequent {
-		res.Frequent = nil
-	}
-	res.Stats.Duration = time.Since(start)
+	finish()
 	if tr != nil {
 		tr.RunDone(obsv.RunSummary{
 			Algorithm:  res.Stats.Algorithm,

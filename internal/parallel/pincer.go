@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
@@ -15,7 +17,19 @@ import (
 // commutative, so the merged counts, and therefore the miner's every
 // decision, are identical to a sequential scan.
 type passCounter struct {
-	p *partitions
+	p          *partitions
+	ctx        context.Context
+	checkEvery int
+}
+
+// BindContext implements core.ContextBinder: every worker gets a private
+// ScanGuard per pass, so cancellation interrupts each partition scan within
+// checkEvery transactions. An Abort raised inside a worker is captured and
+// re-raised at the barrier like any worker panic, and the miner's recovery
+// unwraps it back into a cancellation.
+func (pc *passCounter) BindContext(ctx context.Context, checkEvery int) {
+	pc.ctx = ctx
+	pc.checkEvery = checkEvery
 }
 
 // NewPassCounter builds the count-distribution counting strategy for
@@ -38,8 +52,10 @@ func (pc *passCounter) CountItems(numItems int, elems []itemset.Itemset, elemBit
 	arrays := make([]*counting.ItemArray, w)
 	partElems := make([][]int64, w)
 	pc.p.each(func(wi int, txs []itemset.Itemset, bits []*itemset.Bitset) {
+		guard := mfi.NewScanGuard(pc.ctx, pc.checkEvery)
 		arrays[wi] = counting.NewItemArray(numItems)
 		partElems[wi] = countElemsDirect(elemBits, txs, bits, func(tx itemset.Itemset) {
+			guard.Tick()
 			arrays[wi].Add(tx)
 		})
 	})
@@ -65,8 +81,12 @@ func (pc *passCounter) CountPairs(numItems int, live itemset.Itemset, elems []it
 	}
 	partElems := make([][]int64, w)
 	pc.p.each(func(wi int, txs []itemset.Itemset, bits []*itemset.Bitset) {
+		guard := mfi.NewScanGuard(pc.ctx, pc.checkEvery)
 		tri := shards[wi]
-		partElems[wi] = countElemsDirect(elemBits, txs, bits, tri.Add)
+		partElems[wi] = countElemsDirect(elemBits, txs, bits, func(tx itemset.Itemset) {
+			guard.Tick()
+			tri.Add(tx)
+		})
 	})
 	for _, s := range shards[1:] {
 		base.Merge(s)
@@ -90,6 +110,7 @@ func (pc *passCounter) CountCandidates(engine counting.Engine, candidates []item
 	}
 	partElems := make([][]int64, w)
 	pc.p.each(func(wi int, txs []itemset.Itemset, bits []*itemset.Bitset) {
+		guard := mfi.NewScanGuard(pc.ctx, pc.checkEvery)
 		var candShard, elemShard counting.Counter
 		if cands != nil {
 			candShard = cands.Shard(wi)
@@ -99,6 +120,7 @@ func (pc *passCounter) CountCandidates(engine counting.Engine, candidates []item
 		}
 		if elemShard != nil {
 			for _, tx := range txs {
+				guard.Tick()
 				if candShard != nil {
 					candShard.Add(tx)
 				}
@@ -109,7 +131,10 @@ func (pc *passCounter) CountCandidates(engine counting.Engine, candidates []item
 			if candShard != nil {
 				add = candShard.Add
 			}
-			partElems[wi] = countElemsDirect(elemBits, txs, bits, add)
+			partElems[wi] = countElemsDirect(elemBits, txs, bits, func(tx itemset.Itemset) {
+				guard.Tick()
+				add(tx)
+			})
 		}
 	})
 	var elemCounts []int64
@@ -177,12 +202,41 @@ func MinePincerCount(d *dataset.Dataset, minCount int64, copt core.Options, opt 
 }
 
 func minePincer(d *dataset.Dataset, minCount int64, copt core.Options, opt Options) (*mfi.Result, error) {
+	prepareCoreOptions(&copt, opt)
+	copt.Counter = NewPassCounter(d, opt.workers())
+	return core.MineCount(dataset.NewScanner(d), minCount, copt)
+}
+
+// prepareCoreOptions folds the parallel Options into the core ones. The
+// parallel Engine, KeepFrequent, and (when set) Tracer, Context, Deadline,
+// CancelCheckEvery, and Checkpointer take precedence over copt's.
+func prepareCoreOptions(copt *core.Options, opt Options) {
 	copt.Engine = opt.Engine
 	copt.KeepFrequent = opt.KeepFrequent
-	copt.Counter = NewPassCounter(d, opt.workers())
 	copt.Algorithm = "pincer-parallel"
 	if opt.Tracer != nil {
 		copt.Tracer = opt.Tracer
 	}
-	return core.MineCount(dataset.NewScanner(d), minCount, copt)
+	if opt.Context != nil {
+		copt.Context = opt.Context
+	}
+	if opt.Deadline > 0 {
+		copt.Deadline = opt.Deadline
+	}
+	if opt.CancelCheckEvery > 0 {
+		copt.CancelCheckEvery = opt.CancelCheckEvery
+	}
+	if opt.Checkpointer != nil {
+		copt.Checkpointer = opt.Checkpointer
+	}
+}
+
+// MinePincerResume continues a checkpointed parallel run (or mines from
+// scratch when no checkpoint is on record). The checkpoint must have been
+// written by a parallel Pincer run: counts are partition-independent, so
+// any worker count can resume any parallel checkpoint.
+func MinePincerResume(d *dataset.Dataset, minCount int64, copt core.Options, opt Options) (*mfi.Result, error) {
+	prepareCoreOptions(&copt, opt)
+	copt.Counter = NewPassCounter(d, opt.workers())
+	return core.MineResume(dataset.NewScanner(d), minCount, copt)
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"runtime/debug"
 	"sync"
@@ -42,8 +43,19 @@ var errAbortScan = errors.New("parallel: scan aborted by worker failure")
 // *mfi.WorkerPanic — both surface as errors from Mine*, at any worker
 // count.
 type streamPassCounter struct {
-	sc      dataset.Scanner
-	workers int
+	sc         dataset.Scanner
+	workers    int
+	ctx        context.Context
+	checkEvery int
+}
+
+// BindContext implements core.ContextBinder: the producer checks the
+// context every checkEvery transactions while streaming, and every consumer
+// checks it while draining batches — so cancellation interrupts a pass from
+// whichever side is currently doing work.
+func (s *streamPassCounter) BindContext(ctx context.Context, checkEvery int) {
+	s.ctx = ctx
+	s.checkEvery = checkEvery
 }
 
 // NewStreamPassCounter builds the streaming count-distribution strategy for
@@ -82,8 +94,10 @@ func (s *streamPassCounter) distribute(add func(w int, tx itemset.Itemset)) {
 					})
 				}
 			}()
+			guard := mfi.NewScanGuard(s.ctx, s.checkEvery)
 			for batch := range ch {
 				for _, tx := range batch {
+					guard.Tick()
 					add(w, tx)
 				}
 			}
@@ -107,8 +121,10 @@ func (s *streamPassCounter) distribute(add func(w int, tx itemset.Itemset)) {
 				scanPanic = r
 			}
 		}()
+		guard := mfi.NewScanGuard(s.ctx, s.checkEvery)
 		batch := make([]itemset.Itemset, 0, streamBatch)
 		s.sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) {
+			guard.Tick()
 			batch = append(batch, tx)
 			if len(batch) == streamBatch {
 				send(batch)
@@ -239,12 +255,15 @@ func MinePincerFile(sc dataset.Scanner, minSupport float64, copt core.Options, o
 // MinePincerFileCount is MinePincerFile with an absolute support-count
 // threshold.
 func MinePincerFileCount(sc dataset.Scanner, minCount int64, copt core.Options, opt Options) (*mfi.Result, error) {
-	copt.Engine = opt.Engine
-	copt.KeepFrequent = opt.KeepFrequent
+	prepareCoreOptions(&copt, opt)
 	copt.Counter = NewStreamPassCounter(sc, opt.workers())
-	copt.Algorithm = "pincer-parallel"
-	if opt.Tracer != nil {
-		copt.Tracer = opt.Tracer
-	}
 	return core.MineCount(sc, minCount, copt)
+}
+
+// MinePincerFileResume continues a checkpointed streaming run (or mines
+// from scratch when no checkpoint is on record).
+func MinePincerFileResume(sc dataset.Scanner, minCount int64, copt core.Options, opt Options) (*mfi.Result, error) {
+	prepareCoreOptions(&copt, opt)
+	copt.Counter = NewStreamPassCounter(sc, opt.workers())
+	return core.MineResume(sc, minCount, copt)
 }

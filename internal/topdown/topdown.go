@@ -11,6 +11,7 @@
 package topdown
 
 import (
+	"context"
 	"time"
 
 	"pincer/internal/counting"
@@ -31,6 +32,17 @@ type Options struct {
 	// Tracer receives per-pass trace events; nil disables tracing (no
 	// timestamps are taken).
 	Tracer obsv.Tracer
+	// Context cancels the run at pass boundaries and inside scan loops;
+	// cancellation surfaces as a *mfi.PartialResultError whose MFCS field
+	// carries the live frontier joined with the maximal sets found — the
+	// top-down upper bound at the moment of interruption.
+	Context context.Context
+	// Deadline, if positive, bounds the run's wall clock via a timeout
+	// context derived from Context.
+	Deadline time.Duration
+	// CancelCheckEvery is the number of transactions between in-scan
+	// context checks (default mfi.DefaultCancelCheckEvery).
+	CancelCheckEvery int
 }
 
 // DefaultOptions returns a guarded configuration.
@@ -62,6 +74,20 @@ func Mine(sc dataset.Scanner, minSupport float64, opt Options) (*Result, error) 
 // MineCount runs the pure top-down search with an absolute threshold.
 func MineCount(sc dataset.Scanner, minCount int64, opt Options) (_ *Result, err error) {
 	defer mfi.RecoverMiningError(&err)
+	ctx := opt.Context
+	var cancel context.CancelFunc
+	if opt.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // uncancellable: skip every check
+	}
 	start := time.Now()
 	res := &Result{Result: mfi.Result{
 		MinCount:        minCount,
@@ -102,8 +128,57 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) (_ *Result, err 
 		u := itemset.Range(0, itemset.Item(n))
 		frontier = append(frontier, &frontierElement{set: u, bits: itemset.BitsetOf(n, u)})
 	}
+
+	// finish assembles the result from whatever has been discovered so far;
+	// it serves both the normal return and the abort recovery below.
+	finish := func() {
+		res.MFS = itemset.MaximalOnly(mfs.Sorted())
+		res.MFSSupports = make([]int64, len(res.MFS))
+		for i, m := range res.MFS {
+			c, _ := mfs.Count(m)
+			res.MFSSupports[i] = c
+		}
+		res.Frequent = mfs
+		res.Stats.Duration = time.Since(start)
+	}
+	// Cancellation surfaces as an Abort panic from a pass boundary or a
+	// mid-scan guard; convert it to a partial result whose MFCS bound is the
+	// live frontier joined with the maximal sets already confirmed — every
+	// frequent itemset is a subset of one of those.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ab := mfi.AbortFrom(r)
+		if ab == nil {
+			panic(r)
+		}
+		finish()
+		if tr != nil {
+			tr.RunDone(obsv.RunSummary{
+				Algorithm:  res.Stats.Algorithm,
+				Passes:     res.Stats.Passes,
+				Candidates: res.Stats.Candidates,
+				MFSSize:    len(res.MFS),
+				Duration:   res.Stats.Duration,
+				Aborted:    true, AbortReason: ab.Reason,
+			})
+		}
+		bound := make([]itemset.Itemset, 0, len(frontier)+len(res.MFS))
+		for _, e := range frontier {
+			bound = append(bound, e.set)
+		}
+		bound = append(bound, res.MFS...)
+		err = &mfi.PartialResultError{
+			Result: &res.Result, MFCS: itemset.MaximalOnly(bound),
+			Pass: res.Stats.Passes, Reason: ab.Reason, Cause: ab.Cause,
+		}
+	}()
+
 	seen := map[string]bool{}
 	for len(frontier) > 0 {
+		mfi.CheckContext(ctx)
 		if opt.MaxPasses > 0 && res.Stats.Passes >= opt.MaxPasses {
 			res.Aborted = true
 			break
@@ -115,12 +190,20 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) (_ *Result, err 
 			sets[i] = e.set
 		}
 		counter := counting.NewTrie(sets)
+		add := func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) }
+		if guard := mfi.NewScanGuard(ctx, opt.CancelCheckEvery); guard != nil {
+			inner := add
+			add = func(tx itemset.Itemset, bits *itemset.Bitset) {
+				guard.Tick()
+				inner(tx, bits)
+			}
+		}
 		var scanDur time.Duration
 		if tr == nil {
-			sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
+			sc.Scan(add)
 		} else {
 			t0 := time.Now()
-			sc.Scan(func(tx itemset.Itemset, _ *itemset.Bitset) { counter.Add(tx) })
+			sc.Scan(add)
 			scanDur = time.Since(t0)
 		}
 		counts := counter.Counts()
@@ -182,14 +265,7 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) (_ *Result, err 
 		frontier = next
 	}
 
-	res.MFS = itemset.MaximalOnly(mfs.Sorted())
-	res.MFSSupports = make([]int64, len(res.MFS))
-	for i, m := range res.MFS {
-		c, _ := mfs.Count(m)
-		res.MFSSupports[i] = c
-	}
-	res.Frequent = mfs
-	res.Stats.Duration = time.Since(start)
+	finish()
 	if tr != nil {
 		tr.RunDone(obsv.RunSummary{
 			Algorithm:  res.Stats.Algorithm,

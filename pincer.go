@@ -22,9 +22,11 @@
 package pincer
 
 import (
+	"context"
 	"io"
 
 	"pincer/internal/apriori"
+	"pincer/internal/checkpoint"
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
@@ -155,24 +157,105 @@ func ParseQuestName(name string) (QuestParams, error) { return quest.ParseName(n
 
 // Mine discovers the maximum frequent set with Pincer-Search at a
 // fractional minimum support (0.05 = 5%).
+//
+// Deprecated: Mine cannot report errors, so it panics if mining fails. Use
+// MineContext, which also supports cancellation; Mine remains for source
+// compatibility.
 func Mine(d *Dataset, minSupport float64) *Result {
 	return MineWithOptions(d, minSupport, core.DefaultOptions())
 }
 
 // MineWithOptions is Mine with explicit Pincer-Search options.
+//
+// Deprecated: MineWithOptions cannot report errors — with cancellation,
+// budget, or checkpoint options set, a run that stops early makes it panic
+// instead of returning the partial result. Use MineWithOptionsContext.
 func MineWithOptions(d *Dataset, minSupport float64, opt PincerOptions) *Result {
 	return mustMine(core.Mine(dataset.NewScanner(d), minSupport, opt))
 }
 
+// MineContext is Mine with cancellation: the context is observed at every
+// pass boundary and inside scan loops. A cancelled or budget-stopped run
+// returns a *PartialResultError carrying the anytime result.
+func MineContext(ctx context.Context, d *Dataset, minSupport float64) (*Result, error) {
+	return MineWithOptionsContext(ctx, d, minSupport, core.DefaultOptions())
+}
+
+// MineWithOptionsContext is MineContext with explicit Pincer-Search
+// options. The context argument takes precedence over opt.Context.
+func MineWithOptionsContext(ctx context.Context, d *Dataset, minSupport float64, opt PincerOptions) (*Result, error) {
+	if ctx != nil {
+		opt.Context = ctx
+	}
+	return core.Mine(dataset.NewScanner(d), minSupport, opt)
+}
+
+// MineResume continues a Pincer-Search run from the checkpoint recorded by
+// opt.Checkpointer (see NewFileCheckpointer); with no checkpoint on record
+// it mines from scratch. The resumed run produces exactly the result and
+// statistics of an uninterrupted one.
+func MineResume(ctx context.Context, d *Dataset, minSupport float64, opt PincerOptions) (*Result, error) {
+	if ctx != nil {
+		opt.Context = ctx
+	}
+	sc := dataset.NewScanner(d)
+	return core.MineResume(sc, dataset.MinCountFor(sc.Len(), minSupport), opt)
+}
+
+// MineFileResume is MineResume over a basket file re-read once per pass.
+func MineFileResume(ctx context.Context, path string, minSupport float64, opt PincerOptions) (*Result, error) {
+	sc, err := dataset.OpenFileScanner(path)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		opt.Context = ctx
+	}
+	return core.MineResume(sc, dataset.MinCountFor(sc.Len(), minSupport), opt)
+}
+
 // MineApriori discovers the complete frequent set (and its MFS) with the
 // Apriori baseline.
+//
+// Deprecated: MineApriori cannot report errors, so it panics if mining
+// fails. Use MineAprioriContext.
 func MineApriori(d *Dataset, minSupport float64) *Result {
 	return MineAprioriWithOptions(d, minSupport, apriori.DefaultOptions())
 }
 
 // MineAprioriWithOptions is MineApriori with explicit options.
+//
+// Deprecated: MineAprioriWithOptions cannot report errors — with
+// cancellation, budget, or checkpoint options set, a run that stops early
+// makes it panic instead of returning the partial result. Use
+// MineAprioriWithOptionsContext.
 func MineAprioriWithOptions(d *Dataset, minSupport float64, opt AprioriOptions) *Result {
 	return mustMine(apriori.Mine(dataset.NewScanner(d), minSupport, opt))
+}
+
+// MineAprioriContext is MineApriori with cancellation and error reporting.
+func MineAprioriContext(ctx context.Context, d *Dataset, minSupport float64) (*Result, error) {
+	return MineAprioriWithOptionsContext(ctx, d, minSupport, apriori.DefaultOptions())
+}
+
+// MineAprioriWithOptionsContext is MineAprioriContext with explicit
+// options. The context argument takes precedence over opt.Context.
+func MineAprioriWithOptionsContext(ctx context.Context, d *Dataset, minSupport float64, opt AprioriOptions) (*Result, error) {
+	if ctx != nil {
+		opt.Context = ctx
+	}
+	return apriori.Mine(dataset.NewScanner(d), minSupport, opt)
+}
+
+// MineAprioriResume continues a checkpointed Apriori run (see
+// AprioriOptions.Checkpointer); with no checkpoint on record it mines from
+// scratch.
+func MineAprioriResume(ctx context.Context, d *Dataset, minSupport float64, opt AprioriOptions) (*Result, error) {
+	if ctx != nil {
+		opt.Context = ctx
+	}
+	sc := dataset.NewScanner(d)
+	return apriori.MineResume(sc, dataset.MinCountFor(sc.Len(), minSupport), opt)
 }
 
 // ParallelOptions configures count-distribution parallel mining: worker
@@ -188,13 +271,79 @@ func DefaultParallelOptions() ParallelOptions { return parallel.DefaultOptions()
 // horizontal partitions of the database, with per-worker counters merged at
 // the pass barrier. The result — MFS, supports, statistics — is identical
 // to Mine; only wall-clock time changes.
+//
+// Deprecated: MineParallel cannot report errors — a worker failure or an
+// early stop from cancellation, budget, or checkpoint options makes it
+// panic. Use MineParallelContext.
 func MineParallel(d *Dataset, minSupport float64, opt ParallelOptions) *Result {
 	return mustMine(parallel.MinePincer(d, minSupport, opt))
 }
 
+// MineParallelContext is MineParallel with cancellation and error
+// reporting. The context argument takes precedence over opt.Context.
+func MineParallelContext(ctx context.Context, d *Dataset, minSupport float64, opt ParallelOptions) (*Result, error) {
+	if ctx != nil {
+		opt.Context = ctx
+	}
+	return parallel.MinePincer(d, minSupport, opt)
+}
+
+// MineParallelResume continues a checkpointed parallel run (see
+// ParallelOptions.Checkpointer); with no checkpoint on record it mines from
+// scratch.
+func MineParallelResume(ctx context.Context, d *Dataset, minSupport float64, opt ParallelOptions) (*Result, error) {
+	if ctx != nil {
+		opt.Context = ctx
+	}
+	return parallel.MinePincerResume(d, d.MinCount(minSupport), core.DefaultOptions(), opt)
+}
+
 // MineAprioriParallel is the count-distribution parallel Apriori baseline.
+//
+// Deprecated: MineAprioriParallel cannot report errors — a worker failure
+// or cancellation makes it panic. Use MineAprioriParallelContext.
 func MineAprioriParallel(d *Dataset, minSupport float64, opt ParallelOptions) *Result {
 	return mustMine(parallel.MineApriori(d, minSupport, opt))
+}
+
+// MineAprioriParallelContext is MineAprioriParallel with cancellation and
+// error reporting. The context argument takes precedence over opt.Context.
+func MineAprioriParallelContext(ctx context.Context, d *Dataset, minSupport float64, opt ParallelOptions) (*Result, error) {
+	if ctx != nil {
+		opt.Context = ctx
+	}
+	return parallel.MineApriori(d, minSupport, opt)
+}
+
+// PartialResultError is returned when a mine stops early — context
+// cancellation, deadline, or a resource budget. It carries the anytime
+// result: the frequent sets found so far (a lower bound on the MFS) and,
+// for Pincer-Search, the MFCS as an upper bound.
+type PartialResultError = mfi.PartialResultError
+
+// Abort reasons carried by PartialResultError.Reason.
+const (
+	ReasonCancelled     = mfi.ReasonCancelled
+	ReasonDeadline      = mfi.ReasonDeadline
+	ReasonMaxPasses     = mfi.ReasonMaxPasses
+	ReasonMaxCandidates = mfi.ReasonMaxCandidates
+	ReasonMemory        = mfi.ReasonMemory
+)
+
+// Checkpointer persists mining state at pass barriers so an interrupted
+// run can resume (see MineResume). Implementations must make Save atomic.
+type Checkpointer = checkpoint.Checkpointer
+
+// FileCheckpointer stores checkpoints in a single file written with the
+// temp-file + rename protocol, so a crash never leaves a truncated
+// checkpoint.
+type FileCheckpointer = checkpoint.FileCheckpointer
+
+// NewFileCheckpointer builds a file-backed checkpointer; assign it to
+// PincerOptions.Checkpointer (or AprioriOptions/ParallelOptions) to
+// checkpoint a run, and reuse it with MineResume to continue.
+func NewFileCheckpointer(path string) *FileCheckpointer {
+	return checkpoint.NewFileCheckpointer(path)
 }
 
 // DefaultPincerOptions returns the adaptive configuration the paper
