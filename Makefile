@@ -5,10 +5,11 @@
 # kills and cancellations with the parallel counting barriers.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race faults bench bench-parallel profile
+.PHONY: ci vet build test race faults conformance fuzz cover serve bench bench-parallel profile
 
-ci: vet build test race faults
+ci: vet build test race faults conformance fuzz cover
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,28 @@ race:
 # assert that resuming from the checkpoint matches an uninterrupted run.
 faults:
 	$(GO) test -race ./internal/faultinject/... ./internal/checkpoint/...
+
+# Every miner against the committed golden corpus (byte-identical supports).
+# Regenerate the goldens after an intentional change with:
+#   go test ./internal/mfi -run TestConformance -update
+conformance:
+	$(GO) test -race -run TestConformance ./internal/mfi
+
+# Run each native fuzz target for $(FUZZTIME) (one -fuzz per invocation:
+# `go test` accepts a single fuzz target at a time).
+fuzz:
+	$(GO) test ./internal/dataset -run '^$$' -fuzz FuzzBasketParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dataset -run '^$$' -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/checkpoint -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzPincerMatchesApriori -fuzztime $(FUZZTIME)
+
+# Per-package statement coverage.
+cover:
+	$(GO) test -cover ./...
+
+# Run the mining service daemon locally.
+serve:
+	$(GO) run ./cmd/pincerd -addr localhost:8080 -spool /tmp/pincerd-spool
 
 bench:
 	$(GO) test -bench=. -benchmem .

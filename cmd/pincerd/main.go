@@ -1,0 +1,114 @@
+// Command pincerd serves maximum-frequent-set mining over HTTP.
+//
+// Usage:
+//
+//	pincerd -addr :8080 -spool /var/lib/pincerd [-workers n] [-queue n]
+//	        [-cache-bytes n]
+//
+// The daemon exposes the REST API of internal/server: POST /v1/jobs to
+// submit a mining job (inline baskets or a server-side dataset file, any of
+// the five miners), GET /v1/jobs/{id} to poll status — including the anytime
+// partial MFS while the job runs — DELETE /v1/jobs/{id} to cancel, and
+// GET /v1/results/{id} for the finished result document. /metrics,
+// /debug/vars, and /debug/pprof/ serve observability on the same listener.
+//
+// Identical submissions (same dataset bytes, support, miner, and options)
+// are answered from a byte-bounded result cache without re-mining. Every
+// accepted job is spooled to disk before it runs and checkpointed at each
+// pass barrier, so a killed daemon resumes its in-flight jobs on the next
+// start with results identical to an uninterrupted run.
+//
+// Shutdown: SIGTERM drains — no new jobs, queued and running jobs finish.
+// SIGINT aborts — running jobs stop at the next cancellation point, their
+// checkpoints and queue entries stay in the spool for the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pincer/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pincerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pincerd", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	spoolDir := fs.String("spool", "", "spool directory for job durability and restart-resume (required)")
+	workers := fs.Int("workers", 2, "mining worker pool size")
+	queue := fs.Int("queue", 16, "run-queue bound; a full queue answers 429")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "result cache byte bound (-1 disables caching)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "how long shutdown waits for jobs before giving up")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spoolDir == "" {
+		fs.Usage()
+		return errors.New("-spool is required")
+	}
+
+	logger := log.New(os.Stderr, "pincerd: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		SpoolDir:      *spoolDir,
+		Workers:       *workers,
+		QueueSize:     *queue,
+		CacheMaxBytes: *cacheBytes,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	logger.Printf("listening on http://%s (spool %s, %d workers, queue %d)",
+		ln.Addr(), *spoolDir, *workers, *queue)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	var sig os.Signal
+	select {
+	case sig = <-sigCh:
+	case err := <-serveErr:
+		return err
+	}
+	signal.Stop(sigCh) // a second signal kills the process the default way
+
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if sig == syscall.SIGTERM {
+		logger.Printf("SIGTERM: draining (queued and running jobs will finish)")
+		err = srv.Drain(ctx)
+	} else {
+		logger.Printf("SIGINT: aborting (checkpoints persist; restart resumes in-flight jobs)")
+		err = srv.Abort(ctx)
+	}
+	if herr := hs.Shutdown(ctx); err == nil && herr != nil && !errors.Is(herr, http.ErrServerClosed) {
+		err = herr
+	}
+	if err != nil {
+		return err
+	}
+	logger.Printf("stopped")
+	return nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresSpool(t *testing.T) {
+	err := run([]string{"-addr", "localhost:0"})
+	if err == nil || !strings.Contains(err.Error(), "-spool is required") {
+		t.Fatalf("run without -spool: got %v, want -spool error", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("run with unknown flag: got nil error")
+	}
+}

@@ -1,0 +1,80 @@
+package bench
+
+// Serving-layer benchmark: the cost of answering an identical resubmission
+// from the content-addressed result cache versus re-mining it from scratch.
+// The spread is the value proposition of the cache — a hit costs one
+// dataset hash plus a map lookup, a miss costs the full mining run.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"pincer/internal/dataset"
+	"pincer/internal/quest"
+	"pincer/internal/server"
+)
+
+func benchBaskets(b *testing.B) string {
+	b.Helper()
+	d := quest.Generate(quest.Params{
+		NumTransactions: 2000, AvgTxLen: 8, AvgPatternLen: 4,
+		NumPatterns: 20, NumItems: 60, Seed: 7,
+	})
+	var buf bytes.Buffer
+	if err := dataset.WriteBasket(&buf, d); err != nil {
+		b.Fatal(err)
+	}
+	return buf.String()
+}
+
+func benchServe(b *testing.B, cacheBytes int64) {
+	srv, err := server.New(server.Config{
+		SpoolDir:      b.TempDir(),
+		Workers:       1,
+		QueueSize:     4,
+		CacheMaxBytes: cacheBytes,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx) // flush every in-flight spool write before TempDir cleanup
+	})
+	man := srv.Manager()
+	spec := server.JobRequest{Baskets: benchBaskets(b), MinSupport: 0.05}
+	wait := func(j *server.Job) {
+		for j.Status() == server.StatusQueued || j.Status() == server.StatusRunning {
+			time.Sleep(100 * time.Microsecond)
+		}
+		if s := j.Status(); s != server.StatusDone {
+			b.Fatalf("job ended %s", s)
+		}
+	}
+	// Warm: the first submission always mines (and populates the cache
+	// when one is enabled).
+	j, err := man.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wait(j)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := man.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait(j)
+	}
+}
+
+// BenchmarkServeCacheHit measures answering an identical resubmission from
+// the result cache.
+func BenchmarkServeCacheHit(b *testing.B) { benchServe(b, 64<<20) }
+
+// BenchmarkServeReMine measures the same resubmission with the cache
+// disabled — every iteration mines the database again.
+func BenchmarkServeReMine(b *testing.B) { benchServe(b, -1) }

@@ -1,0 +1,85 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pincer/internal/itemset"
+)
+
+// FuzzCheckpointDecode feeds arbitrary bytes to both checkpoint decoders.
+// The contract under fuzz: decoding never panics, and every unreadable
+// checkpoint surfaces as a typed *CorruptError — never a silent nil state
+// and never a bare gob error the resume path couldn't classify.
+func FuzzCheckpointDecode(f *testing.F) {
+	// Seed with a real checkpoint (every field populated), truncations of
+	// it, a wrong-version encoding, and plain garbage.
+	st := &State{
+		Version:         Version,
+		Algorithm:       "pincer",
+		MinCount:        3,
+		NumTransactions: 100,
+		NumItems:        8,
+		Stage:           "levelwise",
+		K:               3,
+		Lk:              []itemset.Itemset{itemset.New(0, 1, 2)},
+		MFS:             []itemset.Itemset{itemset.New(3, 4)},
+		AllFrequent:     []itemset.Itemset{itemset.New(0, 1)},
+		Cache:           map[string]int64{itemset.New(0, 1).Key(): 7},
+		ItemCounts:      []int64{9, 8, 7, 6, 5, 4, 3, 2},
+		Pairs:           &TriangleState{Universe: 8, Live: []itemset.Item{0, 1}, Counts: []int64{5}},
+		MFCS:            []MFCSElement{{Set: itemset.New(0, 1, 2, 3), State: 1, Count: 4}},
+	}
+	var valid bytes.Buffer
+	if err := gob.NewEncoder(&valid).Encode(st); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add(valid.Bytes()[:1])
+	badVersion := *st
+	badVersion.Version = Version + 1
+	var wrongVer bytes.Buffer
+	if err := gob.NewEncoder(&wrongVer).Encode(&badVersion); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wrongVer.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// In-memory decoder.
+		m := &MemCheckpointer{data: data}
+		if _, err := m.Load(); err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("MemCheckpointer.Load: error is %T (%v), want *CorruptError", err, err)
+			}
+		}
+
+		// File decoder over the same bytes, which additionally enforces the
+		// format version.
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewFileCheckpointer(path).Load()
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("FileCheckpointer.Load: error is %T (%v), want *CorruptError", err, err)
+			}
+			return
+		}
+		if got == nil {
+			t.Fatal("FileCheckpointer.Load: nil state and nil error for an existing file")
+		}
+		if got.Version != Version {
+			t.Fatalf("accepted checkpoint with version %d, this build reads %d", got.Version, Version)
+		}
+	})
+}

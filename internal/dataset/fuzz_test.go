@@ -6,9 +6,9 @@ import (
 	"testing"
 )
 
-// FuzzReadBasket checks the text parser never panics and that everything it
-// accepts round-trips through WriteBasket.
-func FuzzReadBasket(f *testing.F) {
+// FuzzBasketParse checks the text parser never panics and that everything
+// it accepts round-trips through WriteBasket and back unchanged.
+func FuzzBasketParse(f *testing.F) {
 	f.Add("1 2 3\n4 5\n")
 	f.Add("# comment\n\n7\n")
 	f.Add("1,2,3")

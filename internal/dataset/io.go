@@ -170,13 +170,16 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: binary tx %d: %w", i, err)
 		}
-		items := make([]itemset.Item, n)
-		for j := range items {
+		// The declared length is untrusted: grow the slice as items are
+		// actually decoded (4 bytes each) so a hostile header cannot force
+		// an allocation larger than the input itself.
+		items := make([]itemset.Item, 0, min(int(n), 1024))
+		for j := uint32(0); j < n; j++ {
 			v, err := get()
 			if err != nil {
 				return nil, fmt.Errorf("dataset: binary tx %d item %d: %w", i, j, err)
 			}
-			items[j] = itemset.Item(v)
+			items = append(items, itemset.Item(v))
 		}
 		d.Append(itemset.New(items...))
 	}

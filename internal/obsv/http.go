@@ -18,6 +18,13 @@ import (
 //	/debug/pprof/  the standard net/http/pprof handlers
 func NewMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
+	RegisterDebug(mux, reg)
+	return mux
+}
+
+// RegisterDebug mounts the debug endpoints (see NewMux) on an existing mux,
+// so a server can serve them next to its own API routes.
+func RegisterDebug(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
@@ -47,7 +54,6 @@ func NewMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Server is a running debug endpoint.

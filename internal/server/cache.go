@@ -1,0 +1,102 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// CacheKey derives the content-addressed cache key of a mining request:
+// SHA-256 over the dataset bytes and every option that shapes the answer
+// (threshold, miner, workers, engine, budgets). Two submissions with equal
+// keys are guaranteed the same complete result, so the second is served
+// from the cache without re-mining — the dataset hash makes this hold even
+// when a basket file is replaced in place between submissions.
+func CacheKey(datasetBytes []byte, spec JobRequest) string {
+	dh := sha256.Sum256(datasetBytes)
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|data=%x|sup=%.12g|miner=%s|workers=%d|engine=%s|deadline=%d|passes=%d|cand=%d|mem=%d",
+		dh, spec.MinSupport, spec.Miner, spec.Workers, spec.Engine,
+		spec.DeadlineMS, spec.MaxPasses, spec.MaxCandidatesPerPass, spec.MaxMemoryBytes)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is one cached result with its accounted byte size.
+type cacheEntry struct {
+	key  string
+	doc  *ResultDoc
+	size int64
+}
+
+// resultCache is a byte-size-bounded LRU over complete mining results.
+// Partial and failed runs are never cached. The cache is not persisted: a
+// restarted daemon re-mines (or resumes) and repopulates it.
+type resultCache struct {
+	max   int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	bytes     int64
+	evictions int64
+}
+
+// newResultCache builds a cache bounded to max bytes (≤ 0 disables
+// caching entirely: Get always misses, Put drops).
+func newResultCache(max int64) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// docSize accounts a result's cache footprint as its JSON encoding length
+// plus the key — the same bytes a hit saves the wire, give or take headers.
+func docSize(key string, doc *ResultDoc) int64 {
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return int64(len(key)) + 1024 // unreachable: ResultDoc always encodes
+	}
+	return int64(len(key) + len(b))
+}
+
+// get returns the cached result for key and bumps its recency. The caller
+// must hold the manager's lock; entries are shared read-only.
+func (c *resultCache) get(key string) (*ResultDoc, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).doc, true
+}
+
+// put stores a complete result, evicting least-recently-used entries until
+// the byte bound holds. A result larger than the whole bound is not stored.
+func (c *resultCache) put(key string, doc *ResultDoc) {
+	size := docSize(key, doc)
+	if size > c.max {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += size - ent.size
+		ent.doc, ent.size = doc, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, doc: doc, size: size})
+		c.bytes += size
+	}
+	for c.bytes > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= ent.size
+		c.evictions++
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int { return c.ll.Len() }

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testDoc(id string, n int) *ResultDoc {
+	doc := &ResultDoc{ID: id, Miner: MinerPincer, MinSupport: 0.1}
+	for i := 0; i < n; i++ {
+		doc.MFS = append(doc.MFS, ItemsetDoc{Items: []int32{int32(i), int32(i + 1)}, Support: int64(i)})
+	}
+	return doc
+}
+
+func TestCacheKeyDependsOnEveryInput(t *testing.T) {
+	base := JobRequest{Baskets: "1 2\n", MinSupport: 0.1}
+	key := func(data string, spec JobRequest) string { return CacheKey([]byte(data), spec) }
+	k0 := key("1 2\n", base)
+	if k0 != key("1 2\n", base) {
+		t.Fatal("cache key is not deterministic")
+	}
+	variants := []JobRequest{}
+	v := base
+	v.MinSupport = 0.2
+	variants = append(variants, v)
+	v = base
+	v.Miner = MinerApriori
+	variants = append(variants, v)
+	v = base
+	v.Workers = 4
+	variants = append(variants, v)
+	v = base
+	v.Engine = "trie"
+	variants = append(variants, v)
+	v = base
+	v.DeadlineMS = 100
+	variants = append(variants, v)
+	v = base
+	v.MaxPasses = 3
+	variants = append(variants, v)
+	for i, spec := range variants {
+		if key("1 2\n", spec) == k0 {
+			t.Errorf("variant %d: option change did not change the cache key", i)
+		}
+	}
+	if key("1 3\n", base) == k0 {
+		t.Error("dataset change did not change the cache key")
+	}
+}
+
+func TestResultCacheLRUByteBound(t *testing.T) {
+	probe := testDoc("probe", 4)
+	unit := docSize("k0", probe) // all test docs have equal-size payloads
+	c := newResultCache(3 * unit)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), testDoc(fmt.Sprintf("d%d", i), 4))
+	}
+	if c.len() != 3 || c.evictions != 0 {
+		t.Fatalf("len=%d evictions=%d, want 3/0", c.len(), c.evictions)
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.put("k3", testDoc("d3", 4))
+	if _, ok := c.get("k1"); ok {
+		t.Error("k1 survived; LRU eviction did not pick the least recent")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s missing after eviction", k)
+		}
+	}
+	if c.evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.evictions)
+	}
+	if c.bytes > 3*unit {
+		t.Errorf("bytes = %d exceeds bound %d", c.bytes, 3*unit)
+	}
+}
+
+func TestResultCacheRejectsOversized(t *testing.T) {
+	c := newResultCache(16) // far smaller than any doc
+	c.put("k", testDoc("d", 100))
+	if c.len() != 0 || c.bytes != 0 {
+		t.Fatalf("oversized doc was stored: len=%d bytes=%d", c.len(), c.bytes)
+	}
+	if _, ok := c.get("k"); ok {
+		t.Fatal("oversized doc retrievable")
+	}
+}
+
+func TestResultCacheReplaceSameKey(t *testing.T) {
+	c := newResultCache(1 << 20)
+	c.put("k", testDoc("a", 2))
+	c.put("k", testDoc("b", 8))
+	doc, ok := c.get("k")
+	if !ok || doc.ID != "b" {
+		t.Fatalf("replacement lost: %+v", doc)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+	if c.bytes != docSize("k", doc) {
+		t.Errorf("bytes = %d, want %d (replacement must re-account)", c.bytes, docSize("k", doc))
+	}
+}
+
+func TestJobRequestNormalize(t *testing.T) {
+	ok := JobRequest{Baskets: "1 2\n", MinSupport: 0.5}
+	if err := ok.normalize(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	if ok.Miner != MinerPincer {
+		t.Errorf("default miner = %q, want pincer", ok.Miner)
+	}
+	bad := []JobRequest{
+		{Baskets: "1\n", DatasetPath: "x", MinSupport: 0.5}, // both sources
+		{MinSupport: 0.5},                            // no source
+		{Baskets: "1\n", MinSupport: 1.5},            // support > 1
+		{Baskets: "1\n", MinSupport: 0.5, Miner: "x"},
+		{Baskets: "1\n", MinSupport: 0.5, Miner: MinerTopdown, Engine: "trie"},
+		{Baskets: "1\n", MinSupport: 0.5, DeadlineMS: -1},
+	}
+	for i, spec := range bad {
+		if err := spec.normalize(); err == nil {
+			t.Errorf("case %d: invalid request accepted: %+v", i, spec)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package server_test
+
+// End-to-end tests of the mining service over real HTTP (httptest): the
+// submit → poll → result lifecycle, the content-addressed cache hit on
+// identical resubmission, mid-mine cancellation, queue-full backpressure,
+// and the kill → restart → resume contract, with the fault-injection
+// scanner standing in for a crashed daemon.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pincer/internal/apriori"
+	"pincer/internal/dataset"
+	"pincer/internal/faultinject"
+	"pincer/internal/itemset"
+	"pincer/internal/server"
+)
+
+// testBaskets is a handcrafted database whose exact answer is known: at
+// minCount 5 (min_support 0.3 of 15 transactions) the maximum frequent set
+// is {0 1 2 3} and {2 3 4 5}, each with support 6. Apriori needs five
+// passes, giving the pass-stepping tests room to interrupt.
+const testBaskets = `0 1 2 3
+0 1 2 3
+0 1 2 3
+0 1 2 3
+0 1 2 3
+0 1 2 3
+2 3 4 5
+2 3 4 5
+2 3 4 5
+2 3 4 5
+2 3 4 5
+2 3 4 5
+0 5
+0 5
+0 5
+`
+
+const testMinSupport = 0.3
+
+func newTestServer(t *testing.T, mod func(*server.Config)) (*server.Server, *httptest.Server) {
+	t.Helper()
+	cfg := server.Config{
+		SpoolDir: t.TempDir(),
+		Workers:  2,
+		Logf:     t.Logf,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Abort(ctx)
+	})
+	return srv, hs
+}
+
+// doJSON performs one request and decodes the response into out (when
+// non-nil), returning the status code.
+func doJSON(t *testing.T, method, url string, body interface{}, out interface{}) int {
+	t.Helper()
+	var reqBody *bytes.Buffer = bytes.NewBuffer(nil)
+	if body != nil {
+		if err := json.NewEncoder(reqBody).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, reqBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func submit(t *testing.T, base string, spec server.JobRequest) (int, server.JobView) {
+	t.Helper()
+	var v server.JobView
+	code := doJSON(t, http.MethodPost, base+"/v1/jobs", spec, &v)
+	return code, v
+}
+
+// waitStatus polls the job until it reaches one of the wanted statuses.
+func waitStatus(t *testing.T, base, id string, want ...string) server.JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var v server.JobView
+		if code := doJSON(t, http.MethodGet, base+"/v1/jobs/"+id, nil, &v); code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		for _, w := range want {
+			if v.Status == w {
+				return v
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want one of %v", id, v.Status, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// mfsSignature renders a result's MFS canonically for equality checks.
+func mfsSignature(doc *server.ResultDoc) string {
+	lines := make([]string, 0, len(doc.MFS))
+	for _, m := range doc.MFS {
+		lines = append(lines, fmt.Sprintf("%v=%d", m.Items, m.Support))
+	}
+	return strings.Join(lines, ";")
+}
+
+func TestE2ESubmitPollResult(t *testing.T) {
+	srv, hs := newTestServer(t, nil)
+	code, v := submit(t, hs.URL, server.JobRequest{Baskets: testBaskets, MinSupport: testMinSupport})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202", code)
+	}
+	final := waitStatus(t, hs.URL, v.ID, server.StatusDone)
+	var doc server.ResultDoc
+	if code := doJSON(t, http.MethodGet, hs.URL+"/v1/results/"+v.ID, nil, &doc); code != http.StatusOK {
+		t.Fatalf("GET result: status %d", code)
+	}
+	if len(doc.MFS) != 2 {
+		t.Fatalf("MFS = %v, want the two known maximal sets", doc.MFS)
+	}
+	for _, m := range doc.MFS {
+		if m.Support != 6 {
+			t.Errorf("support of %v = %d, want 6", m.Items, m.Support)
+		}
+	}
+	if doc.Cached {
+		t.Error("first run reported cached")
+	}
+	if final.FinishedAt == "" {
+		t.Error("finished job has no FinishedAt")
+	}
+	if got := srv.Registry().Snapshot()["pincer_jobs_completed_total"]; got != 1 {
+		t.Errorf("jobs_completed_total = %d, want 1", got)
+	}
+}
+
+func TestE2EIdenticalResubmitIsCacheHit(t *testing.T) {
+	srv, hs := newTestServer(t, nil)
+	spec := server.JobRequest{Baskets: testBaskets, MinSupport: testMinSupport}
+	_, v1 := submit(t, hs.URL, spec)
+	waitStatus(t, hs.URL, v1.ID, server.StatusDone)
+	var doc1 server.ResultDoc
+	doJSON(t, http.MethodGet, hs.URL+"/v1/results/"+v1.ID, nil, &doc1)
+
+	code, v2 := submit(t, hs.URL, spec)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: status %d, want 200 (cache hit)", code)
+	}
+	if !v2.Cached || v2.Status != server.StatusDone {
+		t.Fatalf("resubmit view = %+v, want cached done", v2)
+	}
+	var doc2 server.ResultDoc
+	if code := doJSON(t, http.MethodGet, hs.URL+"/v1/results/"+v2.ID, nil, &doc2); code != http.StatusOK {
+		t.Fatalf("GET cached result: status %d", code)
+	}
+	if !doc2.Cached {
+		t.Error("cached result document not marked Cached")
+	}
+	if mfsSignature(&doc1) != mfsSignature(&doc2) {
+		t.Errorf("cached MFS differs:\n%s\nvs\n%s", mfsSignature(&doc1), mfsSignature(&doc2))
+	}
+	snap := srv.Registry().Snapshot()
+	// The acceptance check: the second submission never started mining.
+	if got := snap["pincer_jobs_started_total"]; got != 1 {
+		t.Errorf("jobs_started_total = %d, want 1 (cache hit must not re-mine)", got)
+	}
+	if got := snap["pincer_cache_hits_total"]; got != 1 {
+		t.Errorf("cache_hits_total = %d, want 1", got)
+	}
+	// A different support is a different key: it must miss.
+	code, v3 := submit(t, hs.URL, server.JobRequest{Baskets: testBaskets, MinSupport: 0.5})
+	if code != http.StatusAccepted {
+		t.Fatalf("different-support submit: status %d, want 202", code)
+	}
+	waitStatus(t, hs.URL, v3.ID, server.StatusDone)
+	if got := srv.Registry().Snapshot()["pincer_jobs_started_total"]; got != 2 {
+		t.Errorf("jobs_started_total after different support = %d, want 2", got)
+	}
+}
+
+// holdScanner blocks each Scan call after the first `free` ones until the
+// gate channel is closed, holding a job mid-mine deterministically.
+type holdScanner struct {
+	dataset.Scanner
+	gate  <-chan struct{}
+	free  int
+	scans int
+}
+
+func (h *holdScanner) Scan(fn func(itemset.Itemset, *itemset.Bitset)) {
+	h.scans++
+	if h.scans > h.free {
+		<-h.gate
+	}
+	h.Scanner.Scan(fn)
+}
+
+func TestE2EAnytimePartialWhileRunning(t *testing.T) {
+	gate := make(chan struct{})
+	_, hs := newTestServer(t, func(cfg *server.Config) {
+		cfg.Workers = 1
+		cfg.WrapScanner = func(id string, sc dataset.Scanner) dataset.Scanner {
+			return &holdScanner{Scanner: sc, gate: gate, free: 2}
+		}
+	})
+	code, v := submit(t, hs.URL, server.JobRequest{
+		Baskets: testBaskets, MinSupport: testMinSupport, Miner: server.MinerApriori,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	// Passes 1 and 2 run freely and checkpoint; pass 3 blocks on the gate.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var view server.JobView
+		doJSON(t, http.MethodGet, hs.URL+"/v1/jobs/"+v.ID, nil, &view)
+		if view.Status == server.StatusRunning && view.Pass >= 2 {
+			break // anytime snapshot from the pass-2 barrier is visible
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never observed a running job with pass ≥ 2 (last: %+v)", view)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(gate)
+	waitStatus(t, hs.URL, v.ID, server.StatusDone)
+}
+
+func TestE2ECancelMidMine(t *testing.T) {
+	gate := make(chan struct{})
+	srv, hs := newTestServer(t, func(cfg *server.Config) {
+		cfg.Workers = 1
+		cfg.WrapScanner = func(id string, sc dataset.Scanner) dataset.Scanner {
+			return &holdScanner{Scanner: sc, gate: gate, free: 2}
+		}
+	})
+	_, v := submit(t, hs.URL, server.JobRequest{
+		Baskets: testBaskets, MinSupport: testMinSupport, Miner: server.MinerApriori,
+	})
+	waitStatus(t, hs.URL, v.ID, server.StatusRunning)
+	var cv server.JobView
+	if code := doJSON(t, http.MethodDelete, hs.URL+"/v1/jobs/"+v.ID, nil, &cv); code != http.StatusAccepted {
+		t.Fatalf("DELETE: status %d, want 202", code)
+	}
+	close(gate) // release the held pass; the miner sees the cancelled context
+	final := waitStatus(t, hs.URL, v.ID, server.StatusCancelled)
+	if final.Status != server.StatusCancelled {
+		t.Fatalf("final status = %s", final.Status)
+	}
+	if got := srv.Registry().Snapshot()["pincer_jobs_cancelled_total"]; got != 1 {
+		t.Errorf("jobs_cancelled_total = %d, want 1", got)
+	}
+	// Cancelling a terminal job is a conflict, not a second cancel.
+	if code := doJSON(t, http.MethodDelete, hs.URL+"/v1/jobs/"+v.ID, nil, nil); code != http.StatusConflict {
+		t.Errorf("second DELETE: status %d, want 409", code)
+	}
+}
+
+func TestE2EQueueFull429(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	srv, hs := newTestServer(t, func(cfg *server.Config) {
+		cfg.Workers = 1
+		cfg.QueueSize = 1
+		cfg.WrapScanner = func(id string, sc dataset.Scanner) dataset.Scanner {
+			return &holdScanner{Scanner: sc, gate: gate, free: 0}
+		}
+	})
+	// Job A occupies the only worker (held at its first scan); job B fills
+	// the queue; job C must bounce with 429 without blocking.
+	_, a := submit(t, hs.URL, server.JobRequest{Baskets: testBaskets, MinSupport: 0.3})
+	waitStatus(t, hs.URL, a.ID, server.StatusRunning)
+	if code, _ := submit(t, hs.URL, server.JobRequest{Baskets: testBaskets, MinSupport: 0.4}); code != http.StatusAccepted {
+		t.Fatalf("job B: status %d, want 202", code)
+	}
+	start := time.Now()
+	code, _ := submit(t, hs.URL, server.JobRequest{Baskets: testBaskets, MinSupport: 0.5})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("job C: status %d, want 429", code)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("429 took %v; backpressure must not block", elapsed)
+	}
+	if got := srv.Registry().Snapshot()["pincer_jobs_rejected_total"]; got != 1 {
+		t.Errorf("jobs_rejected_total = %d, want 1", got)
+	}
+}
+
+func TestE2EKillRestartResume(t *testing.T) {
+	spoolDir := t.TempDir()
+
+	// The reference answer, mined uninterrupted.
+	ref, err := apriori.MineCount(
+		dataset.NewScanner(mustParse(t, testBaskets)),
+		mustParse(t, testBaskets).MinCount(testMinSupport),
+		apriori.DefaultOptions(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon generation 1: the fault-injection scanner "kills" the job at
+	// its third database pass — the run unwinds like a crash, leaving the
+	// spool entry and the pass-2 checkpoint behind.
+	srv1, err := server.New(server.Config{
+		SpoolDir: spoolDir,
+		Workers:  1,
+		Logf:     t.Logf,
+		WrapScanner: func(id string, sc dataset.Scanner) dataset.Scanner {
+			return &faultinject.Scanner{Scanner: sc, TripAtScan: 3}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(srv1)
+	code, v := submit(t, hs1.URL, server.JobRequest{
+		Baskets: testBaskets, MinSupport: testMinSupport, Miner: server.MinerApriori,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitStatus(t, hs1.URL, v.ID, server.StatusInterrupted)
+	hs1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	srv1.Abort(ctx)
+	cancel()
+
+	// Daemon generation 2 on the same spool: the job must be re-enqueued,
+	// resumed from the checkpoint, and finish with the reference answer.
+	srv2, err := server.New(server.Config{SpoolDir: spoolDir, Workers: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(srv2)
+	defer hs2.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv2.Abort(ctx)
+	}()
+	if got := srv2.Registry().Snapshot()["pincer_jobs_resumed_total"]; got != 1 {
+		t.Fatalf("jobs_resumed_total = %d, want 1", got)
+	}
+	waitStatus(t, hs2.URL, v.ID, server.StatusDone)
+	var doc server.ResultDoc
+	if code := doJSON(t, http.MethodGet, hs2.URL+"/v1/results/"+v.ID, nil, &doc); code != http.StatusOK {
+		t.Fatalf("GET resumed result: status %d", code)
+	}
+	if len(doc.MFS) != len(ref.MFS) {
+		t.Fatalf("resumed MFS has %d sets, reference %d", len(doc.MFS), len(ref.MFS))
+	}
+	want := map[string]int64{}
+	for i, m := range ref.MFS {
+		parts := make([]string, len(m))
+		for j, it := range m {
+			parts[j] = fmt.Sprint(int64(it))
+		}
+		want[strings.Join(parts, " ")] = ref.MFSSupports[i]
+	}
+	for _, m := range doc.MFS {
+		items := make([]string, len(m.Items))
+		for i, it := range m.Items {
+			items[i] = fmt.Sprint(it)
+		}
+		key := strings.Join(items, " ")
+		if sup, ok := want[key]; !ok || sup != m.Support {
+			t.Errorf("resumed MFS element %q support %d not in reference %v", key, m.Support, want)
+		}
+	}
+}
+
+func TestE2EValidationAndNotFound(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	cases := []server.JobRequest{
+		{MinSupport: 0.5},                                              // no dataset
+		{Baskets: "1 2\n", MinSupport: 0},                              // bad support
+		{Baskets: "1 2\n", MinSupport: 0.5, Miner: "guess"},            // unknown miner
+		{Baskets: "1 2\n", MinSupport: 0.5, Workers: 4},                // workers w/o parallel
+		{Baskets: "1 2\n", MinSupport: 0.5, Miner: "vertical", Engine: "trie"}, // engine w/o counting
+		{DatasetPath: "/no/such/file", MinSupport: 0.5},                // unreadable dataset
+	}
+	for i, spec := range cases {
+		if code, _ := submit(t, hs.URL, spec); code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, code)
+		}
+	}
+	if code := doJSON(t, http.MethodGet, hs.URL+"/v1/jobs/nope", nil, nil); code != http.StatusNotFound {
+		t.Errorf("GET unknown job: %d, want 404", code)
+	}
+	if code := doJSON(t, http.MethodGet, hs.URL+"/v1/results/nope", nil, nil); code != http.StatusNotFound {
+		t.Errorf("GET unknown result: %d, want 404", code)
+	}
+	if code := doJSON(t, http.MethodDelete, hs.URL+"/v1/jobs/nope", nil, nil); code != http.StatusNotFound {
+		t.Errorf("DELETE unknown job: %d, want 404", code)
+	}
+	if code := doJSON(t, http.MethodGet, hs.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Errorf("healthz: %d, want 200", code)
+	}
+	if code := doJSON(t, http.MethodGet, hs.URL+"/metrics", nil, nil); code != http.StatusOK {
+		t.Errorf("metrics: %d, want 200", code)
+	}
+}
+
+func mustParse(t *testing.T, baskets string) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.ReadBasket(strings.NewReader(baskets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,48 @@
+package server
+
+import "pincer/internal/obsv"
+
+// metricsSet holds the serving-layer metrics, registered next to the mining
+// metrics (pincer_runs_total, pincer_passes_total, ...) that the shared
+// MetricsTracer feeds, so one /metrics scrape describes both layers.
+type metricsSet struct {
+	jobsSubmitted *obsv.Counter
+	jobsStarted   *obsv.Counter
+	jobsCompleted *obsv.Counter
+	jobsPartial   *obsv.Counter
+	jobsFailed    *obsv.Counter
+	jobsCancelled *obsv.Counter
+	jobsRejected  *obsv.Counter
+	jobsResumed   *obsv.Counter
+
+	cacheHits      *obsv.Counter
+	cacheMisses    *obsv.Counter
+	cacheEvictions *obsv.Counter
+
+	queueDepth   *obsv.Gauge
+	jobsRunning  *obsv.Gauge
+	cacheBytes   *obsv.Gauge
+	cacheEntries *obsv.Gauge
+}
+
+func newMetricsSet(reg *obsv.Registry) *metricsSet {
+	return &metricsSet{
+		jobsSubmitted: reg.Counter("pincer_jobs_submitted_total", "Jobs accepted by POST /v1/jobs (including cache hits)."),
+		jobsStarted:   reg.Counter("pincer_jobs_started_total", "Jobs whose mining actually started (cache hits never do)."),
+		jobsCompleted: reg.Counter("pincer_jobs_completed_total", "Jobs that finished with a complete result."),
+		jobsPartial:   reg.Counter("pincer_jobs_partial_total", "Jobs ended early by a deadline or resource budget."),
+		jobsFailed:    reg.Counter("pincer_jobs_failed_total", "Jobs that ended in an error."),
+		jobsCancelled: reg.Counter("pincer_jobs_cancelled_total", "Jobs cancelled by DELETE /v1/jobs/{id}."),
+		jobsRejected:  reg.Counter("pincer_jobs_rejected_total", "Submissions rejected with 429 because the queue was full."),
+		jobsResumed:   reg.Counter("pincer_jobs_resumed_total", "Interrupted jobs re-enqueued from the spool at startup."),
+
+		cacheHits:      reg.Counter("pincer_cache_hits_total", "Submissions served from the result cache without mining."),
+		cacheMisses:    reg.Counter("pincer_cache_misses_total", "Submissions that had to mine."),
+		cacheEvictions: reg.Counter("pincer_cache_evictions_total", "Results evicted to hold the cache byte bound."),
+
+		queueDepth:   reg.Gauge("pincer_queue_depth", "Jobs waiting in the run queue."),
+		jobsRunning:  reg.Gauge("pincer_jobs_running", "Jobs currently mining."),
+		cacheBytes:   reg.Gauge("pincer_result_cache_bytes", "Bytes held by the result cache."),
+		cacheEntries: reg.Gauge("pincer_result_cache_entries", "Results held by the cache."),
+	}
+}

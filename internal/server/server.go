@@ -1,0 +1,244 @@
+// Package server is the mining service daemon behind cmd/pincerd: an
+// HTTP/JSON API (stdlib net/http only) that fronts every miner in the
+// repository — Pincer-Search, Apriori, top-down, vertical/Eclat, and the
+// count-distribution parallel miner — with an async job manager, a
+// content-addressed result cache, and checkpoint-backed durability.
+//
+// # API
+//
+//	POST   /v1/jobs          submit a mining job (JobRequest); 202 queued,
+//	                         200 when served from the result cache,
+//	                         429 when the bounded queue is full
+//	GET    /v1/jobs          list jobs, newest first
+//	GET    /v1/jobs/{id}     status + anytime partial progress while running
+//	DELETE /v1/jobs/{id}     cancel via the mining context seam
+//	GET    /v1/results/{id}  the full result document of a finished job
+//	GET    /healthz          liveness
+//	/metrics, /debug/vars, /debug/pprof/   the obsv debug endpoints
+//
+// # Durability
+//
+// Every non-cached job is persisted to the spool directory before it is
+// queued, checkpointable miners (pincer, apriori, parallel) write their
+// pass-barrier state next to it, and a restarted daemon re-enqueues every
+// job that never reached a terminal record — resuming checkpointed runs at
+// the exact pass barrier they last completed. The result cache is keyed by
+// (dataset SHA-256, minsup, miner, options), so resubmitting a finished
+// query never re-mines, even if the basket file was renamed.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"pincer/internal/dataset"
+	"pincer/internal/obsv"
+)
+
+// Config configures the daemon.
+type Config struct {
+	// SpoolDir is the durability root: job specs, checkpoints, traces, and
+	// terminal records live here, and a restart resumes from it. Required.
+	SpoolDir string
+	// Workers is the mining worker pool size (default 2). Each worker runs
+	// one job at a time; parallel jobs additionally fan out their own
+	// counting goroutines.
+	Workers int
+	// QueueSize bounds the run queue; a full queue rejects submissions
+	// with 429 instead of buffering unboundedly (default 16).
+	QueueSize int
+	// CacheMaxBytes bounds the result cache (default 64 MiB; ≤ -1
+	// disables caching, 0 means the default).
+	CacheMaxBytes int64
+	// Registry receives the daemon's metrics; a fresh registry is created
+	// when nil.
+	Registry *obsv.Registry
+	// Logf, when set, receives one line per lifecycle event (job started,
+	// finished, resumed, ...). Nil silences logging.
+	Logf func(format string, args ...interface{})
+	// WrapScanner, when set, wraps every sequential-scanning job's dataset
+	// scanner — a seam for the fault-injection and latency tests; nil in
+	// production.
+	WrapScanner func(jobID string, sc dataset.Scanner) dataset.Scanner
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.SpoolDir == "" {
+		return c, errors.New("server: Config.SpoolDir is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 16
+	}
+	if c.CacheMaxBytes == 0 {
+		c.CacheMaxBytes = 64 << 20
+	}
+	return c, nil
+}
+
+// Server is the HTTP mining service. It implements http.Handler; wire it
+// into an http.Server (cmd/pincerd does) or an httptest.Server.
+type Server struct {
+	cfg Config
+	reg *obsv.Registry
+	man *Manager
+	mux *http.ServeMux
+}
+
+// New builds the service: metrics registry, result cache, job manager
+// (restart-resuming the spool), and routes.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
+	man, err := newManager(cfg, reg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, reg: reg, man: man, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	obsv.RegisterDebug(s.mux, reg)
+	return s, nil
+}
+
+// Manager exposes the job manager (the daemon's signal handling drives
+// Drain/Abort through it).
+func (s *Server) Manager() *Manager { return s.man }
+
+// Registry exposes the metrics registry.
+func (s *Server) Registry() *obsv.Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain gracefully stops the service: no new jobs, queued and running work
+// completes (SIGTERM semantics).
+func (s *Server) Drain(ctx context.Context) error { return s.man.Drain(ctx) }
+
+// Abort stops the service immediately: running jobs are cancelled at their
+// next cancellation point, checkpoints and queued jobs stay in the spool
+// for the next start (SIGINT semantics).
+func (s *Server) Abort(ctx context.Context) error { return s.man.Abort(ctx) }
+
+// errorDoc is the wire form of every error response.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit implements POST /v1/jobs.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, err := s.man.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v := j.view()
+	code := http.StatusAccepted
+	if v.Status == StatusDone { // cache hit: the answer is already here
+		code = http.StatusOK
+	}
+	writeJSON(w, code, v)
+}
+
+// handleList implements GET /v1/jobs.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": s.man.JobViews()})
+}
+
+// handleStatus implements GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.man.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cancelled, exists := s.man.Cancel(id)
+	if !exists {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j, _ := s.man.Job(id)
+	if !cancelled {
+		// Already terminal: cancellation is a no-op, report the state.
+		writeJSON(w, http.StatusConflict, j.view())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// handleResult implements GET /v1/results/{id}.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.man.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	doc := j.doc
+	status := j.status
+	errMsg := j.err
+	j.mu.Unlock()
+	if doc == nil {
+		switch status {
+		case StatusFailed:
+			writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+		default:
+			writeJSON(w, http.StatusConflict, j.view())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}

@@ -48,13 +48,6 @@ func (a tidset) intersect(b tidset) tidset {
 	return out
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Options configures the vertical miners.
 type Options struct {
 	// KeepFrequent retains the complete frequent set (Eclat only; the

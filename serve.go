@@ -1,0 +1,31 @@
+package pincer
+
+import "pincer/internal/server"
+
+// The serving layer (the engine behind cmd/pincerd) re-exported: an
+// HTTP/JSON mining service with an async job manager, a content-addressed
+// result cache, and checkpoint-backed restart-resume. See internal/server
+// and DESIGN.md §9 for the full API and semantics.
+type (
+	// ServerConfig configures a mining service: spool directory, worker
+	// pool, queue bound, cache bound, and observability hooks.
+	ServerConfig = server.Config
+	// Server is the HTTP mining service; it implements http.Handler.
+	Server = server.Server
+	// JobRequest is the body of POST /v1/jobs.
+	JobRequest = server.JobRequest
+	// JobView is the body of GET /v1/jobs/{id}.
+	JobView = server.JobView
+	// ResultDoc is the body of GET /v1/results/{id}.
+	ResultDoc = server.ResultDoc
+)
+
+// NewServer builds a mining service, resuming any in-flight jobs found in
+// the spool directory.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ServerCacheKey derives the content-addressed result-cache key of a
+// request: SHA-256 over the dataset bytes and every answer-shaping option.
+func ServerCacheKey(datasetBytes []byte, spec JobRequest) string {
+	return server.CacheKey(datasetBytes, spec)
+}
