@@ -7,9 +7,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race faults conformance fuzz cover serve bench bench-parallel profile
+.PHONY: ci vet build test race faults conformance fuzz cover load serve bench bench-parallel profile
 
-ci: vet build test race faults conformance fuzz cover
+ci: vet build test race faults conformance fuzz cover load
 
 vet:
 	$(GO) vet ./...
@@ -18,7 +18,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obsv/...
@@ -41,10 +41,21 @@ fuzz:
 	$(GO) test ./internal/dataset -run '^$$' -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/checkpoint -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzPincerMatchesApriori -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz FuzzJobRequest -fuzztime $(FUZZTIME)
 
 # Per-package statement coverage.
 cover:
 	$(GO) test -cover ./...
+
+# Short deterministic load-generator run against an in-process daemon,
+# race-clean, with chaos restarts and sequential-reference verification —
+# the quick CI cut of the soak harness. `cmd/pincerload -local -duration 10m
+# -chaos-interval 30s` is the long-soak version of the same thing.
+load:
+	$(GO) test -race ./internal/loadgen/... ./internal/server/...
+	$(GO) run -race ./cmd/pincerload -local -duration 2s -concurrency 8 \
+		-datasets 2 -minsup 0.3,0.5 -miners pincer,apriori,parallel \
+		-chaos-interval 800ms -chaos-restarts 1 -verify -seed 1 -out /tmp/pincerload-ci.json
 
 # Run the mining service daemon locally.
 serve:

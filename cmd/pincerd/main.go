@@ -3,7 +3,8 @@
 // Usage:
 //
 //	pincerd -addr :8080 -spool /var/lib/pincerd [-workers n] [-queue n]
-//	        [-cache-bytes n]
+//	        [-cache-bytes n] [-max-body-bytes n] [-max-inflight-per-remote n]
+//	        [-read-timeout d] [-write-timeout d] [-idle-timeout d]
 //
 // The daemon exposes the REST API of internal/server: POST /v1/jobs to
 // submit a mining job (inline baskets or a server-side dataset file, any of
@@ -53,6 +54,11 @@ func run(args []string) error {
 	workers := fs.Int("workers", 2, "mining worker pool size")
 	queue := fs.Int("queue", 16, "run-queue bound; a full queue answers 429")
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "result cache byte bound (-1 disables caching)")
+	maxBodyBytes := fs.Int64("max-body-bytes", 8<<20, "request body byte cap; oversize bodies answer 413 (-1 disables)")
+	maxInflight := fs.Int("max-inflight-per-remote", 64, "concurrent in-flight request cap per remote host; excess answers 429 (0 = unlimited)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	writeTimeout := fs.Duration("write-timeout", 120*time.Second, "http.Server WriteTimeout (bounds long pprof profiles too)")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "how long shutdown waits for jobs before giving up")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,11 +70,13 @@ func run(args []string) error {
 
 	logger := log.New(os.Stderr, "pincerd: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
-		SpoolDir:      *spoolDir,
-		Workers:       *workers,
-		QueueSize:     *queue,
-		CacheMaxBytes: *cacheBytes,
-		Logf:          logger.Printf,
+		SpoolDir:             *spoolDir,
+		Workers:              *workers,
+		QueueSize:            *queue,
+		CacheMaxBytes:        *cacheBytes,
+		MaxBodyBytes:         *maxBodyBytes,
+		MaxInflightPerRemote: *maxInflight,
+		Logf:                 logger.Printf,
 	})
 	if err != nil {
 		return err
@@ -78,7 +86,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv}
+	// A server with zero timeouts lets one slow or stalled client hold a
+	// connection (and its per-remote slot) forever; every bound is a flag.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	logger.Printf("listening on http://%s (spool %s, %d workers, queue %d)",

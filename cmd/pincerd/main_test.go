@@ -1,8 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"pincer/internal/server"
 )
 
 func TestRunRequiresSpool(t *testing.T) {
@@ -15,5 +24,74 @@ func TestRunRequiresSpool(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("run with unknown flag: got nil error")
+	}
+}
+
+// TestMaxBodyBytesFlagWiring boots the real daemon with a 1 KiB body cap
+// and checks the flag reaches the handler: an oversized POST answers 413
+// with the typed reason. Regression for the zero-timeout, uncapped
+// http.Server the daemon originally ran.
+func TestMaxBodyBytesFlagWiring(t *testing.T) {
+	// Reserve a port, free it, and hand it to run(); the window where
+	// another process could grab it is negligible for a test.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-spool", t.TempDir(), "-max-body-bytes", "1024"})
+	}()
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up at %s: %v", base, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	big, err := json.Marshal(server.JobRequest{
+		Baskets:    strings.Repeat("1 2 3 4\n", 512),
+		MinSupport: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Reason string `json:"reason"`
+	}
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized POST: status %d, want 413", resp.StatusCode)
+	}
+	if e.Reason != server.ReasonBodyTooLarge {
+		t.Errorf("413 reason = %q, want %q", e.Reason, server.ReasonBodyTooLarge)
+	}
+
+	// run() is parked on signal.Notify; a SIGTERM to ourselves drains it.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
 	}
 }

@@ -1,0 +1,190 @@
+// Command pincerload is the load generator and soak harness for pincerd.
+//
+// Usage:
+//
+//	pincerload -target http://host:8080 [-duration 10s] [-concurrency 8]
+//	           [-rate hz] [-datasets n] [-minsup 0.2,0.4] [-miners list]
+//	           [-resubmit r] [-cancel r] [-verify] [-out FILE.json]
+//	pincerload -local [-chaos-interval 2s] [-chaos-restarts 2] ...
+//
+// It drives the daemon with a mix of Quest-generated datasets × a
+// minimum-support grid × miner engines: closed loop (-concurrency clients,
+// each submit → poll-until-terminal → repeat) or open loop (-rate fixed
+// arrivals per second). -resubmit replays already-submitted cells to
+// exercise the result cache; -cancel DELETEs a share of accepted jobs.
+// The run's per-endpoint latency histograms (p50/p95/p99/max), throughput,
+// status-code taxonomy (2xx/4xx/429/503), and job accounting (done,
+// partial, cancelled, failed, lost — lost must be zero) land in -out as
+// JSON (default BENCH_serve_load.json).
+//
+// With -local the harness boots an in-process pincerd instead of dialing a
+// -target, which also unlocks soak mode: -chaos-interval kill-restarts the
+// daemon on that interval (-chaos-restarts times), exercising the
+// spool-resume path mid-burst; with -verify every complete result is
+// diffed against a sequential reference mine — a lost job or a divergent
+// result fails the run with exit status 1.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pincer/internal/loadgen"
+	"pincer/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pincerload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pincerload", flag.ContinueOnError)
+	target := fs.String("target", "", "base URL of a running pincerd (e.g. http://127.0.0.1:8080)")
+	local := fs.Bool("local", false, "boot an in-process daemon instead of dialing -target")
+	spool := fs.String("spool", "", "spool directory for -local (default: a temp dir)")
+	workers := fs.Int("workers", 2, "worker pool size of the -local daemon, and workers for parallel-miner cells")
+	queue := fs.Int("queue", 16, "run-queue bound of the -local daemon")
+	duration := fs.Duration("duration", 10*time.Second, "submission window")
+	concurrency := fs.Int("concurrency", 8, "closed-loop client count")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate in requests/second (0 = closed loop)")
+	datasets := fs.Int("datasets", 3, "number of Quest datasets in the mix")
+	minsupFlag := fs.String("minsup", "0.2,0.4,0.6", "comma-separated minimum-support grid")
+	minersFlag := fs.String("miners", "pincer,apriori,topdown,vertical,parallel", "comma-separated miner engines")
+	resubmit := fs.Float64("resubmit", 0.3, "probability a request replays a submitted cell (cache exercise)")
+	cancel := fs.Float64("cancel", 0.05, "probability an accepted job is DELETEd")
+	seed := fs.Int64("seed", 1, "mix seed (equal seeds replay the same request sequence)")
+	jobDeadline := fs.Duration("job-deadline", 5*time.Second, "deadline_ms stamped on every job; pathological cells end partial instead of wedging a worker (0 = none)")
+	verify := fs.Bool("verify", false, "diff every complete result against a sequential reference mine")
+	chaosInterval := fs.Duration("chaos-interval", 0, "kill-restart the -local daemon on this interval (0 = off)")
+	chaosRestarts := fs.Int("chaos-restarts", 2, "restart budget for -chaos-interval (0 = until the window closes)")
+	out := fs.String("out", "BENCH_serve_load.json", "report file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*target == "") == !*local {
+		fs.Usage()
+		return errors.New("exactly one of -target or -local is required")
+	}
+	if *chaosInterval > 0 && !*local {
+		return errors.New("-chaos-interval needs -local (the harness must own the daemon it restarts)")
+	}
+	minsups, err := parseFloats(*minsupFlag)
+	if err != nil {
+		return fmt.Errorf("-minsup: %w", err)
+	}
+	miners := strings.Split(*minersFlag, ",")
+	for i := range miners {
+		miners[i] = strings.TrimSpace(miners[i])
+	}
+
+	logger := log.New(os.Stderr, "pincerload: ", log.LstdFlags)
+	cfg := loadgen.Config{
+		BaseURL:       *target,
+		Concurrency:   *concurrency,
+		RateHz:        *rate,
+		Duration:      *duration,
+		ResubmitRatio: *resubmit,
+		CancelRatio:   *cancel,
+		Seed:          *seed,
+		JobDeadline:   *jobDeadline,
+		Verify:        *verify,
+		Logf:          logger.Printf,
+	}
+
+	if *local {
+		dir := *spool
+		if dir == "" {
+			if dir, err = os.MkdirTemp("", "pincerload-spool-*"); err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		daemon, err := loadgen.StartLocal(server.Config{
+			SpoolDir:  dir,
+			Workers:   *workers,
+			QueueSize: *queue,
+		})
+		if err != nil {
+			return err
+		}
+		defer daemon.Close()
+		cfg.BaseURL = daemon.URL()
+		if *chaosInterval > 0 {
+			cfg.Chaos = &loadgen.ChaosConfig{
+				Interval:    *chaosInterval,
+				MaxRestarts: *chaosRestarts,
+				Restart:     daemon.Restart,
+			}
+		}
+		logger.Printf("local daemon at %s (spool %s)", cfg.BaseURL, dir)
+	}
+
+	ds := loadgen.GenerateDatasets(*datasets, *seed)
+	cfg.Cells = loadgen.BuildCells(ds, minsups, miners, *workers)
+	logger.Printf("mix: %d datasets × %d supports × %d miners = %d cells",
+		len(ds), len(minsups), len(miners), len(cfg.Cells))
+
+	rep, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	logger.Printf("%d requests (%.0f rps), codes %v", rep.Requests, rep.ThroughputRPS, rep.Codes)
+	logger.Printf("jobs: accepted %d, cache hits %d, done %d, partial %d, cancelled %d, failed %d, lost %d",
+		rep.Jobs.Accepted, rep.Jobs.CacheHits, rep.Jobs.Done, rep.Jobs.Partial,
+		rep.Jobs.Cancelled, rep.Jobs.Failed, rep.Jobs.Lost)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+		if err == nil {
+			logger.Printf("report written to %s", *out)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	// The harness's own pass/fail: overload may 429 and chaos may sever
+	// connections, but a lost job, a failed job, or a divergent result is
+	// a daemon bug.
+	if rep.Jobs.Lost > 0 {
+		return fmt.Errorf("%d accepted jobs never reached a terminal state: %v", rep.Jobs.Lost, rep.Jobs.LostIDs)
+	}
+	if rep.Jobs.Failed > 0 {
+		return fmt.Errorf("%d jobs failed", rep.Jobs.Failed)
+	}
+	if len(rep.Jobs.Divergent) > 0 {
+		return fmt.Errorf("%d results diverge from the sequential reference: %v", len(rep.Jobs.Divergent), rep.Jobs.Divergent)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRequiresTargetOrLocal(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("run without -target or -local: got nil error")
+	}
+	if err := run([]string{"-target", "http://x", "-local"}); err == nil {
+		t.Fatal("run with both -target and -local: got nil error")
+	}
+	if err := run([]string{"-target", "http://x", "-chaos-interval", "1s"}); err == nil {
+		t.Fatal("run with chaos against a remote target: got nil error")
+	}
+	if err := run([]string{"-local", "-minsup", "bogus"}); err == nil {
+		t.Fatal("run with unparsable -minsup: got nil error")
+	}
+}
+
+// TestShortLocalRun is the end-to-end CLI check: a sub-second local run
+// must exit cleanly and write a report with per-endpoint latencies and a
+// status-code taxonomy.
+func TestShortLocalRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve_load.json")
+	err := run([]string{
+		"-local",
+		"-duration", "500ms",
+		"-concurrency", "4",
+		"-datasets", "1",
+		"-minsup", "0.4",
+		"-miners", "pincer,apriori",
+		"-verify",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Requests  int64                      `json:"requests"`
+		Codes     map[string]int64           `json:"codes"`
+		Endpoints map[string]json.RawMessage `json:"endpoints"`
+		Jobs      struct {
+			Lost int64 `json:"lost"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Requests == 0 || len(rep.Codes) == 0 {
+		t.Errorf("report is empty: requests %d, codes %v", rep.Requests, rep.Codes)
+	}
+	if rep.Endpoints["submit"] == nil {
+		t.Error("report has no submit endpoint section")
+	}
+	if rep.Jobs.Lost != 0 {
+		t.Errorf("short local run lost %d jobs", rep.Jobs.Lost)
+	}
+}

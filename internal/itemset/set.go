@@ -129,9 +129,21 @@ func MaximalOnly(xs []Itemset) []Itemset {
 		return sorted[i].Compare(sorted[j]) < 0
 	})
 	var kept []Itemset
-	for _, x := range sorted {
+	// Equal-length sets can never strictly dominate each other, so each
+	// element only needs testing against the kept prefix of longer sets;
+	// a same-length antichain (e.g. one level of a top-down frontier)
+	// costs no subset tests at all. Equal duplicates are adjacent after
+	// the sort and are dropped by the Compare check.
+	longer, curLen := 0, -1
+	for i, x := range sorted {
+		if len(x) != curLen {
+			longer, curLen = len(kept), len(x)
+		}
+		if i > 0 && len(sorted[i-1]) == curLen && x.Compare(sorted[i-1]) == 0 {
+			continue
+		}
 		dominated := false
-		for _, m := range kept {
+		for _, m := range kept[:longer] {
 			if x.IsSubsetOf(m) {
 				dominated = true
 				break

@@ -1,0 +1,152 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pincer/internal/obsv"
+	"pincer/internal/server"
+)
+
+// recorder accumulates per-endpoint latency histograms (the obsv
+// log-bucketed histogram, the same structure the daemon's own HTTP metrics
+// use) and a status-code taxonomy.
+type recorder struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointRec
+}
+
+type endpointRec struct {
+	hist      obsv.Histogram
+	codes     map[string]int64
+	transport int64
+}
+
+func newRecorder() *recorder {
+	return &recorder{endpoints: map[string]*endpointRec{}}
+}
+
+func (r *recorder) endpoint(name string) *endpointRec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.endpoints[name]
+	if !ok {
+		e = &endpointRec{codes: map[string]int64{}}
+		r.endpoints[name] = e
+	}
+	return e
+}
+
+// record notes one completed request.
+func (r *recorder) record(name string, code int, d time.Duration) {
+	e := r.endpoint(name)
+	e.hist.Observe(d)
+	r.mu.Lock()
+	e.codes[fmt.Sprint(code)]++
+	r.mu.Unlock()
+}
+
+// transportError notes a request that never produced a status code (a
+// connection refused/reset — routine while the chaos knob holds the
+// daemon down).
+func (r *recorder) transportError(name string) {
+	e := r.endpoint(name)
+	r.mu.Lock()
+	e.transport++
+	r.mu.Unlock()
+}
+
+// client is the load generator's HTTP job client. The base URL is held in
+// an atomic so a chaos restart can repoint every worker mid-run.
+type client struct {
+	hc         *http.Client
+	base       atomic.Value // string
+	rec        *recorder
+	deadlineMS int64 // per-job mining deadline stamped on every submit
+}
+
+func newClient(baseURL string, hc *http.Client, rec *recorder) *client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &client{hc: hc, rec: rec}
+	c.base.Store(baseURL)
+	return c
+}
+
+func (c *client) baseURL() string     { return c.base.Load().(string) }
+func (c *client) setBase(base string) { c.base.Store(base) }
+
+// do performs one request, records it under endpoint, and decodes the JSON
+// response into out when non-nil. A nil error with code 0 never happens:
+// transport failures return the error.
+func (c *client) do(endpoint, method, path string, body, out interface{}) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.baseURL()+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.rec.transportError(endpoint)
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	c.rec.record(endpoint, resp.StatusCode, time.Since(start))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("loadgen: decode %s %s: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (c *client) submit(cell Cell) (int, server.JobView, error) {
+	spec := server.JobRequest{
+		Baskets:    cell.Baskets,
+		MinSupport: cell.MinSupport,
+		Miner:      cell.Miner,
+		Workers:    cell.Workers,
+		DeadlineMS: c.deadlineMS,
+	}
+	var v server.JobView
+	code, err := c.do("submit", http.MethodPost, "/v1/jobs", spec, &v)
+	return code, v, err
+}
+
+func (c *client) status(id string) (int, server.JobView, error) {
+	var v server.JobView
+	code, err := c.do("status", http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	return code, v, err
+}
+
+func (c *client) cancel(id string) (int, error) {
+	return c.do("cancel", http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+func (c *client) result(id string) (int, *server.ResultDoc, error) {
+	var doc server.ResultDoc
+	code, err := c.do("result", http.MethodGet, "/v1/results/"+id, nil, &doc)
+	return code, &doc, err
+}

@@ -1,0 +1,412 @@
+// Package loadgen is the load-generation and soak harness for the pincerd
+// mining service. It drives a daemon (a live process or an in-process
+// LocalDaemon) with a configurable request mix — Quest datasets × a
+// minimum-support grid × miners — in closed loop (N clients, each
+// submit → poll-until-terminal → repeat) or open loop (a fixed arrival
+// rate, concurrency unbounded), with tunable resubmit and cancel ratios to
+// exercise the result cache and the DELETE path.
+//
+// Every request is timed into per-endpoint log-bucketed histograms
+// (internal/obsv, the same structure behind the daemon's own
+// pincer_http_request_seconds), every response lands in a status-code
+// taxonomy, and every accepted job is tracked to a terminal state — the
+// run fails loudly if a job is lost. A chaos knob kill-restarts the daemon
+// mid-burst on an interval, leaning on the spool-resume path; Verify then
+// checks every complete result against a sequential reference mine.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pincer/internal/server"
+)
+
+// Config configures one load run.
+type Config struct {
+	// BaseURL targets the daemon, e.g. "http://127.0.0.1:8080". Required.
+	BaseURL string
+	// Client overrides the HTTP client (default: 30s total timeout).
+	Client *http.Client
+	// Cells is the request mix (see BuildCells). Required.
+	Cells []Cell
+	// Concurrency is the closed-loop client count (default 8). Ignored in
+	// open-loop mode.
+	Concurrency int
+	// RateHz switches to open-loop mode: submissions arrive at this fixed
+	// rate regardless of completions, so the queue — not the client —
+	// absorbs overload. 0 keeps the closed loop.
+	RateHz float64
+	// Duration is the submission window; accepted jobs are drained past
+	// it. Required.
+	Duration time.Duration
+	// ResubmitRatio is the probability a request replays an
+	// already-submitted cell (a likely cache hit) instead of picking any
+	// cell (default 0.3).
+	ResubmitRatio float64
+	// CancelRatio is the probability an accepted job is immediately
+	// DELETEd (default 0).
+	CancelRatio float64
+	// PollInterval spaces the per-job status polls (default 5ms).
+	PollInterval time.Duration
+	// DrainTimeout bounds the post-window wait for accepted jobs to reach
+	// a terminal state (default 60s); a job still live after it counts as
+	// lost.
+	DrainTimeout time.Duration
+	// JobDeadline, when set, stamps a deadline_ms on every submitted job:
+	// a cell that is pathological for its miner (the mining cost across a
+	// dataset × support × miner mix spans orders of magnitude) ends as a
+	// partial anytime answer instead of wedging a worker past the drain
+	// window.
+	JobDeadline time.Duration
+	// Seed makes the mix deterministic: equal configs replay the same
+	// request sequence per client.
+	Seed int64
+	// Verify re-mines every distinct (dataset, minsup) sequentially and
+	// diffs each complete result against it.
+	Verify bool
+	// Chaos, when set, kill-restarts the daemon on an interval during the
+	// submission window.
+	Chaos *ChaosConfig
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// ChaosConfig is the soak mode's restart knob.
+type ChaosConfig struct {
+	// Interval between restarts (required).
+	Interval time.Duration
+	// MaxRestarts bounds the number of restarts (0 = until the window
+	// closes).
+	MaxRestarts int
+	// Restart must stop the daemon the hard way (abort: running jobs keep
+	// their checkpoints, the spool keeps the queue) and start a fresh
+	// generation on the same spool, returning its base URL.
+	Restart func() (string, error)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.BaseURL == "" {
+		return c, errors.New("loadgen: Config.BaseURL is required")
+	}
+	if len(c.Cells) == 0 {
+		return c, errors.New("loadgen: Config.Cells is empty")
+	}
+	if c.Duration <= 0 {
+		return c, errors.New("loadgen: Config.Duration is required")
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.ResubmitRatio == 0 {
+		c.ResubmitRatio = 0.3
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 5 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 60 * time.Second
+	}
+	if c.Chaos != nil && (c.Chaos.Interval <= 0 || c.Chaos.Restart == nil) {
+		return c, errors.New("loadgen: ChaosConfig needs Interval and Restart")
+	}
+	return c, nil
+}
+
+// trackedJob is one accepted (202) job followed to its terminal state.
+type trackedJob struct {
+	id            string
+	cellIdx       int
+	cancelAsked   bool
+	status        string // terminal status, "" while live
+	partialReason string
+	sig           string // result signature when status == done
+}
+
+// runner is one load run's shared state.
+type runner struct {
+	cfg Config
+	cli *client
+	rec *recorder
+
+	mu           sync.Mutex
+	submitted    []int
+	submittedSet map[int]bool
+	tracked      map[string]*trackedJob
+	cacheHits    int64
+	restarts     int
+}
+
+func (r *runner) logf(format string, args ...interface{}) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Run executes one load run and returns its report. The context cancels
+// the run early (the report covers what ran).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecorder()
+	r := &runner{
+		cfg:          cfg,
+		rec:          rec,
+		cli:          newClient(cfg.BaseURL, cfg.Client, rec),
+		submittedSet: map[int]bool{},
+		tracked:      map[string]*trackedJob{},
+	}
+	r.cli.deadlineMS = int64(cfg.JobDeadline / time.Millisecond)
+
+	loadCtx, cancelLoad := context.WithTimeout(ctx, cfg.Duration)
+	defer cancelLoad()
+	drainCtx, cancelDrain := context.WithTimeout(ctx, cfg.Duration+cfg.DrainTimeout)
+	defer cancelDrain()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if cfg.Chaos != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.chaosLoop(loadCtx)
+		}()
+	}
+	if cfg.RateHz > 0 {
+		r.openLoop(loadCtx, drainCtx, &wg)
+	} else {
+		r.closedLoop(loadCtx, drainCtx, &wg)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	r.logf("load window + drain took %v", elapsed)
+
+	rep := r.buildReport(elapsed)
+	if cfg.Verify {
+		r.verify(rep)
+	}
+	return rep, nil
+}
+
+// closedLoop runs Concurrency clients, each submit → follow → repeat.
+func (r *runner) closedLoop(loadCtx, drainCtx context.Context, wg *sync.WaitGroup) {
+	for i := 0; i < r.cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(i)))
+			for loadCtx.Err() == nil {
+				r.oneOp(rng, drainCtx)
+			}
+		}(i)
+	}
+}
+
+// openLoop submits at a fixed arrival rate; each arrival is followed to
+// its terminal state by its own goroutine.
+func (r *runner) openLoop(loadCtx, drainCtx context.Context, wg *sync.WaitGroup) {
+	interval := time.Duration(float64(time.Second) / r.cfg.RateHz)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var n int64
+	for {
+		select {
+		case <-loadCtx.Done():
+			return
+		case <-ticker.C:
+			n++
+			wg.Add(1)
+			go func(n int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(r.cfg.Seed + 7919*n))
+				r.oneOp(rng, drainCtx)
+			}(n)
+		}
+	}
+}
+
+// chaosLoop restarts the daemon every Interval while the window is open.
+func (r *runner) chaosLoop(loadCtx context.Context) {
+	ticker := time.NewTicker(r.cfg.Chaos.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-loadCtx.Done():
+			return
+		case <-ticker.C:
+		}
+		r.mu.Lock()
+		done := r.cfg.Chaos.MaxRestarts > 0 && r.restarts >= r.cfg.Chaos.MaxRestarts
+		r.mu.Unlock()
+		if done {
+			return
+		}
+		base, err := r.cfg.Chaos.Restart()
+		if err != nil {
+			r.logf("chaos: restart failed: %v", err)
+			return
+		}
+		r.cli.setBase(base)
+		r.mu.Lock()
+		r.restarts++
+		n := r.restarts
+		r.mu.Unlock()
+		r.logf("chaos: restart %d complete, daemon back at %s", n, base)
+	}
+}
+
+// pickCell picks the next cell: with probability ResubmitRatio a replay of
+// an already-submitted cell (exercising the result cache), otherwise any
+// cell of the mix.
+func (r *runner) pickCell(rng *rand.Rand) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.submitted) > 0 && rng.Float64() < r.cfg.ResubmitRatio {
+		return r.submitted[rng.Intn(len(r.submitted))]
+	}
+	idx := rng.Intn(len(r.cfg.Cells))
+	if !r.submittedSet[idx] {
+		r.submittedSet[idx] = true
+		r.submitted = append(r.submitted, idx)
+	}
+	return idx
+}
+
+// oneOp performs one submit and, when accepted, follows the job to a
+// terminal state (optionally cancelling it first).
+func (r *runner) oneOp(rng *rand.Rand, drainCtx context.Context) {
+	idx := r.pickCell(rng)
+	code, view, err := r.cli.submit(r.cfg.Cells[idx])
+	if err != nil {
+		// Transport failure: routine while a chaos restart holds the
+		// daemon down; back off briefly and let the loop retry.
+		sleepCtx(drainCtx, 20*time.Millisecond)
+		return
+	}
+	switch code {
+	case http.StatusOK: // cache hit: terminal on arrival
+		r.mu.Lock()
+		r.cacheHits++
+		r.mu.Unlock()
+	case http.StatusAccepted:
+		t := &trackedJob{id: view.ID, cellIdx: idx}
+		r.mu.Lock()
+		r.tracked[view.ID] = t
+		r.mu.Unlock()
+		if r.cfg.CancelRatio > 0 && rng.Float64() < r.cfg.CancelRatio {
+			r.cli.cancel(view.ID)
+			r.mu.Lock()
+			t.cancelAsked = true
+			r.mu.Unlock()
+		}
+		r.follow(drainCtx, t)
+	case http.StatusTooManyRequests:
+		sleepCtx(drainCtx, time.Duration(2+rng.Intn(8))*time.Millisecond)
+	case http.StatusServiceUnavailable:
+		// The daemon is shutting down under chaos; wait out the restart.
+		sleepCtx(drainCtx, 20*time.Millisecond)
+	}
+}
+
+// terminalStatuses are the states a followed job can rest in. Note that
+// StatusInterrupted is NOT terminal: it marks a job parked by a daemon
+// abort, which the next generation resumes from the spool.
+var terminalStatuses = map[string]bool{
+	server.StatusDone:      true,
+	server.StatusPartial:   true,
+	server.StatusCancelled: true,
+	server.StatusFailed:    true,
+}
+
+// follow polls the job until it reaches a terminal state (or the drain
+// window closes — the job then counts as lost). Transport errors and 404s
+// during a chaos restart are retried: the job's spool entry guarantees the
+// next daemon generation knows it.
+func (r *runner) follow(drainCtx context.Context, t *trackedJob) {
+	for {
+		code, view, err := r.cli.status(t.id)
+		if err == nil && code == http.StatusOK && terminalStatuses[view.Status] {
+			r.finishTracked(t, view)
+			return
+		}
+		if !sleepCtx(drainCtx, r.cfg.PollInterval) {
+			return // drain window closed: left non-terminal, reported lost
+		}
+	}
+}
+
+// finishTracked records a followed job's terminal state and, for complete
+// results, fetches and canonicalizes the result document.
+func (r *runner) finishTracked(t *trackedJob, view server.JobView) {
+	sig := ""
+	if view.Status == server.StatusDone {
+		if code, doc, err := r.cli.result(t.id); err == nil && code == http.StatusOK {
+			sig = Signature(doc)
+		}
+	}
+	r.mu.Lock()
+	t.status = view.Status
+	t.partialReason = view.PartialReason
+	t.sig = sig
+	r.mu.Unlock()
+}
+
+// sleepCtx sleeps d unless ctx ends first; it reports whether the context
+// is still live.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return ctx.Err() == nil
+	}
+}
+
+// verify diffs every complete result against the sequential reference of
+// its (dataset, minsup), filling the report's Verified/Divergent fields.
+func (r *runner) verify(rep *Report) {
+	refs := map[string]string{} // dataset|minsup → reference signature
+	refKey := func(c Cell) string { return c.Dataset + "|" + fmt.Sprint(c.MinSupport) }
+	r.mu.Lock()
+	jobs := make([]*trackedJob, 0, len(r.tracked))
+	for _, t := range r.tracked {
+		jobs = append(jobs, t)
+	}
+	r.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].id < jobs[j].id })
+	for _, t := range jobs {
+		if t.status != server.StatusDone || t.sig == "" {
+			continue
+		}
+		cell := r.cfg.Cells[t.cellIdx]
+		key := refKey(cell)
+		want, ok := refs[key]
+		if !ok {
+			var err error
+			want, err = ReferenceSignature(cell.Baskets, cell.MinSupport)
+			if err != nil {
+				rep.Jobs.Divergent = append(rep.Jobs.Divergent,
+					fmt.Sprintf("%s (%s): reference failed: %v", t.id, cell.Name(), err))
+				continue
+			}
+			refs[key] = want
+		}
+		if t.sig != want {
+			rep.Jobs.Divergent = append(rep.Jobs.Divergent,
+				fmt.Sprintf("%s (%s): result diverges from sequential reference", t.id, cell.Name()))
+			continue
+		}
+		rep.Jobs.Verified++
+	}
+}

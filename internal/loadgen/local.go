@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"pincer/internal/server"
+)
+
+// LocalDaemon runs a pincerd server in-process for self-contained load
+// runs and soak tests. Its Restart method is shaped for ChaosConfig: it
+// aborts the current generation the way SIGINT does (running jobs park as
+// interrupted, checkpoints and spool entries stay) and brings up a fresh
+// server on the same spool directory, so a chaos restart exercises the
+// real resume path end to end.
+type LocalDaemon struct {
+	cfg server.Config
+
+	mu   sync.Mutex
+	srv  *server.Server
+	hs   *http.Server
+	addr string // the bound host:port, kept stable across restarts
+}
+
+// StartLocal boots the first generation on 127.0.0.1:0.
+func StartLocal(cfg server.Config) (*LocalDaemon, error) {
+	d := &LocalDaemon{cfg: cfg}
+	if err := d.start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *LocalDaemon) start(addr string) error {
+	srv, err := server.New(d.cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil && addr != "127.0.0.1:0" {
+		// The old port is briefly unavailable (a straggling accept);
+		// fall back to a fresh one — the chaos callback hands the new base
+		// URL to the clients either way.
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+	}
+	if err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Abort(ctx)
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	go hs.Serve(ln)
+	d.mu.Lock()
+	d.srv, d.hs, d.addr = srv, hs, ln.Addr().String()
+	d.mu.Unlock()
+	return nil
+}
+
+// URL returns the current generation's base URL.
+func (d *LocalDaemon) URL() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return "http://" + d.addr
+}
+
+// Server returns the current generation's server (for metrics probes).
+func (d *LocalDaemon) Server() *server.Server {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.srv
+}
+
+// stop tears down the current generation: in-flight connections are cut
+// and the mining manager is aborted, leaving checkpoints behind.
+func (d *LocalDaemon) stop() error {
+	d.mu.Lock()
+	srv, hs := d.srv, d.hs
+	d.srv, d.hs = nil, nil
+	d.mu.Unlock()
+	if hs != nil {
+		hs.Close()
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Abort(ctx); err != nil {
+			return fmt.Errorf("loadgen: abort daemon: %w", err)
+		}
+	}
+	return nil
+}
+
+// Restart kill-restarts the daemon on the same spool and returns the new
+// generation's base URL. It is the ChaosConfig.Restart implementation.
+func (d *LocalDaemon) Restart() (string, error) {
+	if err := d.stop(); err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	addr := d.addr
+	d.mu.Unlock()
+	if err := d.start(addr); err != nil {
+		return "", err
+	}
+	return d.URL(), nil
+}
+
+// Close stops the daemon for good.
+func (d *LocalDaemon) Close() error {
+	return d.stop()
+}

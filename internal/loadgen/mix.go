@@ -1,0 +1,147 @@
+package loadgen
+
+// The request mix. A load run drives the daemon with a cross product of
+// Quest-generated datasets × a minimum-support grid × miner engines — the
+// request shape Heaton (arXiv:1701.09042) predicts is the hard one, since
+// mining cost varies by orders of magnitude with dataset density and
+// support threshold, and the multilevel-threshold workloads of
+// arXiv:1209.6297 (repeated mines over one database at varying minsup)
+// are exactly what the resubmit ratio replays against the result cache.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pincer/internal/apriori"
+	"pincer/internal/dataset"
+	"pincer/internal/quest"
+	"pincer/internal/server"
+)
+
+// Dataset is one generated database of the mix.
+type Dataset struct {
+	Name    string
+	Baskets string
+}
+
+// Cell is one workload cell: a dataset mined at one support by one miner.
+// Repeats of a cell after its first completion are answered by the
+// daemon's result cache, so the resubmit ratio controls the cache-hit
+// share of the mix.
+type Cell struct {
+	Dataset    string
+	Baskets    string
+	MinSupport float64
+	Miner      string
+	Workers    int
+}
+
+// Name renders the cell for reports and logs.
+func (c Cell) Name() string {
+	return fmt.Sprintf("%s/s=%g/%s", c.Dataset, c.MinSupport, c.Miner)
+}
+
+// GenerateDatasets builds n Quest databases of rising density: later
+// datasets draw longer transactions from a smaller item universe, so their
+// low-minsup cells are the expensive tail of the mix while the early
+// sparse ones stay cheap.
+func GenerateDatasets(n int, seed int64) []Dataset {
+	out := make([]Dataset, 0, n)
+	for i := 0; i < n; i++ {
+		items := 72 - 12*i
+		if items < 24 {
+			items = 24
+		}
+		p := quest.Params{
+			NumTransactions: 600 + 400*i,
+			AvgTxLen:        6 + 3*float64(i),
+			AvgPatternLen:   3 + float64(i),
+			NumPatterns:     20 + 10*i,
+			NumItems:        items,
+			Seed:            seed + int64(i),
+		}
+		d := quest.Generate(p)
+		var buf bytes.Buffer
+		if err := dataset.WriteBasket(&buf, d); err != nil {
+			panic(fmt.Sprintf("loadgen: encode generated dataset: %v", err)) // unreachable: bytes.Buffer never errors
+		}
+		out = append(out, Dataset{
+			Name:    fmt.Sprintf("mix%d-%s", i, p.Name()),
+			Baskets: buf.String(),
+		})
+	}
+	return out
+}
+
+// BuildCells crosses datasets × minsups × miners into the request mix.
+// workers is applied to parallel-miner cells only.
+func BuildCells(ds []Dataset, minsups []float64, miners []string, workers int) []Cell {
+	cells := make([]Cell, 0, len(ds)*len(minsups)*len(miners))
+	for _, d := range ds {
+		for _, s := range minsups {
+			for _, m := range miners {
+				c := Cell{Dataset: d.Name, Baskets: d.Baskets, MinSupport: s, Miner: m}
+				if m == server.MinerParallel {
+					c.Workers = workers
+				}
+				cells = append(cells, c)
+			}
+		}
+	}
+	return cells
+}
+
+// sigLine renders one maximal itemset with its support in the canonical
+// comparison form shared by server results and sequential references.
+func sigLine(items []int64, support int64) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = fmt.Sprint(it)
+	}
+	return strings.Join(parts, " ") + "=" + fmt.Sprint(support)
+}
+
+// Signature canonicalizes a result document's MFS (items and supports,
+// sorted) for divergence checks against the sequential reference.
+func Signature(doc *server.ResultDoc) string {
+	lines := make([]string, 0, len(doc.MFS))
+	for _, m := range doc.MFS {
+		items := make([]int64, len(m.Items))
+		for i, it := range m.Items {
+			items[i] = int64(it)
+		}
+		lines = append(lines, sigLine(items, m.Support))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ";")
+}
+
+// ReferenceSignature mines the cell's database sequentially (Apriori, the
+// baseline every miner is conformance-pinned to) and canonicalizes the
+// answer. Every complete result the daemon hands back for the same
+// (dataset, minsup) must match it byte for byte, whatever miner ran it and
+// however many restarts interrupted it.
+func ReferenceSignature(baskets string, minSupport float64) (string, error) {
+	d, err := dataset.ReadBasket(strings.NewReader(baskets))
+	if err != nil {
+		return "", fmt.Errorf("loadgen: reference dataset: %w", err)
+	}
+	opt := apriori.DefaultOptions()
+	opt.KeepFrequent = false
+	res, err := apriori.MineCount(dataset.NewScanner(d), dataset.MinCountFor(d.Len(), minSupport), opt)
+	if err != nil {
+		return "", fmt.Errorf("loadgen: reference mine: %w", err)
+	}
+	lines := make([]string, 0, len(res.MFS))
+	for i, m := range res.MFS {
+		items := make([]int64, len(m))
+		for j, it := range m {
+			items[j] = int64(it)
+		}
+		lines = append(lines, sigLine(items, res.MFSSupports[i]))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ";"), nil
+}

@@ -1,0 +1,80 @@
+package loadgen
+
+// The e2e saturation test: 64 closed-loop clients against a deliberately
+// under-provisioned daemon (2 workers, queue of 4). The contract under
+// overload is graceful degradation — a bounded-queue 429, never a 5xx,
+// never a lost job — and full recovery: once the burst drains, the queue
+// gauge must read zero again.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pincer/internal/server"
+)
+
+func TestSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation run is 5s of wall clock")
+	}
+	d, err := StartLocal(server.Config{SpoolDir: t.TempDir(), Workers: 2, QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	ds := GenerateDatasets(2, 11)
+	cells := BuildCells(ds, []float64{0.2, 0.4},
+		[]string{server.MinerPincer, server.MinerApriori, server.MinerParallel}, 2)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       d.URL(),
+		Cells:         cells,
+		Concurrency:   64,
+		Duration:      5 * time.Second,
+		ResubmitRatio: 0.3,
+		CancelRatio:   0.1,
+		Seed:          5,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("saturation: %d requests (%.0f rps), codes %v, jobs %+v",
+		rep.Requests, rep.ThroughputRPS, rep.Codes, rep.Jobs)
+
+	// Overload must express itself as 429s, never as 5xx.
+	for code, n := range rep.Codes {
+		if code[0] == '5' {
+			t.Errorf("saw %d responses with status %s under saturation", n, code)
+		}
+	}
+	if rep.TransportErrors != 0 {
+		t.Errorf("%d transport errors without chaos enabled", rep.TransportErrors)
+	}
+	// 64 clients vs 2 workers: the queue must have pushed back at least once.
+	if rep.Codes["429"] == 0 {
+		t.Error("64 clients against queue of 4 never saw a 429")
+	}
+	// Every accepted job reached a terminal state inside the drain window.
+	if rep.Jobs.Lost != 0 {
+		t.Errorf("lost %d jobs: %v", rep.Jobs.Lost, rep.Jobs.LostIDs)
+	}
+	if rep.Jobs.Failed != 0 {
+		t.Errorf("%d jobs failed under saturation", rep.Jobs.Failed)
+	}
+	if rep.Jobs.Accepted == 0 && rep.Jobs.CacheHits == 0 {
+		t.Error("saturation run completed no work at all")
+	}
+
+	// After the drain the queue gauge must be back at zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if depth := d.Server().Registry().Snapshot()["pincer_queue_depth"]; depth == 0 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("queue gauge stuck at %d after drain", depth)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,72 @@
+package loadgen
+
+// The soak-restart regression: the chaos knob kill-restarts the daemon
+// twice in the middle of a burst. The abort path parks running jobs as
+// interrupted with their checkpoints on disk; the next generation resumes
+// them from the spool. The assertions are the durability contract: not one
+// accepted job is lost, and every complete result is byte-identical to the
+// sequential reference — restarts included.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pincer/internal/server"
+)
+
+func TestSoakRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run is several seconds of wall clock")
+	}
+	spool := t.TempDir()
+	d, err := StartLocal(server.Config{SpoolDir: spool, Workers: 2, QueueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	ds := GenerateDatasets(2, 21)
+	cells := BuildCells(ds, []float64{0.25, 0.5},
+		[]string{server.MinerPincer, server.MinerApriori}, 0)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       d.URL(),
+		Cells:         cells,
+		Concurrency:   8,
+		Duration:      2500 * time.Millisecond,
+		ResubmitRatio: 0.3,
+		Seed:          9,
+		Verify:        true,
+		Chaos: &ChaosConfig{
+			Interval:    700 * time.Millisecond,
+			MaxRestarts: 2,
+			Restart:     d.Restart,
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d requests, %d restarts, jobs %+v", rep.Requests, rep.ChaosRestarts, rep.Jobs)
+
+	if rep.ChaosRestarts != 2 {
+		t.Errorf("chaos restarts = %d, want 2", rep.ChaosRestarts)
+	}
+	// The durability contract: no accepted job vanished across restarts...
+	if rep.Jobs.Lost != 0 {
+		t.Errorf("lost %d jobs across restarts: %v", rep.Jobs.Lost, rep.Jobs.LostIDs)
+	}
+	if rep.Jobs.Failed != 0 {
+		t.Errorf("%d jobs failed across restarts", rep.Jobs.Failed)
+	}
+	// ...and no resumed job's answer drifted from the sequential reference.
+	if len(rep.Jobs.Divergent) != 0 {
+		t.Errorf("results diverged from the sequential reference: %v", rep.Jobs.Divergent)
+	}
+	if rep.Jobs.Done == 0 {
+		t.Error("soak run completed no jobs")
+	}
+	if rep.Jobs.Verified == 0 {
+		t.Error("soak run verified no results")
+	}
+}

@@ -1,0 +1,163 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is log-bucketed: bucket i holds observations in
+// (1µs·2^(i-1), 1µs·2^i], so 32 buckets cover 1µs to ~35 minutes with a
+// worst-case quantile error of one octave — plenty for request latencies,
+// and cheap enough (one atomic add per observation, no locks) to sit on
+// every HTTP request and every load-generator probe.
+const (
+	histMinNanos    = 1000 // upper bound of the first bucket: 1µs
+	histBucketCount = 32   // the last bucket is the +Inf overflow
+)
+
+// histBound returns the inclusive upper bound of bucket i in nanoseconds.
+func histBound(i int) int64 { return histMinNanos << uint(i) }
+
+// bucketIndex maps a duration in nanoseconds to its bucket.
+func bucketIndex(ns int64) int {
+	if ns <= histMinNanos {
+		return 0
+	}
+	// ceil(log2(ceil(ns / histMinNanos))), clamped to the overflow bucket.
+	q := (ns + histMinNanos - 1) / histMinNanos
+	idx := bits.Len64(uint64(q - 1))
+	if idx >= histBucketCount {
+		return histBucketCount - 1
+	}
+	return idx
+}
+
+// Histogram is a fixed-shape log-bucketed latency histogram. The zero value
+// is ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	counts [histBucketCount]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	count  atomic.Int64
+	max    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. Negative durations count into the first
+// bucket (they only arise from clock steps).
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumNanos returns the sum of all observed durations in nanoseconds.
+func (h *Histogram) SumNanos() int64 { return h.sum.Load() }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// snapshot copies the bucket counts (observations racing with the copy land
+// in either the snapshot or the next one — both are correct histograms).
+func (h *Histogram) snapshot() (counts [histBucketCount]int64, total int64) {
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the containing bucket. It returns 0 when nothing was observed.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	counts, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lower := int64(0)
+			if i > 0 {
+				lower = histBound(i - 1)
+			}
+			upper := histBound(i)
+			if i == histBucketCount-1 {
+				upper = 2 * lower // the overflow bucket has no real bound
+			}
+			frac := float64(rank-cum) / float64(c)
+			est := time.Duration(float64(lower) + frac*float64(upper-lower))
+			// Interpolation can overshoot the data when the top bucket is
+			// sparsely filled; the true quantile never exceeds the max.
+			if m := h.Max(); est > m {
+				est = m
+			}
+			return est
+		}
+		cum += c
+	}
+	return time.Duration(histBound(histBucketCount - 1))
+}
+
+// promLabels joins a base label set with an extra label, rendering the
+// {...} clause ("" when both are empty).
+func promLabels(base, extra string) string {
+	switch {
+	case base == "" && extra == "":
+		return ""
+	case base == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + base + "}"
+	}
+	return "{" + base + "," + extra + "}"
+}
+
+// writePrometheus renders the histogram as a Prometheus histogram family
+// member in seconds: _bucket{le=...} cumulative counts, _sum, and _count.
+func (h *Histogram) writePrometheus(w io.Writer, name, labels string) error {
+	counts, total := h.snapshot()
+	var cum int64
+	for i := 0; i < histBucketCount-1; i++ {
+		cum += counts[i]
+		le := fmt.Sprintf(`le="%g"`, float64(histBound(i))/1e9)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(labels, le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(labels, `le="+Inf"`), total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, promLabels(labels, ""), float64(h.SumNanos())/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(labels, ""), total)
+	return err
+}

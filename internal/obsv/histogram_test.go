@@ -1,0 +1,168 @@
+package obsv
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotone(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{1000, 0}, // 1µs: first bucket's inclusive bound
+		{1001, 1}, // just past it
+		{2000, 1}, // 2µs
+		{2001, 2}, // (2µs, 4µs]
+		{1 << 62, histBucketCount - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every bound lands in its own bucket, one past it in the next.
+	for i := 0; i < histBucketCount-1; i++ {
+		if got := bucketIndex(histBound(i)); got != i {
+			t.Errorf("bucketIndex(bound %d) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations of 1ms, 10 of 1s: p50 lives in the 1ms bucket, p99+
+	// in the 1s bucket; the log buckets bound the error to one octave.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	if h.Count() != 110 {
+		t.Fatalf("Count = %d, want 110", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 500*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms (within its octave)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 500*time.Millisecond || p99 > 2*time.Second {
+		t.Errorf("p99 = %v, want ~1s (within its octave)", p99)
+	}
+	if h.Max() != time.Second {
+		t.Errorf("Max = %v, want 1s", h.Max())
+	}
+	wantSum := int64(100*time.Millisecond + 10*time.Second)
+	if h.SumNanos() != wantSum {
+		t.Errorf("SumNanos = %d, want %d", h.SumNanos(), wantSum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	_, total := h.snapshot()
+	if total != 8000 {
+		t.Fatalf("bucket total = %d, want 8000", total)
+	}
+}
+
+func TestRegistryHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h1 := reg.Histogram("pincer_http_request_seconds", `route="submit"`, "HTTP request latency.")
+	h2 := reg.Histogram("pincer_http_request_seconds", `route="status"`, "HTTP request latency.")
+	h1.Observe(3 * time.Millisecond)
+	h1.Observe(3 * time.Millisecond)
+	h2.Observe(10 * time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pincer_http_request_seconds histogram\n",
+		`pincer_http_request_seconds_bucket{route="submit",le="+Inf"} 2` + "\n",
+		`pincer_http_request_seconds_count{route="submit"} 2` + "\n",
+		`pincer_http_request_seconds_count{route="status"} 1` + "\n",
+		fmt.Sprintf(`pincer_http_request_seconds_sum{route="submit"} %g`+"\n", 0.006),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// TYPE appears once per family, not once per series.
+	if n := strings.Count(out, "# TYPE pincer_http_request_seconds histogram"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", n)
+	}
+	// The 10µs observation lands in the (8µs, 16µs] bucket.
+	if !strings.Contains(out, `pincer_http_request_seconds_bucket{route="status",le="1.6e-05"} 1`) {
+		t.Errorf("10µs observation missing from its le=1.6e-05 bucket:\n%s", out)
+	}
+
+	snap := reg.Snapshot()
+	if snap[`pincer_http_request_seconds_count{route="submit"}`] != 2 {
+		t.Errorf("Snapshot histogram count = %d, want 2", snap[`pincer_http_request_seconds_count{route="submit"}`])
+	}
+}
+
+func TestRegistryLabeledCounter(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.LabeledCounter("pincer_http_responses_total", `route="submit",code="2xx"`, "Responses by route and class.")
+	b := reg.LabeledCounter("pincer_http_responses_total", `route="submit",code="4xx"`, "Responses by route and class.")
+	if a == b {
+		t.Fatal("distinct label sets returned the same counter")
+	}
+	// Idempotent by (name, labels).
+	if again := reg.LabeledCounter("pincer_http_responses_total", `route="submit",code="2xx"`, ""); again != a {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Add(3)
+	b.Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`pincer_http_responses_total{route="submit",code="2xx"} 3` + "\n",
+		`pincer_http_responses_total{route="submit",code="4xx"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE pincer_http_responses_total counter"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", n)
+	}
+	var expvarBuf bytes.Buffer
+	if err := reg.WriteExpvar(&expvarBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expvarBuf.String(), `"pincer_http_responses_total{route=\"submit\",code=\"2xx\"}": 3`) {
+		t.Errorf("expvar missing labeled counter:\n%s", expvarBuf.String())
+	}
+}

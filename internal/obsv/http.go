@@ -45,7 +45,7 @@ func RegisterDebug(mux *http.ServeMux, reg *Registry) {
 				fmt.Fprint(w, ",")
 			}
 			first = false
-			fmt.Fprintf(w, "\n%q: %d", m.name, m.value())
+			fmt.Fprintf(w, "\n%q: %d", m.expvarName(), m.value())
 		}
 		fmt.Fprint(w, "\n}\n")
 	})

@@ -35,13 +35,32 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 const (
-	kindCounter = "counter"
-	kindGauge   = "gauge"
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
 )
 
 type metric struct {
-	name, help, kind string
-	value            func() int64
+	name, labels, help, kind string
+	value                    func() int64
+	hist                     *Histogram
+}
+
+// key is the registry map key: the family name plus the label set, so one
+// family ("pincer_http_request_seconds") can carry many labeled series.
+func metricKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "\xff" + labels
+}
+
+// seriesName renders the exposition name of a counter/gauge series.
+func (m *metric) seriesName() string {
+	if m.labels == "" {
+		return m.name
+	}
+	return m.name + "{" + m.labels + "}"
 }
 
 // Registry is a named collection of counters and gauges with two text
@@ -62,17 +81,25 @@ func NewRegistry() *Registry {
 
 // Counter returns the counter registered under name, creating it if needed.
 func (r *Registry) Counter(name, help string) *Counter {
+	return r.LabeledCounter(name, "", help)
+}
+
+// LabeledCounter returns the counter series of a family with a constant
+// Prometheus label set (e.g. `route="submit",code="2xx"`; "" means no
+// labels). Series of one family share HELP and TYPE in the exposition.
+func (r *Registry) LabeledCounter(name, labels, help string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.metrics[name]; ok {
+	key := metricKey(name, labels)
+	if m, ok := r.metrics[key]; ok {
 		if m.kind != kindCounter {
 			panic(fmt.Sprintf("obsv: metric %q registered as %s, requested as counter", name, m.kind))
 		}
-		return r.vars[name].(*Counter)
+		return r.vars[key].(*Counter)
 	}
 	c := &Counter{}
-	r.metrics[name] = &metric{name: name, help: help, kind: kindCounter, value: c.Value}
-	r.vars[name] = c
+	r.metrics[key] = &metric{name: name, labels: labels, help: help, kind: kindCounter, value: c.Value}
+	r.vars[key] = c
 	return c
 }
 
@@ -80,19 +107,41 @@ func (r *Registry) Counter(name, help string) *Counter {
 func (r *Registry) Gauge(name, help string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.metrics[name]; ok {
+	key := metricKey(name, "")
+	if m, ok := r.metrics[key]; ok {
 		if m.kind != kindGauge {
 			panic(fmt.Sprintf("obsv: metric %q registered as %s, requested as gauge", name, m.kind))
 		}
-		return r.vars[name].(*Gauge)
+		return r.vars[key].(*Gauge)
 	}
 	g := &Gauge{}
-	r.metrics[name] = &metric{name: name, help: help, kind: kindGauge, value: g.Value}
-	r.vars[name] = g
+	r.metrics[key] = &metric{name: name, help: help, kind: kindGauge, value: g.Value}
+	r.vars[key] = g
 	return g
 }
 
-// sorted returns the metrics in name order (exposition must be stable).
+// Histogram returns the log-bucketed histogram series of a family with a
+// constant label set ("" means no labels), creating it if needed. The
+// Prometheus exposition renders it as a native histogram family in seconds
+// (_bucket/_sum/_count); the expvar exposition and Snapshot carry only its
+// observation count, under "<name>_count" (plus the label clause).
+func (r *Registry) Histogram(name, labels, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := metricKey(name, labels)
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != kindHistogram {
+			panic(fmt.Sprintf("obsv: metric %q registered as %s, requested as histogram", name, m.kind))
+		}
+		return m.hist
+	}
+	h := &Histogram{}
+	r.metrics[key] = &metric{name: name, labels: labels, help: help, kind: kindHistogram, value: h.Count, hist: h}
+	return h
+}
+
+// sorted returns the metrics in (name, labels) order, keeping every family's
+// series contiguous (exposition must be stable).
 func (r *Registry) sorted() []*metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -100,27 +149,57 @@ func (r *Registry) sorted() []*metric {
 	for _, m := range r.metrics {
 		ms = append(ms, m)
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return ms[i].labels < ms[j].labels
+	})
 	return ms
 }
 
 // WritePrometheus writes every metric in the Prometheus text exposition
-// format (version 0.0.4), names sorted.
+// format (version 0.0.4), names sorted; HELP and TYPE are emitted once per
+// family, ahead of its first series.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
 	for _, m := range r.sorted() {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
-			return err
+		if m.kind == kindHistogram {
+			if err := m.hist.writePrometheus(w, m.name, m.labels); err != nil {
+				return err
+			}
+			continue
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.value()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", m.seriesName(), m.value()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// expvarName renders a metric's key in the flat expvar/Snapshot views:
+// counters and gauges keep their series name, histograms appear as their
+// observation count under "<name>_count" (plus the label clause).
+func (m *metric) expvarName() string {
+	name := m.name
+	if m.kind == kindHistogram {
+		name += "_count"
+	}
+	if m.labels == "" {
+		return name
+	}
+	return name + "{" + m.labels + "}"
 }
 
 // WriteExpvar writes every metric as one flat JSON object in the style of
@@ -134,7 +213,7 @@ func (r *Registry) WriteExpvar(w io.Writer) error {
 		if i == 0 {
 			sep = "\n"
 		}
-		if _, err := fmt.Fprintf(w, "%s%q: %d", sep, m.name, m.value()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%q: %d", sep, m.expvarName(), m.value()); err != nil {
 			return err
 		}
 	}
@@ -146,7 +225,7 @@ func (r *Registry) WriteExpvar(w io.Writer) error {
 func (r *Registry) Snapshot() map[string]int64 {
 	out := map[string]int64{}
 	for _, m := range r.sorted() {
-		out[m.name] = m.value()
+		out[m.expvarName()] = m.value()
 	}
 	return out
 }

@@ -1,0 +1,111 @@
+package server_test
+
+// FuzzJobRequest throws arbitrary bytes at the POST /v1/jobs decoder over
+// the real handler stack (route table, body cap, validation, queue): the
+// contract is that the server never panics and that every rejection is a
+// typed JSON error — 400 with a reason for malformed or invalid bodies,
+// 413 past the body cap, 429 at queue saturation. Accepted jobs are
+// cancelled immediately so a pathological (but valid) dataset can never
+// wedge the single fuzz worker.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pincer/internal/server"
+)
+
+func FuzzJobRequest(f *testing.F) {
+	// Seeds: one valid request, then one per rejection class the decoder
+	// and validator must map to a typed 400.
+	f.Add([]byte(`{"baskets":"1 2\n1 2\n","min_support":0.5}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"miner":"apriori","engine":"trie"}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":NaN}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":1e999}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":-0.5}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":2}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"workers":-3}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"workers":2147483647}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"deadline_ms":-1}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"max_passes":-9}`))
+	f.Add([]byte(`{"baskets":"1 2\n","dataset_path":"/etc/passwd","min_support":0.5}`))
+	f.Add([]byte(`{"min_support":0.5}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"miner":"quantum"}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"unknown_field":1}`))
+	f.Add([]byte(`{"baskets":"not numbers at all","min_support":0.5}`))
+	f.Add([]byte(fmt.Sprintf(`{"baskets":%q,"min_support":0.5}`, "1 2 3\n"+string(make([]byte, 5000)))))
+
+	srv, err := server.New(server.Config{
+		SpoolDir:     f.TempDir(),
+		Workers:      1,
+		QueueSize:    2,
+		MaxBodyBytes: 4 << 10,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Abort(ctx)
+	})
+
+	allowed := map[int]bool{
+		http.StatusOK:                    true, // cache hit
+		http.StatusAccepted:              true,
+		http.StatusBadRequest:            true,
+		http.StatusRequestEntityTooLarge: true,
+		http.StatusTooManyRequests:       true,
+		http.StatusServiceUnavailable:    true,
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // must not panic, whatever the bytes
+		code := rec.Code
+		if !allowed[code] {
+			t.Fatalf("POST /v1/jobs answered %d for body %q", code, body)
+		}
+		if code >= 400 {
+			var e struct {
+				Error  string `json:"error"`
+				Reason string `json:"reason"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+				t.Fatalf("%d response is not the error JSON shape (%v): %q", code, err, rec.Body.String())
+			}
+			if e.Error == "" || e.Reason == "" {
+				t.Fatalf("%d response lacks typed reason: %q", code, rec.Body.String())
+			}
+			return
+		}
+		// Accepted: cancel right away so no fuzz-crafted dataset can hold
+		// the worker, and so the DELETE path gets fuzzed for free.
+		var v server.JobView
+		if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+			t.Fatalf("%d response is not a JobView (%v): %q", code, err, rec.Body.String())
+		}
+		if v.ID == "" {
+			t.Fatalf("accepted job without an id: %q", rec.Body.String())
+		}
+		del := httptest.NewRequest(http.MethodDelete, "/v1/jobs/"+v.ID, nil)
+		delRec := httptest.NewRecorder()
+		srv.ServeHTTP(delRec, del)
+		switch delRec.Code {
+		case http.StatusAccepted, http.StatusConflict, http.StatusNotFound:
+		default:
+			t.Fatalf("DELETE after accept answered %d", delRec.Code)
+		}
+	})
+}

@@ -1,6 +1,12 @@
 package server
 
-import "pincer/internal/obsv"
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pincer/internal/obsv"
+)
 
 // metricsSet holds the serving-layer metrics, registered next to the mining
 // metrics (pincer_runs_total, pincer_passes_total, ...) that the shared
@@ -45,4 +51,64 @@ func newMetricsSet(reg *obsv.Registry) *metricsSet {
 		cacheBytes:   reg.Gauge("pincer_result_cache_bytes", "Bytes held by the result cache."),
 		cacheEntries: reg.Gauge("pincer_result_cache_entries", "Results held by the cache."),
 	}
+}
+
+// httpRoutes is the fixed route vocabulary of the HTTP metrics (see
+// routeOf). Pre-registering every route keeps the /metrics exposition
+// stable from the first scrape.
+var httpRoutes = [...]string{"submit", "list", "status", "cancel", "result", "healthz", "debug", "other"}
+
+// httpMetrics records per-route request latency histograms and response
+// counters by status class — the serving-layer view the load harness reads
+// back from /metrics while it drives the daemon.
+type httpMetrics struct {
+	reg             *obsv.Registry
+	inflightLimited *obsv.Counter
+
+	mu    sync.Mutex
+	hists map[string]*obsv.Histogram // route → latency histogram
+	codes map[string]*obsv.Counter   // route|class → response counter
+}
+
+const (
+	httpSecondsName   = "pincer_http_request_seconds"
+	httpResponsesName = "pincer_http_responses_total"
+)
+
+func newHTTPMetrics(reg *obsv.Registry) *httpMetrics {
+	m := &httpMetrics{
+		reg:             reg,
+		inflightLimited: reg.Counter("pincer_http_inflight_limited_total", "Requests rejected by the per-remote in-flight cap."),
+		hists:           map[string]*obsv.Histogram{},
+		codes:           map[string]*obsv.Counter{},
+	}
+	for _, route := range httpRoutes {
+		m.hists[route] = reg.Histogram(httpSecondsName,
+			fmt.Sprintf("route=%q", route), "HTTP request latency by route.")
+		for _, class := range [...]string{"2xx", "4xx", "5xx"} {
+			m.codes[route+"|"+class] = reg.LabeledCounter(httpResponsesName,
+				fmt.Sprintf("route=%q,code=%q", route, class), "HTTP responses by route and status class.")
+		}
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *httpMetrics) observe(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.hists[route]
+	if !ok {
+		h = m.reg.Histogram(httpSecondsName, fmt.Sprintf("route=%q", route), "HTTP request latency by route.")
+		m.hists[route] = h
+	}
+	class := fmt.Sprintf("%dxx", code/100)
+	c, ok := m.codes[route+"|"+class]
+	if !ok {
+		c = m.reg.LabeledCounter(httpResponsesName,
+			fmt.Sprintf("route=%q,code=%q", route, class), "HTTP responses by route and status class.")
+		m.codes[route+"|"+class] = c
+	}
+	m.mu.Unlock()
+	h.Observe(d)
+	c.Inc()
 }

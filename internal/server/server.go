@@ -32,7 +32,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"strings"
+	"sync"
+	"time"
 
 	"pincer/internal/dataset"
 	"pincer/internal/obsv"
@@ -56,6 +60,15 @@ type Config struct {
 	// Registry receives the daemon's metrics; a fresh registry is created
 	// when nil.
 	Registry *obsv.Registry
+	// MaxBodyBytes caps every request body via http.MaxBytesReader; an
+	// over-long POST /v1/jobs body is answered with 413 instead of being
+	// buffered whole (default 8 MiB; ≤ -1 disables the cap, 0 means the
+	// default).
+	MaxBodyBytes int64
+	// MaxInflightPerRemote caps concurrent in-flight requests per remote
+	// host; excess requests are answered 429 before touching a handler
+	// (0 = unlimited).
+	MaxInflightPerRemote int
 	// Logf, when set, receives one line per lifecycle event (job started,
 	// finished, resumed, ...). Nil silences logging.
 	Logf func(format string, args ...interface{})
@@ -79,16 +92,21 @@ func (c Config) withDefaults() (Config, error) {
 	if c.CacheMaxBytes == 0 {
 		c.CacheMaxBytes = 64 << 20
 	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
 	return c, nil
 }
 
 // Server is the HTTP mining service. It implements http.Handler; wire it
 // into an http.Server (cmd/pincerd does) or an httptest.Server.
 type Server struct {
-	cfg Config
-	reg *obsv.Registry
-	man *Manager
-	mux *http.ServeMux
+	cfg     Config
+	reg     *obsv.Registry
+	man     *Manager
+	mux     *http.ServeMux
+	hmet    *httpMetrics
+	limiter *remoteLimiter
 }
 
 // New builds the service: metrics registry, result cache, job manager
@@ -106,7 +124,10 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, reg: reg, man: man, mux: http.NewServeMux()}
+	s := &Server{cfg: cfg, reg: reg, man: man, mux: http.NewServeMux(), hmet: newHTTPMetrics(reg)}
+	if cfg.MaxInflightPerRemote > 0 {
+		s.limiter = &remoteLimiter{max: cfg.MaxInflightPerRemote, inflight: map[string]int{}}
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -126,9 +147,128 @@ func (s *Server) Manager() *Manager { return s.man }
 // Registry exposes the metrics registry.
 func (s *Server) Registry() *obsv.Registry { return s.reg }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It wraps the route table with the
+// serving-layer hardening the load harness exercises: the per-remote
+// in-flight cap, the request-body byte cap, and per-route latency/outcome
+// metrics (pincer_http_request_seconds, pincer_http_responses_total).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	route := routeOf(r)
+	start := time.Now()
+	sw := &statusRecorder{ResponseWriter: w}
+	defer func() {
+		s.hmet.observe(route, sw.status(), time.Since(start))
+	}()
+	if s.limiter != nil {
+		host := remoteHost(r.RemoteAddr)
+		if !s.limiter.acquire(host) {
+			s.hmet.inflightLimited.Inc()
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusTooManyRequests, ReasonRemoteLimit,
+				"too many in-flight requests from %s", host)
+			return
+		}
+		defer s.limiter.release(host)
+	}
+	if s.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+	}
+	s.mux.ServeHTTP(sw, r)
+}
+
+// routeOf buckets a request into the fixed route vocabulary the HTTP
+// metrics are labeled with.
+func routeOf(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/jobs" || p == "/v1/jobs/":
+		if r.Method == http.MethodPost {
+			return "submit"
+		}
+		return "list"
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		if r.Method == http.MethodDelete {
+			return "cancel"
+		}
+		return "status"
+	case strings.HasPrefix(p, "/v1/results/"):
+		return "result"
+	case p == "/healthz":
+		return "healthz"
+	case p == "/metrics" || p == "/debug/vars" || strings.HasPrefix(p, "/debug/pprof"):
+		return "debug"
+	}
+	return "other"
+}
+
+// remoteHost strips the port from a RemoteAddr.
+func remoteHost(addr string) string {
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}
+
+// statusRecorder captures the response status for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.code == 0 {
+		s.code = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// status returns the recorded code (200 when the handler never wrote one).
+func (s *statusRecorder) status() int {
+	if s.code == 0 {
+		return http.StatusOK
+	}
+	return s.code
+}
+
+// Flush forwards to the underlying writer so streaming handlers (pprof
+// profiles) keep working through the recorder.
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// remoteLimiter caps concurrent in-flight requests per remote host.
+type remoteLimiter struct {
+	max      int
+	mu       sync.Mutex
+	inflight map[string]int
+}
+
+func (l *remoteLimiter) acquire(host string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight[host] >= l.max {
+		return false
+	}
+	l.inflight[host]++
+	return true
+}
+
+func (l *remoteLimiter) release(host string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight[host] <= 1 {
+		delete(l.inflight, host)
+	} else {
+		l.inflight[host]--
+	}
 }
 
 // Drain gracefully stops the service: no new jobs, queued and running work
@@ -140,9 +280,24 @@ func (s *Server) Drain(ctx context.Context) error { return s.man.Drain(ctx) }
 // for the next start (SIGINT semantics).
 func (s *Server) Abort(ctx context.Context) error { return s.man.Abort(ctx) }
 
-// errorDoc is the wire form of every error response.
+// Machine-readable reasons carried by every error response, so clients
+// (and the fuzz harness) can branch without parsing prose.
+const (
+	ReasonBadJSON      = "bad_json"        // body is not the JobRequest JSON shape
+	ReasonInvalid      = "invalid_request" // well-formed JSON, invalid field values
+	ReasonBodyTooLarge = "body_too_large"  // body exceeded Config.MaxBodyBytes
+	ReasonQueueFull    = "queue_full"      // bounded run queue saturated (429)
+	ReasonShuttingDown = "shutting_down"   // drain/abort in progress (503)
+	ReasonNotFound     = "not_found"       // unknown job or result id
+	ReasonJobFailed    = "job_failed"      // result requested for a failed job
+	ReasonRemoteLimit  = "remote_limit"    // per-remote in-flight cap tripped (429)
+)
+
+// errorDoc is the wire form of every error response: prose plus a typed
+// reason from the Reason* vocabulary.
 type errorDoc struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -153,8 +308,8 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	writeJSON(w, code, errorDoc{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, code int, reason, format string, args ...interface{}) {
+	writeJSON(w, code, errorDoc{Error: fmt.Sprintf(format, args...), Reason: reason})
 }
 
 // handleSubmit implements POST /v1/jobs.
@@ -163,20 +318,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, ReasonBodyTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, ReasonBadJSON, "bad request body: %v", err)
 		return
 	}
 	j, err := s.man.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeError(w, http.StatusTooManyRequests, ReasonQueueFull, "%v", err)
 		return
 	case errors.Is(err, ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, http.StatusServiceUnavailable, ReasonShuttingDown, "%v", err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, ReasonInvalid, "%v", err)
 		return
 	}
 	v := j.view()
@@ -196,7 +357,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.man.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, ReasonNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
@@ -207,7 +368,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	cancelled, exists := s.man.Cancel(id)
 	if !exists {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, ReasonNotFound, "no such job")
 		return
 	}
 	j, _ := s.man.Job(id)
@@ -223,7 +384,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.man.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, ReasonNotFound, "no such job")
 		return
 	}
 	j.mu.Lock()
@@ -234,7 +395,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if doc == nil {
 		switch status {
 		case StatusFailed:
-			writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+			writeError(w, http.StatusInternalServerError, ReasonJobFailed, "job failed: %s", errMsg)
 		default:
 			writeJSON(w, http.StatusConflict, j.view())
 		}

@@ -165,9 +165,24 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) (_ *Result, err 
 				Aborted:    true, AbortReason: ab.Reason,
 			})
 		}
-		bound := make([]itemset.Itemset, 0, len(frontier)+len(res.MFS))
-		for _, e := range frontier {
-			bound = append(bound, e.set)
+		// An exploded frontier would make the reported bound (and the
+		// result document carrying it) arbitrarily large; past maxBound
+		// elements collapse it to the frontier's union — every frontier
+		// element is a subset of the union, so it stays a valid (coarser)
+		// MFCS upper bound.
+		const maxBound = 4096
+		var bound []itemset.Itemset
+		if len(frontier) > maxBound {
+			var u itemset.Bitset
+			for _, e := range frontier {
+				u.Or(e.bits)
+			}
+			bound = append(bound, u.Items())
+		} else {
+			bound = make([]itemset.Itemset, 0, len(frontier)+len(res.MFS))
+			for _, e := range frontier {
+				bound = append(bound, e.set)
+			}
 		}
 		bound = append(bound, res.MFS...)
 		err = &mfi.PartialResultError{
@@ -212,6 +227,13 @@ func MineCount(sc dataset.Scanner, minCount int64, opt Options) (_ *Result, err 
 		mfsFound := 0
 		frequentHere := 0
 		for i, e := range frontier {
+			// The split below runs in memory with no database scan, and on
+			// unconcentrated data it builds the next frontier toward
+			// MaxElements — far longer than a scan. Without a periodic check
+			// a deadline or cancel cannot preempt it.
+			if i&0x3ff == 0 {
+				mfi.CheckContext(ctx)
+			}
 			if counts[i] >= minCount {
 				frequentHere++
 				if !coveredByMFS(e.bits) {

@@ -1,9 +1,11 @@
 package topdown
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"pincer/internal/apriori"
 	"pincer/internal/dataset"
@@ -125,4 +127,42 @@ func must[R any](res R, err error) R {
 		panic(err)
 	}
 	return res
+}
+
+// TestDeadlinePreemptsSplit pins the preemption bound the load harness
+// exposed: between database scans the miner splits the frontier in memory,
+// and on unconcentrated data that split — not the scan — is where the time
+// goes (a 48-item universe held a deadline off for ~50s). The split loop
+// must poll the context so an expired deadline surfaces as a partial
+// result promptly instead of after the frontier finishes exploding.
+func TestDeadlinePreemptsSplit(t *testing.T) {
+	// One duplicated 22-item transaction with an unreachable support: every
+	// level of the lattice splits, so the run is almost entirely split-loop
+	// work. Unlimited MaxElements keeps the frontier guard from ending the
+	// run before the deadline check would.
+	d := dataset.Empty(22)
+	d.Append(itemset.Range(0, 22))
+	d.Append(itemset.Range(0, 22))
+	opt := Options{Deadline: 100 * time.Millisecond}
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := MineCount(dataset.NewScanner(d), 3, opt)
+		ch <- out{res, err}
+	}()
+	select {
+	case o := <-ch:
+		var pe *mfi.PartialResultError
+		if !errors.As(o.err, &pe) {
+			t.Fatalf("err = %v, want PartialResultError", o.err)
+		}
+		if pe.Reason != mfi.ReasonDeadline {
+			t.Errorf("reason = %q, want %q", pe.Reason, mfi.ReasonDeadline)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("deadline did not preempt the frontier split within 15s")
+	}
 }
