@@ -7,9 +7,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race faults conformance fuzz cover load serve bench bench-parallel profile
+.PHONY: ci vet build test race faults conformance fuzz cover load serve bench bench-smoke bench-parallel bench-vertical profile
 
-ci: vet build test race faults conformance fuzz cover load
+ci: vet build test race faults conformance fuzz cover load bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -64,10 +64,20 @@ serve:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# One iteration of every benchmark: catches bit-rotted benchmark code in CI
+# without paying for real measurements.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
+
 # Regenerate BENCH_parallel.json (T20.I10.D10K, workers 1/2/4).
 bench-parallel:
 	$(GO) run ./cmd/benchrun -workers 1,2,4 -spec F4-T20I10 -d 10000 \
 		-parallel-support 0.06 -repeats 3 -json BENCH_parallel.json
+
+# Regenerate BENCH_vertical.json (scan vs tid-list counting, same spec).
+bench-vertical:
+	$(GO) run ./cmd/benchrun -vertical -spec F4-T20I10 -d 10000 \
+		-repeats 3 -json BENCH_vertical.json
 
 # CPU-profile a representative mine (T10.I4.D10K) and print the ten
 # hottest functions.

@@ -300,12 +300,46 @@ func BenchmarkCountingEngines(b *testing.B) {
 		e := e
 		b.Run(fmt.Sprintf("%s/cands=%d", e, len(cands)), func(b *testing.B) {
 			ctr := counting.NewCounter(e, cands)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, tx := range d.Transactions() {
 					ctr.Add(tx)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkPassCounters compares the two support-counting strategies on a
+// whole concentrated-mine: horizontal scanning vs vertical tid-list
+// intersection in each representation mode. The tid-list counter is rebuilt
+// every iteration so its index construction is charged honestly.
+func BenchmarkPassCounters(b *testing.B) {
+	d := concentratedDB(b)
+	run := func(b *testing.B, mk func() *counting.TidListCounter) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opt := core.DefaultOptions()
+			opt.KeepFrequent = false
+			if mk != nil {
+				opt.Counter = mk()
+			}
+			res := must(core.Mine(dataset.NewScanner(d), 0.10, opt))
+			b.ReportMetric(float64(res.Stats.Candidates), "candidates")
+		}
+	}
+	b.Run("scan", func(b *testing.B) { run(b, nil) })
+	for _, m := range []struct {
+		name string
+		rep  counting.RepMode
+	}{{"tidlist-auto", counting.RepAuto}, {"tidlist-bitset", counting.RepBitset},
+		{"tidlist-list", counting.RepList}, {"tidlist-diffset", counting.RepDiffset}} {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			run(b, func() *counting.TidListCounter {
+				return counting.NewTidListCounter(d, counting.TidListOptions{Rep: m.rep})
+			})
 		})
 	}
 }

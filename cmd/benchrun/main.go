@@ -12,6 +12,8 @@
 //	benchrun -budget 120s           # skip cells after an algorithm exceeds 2 min
 //	benchrun -csv results.csv       # machine-readable output too
 //	benchrun -workers 1,2,4         # parallel Pincer workers sweep (with -json out.json)
+//	benchrun -vertical -spec F4-T20I10      # scan vs tid-list counting sweep
+//	benchrun -counter tidlist       # figure cells count by tid-list intersection
 //	benchrun -timeout 10m           # stop cleanly after 10 minutes (Ctrl-C does the same)
 //	benchrun -checkpoint run.ckpt -resume   # continue pincer cells from an interrupted run
 //
@@ -65,6 +67,9 @@ func run(args []string) error {
 	numTx := fs.Int("d", 10_000, "|D|: transactions per database (paper scale: 100000)")
 	budget := fs.Duration("budget", 5*time.Minute, "per-algorithm time budget; harder cells are skipped once exceeded (0 = unlimited)")
 	engineName := fs.String("engine", "hashtree", "counting engine: hashtree, list, or trie")
+	counterName := fs.String("counter", "scan", "pincer support counting for the figure cells: scan or tidlist[:bitset|list|diffset]; also sets the representation of -vertical")
+	vertical := fs.Bool("vertical", false, "run the scan-vs-tidlist counting sweep for one spec instead of the figures (honors -spec, -repeats, -json)")
+	verticalWorkers := fs.Int("vertical-workers", 1, "vertical sweep: tid-list counting workers")
 	pure := fs.Bool("pure", false, "use pure (non-adaptive) Pincer-Search")
 	csvPath := fs.String("csv", "", "also write results as CSV to this file")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
@@ -92,6 +97,10 @@ func run(args []string) error {
 		return fmt.Errorf("-timeout, -max-candidates, and -checkpoint are not supported with -baselines")
 	}
 	engine, err := counting.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	tidlist, counterRep, err := counting.ParseCounterSpec(*counterName)
 	if err != nil {
 		return err
 	}
@@ -137,6 +146,48 @@ func run(args []string) error {
 			w = f
 		}
 		tracer = obsv.Multi(tracer, obsv.NewJSONTracer(w))
+	}
+
+	if *vertical {
+		spec, ok := bench.SpecByID("F4-T20I10", *numTx)
+		if *specID != "" {
+			spec, ok = bench.SpecByID(*specID, *numTx)
+		}
+		if !ok {
+			return fmt.Errorf("unknown spec %q", *specID)
+		}
+		opt := bench.DefaultOptions()
+		opt.Engine = engine
+		opt.Pincer.Pure = *pure
+		opt.Pincer.MaxCandidatesPerPass = *maxCandidates
+		opt.Context = ctx
+		if !*quiet {
+			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		rep := bench.RunVerticalSweep(spec, *verticalWorkers, *repeats, counterRep, opt)
+		if err := bench.WriteVerticalTable(os.Stdout, rep); err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteVerticalJSON(f, []bench.VerticalReport{rep}); err != nil {
+				return err
+			}
+		}
+		if rep.Err != "" {
+			fmt.Fprintf(os.Stderr, "benchrun: sweep stopped early: %s\n", rep.Err)
+			return nil
+		}
+		for _, c := range rep.Cells {
+			if !c.Agree && c.Scan.Err == "" && c.TidList.Err == "" {
+				return fmt.Errorf("correctness check failed: tidlist disagrees with scan at minsup %g", c.Support)
+			}
+		}
+		return nil
 	}
 
 	if *workersList != "" {
@@ -226,6 +277,10 @@ func run(args []string) error {
 	opt.Engine = engine
 	opt.Budget = *budget
 	opt.Pincer.Pure = *pure
+	if tidlist {
+		opt.Counter = "tidlist"
+		opt.CounterRep = counterRep
+	}
 	opt.Pincer.MaxCandidatesPerPass = *maxCandidates
 	opt.Apriori.MaxCandidatesPerPass = *maxCandidates
 	opt.Context = ctx

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	pincer -input db.basket -support 0.05 [-algorithm pincer|apriori|topdown]
-//	       [-engine hashtree|list|trie] [-workers n] [-pure] [-stats]
+//	       [-engine hashtree|list|trie] [-counter scan|tidlist] [-workers n] [-pure] [-stats]
 //	       [-frequent] [-json]
 //
 // The default algorithm is the adaptive Pincer-Search of Lin & Kedem
@@ -32,6 +32,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 
 	"pincer/internal/ais"
 	"pincer/internal/apriori"
@@ -60,6 +61,7 @@ func run(args []string, out *os.File) error {
 	support := fs.Float64("support", 0.05, "minimum support as a fraction, e.g. 0.05 for 5%")
 	algorithm := fs.String("algorithm", "pincer", "mining algorithm: pincer, apriori, ais, eclat, maxeclat, or topdown")
 	engineName := fs.String("engine", "hashtree", "counting engine: hashtree, list, or trie")
+	counterName := fs.String("counter", "scan", "pincer support counting: scan (database passes) or tidlist (vertical tid-list intersection; tidlist:bitset|list|diffset forces the representation)")
 	workers := fs.Int("workers", -1, "count-distribution parallel mining with this many workers (0 = GOMAXPROCS; pincer and apriori only; omit for sequential)")
 	pure := fs.Bool("pure", false, "pincer only: disable the adaptive policy")
 	stats := fs.Bool("stats", false, "print per-pass statistics to stderr")
@@ -109,6 +111,13 @@ func run(args []string, out *os.File) error {
 	engine, err := counting.ParseEngine(*engineName)
 	if err != nil {
 		return err
+	}
+	tidlist, counterRep, err := counting.ParseCounterSpec(*counterName)
+	if err != nil {
+		return err
+	}
+	if tidlist && *algorithm != "pincer" {
+		return fmt.Errorf("-counter tidlist requires -algorithm pincer, got %q", *algorithm)
 	}
 
 	// Ctrl-C cancels the mine at the next cancellation point; the partial
@@ -204,6 +213,16 @@ func run(args []string, out *os.File) error {
 		opt.Deadline = *timeout
 		opt.MaxCandidatesPerPass = *maxCandidates
 		opt.Checkpointer = ckpt
+		if tidlist {
+			tw := 1
+			switch {
+			case *workers == 0:
+				tw = runtime.GOMAXPROCS(0)
+			case *workers > 0:
+				tw = *workers
+			}
+			opt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{Workers: tw, Rep: counterRep})
+		}
 		switch {
 		case *workers >= 0 && *resume:
 			res, err = parallel.MinePincerResume(d, minCount, opt, popt)

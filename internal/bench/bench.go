@@ -188,6 +188,14 @@ type Options struct {
 	// repeat of each configuration in RunParallelSweep, and the same events
 	// are folded into ParallelReport.Trace.
 	Tracer obsv.Tracer
+	// Counter selects the pincer support-counting strategy for RunSpec
+	// cells: "" or "scan" (database scans, the default) or "tidlist"
+	// (vertical tid-list intersection; a fresh counter is built per cell).
+	// The results are identical either way; only the wall clock changes.
+	Counter string
+	// CounterRep is the tidset representation mode for the tid-list counter
+	// (zero value: automatic density-based choice).
+	CounterRep counting.RepMode
 }
 
 // must strips the impossible error of an in-memory mining run: memory scans
@@ -271,6 +279,9 @@ func RunSpec(spec Spec, opt Options) []Cell {
 			popt.Engine = opt.Engine
 			if popt.Context == nil {
 				popt.Context = opt.Context
+			}
+			if opt.Counter == "tidlist" {
+				popt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{Rep: opt.CounterRep})
 			}
 			var res *mfi.Result
 			var err error

@@ -20,8 +20,14 @@ type ParallelMeasure struct {
 	Workers int     `json:"workers"`
 	Seconds float64 `json:"seconds"`
 	// Speedup is sequential seconds / this setting's seconds (> 1 means the
-	// parallel run wins).
-	Speedup float64 `json:"speedup"`
+	// parallel run wins). It is withheld — zero, omitted from the JSON, and
+	// SpeedupInvalidReason set — when the machine cannot give the comparison
+	// meaning (a single CPU: every "parallel" run is a time-sliced sequential
+	// run plus goroutine overhead, and reporting a ratio would dress
+	// scheduler noise up as a parallelism measurement).
+	Speedup float64 `json:"speedup,omitempty"`
+	// SpeedupInvalidReason explains a withheld Speedup, e.g. "cpus=1".
+	SpeedupInvalidReason string `json:"speedup_invalid_reason,omitempty"`
 	// Agree reports the built-in correctness check: identical MFS, supports,
 	// and per-pass candidate statistics against the sequential run.
 	Agree bool `json:"agree"`
@@ -56,6 +62,17 @@ type ParallelReport struct {
 	// and the first repeat of each worker setting, populated only when
 	// Options.Tracer is set.
 	Trace []obsv.PassEvent `json:"trace,omitempty"`
+}
+
+// speedupInvalidReason reports why parallel-vs-sequential wall-clock ratios
+// must not be emitted ("" when they are valid). On a single-CPU machine the
+// sweep still runs — the correctness check and per-setting timings are
+// meaningful — but the protocol refuses to call any ratio a speedup.
+func speedupInvalidReason() string {
+	if runtime.NumCPU() <= 1 {
+		return "cpus=1"
+	}
+	return ""
 }
 
 // sameMiningResults checks the equivalence RunParallelSweep certifies:
@@ -174,12 +191,18 @@ func RunParallelSweep(spec Spec, support float64, workerCounts []int, repeats in
 			Workers: w, Seconds: pbest.Seconds(),
 			Agree: sameMiningResults(par, seq),
 		}
-		if pbest > 0 {
+		if reason := speedupInvalidReason(); reason != "" {
+			m.SpeedupInvalidReason = reason
+		} else if pbest > 0 {
 			m.Speedup = best.Seconds() / pbest.Seconds()
 		}
 		if opt.Progress != nil {
-			opt.Progress(fmt.Sprintf("%s sup=%.4f workers=%d: %v (%.2fx vs sequential %v), agree=%v",
-				spec.ID, support, w, pbest.Round(time.Millisecond), m.Speedup,
+			sp := fmt.Sprintf("%.2fx", m.Speedup)
+			if m.SpeedupInvalidReason != "" {
+				sp = "speedup n/a: " + m.SpeedupInvalidReason
+			}
+			opt.Progress(fmt.Sprintf("%s sup=%.4f workers=%d: %v (%s vs sequential %v), agree=%v",
+				spec.ID, support, w, pbest.Round(time.Millisecond), sp,
 				best.Round(time.Millisecond), m.Agree))
 		}
 		rep.Runs = append(rep.Runs, m)
@@ -200,13 +223,20 @@ func WriteParallelTable(w io.Writer, rep ParallelReport) error {
 		fmt.Fprintf(w, "sweep stopped: %s\n\n", rep.Err)
 		return nil
 	}
+	if len(rep.Runs) > 0 && rep.Runs[0].SpeedupInvalidReason != "" {
+		fmt.Fprintf(w, "speedup withheld: %s\n", rep.Runs[0].SpeedupInvalidReason)
+	}
 	fmt.Fprintf(w, "%-8s | %10s %8s %6s\n", "workers", "seconds", "speedup", "agree")
 	for _, m := range rep.Runs {
 		if m.Err != "" {
 			fmt.Fprintf(w, "%-8d | skipped: %s\n", m.Workers, m.Err)
 			continue
 		}
-		fmt.Fprintf(w, "%-8d | %10.3f %7.2fx %6v\n", m.Workers, m.Seconds, m.Speedup, m.Agree)
+		sp := fmt.Sprintf("%7.2fx", m.Speedup)
+		if m.SpeedupInvalidReason != "" {
+			sp = fmt.Sprintf("%8s", "n/a")
+		}
+		fmt.Fprintf(w, "%-8d | %10.3f %s %6v\n", m.Workers, m.Seconds, sp, m.Agree)
 	}
 	fmt.Fprintln(w)
 	return nil

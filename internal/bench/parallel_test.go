@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -27,8 +28,17 @@ func TestRunParallelSweep(t *testing.T) {
 		if !m.Agree {
 			t.Errorf("workers=%d: parallel result disagrees with sequential", m.Workers)
 		}
-		if m.Seconds <= 0 || m.Speedup <= 0 {
+		if m.Seconds <= 0 {
 			t.Errorf("workers=%d: no timing (%+v)", m.Workers, m)
+		}
+		// The multi-core protocol: speedup fields only on real multi-core
+		// hardware, an explicit reason otherwise — never both.
+		if runtime.NumCPU() > 1 {
+			if m.Speedup <= 0 || m.SpeedupInvalidReason != "" {
+				t.Errorf("workers=%d: want valid speedup on %d CPUs (%+v)", m.Workers, runtime.NumCPU(), m)
+			}
+		} else if m.Speedup != 0 || m.SpeedupInvalidReason != "cpus=1" {
+			t.Errorf("workers=%d: single-CPU run must withhold speedup (%+v)", m.Workers, m)
 		}
 	}
 	if len(progress) != 3 {

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pincer/internal/core"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+// VerticalMeasure is one counting strategy's measurement on one support
+// cell: the same Pincer-Search run, counted either by database scans
+// ("scan") or by tid-list intersection ("tidlist").
+type VerticalMeasure struct {
+	Counter string  `json:"counter"`
+	Seconds float64 `json:"seconds"`
+	Passes  int     `json:"passes"`
+	// Candidates is the run's paper-accounting candidate total — identical
+	// between the strategies by construction (the sweep verifies it).
+	Candidates int64 `json:"candidates"`
+	// Intersections is the number of tidset kernel operations (tidlist
+	// strategy only); Representation labels the encoding those operations
+	// used ("bitset", "list", "mixed", with "+diffset" when applicable).
+	Intersections  int64  `json:"intersections,omitempty"`
+	Representation string `json:"representation,omitempty"`
+	// Err records why this strategy produced no measurement.
+	Err string `json:"error,omitempty"`
+}
+
+// VerticalCell is one (support) row of a scan-vs-tidlist sweep.
+type VerticalCell struct {
+	Support float64         `json:"min_support"`
+	Scan    VerticalMeasure `json:"scan"`
+	TidList VerticalMeasure `json:"tidlist"`
+	// ScanOverTidlistTime is scan seconds / tidlist seconds (> 1 means the
+	// tid-list counter wins). Deliberately NOT named "speedup": it compares
+	// two strategies of the same sequential-equivalent computation on the
+	// same machine, so — unlike a parallel speedup — it is meaningful on any
+	// CPU count, including cpus=1.
+	ScanOverTidlistTime float64 `json:"scan_over_tidlist_time,omitempty"`
+	// Agree reports the built-in correctness check: identical MFS, supports,
+	// and per-pass statistics between the two strategies.
+	Agree bool `json:"agree"`
+}
+
+// VerticalReport is one spec's scan-vs-tidlist counting sweep.
+type VerticalReport struct {
+	SpecID       string  `json:"spec"`
+	Database     string  `json:"database"`
+	Transactions int     `json:"transactions"`
+	MinItems     int     `json:"num_items"`
+	Workers      int     `json:"workers"`
+	Rep          string  `json:"representation_mode"`
+	// CPUs and GoMaxProcs record the hardware context of every report in
+	// the multi-core protocol, whether or not the measurement depends on it.
+	CPUs       int `json:"cpus"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Repeats is the measurements per cell; Seconds values are the minimum.
+	Repeats int            `json:"repeats"`
+	Cells   []VerticalCell `json:"cells"`
+	// Err records why the sweep stopped early (e.g. a cancelled context).
+	Err string `json:"error,omitempty"`
+}
+
+// runVerticalCell measures one strategy on one cell: repeats runs, minimum
+// wall clock. makeCounter is nil for the scan baseline; otherwise it builds
+// a fresh TidListCounter per run, so the measurement honestly includes the
+// one-time vertical index construction.
+func runVerticalCell(d *dataset.Dataset, sup float64, repeats int, popt core.Options,
+	name string, makeCounter func() *counting.TidListCounter) (*mfi.Result, VerticalMeasure) {
+	m := VerticalMeasure{Counter: name}
+	var bestRes *mfi.Result
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		ropt := popt
+		var tl *counting.TidListCounter
+		if makeCounter != nil {
+			tl = makeCounter()
+			ropt.Counter = tl
+		}
+		res, err := core.Mine(dataset.NewScanner(d), sup, ropt)
+		if err != nil {
+			m.Err = err.Error()
+			return nil, m
+		}
+		if bestRes == nil || res.Stats.Duration < best {
+			bestRes, best = res, res.Stats.Duration
+			if tl != nil {
+				st := tl.TakeIntersections()
+				m.Intersections = st.Total
+				m.Representation = st.Label()
+			}
+		}
+	}
+	m.Seconds = best.Seconds()
+	m.Passes = bestRes.Stats.Passes
+	m.Candidates = bestRes.Stats.Candidates
+	return bestRes, m
+}
+
+// RunVerticalSweep generates the spec's database once and, for each support,
+// runs Pincer-Search with the default scan counting and with the vertical
+// tid-list counter, verifying that both produce the identical result (MFS,
+// supports, and per-pass statistics — the tid-list counter is a drop-in
+// replacement at the PassCounter seam, so even the candidate accounting must
+// match exactly).
+func RunVerticalSweep(spec Spec, workers, repeats int, rep counting.RepMode, opt Options) VerticalReport {
+	if repeats < 1 {
+		repeats = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	d := quest.Generate(spec.Quest)
+	vr := VerticalReport{
+		SpecID: spec.ID, Database: spec.Name(), Transactions: d.Len(),
+		MinItems: d.NumItems(), Workers: workers, Rep: rep.String(),
+		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0), Repeats: repeats,
+	}
+	popt := opt.Pincer
+	popt.Engine = opt.Engine
+	popt.KeepFrequent = false
+	if popt.Context == nil {
+		popt.Context = opt.Context
+	}
+	for _, sup := range spec.Supports {
+		if opt.cancelled() {
+			vr.Err = opt.Context.Err().Error()
+			return vr
+		}
+		cell := VerticalCell{Support: sup}
+		scanRes, scanM := runVerticalCell(d, sup, repeats, popt, "scan", nil)
+		cell.Scan = scanM
+		tlRes, tlM := runVerticalCell(d, sup, repeats, popt, "tidlist", func() *counting.TidListCounter {
+			return counting.NewTidListCounter(d, counting.TidListOptions{Workers: workers, Rep: rep})
+		})
+		cell.TidList = tlM
+		if scanRes != nil && tlRes != nil {
+			cell.Agree = sameMiningResults(scanRes, tlRes)
+			if tlM.Seconds > 0 {
+				cell.ScanOverTidlistTime = scanM.Seconds / tlM.Seconds
+			}
+		}
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("%s sup=%.4f: scan %.3fs, tidlist %.3fs (ratio %.2fx, %d intersections, rep=%s), agree=%v",
+				spec.ID, sup, cell.Scan.Seconds, cell.TidList.Seconds,
+				cell.ScanOverTidlistTime, cell.TidList.Intersections,
+				cell.TidList.Representation, cell.Agree))
+		}
+		vr.Cells = append(vr.Cells, cell)
+	}
+	return vr
+}
+
+// WriteVerticalTable renders a sweep as a human-readable table.
+func WriteVerticalTable(w io.Writer, rep VerticalReport) error {
+	fmt.Fprintf(w, "%s — scan vs tid-list counting — %s (|D|=%d, workers=%d, rep=%s, %d CPUs, GOMAXPROCS=%d)\n",
+		rep.SpecID, rep.Database, rep.Transactions, rep.Workers, rep.Rep, rep.CPUs, rep.GoMaxProcs)
+	if rep.Err != "" {
+		fmt.Fprintf(w, "sweep stopped: %s\n\n", rep.Err)
+		return nil
+	}
+	fmt.Fprintf(w, "%-8s | %10s %10s %9s | %13s %14s | %6s\n",
+		"minsup", "scan(s)", "tidlist(s)", "ratio", "intersections", "representation", "agree")
+	for _, c := range rep.Cells {
+		if c.Scan.Err != "" || c.TidList.Err != "" {
+			reason := c.Scan.Err
+			if reason == "" {
+				reason = c.TidList.Err
+			}
+			fmt.Fprintf(w, "%-8s | skipped: %s\n", fmtSup(c.Support), reason)
+			continue
+		}
+		fmt.Fprintf(w, "%-8s | %10.3f %10.3f %8.2fx | %13d %14s | %6v\n",
+			fmtSup(c.Support), c.Scan.Seconds, c.TidList.Seconds, c.ScanOverTidlistTime,
+			c.TidList.Intersections, c.TidList.Representation, c.Agree)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteVerticalJSON writes sweeps as an indented JSON document.
+func WriteVerticalJSON(w io.Writer, reps []VerticalReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reps)
+}

@@ -52,6 +52,16 @@ type WorkerCounted interface {
 	Workers() int
 }
 
+// IntersectionReporter is implemented by PassCounters that determine
+// supports by tidset intersection (counting.TidListCounter) instead of by
+// scanning the database. TakeIntersections drains the kernel-operation
+// statistics accumulated since the previous call, so the miner can
+// attribute them to the pass that just finished and surface them in trace
+// events. Scan-based counters simply don't implement it.
+type IntersectionReporter interface {
+	TakeIntersections() counting.IntersectionStats
+}
+
 // countingWorkers reports how many goroutines a PassCounter counts with
 // (1 unless it says otherwise).
 func countingWorkers(pc PassCounter) int {
@@ -103,6 +113,15 @@ func (t *timedPassCounter) CountCandidates(engine counting.Engine, candidates []
 
 // Workers delegates to the wrapped counter.
 func (t *timedPassCounter) Workers() int { return countingWorkers(t.pc) }
+
+// TakeIntersections delegates to the wrapped counter; for scan counters it
+// reports zero stats, which the trace layer omits.
+func (t *timedPassCounter) TakeIntersections() counting.IntersectionStats {
+	if ir, ok := t.pc.(IntersectionReporter); ok {
+		return ir.TakeIntersections()
+	}
+	return counting.IntersectionStats{}
+}
 
 // directElemsMax is the element count up to which a pass counts MFCS
 // elements by direct per-transaction bitset subset tests; above it a trie

@@ -345,14 +345,21 @@ func (m *miner) emitPass(phase obsv.Phase) {
 	if m.timed != nil {
 		scan = m.timed.take()
 	}
-	m.tracer.PassDone(obsv.PassEvent{
+	ev := obsv.PassEvent{
 		Algorithm: m.res.Stats.Algorithm,
 		Pass:      p.Pass, Phase: phase,
 		Candidates: p.Candidates, MFCSCandidates: p.MFCSCandidates,
 		MFCSSize: mfcsSize, Frequent: p.Frequent,
 		Infrequent: p.Candidates - p.Frequent, MFSFound: p.MFSFound,
 		ScanDuration: scan, Workers: m.workers,
-	})
+	}
+	if ir, ok := m.pc.(IntersectionReporter); ok {
+		if st := ir.TakeIntersections(); st.Total > 0 {
+			ev.Intersections = st.Total
+			ev.Representation = st.Label()
+		}
+	}
+	m.tracer.PassDone(ev)
 }
 
 // resolveSupport is the MFCS SupportResolver: pass-1 array, pass-2

@@ -188,6 +188,24 @@ func (t *Triangle) Add(tx itemset.Itemset) {
 	}
 }
 
+// AddCount adds c to the pair {x, y}'s counter directly — the write path of
+// counters that compute a pair's whole support at once (tid-list
+// intersection) instead of accumulating it transaction by transaction. Both
+// items must be live; non-live pairs are ignored.
+func (t *Triangle) AddCount(x, y itemset.Item, c int64) {
+	if int(x) >= len(t.index) || int(y) >= len(t.index) {
+		return
+	}
+	i, j := t.index[x], t.index[y]
+	if i < 0 || j < 0 || i == j {
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	t.counts[t.cell(i, j)] += c
+}
+
 // Count returns the support count of the pair {x, y}. Both items must be
 // live; it returns 0 for non-live items.
 func (t *Triangle) Count(x, y itemset.Item) int64 {

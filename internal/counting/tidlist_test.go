@@ -1,0 +1,271 @@
+package counting
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+// refSet is the reference model: a plain map of tids.
+type refSet map[int32]bool
+
+func (r refSet) sorted() []int32 {
+	out := make([]int32, 0, len(r))
+	for t := range r {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func randomTids(rng *rand.Rand, numTx int, density float64) []int32 {
+	var out []int32
+	for t := 0; t < numTx; t++ {
+		if rng.Float64() < density {
+			out = append(out, int32(t))
+		}
+	}
+	return out
+}
+
+func TestTidSetKernelsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mode := range []RepMode{RepAuto, RepBitset, RepList} {
+		for _, numTx := range []int{0, 1, 63, 64, 65, 200} {
+			for trial := 0; trial < 20; trial++ {
+				s := NewTidSpace(numTx, mode)
+				la := randomTids(rng, numTx, rng.Float64())
+				lb := randomTids(rng, numTx, rng.Float64())
+				a, b := s.FromList(la), s.FromList(lb)
+				ra, rb := refSet{}, refSet{}
+				for _, x := range la {
+					ra[x] = true
+				}
+				for _, x := range lb {
+					rb[x] = true
+				}
+				and, diff, or := refSet{}, refSet{}, refSet{}
+				for x := range ra {
+					if rb[x] {
+						and[x] = true
+					} else {
+						diff[x] = true
+					}
+					or[x] = true
+				}
+				for x := range rb {
+					or[x] = true
+				}
+				if got := s.AndCard(&a, &b); got != len(and) {
+					t.Fatalf("mode=%v numTx=%d: AndCard=%d want %d", mode, numTx, got, len(and))
+				}
+				check := func(op string, got *TidSet, want refSet) {
+					t.Helper()
+					if got.Card() != len(want) {
+						t.Fatalf("mode=%v numTx=%d %s: card=%d want %d", mode, numTx, op, got.Card(), len(want))
+					}
+					gotTids := got.Tids()
+					wantTids := want.sorted()
+					for i := range gotTids {
+						if gotTids[i] != wantTids[i] {
+							t.Fatalf("mode=%v numTx=%d %s: tids %v want %v", mode, numTx, op, gotTids, wantTids)
+						}
+					}
+				}
+				var dst TidSet
+				s.And(&dst, &a, &b)
+				check("And", &dst, and)
+				s.Diff(&dst, &a, &b)
+				check("Diff", &dst, diff)
+				s.Or(&dst, &a, &b)
+				check("Or", &dst, or)
+				s.Copy(&dst, &a)
+				check("Copy", &dst, ra)
+			}
+		}
+	}
+}
+
+func TestTidSetMixedRepresentations(t *testing.T) {
+	// Force one dense and one sparse operand under RepAuto so the mixed
+	// kernels run: numTx=256, dense has 200 tids (bits), sparse has 3 (list).
+	s := NewTidSpace(256, RepAuto)
+	var denseL []int32
+	for i := 0; i < 200; i++ {
+		denseL = append(denseL, int32(i))
+	}
+	sparseL := []int32{5, 100, 250}
+	dense, sparse := s.FromList(denseL), s.FromList(sparseL)
+	if !dense.IsBitset() || sparse.IsBitset() {
+		t.Fatalf("representation choice: dense bits=%v sparse bits=%v", dense.IsBitset(), sparse.IsBitset())
+	}
+	if got := s.AndCard(&dense, &sparse); got != 2 {
+		t.Errorf("AndCard = %d, want 2", got)
+	}
+	var dst TidSet
+	s.And(&dst, &dense, &sparse)
+	if dst.Card() != 2 || dst.IsBitset() {
+		t.Errorf("And: card=%d bits=%v, want 2/list", dst.Card(), dst.IsBitset())
+	}
+	s.Diff(&dst, &dense, &sparse) // keeps a's (dense) rep
+	if dst.Card() != 198 || !dst.IsBitset() {
+		t.Errorf("Diff: card=%d bits=%v, want 198/bits", dst.Card(), dst.IsBitset())
+	}
+	s.Diff(&dst, &sparse, &dense)
+	if dst.Card() != 1 || dst.IsBitset() {
+		t.Errorf("Diff sparse\\dense: card=%d bits=%v, want 1/list", dst.Card(), dst.IsBitset())
+	}
+	s.Or(&dst, &sparse, &dense)
+	if dst.Card() != 201 || !dst.IsBitset() {
+		t.Errorf("Or: card=%d bits=%v, want 201/bits", dst.Card(), dst.IsBitset())
+	}
+	if got := s.AndCard(&dense, &dense); got != 200 { // both-dense kernel
+		t.Errorf("AndCard(dense,dense) = %d, want 200", got)
+	}
+	if s.Stats.Bitset == 0 || s.Stats.List == 0 || s.Stats.Total != s.Stats.Bitset+s.Stats.List {
+		t.Errorf("stats inconsistent: %+v", s.Stats)
+	}
+	if lbl := s.Stats.Label(); lbl != "mixed" {
+		t.Errorf("label = %q, want mixed", lbl)
+	}
+}
+
+func TestRepModeRoundTrip(t *testing.T) {
+	for _, m := range []RepMode{RepAuto, RepBitset, RepList, RepDiffset} {
+		got, err := ParseRepMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %v: got %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseRepMode("bogus"); err == nil {
+		t.Error("ParseRepMode accepted bogus")
+	}
+	if m, err := ParseRepMode(""); err != nil || m != RepAuto {
+		t.Errorf("empty mode: %v, %v", m, err)
+	}
+}
+
+func randomDataset(rng *rand.Rand) *dataset.Dataset {
+	universe := 4 + rng.Intn(10)
+	numTx := 5 + rng.Intn(60)
+	d := dataset.Empty(universe)
+	for i := 0; i < numTx; i++ {
+		n := 1 + rng.Intn(universe)
+		items := make([]itemset.Item, n)
+		for j := range items {
+			items[j] = itemset.Item(rng.Intn(universe))
+		}
+		d.Append(itemset.New(items...))
+	}
+	return d
+}
+
+// randomCandidates draws itemsets of sizes 1..5, deliberately unsorted and
+// with mixed lengths (the combined-pass shape).
+func randomCandidates(rng *rand.Rand, universe, n int) []itemset.Itemset {
+	out := make([]itemset.Itemset, n)
+	for i := range out {
+		k := 1 + rng.Intn(5)
+		items := make([]itemset.Item, k)
+		for j := range items {
+			items[j] = itemset.Item(rng.Intn(universe))
+		}
+		out[i] = itemset.New(items...)
+	}
+	return out
+}
+
+func TestTidListCounterMatchesSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDataset(rng)
+		universe := d.NumItems()
+		elems := randomCandidates(rng, universe, 1+rng.Intn(6))
+		elems = append(elems, itemset.Itemset{}) // empty element counts |D|
+		elemBits := make([]*itemset.Bitset, len(elems))
+		for i, e := range elems {
+			elemBits[i] = itemset.BitsetOf(universe, e)
+		}
+		cands := randomCandidates(rng, universe, 2+rng.Intn(30))
+		for _, mode := range []RepMode{RepAuto, RepBitset, RepList, RepDiffset} {
+			for _, workers := range []int{1, 4} {
+				c := NewTidListCounter(d, TidListOptions{Workers: workers, Rep: mode})
+				itemCounts, elemCounts := c.CountItems(universe, elems, elemBits)
+				for i := range itemCounts {
+					want := d.Support(itemset.Itemset{itemset.Item(i)})
+					if itemCounts[i] != want {
+						t.Fatalf("mode=%v w=%d: item %d count=%d want %d", mode, workers, i, itemCounts[i], want)
+					}
+				}
+				checkElems := func(stage string, got []int64) {
+					t.Helper()
+					for i, e := range elems {
+						if got[i] != d.Support(e) {
+							t.Fatalf("mode=%v w=%d %s: elem %v count=%d want %d", mode, workers, stage, e, got[i], d.Support(e))
+						}
+					}
+				}
+				checkElems("items", elemCounts)
+				live := d.PresentItems()
+				tri, elemCounts := c.CountPairs(universe, live, elems, elemBits)
+				checkElems("pairs", elemCounts)
+				tri.Each(func(x, y itemset.Item, count int64) {
+					if want := d.Support(itemset.Itemset{x, y}); count != want {
+						t.Fatalf("mode=%v w=%d: pair {%d,%d} count=%d want %d", mode, workers, x, y, count, want)
+					}
+				})
+				candCounts, elemCounts := c.CountCandidates(EngineHashTree, cands, elems, elemBits)
+				checkElems("candidates", elemCounts)
+				for i, cd := range cands {
+					if want := d.Support(cd); candCounts[i] != want {
+						t.Fatalf("mode=%v w=%d: candidate %v count=%d want %d", mode, workers, cd, candCounts[i], want)
+					}
+				}
+				// empty candidate list: nil counts, like the scan counter
+				nilCounts, elemCounts := c.CountCandidates(EngineHashTree, nil, elems, elemBits)
+				if nilCounts != nil {
+					t.Fatalf("mode=%v w=%d: empty candidates returned non-nil counts", mode, workers)
+				}
+				checkElems("tail", elemCounts)
+				if st := c.TakeIntersections(); st.Total == 0 {
+					t.Fatalf("mode=%v w=%d: no intersections recorded", mode, workers)
+				}
+				if st := c.TakeIntersections(); st.Total != 0 {
+					t.Fatalf("mode=%v w=%d: TakeIntersections did not reset", mode, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestTidListCounterAllocsSteadyState pins the pooled intersection path:
+// once the walker's buffers are warm, counting a pass of candidates must
+// stay allocation-free per candidate (only the per-call count slice and sort
+// bookkeeping remain, amortized over all candidates).
+func TestTidListCounterAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := dataset.Empty(24)
+	for i := 0; i < 400; i++ {
+		n := 6 + rng.Intn(8)
+		items := make([]itemset.Item, n)
+		for j := range items {
+			items[j] = itemset.Item(rng.Intn(24))
+		}
+		d.Append(itemset.New(items...))
+	}
+	cands := randomCandidates(rng, 24, 256)
+	for _, mode := range []RepMode{RepAuto, RepBitset, RepList, RepDiffset} {
+		c := NewTidListCounter(d, TidListOptions{Workers: 1, Rep: mode})
+		c.CountCandidates(EngineHashTree, cands, nil, nil) // warm the index and pool
+		allocs := testing.AllocsPerRun(20, func() {
+			c.CountCandidates(EngineHashTree, cands, nil, nil)
+		})
+		perCandidate := allocs / float64(len(cands))
+		if perCandidate > 0.05 {
+			t.Errorf("mode=%v: %.2f allocs per pass = %.4f per candidate, want ≤ 0.05", mode, allocs, perCandidate)
+		}
+	}
+}

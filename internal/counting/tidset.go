@@ -1,0 +1,467 @@
+package counting
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// This file provides the vertical-layout counting kernels shared by the
+// TidListCounter (the pincer loop's vertical PassCounter) and by
+// internal/vertical's Eclat miners: tidsets in two interchangeable
+// representations — a dense word array ("bitset", one bit per transaction)
+// and a sorted []int32 list — with intersection, difference, and union
+// kernels that never allocate when the destination's buffers are large
+// enough, plus cardinality-only variants that materialize nothing at all.
+//
+// Representation rule (RepAuto): a tidset of cardinality c over |D|
+// transactions is stored dense when c ≥ |D|/32 — the break-even point where
+// one word of 64 presence bits (8 bytes) costs less than the ≥ 2 list
+// entries (8 bytes) it replaces, and word-wide AND/popcount beats the
+// branchy list merge. Kernel outputs stay dense only when both operands are
+// dense; any list operand makes the output a list, so representations are
+// monotone along an intersection chain (dense → list, never back).
+
+// RepMode selects the tidset representation policy for vertical counting.
+type RepMode int
+
+const (
+	// RepAuto chooses per tidset by density (the c ≥ |D|/32 rule) and
+	// switches to diffsets adaptively when the delta is the smaller object.
+	RepAuto RepMode = iota
+	// RepBitset forces the dense word-array representation everywhere.
+	RepBitset
+	// RepList forces the sorted []int32 representation everywhere.
+	RepList
+	// RepDiffset keeps dEclat diffsets (deltas against the nearest
+	// materialized ancestor) at every level of a prefix walk; base tidsets
+	// still choose density like RepAuto.
+	RepDiffset
+)
+
+// String implements fmt.Stringer.
+func (m RepMode) String() string {
+	switch m {
+	case RepAuto:
+		return "auto"
+	case RepBitset:
+		return "bitset"
+	case RepList:
+		return "list"
+	case RepDiffset:
+		return "diffset"
+	default:
+		return fmt.Sprintf("RepMode(%d)", int(m))
+	}
+}
+
+// ParseRepMode parses the String form.
+func ParseRepMode(s string) (RepMode, error) {
+	switch s {
+	case "auto", "":
+		return RepAuto, nil
+	case "bitset", "bits":
+		return RepBitset, nil
+	case "list", "tids":
+		return RepList, nil
+	case "diffset", "diff":
+		return RepDiffset, nil
+	}
+	return 0, fmt.Errorf("counting: unknown tidset representation %q (want auto, bitset, list, or diffset)", s)
+}
+
+// ParseCounterSpec parses the CLI/server counter selector: "" or "scan"
+// selects database-scan counting (tidlist=false), "tidlist" selects the
+// vertical tid-list counter with the automatic representation, and
+// "tidlist:<rep>" forces a representation ("tidlist:bitset",
+// "tidlist:list", "tidlist:diffset", "tidlist:auto").
+func ParseCounterSpec(s string) (tidlist bool, rep RepMode, err error) {
+	switch {
+	case s == "" || s == "scan":
+		return false, RepAuto, nil
+	case s == "tidlist":
+		return true, RepAuto, nil
+	case strings.HasPrefix(s, "tidlist:"):
+		rep, err := ParseRepMode(strings.TrimPrefix(s, "tidlist:"))
+		if err != nil {
+			return false, 0, err
+		}
+		return true, rep, nil
+	}
+	return false, 0, fmt.Errorf("counting: unknown counter %q (want scan or tidlist[:representation])", s)
+}
+
+// IntersectionStats counts vertical kernel operations by representation —
+// the vertical analogue of "transactions scanned". Total is the number of
+// kernel operations (intersection, difference, union, or cardinality-only);
+// Bitset/List split them by whether both operands were dense; Diffset counts
+// supports derived via a diffset delta rather than a materialized tidset.
+type IntersectionStats struct {
+	Total   int64
+	Bitset  int64
+	List    int64
+	Diffset int64
+}
+
+// Add accumulates o into s.
+func (s *IntersectionStats) Add(o IntersectionStats) {
+	s.Total += o.Total
+	s.Bitset += o.Bitset
+	s.List += o.List
+	s.Diffset += o.Diffset
+}
+
+// Label names the representation mix actually used: "bitset", "list", or
+// "mixed", with a "+diffset" suffix when any support came from a delta.
+// Empty when no kernel ran.
+func (s IntersectionStats) Label() string {
+	var base string
+	switch {
+	case s.Total == 0:
+		return ""
+	case s.List == 0:
+		base = "bitset"
+	case s.Bitset == 0:
+		base = "list"
+	default:
+		base = "mixed"
+	}
+	if s.Diffset > 0 {
+		base += "+diffset"
+	}
+	return base
+}
+
+// TidSet is one tidset: the transactions containing some itemset, in exactly
+// one of the two representations. The zero value is a valid empty set (list
+// representation).
+type TidSet struct {
+	bits []uint64 // dense: bit t set ⇔ transaction t present (nil when list)
+	list []int32  // sorted transaction indices (meaningful when bits is nil)
+	card int
+}
+
+// Card returns the cardinality — the support of the itemset the set stands
+// for.
+func (t *TidSet) Card() int { return t.card }
+
+// IsBitset reports the representation.
+func (t *TidSet) IsBitset() bool { return t.bits != nil }
+
+// Tids materializes the members as a sorted slice (test/debug helper; the
+// mining paths never call it).
+func (t *TidSet) Tids() []int32 {
+	if t.bits == nil {
+		return append([]int32(nil), t.list...)
+	}
+	out := make([]int32, 0, t.card)
+	for wi, w := range t.bits {
+		for w != 0 {
+			out = append(out, int32(wi*64+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// TidSpace holds the per-database parameters of the kernels — transaction
+// count, word width, representation policy — and accumulates the operation
+// statistics. It is not safe for concurrent use; parallel counters give each
+// worker a private space and merge the stats at the pass barrier.
+type TidSpace struct {
+	NumTx int
+	words int
+	Mode  RepMode
+	Stats IntersectionStats
+}
+
+// NewTidSpace builds a space for a database of numTx transactions.
+func NewTidSpace(numTx int, mode RepMode) *TidSpace {
+	return &TidSpace{NumTx: numTx, words: (numTx + 63) / 64, Mode: mode}
+}
+
+// useBits decides the representation of a base tidset of the given
+// cardinality under the space's policy.
+func (s *TidSpace) useBits(card int) bool {
+	switch s.Mode {
+	case RepBitset:
+		return true
+	case RepList:
+		return false
+	default:
+		return s.NumTx > 0 && card*32 >= s.NumTx
+	}
+}
+
+// FromList builds a TidSet from a sorted, duplicate-free tid list, choosing
+// the representation by policy. The list is retained when the list
+// representation is chosen.
+func (s *TidSpace) FromList(list []int32) TidSet {
+	if !s.useBits(len(list)) {
+		return TidSet{list: list, card: len(list)}
+	}
+	w := make([]uint64, s.words)
+	for _, t := range list {
+		w[t>>6] |= 1 << (uint(t) & 63)
+	}
+	return TidSet{bits: w, card: len(list)}
+}
+
+// note records one kernel operation on the pair of representations.
+func (s *TidSpace) note(a, b *TidSet) {
+	s.Stats.Total++
+	if a.bits != nil && b.bits != nil {
+		s.Stats.Bitset++
+	} else {
+		s.Stats.List++
+	}
+}
+
+// AndCard returns |a ∩ b| without materializing the intersection — the
+// support kernel for the last item of a candidate, where the intersection
+// itself is never needed again.
+func (s *TidSpace) AndCard(a, b *TidSet) int {
+	s.note(a, b)
+	switch {
+	case a.bits != nil && b.bits != nil:
+		n := 0
+		for i, w := range a.bits {
+			n += bits.OnesCount64(w & b.bits[i])
+		}
+		return n
+	case a.bits != nil:
+		return countListInBits(b.list, a.bits)
+	case b.bits != nil:
+		return countListInBits(a.list, b.bits)
+	default:
+		return countListList(a.list, b.list)
+	}
+}
+
+// And stores a ∩ b into dst, reusing dst's buffers. dst must not alias a or
+// b. The output is dense only when both operands are dense.
+func (s *TidSpace) And(dst *TidSet, a, b *TidSet) {
+	s.note(a, b)
+	if a.bits != nil && b.bits != nil {
+		w := s.ensureWords(dst)
+		card := 0
+		for i := range w {
+			v := a.bits[i] & b.bits[i]
+			w[i] = v
+			card += bits.OnesCount64(v)
+		}
+		dst.card = card
+		return
+	}
+	out := ensureList(dst)
+	switch {
+	case a.bits != nil:
+		out = appendListInBits(out, b.list, a.bits)
+	case b.bits != nil:
+		out = appendListInBits(out, a.list, b.bits)
+	default:
+		out = appendAndListList(out, a.list, b.list)
+	}
+	dst.list, dst.card = out, len(out)
+}
+
+// Diff stores a \ b into dst, reusing dst's buffers; the output keeps a's
+// representation. dst must not alias a or b. This is the dEclat kernel:
+// d(P ∪ {f,g}) = t(P∪{f}) \ t(P∪{g}) on the tidset→diffset switch and
+// d(P ∪ {e,f}) = d(P∪{f}) \ d(P∪{e}) thereafter.
+func (s *TidSpace) Diff(dst *TidSet, a, b *TidSet) {
+	s.note(a, b)
+	if a.bits != nil {
+		w := s.ensureWords(dst)
+		card := 0
+		if b.bits != nil {
+			for i := range w {
+				v := a.bits[i] &^ b.bits[i]
+				w[i] = v
+				card += bits.OnesCount64(v)
+			}
+		} else {
+			copy(w, a.bits)
+			card = a.card
+			for _, t := range b.list {
+				mask := uint64(1) << (uint(t) & 63)
+				if w[t>>6]&mask != 0 {
+					w[t>>6] &^= mask
+					card--
+				}
+			}
+		}
+		dst.card = card
+		return
+	}
+	out := ensureList(dst)
+	if b.bits != nil {
+		for _, t := range a.list {
+			if b.bits[t>>6]&(1<<(uint(t)&63)) == 0 {
+				out = append(out, t)
+			}
+		}
+	} else {
+		out = appendDiffListList(out, a.list, b.list)
+	}
+	dst.list, dst.card = out, len(out)
+}
+
+// Or stores a ∪ b into dst, reusing dst's buffers — the diffset
+// accumulation kernel (a level's delta is the union of the per-step deltas
+// below its anchor). dst must not alias a or b. The output is dense when
+// either operand is dense.
+func (s *TidSpace) Or(dst *TidSet, a, b *TidSet) {
+	s.note(a, b)
+	if a.bits != nil || b.bits != nil {
+		dense, other := a, b
+		if dense.bits == nil {
+			dense, other = b, a
+		}
+		w := s.ensureWords(dst)
+		if other.bits != nil {
+			card := 0
+			for i := range w {
+				v := dense.bits[i] | other.bits[i]
+				w[i] = v
+				card += bits.OnesCount64(v)
+			}
+			dst.card = card
+			return
+		}
+		copy(w, dense.bits)
+		card := dense.card
+		for _, t := range other.list {
+			mask := uint64(1) << (uint(t) & 63)
+			if w[t>>6]&mask == 0 {
+				w[t>>6] |= mask
+				card++
+			}
+		}
+		dst.card = card
+		return
+	}
+	out := ensureList(dst)
+	out = appendOrListList(out, a.list, b.list)
+	dst.list, dst.card = out, len(out)
+}
+
+// Copy stores a into dst, reusing dst's buffers.
+func (s *TidSpace) Copy(dst *TidSet, a *TidSet) {
+	if a.bits != nil {
+		w := s.ensureWords(dst)
+		copy(w, a.bits)
+		dst.card = a.card
+		return
+	}
+	out := ensureList(dst)
+	dst.list = append(out, a.list...)
+	dst.card = a.card
+}
+
+// ensureWords switches dst to the dense representation, reusing its word
+// buffer when large enough.
+func (s *TidSpace) ensureWords(dst *TidSet) []uint64 {
+	if cap(dst.bits) >= s.words {
+		dst.bits = dst.bits[:s.words]
+	} else {
+		dst.bits = make([]uint64, s.words)
+	}
+	return dst.bits
+}
+
+// ensureList switches dst to the list representation, keeping its backing
+// array.
+func ensureList(dst *TidSet) []int32 {
+	dst.bits = nil
+	return dst.list[:0]
+}
+
+func countListInBits(list []int32, w []uint64) int {
+	n := 0
+	for _, t := range list {
+		if w[t>>6]&(1<<(uint(t)&63)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func appendListInBits(out, list []int32, w []uint64) []int32 {
+	for _, t := range list {
+		if w[t>>6]&(1<<(uint(t)&63)) != 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func countListList(a, b []int32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func appendAndListList(out, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func appendDiffListList(out, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func appendOrListList(out, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -160,6 +160,29 @@ func (b *Bitset) CountAnd(c *Bitset) int {
 	return total
 }
 
+// IntersectCount returns |b ∩ c| by word-wide popcount, allocating nothing.
+// It is the support kernel of the vertical counters: when only the
+// cardinality of an intersection is needed, the intersection itself is never
+// materialized.
+func (b *Bitset) IntersectCount(c *Bitset) int { return b.CountAnd(c) }
+
+// AndInto stores a ∩ b into dst, reusing dst's word storage when it is large
+// enough — the pool-friendly form: a dst drawn from a sync.Pool makes the
+// intersection allocation-free in steady state. dst may alias a or b.
+func AndInto(dst, a, b *Bitset) {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
+	}
+	if cap(dst.words) < n {
+		dst.words = make([]uint64, n)
+	}
+	dst.words = dst.words[:n]
+	for i := 0; i < n; i++ {
+		dst.words[i] = a.words[i] & b.words[i]
+	}
+}
+
 // Items materializes the members as a sorted Itemset.
 func (b *Bitset) Items() Itemset {
 	out := make(Itemset, 0, b.Len())

@@ -1,0 +1,123 @@
+package itemset
+
+import "testing"
+
+// boundaryUniverses exercises the word-boundary cases: one bit short of a
+// word, exactly one word, and one bit into the second word.
+var boundaryUniverses = []int{63, 64, 65}
+
+func TestIntersectCountWordBoundaries(t *testing.T) {
+	for _, n := range boundaryUniverses {
+		a := NewBitset(n)
+		b := NewBitset(n)
+		// a = even items, b = multiples of 3; intersection = multiples of 6.
+		want := 0
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				a.Add(Item(i))
+			}
+			if i%3 == 0 {
+				b.Add(Item(i))
+			}
+			if i%6 == 0 {
+				want++
+			}
+		}
+		if got := a.IntersectCount(b); got != want {
+			t.Errorf("universe %d: IntersectCount = %d, want %d", n, got, want)
+		}
+		if got := b.IntersectCount(a); got != want {
+			t.Errorf("universe %d: IntersectCount (swapped) = %d, want %d", n, got, want)
+		}
+		// the boundary bits themselves
+		top := NewBitset(n)
+		top.Add(Item(n - 1))
+		if got := top.IntersectCount(top); got != 1 {
+			t.Errorf("universe %d: top-bit self intersection = %d, want 1", n, got)
+		}
+		if got := top.IntersectCount(NewBitset(n)); got != 0 {
+			t.Errorf("universe %d: top-bit vs empty = %d, want 0", n, got)
+		}
+	}
+}
+
+func TestIntersectCountMismatchedLengths(t *testing.T) {
+	a := NewBitset(65)
+	a.Add(0)
+	a.Add(64)
+	b := NewBitset(63)
+	b.Add(0)
+	if got := a.IntersectCount(b); got != 1 {
+		t.Errorf("long∩short = %d, want 1", got)
+	}
+	if got := b.IntersectCount(a); got != 1 {
+		t.Errorf("short∩long = %d, want 1", got)
+	}
+}
+
+func TestAndIntoWordBoundaries(t *testing.T) {
+	for _, n := range boundaryUniverses {
+		a := NewBitset(n)
+		b := NewBitset(n)
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				a.Add(Item(i))
+			}
+			if i%3 == 0 {
+				b.Add(Item(i))
+			}
+		}
+		a.Add(Item(n - 1))
+		b.Add(Item(n - 1))
+		dst := NewBitset(0) // must grow
+		AndInto(dst, a, b)
+		for i := 0; i < n; i++ {
+			want := a.Contains(Item(i)) && b.Contains(Item(i))
+			if dst.Contains(Item(i)) != want {
+				t.Errorf("universe %d: dst.Contains(%d) = %v, want %v", n, i, !want, want)
+			}
+		}
+		if dst.Len() != a.CountAnd(b) {
+			t.Errorf("universe %d: |dst| = %d, want %d", n, dst.Len(), a.CountAnd(b))
+		}
+	}
+}
+
+func TestAndIntoReusesStorage(t *testing.T) {
+	a := NewBitset(128)
+	b := NewBitset(128)
+	a.Add(5)
+	a.Add(127)
+	b.Add(5)
+	b.Add(64)
+	dst := NewBitset(128) // pre-sized: no growth needed
+	words := &dst.words[0]
+	AndInto(dst, a, b)
+	if &dst.words[0] != words {
+		t.Error("AndInto reallocated a sufficiently large dst")
+	}
+	if !dst.Contains(5) || dst.Contains(64) || dst.Contains(127) || dst.Len() != 1 {
+		t.Errorf("dst = %v, want {5}", dst)
+	}
+	// stale high bits from a previous, larger use must not leak through
+	dst2 := NewBitset(256)
+	for i := 0; i < 256; i++ {
+		dst2.Add(Item(i))
+	}
+	AndInto(dst2, a, b)
+	if dst2.Len() != 1 || !dst2.Contains(5) {
+		t.Errorf("reused dst = %v, want {5}", dst2)
+	}
+}
+
+func TestAndIntoAliasing(t *testing.T) {
+	a := NewBitset(65)
+	b := NewBitset(65)
+	a.Add(1)
+	a.Add(64)
+	b.Add(64)
+	AndInto(a, a, b)
+	if a.Len() != 1 || !a.Contains(64) {
+		t.Errorf("aliased AndInto = %v, want {64}", a)
+	}
+}

@@ -4,7 +4,8 @@ package mfi_test
 // committed under testdata/conformance/ together with golden files pinning
 // the exact maximal frequent set (with supports) and the exact complete
 // frequent set at two minimum supports each. Every miner in the repository —
-// sequential Pincer-Search, Apriori, the top-down miner, maximal Eclat, and
+// sequential Pincer-Search (scan-counted and tid-list-counted at 1 and 4
+// workers), Apriori, the top-down miner, maximal Eclat, and
 // the count-distribution parallel Pincer-Search at 1 and 4 workers — must
 // reproduce the goldens byte for byte; the complete-frequent-set goldens are
 // additionally pinned by both Apriori and full Eclat, two algorithms with no
@@ -25,6 +26,7 @@ import (
 
 	"pincer/internal/apriori"
 	"pincer/internal/core"
+	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
@@ -222,6 +224,16 @@ func TestConformance(t *testing.T) {
 					}{
 						{"pincer", func() (*mfi.Result, error) {
 							return core.MineCount(dataset.NewScanner(d), minCount, core.DefaultOptions())
+						}},
+						{"pincer-tidlist-w1", func() (*mfi.Result, error) {
+							opt := core.DefaultOptions()
+							opt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{Workers: 1})
+							return core.MineCount(dataset.NewScanner(d), minCount, opt)
+						}},
+						{"pincer-tidlist-w4", func() (*mfi.Result, error) {
+							opt := core.DefaultOptions()
+							opt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{Workers: 4})
+							return core.MineCount(dataset.NewScanner(d), minCount, opt)
 						}},
 						{"apriori", func() (*mfi.Result, error) {
 							return apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())

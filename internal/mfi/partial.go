@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"pincer/internal/counting"
 	"pincer/internal/itemset"
 )
 
@@ -97,15 +98,21 @@ func NewAbort(ctxErr error) *Abort {
 }
 
 // AbortFrom extracts the Abort sentinel from a recovered panic value: the
-// sentinel itself, or one captured inside a counting worker and re-raised
-// wrapped in a WorkerPanic. It returns nil for any other panic.
+// sentinel itself, the counting layer's Canceled sentinel (which cannot
+// import this package), or either captured inside a counting worker and
+// re-raised wrapped in a WorkerPanic. It returns nil for any other panic.
 func AbortFrom(r interface{}) *Abort {
 	switch v := r.(type) {
 	case *Abort:
 		return v
+	case *counting.Canceled:
+		return NewAbort(v.Err)
 	case *WorkerPanic:
 		if ab, ok := v.Value.(*Abort); ok {
 			return ab
+		}
+		if c, ok := v.Value.(*counting.Canceled); ok {
+			return NewAbort(c.Err)
 		}
 	}
 	return nil

@@ -235,7 +235,7 @@ func (r *Registry) Snapshot() map[string]int64 {
 // process metrics.
 type MetricsTracer struct {
 	runs, passes, candidates, mfcsCandidates *Counter
-	frequent, mfsFound                       *Counter
+	frequent, mfsFound, intersections       *Counter
 	scanNanos, miningNanos                   *Counter
 	cancellations, checkpointsWritten        *Counter
 	workers, lastPasses, lastMFSSize         *Gauge
@@ -251,6 +251,7 @@ func NewMetricsTracer(reg *Registry) *MetricsTracer {
 		candidates:     reg.Counter("pincer_candidates_total", "Bottom-up candidates counted."),
 		mfcsCandidates: reg.Counter("pincer_mfcs_candidates_total", "MFCS elements counted."),
 		frequent:       reg.Counter("pincer_frequent_total", "Frequent itemsets discovered."),
+		intersections:  reg.Counter("pincer_intersections_total", "Tidset kernel operations performed by vertical pass counters."),
 		mfsFound:       reg.Counter("pincer_mfs_found_total", "Maximal frequent itemsets established."),
 		scanNanos:      reg.Counter("pincer_scan_nanoseconds_total", "Wall clock spent in database passes."),
 		miningNanos:    reg.Counter("pincer_mining_nanoseconds_total", "Wall clock spent in whole mining runs."),
@@ -277,6 +278,7 @@ func (t *MetricsTracer) PassDone(ev PassEvent) {
 	t.mfcsCandidates.Add(int64(ev.MFCSCandidates))
 	t.frequent.Add(int64(ev.Frequent))
 	t.mfsFound.Add(int64(ev.MFSFound))
+	t.intersections.Add(ev.Intersections)
 	t.scanNanos.Add(ev.ScanDuration.Nanoseconds())
 }
 

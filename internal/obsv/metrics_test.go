@@ -26,6 +26,7 @@ func feedFixedRun(tr Tracer) {
 		Candidates: 60, MFCSCandidates: 2, MFCSSize: 1,
 		Frequent: 30, Infrequent: 30, MFSFound: 2,
 		ScanDuration: 500 * time.Nanosecond, Workers: 2,
+		Intersections: 7, Representation: "bitset",
 	})
 	EmitCheckpoint(tr, CheckpointEvent{
 		Algorithm: "pincer", Pass: 2, Stage: "tail",
@@ -46,6 +47,9 @@ pincer_checkpoints_written_total 2
 # HELP pincer_frequent_total Frequent itemsets discovered.
 # TYPE pincer_frequent_total counter
 pincer_frequent_total 55
+# HELP pincer_intersections_total Tidset kernel operations performed by vertical pass counters.
+# TYPE pincer_intersections_total counter
+pincer_intersections_total 7
 # HELP pincer_last_checkpoint_pass Pass number of the most recently written checkpoint.
 # TYPE pincer_last_checkpoint_pass gauge
 pincer_last_checkpoint_pass 2

@@ -70,6 +70,14 @@ type PassEvent struct {
 	ScanDuration time.Duration `json:"scan_ns"`
 	// Workers is the number of counting goroutines (1 = sequential).
 	Workers int `json:"workers"`
+	// Intersections is the number of tidset kernel operations the pass
+	// performed when counting ran on a vertical (tid-list) counter instead
+	// of a database scan; 0 — and omitted — for scan counters.
+	Intersections int64 `json:"intersections,omitempty"`
+	// Representation labels the tidset representation those operations used
+	// ("bitset", "list", or "mixed", with a "+diffset" suffix when diffsets
+	// were involved); empty for scan counters.
+	Representation string `json:"representation,omitempty"`
 }
 
 // RunSummary describes a finished run.

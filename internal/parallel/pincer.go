@@ -203,7 +203,9 @@ func MinePincerCount(d *dataset.Dataset, minCount int64, copt core.Options, opt 
 
 func minePincer(d *dataset.Dataset, minCount int64, copt core.Options, opt Options) (*mfi.Result, error) {
 	prepareCoreOptions(&copt, opt)
-	copt.Counter = NewPassCounter(d, opt.workers())
+	if copt.Counter == nil {
+		copt.Counter = NewPassCounter(d, opt.workers())
+	}
 	return core.MineCount(dataset.NewScanner(d), minCount, copt)
 }
 
@@ -237,6 +239,8 @@ func prepareCoreOptions(copt *core.Options, opt Options) {
 // any worker count can resume any parallel checkpoint.
 func MinePincerResume(d *dataset.Dataset, minCount int64, copt core.Options, opt Options) (*mfi.Result, error) {
 	prepareCoreOptions(&copt, opt)
-	copt.Counter = NewPassCounter(d, opt.workers())
+	if copt.Counter == nil {
+		copt.Counter = NewPassCounter(d, opt.workers())
+	}
 	return core.MineResume(dataset.NewScanner(d), minCount, copt)
 }

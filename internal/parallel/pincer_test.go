@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pincer/internal/core"
+	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
@@ -54,20 +55,20 @@ func comparePincerResults(t *testing.T, label string, par, seq *mfi.Result) {
 	}
 }
 
-// TestMinePincerMatchesSequential is the count-distribution property test:
-// across quest-generated workloads of both distribution shapes and across
-// worker counts, parallel Pincer-Search reports results byte-identical to
-// the sequential miner.
-func TestMinePincerMatchesSequential(t *testing.T) {
-	type workload struct {
-		params  quest.Params
-		support float64
-	}
-	var workloads []workload
+// pincerWorkload is one quest-generated property-test case.
+type pincerWorkload struct {
+	params  quest.Params
+	support float64
+}
+
+// pincerWorkloads builds the 12-workload matrix shared by the parallel
+// count-distribution property test and the tid-list counter property test.
+func pincerWorkloads() []pincerWorkload {
+	var workloads []pincerWorkload
 	// concentrated shapes (few patterns, long maximal itemsets) — the
 	// paper's Figure-4 regime where the MFCS does the work
 	for seed := int64(1); seed <= 5; seed++ {
-		workloads = append(workloads, workload{quest.Params{
+		workloads = append(workloads, pincerWorkload{quest.Params{
 			NumTransactions: 300 + 40*int(seed), AvgTxLen: 14, AvgPatternLen: 7,
 			NumPatterns: 15, NumItems: 60, Seed: seed,
 		}, 0.10})
@@ -75,20 +76,27 @@ func TestMinePincerMatchesSequential(t *testing.T) {
 	// scattered shapes (many patterns, short maximal itemsets) — the
 	// Figure-3 regime dominated by bottom-up counting
 	for seed := int64(6); seed <= 10; seed++ {
-		workloads = append(workloads, workload{quest.Params{
+		workloads = append(workloads, pincerWorkload{quest.Params{
 			NumTransactions: 300 + 40*int(seed), AvgTxLen: 8, AvgPatternLen: 3,
 			NumPatterns: 80, NumItems: 100, Seed: seed,
 		}, 0.03})
 	}
 	// small dense edge shape: high support, tiny universe
 	workloads = append(workloads,
-		workload{quest.Params{NumTransactions: 120, AvgTxLen: 6, AvgPatternLen: 4,
+		pincerWorkload{quest.Params{NumTransactions: 120, AvgTxLen: 6, AvgPatternLen: 4,
 			NumPatterns: 5, NumItems: 12, Seed: 11}, 0.25},
-		workload{quest.Params{NumTransactions: 200, AvgTxLen: 10, AvgPatternLen: 5,
+		pincerWorkload{quest.Params{NumTransactions: 200, AvgTxLen: 10, AvgPatternLen: 5,
 			NumPatterns: 10, NumItems: 30, Seed: 12}, 0.08},
 	)
+	return workloads
+}
 
-	for _, wl := range workloads {
+// TestMinePincerMatchesSequential is the count-distribution property test:
+// across quest-generated workloads of both distribution shapes and across
+// worker counts, parallel Pincer-Search reports results byte-identical to
+// the sequential miner.
+func TestMinePincerMatchesSequential(t *testing.T) {
+	for _, wl := range pincerWorkloads() {
 		d := quest.Generate(wl.params)
 		copt := core.DefaultOptions()
 		seq := must(core.Mine(dataset.NewScanner(d), wl.support, copt))
@@ -160,5 +168,44 @@ func TestMinePincerEdgeCases(t *testing.T) {
 	res = must(MinePincerCount(d, 2, core.DefaultOptions(), opt))
 	if err := mfi.VerifyAgainst(res.MFS, []itemset.Itemset{itemset.New(1, 2)}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTidListCounterMatchesScan is the representation-agreement property
+// test: across the same 12-workload matrix, the pincer miner counted by
+// tid-structure intersection — in every representation mode, serial and
+// parallel — reports results byte-identical to the scan-counted miner,
+// including per-pass candidate accounting. It also covers the injected
+// Counter path of the parallel driver.
+func TestTidListCounterMatchesScan(t *testing.T) {
+	modes := []struct {
+		name string
+		opt  counting.TidListOptions
+	}{
+		{"auto-w1", counting.TidListOptions{Workers: 1}},
+		{"auto-w4", counting.TidListOptions{Workers: 4}},
+		{"bitset", counting.TidListOptions{Workers: 1, Rep: counting.RepBitset}},
+		{"list", counting.TidListOptions{Workers: 1, Rep: counting.RepList}},
+		{"diffset", counting.TidListOptions{Workers: 1, Rep: counting.RepDiffset}},
+	}
+	for _, wl := range pincerWorkloads() {
+		d := quest.Generate(wl.params)
+		minCount := dataset.MinCountFor(d.Len(), wl.support)
+		seq := must(core.MineCount(dataset.NewScanner(d), minCount, core.DefaultOptions()))
+		label := wl.params.Name()
+		for _, m := range modes {
+			copt := core.DefaultOptions()
+			copt.Counter = counting.NewTidListCounter(d, m.opt)
+			got := must(core.MineCount(dataset.NewScanner(d), minCount, copt))
+			comparePincerResults(t, label+"/tidlist-"+m.name, got, seq)
+		}
+		// Same counter injected through the parallel driver: the counting
+		// stage runs vertically, the candidate stages still shard.
+		copt := core.DefaultOptions()
+		copt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{Workers: 2})
+		popt := DefaultOptions()
+		popt.Workers = 2
+		par := must(MinePincerCount(d, minCount, copt, popt))
+		comparePincerResults(t, label+"/tidlist-parallel-w2", par, seq)
 	}
 }

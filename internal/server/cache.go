@@ -10,15 +10,17 @@ import (
 
 // CacheKey derives the content-addressed cache key of a mining request:
 // SHA-256 over the dataset bytes and every option that shapes the answer
-// (threshold, miner, workers, engine, budgets). Two submissions with equal
-// keys are guaranteed the same complete result, so the second is served
-// from the cache without re-mining — the dataset hash makes this hold even
-// when a basket file is replaced in place between submissions.
+// (threshold, miner, workers, engine, counter, budgets). Two submissions
+// with equal keys are guaranteed the same complete result, so the second is
+// served from the cache without re-mining — the dataset hash makes this hold
+// even when a basket file is replaced in place between submissions. The
+// counter never changes the mined result, but it is still keyed because the
+// result doc echoes it back.
 func CacheKey(datasetBytes []byte, spec JobRequest) string {
 	dh := sha256.Sum256(datasetBytes)
 	h := sha256.New()
-	fmt.Fprintf(h, "v1|data=%x|sup=%.12g|miner=%s|workers=%d|engine=%s|deadline=%d|passes=%d|cand=%d|mem=%d",
-		dh, spec.MinSupport, spec.Miner, spec.Workers, spec.Engine,
+	fmt.Fprintf(h, "v2|data=%x|sup=%.12g|miner=%s|workers=%d|engine=%s|counter=%s|deadline=%d|passes=%d|cand=%d|mem=%d",
+		dh, spec.MinSupport, spec.Miner, spec.Workers, spec.Engine, spec.Counter,
 		spec.DeadlineMS, spec.MaxPasses, spec.MaxCandidatesPerPass, spec.MaxMemoryBytes)
 	return hex.EncodeToString(h.Sum(nil))
 }

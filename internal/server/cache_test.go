@@ -34,6 +34,9 @@ func TestCacheKeyDependsOnEveryInput(t *testing.T) {
 	v.Engine = "trie"
 	variants = append(variants, v)
 	v = base
+	v.Counter = "tidlist"
+	variants = append(variants, v)
+	v = base
 	v.DeadlineMS = 100
 	variants = append(variants, v)
 	v = base
@@ -122,6 +125,8 @@ func TestJobRequestNormalize(t *testing.T) {
 		{Baskets: "1\n", MinSupport: 0.5, Miner: "x"},
 		{Baskets: "1\n", MinSupport: 0.5, Miner: MinerTopdown, Engine: "trie"},
 		{Baskets: "1\n", MinSupport: 0.5, DeadlineMS: -1},
+		{Baskets: "1\n", MinSupport: 0.5, Miner: MinerVertical, Counter: "tidlist"},
+		{Baskets: "1\n", MinSupport: 0.5, Counter: "tidlist:bogus"},
 	}
 	for i, spec := range bad {
 		if err := spec.normalize(); err == nil {

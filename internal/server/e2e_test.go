@@ -165,6 +165,36 @@ func TestE2ESubmitPollResult(t *testing.T) {
 	}
 }
 
+// A tid-list job must mine the same answer as the default scan counter,
+// echo the counter back in the result doc, and cache under a distinct key.
+func TestE2ETidlistCounterJob(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	spec := server.JobRequest{Baskets: testBaskets, MinSupport: testMinSupport, Counter: "tidlist"}
+	code, v := submit(t, hs.URL, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202", code)
+	}
+	waitStatus(t, hs.URL, v.ID, server.StatusDone)
+	var doc server.ResultDoc
+	if code := doJSON(t, http.MethodGet, hs.URL+"/v1/results/"+v.ID, nil, &doc); code != http.StatusOK {
+		t.Fatalf("GET result: status %d", code)
+	}
+	if doc.Counter != "tidlist" {
+		t.Errorf("doc.Counter = %q, want tidlist", doc.Counter)
+	}
+	if doc.Cached {
+		t.Error("first tidlist run reported cached: counter missing from the cache key?")
+	}
+	if len(doc.MFS) != 2 {
+		t.Fatalf("MFS = %v, want the two known maximal sets", doc.MFS)
+	}
+	for _, m := range doc.MFS {
+		if m.Support != 6 {
+			t.Errorf("support of %v = %d, want 6", m.Items, m.Support)
+		}
+	}
+}
+
 func TestE2EIdenticalResubmitIsCacheHit(t *testing.T) {
 	srv, hs := newTestServer(t, nil)
 	spec := server.JobRequest{Baskets: testBaskets, MinSupport: testMinSupport}

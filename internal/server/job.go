@@ -44,6 +44,11 @@ type JobRequest struct {
 	// Engine selects the support-counting structure: hashtree, list, or
 	// trie (pincer, apriori, and parallel; default hashtree).
 	Engine string `json:"engine,omitempty"`
+	// Counter selects the support-counting strategy: "" or "scan" (database
+	// passes) or "tidlist" (vertical tid-list intersection, optionally
+	// "tidlist:bitset|list|diffset" to force the representation). Pincer and
+	// parallel miners only; the result is identical either way.
+	Counter string `json:"counter,omitempty"`
 	// DeadlineMS bounds the mining wall clock in milliseconds; expiry ends
 	// the job with its partial anytime result (0 = unlimited).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
@@ -89,10 +94,26 @@ func (r *JobRequest) normalize() error {
 			return err
 		}
 	}
+	if r.Counter != "" && r.Counter != "scan" {
+		switch r.Miner {
+		case MinerPincer, MinerParallel:
+		default:
+			return fmt.Errorf("counter applies to the pincer and parallel miners only, not %q", r.Miner)
+		}
+		if _, _, err := counting.ParseCounterSpec(r.Counter); err != nil {
+			return err
+		}
+	}
 	if r.DeadlineMS < 0 || r.MaxPasses < 0 || r.MaxCandidatesPerPass < 0 || r.MaxMemoryBytes < 0 {
 		return errors.New("budgets must be non-negative")
 	}
 	return nil
+}
+
+// counter parses the (already validated) counter spec.
+func (r *JobRequest) counter() (tidlist bool, rep counting.RepMode) {
+	tidlist, rep, _ = counting.ParseCounterSpec(r.Counter)
+	return tidlist, rep
 }
 
 // engine parses the (already validated) engine name.
@@ -165,6 +186,7 @@ type ResultDoc struct {
 	ID           string       `json:"id"`
 	Miner        string       `json:"miner"`
 	Algorithm    string       `json:"algorithm"`
+	Counter      string       `json:"counter,omitempty"`
 	MinSupport   float64      `json:"min_support"`
 	MinCount     int64        `json:"min_count"`
 	Transactions int          `json:"transactions"`
@@ -183,6 +205,7 @@ func buildDoc(id string, spec JobRequest, res *mfi.Result, pe *mfi.PartialResult
 		ID:           id,
 		Miner:        spec.Miner,
 		Algorithm:    res.Stats.Algorithm,
+		Counter:      spec.Counter,
 		MinSupport:   spec.MinSupport,
 		MinCount:     res.MinCount,
 		Transactions: res.NumTransactions,

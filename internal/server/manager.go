@@ -13,6 +13,7 @@ import (
 	"pincer/internal/apriori"
 	"pincer/internal/checkpoint"
 	"pincer/internal/core"
+	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/mfi"
 	"pincer/internal/obsv"
@@ -349,6 +350,9 @@ func (m *Manager) mine(ctx context.Context, j *Job) (*mfi.Result, error) {
 		opt.MaxCandidatesPerPass = spec.MaxCandidatesPerPass
 		opt.MaxMemoryBytes = spec.MaxMemoryBytes
 		opt.Checkpointer = ckpt
+		if tidlist, rep := spec.counter(); tidlist {
+			opt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{Rep: rep})
+		}
 		if j.resume {
 			return core.MineResume(sc, minCount, opt)
 		}
@@ -401,6 +405,9 @@ func (m *Manager) mine(ctx context.Context, j *Job) (*mfi.Result, error) {
 		popt.Context = ctx
 		popt.Deadline = spec.deadline()
 		popt.Checkpointer = ckpt
+		if tidlist, rep := spec.counter(); tidlist {
+			copt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{Workers: spec.Workers, Rep: rep})
+		}
 		if j.resume {
 			return parallel.MinePincerResume(d, minCount, copt, popt)
 		}

@@ -6,6 +6,20 @@
 // comparison study the paper cites as [9] (Mueller 1995, which evaluates
 // exactly this partition/vertical style against Apriori).
 //
+// The miners run on the shared vertical kernels of internal/counting: a
+// tidset is a dense word array (one bit per transaction) or a sorted
+// []int32 list depending on density, a support is a word-wide popcount of
+// an AND when only the cardinality is needed, and — per Zaki's dEclat —
+// an equivalence class can switch from tidsets to diffsets, after which a
+// child's delta is the difference of two sibling deltas:
+//
+//	d(P ∪ {e,f}) = d(P∪{f}) \ d(P∪{e}),   sup(P∪{e,f}) = sup(P∪{e}) − |d|
+//
+// so deep classes on dense data intersect small deltas instead of long,
+// slowly-shrinking tidsets. Intersection buffers are pooled (sync.Pool) and
+// reused across sibling subtrees, so the hot loop allocates nothing in
+// steady state.
+//
 // Two miners are provided. Eclat enumerates the complete frequent set
 // depth-first over prefix equivalence classes. MineMaximal adds the two
 // classic maximal-mining prunes on top — subset-of-known-maximal pruning
@@ -18,35 +32,14 @@
 package vertical
 
 import (
-	"sort"
+	"sync"
 	"time"
 
+	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
 )
-
-// tidset is a sorted list of transaction indices.
-type tidset []int32
-
-// intersect returns the intersection of two sorted tidsets.
-func (a tidset) intersect(b tidset) tidset {
-	out := make(tidset, 0, min(len(a), len(b)))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
-}
 
 // Options configures the vertical miners.
 type Options struct {
@@ -56,48 +49,124 @@ type Options struct {
 	// MaxDepth bounds the recursion (0 = unlimited); a safety valve for
 	// degenerate data, not needed on the benchmarks.
 	MaxDepth int
+	// Rep selects the tidset representation and diffset policy:
+	// RepAuto picks density-appropriate representations and switches a
+	// class to diffsets when a child's support stays above half its
+	// parent's (the regime where the delta is the smaller object);
+	// RepBitset / RepList force one representation and never use diffsets;
+	// RepDiffset switches every class to diffsets at the first
+	// opportunity. All policies produce identical results.
+	Rep counting.RepMode
 }
 
 // DefaultOptions returns the standard configuration.
 func DefaultOptions() Options { return Options{KeepFrequent: true} }
 
-// verticalDB is the item → tidset index plus bookkeeping shared by both
-// miners.
+// vext is one extension of the current prefix P: the item, the set for
+// P ∪ {item} — its tidset, or its diffset against t(P) when the class has
+// switched (the class-wide diff flag) — and the support of P ∪ {item}.
+type vext struct {
+	item itemset.Item
+	set  *counting.TidSet
+	supp int64
+}
+
+// verticalDB is the item → tidset index plus the kernel space and buffer
+// pool shared by both miners.
 type verticalDB struct {
 	minCount int64
 	opt      Options
-	// frequent items in increasing order with their tidsets
+	space    *counting.TidSpace
+	// frequent items in increasing order with their tidsets and supports
 	items []itemset.Item
-	tids  map[itemset.Item]tidset
-	// intersections counts tidset intersections performed — the vertical
-	// analogue of "candidates counted".
-	intersections int64
+	sets  []counting.TidSet
+	pool  sync.Pool // *counting.TidSet intersection buffers
 }
 
 // buildVertical inverts the dataset and keeps only frequent items.
 func buildVertical(d *dataset.Dataset, minCount int64, opt Options) *verticalDB {
-	v := &verticalDB{minCount: minCount, opt: opt, tids: make(map[itemset.Item]tidset)}
-	all := make(map[itemset.Item]tidset)
+	v := &verticalDB{
+		minCount: minCount,
+		opt:      opt,
+		space:    counting.NewTidSpace(d.Len(), opt.Rep),
+	}
+	n := d.NumItems()
+	counts := d.ItemCounts()
+	lists := make([][]int32, n)
+	for i, c := range counts {
+		if c >= minCount {
+			lists[i] = make([]int32, 0, c)
+		}
+	}
 	for ti, tx := range d.Transactions() {
 		for _, it := range tx {
-			all[it] = append(all[it], int32(ti))
+			if lists[it] != nil {
+				lists[it] = append(lists[it], int32(ti))
+			}
 		}
 	}
-	for it, ts := range all {
-		if int64(len(ts)) >= minCount {
-			v.items = append(v.items, it)
-			v.tids[it] = ts
+	for i := 0; i < n; i++ {
+		if lists[i] != nil {
+			v.items = append(v.items, itemset.Item(i))
+			v.sets = append(v.sets, v.space.FromList(lists[i]))
 		}
 	}
-	sort.Slice(v.items, func(i, j int) bool { return v.items[i] < v.items[j] })
 	return v
 }
 
-// extension is one candidate item extending the current prefix, with the
-// tidset of prefix ∪ {item}.
-type extension struct {
-	item itemset.Item
-	tids tidset
+// rootExts builds the top-level equivalence class: every frequent item,
+// pointing at the base index sets (which are never pooled).
+func (v *verticalDB) rootExts() []vext {
+	exts := make([]vext, len(v.items))
+	for i := range v.items {
+		exts[i] = vext{item: v.items[i], set: &v.sets[i], supp: int64(v.sets[i].Card())}
+	}
+	return exts
+}
+
+// getSet draws an intersection buffer from the pool.
+func (v *verticalDB) getSet() *counting.TidSet {
+	if s, ok := v.pool.Get().(*counting.TidSet); ok {
+		return s
+	}
+	return &counting.TidSet{}
+}
+
+// putSet returns a buffer (its storage intact) to the pool.
+func (v *verticalDB) putSet(s *counting.TidSet) { v.pool.Put(s) }
+
+// switchToDiff decides whether the child class of a prefix with support
+// childSupp (inside a class of prefix support classSupp) should hold
+// diffsets: forced by RepDiffset, chosen under RepAuto when supports are
+// shrinking slowly (the delta is then smaller than the intersection), never
+// for the pure-representation modes.
+func (v *verticalDB) switchToDiff(childSupp, classSupp int64) bool {
+	switch v.opt.Rep {
+	case counting.RepDiffset:
+		return true
+	case counting.RepAuto:
+		return childSupp*2 >= classSupp
+	default:
+		return false
+	}
+}
+
+// extend computes the extension f of the child class under prefix P∪{e}
+// into dst and returns its support. Kinds: the parent class holds tidsets
+// (diff=false) or diffsets (diff=true) and the child class is requested as
+// childDiff; the three legal transitions are ts→ts, ts→ds, and ds→ds.
+func (v *verticalDB) extend(dst *counting.TidSet, e, f *vext, diff, childDiff bool) int64 {
+	switch {
+	case !diff && !childDiff: // tidset ∩ tidset
+		v.space.And(dst, e.set, f.set)
+		return int64(dst.Card())
+	case !diff: // tidset → diffset: d(Pef) = t(Pe) \ t(Pf)
+		v.space.Diff(dst, e.set, f.set)
+		return e.supp - int64(dst.Card())
+	default: // diffset → diffset: d(Pef) = d(Pf) \ d(Pe)
+		v.space.Diff(dst, f.set, e.set)
+		return e.supp - int64(dst.Card())
+	}
 }
 
 // Eclat mines the complete frequent set depth-first. Stats.Passes is 1:
@@ -123,14 +192,13 @@ func Eclat(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Result {
 			res.Frequent.AddWithCount(x, c)
 		}
 	}
-	var exts []extension
-	for _, it := range v.items {
-		note(itemset.Itemset{it}, int64(len(v.tids[it])))
-		exts = append(exts, extension{item: it, tids: v.tids[it]})
+	exts := v.rootExts()
+	for i := range exts {
+		note(itemset.Itemset{exts[i].item}, exts[i].supp)
 	}
-	v.eclat(nil, exts, 1, note)
+	v.eclat(nil, int64(d.Len()), exts, false, 1, note)
 	res.Stats.AddPass(mfi.PassStats{
-		Candidates: int(v.intersections), Frequent: len(all),
+		Candidates: int(v.space.Stats.Total), Frequent: len(all),
 	})
 	res.MFS = itemset.MaximalOnly(all)
 	res.MFSSupports = make([]int64, len(res.MFS))
@@ -144,24 +212,33 @@ func Eclat(d *dataset.Dataset, minSupport float64, opt Options) *mfi.Result {
 }
 
 // eclat recurses over the prefix equivalence class: each extension becomes
-// a new prefix, joined with every later extension.
-func (v *verticalDB) eclat(prefix itemset.Itemset, exts []extension, depth int, note func(itemset.Itemset, int64)) {
+// a new prefix, joined with every later extension. prefixSupp is sup(prefix)
+// and diff says whether the extensions hold diffsets against it.
+func (v *verticalDB) eclat(prefix itemset.Itemset, prefixSupp int64, exts []vext, diff bool, depth int, note func(itemset.Itemset, int64)) {
 	if v.opt.MaxDepth > 0 && depth >= v.opt.MaxDepth {
 		return
 	}
-	for i, e := range exts {
+	for i := range exts {
+		e := &exts[i]
 		newPrefix := prefix.With(e.item)
-		var next []extension
-		for _, f := range exts[i+1:] {
-			v.intersections++
-			shared := e.tids.intersect(f.tids)
-			if int64(len(shared)) >= v.minCount {
-				next = append(next, extension{item: f.item, tids: shared})
-				note(newPrefix.With(f.item), int64(len(shared)))
+		childDiff := diff || v.switchToDiff(e.supp, prefixSupp)
+		var next []vext
+		for j := i + 1; j < len(exts); j++ {
+			f := &exts[j]
+			s := v.getSet()
+			supp := v.extend(s, e, f, diff, childDiff)
+			if supp >= v.minCount {
+				next = append(next, vext{item: f.item, set: s, supp: supp})
+				note(newPrefix.With(f.item), supp)
+			} else {
+				v.putSet(s)
 			}
 		}
 		if len(next) > 0 {
-			v.eclat(newPrefix, next, depth+1, note)
+			v.eclat(newPrefix, e.supp, next, childDiff, depth+1, note)
+			for k := range next {
+				v.putSet(next[k].set)
+			}
 		}
 	}
 }
@@ -169,7 +246,7 @@ func (v *verticalDB) eclat(prefix itemset.Itemset, exts []extension, depth int, 
 // Result extends the shared result with vertical-mining diagnostics.
 type Result struct {
 	mfi.Result
-	// Intersections counts tidset intersections (the work unit).
+	// Intersections counts tidset kernel operations (the work unit).
 	Intersections int64
 }
 
@@ -187,21 +264,18 @@ func MineMaximal(d *dataset.Dataset, minSupport float64, opt Options) *Result {
 
 	v := buildVertical(d, minCount, opt)
 	m := &maxMiner{v: v, numItems: d.NumItems(), counts: make(map[string]int64)}
-	var exts []extension
-	for _, it := range v.items {
-		exts = append(exts, extension{item: it, tids: v.tids[it]})
-	}
+	exts := v.rootExts()
 	if len(exts) > 0 {
-		m.mine(nil, exts, 1)
+		m.mine(nil, int64(d.Len()), exts, false, 1)
 	}
 	res.MFS = itemset.MaximalOnly(m.maximal)
 	res.MFSSupports = make([]int64, len(res.MFS))
 	for i, x := range res.MFS {
 		res.MFSSupports[i] = m.counts[x.Key()]
 	}
-	res.Intersections = v.intersections
+	res.Intersections = v.space.Stats.Total
 	res.Stats.AddPass(mfi.PassStats{
-		Candidates: int(v.intersections), Frequent: len(res.MFS), MFSFound: len(res.MFS),
+		Candidates: int(v.space.Stats.Total), Frequent: len(res.MFS), MFSFound: len(res.MFS),
 	})
 	return res
 }
@@ -230,42 +304,75 @@ func (m *maxMiner) record(x itemset.Itemset, count int64) {
 	m.counts[x.Key()] = count
 }
 
-// mine explores the subtree of prefix with the given live extensions.
-// Invariant: prefix is frequent (or empty), every extension's tidset is the
-// tidset of prefix ∪ {item}, and extensions are frequent.
-func (m *maxMiner) mine(prefix itemset.Itemset, exts []extension, depth int) {
-	if m.v.opt.MaxDepth > 0 && depth > m.v.opt.MaxDepth {
-		return
+// allSupport returns sup(prefix ∪ every extension) with one kernel
+// operation per extension and an early exit once infrequency is certain.
+// In tidset mode it folds intersections; in diffset mode it accumulates the
+// union of the deltas, using t(P∪{e_1..e_k}) = t(P) \ (d_1 ∪ … ∪ d_k) —
+// the running supports are identical in both modes at every step, so the
+// early-exit point (and the operation count) does not depend on the
+// representation.
+func (m *maxMiner) allSupport(prefixSupp int64, exts []vext, diff bool) int64 {
+	supp := exts[0].supp
+	if len(exts) == 1 || supp < m.v.minCount {
+		return supp
 	}
-	// head ∪ tail look-ahead: intersect everything; if frequent, the whole
-	// union is (locally) maximal and the subtree collapses.
-	all := exts[0].tids
-	for _, e := range exts[1:] {
-		m.v.intersections++
-		all = all.intersect(e.tids)
-		if int64(len(all)) < m.v.minCount {
+	acc, acc2 := m.v.getSet(), m.v.getSet()
+	defer m.v.putSet(acc)
+	defer m.v.putSet(acc2)
+	src := exts[0].set
+	for k := 1; k < len(exts); k++ {
+		dst := acc
+		if src == acc {
+			dst = acc2
+		}
+		if diff {
+			m.v.space.Or(dst, src, exts[k].set)
+			supp = prefixSupp - int64(dst.Card())
+		} else {
+			m.v.space.And(dst, src, exts[k].set)
+			supp = int64(dst.Card())
+		}
+		src = dst
+		if supp < m.v.minCount {
 			break
 		}
 	}
-	if int64(len(all)) >= m.v.minCount {
+	return supp
+}
+
+// mine explores the subtree of prefix with the given live extensions.
+// Invariant: prefix is frequent (or empty), every extension is frequent and
+// carries the set (tidset, or diffset when diff) of prefix ∪ {item}.
+func (m *maxMiner) mine(prefix itemset.Itemset, prefixSupp int64, exts []vext, diff bool, depth int) {
+	if m.v.opt.MaxDepth > 0 && depth > m.v.opt.MaxDepth {
+		return
+	}
+	// head ∪ tail look-ahead: if prefix ∪ all extensions is frequent, the
+	// whole union is (locally) maximal and the subtree collapses.
+	if supp := m.allSupport(prefixSupp, exts, diff); supp >= m.v.minCount {
 		union := prefix.Clone()
-		for _, e := range exts {
-			union = union.With(e.item)
+		for i := range exts {
+			union = union.With(exts[i].item)
 		}
 		ub := itemset.BitsetOf(m.numItems, union)
 		if !m.knownSubset(ub) {
-			m.record(union, int64(len(all)))
+			m.record(union, supp)
 		}
 		return
 	}
-	for i, e := range exts {
+	for i := range exts {
+		e := &exts[i]
 		newPrefix := prefix.With(e.item)
-		var next []extension
-		for _, f := range exts[i+1:] {
-			m.v.intersections++
-			shared := e.tids.intersect(f.tids)
-			if int64(len(shared)) >= m.v.minCount {
-				next = append(next, extension{item: f.item, tids: shared})
+		childDiff := diff || m.v.switchToDiff(e.supp, prefixSupp)
+		var next []vext
+		for j := i + 1; j < len(exts); j++ {
+			f := &exts[j]
+			s := m.v.getSet()
+			supp := m.v.extend(s, e, f, diff, childDiff)
+			if supp >= m.v.minCount {
+				next = append(next, vext{item: f.item, set: s, supp: supp})
+			} else {
+				m.v.putSet(s)
 			}
 		}
 		if len(next) == 0 {
@@ -273,19 +380,25 @@ func (m *maxMiner) mine(prefix itemset.Itemset, exts []extension, depth int) {
 			// an earlier maximal set covers it.
 			nb := itemset.BitsetOf(m.numItems, newPrefix)
 			if !m.knownSubset(nb) {
-				m.record(newPrefix, int64(len(e.tids)))
+				m.record(newPrefix, e.supp)
 			}
 			continue
 		}
 		// prune: if newPrefix ∪ all remaining items is inside a known
 		// maximal set, nothing new can come from this subtree.
 		probe := newPrefix.Clone()
-		for _, f := range next {
-			probe = probe.With(f.item)
+		for k := range next {
+			probe = probe.With(next[k].item)
 		}
 		if m.knownSubset(itemset.BitsetOf(m.numItems, probe)) {
+			for k := range next {
+				m.v.putSet(next[k].set)
+			}
 			continue
 		}
-		m.mine(newPrefix, next, depth+1)
+		m.mine(newPrefix, e.supp, next, childDiff, depth+1)
+		for k := range next {
+			m.v.putSet(next[k].set)
+		}
 	}
 }

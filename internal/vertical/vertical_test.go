@@ -7,6 +7,7 @@ import (
 
 	"pincer/internal/apriori"
 	"pincer/internal/core"
+	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
@@ -182,4 +183,44 @@ func must[R any](res R, err error) R {
 		panic(err)
 	}
 	return res
+}
+
+// TestVerticalRepModesAgree checks that every representation / diffset
+// policy produces the same MFS, supports, and frequent set: the choice of
+// tidset encoding is a pure performance knob.
+func TestVerticalRepModesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	modes := []counting.RepMode{
+		counting.RepAuto, counting.RepBitset, counting.RepList, counting.RepDiffset,
+	}
+	for trial := 0; trial < 25; trial++ {
+		d := randomDB(r)
+		minSup := 0.05 + r.Float64()*0.4
+		base := Eclat(d, minSup, DefaultOptions())
+		baseMax := MineMaximal(d, minSup, DefaultOptions())
+		for _, mode := range modes[1:] {
+			opt := DefaultOptions()
+			opt.Rep = mode
+			got := Eclat(d, minSup, opt)
+			if err := mfi.VerifyAgainst(got.MFS, base.MFS); err != nil {
+				t.Fatalf("Eclat rep=%v: %v", mode, err)
+			}
+			if got.Frequent.Len() != base.Frequent.Len() {
+				t.Fatalf("Eclat rep=%v: %d frequent, want %d", mode, got.Frequent.Len(), base.Frequent.Len())
+			}
+			gotMax := MineMaximal(d, minSup, opt)
+			if err := mfi.VerifyAgainst(gotMax.MFS, baseMax.MFS); err != nil {
+				t.Fatalf("MineMaximal rep=%v: %v", mode, err)
+			}
+			for i := range gotMax.MFS {
+				if gotMax.MFSSupports[i] != baseMax.MFSSupports[i] {
+					t.Fatalf("MineMaximal rep=%v: support of %v = %d, want %d",
+						mode, gotMax.MFS[i], gotMax.MFSSupports[i], baseMax.MFSSupports[i])
+				}
+			}
+			if gotMax.Intersections == 0 && len(gotMax.MFS) > 0 {
+				t.Fatalf("MineMaximal rep=%v: no intersections recorded", mode)
+			}
+		}
+	}
 }

@@ -94,6 +94,40 @@ const (
 	EngineTrie     = counting.EngineTrie
 )
 
+// TidListCounter counts candidate supports by intersecting per-item tid
+// structures instead of rescanning the database. Install one on
+// PincerOptions.Counter (or ParallelOptions via the core options) to switch
+// the pincer miner to vertical counting; results are identical to scanning.
+type TidListCounter = counting.TidListCounter
+
+// TidListOptions configures a TidListCounter (workers, representation).
+type TidListOptions = counting.TidListOptions
+
+// RepMode selects the tid-structure representation used by vertical
+// counting: automatic density switching, or forced bitset/list/diffset.
+type RepMode = counting.RepMode
+
+// Tid-structure representation modes.
+const (
+	RepAuto    = counting.RepAuto
+	RepBitset  = counting.RepBitset
+	RepList    = counting.RepList
+	RepDiffset = counting.RepDiffset
+)
+
+// NewTidListCounter builds a vertical pass counter over d. The dataset must
+// be the same one handed to the miner.
+func NewTidListCounter(d *Dataset, opt TidListOptions) *TidListCounter {
+	return counting.NewTidListCounter(d, opt)
+}
+
+// ParseCounterSpec parses a -counter style spec: "" or "scan" selects
+// database scanning; "tidlist" or "tidlist:bitset|list|diffset" selects
+// vertical counting with an optional forced representation.
+func ParseCounterSpec(s string) (tidlist bool, rep RepMode, err error) {
+	return counting.ParseCounterSpec(s)
+}
+
 // NewDataset builds a dataset from transactions (each normalized).
 func NewDataset(transactions ...Itemset) *Dataset {
 	d := dataset.Empty(0)
