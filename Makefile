@@ -7,9 +7,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race faults conformance fuzz cover load serve bench bench-smoke bench-parallel bench-vertical profile
+.PHONY: ci vet build test race faults conformance fuzz cover load serve bench bench-smoke bench-parallel bench-vertical bench-engines profile
 
-ci: vet build test race faults conformance fuzz cover load bench-smoke
+ci: vet build test race faults conformance fuzz cover load bench-smoke bench-engines
 
 vet:
 	$(GO) vet ./...
@@ -20,8 +20,12 @@ build:
 test:
 	$(GO) test -shuffle=on ./...
 
+# The counting package is filtered to the engine-invariance property test:
+# its steady-state allocation tests assert tight per-candidate bounds that
+# race-detector instrumentation pushes over the line.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obsv/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/obsv/... ./internal/fpmax/...
+	$(GO) test -race -run TestEngineChoiceResultInvariant ./internal/counting/
 
 # Kill/cancel every miner at every pass boundary and mid-scan point and
 # assert that resuming from the checkpoint matches an uninterrupted run.
@@ -54,7 +58,7 @@ cover:
 load:
 	$(GO) test -race ./internal/loadgen/... ./internal/server/...
 	$(GO) run -race ./cmd/pincerload -local -duration 2s -concurrency 8 \
-		-datasets 2 -minsup 0.3,0.5 -miners pincer,apriori,parallel \
+		-datasets 2 -minsup 0.3,0.5 -miners pincer,apriori,parallel,fpmax,auto,pincer/auto \
 		-chaos-interval 800ms -chaos-restarts 1 -verify -seed 1 -out /tmp/pincerload-ci.json
 
 # Run the mining service daemon locally.
@@ -78,6 +82,14 @@ bench-parallel:
 bench-vertical:
 	$(GO) run ./cmd/benchrun -vertical -spec F4-T20I10 -d 10000 \
 		-repeats 3 -json BENCH_vertical.json
+
+# Regenerate BENCH_engines.json: every fixed engine vs the adaptive
+# engine=auto policy across the rising-density ladder (the same corpus the
+# engine-invariance property test pins). Fails if auto is ever the worst
+# plan on a cell or loses to the best single fixed choice summed over the
+# sweep — the policy's calibration contract.
+bench-engines:
+	$(GO) run ./cmd/benchrun -engines -repeats 3 -json BENCH_engines.json
 
 # CPU-profile a representative mine (T10.I4.D10K) and print the ten
 # hottest functions.

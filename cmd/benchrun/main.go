@@ -69,6 +69,8 @@ func run(args []string) error {
 	engineName := fs.String("engine", "hashtree", "counting engine: hashtree, list, or trie")
 	counterName := fs.String("counter", "scan", "pincer support counting for the figure cells: scan or tidlist[:bitset|list|diffset]; also sets the representation of -vertical")
 	vertical := fs.Bool("vertical", false, "run the scan-vs-tidlist counting sweep for one spec instead of the figures (honors -spec, -repeats, -json)")
+	engines := fs.Bool("engines", false, "run the adaptive engine-selection sweep on the rising-density ladder instead of the figures (honors -d, -repeats, -json)")
+	engineDatasets := fs.Int("engine-datasets", 6, "engine sweep: datasets on the rising-density ladder")
 	verticalWorkers := fs.Int("vertical-workers", 1, "vertical sweep: tid-list counting workers")
 	pure := fs.Bool("pure", false, "use pure (non-adaptive) Pincer-Search")
 	csvPath := fs.String("csv", "", "also write results as CSV to this file")
@@ -146,6 +148,50 @@ func run(args []string) error {
 			w = f
 		}
 		tracer = obsv.Multi(tracer, obsv.NewJSONTracer(w))
+	}
+
+	if *engines {
+		opt := bench.DefaultOptions()
+		opt.Context = ctx
+		if !*quiet {
+			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		// The figures' |D| default is oversized for a 6-plan × 12-cell
+		// sweep; default to 1000 transactions unless -d was given.
+		engineTx := 1000
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "d" {
+				engineTx = *numTx
+			}
+		})
+		params := bench.EngineSweepDatasets(engineTx, *engineDatasets)
+		rep := bench.RunEngineSweep(params, []float64{0.05, 0.15}, *repeats, opt)
+		if err := bench.WriteEngineTable(os.Stdout, rep); err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteEngineJSON(f, rep); err != nil {
+				return err
+			}
+		}
+		if rep.Err != "" {
+			fmt.Fprintf(os.Stderr, "benchrun: sweep stopped early: %s\n", rep.Err)
+			return nil
+		}
+		for _, c := range rep.Cells {
+			if !c.Agree {
+				return fmt.Errorf("correctness check failed: plans disagree on %s at minsup %g", c.Dataset, c.Support)
+			}
+		}
+		if !rep.AutoNeverWorst {
+			return fmt.Errorf("policy check failed: auto was the worst plan on at least one cell")
+		}
+		return nil
 	}
 
 	if *vertical {

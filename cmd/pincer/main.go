@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	pincer -input db.basket -support 0.05 [-algorithm pincer|apriori|topdown]
+//	pincer -input db.basket -support 0.05 [-algorithm pincer|apriori|topdown|fpmax|auto]
 //	       [-engine hashtree|list|trie] [-counter scan|tidlist] [-workers n] [-pure] [-stats]
 //	       [-frequent] [-json]
 //
 // The default algorithm is the adaptive Pincer-Search of Lin & Kedem
-// (EDBT 1998). Output is one maximal frequent itemset per line with its
+// (EDBT 1998); -algorithm auto profiles the database and picks the plan
+// (pincer, vertical, or fpmax — see DESIGN.md §12), printing the choice
+// and its rationale to stderr. Output is one maximal frequent itemset per
+// line with its
 // support count, or a JSON document with -json. -workers selects the
 // count-distribution parallel miners (pincer and apriori only): counting is
 // distributed over that many goroutines (0 = GOMAXPROCS) with results
@@ -40,6 +43,7 @@ import (
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
+	"pincer/internal/fpmax"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
 	"pincer/internal/obsv"
@@ -59,7 +63,7 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("pincer", flag.ContinueOnError)
 	input := fs.String("input", "", "basket or binary database file (required)")
 	support := fs.Float64("support", 0.05, "minimum support as a fraction, e.g. 0.05 for 5%")
-	algorithm := fs.String("algorithm", "pincer", "mining algorithm: pincer, apriori, ais, eclat, maxeclat, or topdown")
+	algorithm := fs.String("algorithm", "pincer", "mining algorithm: pincer, apriori, ais, eclat, maxeclat, topdown, fpmax, or auto (profile the database and pick the plan)")
 	engineName := fs.String("engine", "hashtree", "counting engine: hashtree, list, or trie")
 	counterName := fs.String("counter", "scan", "pincer support counting: scan (database passes) or tidlist (vertical tid-list intersection; tidlist:bitset|list|diffset forces the representation)")
 	workers := fs.Int("workers", -1, "count-distribution parallel mining with this many workers (0 = GOMAXPROCS; pincer and apriori only; omit for sequential)")
@@ -177,6 +181,27 @@ func run(args []string, out *os.File) error {
 	}
 	sc := dataset.NewScanner(d)
 
+	// -algorithm auto: profile the (compacted) database and let the policy
+	// pick the plan. Every plan it can choose produces the identical MFS;
+	// the choice only moves wall-clock time.
+	algo := *algorithm
+	if algo == "auto" {
+		sel := counting.SelectEngine(d.Profile())
+		algo = sel.Algorithm
+		if algo == "vertical" {
+			algo = "maxeclat"
+		}
+		if sel.Counter == "tidlist" && !tidlist {
+			tidlist = true
+			counterRep = counting.RepAuto
+		}
+		plan := algo
+		if sel.Counter != "" {
+			plan += "/" + sel.Counter
+		}
+		fmt.Fprintf(os.Stderr, "pincer: auto plan: %s — %s\n", plan, sel.Rationale)
+	}
+
 	if *workers >= 0 && *algorithm != "pincer" && *algorithm != "apriori" {
 		return fmt.Errorf("-workers requires -algorithm pincer or apriori, got %q", *algorithm)
 	}
@@ -202,7 +227,7 @@ func run(args []string, out *os.File) error {
 	minCount := dataset.MinCountFor(d.Len(), *support)
 
 	var res *mfi.Result
-	switch *algorithm {
+	switch algo {
 	case "pincer":
 		opt := core.DefaultOptions()
 		opt.Engine = engine
@@ -275,6 +300,9 @@ func run(args []string, out *os.File) error {
 	case "maxeclat":
 		vres := vertical.MineMaximal(d, *support, vertical.DefaultOptions())
 		res = &vres.Result
+	case "fpmax":
+		fres := fpmax.MineMaximal(d, *support, fpmax.DefaultOptions())
+		res = &fres.Result
 	case "topdown":
 		topt := topdown.DefaultOptions()
 		topt.Tracer = tracer
@@ -341,7 +369,7 @@ func run(args []string, out *os.File) error {
 		}{
 			Database: *input, Transactions: d.Len(),
 			MinSupport: *support, MinCount: res.MinCount,
-			Algorithm: *algorithm, Passes: res.Stats.Passes, Candidates: res.Stats.Candidates,
+			Algorithm: algo, Passes: res.Stats.Passes, Candidates: res.Stats.Candidates,
 		}
 		if partial != nil {
 			doc.Partial = partial.Reason

@@ -60,7 +60,8 @@ func run(args []string) error {
 	rate := fs.Float64("rate", 0, "open-loop arrival rate in requests/second (0 = closed loop)")
 	datasets := fs.Int("datasets", 3, "number of Quest datasets in the mix")
 	minsupFlag := fs.String("minsup", "0.2,0.4,0.6", "comma-separated minimum-support grid")
-	minersFlag := fs.String("miners", "pincer,apriori,topdown,vertical,parallel", "comma-separated miner engines")
+	minersFlag := fs.String("miners", "pincer,apriori,topdown,vertical,parallel,fpmax,auto,pincer/auto",
+		"comma-separated miner engines; \"auto\" delegates the plan, \"miner/auto\" delegates the counting engine")
 	resubmit := fs.Float64("resubmit", 0.3, "probability a request replays a submitted cell (cache exercise)")
 	cancel := fs.Float64("cancel", 0.05, "probability an accepted job is DELETEd")
 	seed := fs.Int64("seed", 1, "mix seed (equal seeds replay the same request sequence)")

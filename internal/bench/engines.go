@@ -1,0 +1,356 @@
+package bench
+
+// The engine sweep measures the dataset-adaptive selection policy against
+// every fixed plan on a rising-density dataset ladder — the axis the policy
+// keys on. Each cell verifies that every plan mines the identical MFS
+// (selection may only ever change latency, never the answer), and the
+// report's summary records the two claims the policy is held to: auto is
+// never the worst plan on any cell, and auto's summed wall clock beats the
+// best single fixed choice. The auto measurement honestly includes the
+// profile computation and the selection itself.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"pincer/internal/apriori"
+	"pincer/internal/core"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/fpmax"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+	"pincer/internal/vertical"
+)
+
+// EngineSweepDatasets returns the rising-density ladder: pattern pools
+// shrink and transactions lengthen as the index grows, sweeping
+// sparse-scattered (many short patterns over a wide universe) to
+// dense-concentrated (a handful of long patterns over a narrow one). It
+// mirrors the engine-invariance property test's corpus so the committed
+// BENCH_engines.json calibrates exactly the workloads the test pins.
+func EngineSweepDatasets(numTx, n int) []quest.Params {
+	if numTx <= 0 {
+		numTx = 2000
+	}
+	out := make([]quest.Params, n)
+	for i := range out {
+		items := 600 - 104*i
+		if items < 80 {
+			items = 80
+		}
+		patterns := 90 - 16*i
+		if patterns < 6 {
+			patterns = 6
+		}
+		out[i] = quest.Params{
+			NumTransactions: numTx,
+			AvgTxLen:        float64(5 + 2*i),
+			AvgPatternLen:   float64(2 + i/2),
+			NumPatterns:     patterns,
+			NumItems:        items,
+			Seed:            int64(100 + i),
+		}
+	}
+	return out
+}
+
+// EnginePlanSpec names one fixed plan of the sweep.
+type EnginePlanSpec struct {
+	Name string
+	Sel  counting.Selection
+}
+
+// EnginePlans returns the fixed-plan roster the adaptive policy competes
+// against: every sequential miner the policy can select, plus the scan
+// baseline it must beat on dense data.
+func EnginePlans() []EnginePlanSpec {
+	return []EnginePlanSpec{
+		{"apriori", counting.Selection{Algorithm: "apriori", Engine: counting.EngineHashTree}},
+		{"pincer-scan", counting.Selection{Algorithm: "pincer", Engine: counting.EngineHashTree}},
+		{"pincer-tidlist", counting.Selection{Algorithm: "pincer", Counter: "tidlist", Engine: counting.EngineHashTree}},
+		{"vertical", counting.Selection{Algorithm: "vertical"}},
+		{"fpmax", counting.Selection{Algorithm: "fpmax"}},
+	}
+}
+
+// RunEnginePlan executes one Selection on a dataset — the same dispatch the
+// server performs for a resolved plan.
+func RunEnginePlan(d *dataset.Dataset, minsup float64, sel counting.Selection) (*mfi.Result, error) {
+	minCount := d.MinCount(minsup)
+	switch sel.Algorithm {
+	case "pincer":
+		opt := core.DefaultOptions()
+		opt.Engine = sel.Engine
+		opt.KeepFrequent = false
+		if sel.Counter == "tidlist" {
+			opt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{})
+		}
+		return core.MineCount(dataset.NewScanner(d), minCount, opt)
+	case "apriori":
+		opt := apriori.DefaultOptions()
+		opt.Engine = sel.Engine
+		opt.KeepFrequent = false
+		return apriori.MineCount(dataset.NewScanner(d), minCount, opt)
+	case "vertical":
+		opt := vertical.DefaultOptions()
+		opt.KeepFrequent = false
+		res := vertical.MineMaximal(d, minsup, opt)
+		return &res.Result, nil
+	case "fpmax":
+		return &fpmax.MineMaximalCount(d, minCount, fpmax.DefaultOptions()).Result, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", sel.Algorithm)
+}
+
+// EngineMeasure is one plan's timing on one cell (minimum over repeats).
+type EngineMeasure struct {
+	Plan    string  `json:"plan"`
+	Seconds float64 `json:"seconds"`
+	MFSSize int     `json:"mfs_size"`
+	Err     string  `json:"error,omitempty"`
+}
+
+// EngineCell is one (dataset, support) cell: every fixed plan plus the
+// adaptive selection, with the policy's decision and the cell's winner.
+type EngineCell struct {
+	Dataset      string  `json:"dataset"`
+	Transactions int     `json:"transactions"`
+	Density      float64 `json:"density"`
+	Skew         float64 `json:"skew"`
+	Support      float64 `json:"min_support"`
+
+	Fixed []EngineMeasure `json:"fixed"`
+	// Auto is the delegated run; its Seconds include computing the profile
+	// and evaluating the policy, not just the mining.
+	Auto          EngineMeasure `json:"auto"`
+	AutoPlan      string        `json:"auto_plan"`
+	AutoRationale string        `json:"auto_rationale,omitempty"`
+
+	// Winner is the fastest fixed plan; AutoNotWorst reports that auto beat
+	// (or tied, within 10% + 2ms timing slack) the slowest fixed plan.
+	Winner       string `json:"winner"`
+	AutoNotWorst bool   `json:"auto_not_worst"`
+	// Agree reports that every plan and auto mined the identical MFS.
+	Agree bool `json:"agree"`
+}
+
+// EngineReport is the whole sweep with its machine context and the two
+// summary verdicts the policy is held to.
+type EngineReport struct {
+	// CPUs and GoMaxProcs record the hardware context of every report in
+	// the multi-core protocol, whether or not the measurement depends on it.
+	CPUs         int          `json:"cpus"`
+	GoMaxProcs   int          `json:"gomaxprocs"`
+	Repeats      int          `json:"repeats"`
+	Transactions int          `json:"transactions"`
+	Supports     []float64    `json:"supports"`
+	Cells        []EngineCell `json:"cells"`
+	// SumSeconds totals each plan's wall clock across all cells ("auto"
+	// included); BestFixed is the cheapest fixed plan by that total.
+	SumSeconds map[string]float64 `json:"sum_seconds"`
+	BestFixed  string             `json:"best_fixed"`
+	// AutoNeverWorst: on no cell was auto slower than the worst fixed plan.
+	// AutoBeatsBestFixedSum: auto's total beats the best single fixed
+	// choice's total — the adaptive policy pays for itself.
+	AutoNeverWorst        bool   `json:"auto_never_worst"`
+	AutoBeatsBestFixedSum bool   `json:"auto_beats_best_fixed_sum"`
+	Err                   string `json:"error,omitempty"`
+}
+
+// engineMFSKey renders an MFS canonically for cross-plan equality.
+func engineMFSKey(res *mfi.Result) string {
+	lines := make([]string, len(res.MFS))
+	for i, m := range res.MFS {
+		lines[i] = fmt.Sprintf("%s=%d", m.String(), res.MFSSupports[i])
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ";")
+}
+
+// runEngineCellPlan measures one plan: repeats runs, minimum wall clock.
+func runEngineCellPlan(d *dataset.Dataset, minsup float64, repeats int, name string, sel counting.Selection) (string, EngineMeasure) {
+	m := EngineMeasure{Plan: name}
+	var key string
+	best := time.Duration(-1)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		res, err := RunEnginePlan(d, minsup, sel)
+		took := time.Since(start)
+		if err != nil {
+			m.Err = err.Error()
+			return "", m
+		}
+		if best < 0 || took < best {
+			best = took
+			m.MFSSize = len(res.MFS)
+			key = engineMFSKey(res)
+		}
+	}
+	m.Seconds = best.Seconds()
+	return key, m
+}
+
+// RunEngineSweep measures every fixed plan and the adaptive selection on the
+// rising-density ladder at each support. opt supplies Context (checked
+// between cells) and Progress only.
+func RunEngineSweep(params []quest.Params, supports []float64, repeats int, opt Options) EngineReport {
+	if repeats < 1 {
+		repeats = 1
+	}
+	rep := EngineReport{
+		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		Repeats: repeats, Supports: supports,
+		SumSeconds: map[string]float64{},
+	}
+	plans := EnginePlans()
+	for _, p := range params {
+		if opt.cancelled() {
+			rep.Err = opt.Context.Err().Error()
+			return rep
+		}
+		d := quest.Generate(p)
+		rep.Transactions = d.Len()
+		prof := d.Profile()
+		for _, sup := range supports {
+			if opt.cancelled() {
+				rep.Err = opt.Context.Err().Error()
+				return rep
+			}
+			cell := EngineCell{
+				Dataset: p.Name(), Transactions: d.Len(),
+				Density: prof.Density, Skew: prof.Skew, Support: sup,
+			}
+			keys := map[string]string{}
+			worst, bestFixed := 0.0, -1.0
+			for _, plan := range plans {
+				key, m := runEngineCellPlan(d, sup, repeats, plan.Name, plan.Sel)
+				cell.Fixed = append(cell.Fixed, m)
+				if m.Err != "" {
+					continue
+				}
+				keys[plan.Name] = key
+				rep.SumSeconds[plan.Name] += m.Seconds
+				if m.Seconds > worst {
+					worst = m.Seconds
+				}
+				if bestFixed < 0 || m.Seconds < bestFixed {
+					bestFixed, cell.Winner = m.Seconds, plan.Name
+				}
+			}
+
+			// The delegated run: profile + policy + mine, all on the clock.
+			auto := EngineMeasure{Plan: "auto"}
+			var autoKey string
+			best := time.Duration(-1)
+			for i := 0; i < repeats; i++ {
+				start := time.Now()
+				sel := counting.SelectEngine(d.Profile())
+				res, err := RunEnginePlan(d, sup, sel)
+				took := time.Since(start)
+				if err != nil {
+					auto.Err = err.Error()
+					break
+				}
+				if best < 0 || took < best {
+					best = took
+					auto.MFSSize = len(res.MFS)
+					autoKey = engineMFSKey(res)
+					cell.AutoPlan = sel.Algorithm
+					if sel.Counter != "" {
+						cell.AutoPlan += "+" + sel.Counter
+					}
+					cell.AutoRationale = sel.Rationale
+				}
+			}
+			if auto.Err == "" {
+				auto.Seconds = best.Seconds()
+				rep.SumSeconds["auto"] += auto.Seconds
+				// 10% + 2ms slack absorbs scheduler noise on these short
+				// cells without masking a genuinely wrong selection.
+				cell.AutoNotWorst = auto.Seconds <= worst*1.10+0.002
+			}
+			cell.Auto = auto
+
+			cell.Agree = auto.Err == ""
+			for _, plan := range plans {
+				if k, ok := keys[plan.Name]; !ok || k != autoKey {
+					cell.Agree = false
+				}
+			}
+			if opt.Progress != nil {
+				opt.Progress(fmt.Sprintf("%s sup=%g dens=%.3f skew=%.2f: auto=%s %.3fs (winner %s %.3fs, worst %.3fs), agree=%v",
+					cell.Dataset, sup, cell.Density, cell.Skew, cell.AutoPlan, auto.Seconds, cell.Winner, bestFixed, worst, cell.Agree))
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+
+	rep.AutoNeverWorst = len(rep.Cells) > 0
+	for _, c := range rep.Cells {
+		if !c.AutoNotWorst {
+			rep.AutoNeverWorst = false
+		}
+	}
+	bestSum := -1.0
+	for _, plan := range plans {
+		if s, ok := rep.SumSeconds[plan.Name]; ok && (bestSum < 0 || s < bestSum) {
+			bestSum, rep.BestFixed = s, plan.Name
+		}
+	}
+	if autoSum, ok := rep.SumSeconds["auto"]; ok && bestSum >= 0 {
+		rep.AutoBeatsBestFixedSum = autoSum < bestSum
+	}
+	return rep
+}
+
+// WriteEngineTable renders the sweep as a human-readable table.
+func WriteEngineTable(w io.Writer, rep EngineReport) error {
+	fmt.Fprintf(w, "engine selection sweep — %d CPUs, GOMAXPROCS=%d, %d repeats (min reported), |D|=%d\n",
+		rep.CPUs, rep.GoMaxProcs, rep.Repeats, rep.Transactions)
+	if rep.Err != "" {
+		fmt.Fprintf(w, "sweep stopped: %s\n\n", rep.Err)
+		return nil
+	}
+	plans := EnginePlans()
+	fmt.Fprintf(w, "%-14s %-7s %6s %5s |", "dataset", "minsup", "dens", "skew")
+	for _, p := range plans {
+		fmt.Fprintf(w, " %14s", p.Name)
+	}
+	fmt.Fprintf(w, " | %10s %-22s %5s\n", "auto", "auto plan", "agree")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(w, "%-14s %-7g %6.3f %5.2f |", c.Dataset, c.Support, c.Density, c.Skew)
+		for _, m := range c.Fixed {
+			if m.Err != "" {
+				fmt.Fprintf(w, " %14s", "error")
+				continue
+			}
+			mark := " "
+			if m.Plan == c.Winner {
+				mark = "*"
+			}
+			fmt.Fprintf(w, " %12.3fs%s", m.Seconds, mark)
+		}
+		fmt.Fprintf(w, " | %9.3fs %-22s %5v\n", c.Auto.Seconds, c.AutoPlan, c.Agree)
+	}
+	fmt.Fprintf(w, "\nsum of cells: ")
+	for _, p := range plans {
+		fmt.Fprintf(w, "%s=%.3fs ", p.Name, rep.SumSeconds[p.Name])
+	}
+	fmt.Fprintf(w, "auto=%.3fs\n", rep.SumSeconds["auto"])
+	fmt.Fprintf(w, "best fixed: %s; auto never worst: %v; auto beats best fixed sum: %v\n\n",
+		rep.BestFixed, rep.AutoNeverWorst, rep.AutoBeatsBestFixedSum)
+	return nil
+}
+
+// WriteEngineJSON writes the report as an indented JSON document.
+func WriteEngineJSON(w io.Writer, rep EngineReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,100 @@
+package counting
+
+import (
+	"fmt"
+
+	"pincer/internal/dataset"
+)
+
+// Selection is the execution plan the adaptive policy derives from a
+// dataset profile: which mining algorithm to run, how it should count
+// supports, and which candidate structure level-wise passes should use.
+// The names follow the server's miner/counter vocabulary so a Selection
+// maps directly onto a job spec.
+type Selection struct {
+	// Algorithm is the miner: "pincer", "apriori", "vertical", or "fpmax".
+	// The policy never selects "topdown" (its frontier is combinatorial in
+	// the universe width and can abort on wide data) or "parallel" (worker
+	// fan-out is a deployment decision, not a dataset property).
+	Algorithm string `json:"algorithm"`
+	// Counter is the support-counting strategy for level-wise algorithms:
+	// "" (database scans) or "tidlist" (vertical intersection counting).
+	// Meaningless for "vertical" and "fpmax", which never rescan.
+	Counter string `json:"counter,omitempty"`
+	// Engine is the candidate structure for level-wise passes ≥ 3.
+	Engine Engine `json:"-"`
+	// Rationale is the one-line explanation recorded in the result doc and
+	// trace events: which profile features drove the choice.
+	Rationale string `json:"rationale,omitempty"`
+}
+
+// Profile-feature thresholds of the selection policy. They were calibrated
+// against the rising-density sweep in BENCH_engines.json (make
+// bench-engines); see DESIGN.md §12 for the measured crossover.
+const (
+	// selectDenseFPTree is the density above which the occurrence matrix is
+	// dense enough that a frequency-ordered prefix tree collapses most
+	// transactions onto shared paths: FP-max territory. The committed sweep
+	// puts the fpmax/vertical wall-clock crossover between density 0.21
+	// (vertical 2.6× faster) and 0.47 (fpmax 5× faster).
+	selectDenseFPTree = 0.30
+	// selectDenseVertical is the density above which inverting the dataset
+	// into tidsets pays for itself: maximal Eclat territory.
+	selectDenseVertical = 0.045
+	// selectSkewFPTree is the minimum item-frequency skew for the FP-tree
+	// choice: without skew there is no frequency ordering to exploit and
+	// the tree degenerates toward one node per item occurrence.
+	selectSkewFPTree = 0.20
+	// selectWideUniverse marks a universe wide enough that breadth-first
+	// candidate generation risks a combinatorial pass-2/3 blowup, making
+	// depth-first search the safer default even at low density.
+	selectWideUniverse = 4096
+)
+
+// SelectEngine picks the execution plan for a dataset from its profile.
+// The policy table (first matching row wins):
+//
+//	profile                              plan               why
+//	------------------------------------ ------------------ -------------------------------------------
+//	empty dataset or no occurring items  pincer/scan        degenerate; pass 1 answers immediately
+//	density ≥ 0.30 and skew ≥ 0.20       fpmax              dense + skewed: prefix tree compresses,
+//	                                                        long patterns end level-wise search late
+//	density ≥ 0.045 or universe ≥ 4096   vertical           dense enough to invert (or too wide to
+//	                                                        enumerate breadth-first): tidset
+//	                                                        intersections beat rescans
+//	otherwise (sparse, shallow)          pincer/tidlist     short patterns: the two-way search ends in
+//	                                                        few levels and tid-lists stay short
+//
+// The returned plan is a pure function of the profile — the same dataset
+// always selects the same plan, which keeps cache keys and spool-recovered
+// jobs deterministic. Every plan produces the identical MFS byte for byte
+// (pinned by the engine-invariance property test); only the latency
+// changes, so a policy miss costs speed, never correctness.
+func SelectEngine(p dataset.Profile) Selection {
+	sel := Selection{Algorithm: "pincer", Engine: EngineHashTree}
+	switch {
+	case p.Transactions == 0 || p.DistinctItems == 0:
+		sel.Rationale = "degenerate dataset: pass-1 scan answers immediately"
+	case p.Density >= selectDenseFPTree && p.Skew >= selectSkewFPTree:
+		sel.Algorithm = "fpmax"
+		sel.Rationale = fmt.Sprintf(
+			"dense skewed data (density %.3f ≥ %g, skew %.2f ≥ %g): frequency-ordered prefix tree compresses shared prefixes",
+			p.Density, selectDenseFPTree, p.Skew, selectSkewFPTree)
+	case p.Density >= selectDenseVertical:
+		sel.Algorithm = "vertical"
+		sel.Rationale = fmt.Sprintf(
+			"dense data (density %.3f ≥ %g): tidset intersections beat database rescans",
+			p.Density, selectDenseVertical)
+	case p.Universe >= selectWideUniverse:
+		sel.Algorithm = "vertical"
+		sel.Rationale = fmt.Sprintf(
+			"wide universe (%d ≥ %d items): depth-first search avoids the breadth-first candidate blowup",
+			p.Universe, selectWideUniverse)
+	default:
+		sel.Counter = "tidlist"
+		sel.Rationale = fmt.Sprintf(
+			"sparse shallow data (density %.3f): two-way pincer search ends in few levels, tid-list counted",
+			p.Density)
+	}
+	return sel
+}

@@ -1,0 +1,145 @@
+package counting_test
+
+// Engine-invariance property: the adaptive selection and every fixed engine
+// answer every workload byte-identically — the policy may only ever change
+// latency, never the mined result. The corpus is 12 workloads: six
+// generated datasets of rising density (the axis the policy keys on) at
+// both conformance minimum supports. Runs race-clean under `make race`.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"pincer/internal/apriori"
+	"pincer/internal/core"
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/fpmax"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+	"pincer/internal/vertical"
+)
+
+// risingDensity mirrors bench.EngineSweepDatasets: pattern pools shrink and
+// transactions lengthen as i grows, sweeping sparse-scattered (many short
+// patterns over a wide universe) to dense-concentrated (a handful of long
+// patterns over a narrow one) — the axis the selection policy keys on.
+func risingDensity(n int) []quest.Params {
+	out := make([]quest.Params, n)
+	for i := range out {
+		items := 600 - 104*i
+		if items < 80 {
+			items = 80
+		}
+		patterns := 90 - 16*i
+		if patterns < 6 {
+			patterns = 6
+		}
+		out[i] = quest.Params{
+			NumTransactions: 400,
+			AvgTxLen:        float64(5 + 2*i),
+			AvgPatternLen:   float64(2 + i/2),
+			NumPatterns:     patterns,
+			NumItems:        items,
+			Seed:            int64(100 + i),
+		}
+	}
+	return out
+}
+
+// renderMFS is the conformance corpus's canonical byte form: sorted
+// "items\tsupport" lines.
+func renderMFS(res *mfi.Result) []byte {
+	lines := make([]string, len(res.MFS))
+	for i, s := range res.MFS {
+		var b bytes.Buffer
+		for j, it := range s {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", it)
+		}
+		fmt.Fprintf(&b, "\t%d", res.MFSSupports[i])
+		lines[i] = b.String()
+	}
+	sort.Strings(lines)
+	var out bytes.Buffer
+	for _, l := range lines {
+		out.WriteString(l)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// runPlan executes a Selection — the same dispatch the server performs.
+func runPlan(d *dataset.Dataset, minsup float64, sel counting.Selection) (*mfi.Result, error) {
+	minCount := d.MinCount(minsup)
+	switch sel.Algorithm {
+	case "pincer":
+		opt := core.DefaultOptions()
+		opt.Engine = sel.Engine
+		opt.KeepFrequent = false
+		if sel.Counter == "tidlist" {
+			opt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{})
+		}
+		return core.MineCount(dataset.NewScanner(d), minCount, opt)
+	case "apriori":
+		opt := apriori.DefaultOptions()
+		opt.Engine = sel.Engine
+		return apriori.MineCount(dataset.NewScanner(d), minCount, opt)
+	case "vertical":
+		opt := vertical.DefaultOptions()
+		opt.KeepFrequent = false
+		res := vertical.MineMaximal(d, minsup, opt)
+		return &res.Result, nil
+	case "fpmax":
+		return &fpmax.MineMaximalCount(d, minCount, fpmax.DefaultOptions()).Result, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", sel.Algorithm)
+}
+
+func TestEngineChoiceResultInvariant(t *testing.T) {
+	fixed := []counting.Selection{
+		{Algorithm: "pincer", Engine: counting.EngineHashTree},
+		{Algorithm: "pincer", Counter: "tidlist", Engine: counting.EngineHashTree},
+		{Algorithm: "pincer", Engine: counting.EngineList},
+		{Algorithm: "pincer", Engine: counting.EngineTrie},
+		{Algorithm: "apriori", Engine: counting.EngineHashTree},
+		{Algorithm: "vertical"},
+		{Algorithm: "fpmax"},
+	}
+	selected := map[string]bool{}
+	for di, p := range risingDensity(6) {
+		d := quest.Generate(p)
+		prof := d.Profile()
+		auto := counting.SelectEngine(prof)
+		selected[auto.Algorithm] = true
+		for _, minsup := range []float64{0.05, 0.15} {
+			t.Run(fmt.Sprintf("d%d-sup%g", di, minsup), func(t *testing.T) {
+				ref, err := runPlan(d, minsup, auto)
+				if err != nil {
+					t.Fatalf("auto plan %+v: %v", auto, err)
+				}
+				want := renderMFS(ref)
+				for _, sel := range fixed {
+					res, err := runPlan(d, minsup, sel)
+					if err != nil {
+						t.Fatalf("plan %+v: %v", sel, err)
+					}
+					if got := renderMFS(res); !bytes.Equal(got, want) {
+						t.Errorf("%s/%s/%s differs from auto (%s)\n--- got ---\n%s--- want ---\n%s",
+							sel.Algorithm, sel.Counter, sel.Engine, auto.Algorithm, got, want)
+					}
+				}
+			})
+		}
+	}
+	// The sweep must actually exercise the policy: at least two distinct
+	// plans across the density ladder, otherwise the test pins nothing
+	// about selection.
+	if len(selected) < 2 {
+		t.Errorf("rising-density corpus selected only %v; policy thresholds never fired", selected)
+	}
+}

@@ -1,0 +1,90 @@
+package counting
+
+import (
+	"strings"
+	"testing"
+
+	"pincer/internal/dataset"
+)
+
+// TestSelectEnginePolicy pins the policy table row by row on synthetic
+// profiles sitting clearly inside each regime.
+func TestSelectEnginePolicy(t *testing.T) {
+	cases := []struct {
+		name     string
+		p        dataset.Profile
+		algo     string
+		counter  string
+		wantWord string // substring the rationale must carry
+	}{
+		{
+			name:     "empty",
+			p:        dataset.Profile{},
+			algo:     "pincer",
+			wantWord: "degenerate",
+		},
+		{
+			name:     "no-occurring-items",
+			p:        dataset.Profile{Transactions: 10, Universe: 50},
+			algo:     "pincer",
+			wantWord: "degenerate",
+		},
+		{
+			name:     "dense-skewed",
+			p:        dataset.Profile{Transactions: 1000, Universe: 40, DistinctItems: 40, AvgTxLen: 12, Density: 0.3, Skew: 0.4},
+			algo:     "fpmax",
+			wantWord: "prefix tree",
+		},
+		{
+			name:     "dense-unskewed",
+			p:        dataset.Profile{Transactions: 1000, Universe: 40, DistinctItems: 40, AvgTxLen: 12, Density: 0.3, Skew: 0.05},
+			algo:     "vertical",
+			wantWord: "tidset",
+		},
+		{
+			name:     "moderately-dense",
+			p:        dataset.Profile{Transactions: 1000, Universe: 200, DistinctItems: 200, AvgTxLen: 20, Density: 0.1, Skew: 0.3},
+			algo:     "vertical",
+			wantWord: "tidset",
+		},
+		{
+			name:     "sparse-wide-universe",
+			p:        dataset.Profile{Transactions: 1000, Universe: 10000, DistinctItems: 9000, AvgTxLen: 10, Density: 0.0011, Skew: 0.2},
+			algo:     "vertical",
+			wantWord: "wide universe",
+		},
+		{
+			name:     "sparse-shallow",
+			p:        dataset.Profile{Transactions: 1000, Universe: 500, DistinctItems: 400, AvgTxLen: 4, Density: 0.01, Skew: 0.2},
+			algo:     "pincer",
+			counter:  "tidlist",
+			wantWord: "sparse",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sel := SelectEngine(tc.p)
+			if sel.Algorithm != tc.algo {
+				t.Errorf("algorithm = %q, want %q (rationale: %s)", sel.Algorithm, tc.algo, sel.Rationale)
+			}
+			if sel.Counter != tc.counter {
+				t.Errorf("counter = %q, want %q", sel.Counter, tc.counter)
+			}
+			if sel.Engine != EngineHashTree {
+				t.Errorf("engine = %v, want hashtree", sel.Engine)
+			}
+			if !strings.Contains(sel.Rationale, tc.wantWord) {
+				t.Errorf("rationale %q lacks %q", sel.Rationale, tc.wantWord)
+			}
+		})
+	}
+}
+
+// TestSelectEngineDeterministic: the plan is a pure function of the profile.
+func TestSelectEngineDeterministic(t *testing.T) {
+	p := dataset.Profile{Transactions: 500, Universe: 60, DistinctItems: 55, AvgTxLen: 9, Density: 0.16, Skew: 0.33}
+	a, b := SelectEngine(p), SelectEngine(p)
+	if a != b {
+		t.Fatalf("selection not deterministic: %+v vs %+v", a, b)
+	}
+}

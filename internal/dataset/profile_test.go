@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"pincer/internal/itemset"
+)
+
+func TestProfileEmpty(t *testing.T) {
+	p := Empty(10).Profile()
+	if p.Transactions != 0 || p.Universe != 10 || p.Density != 0 || p.Skew != 0 {
+		t.Fatalf("empty profile = %+v", p)
+	}
+}
+
+func TestProfileUniform(t *testing.T) {
+	// Four transactions, each the full universe {0,1,2}: density 1, skew 0.
+	d := New([]Transaction{
+		itemset.New(0, 1, 2),
+		itemset.New(0, 1, 2),
+		itemset.New(0, 1, 2),
+		itemset.New(0, 1, 2),
+	})
+	p := d.Profile()
+	if p.Transactions != 4 || p.Universe != 3 || p.DistinctItems != 3 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.AvgTxLen != 3 || p.MaxTxLen != 3 {
+		t.Fatalf("lengths: %+v", p)
+	}
+	if math.Abs(p.Density-1) > 1e-12 {
+		t.Fatalf("density = %v, want 1", p.Density)
+	}
+	if p.Skew != 0 {
+		t.Fatalf("uniform counts must have zero skew, got %v", p.Skew)
+	}
+}
+
+func TestProfileSkewed(t *testing.T) {
+	// Item 0 occurs in every transaction; items 1..8 once each. The count
+	// distribution is heavily concentrated, so skew must be well above the
+	// uniform case and below 1.
+	var txs []Transaction
+	for i := 1; i <= 8; i++ {
+		txs = append(txs, itemset.New(0, itemset.Item(i)))
+	}
+	d := New(txs)
+	p := d.Profile()
+	if p.DistinctItems != 9 {
+		t.Fatalf("distinct = %d", p.DistinctItems)
+	}
+	if p.Skew <= 0.3 || p.Skew >= 1 {
+		t.Fatalf("skew = %v, want concentrated (0.3, 1)", p.Skew)
+	}
+	// Density: avg length 2 over 9 occurring items.
+	if math.Abs(p.Density-2.0/9.0) > 1e-12 {
+		t.Fatalf("density = %v", p.Density)
+	}
+}
+
+// TestProfileDeterministic pins the restart contract: the same transactions
+// always produce the identical profile (selection must be reproducible when
+// a spool-recovered job re-derives its plan).
+func TestProfileDeterministic(t *testing.T) {
+	mk := func() *Dataset {
+		return New([]Transaction{
+			itemset.New(3, 1, 4),
+			itemset.New(1, 5),
+			itemset.New(9, 2, 6, 5),
+			itemset.New(3),
+		})
+	}
+	a, b := mk().Profile(), mk().Profile()
+	if a != b {
+		t.Fatalf("profiles differ: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,122 @@
+package fpmax_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pincer/internal/apriori"
+	"pincer/internal/dataset"
+	"pincer/internal/fpmax"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+func TestFPMaxTiny(t *testing.T) {
+	// Classic example: {0,1} in 3 of 4 transactions, {2} alone infrequent
+	// at minCount 2 only via {0,2}.
+	d := dataset.New([]dataset.Transaction{
+		itemset.New(0, 1),
+		itemset.New(0, 1, 2),
+		itemset.New(0, 2),
+		itemset.New(0, 1),
+	})
+	res := fpmax.MineMaximalCount(d, 2, fpmax.DefaultOptions())
+	want := []itemset.Itemset{itemset.New(0, 1), itemset.New(0, 2)}
+	if err := mfi.VerifyAgainst(res.MFS, want); err != nil {
+		t.Fatalf("MFS mismatch: %v (got %v)", err, res.MFS)
+	}
+	for i, m := range res.MFS {
+		if got, exact := d.Support(m), res.MFSSupports[i]; got != exact {
+			t.Errorf("support of %v = %d, dataset says %d", m, exact, got)
+		}
+	}
+	if res.Stats.Algorithm != "fpmax" || res.Stats.Passes != 2 {
+		t.Errorf("stats = %+v, want algorithm fpmax with 2 passes", res.Stats)
+	}
+}
+
+func TestFPMaxEmptyAndDegenerate(t *testing.T) {
+	empty := dataset.Empty(8)
+	if res := fpmax.MineMaximalCount(empty, 1, fpmax.DefaultOptions()); len(res.MFS) != 0 {
+		t.Fatalf("empty dataset mined %v", res.MFS)
+	}
+	// Threshold above |D|: nothing is frequent.
+	d := dataset.New([]dataset.Transaction{itemset.New(0, 1), itemset.New(1, 2)})
+	res := fpmax.MineMaximalCount(d, 5, fpmax.DefaultOptions())
+	if len(res.MFS) != 0 {
+		t.Fatalf("over-threshold mine returned %v", res.MFS)
+	}
+	if res.Stats.Passes != 2 {
+		t.Fatalf("passes = %d, want the fixed two-pass protocol", res.Stats.Passes)
+	}
+}
+
+func TestFPMaxSinglePathCollapse(t *testing.T) {
+	// Every transaction identical: the tree is one path and the answer is
+	// a single maximal set found without any conditional projection.
+	var txs []dataset.Transaction
+	for i := 0; i < 10; i++ {
+		txs = append(txs, itemset.New(3, 1, 4, 7))
+	}
+	d := dataset.New(txs)
+	res := fpmax.MineMaximalCount(d, 5, fpmax.DefaultOptions())
+	want := []itemset.Itemset{itemset.New(1, 3, 4, 7)}
+	if err := mfi.VerifyAgainst(res.MFS, want); err != nil {
+		t.Fatal(err)
+	}
+	if res.MFSSupports[0] != 10 {
+		t.Fatalf("support = %d, want 10", res.MFSSupports[0])
+	}
+	if res.CondTrees != 0 {
+		t.Fatalf("single-path database projected %d conditional trees, want 0", res.CondTrees)
+	}
+}
+
+// TestFPMaxMatchesApriori cross-checks the miner against the reference
+// level-wise miner on generated workloads across the density spectrum.
+func TestFPMaxMatchesApriori(t *testing.T) {
+	shapes := []quest.Params{
+		{NumTransactions: 300, AvgTxLen: 8, AvgPatternLen: 4, NumPatterns: 5, NumItems: 12, Seed: 11},
+		{NumTransactions: 400, AvgTxLen: 5, AvgPatternLen: 3, NumPatterns: 10, NumItems: 14, Seed: 22},
+		{NumTransactions: 250, AvgTxLen: 9, AvgPatternLen: 5, NumPatterns: 4, NumItems: 12, CorrelationLevel: 0.9, Seed: 33},
+		{NumTransactions: 500, AvgTxLen: 4, AvgPatternLen: 2, NumPatterns: 12, NumItems: 14, Seed: 44},
+		{NumTransactions: 200, AvgTxLen: 12, AvgPatternLen: 6, NumPatterns: 3, NumItems: 30, Seed: 55},
+	}
+	for si, p := range shapes {
+		for _, minsup := range []float64{0.05, 0.15, 0.3} {
+			t.Run(fmt.Sprintf("shape%d-sup%g", si, minsup), func(t *testing.T) {
+				d := quest.Generate(p)
+				minCount := d.MinCount(minsup)
+				ref, err := apriori.MineCount(dataset.NewScanner(d), minCount, apriori.DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := fpmax.MineMaximalCount(d, minCount, fpmax.DefaultOptions())
+				if err := mfi.VerifyAgainst(got.MFS, ref.MFS); err != nil {
+					t.Fatal(err)
+				}
+				for i, m := range got.MFS {
+					if got.MFSSupports[i] != d.Support(m) {
+						t.Errorf("support of %v = %d, want %d", m, got.MFSSupports[i], d.Support(m))
+					}
+				}
+				if err := mfi.Verify(d, minCount, got.MFS); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFPMax(b *testing.B) {
+	d := quest.Generate(quest.Params{
+		NumTransactions: 2000, AvgTxLen: 10, AvgPatternLen: 4,
+		NumPatterns: 8, NumItems: 40, Seed: 7,
+	})
+	minCount := d.MinCount(0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fpmax.MineMaximalCount(d, minCount, fpmax.DefaultOptions())
+	}
+}

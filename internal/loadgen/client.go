@@ -127,6 +127,7 @@ func (c *client) submit(cell Cell) (int, server.JobView, error) {
 		Baskets:    cell.Baskets,
 		MinSupport: cell.MinSupport,
 		Miner:      cell.Miner,
+		Engine:     cell.Engine,
 		Workers:    cell.Workers,
 		DeadlineMS: c.deadlineMS,
 	}

@@ -35,12 +35,19 @@ type Cell struct {
 	Baskets    string
 	MinSupport float64
 	Miner      string
-	Workers    int
+	// Engine is the counting-engine request ("auto" delegates the choice
+	// to the daemon's adaptive policy); empty for the miner's default.
+	Engine  string
+	Workers int
 }
 
 // Name renders the cell for reports and logs.
 func (c Cell) Name() string {
-	return fmt.Sprintf("%s/s=%g/%s", c.Dataset, c.MinSupport, c.Miner)
+	miner := c.Miner
+	if c.Engine != "" {
+		miner += "/" + c.Engine
+	}
+	return fmt.Sprintf("%s/s=%g/%s", c.Dataset, c.MinSupport, miner)
 }
 
 // GenerateDatasets builds n Quest databases of rising density: later
@@ -76,14 +83,20 @@ func GenerateDatasets(n int, seed int64) []Dataset {
 }
 
 // BuildCells crosses datasets × minsups × miners into the request mix.
-// workers is applied to parallel-miner cells only.
+// A miner entry may carry an engine after a slash — "pincer/auto" submits
+// the pincer miner with the counting engine delegated to the daemon's
+// adaptive policy; the bare "auto" delegates the whole plan. workers is
+// applied to parallel-miner cells only.
 func BuildCells(ds []Dataset, minsups []float64, miners []string, workers int) []Cell {
 	cells := make([]Cell, 0, len(ds)*len(minsups)*len(miners))
 	for _, d := range ds {
 		for _, s := range minsups {
 			for _, m := range miners {
 				c := Cell{Dataset: d.Name, Baskets: d.Baskets, MinSupport: s, Miner: m}
-				if m == server.MinerParallel {
+				if miner, engine, ok := strings.Cut(m, "/"); ok {
+					c.Miner, c.Engine = miner, engine
+				}
+				if c.Miner == server.MinerParallel {
 					c.Workers = workers
 				}
 				cells = append(cells, c)

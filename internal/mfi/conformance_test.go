@@ -5,7 +5,8 @@ package mfi_test
 // the exact maximal frequent set (with supports) and the exact complete
 // frequent set at two minimum supports each. Every miner in the repository —
 // sequential Pincer-Search (scan-counted and tid-list-counted at 1 and 4
-// workers), Apriori, the top-down miner, maximal Eclat, and
+// workers), Apriori, the top-down miner, maximal Eclat, the FP-max
+// pattern-tree miner, and
 // the count-distribution parallel Pincer-Search at 1 and 4 workers — must
 // reproduce the goldens byte for byte; the complete-frequent-set goldens are
 // additionally pinned by both Apriori and full Eclat, two algorithms with no
@@ -28,6 +29,7 @@ import (
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
+	"pincer/internal/fpmax"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
 	"pincer/internal/parallel"
@@ -250,6 +252,9 @@ func TestConformance(t *testing.T) {
 						}},
 						{"vertical", func() (*mfi.Result, error) {
 							return &vertical.MineMaximal(d, minsup, vertical.DefaultOptions()).Result, nil
+						}},
+						{"fpmax", func() (*mfi.Result, error) {
+							return &fpmax.MineMaximal(d, minsup, fpmax.DefaultOptions()).Result, nil
 						}},
 						{"parallel-w1", func() (*mfi.Result, error) {
 							popt := parallel.DefaultOptions()

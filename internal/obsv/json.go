@@ -25,6 +25,7 @@ type jsonEvent struct {
 	Pass       *PassEvent       `json:"pass,omitempty"`
 	Summary    *RunSummary      `json:"summary,omitempty"`
 	Checkpoint *CheckpointEvent `json:"checkpoint,omitempty"`
+	Selection  *SelectionEvent  `json:"selection,omitempty"`
 }
 
 // RunStart implements Tracer.
@@ -53,4 +54,11 @@ func (t *JSONTracer) CheckpointDone(ev CheckpointEvent) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.enc.Encode(jsonEvent{Type: "checkpoint", Checkpoint: &ev})
+}
+
+// SelectionDone implements SelectionTracer.
+func (t *JSONTracer) SelectionDone(ev SelectionEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enc.Encode(jsonEvent{Type: "selection", Selection: &ev})
 }

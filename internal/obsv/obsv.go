@@ -105,6 +105,25 @@ type CheckpointEvent struct {
 	Duration time.Duration `json:"duration_ns"`
 }
 
+// SelectionEvent records one adaptive engine-selection decision: the plan
+// the policy chose and the profile features that drove it. Emitted before
+// RunStart by runs whose engine was delegated to the dataset-adaptive
+// policy; fixed-engine runs never emit it.
+type SelectionEvent struct {
+	// Algorithm, Engine, and Counter are the selected plan (the server's
+	// miner/engine/counter vocabulary).
+	Algorithm string `json:"algorithm"`
+	Engine    string `json:"engine,omitempty"`
+	Counter   string `json:"counter,omitempty"`
+	// Rationale is the policy's one-line explanation.
+	Rationale string `json:"rationale,omitempty"`
+	// The dataset profile features the policy keyed on.
+	Transactions int     `json:"transactions"`
+	Universe     int     `json:"universe"`
+	Density      float64 `json:"density"`
+	Skew         float64 `json:"skew"`
+}
+
 // Tracer receives the event stream of a mining run. Implementations must be
 // safe for concurrent use: parallel miners emit from the mining goroutine
 // only, but one Tracer may be shared by several concurrent runs.
@@ -126,6 +145,21 @@ type CheckpointTracer interface {
 func EmitCheckpoint(tr Tracer, ev CheckpointEvent) {
 	if ct, ok := tr.(CheckpointTracer); ok {
 		ct.CheckpointDone(ev)
+	}
+}
+
+// SelectionTracer is optionally implemented by Tracers that also want the
+// adaptive engine-selection decisions, following the same optional-
+// interface pattern as CheckpointTracer.
+type SelectionTracer interface {
+	SelectionDone(ev SelectionEvent)
+}
+
+// EmitSelection forwards ev to tr if it implements SelectionTracer; a nil
+// or plain Tracer is a no-op.
+func EmitSelection(tr Tracer, ev SelectionEvent) {
+	if st, ok := tr.(SelectionTracer); ok {
+		st.SelectionDone(ev)
 	}
 }
 
@@ -172,6 +206,14 @@ func (m multiTracer) CheckpointDone(ev CheckpointEvent) {
 	}
 }
 
+// SelectionDone implements SelectionTracer, forwarding to the members that
+// implement it.
+func (m multiTracer) SelectionDone(ev SelectionEvent) {
+	for _, t := range m {
+		EmitSelection(t, ev)
+	}
+}
+
 // Collector is a Tracer that accumulates the event stream in memory, for
 // tests and for benchrun's report folding.
 type Collector struct {
@@ -180,6 +222,7 @@ type Collector struct {
 	passes      []PassEvent
 	done        []RunSummary
 	checkpoints []CheckpointEvent
+	selections  []SelectionEvent
 }
 
 // NewCollector returns an empty Collector.
@@ -241,9 +284,23 @@ func (c *Collector) Checkpoints() []CheckpointEvent {
 	return append([]CheckpointEvent(nil), c.checkpoints...)
 }
 
+// SelectionDone implements SelectionTracer.
+func (c *Collector) SelectionDone(ev SelectionEvent) {
+	c.mu.Lock()
+	c.selections = append(c.selections, ev)
+	c.mu.Unlock()
+}
+
+// Selections returns a copy of the collected selection events.
+func (c *Collector) Selections() []SelectionEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SelectionEvent(nil), c.selections...)
+}
+
 // Reset discards everything collected so far.
 func (c *Collector) Reset() {
 	c.mu.Lock()
-	c.runs, c.passes, c.done, c.checkpoints = nil, nil, nil, nil
+	c.runs, c.passes, c.done, c.checkpoints, c.selections = nil, nil, nil, nil, nil
 	c.mu.Unlock()
 }

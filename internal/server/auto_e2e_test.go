@@ -1,0 +1,133 @@
+package server_test
+
+// End-to-end tests of the dataset-adaptive engine selection: miner=auto and
+// engine=auto jobs resolve to a concrete plan, record the decision (result
+// doc selection block, pincer_engine_selected_total metric), and answer
+// byte-identically to the fixed miners.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pincer/internal/server"
+)
+
+func fetchResult(t *testing.T, base, id string) *server.ResultDoc {
+	t.Helper()
+	var doc server.ResultDoc
+	if code := doJSON(t, http.MethodGet, base+"/v1/results/"+id, nil, &doc); code != http.StatusOK {
+		t.Fatalf("GET result %s: status %d", id, code)
+	}
+	return &doc
+}
+
+func TestE2EAutoMinerSelection(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+
+	// Fixed reference answer.
+	code, ref := submit(t, hs.URL, server.JobRequest{Baskets: testBaskets, MinSupport: testMinSupport, Miner: server.MinerApriori})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit reference: %d", code)
+	}
+	waitStatus(t, hs.URL, ref.ID, server.StatusDone)
+	want := mfsSignature(fetchResult(t, hs.URL, ref.ID))
+
+	code, v := submit(t, hs.URL, server.JobRequest{Baskets: testBaskets, MinSupport: testMinSupport, Miner: server.MinerAuto})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit auto: %d", code)
+	}
+	waitStatus(t, hs.URL, v.ID, server.StatusDone)
+	doc := fetchResult(t, hs.URL, v.ID)
+
+	if doc.Miner != server.MinerAuto {
+		t.Errorf("doc.Miner = %q; the requested spelling must survive", doc.Miner)
+	}
+	sel := doc.Selection
+	if sel == nil {
+		t.Fatal("auto job's result doc has no selection block")
+	}
+	if sel.Requested != "miner" {
+		t.Errorf("selection.requested = %q, want miner", sel.Requested)
+	}
+	switch sel.Miner {
+	case server.MinerPincer, server.MinerApriori, server.MinerVertical, server.MinerFPMax:
+	default:
+		t.Errorf("selection resolved to %q; policy must pick a concrete sequential miner", sel.Miner)
+	}
+	if sel.Rationale == "" {
+		t.Error("selection has no rationale")
+	}
+	if sel.Profile.Transactions != 15 {
+		t.Errorf("profile transactions = %d, want 15", sel.Profile.Transactions)
+	}
+	if got := mfsSignature(doc); got != want {
+		t.Errorf("auto answer differs from fixed apriori:\n got %s\nwant %s", got, want)
+	}
+
+	// The decision is visible on /metrics under the resolved plan's label.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := `pincer_engine_selected_total{engine="` + sel.Miner + `"} 1`
+	if !strings.Contains(string(raw), line) {
+		t.Errorf("/metrics missing %q", line)
+	}
+}
+
+func TestE2EEngineAutoOnFixedMiner(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+
+	code, ref := submit(t, hs.URL, server.JobRequest{Baskets: testBaskets, MinSupport: testMinSupport, Miner: server.MinerPincer})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit reference: %d", code)
+	}
+	waitStatus(t, hs.URL, ref.ID, server.StatusDone)
+	want := mfsSignature(fetchResult(t, hs.URL, ref.ID))
+
+	code, v := submit(t, hs.URL, server.JobRequest{
+		Baskets: testBaskets, MinSupport: testMinSupport,
+		Miner: server.MinerPincer, Engine: server.EngineAuto,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit engine=auto: %d", code)
+	}
+	waitStatus(t, hs.URL, v.ID, server.StatusDone)
+	doc := fetchResult(t, hs.URL, v.ID)
+
+	sel := doc.Selection
+	if sel == nil {
+		t.Fatal("engine=auto job's result doc has no selection block")
+	}
+	if sel.Requested != "engine" {
+		t.Errorf("selection.requested = %q, want engine", sel.Requested)
+	}
+	if sel.Miner != server.MinerPincer {
+		t.Errorf("selection.miner = %q; a fixed miner must not be overridden", sel.Miner)
+	}
+	if doc.Engine == "" || doc.Engine == server.EngineAuto {
+		t.Errorf("doc.Engine = %q, want a concrete engine", doc.Engine)
+	}
+	if got := mfsSignature(doc); got != want {
+		t.Errorf("engine=auto answer differs from fixed pincer:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestAutoDistinctCacheKeys pins that an auto job and the fixed job it
+// resolves to stay distinct cache entries: their result docs differ (the
+// auto doc carries the selection block), so serving one for the other
+// would hand the client the wrong document.
+func TestAutoDistinctCacheKeys(t *testing.T) {
+	auto := server.JobRequest{Baskets: testBaskets, MinSupport: testMinSupport, Miner: server.MinerAuto}
+	fixed := server.JobRequest{Baskets: testBaskets, MinSupport: testMinSupport, Miner: server.MinerApriori}
+	if server.CacheKey([]byte(testBaskets), auto) == server.CacheKey([]byte(testBaskets), fixed) {
+		t.Error("auto and fixed requests share a cache key")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 )
 
 // CacheKey derives the content-addressed cache key of a mining request:
@@ -16,11 +17,19 @@ import (
 // even when a basket file is replaced in place between submissions. The
 // counter never changes the mined result, but it is still keyed because the
 // result doc echoes it back.
+//
+// The minimum support is keyed by its exact IEEE-754 bit pattern. The v2
+// key formatted it with %.12g, so two thresholds agreeing in the first 12
+// significant digits collided into one key and the second submission was
+// served the first one's result — a wrong answer, since MinCount can differ
+// at any digit. Float64bits makes distinct float64 thresholds distinct keys
+// by construction (and folds the two zeros apart, which is harmless:
+// normalize rejects non-positive supports).
 func CacheKey(datasetBytes []byte, spec JobRequest) string {
 	dh := sha256.Sum256(datasetBytes)
 	h := sha256.New()
-	fmt.Fprintf(h, "v2|data=%x|sup=%.12g|miner=%s|workers=%d|engine=%s|counter=%s|deadline=%d|passes=%d|cand=%d|mem=%d",
-		dh, spec.MinSupport, spec.Miner, spec.Workers, spec.Engine, spec.Counter,
+	fmt.Fprintf(h, "v3|data=%x|sup=%016x|miner=%s|workers=%d|engine=%s|counter=%s|deadline=%d|passes=%d|cand=%d|mem=%d",
+		dh, math.Float64bits(spec.MinSupport), spec.Miner, spec.Workers, spec.Engine, spec.Counter,
 		spec.DeadlineMS, spec.MaxPasses, spec.MaxCandidatesPerPass, spec.MaxMemoryBytes)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -71,9 +80,28 @@ func (c *resultCache) get(key string) (*ResultDoc, bool) {
 	return el.Value.(*cacheEntry).doc, true
 }
 
+// minDocSize is a cheap lower bound on docSize — no encoding. Every MFS
+// element marshals to at least len(`{"items":[],"support":0}`) bytes plus
+// one byte per item, and the fixed fields to more than 64 bytes of JSON
+// keys alone; both are deliberately under-counted so the bound can only
+// skip the exact accounting when the doc truly cannot fit.
+func minDocSize(key string, doc *ResultDoc) int64 {
+	size := int64(len(key)) + 64
+	for _, m := range doc.MFS {
+		size += 20 + int64(len(m.Items))
+	}
+	return size
+}
+
 // put stores a complete result, evicting least-recently-used entries until
 // the byte bound holds. A result larger than the whole bound is not stored.
+// Puts that can never fit — a disabled cache, or a doc whose cheap size
+// lower bound already exceeds the whole bound — return before paying the
+// JSON encoding that exact accounting costs.
 func (c *resultCache) put(key string, doc *ResultDoc) {
+	if c.max <= 0 || minDocSize(key, doc) > c.max {
+		return
+	}
 	size := docSize(key, doc)
 	if size > c.max {
 		return

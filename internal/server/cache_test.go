@@ -1,7 +1,9 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"testing"
 )
 
@@ -49,6 +51,61 @@ func TestCacheKeyDependsOnEveryInput(t *testing.T) {
 	}
 	if key("1 3\n", base) == k0 {
 		t.Error("dataset change did not change the cache key")
+	}
+}
+
+// TestCacheKeyMinSupportBitExact pins the v3 fix for the %.12g collision:
+// two thresholds that agree in their first 12 significant digits — and so
+// collided under the v2 key, serving the second submission the first one's
+// result — must produce distinct keys. The pair differs by one ULP, the
+// worst case: any float64 gap the old format rounded away.
+func TestCacheKeyMinSupportBitExact(t *testing.T) {
+	a := 0.1
+	b := math.Nextafter(a, 1) // 0.1 + 1 ULP: MinCount may differ, result may differ
+	if a == b {
+		t.Fatal("test bug: thresholds are equal")
+	}
+	// The collision the v2 key suffered from: %.12g cannot tell them apart.
+	if fmt.Sprintf("%.12g", a) != fmt.Sprintf("%.12g", b) {
+		t.Fatalf("test bug: %v and %v differ within 12 significant digits", a, b)
+	}
+	specA := JobRequest{Baskets: "1 2\n", MinSupport: a}
+	specB := JobRequest{Baskets: "1 2\n", MinSupport: b}
+	data := []byte("1 2\n")
+	if CacheKey(data, specA) == CacheKey(data, specB) {
+		t.Errorf("distinct min_support values %v and %v share a cache key", a, b)
+	}
+	if CacheKey(data, specA) != CacheKey(data, specA) {
+		t.Error("cache key is not deterministic for the same threshold")
+	}
+}
+
+// TestResultCachePutShortCircuits pins the cheap-rejection paths: a put
+// into a disabled cache, or of a doc whose size lower bound already
+// exceeds the whole bound, must return before JSON-encoding the result —
+// that is, without allocating at all.
+func TestResultCachePutShortCircuits(t *testing.T) {
+	doc := testDoc("d", 64)
+	disabled := newResultCache(0)
+	if n := testing.AllocsPerRun(100, func() { disabled.put("k", doc) }); n > 0 {
+		t.Errorf("disabled-cache put allocates %.1f/op; must not encode the doc", n)
+	}
+	if disabled.len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+	tiny := newResultCache(32) // smaller than any doc's lower bound
+	if n := testing.AllocsPerRun(100, func() { tiny.put("k", doc) }); n > 0 {
+		t.Errorf("oversized put allocates %.1f/op; must not encode the doc", n)
+	}
+	if tiny.len() != 0 {
+		t.Fatal("tiny cache stored an entry")
+	}
+	// The short-circuit is only sound while the bound under-counts.
+	for _, n := range []int{0, 1, 4, 100} {
+		d := testDoc("d", n)
+		if lo, real := minDocSize("k", d), docSize("k", d); lo > real {
+			t.Errorf("minDocSize(%d itemsets) = %d exceeds real size %d; bound must under-count", n, lo, real)
+		}
 	}
 }
 
@@ -110,27 +167,87 @@ func TestResultCacheReplaceSameKey(t *testing.T) {
 	}
 }
 
+// TestJobRequestNormalize is the miner × engine × counter validation
+// matrix. Every rejection must be a *ValidationError carrying the Reason*
+// constant naming the failing field — no untyped errors escape normalize —
+// and every acceptance row checks the normalized miner/engine the request
+// resolves to.
 func TestJobRequestNormalize(t *testing.T) {
-	ok := JobRequest{Baskets: "1 2\n", MinSupport: 0.5}
-	if err := ok.normalize(); err != nil {
-		t.Fatalf("valid request rejected: %v", err)
-	}
-	if ok.Miner != MinerPincer {
-		t.Errorf("default miner = %q, want pincer", ok.Miner)
-	}
-	bad := []JobRequest{
-		{Baskets: "1\n", DatasetPath: "x", MinSupport: 0.5}, // both sources
-		{MinSupport: 0.5},                            // no source
-		{Baskets: "1\n", MinSupport: 1.5},            // support > 1
-		{Baskets: "1\n", MinSupport: 0.5, Miner: "x"},
-		{Baskets: "1\n", MinSupport: 0.5, Miner: MinerTopdown, Engine: "trie"},
-		{Baskets: "1\n", MinSupport: 0.5, DeadlineMS: -1},
-		{Baskets: "1\n", MinSupport: 0.5, Miner: MinerVertical, Counter: "tidlist"},
-		{Baskets: "1\n", MinSupport: 0.5, Counter: "tidlist:bogus"},
-	}
-	for i, spec := range bad {
-		if err := spec.normalize(); err == nil {
-			t.Errorf("case %d: invalid request accepted: %+v", i, spec)
+	req := func(mod func(*JobRequest)) JobRequest {
+		r := JobRequest{Baskets: "1 2\n", MinSupport: 0.5}
+		if mod != nil {
+			mod(&r)
 		}
+		return r
+	}
+	cases := []struct {
+		name       string
+		spec       JobRequest
+		wantReason string // "" = accepted
+		wantMiner  string // post-normalize, accepted rows only
+		wantEngine string
+	}{
+		{name: "default miner", spec: req(nil), wantMiner: MinerPincer},
+		{name: "fpmax accepted", spec: req(func(r *JobRequest) { r.Miner = MinerFPMax }), wantMiner: MinerFPMax},
+		{name: "miner auto accepted", spec: req(func(r *JobRequest) { r.Miner = MinerAuto }), wantMiner: MinerAuto},
+		{name: "engine auto alone implies miner auto", spec: req(func(r *JobRequest) { r.Engine = EngineAuto }),
+			wantMiner: MinerAuto, wantEngine: ""},
+		{name: "miner auto + engine auto canonicalized", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerAuto, EngineAuto }),
+			wantMiner: MinerAuto, wantEngine: ""},
+		{name: "engine auto on pincer", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerPincer, EngineAuto }),
+			wantMiner: MinerPincer, wantEngine: EngineAuto},
+		{name: "engine auto on apriori", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerApriori, EngineAuto }),
+			wantMiner: MinerApriori, wantEngine: EngineAuto},
+		{name: "engine auto on parallel", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerParallel, EngineAuto }),
+			wantMiner: MinerParallel, wantEngine: EngineAuto},
+
+		{name: "unknown miner", spec: req(func(r *JobRequest) { r.Miner = "x" }), wantReason: ReasonBadMiner},
+		{name: "engine auto on vertical", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerVertical, EngineAuto }), wantReason: ReasonBadEngine},
+		{name: "engine auto on topdown", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerTopdown, EngineAuto }), wantReason: ReasonBadEngine},
+		{name: "engine auto on fpmax", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerFPMax, EngineAuto }), wantReason: ReasonBadEngine},
+		{name: "fixed engine on miner auto", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerAuto, "trie" }), wantReason: ReasonBadEngine},
+		{name: "fixed engine on topdown", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerTopdown, "trie" }), wantReason: ReasonBadEngine},
+		{name: "fixed engine on vertical", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerVertical, "hashtree" }), wantReason: ReasonBadEngine},
+		{name: "fixed engine on fpmax", spec: req(func(r *JobRequest) { r.Miner, r.Engine = MinerFPMax, "list" }), wantReason: ReasonBadEngine},
+		{name: "unknown engine", spec: req(func(r *JobRequest) { r.Engine = "bogus" }), wantReason: ReasonBadEngine},
+		{name: "counter on vertical", spec: req(func(r *JobRequest) { r.Miner, r.Counter = MinerVertical, "tidlist" }), wantReason: ReasonBadCounter},
+		{name: "counter on miner auto", spec: req(func(r *JobRequest) { r.Miner, r.Counter = MinerAuto, "tidlist" }), wantReason: ReasonBadCounter},
+		{name: "bogus counter", spec: req(func(r *JobRequest) { r.Counter = "tidlist:bogus" }), wantReason: ReasonBadCounter},
+		{name: "both sources", spec: req(func(r *JobRequest) { r.DatasetPath = "x" }), wantReason: ReasonBadDataset},
+		{name: "no source", spec: req(func(r *JobRequest) { r.Baskets = "" }), wantReason: ReasonBadDataset},
+		{name: "support zero", spec: req(func(r *JobRequest) { r.MinSupport = 0 }), wantReason: ReasonBadSupport},
+		{name: "support above one", spec: req(func(r *JobRequest) { r.MinSupport = 1.5 }), wantReason: ReasonBadSupport},
+		{name: "workers on sequential miner", spec: req(func(r *JobRequest) { r.Workers = 4 }), wantReason: ReasonBadWorkers},
+		{name: "negative workers", spec: req(func(r *JobRequest) { r.Miner, r.Workers = MinerParallel, -1 }), wantReason: ReasonBadWorkers},
+		{name: "negative deadline", spec: req(func(r *JobRequest) { r.DeadlineMS = -1 }), wantReason: ReasonBadBudget},
+		{name: "negative memory budget", spec: req(func(r *JobRequest) { r.MaxMemoryBytes = -1 }), wantReason: ReasonBadBudget},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.spec
+			err := spec.normalize()
+			if tc.wantReason == "" {
+				if err != nil {
+					t.Fatalf("valid request rejected: %v", err)
+				}
+				if spec.Miner != tc.wantMiner {
+					t.Errorf("miner = %q, want %q", spec.Miner, tc.wantMiner)
+				}
+				if spec.Engine != tc.wantEngine {
+					t.Errorf("engine = %q, want %q", spec.Engine, tc.wantEngine)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid request accepted: %+v", tc.spec)
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("rejection is untyped (%T: %v); want *ValidationError", err, err)
+			}
+			if ve.Reason != tc.wantReason {
+				t.Errorf("reason = %q, want %q (%v)", ve.Reason, tc.wantReason, err)
+			}
+		})
 	}
 }

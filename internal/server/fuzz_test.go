@@ -42,6 +42,11 @@ func FuzzJobRequest(f *testing.F) {
 	f.Add([]byte(`{"baskets":"1 2\n","dataset_path":"/etc/passwd","min_support":0.5}`))
 	f.Add([]byte(`{"min_support":0.5}`))
 	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"miner":"quantum"}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"miner":"auto"}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"miner":"fpmax"}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"engine":"auto"}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"miner":"vertical","engine":"auto"}`))
+	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"miner":"auto","engine":"trie"}`))
 	f.Add([]byte(`{"baskets":"1 2\n","min_support":0.5,"unknown_field":1}`))
 	f.Add([]byte(`{"baskets":"not numbers at all","min_support":0.5}`))
 	f.Add([]byte(fmt.Sprintf(`{"baskets":%q,"min_support":0.5}`, "1 2 3\n"+string(make([]byte, 5000)))))

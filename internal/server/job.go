@@ -1,8 +1,6 @@
 package server
 
 import (
-	"errors"
-	"fmt"
 	"sync"
 	"time"
 
@@ -23,7 +21,19 @@ const (
 	MinerTopdown  = "topdown"  // pure top-down search (concentrated data only)
 	MinerVertical = "vertical" // depth-first maximal Eclat (no database passes)
 	MinerParallel = "parallel" // count-distribution parallel Pincer-Search
+	MinerFPMax    = "fpmax"    // FP-tree maximal miner (two passes, then in-memory)
+	// MinerAuto delegates the whole plan — miner, counter, and counting
+	// structure — to the dataset-adaptive policy (counting.SelectEngine),
+	// resolved from the dataset's profile on the worker. The resolved plan
+	// is recorded in the result doc's "selection" field.
+	MinerAuto = "auto"
 )
+
+// EngineAuto delegates the counting-engine choice to the dataset-adaptive
+// policy. With no miner set it is equivalent to miner=auto (the whole plan
+// is delegated); with a fixed level-wise miner only the counting structure
+// (and, when unset, the counter) are selected.
+const EngineAuto = "auto"
 
 // JobRequest is the body of POST /v1/jobs. Exactly one of DatasetPath and
 // Baskets names the database.
@@ -63,49 +73,74 @@ type JobRequest struct {
 }
 
 // normalize fills defaults and validates the request shape (everything that
-// can be rejected before touching the dataset).
+// can be rejected before touching the dataset). Every rejection is a
+// *ValidationError carrying a machine-readable Reason* constant, so clients
+// can branch on the failing field without parsing prose.
 func (r *JobRequest) normalize() error {
 	if r.Miner == "" {
-		r.Miner = MinerPincer
+		if r.Engine == EngineAuto {
+			// engine=auto with no miner delegates the whole plan.
+			r.Miner = MinerAuto
+		} else {
+			r.Miner = MinerPincer
+		}
 	}
 	switch r.Miner {
-	case MinerPincer, MinerApriori, MinerTopdown, MinerVertical, MinerParallel:
+	case MinerPincer, MinerApriori, MinerTopdown, MinerVertical, MinerParallel, MinerFPMax, MinerAuto:
 	default:
-		return fmt.Errorf("unknown miner %q (want pincer, apriori, topdown, vertical, or parallel)", r.Miner)
+		return invalidf(ReasonBadMiner,
+			"unknown miner %q (want pincer, apriori, topdown, vertical, parallel, fpmax, or auto)", r.Miner)
 	}
 	if (r.DatasetPath == "") == (r.Baskets == "") {
-		return errors.New("exactly one of dataset_path and baskets is required")
+		return invalidf(ReasonBadDataset, "exactly one of dataset_path and baskets is required")
 	}
 	if r.MinSupport <= 0 || r.MinSupport > 1 {
-		return fmt.Errorf("min_support must be in (0, 1], got %v", r.MinSupport)
+		return invalidf(ReasonBadSupport, "min_support must be in (0, 1], got %v", r.MinSupport)
 	}
 	if r.Workers != 0 && r.Miner != MinerParallel {
-		return fmt.Errorf("workers applies to the parallel miner only, not %q", r.Miner)
+		return invalidf(ReasonBadWorkers, "workers applies to the parallel miner only, not %q", r.Miner)
 	}
 	if r.Workers < 0 {
-		return fmt.Errorf("workers must be ≥ 0, got %d", r.Workers)
+		return invalidf(ReasonBadWorkers, "workers must be ≥ 0, got %d", r.Workers)
 	}
-	if r.Engine != "" {
+	switch {
+	case r.Engine == "":
+	case r.Engine == EngineAuto:
 		switch r.Miner {
-		case MinerTopdown, MinerVertical:
-			return fmt.Errorf("engine does not apply to the %s miner", r.Miner)
+		case MinerAuto:
+			// miner=auto already delegates everything; canonicalize the
+			// engine away so both spellings share one cache key.
+			r.Engine = ""
+		case MinerPincer, MinerApriori, MinerParallel:
+			// Selection applies: these miners make a counting-engine choice.
+		default:
+			return invalidf(ReasonBadEngine,
+				"engine=auto does not apply to the %s miner (it makes no counting-engine choice)", r.Miner)
+		}
+	default:
+		switch r.Miner {
+		case MinerTopdown, MinerVertical, MinerFPMax:
+			return invalidf(ReasonBadEngine, "engine does not apply to the %s miner", r.Miner)
+		case MinerAuto:
+			return invalidf(ReasonBadEngine,
+				"miner=auto accepts engine \"\" or \"auto\" only: fixing the engine requires fixing the miner")
 		}
 		if _, err := counting.ParseEngine(r.Engine); err != nil {
-			return err
+			return invalidf(ReasonBadEngine, "%v", err)
 		}
 	}
 	if r.Counter != "" && r.Counter != "scan" {
 		switch r.Miner {
 		case MinerPincer, MinerParallel:
 		default:
-			return fmt.Errorf("counter applies to the pincer and parallel miners only, not %q", r.Miner)
+			return invalidf(ReasonBadCounter, "counter applies to the pincer and parallel miners only, not %q", r.Miner)
 		}
 		if _, _, err := counting.ParseCounterSpec(r.Counter); err != nil {
-			return err
+			return invalidf(ReasonBadCounter, "%v", err)
 		}
 	}
 	if r.DeadlineMS < 0 || r.MaxPasses < 0 || r.MaxCandidatesPerPass < 0 || r.MaxMemoryBytes < 0 {
-		return errors.New("budgets must be non-negative")
+		return invalidf(ReasonBadBudget, "budgets must be non-negative")
 	}
 	return nil
 }
@@ -135,6 +170,12 @@ func (r *JobRequest) deadline() time.Duration {
 func (r *JobRequest) checkpointable() bool {
 	switch r.Miner {
 	case MinerPincer, MinerApriori, MinerParallel:
+		return true
+	case MinerAuto:
+		// The resolved plan may be checkpointable; answering true here is
+		// conservative — the worker checkpoints iff the resolved miner
+		// does, and clearing a checkpoint that was never written is a
+		// no-op (FileCheckpointer.Clear tolerates a missing file).
 		return true
 	}
 	return false
@@ -183,10 +224,12 @@ type PartialDoc struct {
 // field holds the anytime lower bound (every element is frequent, but more
 // or larger maximal sets may exist) and Partial explains the stop.
 type ResultDoc struct {
-	ID           string       `json:"id"`
-	Miner        string       `json:"miner"`
-	Algorithm    string       `json:"algorithm"`
-	Counter      string       `json:"counter,omitempty"`
+	ID        string `json:"id"`
+	Miner     string `json:"miner"`
+	Algorithm string `json:"algorithm"`
+	Counter   string `json:"counter,omitempty"`
+	// Engine is the counting structure the run used, when one applies.
+	Engine       string       `json:"engine,omitempty"`
 	MinSupport   float64      `json:"min_support"`
 	MinCount     int64        `json:"min_count"`
 	Transactions int          `json:"transactions"`
@@ -195,17 +238,23 @@ type ResultDoc struct {
 	DurationNS   int64        `json:"duration_ns"`
 	Cached       bool         `json:"cached,omitempty"`
 	Partial      *PartialDoc  `json:"partial,omitempty"`
-	MFS          []ItemsetDoc `json:"maximal_frequent_itemsets"`
+	// Selection records the adaptive policy's decision for delegated
+	// (miner=auto / engine=auto) jobs; nil for fully fixed plans. Miner
+	// still echoes the request ("auto"); Selection.Miner is the plan run.
+	Selection *SelectionDoc `json:"selection,omitempty"`
+	MFS       []ItemsetDoc  `json:"maximal_frequent_itemsets"`
 }
 
 // buildDoc renders a mining result (and the PartialResultError that cut it
-// short, if any) into the wire form.
-func buildDoc(id string, spec JobRequest, res *mfi.Result, pe *mfi.PartialResultError) *ResultDoc {
+// short, if any) into the wire form. sel is the adaptive selection the job
+// resolved, nil when nothing was delegated.
+func buildDoc(id string, spec JobRequest, sel *SelectionDoc, res *mfi.Result, pe *mfi.PartialResultError) *ResultDoc {
 	doc := &ResultDoc{
 		ID:           id,
 		Miner:        spec.Miner,
 		Algorithm:    res.Stats.Algorithm,
 		Counter:      spec.Counter,
+		Engine:       spec.Engine,
 		MinSupport:   spec.MinSupport,
 		MinCount:     res.MinCount,
 		Transactions: res.NumTransactions,
@@ -213,6 +262,11 @@ func buildDoc(id string, spec JobRequest, res *mfi.Result, pe *mfi.PartialResult
 		Candidates:   res.Stats.Candidates,
 		DurationNS:   res.Stats.Duration.Nanoseconds(),
 		MFS:          make([]ItemsetDoc, 0, len(res.MFS)),
+	}
+	if sel != nil {
+		doc.Counter = sel.Counter
+		doc.Engine = sel.Engine
+		doc.Selection = sel
 	}
 	for i, m := range res.MFS {
 		doc.MFS = append(doc.MFS, itemsetDoc(m, res.MFSSupports[i]))
@@ -268,6 +322,7 @@ type Job struct {
 	status      string
 	err         string
 	doc         *ResultDoc
+	sel         *SelectionDoc // resolved adaptive plan; nil if nothing delegated
 	cancel      func()
 	cancelAsked bool
 	anytimePass int

@@ -15,6 +15,7 @@ import (
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
+	"pincer/internal/fpmax"
 	"pincer/internal/mfi"
 	"pincer/internal/obsv"
 	"pincer/internal/parallel"
@@ -324,9 +325,27 @@ func (m *Manager) jobTracer(j *Job) (obsv.Tracer, func()) {
 func (m *Manager) mine(ctx context.Context, j *Job) (*mfi.Result, error) {
 	spec := j.Spec
 	d := j.data
-	minCount := dataset.MinCountFor(d.Len(), spec.MinSupport)
 	tracer, closeTrace := m.jobTracer(j)
 	defer closeTrace()
+	if sel := resolveSelection(&spec, d); sel != nil {
+		j.mu.Lock()
+		j.sel = sel
+		j.mu.Unlock()
+		m.met.engineSelected(sel.Miner)
+		obsv.EmitSelection(tracer, obsv.SelectionEvent{
+			Algorithm:    sel.Miner,
+			Engine:       sel.Engine,
+			Counter:      sel.Counter,
+			Rationale:    sel.Rationale,
+			Transactions: sel.Profile.Transactions,
+			Universe:     sel.Profile.Universe,
+			Density:      sel.Profile.Density,
+			Skew:         sel.Profile.Skew,
+		})
+		m.logf("job %s: auto plan: miner=%s engine=%s counter=%s (%s)",
+			j.ID, sel.Miner, sel.Engine, sel.Counter, sel.Rationale)
+	}
+	minCount := dataset.MinCountFor(d.Len(), spec.MinSupport)
 	var sc dataset.Scanner = dataset.NewScanner(d)
 	if m.cfg.WrapScanner != nil {
 		sc = m.cfg.WrapScanner(j.ID, sc)
@@ -392,6 +411,12 @@ func (m *Manager) mine(ctx context.Context, j *Job) (*mfi.Result, error) {
 		opt.KeepFrequent = false
 		vres := vertical.MineMaximal(d, spec.MinSupport, opt)
 		return &vres.Result, nil
+	case MinerFPMax:
+		// Like the vertical miner, FP-max reads the database exactly twice
+		// and then works purely in memory: no cancellation points and no
+		// checkpoints.
+		fres := fpmax.MineMaximalCount(d, minCount, fpmax.DefaultOptions())
+		return &fres.Result, nil
 	case MinerParallel:
 		copt := core.DefaultOptions()
 		copt.MaxTotalPasses = spec.MaxPasses
@@ -435,6 +460,9 @@ var terminalReasons = map[string]bool{
 // a crash-like unwind) are deliberately NOT finalized on disk — their spool
 // entry and checkpoint are the restart contract.
 func (m *Manager) finalize(j *Job, res *mfi.Result, err error) {
+	j.mu.Lock()
+	sel := j.sel
+	j.mu.Unlock()
 	clearCheckpoint := func() {
 		if j.Spec.checkpointable() {
 			if cerr := checkpoint.NewFileCheckpointer(m.sp.checkpointPath(j.ID)).Clear(); cerr != nil {
@@ -455,7 +483,7 @@ func (m *Manager) finalize(j *Job, res *mfi.Result, err error) {
 	}
 
 	if err == nil {
-		doc := buildDoc(j.ID, j.Spec, res, nil)
+		doc := buildDoc(j.ID, j.Spec, sel, res, nil)
 		record(StatusDone, doc, "")
 		m.met.jobsCompleted.Inc()
 		m.mu.Lock()
@@ -481,12 +509,12 @@ func (m *Manager) finalize(j *Job, res *mfi.Result, err error) {
 			j.setStatus(StatusInterrupted)
 			m.logf("job %s: interrupted (%s) at pass %d; checkpoint retained for restart", j.ID, pe.Reason, pe.Pass)
 		case asked:
-			record(StatusCancelled, buildDoc(j.ID, j.Spec, pe.Result, pe), "")
+			record(StatusCancelled, buildDoc(j.ID, j.Spec, sel, pe.Result, pe), "")
 			clearCheckpoint()
 			m.met.jobsCancelled.Inc()
 			m.logf("job %s: cancelled at pass %d", j.ID, pe.Pass)
 		default:
-			record(StatusPartial, buildDoc(j.ID, j.Spec, pe.Result, pe), "")
+			record(StatusPartial, buildDoc(j.ID, j.Spec, sel, pe.Result, pe), "")
 			clearCheckpoint()
 			m.met.jobsPartial.Inc()
 			m.logf("job %s: stopped early (%s) at pass %d", j.ID, pe.Reason, pe.Pass)

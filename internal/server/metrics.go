@@ -29,10 +29,24 @@ type metricsSet struct {
 	jobsRunning  *obsv.Gauge
 	cacheBytes   *obsv.Gauge
 	cacheEntries *obsv.Gauge
+
+	// selected counts adaptive engine-selection decisions by the resolved
+	// miner (pincer_engine_selected_total{engine="..."}); the full miner
+	// vocabulary is pre-registered so the exposition is stable from the
+	// first scrape.
+	selected map[string]*obsv.Counter
 }
 
+const engineSelectedName = "pincer_engine_selected_total"
+
 func newMetricsSet(reg *obsv.Registry) *metricsSet {
+	selected := map[string]*obsv.Counter{}
+	for _, miner := range [...]string{MinerPincer, MinerApriori, MinerTopdown, MinerVertical, MinerParallel, MinerFPMax} {
+		selected[miner] = reg.LabeledCounter(engineSelectedName,
+			fmt.Sprintf("engine=%q", miner), "Adaptive engine-selection decisions by resolved miner.")
+	}
 	return &metricsSet{
+		selected: selected,
 		jobsSubmitted: reg.Counter("pincer_jobs_submitted_total", "Jobs accepted by POST /v1/jobs (including cache hits)."),
 		jobsStarted:   reg.Counter("pincer_jobs_started_total", "Jobs whose mining actually started (cache hits never do)."),
 		jobsCompleted: reg.Counter("pincer_jobs_completed_total", "Jobs that finished with a complete result."),
@@ -50,6 +64,13 @@ func newMetricsSet(reg *obsv.Registry) *metricsSet {
 		jobsRunning:  reg.Gauge("pincer_jobs_running", "Jobs currently mining."),
 		cacheBytes:   reg.Gauge("pincer_result_cache_bytes", "Bytes held by the result cache."),
 		cacheEntries: reg.Gauge("pincer_result_cache_entries", "Results held by the cache."),
+	}
+}
+
+// engineSelected bumps the selection counter for the resolved miner.
+func (ms *metricsSet) engineSelected(miner string) {
+	if c := ms.selected[miner]; c != nil {
+		c.Inc()
 	}
 }
 

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+)
+
+// SelectionDoc records an adaptive engine-selection decision in the result
+// document: what the client delegated, the concrete plan the policy chose,
+// its one-line rationale, and the dataset profile the decision keyed on.
+// The profile is a pure function of the dataset bytes, so a job resumed
+// after a daemon restart re-derives the identical plan.
+type SelectionDoc struct {
+	// Requested names what was delegated: "miner" for miner=auto (the whole
+	// plan), "engine" for a fixed level-wise miner with engine=auto.
+	Requested string `json:"requested"`
+	// Miner, Engine, and Counter are the resolved plan, in the request
+	// vocabulary. Engine and Counter are empty where they do not apply
+	// (e.g. the vertical and fpmax miners have no counting engine).
+	Miner   string `json:"miner"`
+	Engine  string `json:"engine,omitempty"`
+	Counter string `json:"counter,omitempty"`
+	// Rationale is the policy's one-line explanation of the choice.
+	Rationale string `json:"rationale,omitempty"`
+	// Profile is the dataset profile the policy keyed on.
+	Profile dataset.Profile `json:"profile"`
+}
+
+// resolveSelection replaces the delegated fields of spec with the adaptive
+// policy's concrete plan and returns the decision record; it returns nil —
+// and leaves spec untouched — when nothing was delegated. The caller passes
+// a copy of the job's spec: the original request (and its spool record and
+// cache key) keeps the "auto" spelling.
+func resolveSelection(spec *JobRequest, d *dataset.Dataset) *SelectionDoc {
+	if spec.Miner != MinerAuto && spec.Engine != EngineAuto {
+		return nil
+	}
+	prof := d.Profile()
+	sel := counting.SelectEngine(prof)
+	doc := &SelectionDoc{Rationale: sel.Rationale, Profile: prof}
+	if spec.Miner == MinerAuto {
+		doc.Requested = "miner"
+		spec.Miner = sel.Algorithm
+		spec.Engine = ""
+		spec.Counter = sel.Counter
+		switch spec.Miner {
+		case MinerPincer, MinerApriori, MinerParallel:
+			spec.Engine = sel.Engine.String()
+		}
+	} else {
+		// A fixed level-wise miner delegated only the counting structure.
+		doc.Requested = "engine"
+		spec.Engine = sel.Engine.String()
+		if spec.Counter == "" {
+			switch spec.Miner {
+			case MinerPincer, MinerParallel:
+				spec.Counter = sel.Counter
+			}
+		}
+	}
+	doc.Miner, doc.Engine, doc.Counter = spec.Miner, spec.Engine, spec.Counter
+	return doc
+}

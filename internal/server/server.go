@@ -291,7 +291,32 @@ const (
 	ReasonNotFound     = "not_found"       // unknown job or result id
 	ReasonJobFailed    = "job_failed"      // result requested for a failed job
 	ReasonRemoteLimit  = "remote_limit"    // per-remote in-flight cap tripped (429)
+
+	// Field-level validation reasons: normalize rejects a request with the
+	// reason naming the failing field, so clients can branch on which knob
+	// was wrong instead of parsing prose. All map to 400.
+	ReasonBadMiner   = "bad_miner"   // unknown miner name
+	ReasonBadEngine  = "bad_engine"  // unknown engine, or engine on a miner without one
+	ReasonBadCounter = "bad_counter" // unknown counter spec, or counter on a non-level-wise miner
+	ReasonBadSupport = "bad_support" // min_support outside (0, 1]
+	ReasonBadDataset = "bad_dataset" // not exactly one of dataset_path / baskets
+	ReasonBadWorkers = "bad_workers" // negative workers, or workers on a sequential miner
+	ReasonBadBudget  = "bad_budget"  // negative deadline or resource budget
 )
+
+// ValidationError is a request-validation rejection carrying its machine-
+// readable reason; handleSubmit surfaces the reason in the error doc.
+type ValidationError struct {
+	Reason string
+	msg    string
+}
+
+func (e *ValidationError) Error() string { return e.msg }
+
+// invalidf builds a *ValidationError with a formatted message.
+func invalidf(reason, format string, args ...interface{}) error {
+	return &ValidationError{Reason: reason, msg: fmt.Sprintf(format, args...)}
+}
 
 // errorDoc is the wire form of every error response: prose plus a typed
 // reason from the Reason* vocabulary.
@@ -337,7 +362,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, ReasonShuttingDown, "%v", err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, ReasonInvalid, "%v", err)
+		reason := ReasonInvalid
+		var ve *ValidationError
+		if errors.As(err, &ve) {
+			reason = ve.Reason
+		}
+		writeError(w, http.StatusBadRequest, reason, "%v", err)
 		return
 	}
 	v := j.view()

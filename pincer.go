@@ -30,6 +30,7 @@ import (
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
+	"pincer/internal/fpmax"
 	"pincer/internal/itemset"
 	"pincer/internal/mfi"
 	"pincer/internal/minkeys"
@@ -407,6 +408,44 @@ func ExpandFrequent(res *Result, maxLen int) []Itemset {
 // CountFrequent returns how many frequent itemsets the result's MFS
 // implies, without materializing them.
 func CountFrequent(res *Result) int64 { return mfi.CountFrequent(res.MFS) }
+
+// Profile summarizes a dataset's shape — transaction count, distinct-item
+// universe, density, and item-frequency skew — the features the adaptive
+// engine-selection policy reads. It is a pure function of the dataset.
+type Profile = dataset.Profile
+
+// ProfileDataset computes the dataset's profile in one pass.
+func ProfileDataset(d *Dataset) Profile { return d.Profile() }
+
+// Selection is the execution plan the adaptive policy derives from a
+// profile: algorithm, counting strategy, and rationale.
+type Selection = counting.Selection
+
+// SelectEngine picks the execution plan for a dataset profile. The policy
+// is deterministic (the same profile always selects the same plan) and
+// result-invariant: every plan it can pick produces the identical MFS, so
+// a policy miss costs speed, never correctness. See DESIGN.md §12 for the
+// policy table and its calibration.
+func SelectEngine(p Profile) Selection { return counting.SelectEngine(p) }
+
+// FPMaxOptions configures the FP-max maximal miner.
+type FPMaxOptions = fpmax.Options
+
+// FPMaxResult extends Result with FP-tree diagnostics (conditional trees
+// projected, nodes allocated).
+type FPMaxResult = fpmax.Result
+
+// DefaultFPMaxOptions returns the standard FP-max configuration.
+func DefaultFPMaxOptions() FPMaxOptions { return fpmax.DefaultOptions() }
+
+// MineFPMax discovers the maximum frequent set with the FP-max miner: an
+// FP-tree (frequency-ordered prefix tree) searched depth-first with
+// single-path collapse and subset-of-known-maximal pruning. Supports are
+// exact and the MFS is byte-identical to every other miner's; FP-max is
+// the fastest choice on dense, skewed data (see DESIGN.md §12).
+func MineFPMax(d *Dataset, minSupport float64, opt FPMaxOptions) *FPMaxResult {
+	return fpmax.MineMaximal(d, minSupport, opt)
+}
 
 // Relation is a table whose minimal keys can be discovered — the paper's
 // §1 minimal-keys application.
