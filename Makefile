@@ -7,9 +7,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race faults conformance fuzz cover load serve bench bench-smoke bench-parallel bench-vertical bench-engines profile
+.PHONY: ci vet build test race faults conformance fuzz cover load cluster serve bench bench-smoke bench-parallel bench-vertical bench-engines bench-cluster profile
 
-ci: vet build test race faults conformance fuzz cover load bench-smoke bench-engines
+ci: vet build test race faults conformance fuzz cover load cluster bench-smoke bench-engines
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,7 @@ fuzz:
 	$(GO) test ./internal/checkpoint -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzPincerMatchesApriori -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzJobRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzClusterMessage -fuzztime $(FUZZTIME)
 
 # Per-package statement coverage.
 cover:
@@ -60,6 +61,16 @@ load:
 	$(GO) run -race ./cmd/pincerload -local -duration 2s -concurrency 8 \
 		-datasets 2 -minsup 0.3,0.5 -miners pincer,apriori,parallel,fpmax,auto,pincer/auto \
 		-chaos-interval 800ms -chaos-restarts 1 -verify -seed 1 -out /tmp/pincerload-ci.json
+
+# The distributed-mining matrix: coordinator/worker protocol, node-loss
+# fault injection (kill 1-of-2 and 1-of-4 at every pass boundary and
+# mid-scan), quorum degradation, and the worker-kill soak — all race-clean,
+# since the coordinator's fan-out and the chaos kills interleave.
+cluster:
+	$(GO) test -race ./internal/cluster/...
+	$(GO) run -race ./cmd/pincerload -local -cluster-workers 2 -chaos-kill-worker \
+		-chaos-interval 500ms -duration 2s -concurrency 4 -datasets 2 \
+		-minsup 0.3 -miners pincer -verify -seed 1 -out /tmp/pincerload-cluster-ci.json
 
 # Run the mining service daemon locally.
 serve:
@@ -82,6 +93,14 @@ bench-parallel:
 bench-vertical:
 	$(GO) run ./cmd/benchrun -vertical -spec F4-T20I10 -d 10000 \
 		-repeats 3 -json BENCH_vertical.json
+
+# Regenerate BENCH_cluster.json: sequential Pincer vs the coordinator/worker
+# cluster over an in-process loopback cluster. On one machine this prices
+# the wire protocol's coordination overhead (the report refuses to call the
+# ratio a speedup) and certifies byte-identical results at every width.
+bench-cluster:
+	$(GO) run ./cmd/benchrun -cluster 1,2,4 -spec F4-T20I10 -d 2000 \
+		-repeats 3 -json BENCH_cluster.json
 
 # Regenerate BENCH_engines.json: every fixed engine vs the adaptive
 # engine=auto policy across the rising-density ladder (the same corpus the

@@ -12,6 +12,7 @@
 //	benchrun -budget 120s           # skip cells after an algorithm exceeds 2 min
 //	benchrun -csv results.csv       # machine-readable output too
 //	benchrun -workers 1,2,4         # parallel Pincer workers sweep (with -json out.json)
+//	benchrun -cluster 1,2,4         # distributed sweep over an in-process loopback cluster
 //	benchrun -vertical -spec F4-T20I10      # scan vs tid-list counting sweep
 //	benchrun -counter tidlist       # figure cells count by tid-list intersection
 //	benchrun -timeout 10m           # stop cleanly after 10 minutes (Ctrl-C does the same)
@@ -78,7 +79,8 @@ func run(args []string) error {
 	baselines := fs.Bool("baselines", false, "run the cross-algorithm comparison (§5's baselines) instead of the figures")
 	baselineSup := fs.Float64("baseline-support", 0.06, "minimum support for the baseline comparison")
 	workersList := fs.String("workers", "", "comma-separated worker counts, e.g. 1,2,4 (0 = GOMAXPROCS): run the count-distribution parallel Pincer sweep instead of the figures")
-	parallelSup := fs.Float64("parallel-support", 0.06, "minimum support for the parallel sweep")
+	clusterList := fs.String("cluster", "", "comma-separated cluster worker counts, e.g. 1,2,4: run the distributed sweep over an in-process loopback cluster instead of the figures (honors -spec, -d, -repeats, -parallel-support, -json)")
+	parallelSup := fs.Float64("parallel-support", 0.06, "minimum support for the parallel and cluster sweeps")
 	repeats := fs.Int("repeats", 3, "parallel sweep: measurements per setting (minimum is reported)")
 	jsonPath := fs.String("json", "", "parallel sweep: also write the report as JSON to this file")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address while the benchmark runs (e.g. localhost:6060)")
@@ -231,6 +233,57 @@ func run(args []string) error {
 		for _, c := range rep.Cells {
 			if !c.Agree && c.Scan.Err == "" && c.TidList.Err == "" {
 				return fmt.Errorf("correctness check failed: tidlist disagrees with scan at minsup %g", c.Support)
+			}
+		}
+		return nil
+	}
+
+	if *clusterList != "" {
+		counts, err := parseWorkers(*clusterList)
+		if err != nil {
+			return err
+		}
+		for _, n := range counts {
+			if n < 1 {
+				return fmt.Errorf("-cluster wants worker counts >= 1, got %d", n)
+			}
+		}
+		spec, ok := bench.SpecByID("F4-T20I10", *numTx)
+		if *specID != "" {
+			spec, ok = bench.SpecByID(*specID, *numTx)
+		}
+		if !ok {
+			return fmt.Errorf("unknown spec %q", *specID)
+		}
+		opt := bench.DefaultOptions()
+		opt.Engine = engine
+		opt.Pincer.Pure = *pure
+		opt.Pincer.MaxCandidatesPerPass = *maxCandidates
+		opt.Context = ctx
+		if !*quiet {
+			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		rep := bench.RunClusterSweep(spec, *parallelSup, counts, *repeats, opt)
+		if err := bench.WriteClusterTable(os.Stdout, rep); err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteClusterJSON(f, []bench.ClusterReport{rep}); err != nil {
+				return err
+			}
+		}
+		if rep.Err != "" {
+			fmt.Fprintf(os.Stderr, "benchrun: sweep stopped early: %s\n", rep.Err)
+			return nil
+		}
+		for _, m := range rep.Runs {
+			if !m.Agree && m.Err == "" {
+				return fmt.Errorf("correctness check failed: cluster workers=%d disagrees with the sequential run", m.Workers)
 			}
 		}
 		return nil

@@ -5,6 +5,23 @@
 //	pincerd -addr :8080 -spool /var/lib/pincerd [-workers n] [-queue n]
 //	        [-cache-bytes n] [-max-body-bytes n] [-max-inflight-per-remote n]
 //	        [-read-timeout d] [-write-timeout d] [-idle-timeout d]
+//	        [-role coordinator -peers host1:9001,host2:9001 [-cluster-quorum n]]
+//	pincerd -role worker -addr :9001
+//
+// # Cluster roles
+//
+// With -role worker the daemon serves only the cluster counting protocol
+// (internal/cluster): it holds content-addressed dataset shards pushed by a
+// coordinator and answers per-pass count RPCs. No spool is needed; a
+// restarted worker is re-seeded on demand.
+//
+// With -role coordinator (the default role with -peers set) the daemon
+// serves the full REST API and additionally accepts jobs with
+// "cluster": true, distributing their support counting over the -peers
+// workers with heartbeat liveness, retry with backoff, shard reassignment
+// on worker death, and graceful degradation to local counting below
+// -cluster-quorum — the job still finishes, and the result document's
+// "cluster" field records how.
 //
 // The daemon exposes the REST API of internal/server: POST /v1/jobs to
 // submit a mining job (inline baskets or a server-side dataset file, any of
@@ -34,9 +51,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"pincer/internal/cluster"
+	"pincer/internal/obsv"
 	"pincer/internal/server"
 )
 
@@ -47,6 +67,56 @@ func main() {
 	}
 }
 
+// runWorker serves the cluster counting protocol: the whole daemon is one
+// cluster.Worker (plus /healthz and the debug endpoints). Workers keep no
+// durable state — a restarted worker is re-seeded by its coordinator on the
+// next unknown-shard reply.
+func runWorker(addr string, readTimeout, writeTimeout, idleTimeout, shutdownTimeout time.Duration, logger *log.Logger) error {
+	reg := obsv.NewRegistry()
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		ID:   fmt.Sprintf("%s/pid%d", addr, os.Getpid()),
+		Logf: logger.Printf,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/v1/", w)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		rw.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	obsv.RegisterDebug(mux, reg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	logger.Printf("cluster worker listening on http://%s", ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	select {
+	case <-sigCh:
+	case err := <-serveErr:
+		return err
+	}
+	signal.Stop(sigCh)
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("stopped")
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("pincerd", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
@@ -54,28 +124,76 @@ func run(args []string) error {
 	workers := fs.Int("workers", 2, "mining worker pool size")
 	queue := fs.Int("queue", 16, "run-queue bound; a full queue answers 429")
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "result cache byte bound (-1 disables caching)")
+	datasetCacheBytes := fs.Int64("dataset-cache-bytes", 64<<20, "parsed-dataset cache byte bound; repeat submissions of a database skip parsing and profiling (-1 disables)")
 	maxBodyBytes := fs.Int64("max-body-bytes", 8<<20, "request body byte cap; oversize bodies answer 413 (-1 disables)")
 	maxInflight := fs.Int("max-inflight-per-remote", 64, "concurrent in-flight request cap per remote host; excess answers 429 (0 = unlimited)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 	writeTimeout := fs.Duration("write-timeout", 120*time.Second, "http.Server WriteTimeout (bounds long pprof profiles too)")
 	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "how long shutdown waits for jobs before giving up")
+	role := fs.String("role", "coordinator", "cluster role: coordinator (full API; distributes cluster jobs over -peers) or worker (counting node only)")
+	peers := fs.String("peers", "", "comma-separated worker base URLs (e.g. http://host1:9001,http://host2:9001); enables cluster jobs")
+	clusterQuorum := fs.Int("cluster-quorum", 1, "minimum live workers for distributed counting; below it cluster jobs degrade to local counting")
+	heartbeat := fs.Duration("cluster-heartbeat", 500*time.Millisecond, "worker heartbeat ping interval")
+	liveness := fs.Duration("cluster-liveness", 0, "declare a worker dead after this long without a successful ping (0 = 4 × heartbeat)")
+	rpcTimeout := fs.Duration("cluster-rpc-timeout", 10*time.Second, "per-attempt timeout of each cluster count/load RPC")
+	shardsPerWorker := fs.Int("cluster-shards-per-worker", 2, "dataset shards per worker (reassignment granularity on node loss)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	logger := log.New(os.Stderr, "pincerd: ", log.LstdFlags)
+	switch *role {
+	case "worker":
+		return runWorker(*addr, *readTimeout, *writeTimeout, *idleTimeout, *shutdownTimeout, logger)
+	case "coordinator":
+	default:
+		return fmt.Errorf("unknown -role %q (want coordinator or worker)", *role)
 	}
 	if *spoolDir == "" {
 		fs.Usage()
 		return errors.New("-spool is required")
 	}
 
-	logger := log.New(os.Stderr, "pincerd: ", log.LstdFlags)
+	// One registry for the daemon and the cluster pool, so the
+	// pincer_cluster_* series serve from the same /metrics endpoint.
+	reg := obsv.NewRegistry()
+	var pool *cluster.Pool
+	if *peers != "" {
+		var addrs []string
+		for _, a := range strings.Split(*peers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		var err error
+		pool, err = cluster.NewPool(addrs, cluster.PoolConfig{
+			HeartbeatInterval: *heartbeat,
+			LivenessDeadline:  *liveness,
+			RPCTimeout:        *rpcTimeout,
+			Quorum:            *clusterQuorum,
+			ShardsPerWorker:   *shardsPerWorker,
+			Registry:          reg,
+			Logf:              logger.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		pool.Start()
+		defer pool.Close()
+		logger.Printf("cluster: %d worker peers, quorum %d", len(pool.Workers()), *clusterQuorum)
+	}
+
 	srv, err := server.New(server.Config{
 		SpoolDir:             *spoolDir,
 		Workers:              *workers,
 		QueueSize:            *queue,
 		CacheMaxBytes:        *cacheBytes,
+		DatasetCacheBytes:    *datasetCacheBytes,
 		MaxBodyBytes:         *maxBodyBytes,
 		MaxInflightPerRemote: *maxInflight,
+		Registry:             reg,
+		Cluster:              pool,
 		Logf:                 logger.Printf,
 	})
 	if err != nil {

@@ -23,6 +23,13 @@
 // spool-resume path mid-burst; with -verify every complete result is
 // diffed against a sequential reference mine — a lost job or a divergent
 // result fails the run with exit status 1.
+//
+// -cluster-workers n attaches n in-process cluster counting workers to the
+// -local daemon and adds distributed ("cluster") cells to the mix;
+// -chaos-kill-worker turns the chaos ticks into worker kills — crashing a
+// worker at a pass barrier on even ticks and mid-scan on odd ones instead
+// of restarting the daemon — exercising the coordinator's retry,
+// reassignment, and quorum-degradation machinery under load.
 package main
 
 import (
@@ -67,8 +74,10 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "mix seed (equal seeds replay the same request sequence)")
 	jobDeadline := fs.Duration("job-deadline", 5*time.Second, "deadline_ms stamped on every job; pathological cells end partial instead of wedging a worker (0 = none)")
 	verify := fs.Bool("verify", false, "diff every complete result against a sequential reference mine")
-	chaosInterval := fs.Duration("chaos-interval", 0, "kill-restart the -local daemon on this interval (0 = off)")
+	chaosInterval := fs.Duration("chaos-interval", 0, "inject one chaos fault on this interval (0 = off); restarts the -local daemon unless -chaos-kill-worker redirects the ticks")
 	chaosRestarts := fs.Int("chaos-restarts", 2, "restart budget for -chaos-interval (0 = until the window closes)")
+	clusterWorkers := fs.Int("cluster-workers", 0, "attach this many in-process cluster counting workers to the -local daemon and add cluster cells to the mix (0 = no cluster)")
+	chaosKillWorker := fs.Bool("chaos-kill-worker", false, "chaos ticks kill a cluster worker (pass-barrier/mid-scan alternating) instead of restarting the daemon")
 	out := fs.String("out", "BENCH_serve_load.json", "report file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +88,15 @@ func run(args []string) error {
 	}
 	if *chaosInterval > 0 && !*local {
 		return errors.New("-chaos-interval needs -local (the harness must own the daemon it restarts)")
+	}
+	if *clusterWorkers > 0 && !*local {
+		return errors.New("-cluster-workers needs -local (the harness must own the cluster it attaches)")
+	}
+	if *chaosKillWorker && *clusterWorkers <= 0 {
+		return errors.New("-chaos-kill-worker needs -cluster-workers (there must be workers to kill)")
+	}
+	if *chaosKillWorker && *chaosInterval <= 0 {
+		return errors.New("-chaos-kill-worker needs -chaos-interval (the kill cadence)")
 	}
 	minsups, err := parseFloats(*minsupFlag)
 	if err != nil {
@@ -111,21 +129,34 @@ func run(args []string) error {
 			}
 			defer os.RemoveAll(dir)
 		}
-		daemon, err := loadgen.StartLocal(server.Config{
+		scfg := server.Config{
 			SpoolDir:  dir,
 			Workers:   *workers,
 			QueueSize: *queue,
-		})
+		}
+		var lc *loadgen.LocalCluster
+		if *clusterWorkers > 0 {
+			if lc, err = loadgen.StartLocalCluster(*clusterWorkers, logger.Printf); err != nil {
+				return err
+			}
+			defer lc.Close()
+			scfg.Cluster = lc.Pool()
+			miners = append(miners, "cluster")
+			logger.Printf("local cluster: %d counting workers attached", lc.Workers())
+		}
+		daemon, err := loadgen.StartLocal(scfg)
 		if err != nil {
 			return err
 		}
 		defer daemon.Close()
 		cfg.BaseURL = daemon.URL()
 		if *chaosInterval > 0 {
-			cfg.Chaos = &loadgen.ChaosConfig{
-				Interval:    *chaosInterval,
-				MaxRestarts: *chaosRestarts,
-				Restart:     daemon.Restart,
+			cfg.Chaos = &loadgen.ChaosConfig{Interval: *chaosInterval}
+			if *chaosKillWorker {
+				cfg.Chaos.KillWorker = lc.ChaosTick
+			} else {
+				cfg.Chaos.MaxRestarts = *chaosRestarts
+				cfg.Chaos.Restart = daemon.Restart
 			}
 		}
 		logger.Printf("local daemon at %s (spool %s)", cfg.BaseURL, dir)

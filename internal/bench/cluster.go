@@ -1,0 +1,227 @@
+package bench
+
+// The distributed-counting sweep: sequential Pincer-Search against the
+// coordinator/worker cluster at each worker count, with the workers booted
+// in-process on loopback HTTP. On one machine this measures the
+// coordination overhead of the wire protocol (shard push, per-pass count
+// RPCs, barrier merges) — NOT a speedup: every "remote" worker shares the
+// local CPUs, so the report never calls the ratio one. What the sweep
+// certifies is the distribution contract — byte-identical MFS, supports,
+// and pass/candidate statistics at every cluster width — plus honest
+// wall-clock and RPC accounting for the overhead.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"pincer/internal/cluster"
+	"pincer/internal/core"
+	"pincer/internal/dataset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+// ClusterMeasure is one worker-count setting of a distributed sweep.
+type ClusterMeasure struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	// OverheadVsSequential is this setting's seconds / sequential seconds
+	// (> 1 means the wire protocol cost that much); it is the honest
+	// loopback statistic where a "speedup" would be fiction.
+	OverheadVsSequential float64 `json:"overhead_vs_sequential,omitempty"`
+	// Shards and RPCs account the distribution work of the fastest repeat.
+	Shards int   `json:"shards"`
+	RPCs   int64 `json:"rpcs"`
+	// Agree reports the distribution contract: identical MFS, supports,
+	// and per-pass candidate statistics against the sequential run.
+	Agree bool `json:"agree"`
+	// Err records why this setting produced no measurement.
+	Err string `json:"error,omitempty"`
+}
+
+// ClusterReport is one spec's sequential-vs-distributed sweep.
+type ClusterReport struct {
+	SpecID       string  `json:"spec"`
+	Database     string  `json:"database"`
+	Support      float64 `json:"min_support"`
+	Transactions int     `json:"transactions"`
+	// CPUs and GoMaxProcs record the hardware context; with loopback
+	// workers every setting shares them, which is why the report prices
+	// overhead rather than claiming speedups.
+	CPUs       int `json:"cpus"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Repeats is the measurements per setting; Seconds values are the
+	// minimum over the repeats.
+	Repeats           int              `json:"repeats"`
+	SequentialSeconds float64          `json:"sequential_seconds"`
+	Passes            int              `json:"passes"`
+	Candidates        int64            `json:"candidates"`
+	MFSSize           int              `json:"mfs_size"`
+	Runs              []ClusterMeasure `json:"runs"`
+	// Err records why the sweep stopped before producing its runs.
+	Err string `json:"error,omitempty"`
+}
+
+// loopbackWorkers boots n cluster counting workers on loopback HTTP and
+// returns their base URLs with a shutdown func.
+func loopbackWorkers(n int) ([]string, func(), error) {
+	var servers []*http.Server
+	stop := func() {
+		for _, hs := range servers {
+			hs.Close()
+		}
+	}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		w := cluster.NewWorker(cluster.WorkerConfig{ID: fmt.Sprintf("bench%d", i)})
+		hs := &http.Server{Handler: w, ReadHeaderTimeout: 5 * time.Second}
+		go hs.Serve(ln)
+		servers = append(servers, hs)
+		addrs = append(addrs, "http://"+ln.Addr().String())
+	}
+	return addrs, stop, nil
+}
+
+// RunClusterSweep generates the spec's database once, runs sequential
+// Pincer-Search, then distributed Pincer-Search over an in-process loopback
+// cluster at each worker count, verifying every distributed run against the
+// sequential result. Each setting is measured `repeats` times and the
+// minimum wall clock is reported.
+func RunClusterSweep(spec Spec, support float64, workerCounts []int, repeats int, opt Options) ClusterReport {
+	if repeats < 1 {
+		repeats = 1
+	}
+	d := quest.Generate(spec.Quest)
+	rep := ClusterReport{
+		SpecID: spec.ID, Database: spec.Name(), Support: support,
+		Transactions: d.Len(), CPUs: runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0), Repeats: repeats,
+	}
+
+	popt := opt.Pincer
+	popt.Engine = opt.Engine
+	popt.KeepFrequent = false
+	if popt.Context == nil {
+		popt.Context = opt.Context
+	}
+
+	var seq *mfi.Result
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		res, err := core.Mine(dataset.NewScanner(d), support, popt)
+		if err != nil {
+			rep.Err = err.Error()
+			return rep
+		}
+		if seq == nil || res.Stats.Duration < best {
+			seq, best = res, res.Stats.Duration
+		}
+	}
+	rep.SequentialSeconds = best.Seconds()
+	rep.Passes = seq.Stats.Passes
+	rep.Candidates = seq.Stats.Candidates
+	rep.MFSSize = len(seq.MFS)
+
+	for _, n := range workerCounts {
+		if opt.cancelled() {
+			rep.Runs = append(rep.Runs, ClusterMeasure{Workers: n, Err: opt.Context.Err().Error()})
+			continue
+		}
+		m := runClusterSetting(d, spec, support, n, repeats, popt, seq, best, opt)
+		rep.Runs = append(rep.Runs, m)
+	}
+	return rep
+}
+
+// runClusterSetting measures one worker count: boot the loopback cluster,
+// mine through a fresh coordinator per repeat, keep the fastest.
+func runClusterSetting(d *dataset.Dataset, spec Spec, support float64, n, repeats int,
+	popt core.Options, seq *mfi.Result, seqBest time.Duration, opt Options) ClusterMeasure {
+	addrs, stop, err := loopbackWorkers(n)
+	if err != nil {
+		return ClusterMeasure{Workers: n, Err: err.Error()}
+	}
+	defer stop()
+	pool, err := cluster.NewPool(addrs, cluster.PoolConfig{})
+	if err != nil {
+		return ClusterMeasure{Workers: n, Err: err.Error()}
+	}
+	pool.Start()
+	defer pool.Close()
+
+	var dist *mfi.Result
+	var doc *cluster.Doc
+	dbest := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		// A coordinator is per job: fresh shard assignment and RPC
+		// accounting each repeat, over the shared pool.
+		coord, err := cluster.NewCoordinator(fmt.Sprintf("bench-%s-w%d-r%d", spec.ID, n, i), d, pool, nil)
+		if err != nil {
+			return ClusterMeasure{Workers: n, Err: err.Error()}
+		}
+		ropt := popt
+		ropt.Counter = coord
+		res, err := core.Mine(dataset.NewScanner(d), support, ropt)
+		if err != nil {
+			return ClusterMeasure{Workers: n, Err: err.Error()}
+		}
+		if dist == nil || res.Stats.Duration < dbest {
+			dist, dbest, doc = res, res.Stats.Duration, coord.Doc()
+		}
+	}
+	m := ClusterMeasure{
+		Workers: n, Seconds: dbest.Seconds(),
+		Shards: doc.Shards, RPCs: doc.RPCs,
+		Agree: sameMiningResults(dist, seq),
+	}
+	if seqBest > 0 {
+		m.OverheadVsSequential = dbest.Seconds() / seqBest.Seconds()
+	}
+	if opt.Progress != nil {
+		opt.Progress(fmt.Sprintf("%s sup=%.4f cluster workers=%d: %v (%.2fx sequential %v), %d shards, %d RPCs, agree=%v",
+			spec.ID, support, n, dbest.Round(time.Millisecond), m.OverheadVsSequential,
+			seqBest.Round(time.Millisecond), m.Shards, m.RPCs, m.Agree))
+	}
+	return m
+}
+
+// WriteClusterTable renders a sweep as a human-readable table.
+func WriteClusterTable(w io.Writer, rep ClusterReport) error {
+	fmt.Fprintf(w, "%s — distributed Pincer-Search (loopback cluster) — %s at minsup %s (|D|=%d, %d CPUs, GOMAXPROCS=%d)\n",
+		rep.SpecID, rep.Database, fmtSup(rep.Support), rep.Transactions, rep.CPUs, rep.GoMaxProcs)
+	fmt.Fprintf(w, "sequential: %.3fs over %d passes, %d candidates, |MFS|=%d (min of %d runs)\n",
+		rep.SequentialSeconds, rep.Passes, rep.Candidates, rep.MFSSize, rep.Repeats)
+	if rep.Err != "" {
+		fmt.Fprintf(w, "sweep stopped: %s\n\n", rep.Err)
+		return nil
+	}
+	fmt.Fprintln(w, "loopback workers share the CPUs, so the ratio is wire-protocol overhead, not a speedup")
+	fmt.Fprintf(w, "%-8s | %10s %9s %7s %7s %6s\n", "workers", "seconds", "overhead", "shards", "rpcs", "agree")
+	for _, m := range rep.Runs {
+		if m.Err != "" {
+			fmt.Fprintf(w, "%-8d | skipped: %s\n", m.Workers, m.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%-8d | %10.3f %8.2fx %7d %7d %6v\n",
+			m.Workers, m.Seconds, m.OverheadVsSequential, m.Shards, m.RPCs, m.Agree)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteClusterJSON writes sweeps as an indented JSON document.
+func WriteClusterJSON(w io.Writer, reps []ClusterReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reps)
+}

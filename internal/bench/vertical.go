@@ -51,12 +51,12 @@ type VerticalCell struct {
 
 // VerticalReport is one spec's scan-vs-tidlist counting sweep.
 type VerticalReport struct {
-	SpecID       string  `json:"spec"`
-	Database     string  `json:"database"`
-	Transactions int     `json:"transactions"`
-	MinItems     int     `json:"num_items"`
-	Workers      int     `json:"workers"`
-	Rep          string  `json:"representation_mode"`
+	SpecID       string `json:"spec"`
+	Database     string `json:"database"`
+	Transactions int    `json:"transactions"`
+	MinItems     int    `json:"num_items"`
+	Workers      int    `json:"workers"`
+	Rep          string `json:"representation_mode"`
 	// CPUs and GoMaxProcs record the hardware context of every report in
 	// the multi-core protocol, whether or not the measurement depends on it.
 	CPUs       int `json:"cpus"`

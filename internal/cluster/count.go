@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"pincer/internal/counting"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+// directElemsMax mirrors core's threshold: up to this many MFCS elements
+// are counted by direct per-transaction bitset subset tests, above it a
+// trie over the elements is cheaper. The counts are identical either way.
+const directElemsMax = 16
+
+// countShard performs one pass's counting over one shard — the pure
+// procedure shared by the worker's count handler and the coordinator's
+// local fallback, so a shard counted locally after node loss contributes
+// exactly the bytes its worker would have. It mirrors core's sequential
+// PassCounter kind by kind; the scanner's universe must equal
+// req.NumItems so count vectors align positionally across shards.
+//
+// tick, when non-nil, is called once per scanned transaction; a non-nil
+// return aborts the scan (the fault-injection mid-scan kill). The
+// coordinator's local path instead passes a tick that panics the typed
+// mining abort on cancellation, matching in-process counters.
+func countShard(sc *dataset.MemoryScanner, req *CountRequest, tick func() error) (*CountResponse, error) {
+	resp := &CountResponse{ShardID: req.ShardID, Pass: req.Pass, Transactions: sc.Len()}
+	var abort error
+	scan := func(fn func(tx itemset.Itemset, bits *itemset.Bitset)) bool {
+		sc.Scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+			if abort != nil {
+				return
+			}
+			if tick != nil {
+				if err := tick(); err != nil {
+					abort = err
+					return
+				}
+			}
+			fn(tx, bits)
+		})
+		return abort == nil
+	}
+
+	switch req.Kind {
+	case KindItems:
+		array := counting.NewItemArray(req.NumItems)
+		elemCounts := make([]int64, len(req.Elems))
+		elemBits := bitsetsOf(req.NumItems, req.Elems)
+		ok := scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+			array.Add(tx)
+			for i, eb := range elemBits {
+				if eb.IsSubsetOf(bits) {
+					elemCounts[i]++
+				}
+			}
+		})
+		if !ok {
+			return nil, abort
+		}
+		resp.ItemCounts = array.Counts()
+		resp.ElemCounts = elemCounts
+
+	case KindPairs:
+		tri := counting.NewTriangle(req.NumItems, req.Live)
+		elemCounts := make([]int64, len(req.Elems))
+		elemBits := bitsetsOf(req.NumItems, req.Elems)
+		ok := scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+			tri.Add(tx)
+			for i, eb := range elemBits {
+				if eb.IsSubsetOf(bits) {
+					elemCounts[i]++
+				}
+			}
+		})
+		if !ok {
+			return nil, abort
+		}
+		_, _, resp.PairCounts = tri.Snapshot()
+		resp.ElemCounts = elemCounts
+
+	case KindCandidates:
+		var counter counting.Counter
+		if len(req.Candidates) > 0 {
+			counter = counting.NewCounter(parseEngine(req.Engine), req.Candidates)
+		}
+		var elemCounter counting.Counter
+		var elemCounts []int64
+		var elemBits []*itemset.Bitset
+		if len(req.Elems) > directElemsMax {
+			// MFCS elements form an antichain, so the trie handles the
+			// mixed lengths safely (same rationale as core).
+			elemCounter = counting.NewTrie(req.Elems)
+		} else {
+			elemCounts = make([]int64, len(req.Elems))
+			elemBits = bitsetsOf(req.NumItems, req.Elems)
+		}
+		ok := scan(func(tx itemset.Itemset, bits *itemset.Bitset) {
+			if counter != nil {
+				counter.Add(tx)
+			}
+			if elemCounter != nil {
+				elemCounter.Add(tx)
+			} else {
+				for i, eb := range elemBits {
+					if eb.IsSubsetOf(bits) {
+						elemCounts[i]++
+					}
+				}
+			}
+		})
+		if !ok {
+			return nil, abort
+		}
+		if elemCounter != nil {
+			elemCounts = elemCounter.Counts()
+		}
+		if counter != nil {
+			resp.CandCounts = counter.Counts()
+		}
+		resp.ElemCounts = elemCounts
+	}
+	return resp, nil
+}
+
+// bitsetsOf builds the dense forms of sets over the given universe.
+func bitsetsOf(universe int, sets []itemset.Itemset) []*itemset.Bitset {
+	if len(sets) == 0 {
+		return nil
+	}
+	out := make([]*itemset.Bitset, len(sets))
+	for i, s := range sets {
+		out[i] = itemset.BitsetOf(universe, s)
+	}
+	return out
+}
+
+// parseEngine maps a validated wire engine name to the counting engine
+// ("" = hashtree, the default).
+func parseEngine(name string) counting.Engine {
+	if name == "" {
+		return counting.EngineHashTree
+	}
+	e, _ := counting.ParseEngine(name)
+	return e
+}

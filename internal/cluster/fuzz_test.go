@@ -1,0 +1,85 @@
+package cluster_test
+
+// FuzzClusterMessage throws arbitrary bytes at a worker's wire endpoints:
+// the contract is that a worker never panics, answers 200 only for a
+// well-formed, semantically valid message, and answers every rejection as a
+// typed JSON error document with a machine-readable reason — the same
+// contract FuzzJobRequest pins for the public server API.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pincer/internal/cluster"
+)
+
+func FuzzClusterMessage(f *testing.F) {
+	shard := "1 2 3\n2 3\n"
+	sum := sha256.Sum256([]byte(shard))
+	id := hex.EncodeToString(sum[:])
+
+	// Seeds: valid load and count messages on each route, then one per
+	// rejection class the decoders must map to a typed error.
+	f.Add("/cluster/v1/shards", []byte(fmt.Sprintf(`{"shard_id":%q,"num_items":8,"baskets":%q}`, id, shard)))
+	f.Add("/cluster/v1/shards", []byte(fmt.Sprintf(`{"shard_id":%q,"num_items":8,"baskets":"tampered"}`, id)))
+	f.Add("/cluster/v1/shards", []byte(`{"shard_id":"short","num_items":8,"baskets":""}`))
+	f.Add("/cluster/v1/shards", []byte(`{"shard_id":"ZZ","num_items":-1}`))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":1,"kind":"items","shard_id":%q,"num_items":8}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":2,"kind":"pairs","shard_id":%q,"num_items":8,"live":[1,2,3]}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":3,"kind":"candidates","shard_id":%q,"num_items":8,"engine":"trie","candidates":[[1,2,3]]}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":1,"kind":"items","shard_id":%q,"num_items":8,"elems":[[1,2]]}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":1,"kind":"nope","shard_id":%q,"num_items":8}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":1,"kind":"items","shard_id":%q,"num_items":8,"live":[1]}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":1,"kind":"items","shard_id":%q,"num_items":8,"candidates":[[1]]}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":3,"kind":"candidates","shard_id":%q,"num_items":8,"engine":"quantum","candidates":[[1]]}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":2,"kind":"pairs","shard_id":%q,"num_items":8,"live":[3,2,1]}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":2,"kind":"pairs","shard_id":%q,"num_items":4,"live":[1,9]}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":-1,"kind":"items","shard_id":%q,"num_items":8}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":1,"kind":"items","shard_id":%q,"num_items":99999999}`, id)))
+	f.Add("/cluster/v1/count", []byte(fmt.Sprintf(`{"job_id":"j","pass":1,"kind":"items","shard_id":%q,"num_items":8,"bogus":1}`, id)))
+	f.Add("/cluster/v1/count", []byte(`{not json`))
+	f.Add("/cluster/v1/count", []byte(``))
+	f.Add("/cluster/v1/count", []byte(`null`))
+	f.Add("/cluster/v1/count", []byte(`{"job_id":"j"} trailing`))
+	f.Add("/cluster/v1/other", []byte(`{}`))
+
+	w := cluster.NewWorker(cluster.WorkerConfig{ID: "fuzz", MaxBodyBytes: 1 << 20})
+
+	f.Fuzz(func(t *testing.T, path string, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "http://worker/"+sanitizePath(path), bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		w.ServeHTTP(rec, req) // must not panic, whatever the bytes
+		if rec.Code == http.StatusOK {
+			return
+		}
+		var e struct {
+			Error  string `json:"error"`
+			Reason string `json:"reason"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("%d response is not the error JSON shape (%v): %q", rec.Code, err, rec.Body.String())
+		}
+		if e.Reason == "" {
+			t.Fatalf("%d response lacks typed reason: %q", rec.Code, rec.Body.String())
+		}
+	})
+}
+
+// sanitizePath keeps fuzzed paths legal for http.NewRequest while leaving
+// the router's behavior fully exercised.
+func sanitizePath(p string) string {
+	clean := make([]byte, 0, len(p))
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		if c > ' ' && c < 0x7f && c != '#' && c != '?' && c != '%' {
+			clean = append(clean, c)
+		}
+	}
+	return string(clean)
+}

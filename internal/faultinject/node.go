@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNodeKilled is the error a killed node's hooks return; the cluster
+// worker surfaces it as a 5xx, which the coordinator treats like any other
+// node failure.
+var ErrNodeKilled = errors.New("faultinject: node killed")
+
+// NodeKill models the crash of one cluster worker node. Wired into a
+// cluster worker's fault seams (Down / CountHook / TxHook), it kills the
+// node at the start of the TripAtCount-th count request (a pass-barrier
+// crash) or, with AfterTx > 0, after that request has scanned AfterTx
+// transactions (a mid-scan crash). Once tripped the node stays down —
+// every subsequent request, heartbeats included, fails — until Revive,
+// exactly like a crashed process awaiting restart.
+type NodeKill struct {
+	// TripAtCount is the 1-based count-request ordinal to kill at
+	// (0 = never trip; the node only goes down via Kill).
+	TripAtCount int
+	// AfterTx delays the trip until the tripping request has scanned this
+	// many transactions (0 = at the pass barrier, before any scanning).
+	AfterTx int
+	// OnTrip, when set, runs once at the trip.
+	OnTrip func()
+
+	mu     sync.Mutex
+	counts int
+	armed  bool // the tripping count is in progress (AfterTx > 0)
+	txSeen int
+	down   bool
+}
+
+// Down reports whether the node is dead; wire it to the worker's Down seam.
+func (k *NodeKill) Down() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.down
+}
+
+// Kill forces the node down immediately (the chaos harness's external
+// kill, independent of any tripwire).
+func (k *NodeKill) Kill() {
+	k.mu.Lock()
+	k.down = true
+	k.mu.Unlock()
+}
+
+// Revive brings the node back up and disarms a pending mid-scan trip; the
+// tripwire does not re-trip.
+func (k *NodeKill) Revive() {
+	k.mu.Lock()
+	k.down = false
+	k.armed = false
+	k.mu.Unlock()
+}
+
+// Arm re-arms the tripwire on a live node: the node goes down at the
+// tripAtCount-th count request from now (its count ordinal restarts at
+// zero), after afterTx scanned transactions (0 = right at the pass
+// barrier). Unlike setting the fields directly — which is only safe before
+// the node serves traffic — Arm synchronizes with in-flight hooks, so the
+// chaos harness can schedule barrier and mid-scan kills mid-run.
+func (k *NodeKill) Arm(tripAtCount, afterTx int) {
+	k.mu.Lock()
+	k.counts = 0
+	k.TripAtCount = tripAtCount
+	k.AfterTx = afterTx
+	k.armed = false
+	k.mu.Unlock()
+}
+
+// CountHook registers one count request; wire it to the worker's
+// CountHook seam. It returns ErrNodeKilled at a pass-barrier trip.
+func (k *NodeKill) CountHook() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.down {
+		return ErrNodeKilled
+	}
+	k.counts++
+	if k.TripAtCount == 0 || k.counts != k.TripAtCount {
+		return nil
+	}
+	if k.AfterTx > 0 {
+		k.armed = true
+		k.txSeen = 0
+		return nil
+	}
+	k.trip()
+	return ErrNodeKilled
+}
+
+// TxHook registers one scanned transaction; wire it to the worker's
+// TxHook seam. It returns ErrNodeKilled at a mid-scan trip.
+func (k *NodeKill) TxHook() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.down {
+		return ErrNodeKilled
+	}
+	if !k.armed {
+		return nil
+	}
+	k.txSeen++
+	if k.txSeen < k.AfterTx {
+		return nil
+	}
+	k.armed = false
+	k.trip()
+	return ErrNodeKilled
+}
+
+// trip marks the node down (caller holds mu).
+func (k *NodeKill) trip() {
+	k.down = true
+	if k.OnTrip != nil {
+		k.OnTrip()
+	}
+}

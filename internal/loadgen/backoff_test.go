@@ -1,0 +1,61 @@
+package loadgen
+
+import (
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	resp := func(code int, header string) *http.Response {
+		r := &http.Response{StatusCode: code, Header: http.Header{}}
+		if header != "" {
+			r.Header.Set("Retry-After", header)
+		}
+		return r
+	}
+	cases := []struct {
+		code   int
+		header string
+		want   time.Duration
+	}{
+		{http.StatusTooManyRequests, "3", 3 * time.Second},
+		{http.StatusServiceUnavailable, "1", time.Second},
+		{http.StatusTooManyRequests, "", 0},     // absent: caller falls back
+		{http.StatusTooManyRequests, "soon", 0}, // unparsable
+		{http.StatusTooManyRequests, "0", 0},    // non-positive
+		{http.StatusTooManyRequests, "-2", 0},   // non-positive
+		{http.StatusOK, "5", 0},                 // no backoff semantics on 200
+		{http.StatusNotFound, "5", 0},           // nor on 404
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(resp(tc.code, tc.header)); got != tc.want {
+			t.Errorf("parseRetryAfter(%d, %q) = %v, want %v", tc.code, tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffDelay pins the jitter envelope: with server guidance the wait
+// lands in [0.75, 1.25) of the advertised duration — long enough to respect
+// the hint, spread enough that rejected clients do not return in lockstep —
+// and without guidance the caller's fallback passes through untouched.
+func TestBackoffDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const retryAfter = 4 * time.Second
+	lo, hi := retryAfter*3/4, retryAfter*5/4
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 1000; i++ {
+		d := backoffDelay(rng, retryAfter, time.Millisecond)
+		if d < lo || d > hi {
+			t.Fatalf("backoffDelay = %v outside [%v, %v]", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("only %d distinct delays in 1000 draws; jitter is not spreading", len(seen))
+	}
+	if d := backoffDelay(rng, 0, 7*time.Millisecond); d != 7*time.Millisecond {
+		t.Errorf("no-guidance fallback = %v, want 7ms", d)
+	}
+}

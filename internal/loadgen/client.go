@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,21 +84,41 @@ func newClient(baseURL string, hc *http.Client, rec *recorder) *client {
 func (c *client) baseURL() string     { return c.base.Load().(string) }
 func (c *client) setBase(base string) { c.base.Store(base) }
 
+// parseRetryAfter reads a backpressure response's Retry-After header
+// (seconds form only — the daemon never emits the HTTP-date form). 0 means
+// "no server guidance": absent header, unparsable value, or a status that
+// carries no backoff semantics.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		return 0
+	}
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Second
+}
+
 // do performs one request, records it under endpoint, and decodes the JSON
 // response into out when non-nil. A nil error with code 0 never happens:
-// transport failures return the error.
-func (c *client) do(endpoint, method, path string, body, out interface{}) (int, error) {
+// transport failures return the error. The duration is the server's
+// Retry-After guidance on backpressure responses (0 otherwise).
+func (c *client) do(endpoint, method, path string, body, out interface{}) (int, time.Duration, error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		rd = bytes.NewReader(b)
 	}
 	req, err := http.NewRequest(method, c.baseURL()+path, rd)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -106,48 +127,51 @@ func (c *client) do(endpoint, method, path string, body, out interface{}) (int, 
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		c.rec.transportError(endpoint)
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	c.rec.record(endpoint, resp.StatusCode, time.Since(start))
+	retryAfter := parseRetryAfter(resp)
 	if err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, retryAfter, err
 	}
 	if out != nil && resp.StatusCode < 300 {
 		if err := json.Unmarshal(data, out); err != nil {
-			return resp.StatusCode, fmt.Errorf("loadgen: decode %s %s: %w", method, path, err)
+			return resp.StatusCode, retryAfter, fmt.Errorf("loadgen: decode %s %s: %w", method, path, err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, retryAfter, nil
 }
 
-func (c *client) submit(cell Cell) (int, server.JobView, error) {
+func (c *client) submit(cell Cell) (int, server.JobView, time.Duration, error) {
 	spec := server.JobRequest{
 		Baskets:    cell.Baskets,
 		MinSupport: cell.MinSupport,
 		Miner:      cell.Miner,
 		Engine:     cell.Engine,
 		Workers:    cell.Workers,
+		Cluster:    cell.Cluster,
 		DeadlineMS: c.deadlineMS,
 	}
 	var v server.JobView
-	code, err := c.do("submit", http.MethodPost, "/v1/jobs", spec, &v)
-	return code, v, err
+	code, retryAfter, err := c.do("submit", http.MethodPost, "/v1/jobs", spec, &v)
+	return code, v, retryAfter, err
 }
 
-func (c *client) status(id string) (int, server.JobView, error) {
+func (c *client) status(id string) (int, server.JobView, time.Duration, error) {
 	var v server.JobView
-	code, err := c.do("status", http.MethodGet, "/v1/jobs/"+id, nil, &v)
-	return code, v, err
+	code, retryAfter, err := c.do("status", http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	return code, v, retryAfter, err
 }
 
 func (c *client) cancel(id string) (int, error) {
-	return c.do("cancel", http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+	code, _, err := c.do("cancel", http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+	return code, err
 }
 
 func (c *client) result(id string) (int, *server.ResultDoc, error) {
 	var doc server.ResultDoc
-	code, err := c.do("result", http.MethodGet, "/v1/results/"+id, nil, &doc)
+	code, _, err := c.do("result", http.MethodGet, "/v1/results/"+id, nil, &doc)
 	return code, &doc, err
 }

@@ -1,0 +1,102 @@
+package loadgen
+
+// The cluster-chaos regression: the chaos knob crashes a counting worker on
+// every tick — at a pass barrier on even ticks, mid-scan on odd ones — while
+// the mix drives distributed ("cluster") cells alongside local miners. The
+// coordinator must detect each kill by RPC exhaustion, reassign the dead
+// worker's shards to survivors at the pass barrier, and (below quorum) fall
+// back to local counting — so the assertions are the same durability
+// contract as the restart soak: no accepted job is lost, and every complete
+// result is byte-identical to the sequential reference, kills included.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pincer/internal/server"
+)
+
+func TestSoakClusterWorkerKills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run is several seconds of wall clock")
+	}
+	lc, err := StartLocalCluster(2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	d, err := StartLocal(server.Config{
+		SpoolDir:  t.TempDir(),
+		Workers:   2,
+		QueueSize: 16,
+		Cluster:   lc.Pool(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	ds := GenerateDatasets(2, 33)
+	cells := BuildCells(ds, []float64{0.25, 0.5},
+		[]string{"cluster", server.MinerApriori}, 0)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       d.URL(),
+		Cells:         cells,
+		Concurrency:   6,
+		Duration:      2500 * time.Millisecond,
+		ResubmitRatio: 0.3,
+		Seed:          17,
+		Verify:        true,
+		Chaos: &ChaosConfig{
+			Interval:   400 * time.Millisecond,
+			KillWorker: lc.ChaosTick,
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cluster soak: %d requests, jobs %+v", rep.Requests, rep.Jobs)
+
+	// The durability contract under worker loss: no accepted job vanished...
+	if rep.Jobs.Lost != 0 {
+		t.Errorf("lost %d jobs across worker kills: %v", rep.Jobs.Lost, rep.Jobs.LostIDs)
+	}
+	if rep.Jobs.Failed != 0 {
+		t.Errorf("%d jobs failed across worker kills", rep.Jobs.Failed)
+	}
+	// ...and no reassigned or degraded job's answer drifted from the
+	// sequential reference.
+	if len(rep.Jobs.Divergent) != 0 {
+		t.Errorf("results diverged from the sequential reference: %v", rep.Jobs.Divergent)
+	}
+	if rep.Jobs.Done == 0 {
+		t.Error("cluster soak completed no jobs")
+	}
+	if rep.Jobs.Verified == 0 {
+		t.Error("cluster soak verified no results")
+	}
+}
+
+func TestChaosConfigValidation(t *testing.T) {
+	base := Config{BaseURL: "http://x", Cells: []Cell{{}}, Duration: time.Second}
+
+	c := base
+	c.Chaos = &ChaosConfig{Interval: time.Second}
+	if _, err := c.withDefaults(); err == nil {
+		t.Error("ChaosConfig with neither Restart nor KillWorker passed validation")
+	}
+
+	c = base
+	c.Chaos = &ChaosConfig{Interval: time.Second, KillWorker: func(int) {}}
+	if _, err := c.withDefaults(); err != nil {
+		t.Errorf("KillWorker-only ChaosConfig rejected: %v", err)
+	}
+
+	c = base
+	c.Chaos = &ChaosConfig{KillWorker: func(int) {}}
+	if _, err := c.withDefaults(); err == nil {
+		t.Error("ChaosConfig without Interval passed validation")
+	}
+}

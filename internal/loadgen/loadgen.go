@@ -78,17 +78,25 @@ type Config struct {
 	Logf func(format string, args ...interface{})
 }
 
-// ChaosConfig is the soak mode's restart knob.
+// ChaosConfig is the soak mode's fault knob. At least one of Restart and
+// KillWorker must be set; both together restart the daemon and kill a
+// cluster worker on every tick.
 type ChaosConfig struct {
-	// Interval between restarts (required).
+	// Interval between chaos ticks (required).
 	Interval time.Duration
-	// MaxRestarts bounds the number of restarts (0 = until the window
-	// closes).
+	// MaxRestarts bounds the number of daemon restarts (0 = until the
+	// window closes). Worker kills are not bounded by it.
 	MaxRestarts int
-	// Restart must stop the daemon the hard way (abort: running jobs keep
-	// their checkpoints, the spool keeps the queue) and start a fresh
-	// generation on the same spool, returning its base URL.
+	// Restart, when set, must stop the daemon the hard way (abort: running
+	// jobs keep their checkpoints, the spool keeps the queue) and start a
+	// fresh generation on the same spool, returning its base URL.
 	Restart func() (string, error)
+	// KillWorker, when set, receives each chaos tick (0, 1, 2, ...) and
+	// must crash a cluster counting worker — at a pass barrier on even
+	// ticks, mid-scan on odd ones (see LocalCluster.ChaosTick). The
+	// coordinator's retry/reassignment machinery must keep every job's
+	// result byte-identical to an uninterrupted single-node run.
+	KillWorker func(tick int)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -113,8 +121,8 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 60 * time.Second
 	}
-	if c.Chaos != nil && (c.Chaos.Interval <= 0 || c.Chaos.Restart == nil) {
-		return c, errors.New("loadgen: ChaosConfig needs Interval and Restart")
+	if c.Chaos != nil && (c.Chaos.Interval <= 0 || (c.Chaos.Restart == nil && c.Chaos.KillWorker == nil)) {
+		return c, errors.New("loadgen: ChaosConfig needs Interval and at least one of Restart and KillWorker")
 	}
 	return c, nil
 }
@@ -236,26 +244,39 @@ func (r *runner) openLoop(loadCtx, drainCtx context.Context, wg *sync.WaitGroup)
 	}
 }
 
-// chaosLoop restarts the daemon every Interval while the window is open.
+// chaosLoop injects one fault per Interval while the window is open: a
+// cluster-worker kill (KillWorker), a daemon restart (Restart), or both.
 func (r *runner) chaosLoop(loadCtx context.Context) {
 	ticker := time.NewTicker(r.cfg.Chaos.Interval)
 	defer ticker.Stop()
-	for {
+	restartsDone := false
+	for tick := 0; ; tick++ {
 		select {
 		case <-loadCtx.Done():
 			return
 		case <-ticker.C:
 		}
+		if r.cfg.Chaos.KillWorker != nil {
+			r.cfg.Chaos.KillWorker(tick)
+			r.logf("chaos: tick %d worker kill armed", tick)
+		}
+		if r.cfg.Chaos.Restart == nil || restartsDone {
+			if r.cfg.Chaos.KillWorker == nil {
+				return
+			}
+			continue
+		}
 		r.mu.Lock()
-		done := r.cfg.Chaos.MaxRestarts > 0 && r.restarts >= r.cfg.Chaos.MaxRestarts
+		restartsDone = r.cfg.Chaos.MaxRestarts > 0 && r.restarts >= r.cfg.Chaos.MaxRestarts
 		r.mu.Unlock()
-		if done {
-			return
+		if restartsDone {
+			continue
 		}
 		base, err := r.cfg.Chaos.Restart()
 		if err != nil {
 			r.logf("chaos: restart failed: %v", err)
-			return
+			restartsDone = true
+			continue
 		}
 		r.cli.setBase(base)
 		r.mu.Lock()
@@ -287,7 +308,7 @@ func (r *runner) pickCell(rng *rand.Rand) int {
 // terminal state (optionally cancelling it first).
 func (r *runner) oneOp(rng *rand.Rand, drainCtx context.Context) {
 	idx := r.pickCell(rng)
-	code, view, err := r.cli.submit(r.cfg.Cells[idx])
+	code, view, retryAfter, err := r.cli.submit(r.cfg.Cells[idx])
 	if err != nil {
 		// Transport failure: routine while a chaos restart holds the
 		// daemon down; back off briefly and let the loop retry.
@@ -310,13 +331,24 @@ func (r *runner) oneOp(rng *rand.Rand, drainCtx context.Context) {
 			t.cancelAsked = true
 			r.mu.Unlock()
 		}
-		r.follow(drainCtx, t)
+		r.follow(drainCtx, rng, t)
 	case http.StatusTooManyRequests:
-		sleepCtx(drainCtx, time.Duration(2+rng.Intn(8))*time.Millisecond)
+		sleepCtx(drainCtx, backoffDelay(rng, retryAfter, time.Duration(2+rng.Intn(8))*time.Millisecond))
 	case http.StatusServiceUnavailable:
 		// The daemon is shutting down under chaos; wait out the restart.
-		sleepCtx(drainCtx, 20*time.Millisecond)
+		sleepCtx(drainCtx, backoffDelay(rng, retryAfter, 20*time.Millisecond))
 	}
+}
+
+// backoffDelay turns the server's Retry-After guidance into a wait: the
+// advertised duration jittered to [0.75, 1.25) so a herd of rejected clients
+// does not return in lockstep and re-saturate the queue in one instant. With
+// no guidance (retryAfter 0) the caller's fallback applies unchanged.
+func backoffDelay(rng *rand.Rand, retryAfter, fallback time.Duration) time.Duration {
+	if retryAfter <= 0 {
+		return fallback
+	}
+	return retryAfter*3/4 + time.Duration(rng.Int63n(int64(retryAfter/2)+1))
 }
 
 // terminalStatuses are the states a followed job can rest in. Note that
@@ -332,15 +364,17 @@ var terminalStatuses = map[string]bool{
 // follow polls the job until it reaches a terminal state (or the drain
 // window closes — the job then counts as lost). Transport errors and 404s
 // during a chaos restart are retried: the job's spool entry guarantees the
-// next daemon generation knows it.
-func (r *runner) follow(drainCtx context.Context, t *trackedJob) {
+// next daemon generation knows it. A backpressured poll (the per-remote
+// in-flight cap answers 429) waits out the server's Retry-After guidance
+// with jitter instead of hammering on at the fixed poll interval.
+func (r *runner) follow(drainCtx context.Context, rng *rand.Rand, t *trackedJob) {
 	for {
-		code, view, err := r.cli.status(t.id)
+		code, view, retryAfter, err := r.cli.status(t.id)
 		if err == nil && code == http.StatusOK && terminalStatuses[view.Status] {
 			r.finishTracked(t, view)
 			return
 		}
-		if !sleepCtx(drainCtx, r.cfg.PollInterval) {
+		if !sleepCtx(drainCtx, backoffDelay(rng, retryAfter, r.cfg.PollInterval)) {
 			return // drain window closed: left non-terminal, reported lost
 		}
 	}

@@ -39,6 +39,9 @@ type Cell struct {
 	// to the daemon's adaptive policy); empty for the miner's default.
 	Engine  string
 	Workers int
+	// Cluster submits the job with "cluster": true, distributing its
+	// support counting over the daemon's worker cluster.
+	Cluster bool
 }
 
 // Name renders the cell for reports and logs.
@@ -46,6 +49,9 @@ func (c Cell) Name() string {
 	miner := c.Miner
 	if c.Engine != "" {
 		miner += "/" + c.Engine
+	}
+	if c.Cluster {
+		miner += "+cluster"
 	}
 	return fmt.Sprintf("%s/s=%g/%s", c.Dataset, c.MinSupport, miner)
 }
@@ -85,15 +91,18 @@ func GenerateDatasets(n int, seed int64) []Dataset {
 // BuildCells crosses datasets × minsups × miners into the request mix.
 // A miner entry may carry an engine after a slash — "pincer/auto" submits
 // the pincer miner with the counting engine delegated to the daemon's
-// adaptive policy; the bare "auto" delegates the whole plan. workers is
-// applied to parallel-miner cells only.
+// adaptive policy; the bare "auto" delegates the whole plan, and "cluster"
+// submits the pincer miner with its support counting distributed over the
+// daemon's worker cluster. workers is applied to parallel-miner cells only.
 func BuildCells(ds []Dataset, minsups []float64, miners []string, workers int) []Cell {
 	cells := make([]Cell, 0, len(ds)*len(minsups)*len(miners))
 	for _, d := range ds {
 		for _, s := range minsups {
 			for _, m := range miners {
 				c := Cell{Dataset: d.Name, Baskets: d.Baskets, MinSupport: s, Miner: m}
-				if miner, engine, ok := strings.Cut(m, "/"); ok {
+				if m == "cluster" {
+					c.Miner, c.Cluster = server.MinerPincer, true
+				} else if miner, engine, ok := strings.Cut(m, "/"); ok {
 					c.Miner, c.Engine = miner, engine
 				}
 				if c.Miner == server.MinerParallel {

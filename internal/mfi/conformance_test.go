@@ -7,7 +7,8 @@ package mfi_test
 // sequential Pincer-Search (scan-counted and tid-list-counted at 1 and 4
 // workers), Apriori, the top-down miner, maximal Eclat, the FP-max
 // pattern-tree miner, and
-// the count-distribution parallel Pincer-Search at 1 and 4 workers — must
+// the count-distribution parallel Pincer-Search at 1 and 4 workers, and
+// Pincer-Search counting over a live two-worker HTTP cluster — must
 // reproduce the goldens byte for byte; the complete-frequent-set goldens are
 // additionally pinned by both Apriori and full Eclat, two algorithms with no
 // shared counting code.
@@ -20,12 +21,15 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
 	"testing"
+	"time"
 
 	"pincer/internal/apriori"
+	"pincer/internal/cluster"
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
@@ -194,6 +198,52 @@ func readGolden(t *testing.T, path string) []byte {
 	return data
 }
 
+// mineOnCluster runs the pincer loop with counting distributed over a live
+// coordinator/worker cluster (httptest workers, real HTTP/JSON wire): the
+// distributed merge must reproduce the goldens byte for byte.
+func mineOnCluster(t *testing.T, d *dataset.Dataset, minCount int64, workers int) (*mfi.Result, error) {
+	t.Helper()
+	var addrs []string
+	var servers []*httptest.Server
+	for i := 0; i < workers; i++ {
+		srv := httptest.NewServer(cluster.NewWorker(cluster.WorkerConfig{ID: fmt.Sprintf("w%d", i)}))
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.URL)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	pool, err := cluster.NewPool(addrs, cluster.PoolConfig{
+		HeartbeatInterval: 50 * time.Millisecond,
+		LivenessDeadline:  5 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool.Start()
+	defer pool.Close()
+	coord, err := cluster.NewCoordinator("conformance", d, pool, nil)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.DefaultOptions()
+	opt.Counter = coord
+	res, err := core.MineCount(dataset.NewScanner(d), minCount, opt)
+	if err != nil {
+		return nil, err
+	}
+	doc := coord.Doc()
+	if doc.Degraded {
+		return nil, fmt.Errorf("healthy conformance cluster degraded: %s", doc.DegradedReason)
+	}
+	if doc.RPCs == 0 {
+		return nil, fmt.Errorf("conformance cluster issued no RPCs — counting did not distribute")
+	}
+	return res, nil
+}
+
 func diffGolden(t *testing.T, label string, got, want []byte) {
 	t.Helper()
 	if bytes.Equal(got, want) {
@@ -265,6 +315,9 @@ func TestConformance(t *testing.T) {
 							popt := parallel.DefaultOptions()
 							popt.Workers = 4
 							return parallel.MinePincerCount(d, minCount, core.DefaultOptions(), popt)
+						}},
+						{"pincer-cluster-w2", func() (*mfi.Result, error) {
+							return mineOnCluster(t, d, minCount, 2)
 						}},
 					}
 					for _, m := range miners {

@@ -26,6 +26,7 @@ type jsonEvent struct {
 	Summary    *RunSummary      `json:"summary,omitempty"`
 	Checkpoint *CheckpointEvent `json:"checkpoint,omitempty"`
 	Selection  *SelectionEvent  `json:"selection,omitempty"`
+	Cluster    *ClusterEvent    `json:"cluster,omitempty"`
 }
 
 // RunStart implements Tracer.
@@ -61,4 +62,11 @@ func (t *JSONTracer) SelectionDone(ev SelectionEvent) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.enc.Encode(jsonEvent{Type: "selection", Selection: &ev})
+}
+
+// ClusterChange implements ClusterTracer.
+func (t *JSONTracer) ClusterChange(ev ClusterEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enc.Encode(jsonEvent{Type: "cluster", Cluster: &ev})
 }

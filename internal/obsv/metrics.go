@@ -235,7 +235,7 @@ func (r *Registry) Snapshot() map[string]int64 {
 // process metrics.
 type MetricsTracer struct {
 	runs, passes, candidates, mfcsCandidates *Counter
-	frequent, mfsFound, intersections       *Counter
+	frequent, mfsFound, intersections        *Counter
 	scanNanos, miningNanos                   *Counter
 	cancellations, checkpointsWritten        *Counter
 	workers, lastPasses, lastMFSSize         *Gauge

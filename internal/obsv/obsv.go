@@ -124,6 +124,42 @@ type SelectionEvent struct {
 	Skew         float64 `json:"skew"`
 }
 
+// ClusterEvent records one distributed-mining control-plane transition: a
+// worker declared dead or rejoined, a shard reassigned or counted locally,
+// or the coordinator degrading to single-node counting. The data plane (the
+// per-pass count merges) stays in PassEvent; only state changes are traced,
+// so a healthy cluster run emits no cluster events at all.
+type ClusterEvent struct {
+	// Event is the transition: "worker_dead", "worker_rejoin", "reassign",
+	// "local_count", or "degraded".
+	Event string `json:"event"`
+	// Pass is the pass barrier at which the transition was observed.
+	Pass int `json:"pass"`
+	// Worker is the affected worker's address, when one is involved.
+	Worker string `json:"worker,omitempty"`
+	// Shard is the affected shard's content address (SHA-256 hex prefix).
+	Shard string `json:"shard,omitempty"`
+	// Reason explains the transition (an RPC error class, "quorum", ...).
+	Reason string `json:"reason,omitempty"`
+	// Live is the live-worker count after the transition.
+	Live int `json:"live"`
+}
+
+// ClusterTracer is optionally implemented by Tracers that also want the
+// distributed-mining event stream, following the same optional-interface
+// pattern as CheckpointTracer.
+type ClusterTracer interface {
+	ClusterChange(ev ClusterEvent)
+}
+
+// EmitCluster forwards ev to tr if it implements ClusterTracer; a nil or
+// plain Tracer is a no-op.
+func EmitCluster(tr Tracer, ev ClusterEvent) {
+	if ct, ok := tr.(ClusterTracer); ok {
+		ct.ClusterChange(ev)
+	}
+}
+
 // Tracer receives the event stream of a mining run. Implementations must be
 // safe for concurrent use: parallel miners emit from the mining goroutine
 // only, but one Tracer may be shared by several concurrent runs.
@@ -214,6 +250,14 @@ func (m multiTracer) SelectionDone(ev SelectionEvent) {
 	}
 }
 
+// ClusterChange implements ClusterTracer, forwarding to the members that
+// implement it.
+func (m multiTracer) ClusterChange(ev ClusterEvent) {
+	for _, t := range m {
+		EmitCluster(t, ev)
+	}
+}
+
 // Collector is a Tracer that accumulates the event stream in memory, for
 // tests and for benchrun's report folding.
 type Collector struct {
@@ -223,6 +267,7 @@ type Collector struct {
 	done        []RunSummary
 	checkpoints []CheckpointEvent
 	selections  []SelectionEvent
+	cluster     []ClusterEvent
 }
 
 // NewCollector returns an empty Collector.
@@ -296,6 +341,20 @@ func (c *Collector) Selections() []SelectionEvent {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]SelectionEvent(nil), c.selections...)
+}
+
+// ClusterChange implements ClusterTracer.
+func (c *Collector) ClusterChange(ev ClusterEvent) {
+	c.mu.Lock()
+	c.cluster = append(c.cluster, ev)
+	c.mu.Unlock()
+}
+
+// ClusterEvents returns a copy of the collected cluster events.
+func (c *Collector) ClusterEvents() []ClusterEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ClusterEvent(nil), c.cluster...)
 }
 
 // Reset discards everything collected so far.

@@ -25,11 +25,15 @@ import (
 // at any digit. Float64bits makes distinct float64 thresholds distinct keys
 // by construction (and folds the two zeros apart, which is harmless:
 // normalize rejects non-positive supports).
+// Cluster jobs are keyed separately (v4's cluster=%t) even though the MFS
+// is identical either way: the cached doc carries the run's cluster
+// accounting, and answering a single-node submission with a doc claiming a
+// distributed run (or vice versa) would misreport how the answer was made.
 func CacheKey(datasetBytes []byte, spec JobRequest) string {
 	dh := sha256.Sum256(datasetBytes)
 	h := sha256.New()
-	fmt.Fprintf(h, "v3|data=%x|sup=%016x|miner=%s|workers=%d|engine=%s|counter=%s|deadline=%d|passes=%d|cand=%d|mem=%d",
-		dh, math.Float64bits(spec.MinSupport), spec.Miner, spec.Workers, spec.Engine, spec.Counter,
+	fmt.Fprintf(h, "v4|data=%x|sup=%016x|miner=%s|workers=%d|engine=%s|counter=%s|cluster=%t|deadline=%d|passes=%d|cand=%d|mem=%d",
+		dh, math.Float64bits(spec.MinSupport), spec.Miner, spec.Workers, spec.Engine, spec.Counter, spec.Cluster,
 		spec.DeadlineMS, spec.MaxPasses, spec.MaxCandidatesPerPass, spec.MaxMemoryBytes)
 	return hex.EncodeToString(h.Sum(nil))
 }

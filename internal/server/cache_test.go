@@ -44,6 +44,9 @@ func TestCacheKeyDependsOnEveryInput(t *testing.T) {
 	v = base
 	v.MaxPasses = 3
 	variants = append(variants, v)
+	v = base
+	v.Cluster = true
+	variants = append(variants, v)
 	for i, spec := range variants {
 		if key("1 2\n", spec) == k0 {
 			t.Errorf("variant %d: option change did not change the cache key", i)
@@ -219,6 +222,10 @@ func TestJobRequestNormalize(t *testing.T) {
 		{name: "support above one", spec: req(func(r *JobRequest) { r.MinSupport = 1.5 }), wantReason: ReasonBadSupport},
 		{name: "workers on sequential miner", spec: req(func(r *JobRequest) { r.Workers = 4 }), wantReason: ReasonBadWorkers},
 		{name: "negative workers", spec: req(func(r *JobRequest) { r.Miner, r.Workers = MinerParallel, -1 }), wantReason: ReasonBadWorkers},
+		{name: "cluster on default miner", spec: req(func(r *JobRequest) { r.Cluster = true }), wantMiner: MinerPincer},
+		{name: "cluster on apriori", spec: req(func(r *JobRequest) { r.Miner, r.Cluster = MinerApriori, true }), wantReason: ReasonBadCluster},
+		{name: "cluster with tidlist counter", spec: req(func(r *JobRequest) { r.Counter, r.Cluster = "tidlist", true }), wantReason: ReasonBadCluster},
+		{name: "cluster with engine auto", spec: req(func(r *JobRequest) { r.Engine, r.Cluster = EngineAuto, true }), wantReason: ReasonBadCluster},
 		{name: "negative deadline", spec: req(func(r *JobRequest) { r.DeadlineMS = -1 }), wantReason: ReasonBadBudget},
 		{name: "negative memory budget", spec: req(func(r *JobRequest) { r.MaxMemoryBytes = -1 }), wantReason: ReasonBadBudget},
 	}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"container/list"
+
+	"pincer/internal/dataset"
+)
+
+// datasetCache is a byte-size-bounded LRU over parsed datasets, keyed by the
+// SHA-256 of their raw bytes — the same digest the result-cache key embeds.
+// Each entry carries the dataset's shape profile, computed once at insert
+// time, so the adaptive engine-selection policy never re-profiles a database
+// it has already seen: submitting one dataset at many thresholds parses and
+// profiles it exactly once.
+//
+// Entries are shared read-only across jobs; Dataset is immutable after parse
+// (nothing in the serving path appends, re-sorts, or widens a cached
+// dataset), so concurrent miners can hold the same entry without locking.
+type datasetCache struct {
+	max   int64
+	ll    *list.List // front = most recently used
+	items map[[32]byte]*list.Element
+
+	bytes int64
+}
+
+// dsEntry is one cached dataset with its memoized profile. size is the raw
+// encoding length — a deliberate under-count of the parsed footprint, but
+// proportional to it and available without walking the transactions.
+type dsEntry struct {
+	key  [32]byte
+	d    *dataset.Dataset
+	prof dataset.Profile
+	size int64
+}
+
+// newDatasetCache builds a cache bounded to max bytes (≤ 0 disables caching:
+// get always misses, put drops).
+func newDatasetCache(max int64) *datasetCache {
+	return &datasetCache{max: max, ll: list.New(), items: map[[32]byte]*list.Element{}}
+}
+
+// get returns the cached dataset and its profile, bumping recency. The
+// caller must hold the manager's lock.
+func (c *datasetCache) get(key [32]byte) (*dataset.Dataset, dataset.Profile, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, dataset.Profile{}, false
+	}
+	c.ll.MoveToFront(el)
+	ent := el.Value.(*dsEntry)
+	return ent.d, ent.prof, true
+}
+
+// put stores a parsed dataset and its profile, evicting least-recently-used
+// entries until the byte bound holds. A dataset larger than the whole bound
+// is not stored — the job still runs, it just isn't memoized.
+func (c *datasetCache) put(key [32]byte, d *dataset.Dataset, prof dataset.Profile, size int64) {
+	if c.max <= 0 || size > c.max {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*dsEntry)
+		c.bytes += size - ent.size
+		ent.d, ent.prof, ent.size = d, prof, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&dsEntry{key: key, d: d, prof: prof, size: size})
+		c.bytes += size
+	}
+	for c.bytes > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*dsEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= ent.size
+	}
+}
+
+// len returns the number of cached datasets.
+func (c *datasetCache) len() int { return c.ll.Len() }

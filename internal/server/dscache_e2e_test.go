@@ -1,0 +1,55 @@
+package server_test
+
+// End-to-end check of the parsed-dataset cache: the same database submitted
+// at several thresholds is parsed and profiled once, and the memoized
+// profile feeds the adaptive selection of later jobs identically.
+
+import (
+	"net/http"
+	"testing"
+
+	"pincer/internal/server"
+)
+
+func TestE2EDatasetCacheReuse(t *testing.T) {
+	srv, hs := newTestServer(t, nil)
+
+	// Three distinct jobs over the same database bytes: different
+	// thresholds and a delegated plan, so none is a result-cache hit.
+	for _, spec := range []server.JobRequest{
+		{Baskets: testBaskets, MinSupport: 0.3},
+		{Baskets: testBaskets, MinSupport: 0.4},
+		{Baskets: testBaskets, MinSupport: 0.3, Miner: server.MinerAuto},
+	} {
+		code, v := submit(t, hs.URL, spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %+v: status %d", spec, code)
+		}
+		waitStatus(t, hs.URL, v.ID, server.StatusDone)
+	}
+
+	snap := srv.Registry().Snapshot()
+	if got := snap["pincer_dataset_cache_misses_total"]; got != 1 {
+		t.Errorf("dataset cache misses = %d, want 1 (one distinct database)", got)
+	}
+	if got := snap["pincer_dataset_cache_hits_total"]; got != 2 {
+		t.Errorf("dataset cache hits = %d, want 2 (two repeat submissions)", got)
+	}
+	if got := snap["pincer_dataset_cache_entries"]; got != 1 {
+		t.Errorf("dataset cache entries = %d, want 1", got)
+	}
+
+	// The delegated job's selection doc carries the memoized profile.
+	var doc server.ResultDoc
+	code, v := submit(t, hs.URL, server.JobRequest{Baskets: testBaskets, MinSupport: 0.35, Miner: server.MinerAuto})
+	if code != http.StatusAccepted {
+		t.Fatalf("auto submit: status %d", code)
+	}
+	waitStatus(t, hs.URL, v.ID, server.StatusDone)
+	if code := doJSON(t, http.MethodGet, hs.URL+"/v1/results/"+v.ID, nil, &doc); code != http.StatusOK {
+		t.Fatalf("GET result: status %d", code)
+	}
+	if doc.Selection == nil || doc.Selection.Profile.Transactions != 15 {
+		t.Fatalf("selection profile missing or wrong: %+v", doc.Selection)
+	}
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+func dsKey(s string) [32]byte { return sha256.Sum256([]byte(s)) }
+
+func testDS(n int) *dataset.Dataset {
+	d := dataset.Empty(8)
+	for i := 0; i < n; i++ {
+		d.Append(itemset.New(itemset.Item(i%8), itemset.Item((i+1)%8)))
+	}
+	return d
+}
+
+func TestDatasetCacheLRUByteBound(t *testing.T) {
+	c := newDatasetCache(30) // three 10-byte entries
+	for i := 0; i < 3; i++ {
+		d := testDS(i + 1)
+		c.put(dsKey(fmt.Sprint(i)), d, d.Profile(), 10)
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	// Touch entry 0 so entry 1 is the LRU victim.
+	if _, _, ok := c.get(dsKey("0")); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	d3 := testDS(4)
+	c.put(dsKey("3"), d3, d3.Profile(), 10)
+	if _, _, ok := c.get(dsKey("1")); ok {
+		t.Error("entry 1 survived; LRU eviction did not pick the least recent")
+	}
+	for _, k := range []string{"0", "2", "3"} {
+		if _, _, ok := c.get(dsKey(k)); !ok {
+			t.Errorf("entry %s missing after eviction", k)
+		}
+	}
+	if c.bytes > 30 {
+		t.Errorf("bytes = %d exceeds bound 30", c.bytes)
+	}
+
+	// The memoized profile round-trips with its dataset.
+	d, prof, ok := c.get(dsKey("3"))
+	if !ok || d != d3 {
+		t.Fatal("entry 3 lost its dataset")
+	}
+	if want := d3.Profile(); prof != want {
+		t.Errorf("memoized profile %+v differs from recomputed %+v", prof, want)
+	}
+}
+
+func TestDatasetCacheDisabledAndOversized(t *testing.T) {
+	for _, c := range []*datasetCache{newDatasetCache(0), newDatasetCache(-1)} {
+		c.put(dsKey("k"), testDS(2), dataset.Profile{}, 1)
+		if c.len() != 0 {
+			t.Fatal("disabled cache stored an entry")
+		}
+	}
+	c := newDatasetCache(10)
+	c.put(dsKey("big"), testDS(2), dataset.Profile{}, 11)
+	if c.len() != 0 || c.bytes != 0 {
+		t.Fatalf("oversized dataset stored: len=%d bytes=%d", c.len(), c.bytes)
+	}
+}
+
+func TestDatasetCacheReplaceSameKey(t *testing.T) {
+	c := newDatasetCache(1 << 10)
+	a, b := testDS(1), testDS(5)
+	c.put(dsKey("k"), a, a.Profile(), 4)
+	c.put(dsKey("k"), b, b.Profile(), 9)
+	d, prof, ok := c.get(dsKey("k"))
+	if !ok || d != b {
+		t.Fatal("replacement lost")
+	}
+	if prof != b.Profile() {
+		t.Error("replacement kept the stale profile")
+	}
+	if c.len() != 1 || c.bytes != 9 {
+		t.Errorf("len=%d bytes=%d, want 1/9 (replacement must re-account)", c.len(), c.bytes)
+	}
+}

@@ -434,12 +434,12 @@ func TestE2EKillRestartResume(t *testing.T) {
 func TestE2EValidationAndNotFound(t *testing.T) {
 	_, hs := newTestServer(t, nil)
 	cases := []server.JobRequest{
-		{MinSupport: 0.5},                                              // no dataset
-		{Baskets: "1 2\n", MinSupport: 0},                              // bad support
-		{Baskets: "1 2\n", MinSupport: 0.5, Miner: "guess"},            // unknown miner
-		{Baskets: "1 2\n", MinSupport: 0.5, Workers: 4},                // workers w/o parallel
+		{MinSupport: 0.5},                                                      // no dataset
+		{Baskets: "1 2\n", MinSupport: 0},                                      // bad support
+		{Baskets: "1 2\n", MinSupport: 0.5, Miner: "guess"},                    // unknown miner
+		{Baskets: "1 2\n", MinSupport: 0.5, Workers: 4},                        // workers w/o parallel
 		{Baskets: "1 2\n", MinSupport: 0.5, Miner: "vertical", Engine: "trie"}, // engine w/o counting
-		{DatasetPath: "/no/such/file", MinSupport: 0.5},                // unreadable dataset
+		{DatasetPath: "/no/such/file", MinSupport: 0.5},                        // unreadable dataset
 	}
 	for i, spec := range cases {
 		if code, _ := submit(t, hs.URL, spec); code != http.StatusBadRequest {

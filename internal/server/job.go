@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pincer/internal/checkpoint"
+	"pincer/internal/cluster"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
 	"pincer/internal/itemset"
@@ -59,6 +60,12 @@ type JobRequest struct {
 	// "tidlist:bitset|list|diffset" to force the representation). Pincer and
 	// parallel miners only; the result is identical either way.
 	Counter string `json:"counter,omitempty"`
+	// Cluster distributes the pincer miner's support counting over the
+	// daemon's worker cluster (pincerd -role coordinator -peers ...). The
+	// result is byte-identical to a single-node run; the result doc's
+	// "cluster" field records the distribution (and any degradation).
+	// Requires miner=pincer with a fixed scan counter and engine.
+	Cluster bool `json:"cluster,omitempty"`
 	// DeadlineMS bounds the mining wall clock in milliseconds; expiry ends
 	// the job with its partial anytime result (0 = unlimited).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
@@ -137,6 +144,17 @@ func (r *JobRequest) normalize() error {
 		}
 		if _, _, err := counting.ParseCounterSpec(r.Counter); err != nil {
 			return invalidf(ReasonBadCounter, "%v", err)
+		}
+	}
+	if r.Cluster {
+		if r.Miner != MinerPincer {
+			return invalidf(ReasonBadCluster, "cluster applies to the pincer miner only, not %q", r.Miner)
+		}
+		if r.Counter != "" && r.Counter != "scan" {
+			return invalidf(ReasonBadCluster, "cluster counting is scan-based; counter %q does not apply", r.Counter)
+		}
+		if r.Engine == EngineAuto {
+			return invalidf(ReasonBadCluster, "cluster requires a fixed engine, not engine=auto")
 		}
 	}
 	if r.DeadlineMS < 0 || r.MaxPasses < 0 || r.MaxCandidatesPerPass < 0 || r.MaxMemoryBytes < 0 {
@@ -229,20 +247,24 @@ type ResultDoc struct {
 	Algorithm string `json:"algorithm"`
 	Counter   string `json:"counter,omitempty"`
 	// Engine is the counting structure the run used, when one applies.
-	Engine       string       `json:"engine,omitempty"`
-	MinSupport   float64      `json:"min_support"`
-	MinCount     int64        `json:"min_count"`
-	Transactions int          `json:"transactions"`
-	Passes       int          `json:"passes"`
-	Candidates   int64        `json:"candidates"`
-	DurationNS   int64        `json:"duration_ns"`
-	Cached       bool         `json:"cached,omitempty"`
-	Partial      *PartialDoc  `json:"partial,omitempty"`
+	Engine       string      `json:"engine,omitempty"`
+	MinSupport   float64     `json:"min_support"`
+	MinCount     int64       `json:"min_count"`
+	Transactions int         `json:"transactions"`
+	Passes       int         `json:"passes"`
+	Candidates   int64       `json:"candidates"`
+	DurationNS   int64       `json:"duration_ns"`
+	Cached       bool        `json:"cached,omitempty"`
+	Partial      *PartialDoc `json:"partial,omitempty"`
 	// Selection records the adaptive policy's decision for delegated
 	// (miner=auto / engine=auto) jobs; nil for fully fixed plans. Miner
 	// still echoes the request ("auto"); Selection.Miner is the plan run.
 	Selection *SelectionDoc `json:"selection,omitempty"`
-	MFS       []ItemsetDoc  `json:"maximal_frequent_itemsets"`
+	// Cluster records the distributed-counting run for cluster jobs: shard
+	// and RPC accounting, node-loss handling, and whether the run degraded
+	// to local counting.
+	Cluster *cluster.Doc `json:"cluster,omitempty"`
+	MFS     []ItemsetDoc `json:"maximal_frequent_itemsets"`
 }
 
 // buildDoc renders a mining result (and the PartialResultError that cut it
@@ -315,14 +337,17 @@ type Job struct {
 	resume bool
 
 	// data is the parsed dataset; nil for spool-recovered jobs until the
-	// worker re-reads the spec.
+	// worker re-reads the spec. prof is its shape profile, memoized by the
+	// dataset cache at insert time (zero until data is set).
 	data *dataset.Dataset
+	prof dataset.Profile
 
 	mu          sync.Mutex
 	status      string
 	err         string
 	doc         *ResultDoc
 	sel         *SelectionDoc // resolved adaptive plan; nil if nothing delegated
+	clusterDoc  *cluster.Doc  // distributed-counting summary; nil off-cluster
 	cancel      func()
 	cancelAsked bool
 	anytimePass int

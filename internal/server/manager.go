@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"os"
@@ -12,6 +13,7 @@ import (
 
 	"pincer/internal/apriori"
 	"pincer/internal/checkpoint"
+	"pincer/internal/cluster"
 	"pincer/internal/core"
 	"pincer/internal/counting"
 	"pincer/internal/dataset"
@@ -62,6 +64,7 @@ type Manager struct {
 	jobs          map[string]*Job
 	seq           int64
 	cache         *resultCache
+	dsc           *datasetCache
 	lastEvictions int64
 }
 
@@ -82,6 +85,7 @@ func newManager(cfg Config, reg *obsv.Registry) (*Manager, error) {
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
 		cache:      newResultCache(cfg.CacheMaxBytes),
+		dsc:        newDatasetCache(cfg.DatasetCacheBytes),
 	}
 	pending, records, err := m.sp.scan()
 	if err != nil {
@@ -143,6 +147,9 @@ func (m *Manager) Submit(spec JobRequest) (*Job, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
+	if spec.Cluster && m.cfg.Cluster == nil {
+		return nil, invalidf(ReasonBadCluster, "this daemon has no worker cluster (start with -role coordinator -peers ...)")
+	}
 	data, err := loadDatasetBytes(spec)
 	if err != nil {
 		return nil, err
@@ -171,12 +178,13 @@ func (m *Manager) Submit(spec JobRequest) (*Job, error) {
 	m.mu.Unlock()
 
 	// Cache miss: only now pay for parsing the database (a hit never needs
-	// the parsed form, just the bytes' hash).
-	d, err := parseDataset(data)
+	// the parsed form, just the bytes' hash). Repeats of a known database
+	// come out of the dataset cache with their profile already computed.
+	d, prof, err := m.datasetFor(data)
 	if err != nil {
 		return nil, err
 	}
-	j := &Job{ID: id, Spec: spec, Key: key, data: d, status: StatusQueued, created: time.Now()}
+	j := &Job{ID: id, Spec: spec, Key: key, data: d, prof: prof, status: StatusQueued, created: time.Now()}
 	if err := m.sp.saveJob(j); err != nil {
 		return nil, err
 	}
@@ -199,6 +207,54 @@ func (m *Manager) Submit(spec JobRequest) (*Job, error) {
 		m.sp.dropJob(id)
 		return nil, ErrQueueFull
 	}
+}
+
+// RetryAfterSeconds estimates how long a 429-rejected client should wait
+// before retrying, instead of a hardcoded constant: one second of slack plus
+// the queued backlog spread over the worker pool (a queue this side of
+// saturation drains roughly one job per worker per moment), clamped to 30s
+// so a long backlog never tells clients to go away for minutes.
+func (m *Manager) RetryAfterSeconds() int {
+	workers := m.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sec := 1 + len(m.queue)/workers
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}
+
+// datasetFor returns the parsed dataset and its shape profile for the raw
+// database bytes, memoized in the dataset cache: the same database submitted
+// at many thresholds (or re-loaded for a spool-resumed job) is parsed and
+// profiled exactly once. The profile is computed here — at cache-insert time
+// — rather than by each job that happens to delegate its plan.
+func (m *Manager) datasetFor(data []byte) (*dataset.Dataset, dataset.Profile, error) {
+	sum := sha256.Sum256(data)
+	m.mu.Lock()
+	if d, prof, ok := m.dsc.get(sum); ok {
+		m.mu.Unlock()
+		m.met.datasetCacheHits.Inc()
+		return d, prof, nil
+	}
+	m.mu.Unlock()
+	// Parse and profile outside the lock: both are linear in the database
+	// and must not stall submissions of other datasets. A racing duplicate
+	// submission at worst parses twice; the second put wins harmlessly.
+	d, err := parseDataset(data)
+	if err != nil {
+		return nil, dataset.Profile{}, err
+	}
+	prof := d.Profile()
+	m.met.datasetCacheMisses.Inc()
+	m.mu.Lock()
+	m.dsc.put(sum, d, prof, int64(len(data)))
+	m.met.datasetCacheEntries.Set(int64(m.dsc.len()))
+	m.met.datasetCacheBytes.Set(m.dsc.bytes)
+	m.mu.Unlock()
+	return d, prof, nil
 }
 
 // Job returns the job by id.
@@ -282,14 +338,15 @@ func (m *Manager) runJob(j *Job) {
 	if j.data == nil {
 		data, err := loadDatasetBytes(j.Spec)
 		var d *dataset.Dataset
+		var prof dataset.Profile
 		if err == nil {
-			d, err = parseDataset(data)
+			d, prof, err = m.datasetFor(data)
 		}
 		if err != nil {
 			m.finalize(j, nil, err)
 			return
 		}
-		j.data = d
+		j.data, j.prof = d, prof
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	defer cancel()
@@ -327,7 +384,7 @@ func (m *Manager) mine(ctx context.Context, j *Job) (*mfi.Result, error) {
 	d := j.data
 	tracer, closeTrace := m.jobTracer(j)
 	defer closeTrace()
-	if sel := resolveSelection(&spec, d); sel != nil {
+	if sel := resolveSelection(&spec, j.prof); sel != nil {
 		j.mu.Lock()
 		j.sel = sel
 		j.mu.Unlock()
@@ -371,6 +428,21 @@ func (m *Manager) mine(ctx context.Context, j *Job) (*mfi.Result, error) {
 		opt.Checkpointer = ckpt
 		if tidlist, rep := spec.counter(); tidlist {
 			opt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{Rep: rep})
+		}
+		if spec.Cluster {
+			coord, cerr := cluster.NewCoordinator(j.ID, d, m.cfg.Cluster, tracer)
+			if cerr != nil {
+				return nil, cerr
+			}
+			opt.Counter = coord
+			// Record the distribution summary however the run ends — the
+			// doc of a degraded or partial run is exactly what matters.
+			defer func() {
+				cdoc := coord.Doc()
+				j.mu.Lock()
+				j.clusterDoc = cdoc
+				j.mu.Unlock()
+			}()
 		}
 		if j.resume {
 			return core.MineResume(sc, minCount, opt)
@@ -462,6 +534,7 @@ var terminalReasons = map[string]bool{
 func (m *Manager) finalize(j *Job, res *mfi.Result, err error) {
 	j.mu.Lock()
 	sel := j.sel
+	cdoc := j.clusterDoc
 	j.mu.Unlock()
 	clearCheckpoint := func() {
 		if j.Spec.checkpointable() {
@@ -484,6 +557,7 @@ func (m *Manager) finalize(j *Job, res *mfi.Result, err error) {
 
 	if err == nil {
 		doc := buildDoc(j.ID, j.Spec, sel, res, nil)
+		doc.Cluster = cdoc
 		record(StatusDone, doc, "")
 		m.met.jobsCompleted.Inc()
 		m.mu.Lock()
@@ -509,12 +583,16 @@ func (m *Manager) finalize(j *Job, res *mfi.Result, err error) {
 			j.setStatus(StatusInterrupted)
 			m.logf("job %s: interrupted (%s) at pass %d; checkpoint retained for restart", j.ID, pe.Reason, pe.Pass)
 		case asked:
-			record(StatusCancelled, buildDoc(j.ID, j.Spec, sel, pe.Result, pe), "")
+			doc := buildDoc(j.ID, j.Spec, sel, pe.Result, pe)
+			doc.Cluster = cdoc
+			record(StatusCancelled, doc, "")
 			clearCheckpoint()
 			m.met.jobsCancelled.Inc()
 			m.logf("job %s: cancelled at pass %d", j.ID, pe.Pass)
 		default:
-			record(StatusPartial, buildDoc(j.ID, j.Spec, sel, pe.Result, pe), "")
+			doc := buildDoc(j.ID, j.Spec, sel, pe.Result, pe)
+			doc.Cluster = cdoc
+			record(StatusPartial, doc, "")
 			clearCheckpoint()
 			m.met.jobsPartial.Inc()
 			m.logf("job %s: stopped early (%s) at pass %d", j.ID, pe.Reason, pe.Pass)

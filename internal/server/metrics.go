@@ -25,10 +25,15 @@ type metricsSet struct {
 	cacheMisses    *obsv.Counter
 	cacheEvictions *obsv.Counter
 
-	queueDepth   *obsv.Gauge
-	jobsRunning  *obsv.Gauge
-	cacheBytes   *obsv.Gauge
-	cacheEntries *obsv.Gauge
+	datasetCacheHits   *obsv.Counter
+	datasetCacheMisses *obsv.Counter
+
+	queueDepth          *obsv.Gauge
+	jobsRunning         *obsv.Gauge
+	cacheBytes          *obsv.Gauge
+	cacheEntries        *obsv.Gauge
+	datasetCacheBytes   *obsv.Gauge
+	datasetCacheEntries *obsv.Gauge
 
 	// selected counts adaptive engine-selection decisions by the resolved
 	// miner (pincer_engine_selected_total{engine="..."}); the full miner
@@ -46,7 +51,7 @@ func newMetricsSet(reg *obsv.Registry) *metricsSet {
 			fmt.Sprintf("engine=%q", miner), "Adaptive engine-selection decisions by resolved miner.")
 	}
 	return &metricsSet{
-		selected: selected,
+		selected:      selected,
 		jobsSubmitted: reg.Counter("pincer_jobs_submitted_total", "Jobs accepted by POST /v1/jobs (including cache hits)."),
 		jobsStarted:   reg.Counter("pincer_jobs_started_total", "Jobs whose mining actually started (cache hits never do)."),
 		jobsCompleted: reg.Counter("pincer_jobs_completed_total", "Jobs that finished with a complete result."),
@@ -60,10 +65,15 @@ func newMetricsSet(reg *obsv.Registry) *metricsSet {
 		cacheMisses:    reg.Counter("pincer_cache_misses_total", "Submissions that had to mine."),
 		cacheEvictions: reg.Counter("pincer_cache_evictions_total", "Results evicted to hold the cache byte bound."),
 
-		queueDepth:   reg.Gauge("pincer_queue_depth", "Jobs waiting in the run queue."),
-		jobsRunning:  reg.Gauge("pincer_jobs_running", "Jobs currently mining."),
-		cacheBytes:   reg.Gauge("pincer_result_cache_bytes", "Bytes held by the result cache."),
-		cacheEntries: reg.Gauge("pincer_result_cache_entries", "Results held by the cache."),
+		datasetCacheHits:   reg.Counter("pincer_dataset_cache_hits_total", "Dataset loads served from the parsed-dataset cache (no parse, no re-profile)."),
+		datasetCacheMisses: reg.Counter("pincer_dataset_cache_misses_total", "Dataset loads that had to parse and profile the database."),
+
+		queueDepth:          reg.Gauge("pincer_queue_depth", "Jobs waiting in the run queue."),
+		jobsRunning:         reg.Gauge("pincer_jobs_running", "Jobs currently mining."),
+		cacheBytes:          reg.Gauge("pincer_result_cache_bytes", "Bytes held by the result cache."),
+		cacheEntries:        reg.Gauge("pincer_result_cache_entries", "Results held by the cache."),
+		datasetCacheBytes:   reg.Gauge("pincer_dataset_cache_bytes", "Raw bytes represented by the parsed-dataset cache."),
+		datasetCacheEntries: reg.Gauge("pincer_dataset_cache_entries", "Datasets held by the parsed-dataset cache."),
 	}
 }
 

@@ -1,0 +1,40 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSeconds pins the honesty contract of the 429/503 Retry-After
+// header: the advertised wait grows with the queued backlog (spread over the
+// worker pool), never drops below one second of slack, and is clamped so a
+// deep backlog cannot tell clients to go away for minutes.
+func TestRetryAfterSeconds(t *testing.T) {
+	mk := func(workers, queued int) *Manager {
+		m := &Manager{cfg: Config{Workers: workers}, queue: make(chan *Job, queued+1)}
+		for i := 0; i < queued; i++ {
+			m.queue <- &Job{ID: "q", created: time.Now()}
+		}
+		return m
+	}
+	cases := []struct {
+		workers, queued, want int
+	}{
+		{2, 0, 1},    // empty queue: just the slack second
+		{2, 4, 3},    // 4 queued over 2 workers: 1 + 2
+		{1, 10, 11},  // single worker drains the whole backlog serially
+		{4, 2, 1},    // backlog smaller than the pool rounds down to slack
+		{2, 200, 30}, // clamped
+	}
+	for _, tc := range cases {
+		if got := mk(tc.workers, tc.queued).RetryAfterSeconds(); got != tc.want {
+			t.Errorf("RetryAfterSeconds(workers=%d, queued=%d) = %d, want %d",
+				tc.workers, tc.queued, got, tc.want)
+		}
+	}
+	// A zero-worker config (impossible after withDefaults, but cheap to
+	// harden) must not divide by zero.
+	if got := mk(0, 3).RetryAfterSeconds(); got != 4 {
+		t.Errorf("RetryAfterSeconds(workers=0, queued=3) = %d, want 4", got)
+	}
+}

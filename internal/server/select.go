@@ -30,12 +30,12 @@ type SelectionDoc struct {
 // policy's concrete plan and returns the decision record; it returns nil —
 // and leaves spec untouched — when nothing was delegated. The caller passes
 // a copy of the job's spec: the original request (and its spool record and
-// cache key) keeps the "auto" spelling.
-func resolveSelection(spec *JobRequest, d *dataset.Dataset) *SelectionDoc {
+// cache key) keeps the "auto" spelling. prof is the dataset's profile,
+// memoized at dataset-cache-insert time — the policy never re-profiles here.
+func resolveSelection(spec *JobRequest, prof dataset.Profile) *SelectionDoc {
 	if spec.Miner != MinerAuto && spec.Engine != EngineAuto {
 		return nil
 	}
-	prof := d.Profile()
 	sel := counting.SelectEngine(prof)
 	doc := &SelectionDoc{Rationale: sel.Rationale, Profile: prof}
 	if spec.Miner == MinerAuto {

@@ -34,10 +34,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"pincer/internal/cluster"
 	"pincer/internal/dataset"
 	"pincer/internal/obsv"
 )
@@ -57,6 +59,12 @@ type Config struct {
 	// CacheMaxBytes bounds the result cache (default 64 MiB; ≤ -1
 	// disables caching, 0 means the default).
 	CacheMaxBytes int64
+	// DatasetCacheBytes bounds the parsed-dataset cache, which memoizes
+	// each distinct database's parsed form and shape profile so repeat
+	// submissions (same bytes, different options) skip the parse and the
+	// profiling pass (default 64 MiB of raw encoding; ≤ -1 disables, 0
+	// means the default).
+	DatasetCacheBytes int64
 	// Registry receives the daemon's metrics; a fresh registry is created
 	// when nil.
 	Registry *obsv.Registry
@@ -69,6 +77,11 @@ type Config struct {
 	// host; excess requests are answered 429 before touching a handler
 	// (0 = unlimited).
 	MaxInflightPerRemote int
+	// Cluster, when set, is the worker pool cluster jobs (JobRequest.Cluster)
+	// distribute their support counting over; nil rejects such jobs. The
+	// caller owns the pool's lifecycle (Start/Close) — pincerd builds it
+	// from -peers in the coordinator role.
+	Cluster *cluster.Pool
 	// Logf, when set, receives one line per lifecycle event (job started,
 	// finished, resumed, ...). Nil silences logging.
 	Logf func(format string, args ...interface{})
@@ -91,6 +104,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.CacheMaxBytes == 0 {
 		c.CacheMaxBytes = 64 << 20
+	}
+	if c.DatasetCacheBytes == 0 {
+		c.DatasetCacheBytes = 64 << 20
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 8 << 20
@@ -162,7 +178,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		host := remoteHost(r.RemoteAddr)
 		if !s.limiter.acquire(host) {
 			s.hmet.inflightLimited.Inc()
-			sw.Header().Set("Retry-After", "1")
+			// The remote's slots free as its requests finish; submits among
+			// them are bounded by the same queue the estimate keys on.
+			sw.Header().Set("Retry-After", strconv.Itoa(s.man.RetryAfterSeconds()))
 			writeError(sw, http.StatusTooManyRequests, ReasonRemoteLimit,
 				"too many in-flight requests from %s", host)
 			return
@@ -302,6 +320,7 @@ const (
 	ReasonBadDataset = "bad_dataset" // not exactly one of dataset_path / baskets
 	ReasonBadWorkers = "bad_workers" // negative workers, or workers on a sequential miner
 	ReasonBadBudget  = "bad_budget"  // negative deadline or resource budget
+	ReasonBadCluster = "bad_cluster" // cluster on an incompatible plan, or no cluster configured
 )
 
 // ValidationError is a request-validation rejection carrying its machine-
@@ -355,10 +374,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.man.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.man.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, ReasonQueueFull, "%v", err)
 		return
 	case errors.Is(err, ErrShuttingDown):
+		// A shutting-down daemon is typically about to be replaced (chaos
+		// restarts, rolling deploys); the backlog-derived estimate is as
+		// honest a hint as exists for when the successor will answer.
+		w.Header().Set("Retry-After", strconv.Itoa(s.man.RetryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, ReasonShuttingDown, "%v", err)
 		return
 	case err != nil:
