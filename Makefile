@@ -7,9 +7,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race faults conformance fuzz cover load cluster serve bench bench-smoke bench-parallel bench-vertical bench-engines bench-cluster profile
+.PHONY: ci vet build test race faults conformance fuzz cover load cluster stream serve bench bench-smoke bench-parallel bench-vertical bench-engines bench-cluster bench-stream profile
 
-ci: vet build test race faults conformance fuzz cover load cluster bench-smoke bench-engines
+ci: vet build test race faults conformance fuzz cover load cluster stream bench-smoke bench-engines
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,8 @@ fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzPincerMatchesApriori -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzJobRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzClusterMessage -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/incremental -run '^$$' -fuzz FuzzMaintainerState -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz FuzzStreamBatchRequest -fuzztime $(FUZZTIME)
 
 # Per-package statement coverage.
 cover:
@@ -71,6 +73,20 @@ cluster:
 	$(GO) run -race ./cmd/pincerload -local -cluster-workers 2 -chaos-kill-worker \
 		-chaos-interval 500ms -duration 2s -concurrency 4 -datasets 2 \
 		-minsup 0.3 -miners pincer -verify -seed 1 -out /tmp/pincerload-cluster-ci.json
+
+# The incremental-maintenance matrix, race-clean: the maintainer's
+# after-every-delta equivalence property (maintained MFS == from-scratch
+# mine across randomized append/evict schedules), its fault-injection
+# kill/restart tests, and the stream soak — streams fed through pincerd
+# while chaos kill-restarts the daemon, verified against a sequential
+# reference. The equivalence property alone is minutes of wall clock under
+# the race detector, hence the raised timeout.
+stream:
+	$(GO) test -race -timeout 30m ./internal/incremental/...
+	$(GO) run -race ./cmd/pincerload -local -duration 2500ms -concurrency 2 \
+		-datasets 1 -minsup 0.4 -miners apriori -streams 3 \
+		-chaos-interval 800ms -chaos-restarts 2 -verify -seed 1 \
+		-out /tmp/pincerload-stream-ci.json
 
 # Run the mining service daemon locally.
 serve:
@@ -109,6 +125,15 @@ bench-cluster:
 # sweep — the policy's calibration contract.
 bench-engines:
 	$(GO) run ./cmd/benchrun -engines -repeats 3 -json BENCH_engines.json
+
+# Regenerate BENCH_stream.json: stream T20.I10.D10K into the incremental
+# maintainer in 500-transaction batches, pricing every delta against a
+# from-scratch mine of the same prefix. The headline is the re-mine
+# avoidance rate and the border-unmoved delta being >=10x cheaper than the
+# mine it avoids.
+bench-stream:
+	$(GO) run ./cmd/benchrun -stream -spec F4-T20I10 -d 10000 \
+		-stream-batch-tx 500 -stream-support 0.2 -repeats 3 -json BENCH_stream.json
 
 # CPU-profile a representative mine (T10.I4.D10K) and print the ten
 # hottest functions.

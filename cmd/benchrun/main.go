@@ -71,6 +71,9 @@ func run(args []string) error {
 	counterName := fs.String("counter", "scan", "pincer support counting for the figure cells: scan or tidlist[:bitset|list|diffset]; also sets the representation of -vertical")
 	vertical := fs.Bool("vertical", false, "run the scan-vs-tidlist counting sweep for one spec instead of the figures (honors -spec, -repeats, -json)")
 	engines := fs.Bool("engines", false, "run the adaptive engine-selection sweep on the rising-density ladder instead of the figures (honors -d, -repeats, -json)")
+	stream := fs.Bool("stream", false, "run the incremental-maintenance sweep: stream the spec's database batch by batch, pricing each border-check delta against a from-scratch mine (honors -spec, -d, -repeats, -counter, -json)")
+	streamBatchTx := fs.Int("stream-batch-tx", 500, "stream sweep: transactions per batch")
+	streamSup := fs.Float64("stream-support", 0.2, "stream sweep: maintained minimum support")
 	engineDatasets := fs.Int("engine-datasets", 6, "engine sweep: datasets on the rising-density ladder")
 	verticalWorkers := fs.Int("vertical-workers", 1, "vertical sweep: tid-list counting workers")
 	pure := fs.Bool("pure", false, "use pure (non-adaptive) Pincer-Search")
@@ -150,6 +153,52 @@ func run(args []string) error {
 			w = f
 		}
 		tracer = obsv.Multi(tracer, obsv.NewJSONTracer(w))
+	}
+
+	if *stream {
+		spec, ok := bench.SpecByID("F4-T20I10", *numTx)
+		if *specID != "" {
+			spec, ok = bench.SpecByID(*specID, *numTx)
+		}
+		if !ok {
+			return fmt.Errorf("unknown spec %q", *specID)
+		}
+		opt := bench.DefaultOptions()
+		opt.Engine = engine
+		opt.Context = ctx
+		if tidlist {
+			opt.Counter = "tidlist"
+		}
+		if !*quiet {
+			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		rep := bench.RunStreamSweep(spec, *streamSup, *streamBatchTx, *repeats, opt)
+		if err := bench.WriteStreamTable(os.Stdout, rep); err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteStreamJSON(f, rep); err != nil {
+				return err
+			}
+		}
+		if rep.Err != "" {
+			fmt.Fprintf(os.Stderr, "benchrun: sweep stopped early: %s\n", rep.Err)
+			return nil
+		}
+		for _, c := range rep.Cells {
+			if !c.Agree {
+				return fmt.Errorf("correctness check failed: maintained MFS diverges from the from-scratch mine at seq %d", c.Seq)
+			}
+		}
+		if rep.FastPathDeltas == 0 {
+			return fmt.Errorf("workload check failed: no batch was absorbed by the border check (every delta re-mined)")
+		}
+		return nil
 	}
 
 	if *engines {

@@ -30,6 +30,13 @@
 // worker at a pass barrier on even ticks and mid-scan on odd ones instead
 // of restarting the daemon — exercising the coordinator's retry,
 // reassignment, and quorum-degradation machinery under load.
+//
+// -streams n holds n incremental streams open alongside the job mix, each
+// fed stocks-generated batches with explicit sequence numbers through the
+// window, so batch retries across chaos restarts are acknowledged as
+// duplicates instead of double-applied; with -verify each stream's final
+// maintained MFS is diffed against a sequential reference mine of the
+// delivered transactions.
 package main
 
 import (
@@ -78,6 +85,9 @@ func run(args []string) error {
 	chaosRestarts := fs.Int("chaos-restarts", 2, "restart budget for -chaos-interval (0 = until the window closes)")
 	clusterWorkers := fs.Int("cluster-workers", 0, "attach this many in-process cluster counting workers to the -local daemon and add cluster cells to the mix (0 = no cluster)")
 	chaosKillWorker := fs.Bool("chaos-kill-worker", false, "chaos ticks kill a cluster worker (pass-barrier/mid-scan alternating) instead of restarting the daemon")
+	streams := fs.Int("streams", 0, "hold this many incremental streams open alongside the job mix, fed stocks batches through the window (0 = no streams)")
+	streamBatches := fs.Int("stream-batches", 12, "batches appended per stream")
+	streamBatchTx := fs.Int("stream-batch-tx", 40, "trading days per stream batch")
 	out := fs.String("out", "BENCH_serve_load.json", "report file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,6 +128,9 @@ func run(args []string) error {
 		Seed:          *seed,
 		JobDeadline:   *jobDeadline,
 		Verify:        *verify,
+		Streams:       *streams,
+		StreamBatches: *streamBatches,
+		StreamBatchTx: *streamBatchTx,
 		Logf:          logger.Printf,
 	}
 
@@ -175,6 +188,11 @@ func run(args []string) error {
 	logger.Printf("jobs: accepted %d, cache hits %d, done %d, partial %d, cancelled %d, failed %d, lost %d",
 		rep.Jobs.Accepted, rep.Jobs.CacheHits, rep.Jobs.Done, rep.Jobs.Partial,
 		rep.Jobs.Cancelled, rep.Jobs.Failed, rep.Jobs.Lost)
+	if rep.Streams != nil {
+		logger.Printf("streams: %d open, %d batches (%d duplicate acks, %d retries), %d fast-path, %d re-mines, %d verified",
+			rep.Streams.Streams, rep.Streams.Batches, rep.Streams.Duplicates, rep.Streams.Retries,
+			rep.Streams.FastPath, rep.Streams.Remines, rep.Streams.Verified)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -204,6 +222,14 @@ func run(args []string) error {
 	}
 	if len(rep.Jobs.Divergent) > 0 {
 		return fmt.Errorf("%d results diverge from the sequential reference: %v", len(rep.Jobs.Divergent), rep.Jobs.Divergent)
+	}
+	if rep.Streams != nil {
+		if len(rep.Streams.Failed) > 0 {
+			return fmt.Errorf("%d streams failed: %v", len(rep.Streams.Failed), rep.Streams.Failed)
+		}
+		if len(rep.Streams.Divergent) > 0 {
+			return fmt.Errorf("%d streams diverge from the sequential reference: %v", len(rep.Streams.Divergent), rep.Streams.Divergent)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunStreamSweep(t *testing.T) {
+	var progress []string
+	opt := DefaultOptions()
+	opt.Progress = func(l string) { progress = append(progress, l) }
+	spec := tinySpec()
+	rep := RunStreamSweep(spec, 0.2, 100, 2, opt)
+	if rep.Err != "" {
+		t.Fatalf("sweep stopped: %s", rep.Err)
+	}
+	if rep.SpecID != spec.ID || rep.Transactions != 600 || rep.BatchTx != 100 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Batches != 6 || len(rep.Cells) != 6 {
+		t.Fatalf("batches = %d, cells = %d, want 6", rep.Batches, len(rep.Cells))
+	}
+	if rep.Counter != "scan" {
+		t.Fatalf("counter = %q, want scan", rep.Counter)
+	}
+	fast, remines := 0, 0
+	for i, c := range rep.Cells {
+		if c.Seq != int64(i+1) || c.Transactions != 100*(i+1) {
+			t.Errorf("cell %d: seq %d, |D| %d", i, c.Seq, c.Transactions)
+		}
+		// The sweep's whole claim rests on the maintained MFS matching the
+		// from-scratch mine at every prefix.
+		if !c.Agree {
+			t.Errorf("seq %d: maintained MFS diverges from the from-scratch mine", c.Seq)
+		}
+		if c.ScratchSeconds <= 0 || c.DeltaSeconds <= 0 {
+			t.Errorf("seq %d: no timing (%+v)", c.Seq, c)
+		}
+		if c.Remined {
+			remines++
+			if c.Reason == "" {
+				t.Errorf("seq %d: re-mine without a reason", c.Seq)
+			}
+		} else {
+			fast++
+		}
+	}
+	if rep.FastPathDeltas != fast || rep.Remines != remines {
+		t.Errorf("aggregates %d/%d, cells say %d/%d", rep.FastPathDeltas, rep.Remines, fast, remines)
+	}
+	if rep.ScratchMeanSeconds <= 0 {
+		t.Error("no scratch mean")
+	}
+	if len(progress) != 6 {
+		t.Errorf("progress lines = %d", len(progress))
+	}
+
+	var tbl bytes.Buffer
+	if err := WriteStreamTable(&tbl, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"delta(ms)", "scratch(ms)", "avoidance rate", spec.ID} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteStreamJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back StreamReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Batches != rep.Batches || len(back.Cells) != len(rep.Cells) {
+		t.Errorf("JSON round trip lost cells: %+v", back)
+	}
+}
+
+func TestRunStreamSweepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := DefaultOptions()
+	opt.Context = ctx
+	rep := RunStreamSweep(tinySpec(), 0.2, 100, 1, opt)
+	if rep.Err == "" {
+		t.Fatal("cancelled sweep reported no error")
+	}
+	if len(rep.Cells) != 0 {
+		t.Fatalf("cancelled sweep produced %d cells", len(rep.Cells))
+	}
+}

@@ -216,6 +216,15 @@ func (s *seqPassCounter) CountCandidates(engine counting.Engine, candidates []it
 	return nil, elemCounts
 }
 
+// NewScanCounter returns the default sequential PassCounter over sc — one
+// full scan per counting call, exactly the paper's procedure. It is what a
+// miner uses when Options.Counter is nil; the constructor exists so other
+// packages (internal/incremental's delta verification) can drive the same
+// counting path over ad-hoc datasets without a miner in the loop.
+func NewScanCounter(sc dataset.Scanner) PassCounter {
+	return &seqPassCounter{sc: sc}
+}
+
 // elemSets extracts the itemset and bitset forms of uncounted MFCS elements
 // for a PassCounter call.
 func elemSets(uncounted []*element) ([]itemset.Itemset, []*itemset.Bitset) {

@@ -106,6 +106,20 @@ type Options struct {
 	// interrupted run from it. A checkpoint write failure aborts the run
 	// with reason "checkpoint-failure" rather than continuing undurably.
 	Checkpointer checkpoint.Checkpointer
+
+	// SeedMFS warm-starts the run with itemsets known to be frequent in
+	// THIS dataset at THIS threshold — e.g. the surviving maximal sets of an
+	// incremental maintainer whose delta moved the border. Seeds join the
+	// MFS view before pass 1, so the bottom-up search prunes their subsets
+	// immediately (with the recovery procedure compensating, exactly as for
+	// MFCS-harvested sets); the top-down MFCS path is unaffected and its
+	// termination argument alone guarantees the exact MFS, so stale or
+	// non-maximal seeds cost work but never correctness — but an INFREQUENT
+	// seed does break correctness, because the MFS view treats every element
+	// as proof of frequency. SeedSupports carries the seeds' exact support
+	// counts, parallel to SeedMFS.
+	SeedMFS      []itemset.Itemset
+	SeedSupports []int64
 }
 
 // DefaultOptions returns the adaptive configuration evaluated in the paper.
@@ -200,6 +214,7 @@ type miner struct {
 
 	abandoned bool // adaptive policy dropped the MFCS
 	fellBack  bool // full Apriori fallback produced the result
+	seeded    bool // Options.SeedMFS pre-populated the MFS view
 
 	// Staged-loop state: everything the run loop carries across a pass
 	// barrier lives on the miner (not in locals) so checkpoints can
@@ -284,6 +299,14 @@ func newMiner(sc dataset.Scanner, minCount int64, opt Options) *miner {
 	}
 	m.mfcs = NewMFCS(n, minCount, mfcsCap, m.resolveSupport)
 	m.mfs = newMFSView(n)
+	if len(opt.SeedMFS) > 0 {
+		m.seeded = true
+		for i, s := range opt.SeedMFS {
+			if m.mfs.add(s) && i < len(opt.SeedSupports) {
+				m.cache[s.Key()] = opt.SeedSupports[i]
+			}
+		}
+	}
 	if opt.Tracer != nil {
 		// Thread the tracer through the PassCounter seam: the timing
 		// decorator records each pass's scan wall clock for the events.
@@ -529,8 +552,11 @@ func (m *miner) pass1() (done bool) {
 	}
 	// After pass 1 the MFCS holds a single element. If it is already
 	// frequent it covers every frequent item, every itemset over them is
-	// frequent, and the MFS is complete after one database read.
-	if m.mfs.len() > 0 {
+	// frequent, and the MFS is complete after one database read. A seeded
+	// view disables the exit: seeds can cover every frequent item without
+	// being the complete MFS (two seeds may miss a maximal set straddling
+	// them), so the full pincer loop must still run.
+	if m.mfs.len() > 0 && !m.seeded {
 		singles := make([]itemset.Itemset, len(m.l1))
 		for i, it := range m.l1 {
 			singles[i] = itemset.Itemset{it}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+// seedWorkloads are small synthetic databases whose MFS a warm-started run
+// must reproduce byte-identically regardless of what it was seeded with.
+func seedWorkloads(t *testing.T) []*dataset.Dataset {
+	t.Helper()
+	return []*dataset.Dataset{
+		figure2Dataset(),
+		quest.Generate(quest.Params{NumTransactions: 300, AvgTxLen: 12,
+			AvgPatternLen: 6, NumPatterns: 12, NumItems: 50, Seed: 7}),
+		quest.Generate(quest.Params{NumTransactions: 400, AvgTxLen: 8,
+			AvgPatternLen: 3, NumPatterns: 60, NumItems: 90, Seed: 8}),
+	}
+}
+
+// TestSeedMFSExact pins the warm-start soundness contract: seeding a run
+// with any subcollection of genuinely frequent itemsets — maximal sets,
+// non-maximal subsets, or nothing relevant at all — changes neither the MFS
+// nor the supports.
+func TestSeedMFSExact(t *testing.T) {
+	for wi, d := range seedWorkloads(t) {
+		minCount := d.MinCount(0.1)
+		ref := must(MineCount(dataset.NewScanner(d), minCount, DefaultOptions()))
+
+		seedSets := [][]itemset.Itemset{
+			ref.MFS,          // the exact answer
+			ref.MFS[:1],      // one surviving maximal set
+			{ref.MFS[0][:1]}, // a non-maximal frequent subset
+		}
+		if len(ref.MFS) == 0 {
+			t.Fatalf("workload %d: reference MFS empty, test is vacuous", wi)
+		}
+		for si, seeds := range seedSets {
+			opt := DefaultOptions()
+			opt.SeedMFS = seeds
+			opt.SeedSupports = make([]int64, len(seeds))
+			for i, s := range seeds {
+				opt.SeedSupports[i] = d.Support(s)
+			}
+			res := must(MineCount(dataset.NewScanner(d), minCount, opt))
+			if err := mfi.VerifyAgainst(res.MFS, ref.MFS); err != nil {
+				t.Fatalf("workload %d seeds %d: %v", wi, si, err)
+			}
+			for i, m := range res.MFS {
+				if res.MFSSupports[i] != ref.MFSSupports[i] {
+					t.Fatalf("workload %d seeds %d: support(%v) = %d, want %d",
+						wi, si, m, res.MFSSupports[i], ref.MFSSupports[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSeedMFSNoEarlyExit covers the pass-1 early-exit guard: seeds covering
+// every frequent item must not end the run after one pass, because two
+// seeds can cover all items while missing a maximal set straddling them.
+func TestSeedMFSNoEarlyExit(t *testing.T) {
+	// Items {0,1} and {2,3} are each always together; {1,2} is also
+	// frequent, so the MFS is {01, 12, 23} — but the seeds {01, 23} already
+	// cover every frequent item.
+	d := dataset.Empty(4)
+	for i := 0; i < 3; i++ {
+		d.Append(itemset.New(0, 1))
+		d.Append(itemset.New(2, 3))
+		d.Append(itemset.New(1, 2))
+	}
+	d.Append(itemset.New(0, 1, 2, 3)) // supports: pairs 01,23,12 = 4 each
+	minCount := int64(4)
+	ref := must(MineCount(dataset.NewScanner(d), minCount, DefaultOptions()))
+	want := []itemset.Itemset{itemset.New(0, 1), itemset.New(1, 2), itemset.New(2, 3)}
+	if err := mfi.VerifyAgainst(ref.MFS, want); err != nil {
+		t.Fatalf("reference: %v (got %v)", err, ref.MFS)
+	}
+
+	opt := DefaultOptions()
+	opt.SeedMFS = []itemset.Itemset{itemset.New(0, 1), itemset.New(2, 3)}
+	opt.SeedSupports = []int64{d.Support(opt.SeedMFS[0]), d.Support(opt.SeedMFS[1])}
+	res := must(MineCount(dataset.NewScanner(d), minCount, opt))
+	if err := mfi.VerifyAgainst(res.MFS, want); err != nil {
+		t.Fatalf("seeded run missed a straddling maximal set: %v (got %v)", err, res.MFS)
+	}
+}
+
+// TestSeedMFSScanCounter exercises the exported scan-counter constructor on
+// the same seam the miner uses by default.
+func TestSeedMFSScanCounter(t *testing.T) {
+	d := figure2Dataset()
+	opt := DefaultOptions()
+	opt.Counter = NewScanCounter(dataset.NewScanner(d))
+	res := must(MineCount(dataset.NewScanner(d), 2, opt))
+	want := []itemset.Itemset{itemset.New(1, 2, 3, 4, 5), itemset.New(2, 4, 5, 6)}
+	if err := mfi.VerifyAgainst(res.MFS, want); err != nil {
+		t.Fatalf("MFS: %v", err)
+	}
+}

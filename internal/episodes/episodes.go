@@ -55,6 +55,42 @@ func (s Sequence) Span() (first, last int64, ok bool) {
 // sequence). The sequence must be sorted by time. numTypes declares the
 // event-type universe (0 infers it from the data).
 func Windows(s Sequence, width int64, numTypes int) (*dataset.Dataset, error) {
+	f, err := NewWindowFeed(s, width, numTypes)
+	if err != nil {
+		return nil, err
+	}
+	d := dataset.Empty(numTypes)
+	for {
+		batch := f.NextBatch(1024)
+		if batch == nil {
+			break
+		}
+		for _, t := range batch {
+			d.Append(t)
+		}
+	}
+	return d, nil
+}
+
+// WindowFeed is the streaming face of the window reduction: the same
+// window-per-start sweep as Windows, delivered in batches for incremental
+// maintenance. Concatenating every NextBatch yields exactly
+// Windows(s, width, numTypes).Transactions().
+type WindowFeed struct {
+	s        Sequence
+	width    int64
+	numTypes int
+
+	start int64 // next window start
+	last  int64 // final window start
+	lo    int   // first event with Time >= start (inside the window)
+	hi    int   // first event with Time >= start+width
+	empty bool
+}
+
+// NewWindowFeed validates the sequence (sorted, positive width) and
+// positions the sweep at the first intersecting window.
+func NewWindowFeed(s Sequence, width int64, numTypes int) (*WindowFeed, error) {
 	if width <= 0 {
 		return nil, fmt.Errorf("episodes: window width must be positive, got %d", width)
 	}
@@ -63,27 +99,51 @@ func Windows(s Sequence, width int64, numTypes int) (*dataset.Dataset, error) {
 			return nil, fmt.Errorf("episodes: sequence not sorted at index %d", i)
 		}
 	}
-	d := dataset.Empty(numTypes)
+	f := &WindowFeed{s: s, width: width, numTypes: numTypes}
 	first, last, ok := s.Span()
 	if !ok {
-		return d, nil
+		f.empty = true
+		return f, nil
 	}
-	lo := 0 // first event with Time > start-1, i.e. inside the window
-	hi := 0 // first event with Time >= start+width
-	for start := first - width + 1; start <= last; start++ {
-		for lo < len(s) && s[lo].Time < start {
-			lo++
+	f.start = first - width + 1
+	f.last = last
+	return f, nil
+}
+
+// NumTypes returns the declared event-type universe (0 = inferred).
+func (f *WindowFeed) NumTypes() int { return f.numTypes }
+
+// Remaining returns how many window transactions the feed has yet to
+// deliver.
+func (f *WindowFeed) Remaining() int {
+	if f.empty || f.start > f.last {
+		return 0
+	}
+	return int(f.last - f.start + 1)
+}
+
+// NextBatch delivers the next batch of up to n window transactions; nil
+// once every window start up to the last event has been emitted.
+func (f *WindowFeed) NextBatch(n int) []dataset.Transaction {
+	if n <= 0 || f.empty || f.start > f.last {
+		return nil
+	}
+	var batch []dataset.Transaction
+	for ; n > 0 && f.start <= f.last; f.start++ {
+		for f.lo < len(f.s) && f.s[f.lo].Time < f.start {
+			f.lo++
 		}
-		for hi < len(s) && s[hi].Time < start+width {
-			hi++
+		for f.hi < len(f.s) && f.s[f.hi].Time < f.start+f.width {
+			f.hi++
 		}
-		types := make([]itemset.Item, 0, hi-lo)
-		for _, e := range s[lo:hi] {
+		types := make([]itemset.Item, 0, f.hi-f.lo)
+		for _, e := range f.s[f.lo:f.hi] {
 			types = append(types, e.Type)
 		}
-		d.Append(itemset.New(types...))
+		batch = append(batch, itemset.New(types...))
+		n--
 	}
-	return d, nil
+	return batch
 }
 
 // Episode is a discovered maximal frequent parallel episode.

@@ -129,3 +129,83 @@ func TestGenerateDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestWindowFeedConcatEqualsWindows pins the streaming contract: a window
+// feed's batches concatenate to exactly the frozen window database,
+// including the partial windows at both sequence boundaries.
+func TestWindowFeedConcatEqualsWindows(t *testing.T) {
+	seq := Generate(GeneratorParams{
+		NumTypes: 20, Length: 400, NoiseRate: 0.5,
+		Episodes: []itemset.Itemset{itemset.New(2, 5, 9)},
+		Period:   40, BurstWidth: 5, Seed: 3,
+	})
+	for _, width := range []int64{1, 7, 10} {
+		ref, err := Windows(seq, width, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batchSize := range []int{1, 13, 100000} {
+			f, err := NewWindowFeed(seq, width, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Remaining() != ref.Len() {
+				t.Fatalf("width %d: Remaining = %d, want %d", width, f.Remaining(), ref.Len())
+			}
+			got := 0
+			for {
+				b := f.NextBatch(batchSize)
+				if b == nil {
+					break
+				}
+				for _, tx := range b {
+					if !tx.Equal(ref.Transaction(got)) {
+						t.Fatalf("width %d batch %d: window %d = %v, want %v",
+							width, batchSize, got, tx, ref.Transaction(got))
+					}
+					got++
+				}
+			}
+			if got != ref.Len() {
+				t.Fatalf("width %d batch %d: streamed %d windows, want %d", width, batchSize, got, ref.Len())
+			}
+			if f.Remaining() != 0 || f.NextBatch(1) != nil {
+				t.Fatalf("width %d: exhausted feed still has windows", width)
+			}
+		}
+	}
+}
+
+// TestWindowFeedBoundaries pins the exact boundary windows of the
+// Mannila–Toivonen definition on a tiny handcrafted sequence: the first
+// window is the one whose LAST slot holds the first event, the final
+// window the one STARTING at the last event.
+func TestWindowFeedBoundaries(t *testing.T) {
+	seq := Sequence{{Time: 10, Type: 1}, {Time: 12, Type: 2}}
+	f, err := NewWindowFeed(seq, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := f.NextBatch(100)
+	// starts 8..12: [8,10]={1} [9,11]={1} [10,12]={1,2} [11,13]={2} [12,14]={2}
+	wants := []itemset.Itemset{
+		itemset.New(1), itemset.New(1), itemset.New(1, 2), itemset.New(2), itemset.New(2),
+	}
+	if len(batch) != len(wants) {
+		t.Fatalf("windows = %d, want %d", len(batch), len(wants))
+	}
+	for i, w := range wants {
+		if !batch[i].Equal(w) {
+			t.Fatalf("window %d = %v, want %v", i, batch[i], w)
+		}
+	}
+
+	// Empty sequence: no windows, not an error.
+	ef, err := NewWindowFeed(nil, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef.Remaining() != 0 || ef.NextBatch(1) != nil {
+		t.Fatal("empty sequence produced windows")
+	}
+}

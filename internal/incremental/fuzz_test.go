@@ -1,0 +1,55 @@
+package incremental
+
+import (
+	"errors"
+	"testing"
+
+	"pincer/internal/checkpoint"
+	"pincer/internal/itemset"
+)
+
+// FuzzMaintainerState throws arbitrary bytes at the maintainer-state
+// decoder: it must never panic, and every failure must be the typed
+// *checkpoint.CorruptError restart logic switches on. Successful decodes
+// must satisfy the invariants DecodeState promises (version match, parallel
+// slices, non-negative scalars).
+func FuzzMaintainerState(f *testing.F) {
+	valid, err := EncodeState(&State{
+		Version:        StateVersion,
+		AppliedSeq:     3,
+		Transactions:   10,
+		NumItems:       5,
+		MinCount:       2,
+		MFS:            []itemset.Itemset{itemset.New(0, 1), itemset.New(2, 4)},
+		MFSSupports:    []int64{4, 3},
+		Border:         []itemset.Itemset{itemset.New(3)},
+		BorderSupports: []int64{1},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	f.Add(valid[:len(valid)/2]) // truncated mid-stream
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeState(data)
+		if err != nil {
+			var ce *checkpoint.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("DecodeState returned untyped error %T: %v", err, err)
+			}
+			return
+		}
+		if st.Version != StateVersion {
+			t.Fatalf("decoded state with version %d slipped past the gate", st.Version)
+		}
+		if len(st.MFS) != len(st.MFSSupports) || len(st.Border) != len(st.BorderSupports) {
+			t.Fatal("decoded state with mismatched parallel slices")
+		}
+		if st.Transactions < 0 || st.NumItems < 0 || st.AppliedSeq < 0 {
+			t.Fatal("decoded state with negative scalars")
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package incremental
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"pincer/internal/checkpoint"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+)
+
+// StateVersion gates the maintainer-state wire format. A checkpoint written
+// by a different version decodes to *checkpoint.CorruptError rather than to
+// silently misinterpreted state.
+const StateVersion = 1
+
+// State is a maintainer's durable snapshot: everything except the window
+// transactions themselves, which the serving layer reconstructs from its
+// batch journal (replaying batches 1..AppliedSeq materializes exactly the
+// window this state describes, with no counting).
+type State struct {
+	Version        int
+	AppliedSeq     int64 // batches folded into this state
+	Transactions   int   // window length — cross-checked on restore
+	NumItems       int
+	MinCount       int64
+	MFS            []itemset.Itemset
+	MFSSupports    []int64
+	Border         []itemset.Itemset
+	BorderSupports []int64
+	Stats          Stats
+}
+
+// Snapshot captures the maintainer's current durable state.
+func (m *Maintainer) Snapshot() *State {
+	return &State{
+		Version:        StateVersion,
+		AppliedSeq:     m.seq,
+		Transactions:   len(m.window),
+		NumItems:       m.numItems,
+		MinCount:       m.minCount,
+		MFS:            m.mfs,
+		MFSSupports:    m.mfsSupports,
+		Border:         m.border,
+		BorderSupports: m.borderSupports,
+		Stats:          m.stats,
+	}
+}
+
+// Restore installs a snapshot plus the window it describes (rebuilt by the
+// caller from its batch journal). The window length must match the
+// snapshot; a mismatch means the journal and state disagree and the caller
+// should fall back to a full replay.
+func (m *Maintainer) Restore(st *State, window []dataset.Transaction) error {
+	if st.Version != StateVersion {
+		return &checkpoint.MismatchError{Field: "state version",
+			Want: fmt.Sprint(StateVersion), Got: fmt.Sprint(st.Version)}
+	}
+	if len(window) != st.Transactions {
+		return &checkpoint.MismatchError{Field: "window length",
+			Want: fmt.Sprint(st.Transactions), Got: fmt.Sprint(len(window))}
+	}
+	norm := make([]dataset.Transaction, len(window))
+	for i, t := range window {
+		norm[i] = itemset.New(t...)
+	}
+	m.window = norm
+	m.numItems = st.NumItems
+	m.minCount = st.MinCount
+	m.seq = st.AppliedSeq
+	m.mfs = st.MFS
+	m.mfsSupports = st.MFSSupports
+	m.border = st.Border
+	m.borderSupports = st.BorderSupports
+	m.stats = st.Stats
+	return nil
+}
+
+// EncodeState serializes a state snapshot.
+func EncodeState(st *State) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("incremental: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState deserializes a state snapshot. Undecodable bytes and unknown
+// versions both return a *checkpoint.CorruptError (path left to the
+// caller), so restart logic can distinguish "state damaged, replay the
+// journal" from real I/O failures.
+func DecodeState(data []byte) (*State, error) {
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, &checkpoint.CorruptError{Err: err}
+	}
+	if st.Version != StateVersion {
+		return nil, &checkpoint.CorruptError{
+			Err: fmt.Errorf("unsupported maintainer state version %d (want %d)", st.Version, StateVersion)}
+	}
+	// Parallel slices must actually be parallel; a truncated or hand-edited
+	// checkpoint that breaks this would corrupt every later delta.
+	if len(st.MFS) != len(st.MFSSupports) || len(st.Border) != len(st.BorderSupports) {
+		return nil, &checkpoint.CorruptError{
+			Err: fmt.Errorf("mismatched state slices: %d MFS / %d supports, %d border / %d supports",
+				len(st.MFS), len(st.MFSSupports), len(st.Border), len(st.BorderSupports))}
+	}
+	if st.Transactions < 0 || st.NumItems < 0 || st.AppliedSeq < 0 {
+		return nil, &checkpoint.CorruptError{
+			Err: fmt.Errorf("negative state fields: seq %d, transactions %d, items %d",
+				st.AppliedSeq, st.Transactions, st.NumItems)}
+	}
+	return &st, nil
+}

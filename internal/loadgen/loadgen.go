@@ -74,6 +74,16 @@ type Config struct {
 	// Chaos, when set, kill-restarts the daemon on an interval during the
 	// submission window.
 	Chaos *ChaosConfig
+	// Streams opens this many incremental stream maintainers
+	// (POST /v1/streams) alongside the job mix, each fed stocks-generated
+	// batches with explicit sequence numbers through the window. Under
+	// Verify each stream's final maintained MFS is diffed against a
+	// sequential reference mine of the delivered transactions.
+	Streams int
+	// StreamBatches is how many batches each stream appends (default 12).
+	StreamBatches int
+	// StreamBatchTx is the trading days per stream batch (default 40).
+	StreamBatchTx int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -124,6 +134,17 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Chaos != nil && (c.Chaos.Interval <= 0 || (c.Chaos.Restart == nil && c.Chaos.KillWorker == nil)) {
 		return c, errors.New("loadgen: ChaosConfig needs Interval and at least one of Restart and KillWorker")
 	}
+	if c.Streams < 0 {
+		return c, errors.New("loadgen: Config.Streams must be >= 0")
+	}
+	if c.Streams > 0 {
+		if c.StreamBatches <= 0 {
+			c.StreamBatches = 12
+		}
+		if c.StreamBatchTx <= 0 {
+			c.StreamBatchTx = 40
+		}
+	}
 	return c, nil
 }
 
@@ -149,6 +170,10 @@ type runner struct {
 	tracked      map[string]*trackedJob
 	cacheHits    int64
 	restarts     int
+
+	// streams is the stream mix's workers, fixed before the run's
+	// goroutines start and read back after they settle.
+	streams []*streamRun
 }
 
 func (r *runner) logf(format string, args ...interface{}) {
@@ -188,6 +213,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			r.chaosLoop(loadCtx)
 		}()
 	}
+	if cfg.Streams > 0 {
+		r.streamLoop(loadCtx, drainCtx, &wg)
+	}
 	if cfg.RateHz > 0 {
 		r.openLoop(loadCtx, drainCtx, &wg)
 	} else {
@@ -200,6 +228,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rep := r.buildReport(elapsed)
 	if cfg.Verify {
 		r.verify(rep)
+		if rep.Streams != nil {
+			r.verifyStreams(rep)
+		}
 	}
 	return rep, nil
 }

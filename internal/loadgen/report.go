@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -26,8 +27,24 @@ type Report struct {
 
 	Endpoints map[string]*EndpointReport `json:"endpoints"`
 
-	Jobs          JobsReport `json:"jobs"`
-	ChaosRestarts int        `json:"chaos_restarts,omitempty"`
+	Jobs          JobsReport     `json:"jobs"`
+	Streams       *StreamsReport `json:"streams,omitempty"`
+	ChaosRestarts int            `json:"chaos_restarts,omitempty"`
+}
+
+// StreamsReport accounts for the stream mix: every opened stream must end
+// with its maintained MFS matching the client-side mirror — through chaos
+// restarts included — so Failed and Divergent must stay empty.
+type StreamsReport struct {
+	Streams    int      `json:"streams"`
+	Batches    int64    `json:"batches"`
+	Duplicates int64    `json:"duplicates,omitempty"`
+	Retries    int64    `json:"retries,omitempty"`
+	FastPath   int64    `json:"fast_path"`
+	Remines    int64    `json:"remines"`
+	Failed     []string `json:"failed,omitempty"`
+	Verified   int64    `json:"verified,omitempty"`
+	Divergent  []string `json:"divergent,omitempty"`
 }
 
 // EndpointReport is one endpoint's latency and status-code breakdown.
@@ -123,5 +140,20 @@ func (r *runner) buildReport(elapsed time.Duration) *Report {
 	}
 	r.mu.Unlock()
 	sort.Strings(rep.Jobs.LostIDs)
+
+	if r.streams != nil {
+		sr := &StreamsReport{Streams: len(r.streams)}
+		for i, s := range r.streams {
+			sr.Batches += s.batches
+			sr.Duplicates += s.duplicates
+			sr.Retries += s.retries
+			sr.FastPath += s.view.FastPath
+			sr.Remines += s.view.Remines
+			if s.failed != "" {
+				sr.Failed = append(sr.Failed, fmt.Sprintf("stream %d (%s): %s", i, s.id, s.failed))
+			}
+		}
+		rep.Streams = sr
+	}
 	return rep
 }

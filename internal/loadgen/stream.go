@@ -1,0 +1,276 @@
+package loadgen
+
+// The stream mix. Alongside the job mix a load run can hold N incremental
+// streams open against POST /v1/streams — each a live stocks-feed dataset
+// whose batches arrive through the submission window with explicit
+// sequence numbers, so a retry across a chaos kill-restart is acknowledged
+// as a duplicate instead of double-applied. Each worker mirrors the
+// transactions it delivered (window-trimmed, exactly as the maintainer
+// evicts); at the end of the run the stream's maintained MFS is read back
+// and — under Verify — diffed against a sequential reference mine of the
+// mirror, proving the maintainer crossed every restart with no lost and no
+// double-counted batch.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pincer/internal/dataset"
+	"pincer/internal/incremental"
+	"pincer/internal/server"
+	"pincer/internal/stocks"
+)
+
+// streamRun is one stream worker's accounting. Until the run's WaitGroup
+// settles only its own goroutine touches it; buildReport and verify read it
+// afterwards.
+type streamRun struct {
+	spec       server.StreamRequest
+	id         string
+	batches    int64    // batches acknowledged (fresh or duplicate)
+	duplicates int64    // retries acknowledged as already-applied
+	retries    int64    // transport errors, 429s and 503s waited out
+	lines      []string // mirror: one basket line per delivered transaction
+	failed     string   // harness-side failure, "" while healthy
+	view       server.StreamView
+	sig        string // final maintained-MFS signature
+}
+
+func (sr *streamRun) failf(format string, args ...interface{}) {
+	sr.failed = fmt.Sprintf(format, args...)
+}
+
+// streamSpec shapes stream i of the mix: even streams append-only with the
+// default scan counter, odd streams windowed (so eviction is live in the
+// back half of the run) counting deltas against tid-lists.
+func streamSpec(i int, cfg Config) server.StreamRequest {
+	spec := server.StreamRequest{MinSupport: 0.3, Workers: 1}
+	if i%2 == 1 {
+		spec.Counter = incremental.CounterTidList
+		spec.Window = cfg.StreamBatchTx * (cfg.StreamBatches/2 + 1)
+		spec.Workers = 2
+	}
+	return spec
+}
+
+// streamLoop launches one worker per configured stream; they run alongside
+// the job mix and the chaos loop, so kill-restarts land mid-batch.
+func (r *runner) streamLoop(loadCtx, drainCtx context.Context, wg *sync.WaitGroup) {
+	r.streams = make([]*streamRun, r.cfg.Streams)
+	for i := 0; i < r.cfg.Streams; i++ {
+		sr := &streamRun{spec: streamSpec(i, r.cfg)}
+		r.streams[i] = sr
+		wg.Add(1)
+		go func(i int, sr *streamRun) {
+			defer wg.Done()
+			r.runStream(loadCtx, drainCtx, i, sr)
+		}(i, sr)
+	}
+}
+
+// runStream feeds one stream through the window: open, append
+// StreamBatches stocks-feed batches on a fixed cadence, then read the final
+// status and maintained MFS back. Every request retries through transport
+// errors and 503s — the signature of a chaos restart holding the daemon
+// down — with the explicit seq making batch retries idempotent.
+func (r *runner) runStream(loadCtx, drainCtx context.Context, idx int, sr *streamRun) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 104729*int64(idx+1)))
+	feed, err := stocks.NewFeed(stocks.Params{Seed: r.cfg.Seed + int64(idx)})
+	if err != nil {
+		sr.failf("stocks feed: %v", err)
+		return
+	}
+
+	for {
+		code, view, retryAfter, err := r.cli.streamOpen(sr.spec)
+		if err == nil && code == http.StatusCreated {
+			sr.id = view.ID
+			break
+		}
+		if err == nil && code != http.StatusTooManyRequests && code != http.StatusServiceUnavailable {
+			sr.failf("stream open rejected with %d", code)
+			return
+		}
+		sr.retries++
+		if !sleepCtx(drainCtx, backoffDelay(rng, retryAfter, 20*time.Millisecond)) {
+			sr.failf("drain window closed before the stream opened")
+			return
+		}
+	}
+	r.logf("stream %d open as %s (window %d, counter %q)", idx, sr.id, sr.spec.Window, sr.spec.Counter)
+
+	pace := r.cfg.Duration / time.Duration(r.cfg.StreamBatches+1)
+	seq := int64(1)
+	for b := 0; b < r.cfg.StreamBatches; b++ {
+		txs := feed.NextBatch(r.cfg.StreamBatchTx)
+		lines := basketLines(txs)
+		if len(txs) == 0 {
+			break // feed exhausted
+		}
+		if len(lines) > 0 {
+			req := server.BatchRequest{Baskets: strings.Join(lines, "\n") + "\n", Seq: seq}
+			for {
+				code, delta, retryAfter, err := r.cli.streamBatch(sr.id, req)
+				if err == nil && code == http.StatusOK {
+					sr.batches++
+					if delta.Duplicate {
+						sr.duplicates++
+					}
+					break
+				}
+				if err == nil && code != http.StatusTooManyRequests && code != http.StatusServiceUnavailable {
+					sr.failf("batch %d rejected with %d", seq, code)
+					return
+				}
+				// The batch may have been journaled before the failure; the
+				// explicit seq turns the retry into a duplicate ack.
+				sr.retries++
+				if !sleepCtx(drainCtx, backoffDelay(rng, retryAfter, 20*time.Millisecond)) {
+					sr.failf("drain window closed with batch %d unacknowledged", seq)
+					return
+				}
+			}
+			sr.lines = append(sr.lines, lines...)
+			if w := sr.spec.Window; w > 0 && len(sr.lines) > w {
+				sr.lines = sr.lines[len(sr.lines)-w:] // front eviction, as the maintainer does
+			}
+			seq++
+		}
+		if b < r.cfg.StreamBatches-1 && !sleepCtx(loadCtx, pace) {
+			break // submission window closed: verify the prefix delivered so far
+		}
+	}
+	if seq == 1 {
+		sr.failf("no batches delivered")
+		return
+	}
+
+	// Final read-back. An interrupted status is transient under chaos (the
+	// next generation replays the journal), so wait it out like a 503.
+	for {
+		code, view, retryAfter, err := r.cli.streamStatus(sr.id)
+		if err == nil && code == http.StatusOK && !view.Interrupted {
+			sr.view = view
+			break
+		}
+		if err == nil && code == http.StatusNotFound {
+			sr.failf("stream vanished before the final status read")
+			return
+		}
+		sr.retries++
+		if !sleepCtx(drainCtx, backoffDelay(rng, retryAfter, 20*time.Millisecond)) {
+			sr.failf("drain window closed before a clean final status")
+			return
+		}
+	}
+	if sr.view.Seq != seq-1 {
+		sr.failf("server applied %d batches, client delivered %d", sr.view.Seq, seq-1)
+		return
+	}
+	if sr.view.Transactions != len(sr.lines) {
+		sr.failf("server holds %d transactions, client delivered %d", sr.view.Transactions, len(sr.lines))
+		return
+	}
+	for {
+		code, doc, retryAfter, err := r.cli.streamMFS(sr.id)
+		if err == nil && code == http.StatusOK {
+			sr.sig = streamSignature(doc)
+			break
+		}
+		sr.retries++
+		if !sleepCtx(drainCtx, backoffDelay(rng, retryAfter, 20*time.Millisecond)) {
+			sr.failf("drain window closed before the final MFS read")
+			return
+		}
+	}
+}
+
+// basketLines renders a feed batch as basket text lines, one transaction
+// per line. Empty baskets (a day no stock rose) are dropped: the text
+// format cannot carry them, so the mirror drops them identically.
+func basketLines(txs []dataset.Transaction) []string {
+	lines := make([]string, 0, len(txs))
+	for _, tx := range txs {
+		if len(tx) == 0 {
+			continue
+		}
+		parts := make([]string, len(tx))
+		for i, it := range tx {
+			parts[i] = fmt.Sprint(it)
+		}
+		lines = append(lines, strings.Join(parts, " "))
+	}
+	return lines
+}
+
+// streamSignature canonicalizes a maintained MFS document in the same form
+// Signature and ReferenceSignature use for job results.
+func streamSignature(doc server.StreamMFSDoc) string {
+	lines := make([]string, 0, len(doc.MFS))
+	for _, m := range doc.MFS {
+		items := make([]int64, len(m.Items))
+		for i, it := range m.Items {
+			items[i] = int64(it)
+		}
+		lines = append(lines, sigLine(items, m.Support))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ";")
+}
+
+// verifyStreams diffs every healthy stream's maintained MFS against a
+// sequential reference mine of its mirror — what an uninterrupted
+// from-scratch mine of exactly the delivered (and surviving) transactions
+// would answer.
+func (r *runner) verifyStreams(rep *Report) {
+	for i, sr := range r.streams {
+		if sr.failed != "" {
+			continue
+		}
+		baskets := strings.Join(sr.lines, "\n") + "\n"
+		want, err := ReferenceSignature(baskets, sr.spec.MinSupport)
+		if err != nil {
+			rep.Streams.Divergent = append(rep.Streams.Divergent,
+				fmt.Sprintf("stream %d (%s): reference failed: %v", i, sr.id, err))
+			continue
+		}
+		if sr.sig != want {
+			rep.Streams.Divergent = append(rep.Streams.Divergent,
+				fmt.Sprintf("stream %d (%s): maintained MFS diverges from sequential reference", i, sr.id))
+			continue
+		}
+		rep.Streams.Verified++
+	}
+}
+
+// Stream client methods, recorded under the daemon's own route vocabulary.
+
+func (c *client) streamOpen(spec server.StreamRequest) (int, server.StreamView, time.Duration, error) {
+	var v server.StreamView
+	code, retryAfter, err := c.do("stream_submit", http.MethodPost, "/v1/streams", spec, &v)
+	return code, v, retryAfter, err
+}
+
+func (c *client) streamBatch(id string, req server.BatchRequest) (int, server.StreamDeltaDoc, time.Duration, error) {
+	var d server.StreamDeltaDoc
+	code, retryAfter, err := c.do("stream_batch", http.MethodPost, "/v1/streams/"+id+"/batches", req, &d)
+	return code, d, retryAfter, err
+}
+
+func (c *client) streamStatus(id string) (int, server.StreamView, time.Duration, error) {
+	var v server.StreamView
+	code, retryAfter, err := c.do("stream_status", http.MethodGet, "/v1/streams/"+id, nil, &v)
+	return code, v, retryAfter, err
+}
+
+func (c *client) streamMFS(id string) (int, server.StreamMFSDoc, time.Duration, error) {
+	var doc server.StreamMFSDoc
+	code, retryAfter, err := c.do("stream_mfs", http.MethodGet, "/v1/streams/"+id+"/mfs", nil, &doc)
+	return code, doc, retryAfter, err
+}

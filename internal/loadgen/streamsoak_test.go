@@ -1,0 +1,102 @@
+package loadgen
+
+// The stream-soak regression: incremental streams run alongside the job
+// mix while the chaos knob kill-restarts the daemon mid-batch. Explicit
+// sequence numbers make every batch retry idempotent (a journaled batch is
+// acknowledged as a duplicate, never double-applied), and the restart
+// generation rebuilds each maintainer from its state snapshot plus journal
+// replay. The assertions are the streaming durability contract: every
+// stream ends healthy and its maintained MFS is byte-identical to a
+// sequential reference mine of exactly the transactions the client
+// delivered — restarts included.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pincer/internal/server"
+)
+
+func TestSoakStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run is several seconds of wall clock")
+	}
+	spool := t.TempDir()
+	d, err := StartLocal(server.Config{SpoolDir: spool, Workers: 2, QueueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	ds := GenerateDatasets(1, 33)
+	cells := BuildCells(ds, []float64{0.4}, []string{server.MinerApriori}, 0)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       d.URL(),
+		Cells:         cells,
+		Concurrency:   2,
+		Duration:      2500 * time.Millisecond,
+		Seed:          17,
+		Verify:        true,
+		Streams:       3, // covers both spec shapes: append-only/scan and windowed/tidlist
+		StreamBatches: 8,
+		StreamBatchTx: 30,
+		Chaos: &ChaosConfig{
+			Interval:    700 * time.Millisecond,
+			MaxRestarts: 2,
+			Restart:     d.Restart,
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streams == nil {
+		t.Fatal("run produced no streams report")
+	}
+	t.Logf("stream soak: %d restarts, streams %+v", rep.ChaosRestarts, rep.Streams)
+
+	if rep.ChaosRestarts != 2 {
+		t.Errorf("chaos restarts = %d, want 2", rep.ChaosRestarts)
+	}
+	// The streaming durability contract: every stream survived the
+	// restarts with a consistent maintainer...
+	if len(rep.Streams.Failed) != 0 {
+		t.Errorf("streams failed across restarts: %v", rep.Streams.Failed)
+	}
+	if rep.Streams.Batches == 0 {
+		t.Error("stream soak applied no batches")
+	}
+	// ...and every maintained MFS matches an uninterrupted from-scratch
+	// mine of the delivered (window-surviving) transactions.
+	if len(rep.Streams.Divergent) != 0 {
+		t.Errorf("maintained MFS diverged from the sequential reference: %v", rep.Streams.Divergent)
+	}
+	if want := int64(rep.Streams.Streams); rep.Streams.Verified != want {
+		t.Errorf("verified %d streams, want %d", rep.Streams.Verified, want)
+	}
+	// The job mix must stay healthy with streams in the request stream.
+	if rep.Jobs.Lost != 0 || rep.Jobs.Failed != 0 || len(rep.Jobs.Divergent) != 0 {
+		t.Errorf("job mix degraded: %+v", rep.Jobs)
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	cfg := Config{
+		BaseURL:  "http://127.0.0.1:1",
+		Cells:    []Cell{{Dataset: "d", Baskets: "0 1\n", MinSupport: 0.5, Miner: server.MinerPincer}},
+		Duration: time.Second,
+		Streams:  -1,
+	}
+	if _, err := cfg.withDefaults(); err == nil {
+		t.Fatal("negative Streams accepted")
+	}
+	cfg.Streams = 2
+	got, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StreamBatches != 12 || got.StreamBatchTx != 40 {
+		t.Errorf("stream defaults = %d batches × %d tx, want 12 × 40", got.StreamBatches, got.StreamBatchTx)
+	}
+}

@@ -27,6 +27,7 @@ type jsonEvent struct {
 	Checkpoint *CheckpointEvent `json:"checkpoint,omitempty"`
 	Selection  *SelectionEvent  `json:"selection,omitempty"`
 	Cluster    *ClusterEvent    `json:"cluster,omitempty"`
+	Stream     *StreamEvent     `json:"stream,omitempty"`
 }
 
 // RunStart implements Tracer.
@@ -69,4 +70,11 @@ func (t *JSONTracer) ClusterChange(ev ClusterEvent) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.enc.Encode(jsonEvent{Type: "cluster", Cluster: &ev})
+}
+
+// StreamDelta implements StreamTracer.
+func (t *JSONTracer) StreamDelta(ev StreamEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enc.Encode(jsonEvent{Type: "stream", Stream: &ev})
 }

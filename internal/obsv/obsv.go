@@ -145,6 +145,50 @@ type ClusterEvent struct {
 	Live int `json:"live"`
 }
 
+// StreamEvent records one delta applied to an incrementally maintained
+// stream: a batch absorbed on the border-unmoved fast path or a triggered
+// re-mine. Re-mines additionally emit the usual run events through the same
+// tracer; StreamEvent carries the delta-level decision those runs can't see.
+type StreamEvent struct {
+	// Stream identifies the maintained stream (the server's stream id).
+	Stream string `json:"stream"`
+	// Seq is the 1-based batch sequence number.
+	Seq int64 `json:"seq"`
+	// Appended and Evicted count the transactions entering and leaving the
+	// window in this delta.
+	Appended int `json:"appended"`
+	Evicted  int `json:"evicted,omitempty"`
+	// Transactions is the window length after the delta.
+	Transactions int `json:"transactions"`
+	// Checked is the number of maintained itemsets (MFS and border, both
+	// delta sides) counted to decide the delta.
+	Checked int `json:"checked"`
+	// Remined reports whether a full mine ran; Reason explains why
+	// ("initial", "mfs-infrequent", "border-frequent", "new-item-frequent")
+	// and is empty on the fast path.
+	Remined bool   `json:"remined"`
+	Reason  string `json:"reason,omitempty"`
+	// VerifyMillis is the delta-verification wall clock; MineMillis the
+	// re-mine wall clock (0 on the fast path).
+	VerifyMillis float64 `json:"verify_ms"`
+	MineMillis   float64 `json:"mine_ms,omitempty"`
+}
+
+// StreamTracer is optionally implemented by Tracers that also want the
+// incremental-maintenance delta stream, following the same
+// optional-interface pattern as CheckpointTracer.
+type StreamTracer interface {
+	StreamDelta(ev StreamEvent)
+}
+
+// EmitStream forwards ev to tr if it implements StreamTracer; a nil or
+// plain Tracer is a no-op.
+func EmitStream(tr Tracer, ev StreamEvent) {
+	if st, ok := tr.(StreamTracer); ok {
+		st.StreamDelta(ev)
+	}
+}
+
 // ClusterTracer is optionally implemented by Tracers that also want the
 // distributed-mining event stream, following the same optional-interface
 // pattern as CheckpointTracer.
@@ -258,6 +302,14 @@ func (m multiTracer) ClusterChange(ev ClusterEvent) {
 	}
 }
 
+// StreamDelta implements StreamTracer, forwarding to the members that
+// implement it.
+func (m multiTracer) StreamDelta(ev StreamEvent) {
+	for _, t := range m {
+		EmitStream(t, ev)
+	}
+}
+
 // Collector is a Tracer that accumulates the event stream in memory, for
 // tests and for benchrun's report folding.
 type Collector struct {
@@ -268,6 +320,7 @@ type Collector struct {
 	checkpoints []CheckpointEvent
 	selections  []SelectionEvent
 	cluster     []ClusterEvent
+	stream      []StreamEvent
 }
 
 // NewCollector returns an empty Collector.
@@ -357,9 +410,24 @@ func (c *Collector) ClusterEvents() []ClusterEvent {
 	return append([]ClusterEvent(nil), c.cluster...)
 }
 
+// StreamDelta implements StreamTracer.
+func (c *Collector) StreamDelta(ev StreamEvent) {
+	c.mu.Lock()
+	c.stream = append(c.stream, ev)
+	c.mu.Unlock()
+}
+
+// StreamEvents returns a copy of the collected stream delta events.
+func (c *Collector) StreamEvents() []StreamEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]StreamEvent(nil), c.stream...)
+}
+
 // Reset discards everything collected so far.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.runs, c.passes, c.done, c.checkpoints, c.selections = nil, nil, nil, nil, nil
+	c.cluster, c.stream = nil, nil
 	c.mu.Unlock()
 }

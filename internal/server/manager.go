@@ -62,6 +62,7 @@ type Manager struct {
 	state         int
 	queueClosed   bool
 	jobs          map[string]*Job
+	streams       map[string]*Stream
 	seq           int64
 	cache         *resultCache
 	dsc           *datasetCache
@@ -84,6 +85,7 @@ func newManager(cfg Config, reg *obsv.Registry) (*Manager, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
+		streams:    map[string]*Stream{},
 		cache:      newResultCache(cfg.CacheMaxBytes),
 		dsc:        newDatasetCache(cfg.DatasetCacheBytes),
 	}
@@ -116,12 +118,19 @@ func newManager(cfg Config, reg *obsv.Registry) (*Manager, error) {
 		m.logf("resuming job %s (%s) from spool", j.ID, j.Spec.Miner)
 	}
 	m.met.queueDepth.Set(int64(len(m.queue)))
+	if err := m.recoverStreams(); err != nil {
+		cancel()
+		return nil, err
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m, nil
 }
+
+// SpoolDir reports the durability root the manager was configured with.
+func (m *Manager) SpoolDir() string { return m.cfg.SpoolDir }
 
 func (m *Manager) logf(format string, args ...interface{}) {
 	if m.cfg.Logf != nil {
@@ -630,6 +639,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 		m.baseCancel()
+		m.closeStreams()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain: %w", ctx.Err())
@@ -649,6 +659,7 @@ func (m *Manager) Abort(ctx context.Context) error {
 	go func() { m.wg.Wait(); close(done) }()
 	select {
 	case <-done:
+		m.closeStreams()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: abort: %w", ctx.Err())

@@ -35,6 +35,21 @@ type metricsSet struct {
 	datasetCacheBytes   *obsv.Gauge
 	datasetCacheEntries *obsv.Gauge
 
+	// Stream-resource metrics (pincer_stream_*): the incremental maintainers
+	// behind /v1/streams. The fast-path / re-mine split is the headline —
+	// it is the whole point of maintaining the negative border.
+	streamsCreated        *obsv.Counter
+	streamsResumed        *obsv.Counter
+	streamsInterrupted    *obsv.Counter
+	streamBatches         *obsv.Counter
+	streamBatchesReplayed *obsv.Counter
+	streamFastPath        *obsv.Counter
+	streamRemines         *obsv.Counter
+	streamChecked         *obsv.Counter
+	streamsActive         *obsv.Gauge
+	streamVerifySeconds   *obsv.Histogram
+	streamMineSeconds     *obsv.Histogram
+
 	// selected counts adaptive engine-selection decisions by the resolved
 	// miner (pincer_engine_selected_total{engine="..."}); the full miner
 	// vocabulary is pre-registered so the exposition is stable from the
@@ -74,6 +89,18 @@ func newMetricsSet(reg *obsv.Registry) *metricsSet {
 		cacheEntries:        reg.Gauge("pincer_result_cache_entries", "Results held by the cache."),
 		datasetCacheBytes:   reg.Gauge("pincer_dataset_cache_bytes", "Raw bytes represented by the parsed-dataset cache."),
 		datasetCacheEntries: reg.Gauge("pincer_dataset_cache_entries", "Datasets held by the parsed-dataset cache."),
+
+		streamsCreated:        reg.Counter("pincer_stream_created_total", "Streams opened by POST /v1/streams."),
+		streamsResumed:        reg.Counter("pincer_stream_resumed_total", "Streams rebuilt from the spool at startup."),
+		streamsInterrupted:    reg.Counter("pincer_stream_interrupted_total", "Streams whose batch apply failed mid-flight (journal retained for restart)."),
+		streamBatches:         reg.Counter("pincer_stream_batches_total", "Batches journaled and applied to stream maintainers."),
+		streamBatchesReplayed: reg.Counter("pincer_stream_batches_replayed_total", "Journaled batches re-applied during startup recovery."),
+		streamFastPath:        reg.Counter("pincer_stream_remines_avoided_total", "Deltas absorbed by the border check alone, with no mining."),
+		streamRemines:         reg.Counter("pincer_stream_remines_total", "Deltas that moved the border and forced a warm-started re-mine."),
+		streamChecked:         reg.Counter("pincer_stream_border_checks_total", "MFS and border itemsets counted against delta transactions."),
+		streamsActive:         reg.Gauge("pincer_stream_active", "Streams currently open."),
+		streamVerifySeconds:   reg.Histogram("pincer_stream_verify_seconds", "", "Wall clock of per-batch delta verification (border check)."),
+		streamMineSeconds:     reg.Histogram("pincer_stream_remine_seconds", "", "Wall clock of border-moved re-mines."),
 	}
 }
 
@@ -87,7 +114,9 @@ func (ms *metricsSet) engineSelected(miner string) {
 // httpRoutes is the fixed route vocabulary of the HTTP metrics (see
 // routeOf). Pre-registering every route keeps the /metrics exposition
 // stable from the first scrape.
-var httpRoutes = [...]string{"submit", "list", "status", "cancel", "result", "healthz", "debug", "other"}
+var httpRoutes = [...]string{"submit", "list", "status", "cancel", "result",
+	"stream_submit", "stream_list", "stream_status", "stream_batch", "stream_mfs", "stream_delete",
+	"healthz", "debug", "other"}
 
 // httpMetrics records per-route request latency histograms and response
 // counters by status class — the serving-layer view the load harness reads

@@ -149,6 +149,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	s.mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	s.mux.HandleFunc("GET /v1/streams", s.handleStreamList)
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamStatus)
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
+	s.mux.HandleFunc("POST /v1/streams/{id}/batches", s.handleStreamBatch)
+	s.mux.HandleFunc("GET /v1/streams/{id}/mfs", s.handleStreamMFS)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -210,6 +216,21 @@ func routeOf(r *http.Request) string {
 		return "status"
 	case strings.HasPrefix(p, "/v1/results/"):
 		return "result"
+	case p == "/v1/streams" || p == "/v1/streams/":
+		if r.Method == http.MethodPost {
+			return "stream_submit"
+		}
+		return "stream_list"
+	case strings.HasPrefix(p, "/v1/streams/"):
+		switch {
+		case strings.HasSuffix(p, "/batches"):
+			return "stream_batch"
+		case strings.HasSuffix(p, "/mfs"):
+			return "stream_mfs"
+		case r.Method == http.MethodDelete:
+			return "stream_delete"
+		}
+		return "stream_status"
 	case p == "/healthz":
 		return "healthz"
 	case p == "/metrics" || p == "/debug/vars" || strings.HasPrefix(p, "/debug/pprof"):

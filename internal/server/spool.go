@@ -53,12 +53,17 @@ func (s spool) checkpointPath(id string) string { return filepath.Join(s.dir, id
 func (s spool) tracePath(id string) string      { return filepath.Join(s.dir, id+".trace.jsonl") }
 func (s spool) resultPath(id string) string     { return filepath.Join(s.dir, id+".result") }
 
-// writeAtomic persists data via temp-file + rename.
+// writeAtomic persists a value as JSON via temp-file + rename.
 func (s spool) writeAtomic(path string, v interface{}) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("server: encode %s: %w", filepath.Base(path), err)
 	}
+	return s.writeAtomicBytes(path, data)
+}
+
+// writeAtomicBytes persists raw bytes via temp-file + rename.
+func (s spool) writeAtomicBytes(path string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("server: %w", err)

@@ -1,0 +1,114 @@
+package server_test
+
+// FuzzStreamBatchRequest throws arbitrary bytes at the POST
+// /v1/streams/{id}/batches decoder over the real handler stack. The batch
+// apply is synchronous, so unlike the job fuzzer there is nothing to cancel
+// — the contract is that the server never panics, every rejection carries a
+// typed reason, and every accepted batch returns a well-formed delta whose
+// seq advances by exactly one (or acknowledges a duplicate). The item-
+// universe cap is load-bearing here: without it one fuzz-crafted line could
+// commit the maintainer to a billion-item universe.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pincer/internal/server"
+)
+
+func FuzzStreamBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"baskets":"1 2\n1 2\n"}`))
+	f.Add([]byte(`{"baskets":"1 2\n","seq":1}`))
+	f.Add([]byte(`{"baskets":"1 2\n","seq":-3}`))
+	f.Add([]byte(`{"baskets":"1 2\n","seq":9999}`))
+	f.Add([]byte(`{"baskets":""}`))
+	f.Add([]byte(`{"baskets":"not numbers"}`))
+	f.Add([]byte(`{"baskets":"999999999\n"}`)) // over the universe cap
+	f.Add([]byte(`{"baskets":"0\n1\n2\n"}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"baskets":"1 2\n","unknown_field":1}`))
+	f.Add([]byte(fmt.Sprintf(`{"baskets":%q}`, "1 2 3\n"+string(make([]byte, 5000)))))
+
+	srv, err := server.New(server.Config{
+		SpoolDir:     f.TempDir(),
+		Workers:      1,
+		MaxBodyBytes: 4 << 10,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Abort(ctx)
+	})
+	st, err := srv.Manager().CreateStream(server.StreamRequest{MinSupport: 0.5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := "/v1/streams/" + st.ID + "/batches"
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // must not panic, whatever the bytes
+		switch rec.Code {
+		case http.StatusOK:
+			var doc server.StreamDeltaDoc
+			if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+				t.Fatalf("200 response is not a delta doc (%v): %q", err, rec.Body.String())
+			}
+			if doc.Seq <= 0 && !doc.Duplicate {
+				t.Fatalf("applied delta without a seq: %+v", doc)
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+			var e struct {
+				Error  string `json:"error"`
+				Reason string `json:"reason"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" || e.Reason == "" {
+				t.Fatalf("%d response lacks typed reason: %q", rec.Code, rec.Body.String())
+			}
+		default:
+			t.Fatalf("POST %s answered %d for body %q", path, rec.Code, body)
+		}
+		// The maintainer must stay consistent with its own accounting after
+		// every request, whatever was just thrown at it.
+		v, ok := srv.Manager().Stream(st.ID)
+		if !ok {
+			t.Fatal("stream vanished")
+		}
+		view := streamViewOf(t, srv, v.ID)
+		if view.Interrupted {
+			t.Fatalf("fuzz input interrupted the stream: %+v", view)
+		}
+		if view.Seq != view.Batches {
+			t.Fatalf("seq %d != batches %d", view.Seq, view.Batches)
+		}
+	})
+}
+
+// streamViewOf reads a stream's status through the HTTP surface.
+func streamViewOf(t *testing.T, srv *server.Server, id string) server.StreamView {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/streams/"+id, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET stream: status %d", rec.Code)
+	}
+	var v server.StreamView
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

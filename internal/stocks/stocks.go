@@ -84,60 +84,126 @@ type Market struct {
 	Returns [][]float64
 }
 
-// Generate builds a market under the one-factor model.
-func Generate(p Params) (*Market, error) {
-	p = p.Defaults()
+// buildSectors validates the sector layout and returns the per-stock sector
+// assignment plus the member lists.
+func buildSectors(p Params) (sectorOf []int, members []itemset.Itemset, err error) {
 	total := 0
 	for _, n := range p.Sectors {
 		if n < 0 {
-			return nil, fmt.Errorf("stocks: negative sector size %d", n)
+			return nil, nil, fmt.Errorf("stocks: negative sector size %d", n)
 		}
 		total += n
 	}
 	if total > p.NumStocks {
-		return nil, fmt.Errorf("stocks: sectors need %d stocks, only %d available", total, p.NumStocks)
+		return nil, nil, fmt.Errorf("stocks: sectors need %d stocks, only %d available", total, p.NumStocks)
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
-
-	sectorOf := make([]int, p.NumStocks)
+	sectorOf = make([]int, p.NumStocks)
 	for i := range sectorOf {
 		sectorOf[i] = -1
 	}
-	m := &Market{Days: dataset.Empty(p.NumStocks)}
 	next := 0
 	for s, n := range p.Sectors {
-		members := make(itemset.Itemset, 0, n)
+		ms := make(itemset.Itemset, 0, n)
 		for j := 0; j < n; j++ {
 			sectorOf[next] = s
-			members = append(members, itemset.Item(next))
+			ms = append(ms, itemset.Item(next))
 			next++
 		}
-		m.SectorMembers = append(m.SectorMembers, members)
+		members = append(members, ms)
 	}
+	return sectorOf, members, nil
+}
 
+// nextDay draws one trading day under the one-factor model. It is the ONLY
+// place the model consumes randomness, shared by Generate and Feed, so a
+// feed's batches concatenate to exactly the frozen dataset of the same
+// parameters.
+func nextDay(rng *rand.Rand, p Params, sectorOf []int) (basket itemset.Itemset, rets []float64) {
+	market := rng.NormFloat64() * p.MarketVol
+	sector := make([]float64, len(p.Sectors))
+	for s := range sector {
+		sector[s] = rng.NormFloat64() * p.SectorVol
+	}
+	rets = make([]float64, p.NumStocks)
+	var up []itemset.Item
+	for i := 0; i < p.NumStocks; i++ {
+		r := market + rng.NormFloat64()*p.IdioVol
+		if s := sectorOf[i]; s >= 0 {
+			r += p.SectorBeta * sector[s]
+		}
+		rets[i] = r
+		if r > p.UpThreshold {
+			up = append(up, itemset.Item(i))
+		}
+	}
+	return itemset.New(up...), rets
+}
+
+// Generate builds a market under the one-factor model.
+func Generate(p Params) (*Market, error) {
+	p = p.Defaults()
+	sectorOf, members, err := buildSectors(p)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	m := &Market{Days: dataset.Empty(p.NumStocks), SectorMembers: members}
 	m.Returns = make([][]float64, p.NumDays)
 	for day := 0; day < p.NumDays; day++ {
-		market := rng.NormFloat64() * p.MarketVol
-		sector := make([]float64, len(p.Sectors))
-		for s := range sector {
-			sector[s] = rng.NormFloat64() * p.SectorVol
-		}
-		rets := make([]float64, p.NumStocks)
-		var up []itemset.Item
-		for i := 0; i < p.NumStocks; i++ {
-			r := market + rng.NormFloat64()*p.IdioVol
-			if s := sectorOf[i]; s >= 0 {
-				r += p.SectorBeta * sector[s]
-			}
-			rets[i] = r
-			if r > p.UpThreshold {
-				up = append(up, itemset.Item(i))
-			}
-		}
+		basket, rets := nextDay(rng, p, sectorOf)
 		m.Returns[day] = rets
-		m.Days.Append(itemset.New(up...))
+		m.Days.Append(basket)
 	}
 	return m, nil
+}
+
+// Feed is the streaming face of the market model: the same day-by-day
+// draws as Generate, delivered in batches for incremental maintenance.
+// Concatenating every NextBatch of a feed yields exactly
+// Generate(p).Days.Transactions().
+type Feed struct {
+	p        Params
+	rng      *rand.Rand
+	sectorOf []int
+	members  []itemset.Itemset
+	day      int
+}
+
+// NewFeed builds a feed over the market of p.
+func NewFeed(p Params) (*Feed, error) {
+	p = p.Defaults()
+	sectorOf, members, err := buildSectors(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Feed{p: p, rng: rand.New(rand.NewSource(p.Seed)), sectorOf: sectorOf, members: members}, nil
+}
+
+// NumStocks returns the item universe of the feed's baskets.
+func (f *Feed) NumStocks() int { return f.p.NumStocks }
+
+// SectorMembers lists each sector's stocks (the planted structure).
+func (f *Feed) SectorMembers() []itemset.Itemset { return f.members }
+
+// Day returns how many trading days have been delivered so far.
+func (f *Feed) Day() int { return f.day }
+
+// NextBatch delivers the next batch of up to days daily baskets; nil once
+// the feed's NumDays are exhausted.
+func (f *Feed) NextBatch(days int) []dataset.Transaction {
+	if days <= 0 || f.day >= f.p.NumDays {
+		return nil
+	}
+	if rest := f.p.NumDays - f.day; days > rest {
+		days = rest
+	}
+	batch := make([]dataset.Transaction, days)
+	for i := range batch {
+		basket, _ := nextDay(f.rng, f.p, f.sectorOf)
+		batch[i] = basket
+	}
+	f.day += days
+	return batch
 }
 
 // Correlation computes the Pearson correlation of two stocks' return series.

@@ -114,3 +114,67 @@ func must[R any](res R, err error) R {
 	}
 	return res
 }
+
+// TestFeedConcatEqualsGenerate pins the streaming contract: a feed's
+// batches, whatever the batch size, concatenate to exactly the frozen
+// dataset of the same parameters.
+func TestFeedConcatEqualsGenerate(t *testing.T) {
+	p := Params{NumStocks: 40, NumDays: 157, Sectors: []int{8, 6, 5}, Seed: 42}
+	m, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batchDays := range []int{1, 7, 30, 157, 500} {
+		f, err := NewFeed(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []dataset.Transaction
+		for {
+			b := f.NextBatch(batchDays)
+			if b == nil {
+				break
+			}
+			all = append(all, b...)
+		}
+		if len(all) != m.Days.Len() {
+			t.Fatalf("batch size %d: %d days streamed, want %d", batchDays, len(all), m.Days.Len())
+		}
+		for i, tx := range all {
+			if !tx.Equal(m.Days.Transaction(i)) {
+				t.Fatalf("batch size %d: day %d = %v, want %v", batchDays, i, tx, m.Days.Transaction(i))
+			}
+		}
+		if f.Day() != p.NumDays {
+			t.Fatalf("batch size %d: feed reports day %d, want %d", batchDays, f.Day(), p.NumDays)
+		}
+		if f.NextBatch(1) != nil {
+			t.Fatalf("batch size %d: exhausted feed delivered another batch", batchDays)
+		}
+	}
+}
+
+// TestFeedShape pins the feed's universe and sector metadata against the
+// generator's.
+func TestFeedShape(t *testing.T) {
+	p := Params{NumStocks: 30, NumDays: 10, Sectors: []int{4, 3}, Seed: 5}
+	f, err := NewFeed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumStocks() != 30 {
+		t.Fatalf("NumStocks = %d", f.NumStocks())
+	}
+	m, _ := Generate(p)
+	if len(f.SectorMembers()) != len(m.SectorMembers) {
+		t.Fatalf("sector members diverge: %v vs %v", f.SectorMembers(), m.SectorMembers)
+	}
+	for i := range m.SectorMembers {
+		if !f.SectorMembers()[i].Equal(m.SectorMembers[i]) {
+			t.Fatalf("sector %d: %v vs %v", i, f.SectorMembers()[i], m.SectorMembers[i])
+		}
+	}
+	if _, err := NewFeed(Params{NumStocks: 5, Sectors: []int{10}}); err == nil {
+		t.Fatal("oversubscribed sectors accepted by NewFeed")
+	}
+}
