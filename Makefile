@@ -7,9 +7,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race faults conformance fuzz cover load cluster stream serve bench bench-smoke bench-parallel bench-vertical bench-engines bench-cluster bench-stream profile
+.PHONY: ci vet build test race faults conformance fuzz cover load cluster stream stream-cluster serve bench bench-smoke bench-parallel bench-vertical bench-engines bench-cluster bench-stream bench-stream-cluster profile
 
-ci: vet build test race faults conformance fuzz cover load cluster stream bench-smoke bench-engines
+ci: vet build test race faults conformance fuzz cover load cluster stream stream-cluster bench-smoke bench-engines
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +49,7 @@ fuzz:
 	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzClusterMessage -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/incremental -run '^$$' -fuzz FuzzMaintainerState -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzStreamBatchRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzStreamClusterMessage -fuzztime $(FUZZTIME)
 
 # Per-package statement coverage.
 cover:
@@ -87,6 +88,23 @@ stream:
 		-datasets 1 -minsup 0.4 -miners apriori -streams 3 \
 		-chaos-interval 800ms -chaos-restarts 2 -verify -seed 1 \
 		-out /tmp/pincerload-stream-ci.json
+	$(GO) run -race ./cmd/pincerload -local -cluster-workers 2 -streams 3 \
+		-chaos-kill-worker -chaos-interval 500ms -duration 2500ms -concurrency 2 \
+		-datasets 1 -minsup 0.4 -miners apriori -verify -seed 1 \
+		-out /tmp/pincerload-stream-cluster-ci.json
+
+# The distributed-streams matrix, race-clean: the cross-layer equivalence
+# suite (clustered maintainer == single-node maintainer == from-scratch
+# mine after every delta, over the 12-workload corpus at 1/2/4 workers and
+# both counters), the chaos matrix (worker kills at batch barriers and
+# mid-delta-scan, coordinator kill between journal write and state
+# snapshot), and the combined worker-kill stream soak. TestStreamCluster*
+# is the naming contract: every test in the suite carries the prefix so
+# one -run expression pins all three layers.
+stream-cluster:
+	$(GO) test -race -timeout 30m -run TestStreamCluster \
+		./internal/cluster/ ./internal/incremental/ ./internal/server/
+	$(GO) test -race -run TestSoakStreamCluster ./internal/loadgen/
 
 # Run the mining service daemon locally.
 serve:
@@ -134,6 +152,15 @@ bench-engines:
 bench-stream:
 	$(GO) run ./cmd/benchrun -stream -spec F4-T20I10 -d 10000 \
 		-stream-batch-tx 500 -stream-support 0.2 -repeats 3 -json BENCH_stream.json
+
+# Regenerate BENCH_stream_cluster.json: replay the stream sweep's batches
+# into a cluster-backed maintainer over loopback workers at each width,
+# pricing the per-delta wire overhead against the single-node maintainer
+# with a per-batch byte-identical gate (the report refuses to call the
+# ratio anything but wire overhead: loopback workers share the CPUs).
+bench-stream-cluster:
+	$(GO) run ./cmd/benchrun -stream-cluster 1,2,4 -spec F4-T20I10 -d 10000 \
+		-stream-batch-tx 500 -stream-support 0.2 -repeats 3 -json BENCH_stream_cluster.json
 
 # CPU-profile a representative mine (T10.I4.D10K) and print the ten
 # hottest functions.

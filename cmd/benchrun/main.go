@@ -13,6 +13,7 @@
 //	benchrun -csv results.csv       # machine-readable output too
 //	benchrun -workers 1,2,4         # parallel Pincer workers sweep (with -json out.json)
 //	benchrun -cluster 1,2,4         # distributed sweep over an in-process loopback cluster
+//	benchrun -stream-cluster 1,2,4  # distributed-streams sweep: per-delta cost over a loopback cluster
 //	benchrun -vertical -spec F4-T20I10      # scan vs tid-list counting sweep
 //	benchrun -counter tidlist       # figure cells count by tid-list intersection
 //	benchrun -timeout 10m           # stop cleanly after 10 minutes (Ctrl-C does the same)
@@ -83,6 +84,7 @@ func run(args []string) error {
 	baselineSup := fs.Float64("baseline-support", 0.06, "minimum support for the baseline comparison")
 	workersList := fs.String("workers", "", "comma-separated worker counts, e.g. 1,2,4 (0 = GOMAXPROCS): run the count-distribution parallel Pincer sweep instead of the figures")
 	clusterList := fs.String("cluster", "", "comma-separated cluster worker counts, e.g. 1,2,4: run the distributed sweep over an in-process loopback cluster instead of the figures (honors -spec, -d, -repeats, -parallel-support, -json)")
+	streamClusterList := fs.String("stream-cluster", "", "comma-separated worker counts, e.g. 1,2,4: run the distributed-streams sweep — per-delta cost of a cluster-backed maintainer over an in-process loopback cluster vs the single-node maintainer (honors -spec, -d, -repeats, -counter, -stream-batch-tx, -stream-support, -json)")
 	parallelSup := fs.Float64("parallel-support", 0.06, "minimum support for the parallel and cluster sweeps")
 	repeats := fs.Int("repeats", 3, "parallel sweep: measurements per setting (minimum is reported)")
 	jsonPath := fs.String("json", "", "parallel sweep: also write the report as JSON to this file")
@@ -333,6 +335,64 @@ func run(args []string) error {
 		for _, m := range rep.Runs {
 			if !m.Agree && m.Err == "" {
 				return fmt.Errorf("correctness check failed: cluster workers=%d disagrees with the sequential run", m.Workers)
+			}
+		}
+		return nil
+	}
+
+	if *streamClusterList != "" {
+		counts, err := parseWorkers(*streamClusterList)
+		if err != nil {
+			return err
+		}
+		for _, n := range counts {
+			if n < 1 {
+				return fmt.Errorf("-stream-cluster wants worker counts >= 1, got %d", n)
+			}
+		}
+		spec, ok := bench.SpecByID("F4-T20I10", *numTx)
+		if *specID != "" {
+			spec, ok = bench.SpecByID(*specID, *numTx)
+		}
+		if !ok {
+			return fmt.Errorf("unknown spec %q", *specID)
+		}
+		opt := bench.DefaultOptions()
+		opt.Engine = engine
+		opt.Context = ctx
+		if tidlist {
+			opt.Counter = "tidlist"
+		}
+		if !*quiet {
+			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		rep := bench.RunStreamClusterSweep(spec, *streamSup, *streamBatchTx, counts, *repeats, opt)
+		if err := bench.WriteStreamClusterTable(os.Stdout, rep); err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteStreamClusterJSON(f, rep); err != nil {
+				return err
+			}
+		}
+		if rep.Err != "" {
+			fmt.Fprintf(os.Stderr, "benchrun: sweep stopped early: %s\n", rep.Err)
+			return nil
+		}
+		for _, m := range rep.Runs {
+			if m.Err != "" {
+				continue
+			}
+			if !m.Agree {
+				return fmt.Errorf("correctness check failed: stream cluster workers=%d diverges from the single-node maintainer", m.Workers)
+			}
+			if m.Degraded {
+				return fmt.Errorf("health check failed: stream cluster workers=%d degraded below quorum on a loopback pool", m.Workers)
 			}
 		}
 		return nil

@@ -23,6 +23,16 @@
 // -cluster-quorum — the job still finishes, and the result document's
 // "cluster" field records how.
 //
+// A coordinator also accepts streams created with "cluster": true
+// (POST /v1/streams): every append/evict delta's MFS∪border verification
+// counts — and any warm-started re-mine passes — fan out over the same
+// workers as content-addressed per-batch shards. Because the deltas are
+// additive support counts over partitions, the maintained MFS, border, and
+// supports stay byte-identical to a single-node stream; worker death mid
+// count fails over at the batch barrier, and below quorum the batch is
+// counted locally and the delta document's "cluster" field says so.
+// Degradation is per batch: the next delta retries the cluster.
+//
 // The daemon exposes the REST API of internal/server: POST /v1/jobs to
 // submit a mining job (inline baskets or a server-side dataset file, any of
 // the five miners), GET /v1/jobs/{id} to poll status — including the anytime

@@ -36,7 +36,10 @@
 // window, so batch retries across chaos restarts are acknowledged as
 // duplicates instead of double-applied; with -verify each stream's final
 // maintained MFS is diffed against a sequential reference mine of the
-// delivered transactions.
+// delivered transactions. Combining -streams with -cluster-workers opens
+// every stream with "cluster": true, fanning each delta's verification
+// counting over the same worker pool -chaos-kill-worker crashes — the
+// full distributed-streams failure model in one run.
 package main
 
 import (
@@ -155,7 +158,11 @@ func run(args []string) error {
 			defer lc.Close()
 			scfg.Cluster = lc.Pool()
 			miners = append(miners, "cluster")
-			logger.Printf("local cluster: %d counting workers attached", lc.Workers())
+			if *streams > 0 {
+				cfg.StreamCluster = true
+			}
+			logger.Printf("local cluster: %d counting workers attached (clustered streams: %v)",
+				lc.Workers(), cfg.StreamCluster)
 		}
 		daemon, err := loadgen.StartLocal(scfg)
 		if err != nil {
@@ -189,8 +196,8 @@ func run(args []string) error {
 		rep.Jobs.Accepted, rep.Jobs.CacheHits, rep.Jobs.Done, rep.Jobs.Partial,
 		rep.Jobs.Cancelled, rep.Jobs.Failed, rep.Jobs.Lost)
 	if rep.Streams != nil {
-		logger.Printf("streams: %d open, %d batches (%d duplicate acks, %d retries), %d fast-path, %d re-mines, %d verified",
-			rep.Streams.Streams, rep.Streams.Batches, rep.Streams.Duplicates, rep.Streams.Retries,
+		logger.Printf("streams: %d open (%d clustered), %d batches (%d duplicate acks, %d retries), %d fast-path, %d re-mines, %d verified",
+			rep.Streams.Streams, rep.Streams.Clustered, rep.Streams.Batches, rep.Streams.Duplicates, rep.Streams.Retries,
 			rep.Streams.FastPath, rep.Streams.Remines, rep.Streams.Verified)
 	}
 

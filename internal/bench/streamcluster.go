@@ -1,0 +1,309 @@
+package bench
+
+// The distributed-streams sweep: replay the same batch stream into a
+// single-node incremental.Maintainer and into cluster-backed maintainers at
+// each worker count, with the workers booted in-process on loopback HTTP.
+// Every delta's MFS∪border verification counts — and any warm-started
+// re-mine passes — fan out over the pool exactly as a clustered pincerd
+// stream's do. On one machine the ratio prices the wire protocol's
+// per-delta overhead (shard push, count RPCs, merge) — NOT a slowdown of
+// real distribution: every "remote" worker shares the local CPUs. What the
+// sweep certifies is the distribution contract, re-checked after every
+// batch: the clustered maintainer's MFS and supports are byte-identical to
+// the single-node maintainer's at each seq.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pincer/internal/cluster"
+	"pincer/internal/core"
+	"pincer/internal/dataset"
+	"pincer/internal/incremental"
+	"pincer/internal/itemset"
+	"pincer/internal/quest"
+)
+
+// StreamClusterMeasure is one worker-count setting of the sweep.
+type StreamClusterMeasure struct {
+	Workers int `json:"workers"`
+	// DeltaSeconds is the fastest replay's summed per-delta cost (border
+	// verification plus warm-started re-mines), the clustered counterpart
+	// of the report's LocalDeltaSeconds.
+	DeltaSeconds     float64 `json:"delta_seconds"`
+	DeltaMeanSeconds float64 `json:"delta_mean_seconds"`
+	// WireOverheadVsLocal is DeltaSeconds / LocalDeltaSeconds (> 1 means
+	// the wire protocol cost that much); it is the honest loopback
+	// statistic where a "speedup" or "slowdown" claim would be fiction.
+	WireOverheadVsLocal float64 `json:"wire_overhead_vs_local,omitempty"`
+	// RPCs counts every count/load RPC of the fastest replay, delta
+	// shards and re-mine passes included.
+	RPCs    int64 `json:"rpcs"`
+	Remines int   `json:"remines"`
+	// Agree is the per-batch gate: after every batch the clustered
+	// maintainer's MFS and supports were byte-identical to the
+	// single-node maintainer's.
+	Agree bool `json:"agree"`
+	// Degraded reports whether any batch fell below quorum and counted
+	// locally — a healthy loopback sweep keeps it false.
+	Degraded bool `json:"degraded,omitempty"`
+	// Err records why this setting produced no measurement.
+	Err string `json:"error,omitempty"`
+}
+
+// StreamClusterReport is one spec's local-vs-clustered stream sweep.
+type StreamClusterReport struct {
+	SpecID       string  `json:"spec"`
+	Database     string  `json:"database"`
+	Transactions int     `json:"transactions"`
+	BatchTx      int     `json:"batch_tx"`
+	Batches      int     `json:"batches"`
+	MinSupport   float64 `json:"min_support"`
+	Counter      string  `json:"counter"`
+	// CPUs and GoMaxProcs record the hardware context; with loopback
+	// workers every setting shares them, which is why the report prices
+	// wire overhead rather than claiming distribution effects.
+	CPUs       int `json:"cpus"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Repeats is the full-replay count per setting; Seconds values are
+	// the minimum over the replays.
+	Repeats int `json:"repeats"`
+	// LocalDeltaSeconds is the single-node maintainer's summed per-delta
+	// cost — the baseline every clustered setting is priced against.
+	LocalDeltaSeconds     float64                `json:"local_delta_seconds"`
+	LocalDeltaMeanSeconds float64                `json:"local_delta_mean_seconds"`
+	LocalRemines          int                    `json:"local_remines"`
+	Runs                  []StreamClusterMeasure `json:"runs"`
+	// Err records why the sweep stopped before producing its runs.
+	Err string `json:"error,omitempty"`
+}
+
+// streamClusterBaseline replays the stream into a single-node maintainer,
+// returning the summed delta cost, the re-mine count, and the per-seq
+// MFS-with-supports signature every clustered replay is gated against.
+func streamClusterBaseline(batches [][]dataset.Transaction, sup float64, counter string, opt Options) (float64, int, []string, error) {
+	mt, err := incremental.New(incremental.Options{
+		MinSupport: sup, Counter: counter, Workers: 1, Context: opt.Context,
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	var total float64
+	var remines int
+	sigs := make([]string, 0, len(batches))
+	for _, batch := range batches {
+		delta, err := mt.Append(batch)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("seq %d: %w", mt.Seq()+1, err)
+		}
+		total += (delta.VerifyDuration + delta.MineDuration).Seconds()
+		if delta.Remined {
+			remines++
+		}
+		sigs = append(sigs, mfsSignature(mt.MFS(), mt.MFSSupports()))
+	}
+	return total, remines, sigs, nil
+}
+
+// streamClusterReplay runs one clustered replay over the shared pool and
+// gates every batch against the baseline signatures.
+func streamClusterReplay(batches [][]dataset.Transaction, sup float64, counter, runID string,
+	pool *cluster.Pool, sigs []string, opt Options) (StreamClusterMeasure, error) {
+	sc := cluster.NewStreamCoordinator(runID, pool, nil)
+	var mineCoords []*cluster.Coordinator
+	mopt := incremental.Options{
+		MinSupport: sup, Counter: counter, Workers: 1, Context: opt.Context,
+		DeltaCounter: func(seq int64, side string, d *dataset.Dataset, sets []itemset.Itemset) []int64 {
+			return sc.CountSets(seq, side, d, sets)
+		},
+	}
+	mopt.MineCounter = func(seq int64, d *dataset.Dataset) core.PassCounter {
+		coord, err := cluster.NewCoordinator(fmt.Sprintf("%s.b%d", runID, seq), d, pool, nil)
+		if err != nil {
+			return nil // local fallback, same answers
+		}
+		mineCoords = append(mineCoords, coord)
+		return coord
+	}
+	mt, err := incremental.New(mopt)
+	if err != nil {
+		return StreamClusterMeasure{}, err
+	}
+	m := StreamClusterMeasure{Agree: true}
+	for i, batch := range batches {
+		delta, err := mt.Append(batch)
+		if err != nil {
+			return StreamClusterMeasure{}, fmt.Errorf("seq %d: %w", mt.Seq()+1, err)
+		}
+		m.DeltaSeconds += (delta.VerifyDuration + delta.MineDuration).Seconds()
+		if delta.Remined {
+			m.Remines++
+		}
+		doc := sc.TakeDoc()
+		m.RPCs += doc.RPCs
+		if doc.Degraded {
+			m.Degraded = true
+		}
+		for _, coord := range mineCoords {
+			m.RPCs += coord.Doc().RPCs
+		}
+		mineCoords = mineCoords[:0]
+		if mfsSignature(mt.MFS(), mt.MFSSupports()) != sigs[i] {
+			m.Agree = false
+		}
+	}
+	if n := len(batches); n > 0 {
+		m.DeltaMeanSeconds = m.DeltaSeconds / float64(n)
+	}
+	return m, nil
+}
+
+// RunStreamClusterSweep slices the spec's database into batchTx-transaction
+// batches, replays the stream into a single-node maintainer, then into a
+// cluster-backed maintainer over an in-process loopback pool at each worker
+// count — gating every batch on byte-identical MFS and supports. Each
+// setting is measured `repeats` times and the minimum delta cost reported.
+func RunStreamClusterSweep(spec Spec, sup float64, batchTx int, workerCounts []int, repeats int, opt Options) StreamClusterReport {
+	if repeats < 1 {
+		repeats = 1
+	}
+	if batchTx < 1 {
+		batchTx = 100
+	}
+	counter := opt.Counter
+	if counter == "" {
+		counter = incremental.CounterScan
+	}
+	d := quest.Generate(spec.Quest)
+	txs := d.Transactions()
+	var batches [][]dataset.Transaction
+	for at := 0; at < len(txs); at += batchTx {
+		end := at + batchTx
+		if end > len(txs) {
+			end = len(txs)
+		}
+		batches = append(batches, txs[at:end])
+	}
+	rep := StreamClusterReport{
+		SpecID: spec.ID, Database: spec.Name(), Transactions: d.Len(),
+		BatchTx: batchTx, Batches: len(batches), MinSupport: sup, Counter: counter,
+		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0), Repeats: repeats,
+	}
+
+	var sigs []string
+	for i := 0; i < repeats; i++ {
+		total, remines, s, err := streamClusterBaseline(batches, sup, counter, opt)
+		if err != nil {
+			rep.Err = err.Error()
+			return rep
+		}
+		if sigs == nil || total < rep.LocalDeltaSeconds {
+			rep.LocalDeltaSeconds, rep.LocalRemines, sigs = total, remines, s
+		}
+	}
+	if rep.Batches > 0 {
+		rep.LocalDeltaMeanSeconds = rep.LocalDeltaSeconds / float64(rep.Batches)
+	}
+
+	for _, n := range workerCounts {
+		if opt.cancelled() {
+			rep.Runs = append(rep.Runs, StreamClusterMeasure{Workers: n, Err: opt.Context.Err().Error()})
+			continue
+		}
+		m := runStreamClusterSetting(batches, spec, sup, counter, n, repeats, sigs, rep.LocalDeltaSeconds, opt)
+		rep.Runs = append(rep.Runs, m)
+	}
+	return rep
+}
+
+// runStreamClusterSetting measures one worker count: boot the loopback
+// pool, replay the stream through a fresh coordinator per repeat, keep the
+// fastest.
+func runStreamClusterSetting(batches [][]dataset.Transaction, spec Spec, sup float64, counter string,
+	n, repeats int, sigs []string, localSeconds float64, opt Options) StreamClusterMeasure {
+	addrs, stop, err := loopbackWorkers(n)
+	if err != nil {
+		return StreamClusterMeasure{Workers: n, Err: err.Error()}
+	}
+	defer stop()
+	pool, err := cluster.NewPool(addrs, cluster.PoolConfig{})
+	if err != nil {
+		return StreamClusterMeasure{Workers: n, Err: err.Error()}
+	}
+	pool.Start()
+	defer pool.Close()
+
+	var best StreamClusterMeasure
+	for i := 0; i < repeats; i++ {
+		runID := fmt.Sprintf("bench-stream-%s-w%d-r%d", spec.ID, n, i)
+		m, err := streamClusterReplay(batches, sup, counter, runID, pool, sigs, opt)
+		if err != nil {
+			return StreamClusterMeasure{Workers: n, Err: err.Error()}
+		}
+		if i == 0 || m.DeltaSeconds < best.DeltaSeconds {
+			keep := best
+			best = m
+			// The contract columns aggregate over every replay, not just
+			// the fastest: one divergent or degraded replay taints the cell.
+			if i > 0 {
+				best.Agree = best.Agree && keep.Agree
+				best.Degraded = best.Degraded || keep.Degraded
+			}
+		} else {
+			best.Agree = best.Agree && m.Agree
+			best.Degraded = best.Degraded || m.Degraded
+		}
+	}
+	best.Workers = n
+	if localSeconds > 0 {
+		best.WireOverheadVsLocal = best.DeltaSeconds / localSeconds
+	}
+	if opt.Progress != nil {
+		opt.Progress(fmt.Sprintf("%s sup=%.4f stream cluster workers=%d: delta %v (%.2fx local %v), %d RPCs, %d re-mines, agree=%v",
+			spec.ID, sup, n, time.Duration(best.DeltaSeconds*float64(time.Second)).Round(time.Millisecond),
+			best.WireOverheadVsLocal, time.Duration(localSeconds*float64(time.Second)).Round(time.Millisecond),
+			best.RPCs, best.Remines, best.Agree))
+	}
+	return best
+}
+
+// WriteStreamClusterTable renders a sweep as a human-readable table.
+func WriteStreamClusterTable(w io.Writer, rep StreamClusterReport) error {
+	fmt.Fprintf(w, "%s — distributed streams (loopback cluster) — %s (|D|=%d, %d batches × %d tx, minsup=%g, counter=%s, %d CPUs, GOMAXPROCS=%d)\n",
+		rep.SpecID, rep.Database, rep.Transactions, rep.Batches, rep.BatchTx,
+		rep.MinSupport, rep.Counter, rep.CPUs, rep.GoMaxProcs)
+	fmt.Fprintf(w, "single-node maintainer: %.3fs summed delta cost (%.2fms/delta, %d re-mines, min of %d replays)\n",
+		rep.LocalDeltaSeconds, rep.LocalDeltaMeanSeconds*1e3, rep.LocalRemines, rep.Repeats)
+	if rep.Err != "" {
+		fmt.Fprintf(w, "sweep stopped: %s\n\n", rep.Err)
+		return nil
+	}
+	fmt.Fprintln(w, "loopback workers share the CPUs, so the ratio is per-delta wire-protocol overhead, not a distribution effect")
+	fmt.Fprintf(w, "%-8s | %10s %12s %9s %7s %8s %6s\n",
+		"workers", "delta(s)", "ms/delta", "overhead", "rpcs", "remines", "agree")
+	for _, m := range rep.Runs {
+		if m.Err != "" {
+			fmt.Fprintf(w, "%-8d | skipped: %s\n", m.Workers, m.Err)
+			continue
+		}
+		degraded := ""
+		if m.Degraded {
+			degraded = " DEGRADED"
+		}
+		fmt.Fprintf(w, "%-8d | %10.3f %12.2f %8.2fx %7d %8d %6v%s\n",
+			m.Workers, m.DeltaSeconds, m.DeltaMeanSeconds*1e3,
+			m.WireOverheadVsLocal, m.RPCs, m.Remines, m.Agree, degraded)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteStreamClusterJSON writes the sweep as an indented JSON document.
+func WriteStreamClusterJSON(w io.Writer, rep StreamClusterReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

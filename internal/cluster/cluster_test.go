@@ -58,10 +58,11 @@ func startCluster(t *testing.T, n int, cfg PoolConfig) *testCluster {
 	for i := 0; i < n; i++ {
 		nk := &faultinject.NodeKill{}
 		w := NewWorker(WorkerConfig{
-			ID:        fmt.Sprintf("w%d", i),
-			Down:      nk.Down,
-			CountHook: func(*CountRequest) error { return nk.CountHook() },
-			TxHook:    nk.TxHook,
+			ID:              fmt.Sprintf("w%d", i),
+			Down:            nk.Down,
+			CountHook:       func(*CountRequest) error { return nk.CountHook() },
+			StreamCountHook: func(*StreamCountRequest) error { return nk.CountHook() },
+			TxHook:          nk.TxHook,
 		})
 		sh := &swappableHandler{}
 		sh.Set(w)

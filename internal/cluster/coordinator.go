@@ -5,7 +5,6 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -114,9 +113,8 @@ func NewCoordinator(jobID string, d *dataset.Dataset, pool *Pool, tracer obsv.Tr
 		if err := dataset.WriteBasket(&buf, part); err != nil {
 			return nil, fmt.Errorf("cluster: encode shard: %w", err)
 		}
-		sum := sha256.Sum256(buf.Bytes())
 		c.shards = append(c.shards, &shardState{
-			id:      hex.EncodeToString(sum[:]),
+			id:      ShardID(part.NumItems(), buf.Bytes()),
 			baskets: buf.Bytes(),
 			data:    part,
 		})

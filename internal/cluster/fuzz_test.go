@@ -8,8 +8,6 @@ package cluster_test
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -21,8 +19,7 @@ import (
 
 func FuzzClusterMessage(f *testing.F) {
 	shard := "1 2 3\n2 3\n"
-	sum := sha256.Sum256([]byte(shard))
-	id := hex.EncodeToString(sum[:])
+	id := cluster.ShardID(8, []byte(shard))
 
 	// Seeds: valid load and count messages on each route, then one per
 	// rejection class the decoders must map to a typed error.

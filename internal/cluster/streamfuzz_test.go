@@ -1,0 +1,110 @@
+package cluster_test
+
+// FuzzStreamClusterMessage throws arbitrary bytes at a worker's stream
+// delta-count endpoint: the worker must never panic, answer 200 only for
+// well-formed, semantically valid messages over a loaded shard, reject
+// everything else as a typed JSON error document — and answer a duplicate
+// delivery of any accepted message idempotently from its memo, with the
+// same support vector it sent the first time.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pincer/internal/cluster"
+)
+
+func FuzzStreamClusterMessage(f *testing.F) {
+	shard := "1 2 3\n2 3\n0 2\n"
+	id := cluster.ShardID(8, []byte(shard))
+
+	// Seeds: a valid count on every side, then one per rejection class —
+	// unknown shard, universe mismatch, bad sides, malformed sets, and
+	// byte-level garbage.
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":1,"side":"append","shard_id":%q,"num_items":8,"sets":[[2],[2,3]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":2,"side":"evict","shard_id":%q,"num_items":8,"sets":[[0]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":3,"side":"border","shard_id":%q,"num_items":8,"sets":[[1,2,3]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"","seq":1,"side":"append","shard_id":%q,"num_items":8,"sets":[[1]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":0,"side":"append","shard_id":%q,"num_items":8,"sets":[[1]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":1,"side":"sideways","shard_id":%q,"num_items":8,"sets":[[1]]}`, id)))
+	f.Add([]byte(`{"stream_id":"s","seq":1,"side":"append","shard_id":"ZZ","num_items":8,"sets":[[1]]}`))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":1,"side":"append","shard_id":%q,"num_items":4,"sets":[[1]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":1,"side":"append","shard_id":%q,"num_items":99999999,"sets":[[1]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":1,"side":"append","shard_id":%q,"num_items":8,"sets":[]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":1,"side":"append","shard_id":%q,"num_items":8,"sets":[[]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":1,"side":"append","shard_id":%q,"num_items":8,"sets":[[3,2]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":1,"side":"append","shard_id":%q,"num_items":8,"sets":[[1,1]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":1,"side":"append","shard_id":%q,"num_items":8,"sets":[[9]]}`, id)))
+	f.Add([]byte(fmt.Sprintf(`{"stream_id":"s","seq":1,"side":"append","shard_id":%q,"num_items":8,"sets":[[1]],"bogus":1}`, id)))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"stream_id":"s"} trailing`))
+
+	w := cluster.NewWorker(cluster.WorkerConfig{ID: "fuzz", MaxBodyBytes: 1 << 20})
+
+	// Pre-load the shard the valid seeds reference so the fuzzer can reach
+	// the 200 path (and, through it, the memo idempotency contract).
+	load := httptest.NewRequest(http.MethodPost, "http://worker/cluster/v1/shards",
+		bytes.NewReader([]byte(fmt.Sprintf(`{"shard_id":%q,"num_items":8,"baskets":%q}`, id, shard))))
+	loadRec := httptest.NewRecorder()
+	w.ServeHTTP(loadRec, load)
+	if loadRec.Code != http.StatusOK {
+		f.Fatalf("shard preload failed: %d %s", loadRec.Code, loadRec.Body.String())
+	}
+
+	post := func(body []byte) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "http://worker/cluster/v1/stream/count", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		w.ServeHTTP(rec, req) // must not panic, whatever the bytes
+		return rec
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := post(body)
+		if rec.Code != http.StatusOK {
+			var e struct {
+				Error  string `json:"error"`
+				Reason string `json:"reason"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+				t.Fatalf("%d response is not the error JSON shape (%v): %q", rec.Code, err, rec.Body.String())
+			}
+			if e.Reason == "" {
+				t.Fatalf("%d response lacks typed reason: %q", rec.Code, rec.Body.String())
+			}
+			return
+		}
+
+		var first cluster.StreamCountResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &first); err != nil {
+			t.Fatalf("200 response is not a StreamCountResponse (%v): %q", err, rec.Body.String())
+		}
+
+		// Duplicate delivery: the retry must also succeed, be flagged as
+		// memoized, and carry the identical support vector.
+		rec2 := post(body)
+		if rec2.Code != http.StatusOK {
+			t.Fatalf("duplicate delivery rejected: %d %s", rec2.Code, rec2.Body.String())
+		}
+		var second cluster.StreamCountResponse
+		if err := json.Unmarshal(rec2.Body.Bytes(), &second); err != nil {
+			t.Fatalf("duplicate 200 is not a StreamCountResponse (%v): %q", err, rec2.Body.String())
+		}
+		if !second.Memoized {
+			t.Fatalf("duplicate delivery was recounted, not memoized: %+v", second)
+		}
+		if len(second.SetCounts) != len(first.SetCounts) {
+			t.Fatalf("memoized reply length %d != original %d", len(second.SetCounts), len(first.SetCounts))
+		}
+		for i := range first.SetCounts {
+			if first.SetCounts[i] != second.SetCounts[i] {
+				t.Fatalf("memoized reply diverges at %d: %d != %d", i, second.SetCounts[i], first.SetCounts[i])
+			}
+		}
+	})
+}

@@ -13,7 +13,8 @@
 // workers memoize their replies, so a retried RPC whose first attempt
 // actually completed is answered from the memo and detected as a duplicate
 // rather than double-merged. Shards are content-addressed by the SHA-256
-// of their basket encoding, so when a worker dies its shards are re-pushed
+// of their declared item universe and basket encoding (see ShardID), so
+// when a worker dies its shards are re-pushed
 // to any surviving worker at the next pass barrier; a shard no live worker
 // can serve is counted locally by the coordinator with the same counting
 // procedure, and when the cluster drops below a configured quorum the
@@ -24,6 +25,8 @@
 package cluster
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -31,6 +34,20 @@ import (
 	"pincer/internal/counting"
 	"pincer/internal/itemset"
 )
+
+// ShardID content-addresses a shard: the SHA-256 of its declared item
+// universe and its basket encoding. The universe is part of the identity
+// because two shards with identical transactions but different declared
+// universes produce count vectors of different widths — under a bytes-only
+// address, a cached narrow-universe shard would poison every request from
+// the wider universe (streams hit this constantly: small delta shards and
+// re-mine window shards often share basket bytes).
+func ShardID(numItems int, baskets []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "u%d\n", numItems)
+	h.Write(baskets)
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Machine-readable reasons carried by wire-level error documents, in the
 // style of the server's ValidationError reasons: clients (and the fuzz
@@ -90,9 +107,9 @@ type ErrorDoc struct {
 }
 
 // LoadShardRequest pushes one horizontal dataset shard to a worker. The
-// shard is content-addressed: ShardID must be the SHA-256 hex of Baskets,
-// which any node can verify, so a shard can be re-pushed to any worker
-// after its previous holder died.
+// shard is content-addressed: ShardID must be the ShardID hash of
+// NumItems and Baskets, which any node can verify, so a shard can be
+// re-pushed to any worker after its previous holder died.
 type LoadShardRequest struct {
 	// ShardID is the lowercase SHA-256 hex of Baskets.
 	ShardID string `json:"shard_id"`

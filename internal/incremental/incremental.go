@@ -53,6 +53,14 @@ const (
 	CounterTidList = "tidlist"
 )
 
+// Delta sides passed to Options.DeltaCounter: which part of a batch the
+// maintained sets are being counted over.
+const (
+	SideAppend = "append" // the appended transactions
+	SideEvict  = "evict"  // the evicted transactions
+	SideBorder = "border" // the full window, recounting a re-mined border
+)
+
 // Delta reasons. A fast-path delta has Reason ""; a re-mine records which
 // border condition failed (ReasonInitial for the first batch, which has no
 // border to verify).
@@ -89,6 +97,18 @@ type Options struct {
 	// WrapScanner wraps every scan-counting dataset scanner — the
 	// fault-injection seam; nil in production.
 	WrapScanner func(sc dataset.Scanner) dataset.Scanner
+	// DeltaCounter, when set, replaces local delta-verification counting:
+	// it returns the support of each set (one antichain — the maintained
+	// MFS or border) over d, for the batch seq and Side* constant given.
+	// Supports are additive over horizontal partitions, so a distributed
+	// implementation (cluster.StreamCoordinator) yields byte-identical
+	// maintenance. Counter and Workers then shape only re-mines.
+	DeltaCounter func(seq int64, side string, d *dataset.Dataset, sets []itemset.Itemset) []int64
+	// MineCounter, when set, supplies the core.PassCounter a re-mine's
+	// passes fan out over (e.g. a cluster.Coordinator built per re-mine);
+	// it takes precedence over Counter and Workers, which only shape local
+	// counting. A nil return falls back to local mining.
+	MineCounter func(seq int64, d *dataset.Dataset) core.PassCounter
 }
 
 // Delta reports what one Append did.
@@ -270,10 +290,10 @@ func (m *Maintainer) Append(batch []dataset.Transaction) (Delta, error) {
 	// appended and evicted transactions.
 	db := deltaDataset(norm, newNumItems)
 	de := deltaDataset(evicted, newNumItems)
-	addMFS := m.countOver(db, m.mfs)
-	subMFS := m.countOver(de, m.mfs)
-	addBorder := m.countOver(db, m.border)
-	subBorder := m.countOver(de, m.border)
+	addMFS := m.countOver(d.Seq, SideAppend, db, m.mfs)
+	subMFS := m.countOver(d.Seq, SideEvict, de, m.mfs)
+	addBorder := m.countOver(d.Seq, SideAppend, db, m.border)
+	subBorder := m.countOver(d.Seq, SideEvict, de, m.border)
 	d.Checked = 2 * (len(m.mfs) + len(m.border))
 
 	newMFSSupports := make([]int64, len(m.mfsSupports))
@@ -380,14 +400,14 @@ func (m *Maintainer) remine(d *Delta, window []dataset.Transaction, numItems int
 	mineStart := time.Now()
 	dnew := deltaDataset(window, numItems)
 
-	res, err := m.mineDataset(dnew, minCount, seeds, seedSupports)
+	res, err := m.mineDataset(d.Seq, dnew, minCount, seeds, seedSupports)
 	if err != nil {
 		return err
 	}
 
 	universe := itemset.Range(0, itemset.Item(numItems))
 	border := mfi.NegativeBorder(universe, mfi.Expand(res.MFS, 0))
-	borderSupports := m.countOver(dnew, border)
+	borderSupports := m.countOver(d.Seq, SideBorder, dnew, border)
 
 	m.window = window
 	m.numItems = numItems
@@ -406,7 +426,7 @@ func (m *Maintainer) remine(d *Delta, window []dataset.Transaction, numItems int
 // resumes from any recorded barrier; a checkpoint that turns out corrupt or
 // recorded for a different run is cleared and the mine restarts fresh
 // rather than failing the stream.
-func (m *Maintainer) mineDataset(d *dataset.Dataset, minCount int64, seeds []itemset.Itemset, seedSupports []int64) (*mfi.Result, error) {
+func (m *Maintainer) mineDataset(seq int64, d *dataset.Dataset, minCount int64, seeds []itemset.Itemset, seedSupports []int64) (*mfi.Result, error) {
 	run := func(resume bool) (*mfi.Result, error) {
 		copt := core.DefaultOptions()
 		copt.KeepFrequent = false
@@ -415,6 +435,17 @@ func (m *Maintainer) mineDataset(d *dataset.Dataset, minCount int64, seeds []ite
 		copt.Checkpointer = m.opt.MineCheckpointer
 		copt.SeedMFS = seeds
 		copt.SeedSupports = seedSupports
+		if m.opt.MineCounter != nil {
+			if pc := m.opt.MineCounter(seq, d); pc != nil {
+				// Distributed re-mine: the injected counter fans each pass
+				// out itself, so the core (sequential-loop) miner drives it.
+				copt.Counter = pc
+				if resume {
+					return core.MineResume(m.scanner(d), minCount, copt)
+				}
+				return core.MineCount(m.scanner(d), minCount, copt)
+			}
+		}
 		if m.opt.Counter == CounterTidList {
 			copt.Counter = counting.NewTidListCounter(d, counting.TidListOptions{Workers: m.opt.Workers})
 		}
@@ -463,15 +494,19 @@ func (m *Maintainer) scanner(d *dataset.Dataset) dataset.Scanner {
 	return sc
 }
 
-// countOver counts each of sets over d through the configured PassCounter.
-// sets must be an antichain (the MFS and the border each are; their union
-// is not, which is why Append counts them separately).
-func (m *Maintainer) countOver(d *dataset.Dataset, sets []itemset.Itemset) []int64 {
+// countOver counts each of sets over d through the configured PassCounter
+// (or the injected DeltaCounter). sets must be an antichain (the MFS and
+// the border each are; their union is not, which is why Append counts them
+// separately).
+func (m *Maintainer) countOver(seq int64, side string, d *dataset.Dataset, sets []itemset.Itemset) []int64 {
 	if len(sets) == 0 {
 		return nil
 	}
 	if d.Len() == 0 {
 		return make([]int64, len(sets))
+	}
+	if m.opt.DeltaCounter != nil {
+		return m.opt.DeltaCounter(seq, side, d, sets)
 	}
 	var pc core.PassCounter
 	if m.opt.Counter == CounterTidList {

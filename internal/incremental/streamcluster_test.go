@@ -1,0 +1,207 @@
+package incremental
+
+// Cross-layer equivalence: a maintainer whose delta counting and re-mine
+// passes fan out over a worker cluster (the DeltaCounter / MineCounter
+// seams, wired here exactly as the server wires them) must stay
+// byte-identical to the single-node maintainer AND to a from-scratch mine
+// of the materialized window after every delta. This is the distributed
+// half of the incremental correctness argument: the Mannila–Toivonen
+// border check consumes support counts, and additive counts over disjoint
+// partitions are the same counts.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pincer/internal/cluster"
+	"pincer/internal/core"
+	"pincer/internal/dataset"
+	"pincer/internal/itemset"
+	"pincer/internal/mfi"
+	"pincer/internal/quest"
+)
+
+// startStreamWorkers boots n cluster workers behind httptest servers and a
+// pool over them, with CI-fast failure clocks.
+func startStreamWorkers(t *testing.T, n int) *cluster.Pool {
+	t.Helper()
+	var addrs []string
+	var servers []*httptest.Server
+	for i := 0; i < n; i++ {
+		w := cluster.NewWorker(cluster.WorkerConfig{ID: fmt.Sprintf("w%d", i)})
+		srv := httptest.NewServer(w)
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.URL)
+	}
+	pool, err := cluster.NewPool(addrs, cluster.PoolConfig{
+		HeartbeatInterval: 20 * time.Millisecond,
+		LivenessDeadline:  2 * time.Second,
+		RPCTimeout:        5 * time.Second,
+		MaxAttempts:       3,
+		BackoffBase:       time.Millisecond,
+		BackoffCap:        5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	pool.Start()
+	t.Cleanup(func() {
+		pool.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return pool
+}
+
+// clusterSeams wires Options to a StreamCoordinator the way the server
+// does: every delta count through CountSets, every re-mine through a fresh
+// job Coordinator.
+func clusterSeams(t *testing.T, opt *Options, id string, pool *cluster.Pool, sc *cluster.StreamCoordinator) {
+	t.Helper()
+	opt.DeltaCounter = func(seq int64, side string, d *dataset.Dataset, sets []itemset.Itemset) []int64 {
+		return sc.CountSets(seq, side, d, sets)
+	}
+	opt.MineCounter = func(seq int64, d *dataset.Dataset) core.PassCounter {
+		coord, err := cluster.NewCoordinator(fmt.Sprintf("%s.b%d", id, seq), d, pool, nil)
+		if err != nil {
+			t.Fatalf("re-mine coordinator: %v", err)
+		}
+		return coord
+	}
+}
+
+// assertMaintainersEqual asserts the full maintained state of two
+// maintainers is byte-identical.
+func assertMaintainersEqual(t *testing.T, tag string, got, want *Maintainer) {
+	t.Helper()
+	if got.MinCount() != want.MinCount() {
+		t.Fatalf("%s: minCount %d, want %d", tag, got.MinCount(), want.MinCount())
+	}
+	if err := mfi.VerifyAgainst(got.MFS(), want.MFS()); err != nil {
+		t.Fatalf("%s: MFS diverged from single-node maintainer: %v", tag, err)
+	}
+	for i, sup := range want.MFSSupports() {
+		if got.MFSSupports()[i] != sup {
+			t.Fatalf("%s: support(%v) = %d, single-node has %d",
+				tag, want.MFS()[i], got.MFSSupports()[i], sup)
+		}
+	}
+	if err := mfi.VerifyAgainst(got.Border(), want.Border()); err != nil {
+		t.Fatalf("%s: border diverged from single-node maintainer: %v", tag, err)
+	}
+	for i, sup := range want.BorderSupports() {
+		if got.BorderSupports()[i] != sup {
+			t.Fatalf("%s: border support(%v) = %d, single-node has %d",
+				tag, want.Border()[i], got.BorderSupports()[i], sup)
+		}
+	}
+}
+
+// TestStreamClusterEquivalence is the tentpole property test: across the
+// 12-workload corpus × randomized append/evict schedules × cluster sizes
+// {1, 2, 4} × both counters, the clustered maintainer must match the
+// single-node maintainer AND a from-scratch mine after EVERY delta — and
+// both decision outcomes (fast path and re-mine) plus actual RPC fan-out
+// must be exercised, or the test proved nothing.
+func TestStreamClusterEquivalence(t *testing.T) {
+	type config struct {
+		name    string
+		workers int // cluster size
+		counter string
+		window  bool
+	}
+	configs := []config{
+		{"w1-scan", 1, CounterScan, false},
+		{"w2-scan", 2, CounterScan, true},
+		{"w4-scan", 4, CounterScan, false},
+		{"w1-tidlist", 1, CounterTidList, true},
+		{"w2-tidlist", 2, CounterTidList, false},
+		{"w4-tidlist", 4, CounterTidList, true},
+	}
+	pools := map[int]*cluster.Pool{}
+	for _, n := range []int{1, 2, 4} {
+		pools[n] = startStreamWorkers(t, n)
+	}
+	var totalFast, totalRemines, totalRPCs int64
+	for wi, wl := range corpus() {
+		if testing.Short() && wi%4 != 0 {
+			continue
+		}
+		// Rotate the six configs over the twelve workloads: every config
+		// sees both corpus regimes.
+		cfg := configs[wi%len(configs)]
+		d := quest.Generate(wl.params)
+		txs := d.Transactions()
+
+		opt := Options{MinSupport: wl.support, Counter: cfg.counter, Workers: 1}
+		if cfg.window {
+			opt.Window = len(txs) * 4 / 5
+		}
+		local := must(New(opt))
+
+		copt := opt
+		id := fmt.Sprintf("s%d", wi)
+		sc := cluster.NewStreamCoordinator(id, pools[cfg.workers], nil)
+		clusterSeams(t, &copt, id, pools[cfg.workers], sc)
+		clustered := must(New(copt))
+
+		rng := rand.New(rand.NewSource(int64(6007*wi + 13)))
+		for bi, batch := range schedule(rng, txs) {
+			tag := fmt.Sprintf("workload %d cfg %s batch %d", wi, cfg.name, bi)
+			if _, err := local.Append(batch); err != nil {
+				t.Fatalf("%s: single-node append: %v", tag, err)
+			}
+			if _, err := clustered.Append(batch); err != nil {
+				t.Fatalf("%s: clustered append: %v", tag, err)
+			}
+			doc := sc.TakeDoc()
+			if doc.Degraded {
+				t.Fatalf("%s: healthy cluster degraded: %+v", tag, doc)
+			}
+			totalRPCs += doc.RPCs
+			assertMaintainersEqual(t, tag, clustered, local)
+			checkAgainstReference(t, clustered, tag)
+		}
+		totalFast += clustered.Stats().FastPath
+		totalRemines += clustered.Stats().Remines
+	}
+	if totalFast == 0 {
+		t.Fatal("no delta ever took the fast path — the clustered border check was never load-bearing")
+	}
+	if totalRemines == 0 {
+		t.Fatal("no delta ever re-mined — cluster re-mine fan-out was never exercised")
+	}
+	if totalRPCs == 0 {
+		t.Fatal("no RPCs issued — delta counting never actually distributed")
+	}
+	t.Logf("fast-path deltas: %d, re-mines: %d, delta-count RPCs: %d", totalFast, totalRemines, totalRPCs)
+}
+
+// TestStreamClusterNilMineCounter pins the local fallback seam the server
+// relies on when a re-mine coordinator cannot be built: a MineCounter that
+// returns nil must fall back to the configured local counter with
+// identical results.
+func TestStreamClusterNilMineCounter(t *testing.T) {
+	d := quest.Generate(quest.Params{
+		NumTransactions: 240, AvgTxLen: 8, AvgPatternLen: 4,
+		NumPatterns: 20, NumItems: 40, Seed: 3,
+	})
+	txs := d.Transactions()
+	local := must(New(Options{MinSupport: 0.1}))
+	opt := Options{MinSupport: 0.1}
+	opt.MineCounter = func(int64, *dataset.Dataset) core.PassCounter { return nil }
+	fallback := must(New(opt))
+	rng := rand.New(rand.NewSource(42))
+	for bi, batch := range schedule(rng, txs) {
+		must(local.Append(batch))
+		must(fallback.Append(batch))
+		assertMaintainersEqual(t, fmt.Sprintf("batch %d", bi), fallback, local)
+	}
+	if fallback.Stats().Remines == 0 {
+		t.Fatal("no re-mine occurred — the nil fallback was never exercised")
+	}
+}

@@ -84,6 +84,11 @@ type Config struct {
 	StreamBatches int
 	// StreamBatchTx is the trading days per stream batch (default 40).
 	StreamBatchTx int
+	// StreamCluster opens every stream with "cluster": true, so each
+	// delta's verification counting fans out over the daemon's attached
+	// worker pool. The daemon must have a cluster or stream opens are
+	// rejected.
+	StreamCluster bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...interface{})
 }

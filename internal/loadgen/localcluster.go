@@ -42,6 +42,9 @@ func StartLocalCluster(n int, logf func(format string, args ...interface{})) (*L
 			ID:        fmt.Sprintf("local%d", i),
 			Down:      nk.Down,
 			CountHook: func(*cluster.CountRequest) error { return nk.CountHook() },
+			// Streamed delta counts share the kill tripwire with job counts,
+			// so an armed crash lands on whichever RPC type arrives next.
+			StreamCountHook: func(*cluster.StreamCountRequest) error { return nk.CountHook() },
 			TxHook:    nk.TxHook,
 			Logf:      logf,
 		})

@@ -42,6 +42,7 @@ type StreamsReport struct {
 	Retries    int64    `json:"retries,omitempty"`
 	FastPath   int64    `json:"fast_path"`
 	Remines    int64    `json:"remines"`
+	Clustered  int      `json:"clustered,omitempty"`
 	Failed     []string `json:"failed,omitempty"`
 	Verified   int64    `json:"verified,omitempty"`
 	Divergent  []string `json:"divergent,omitempty"`
@@ -149,6 +150,9 @@ func (r *runner) buildReport(elapsed time.Duration) *Report {
 			sr.Retries += s.retries
 			sr.FastPath += s.view.FastPath
 			sr.Remines += s.view.Remines
+			if s.view.Cluster {
+				sr.Clustered++
+			}
 			if s.failed != "" {
 				sr.Failed = append(sr.Failed, fmt.Sprintf("stream %d (%s): %s", i, s.id, s.failed))
 			}

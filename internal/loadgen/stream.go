@@ -50,7 +50,7 @@ func (sr *streamRun) failf(format string, args ...interface{}) {
 // default scan counter, odd streams windowed (so eviction is live in the
 // back half of the run) counting deltas against tid-lists.
 func streamSpec(i int, cfg Config) server.StreamRequest {
-	spec := server.StreamRequest{MinSupport: 0.3, Workers: 1}
+	spec := server.StreamRequest{MinSupport: 0.3, Workers: 1, Cluster: cfg.StreamCluster}
 	if i%2 == 1 {
 		spec.Counter = incremental.CounterTidList
 		spec.Window = cfg.StreamBatchTx * (cfg.StreamBatches/2 + 1)

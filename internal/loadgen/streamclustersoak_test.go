@@ -1,0 +1,95 @@
+package loadgen
+
+// The stream-cluster soak: clustered incremental streams run alongside a
+// job mix that includes distributed ("cluster") cells, while the chaos knob
+// crashes a counting worker on every tick — at a pass barrier on even
+// ticks, mid-scan on odd ones. Every stream's delta verification counting
+// fans out over the same worker pool the kills target, so worker deaths
+// land mid-delta as well as mid-job. The assertions compose the streaming
+// durability contract with the cluster failure model: no stream fails or
+// diverges from its sequential reference, no job is lost, and every
+// clustered answer stays byte-identical to a single-node mine — kills
+// included.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pincer/internal/server"
+)
+
+func TestSoakStreamCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run is several seconds of wall clock")
+	}
+	lc, err := StartLocalCluster(2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	d, err := StartLocal(server.Config{
+		SpoolDir:  t.TempDir(),
+		Workers:   2,
+		QueueSize: 16,
+		Cluster:   lc.Pool(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	ds := GenerateDatasets(1, 33)
+	cells := BuildCells(ds, []float64{0.4}, []string{"cluster", server.MinerApriori}, 0)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       d.URL(),
+		Cells:         cells,
+		Concurrency:   2,
+		Duration:      2500 * time.Millisecond,
+		Seed:          17,
+		Verify:        true,
+		Streams:       3, // covers both spec shapes: append-only/scan and windowed/tidlist
+		StreamBatches: 8,
+		StreamBatchTx: 30,
+		StreamCluster: true,
+		Chaos: &ChaosConfig{
+			Interval:   500 * time.Millisecond,
+			KillWorker: lc.ChaosTick,
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streams == nil {
+		t.Fatal("run produced no streams report")
+	}
+	t.Logf("stream-cluster soak: streams %+v, jobs %+v", rep.Streams, rep.Jobs)
+
+	// The composed contract: every clustered stream survived the worker
+	// kills with a consistent maintainer...
+	if len(rep.Streams.Failed) != 0 {
+		t.Errorf("streams failed across worker kills: %v", rep.Streams.Failed)
+	}
+	if rep.Streams.Batches == 0 {
+		t.Error("stream-cluster soak applied no batches")
+	}
+	// ...every maintained MFS matches an uninterrupted from-scratch mine
+	// of the delivered (window-surviving) transactions...
+	if len(rep.Streams.Divergent) != 0 {
+		t.Errorf("maintained MFS diverged from the sequential reference: %v", rep.Streams.Divergent)
+	}
+	if want := int64(rep.Streams.Streams); rep.Streams.Verified != want {
+		t.Errorf("verified %d streams, want %d", rep.Streams.Verified, want)
+	}
+	// ...and every stream really ran in cluster mode rather than silently
+	// degrading to a local spec.
+	if rep.Streams.Clustered != rep.Streams.Streams {
+		t.Errorf("%d of %d streams report cluster accounting", rep.Streams.Clustered, rep.Streams.Streams)
+	}
+	// The distributed job mix must stay healthy with the kills landing on
+	// its workers too.
+	if rep.Jobs.Lost != 0 || rep.Jobs.Failed != 0 || len(rep.Jobs.Divergent) != 0 {
+		t.Errorf("job mix degraded: %+v", rep.Jobs)
+	}
+}

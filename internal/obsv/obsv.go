@@ -172,6 +172,14 @@ type StreamEvent struct {
 	// re-mine wall clock (0 on the fast path).
 	VerifyMillis float64 `json:"verify_ms"`
 	MineMillis   float64 `json:"mine_ms,omitempty"`
+	// Cluster reports the delta counting was fanned out over a worker
+	// cluster; the remaining fields summarize that batch's distribution
+	// (ClusterDegraded: the batch fell below quorum and counted locally).
+	Cluster          bool  `json:"cluster,omitempty"`
+	ClusterWorkers   int   `json:"cluster_workers,omitempty"`
+	ClusterRPCs      int64 `json:"cluster_rpcs,omitempty"`
+	ClusterFailovers int64 `json:"cluster_failovers,omitempty"`
+	ClusterDegraded  bool  `json:"cluster_degraded,omitempty"`
 }
 
 // StreamTracer is optionally implemented by Tracers that also want the

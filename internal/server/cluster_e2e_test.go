@@ -47,7 +47,8 @@ func startClusterWorkers(t *testing.T, n int) *clusterFixture {
 				}
 				return nk.CountHook()
 			},
-			TxHook: nk.TxHook,
+			StreamCountHook: func(*cluster.StreamCountRequest) error { return nk.CountHook() },
+			TxHook:          nk.TxHook,
 		})
 		srv := httptest.NewServer(w)
 		t.Cleanup(srv.Close)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"pincer/internal/cluster"
 	"pincer/internal/obsv"
 )
 
@@ -49,6 +50,20 @@ type metricsSet struct {
 	streamsActive         *obsv.Gauge
 	streamVerifySeconds   *obsv.Histogram
 	streamMineSeconds     *obsv.Histogram
+
+	// Distributed-stream metrics (pincer_stream_cluster_*): batches whose
+	// delta counting fanned out over the worker cluster, folded from each
+	// batch's cluster.StreamDoc (including any distributed re-mine).
+	streamClusterBatches      *obsv.Counter
+	streamClusterShards       *obsv.Counter
+	streamClusterRPCs         *obsv.Counter
+	streamClusterRetries      *obsv.Counter
+	streamClusterDuplicates   *obsv.Counter
+	streamClusterWorkerDeaths *obsv.Counter
+	streamClusterFailovers    *obsv.Counter
+	streamClusterLocalCounts  *obsv.Counter
+	streamClusterDegraded     *obsv.Counter
+	streamClusterRemines      *obsv.Counter
 
 	// selected counts adaptive engine-selection decisions by the resolved
 	// miner (pincer_engine_selected_total{engine="..."}); the full miner
@@ -101,7 +116,44 @@ func newMetricsSet(reg *obsv.Registry) *metricsSet {
 		streamsActive:         reg.Gauge("pincer_stream_active", "Streams currently open."),
 		streamVerifySeconds:   reg.Histogram("pincer_stream_verify_seconds", "", "Wall clock of per-batch delta verification (border check)."),
 		streamMineSeconds:     reg.Histogram("pincer_stream_remine_seconds", "", "Wall clock of border-moved re-mines."),
+
+		streamClusterBatches:      reg.Counter("pincer_stream_cluster_batches_total", "Batches whose delta counting was fanned out over the worker cluster."),
+		streamClusterShards:       reg.Counter("pincer_stream_cluster_shards_total", "Delta shards counted across the cluster."),
+		streamClusterRPCs:         reg.Counter("pincer_stream_cluster_rpcs_total", "Count/load RPC attempts issued for stream deltas (including re-mines)."),
+		streamClusterRetries:      reg.Counter("pincer_stream_cluster_rpc_retries_total", "Stream RPC attempts beyond a shard's first."),
+		streamClusterDuplicates:   reg.Counter("pincer_stream_cluster_duplicate_replies_total", "Memoized (duplicate-delivery) stream count replies detected."),
+		streamClusterWorkerDeaths: reg.Counter("pincer_stream_cluster_worker_deaths_total", "Workers declared dead while counting a stream delta."),
+		streamClusterFailovers:    reg.Counter("pincer_stream_cluster_failovers_total", "Delta shards failed over to another live worker mid-batch."),
+		streamClusterLocalCounts:  reg.Counter("pincer_stream_cluster_local_counts_total", "Delta shards counted locally by the stream coordinator."),
+		streamClusterDegraded:     reg.Counter("pincer_stream_cluster_degraded_total", "Batches counted locally because the cluster fell below quorum."),
+		streamClusterRemines:      reg.Counter("pincer_stream_cluster_remines_total", "Re-mines whose passes fanned out over the cluster."),
 	}
+}
+
+// streamCluster folds one batch's distribution doc into the
+// pincer_stream_cluster_* family.
+func (ms *metricsSet) streamCluster(doc *cluster.StreamDoc) {
+	ms.streamClusterBatches.Inc()
+	ms.streamClusterShards.Add(doc.Shards)
+	rpcs, retries, dups, deaths := doc.RPCs, doc.Retries, doc.DuplicateReplies, doc.WorkerDeaths
+	local := doc.LocalShardCounts
+	for _, md := range doc.Mine {
+		rpcs += md.RPCs
+		retries += md.Retries
+		dups += md.DuplicateReplies
+		deaths += md.WorkerDeaths
+		local += md.LocalShardCounts
+	}
+	ms.streamClusterRPCs.Add(rpcs)
+	ms.streamClusterRetries.Add(retries)
+	ms.streamClusterDuplicates.Add(dups)
+	ms.streamClusterWorkerDeaths.Add(deaths)
+	ms.streamClusterFailovers.Add(doc.Failovers)
+	ms.streamClusterLocalCounts.Add(local)
+	if doc.Degraded {
+		ms.streamClusterDegraded.Inc()
+	}
+	ms.streamClusterRemines.Add(int64(len(doc.Mine)))
 }
 
 // engineSelected bumps the selection counter for the resolved miner.

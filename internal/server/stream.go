@@ -42,8 +42,11 @@ import (
 	"time"
 
 	"pincer/internal/checkpoint"
+	"pincer/internal/cluster"
+	"pincer/internal/core"
 	"pincer/internal/dataset"
 	"pincer/internal/incremental"
+	"pincer/internal/itemset"
 	"pincer/internal/obsv"
 )
 
@@ -74,6 +77,11 @@ type StreamRequest struct {
 	Counter string `json:"counter,omitempty"`
 	// Workers parallelizes re-mines (1 = sequential).
 	Workers int `json:"workers,omitempty"`
+	// Cluster pins the stream to the daemon's worker cluster: delta
+	// verification and re-mine passes fan out over the pool (requires a
+	// coordinator-role daemon). Results are byte-identical to local
+	// counting.
+	Cluster bool `json:"cluster,omitempty"`
 }
 
 // normalize validates the spec, tagging rejections with field reasons.
@@ -144,6 +152,10 @@ type StreamDeltaDoc struct {
 	Duplicate    bool    `json:"duplicate,omitempty"`
 	VerifyMillis float64 `json:"verify_ms"`
 	MineMillis   float64 `json:"mine_ms,omitempty"`
+	// Cluster summarizes the batch's distributed counting (clustered
+	// streams only): shard/RPC accounting, failovers, and any quorum
+	// degradation, plus the distribution of a triggered re-mine.
+	Cluster *cluster.StreamDoc `json:"cluster,omitempty"`
 }
 
 func streamDeltaDoc(d incremental.Delta) *StreamDeltaDoc {
@@ -168,6 +180,7 @@ type StreamView struct {
 	Window       int             `json:"window,omitempty"`
 	Counter      string          `json:"counter,omitempty"`
 	Workers      int             `json:"workers,omitempty"`
+	Cluster      bool            `json:"cluster,omitempty"`
 	Seq          int64           `json:"seq"`
 	Transactions int             `json:"transactions"`
 	NumItems     int             `json:"num_items"`
@@ -212,6 +225,14 @@ type Stream struct {
 	errMsg      string
 	tracer      obsv.Tracer
 	trace       *os.File
+
+	// sc fans delta counting out over the worker cluster (clustered
+	// streams only); mineCoords collects the per-re-mine coordinators of
+	// the current batch, drained into the delta doc after each apply. Both
+	// are touched only on the apply path, which mu (or startup recovery's
+	// single thread) serializes.
+	sc         *cluster.StreamCoordinator
+	mineCoords []*cluster.Coordinator
 }
 
 // view renders the stream's status.
@@ -225,6 +246,7 @@ func (st *Stream) view() StreamView {
 		Window:       st.Spec.Window,
 		Counter:      st.Spec.Counter,
 		Workers:      st.Spec.Workers,
+		Cluster:      st.Spec.Cluster,
 		Seq:          st.mt.Seq(),
 		Transactions: st.mt.Len(),
 		NumItems:     st.mt.NumItems(),
@@ -268,9 +290,10 @@ func (st *Stream) mfsDoc(withBorder bool) StreamMFSDoc {
 	return doc
 }
 
-// streamEvent maps an applied delta to the trace vocabulary.
-func streamEvent(id string, d incremental.Delta) obsv.StreamEvent {
-	return obsv.StreamEvent{
+// streamEvent maps an applied delta to the trace vocabulary; cdoc (nil on
+// local streams) adds the batch's cluster distribution summary.
+func streamEvent(id string, d incremental.Delta, cdoc *cluster.StreamDoc) obsv.StreamEvent {
+	ev := obsv.StreamEvent{
 		Stream:       id,
 		Seq:          d.Seq,
 		Appended:     d.Appended,
@@ -282,6 +305,17 @@ func streamEvent(id string, d incremental.Delta) obsv.StreamEvent {
 		VerifyMillis: float64(d.VerifyDuration) / float64(time.Millisecond),
 		MineMillis:   float64(d.MineDuration) / float64(time.Millisecond),
 	}
+	if cdoc != nil {
+		ev.Cluster = true
+		ev.ClusterWorkers = cdoc.Workers
+		ev.ClusterRPCs = cdoc.RPCs
+		ev.ClusterFailovers = cdoc.Failovers
+		ev.ClusterDegraded = cdoc.Degraded
+		for _, md := range cdoc.Mine {
+			ev.ClusterRPCs += md.RPCs
+		}
+	}
+	return ev
 }
 
 // ---- spool layout ----
@@ -401,6 +435,28 @@ func (m *Manager) newStream(id string, spec StreamRequest, resumed bool) (*Strea
 			return m.cfg.WrapScanner(id, sc)
 		}
 	}
+	if spec.Cluster {
+		if m.cfg.Cluster != nil {
+			st.sc = cluster.NewStreamCoordinator(id, m.cfg.Cluster, st.tracer)
+			opt.DeltaCounter = func(seq int64, side string, d *dataset.Dataset, sets []itemset.Itemset) []int64 {
+				return st.sc.CountSets(seq, side, d, sets)
+			}
+			opt.MineCounter = func(seq int64, d *dataset.Dataset) core.PassCounter {
+				coord, cerr := cluster.NewCoordinator(fmt.Sprintf("%s.b%d", id, seq), d, m.cfg.Cluster, st.tracer)
+				if cerr != nil {
+					m.logf("stream %s: batch %d re-mine coordinator: %v; mining locally", id, seq, cerr)
+					return nil
+				}
+				st.mineCoords = append(st.mineCoords, coord)
+				return coord
+			}
+		} else {
+			// A clustered stream resumed on a daemon started without peers:
+			// keep the stream alive with local counting (byte-identical)
+			// rather than refusing to replay its journal.
+			m.logf("stream %s: spec wants a cluster but this daemon has none; counting locally", id)
+		}
+	}
 	mt, err := incremental.New(opt)
 	if err != nil {
 		if st.trace != nil {
@@ -416,6 +472,9 @@ func (m *Manager) newStream(id string, spec StreamRequest, resumed bool) (*Strea
 func (m *Manager) CreateStream(spec StreamRequest) (*Stream, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
+	}
+	if spec.Cluster && m.cfg.Cluster == nil {
+		return nil, invalidf(ReasonBadCluster, "this daemon has no worker cluster (start with -role coordinator -peers ...)")
 	}
 	if m.currentState() != stateAccepting {
 		return nil, ErrShuttingDown
@@ -544,7 +603,9 @@ func (m *Manager) AppendBatch(st *Stream, req BatchRequest) (*StreamDeltaDoc, er
 		return nil, fmt.Errorf("%w (batch %d: %v)", errStreamInterrupted, seq, err)
 	}
 	m.saveStreamState(st)
+	cdoc := m.takeStreamClusterDoc(st)
 	doc := streamDeltaDoc(delta)
+	doc.Cluster = cdoc
 	st.lastDelta = doc
 	m.met.streamBatches.Inc()
 	m.met.streamChecked.Add(int64(delta.Checked))
@@ -557,7 +618,7 @@ func (m *Manager) AppendBatch(st *Stream, req BatchRequest) (*StreamDeltaDoc, er
 	if delta.Seq > 1 {
 		m.met.streamVerifySeconds.Observe(delta.VerifyDuration)
 	}
-	obsv.EmitStream(st.tracer, streamEvent(st.ID, delta))
+	obsv.EmitStream(st.tracer, streamEvent(st.ID, delta, cdoc))
 	m.logf("stream %s: batch %d applied (+%d/-%d tx, %s, %d mfs)",
 		st.ID, seq, delta.Appended, delta.Evicted, delta.Reason, len(st.mt.MFS()))
 	return doc, nil
@@ -574,6 +635,25 @@ func (m *Manager) saveStreamState(st *Stream) {
 	if err != nil {
 		m.logf("stream %s: save state: %v", st.ID, err)
 	}
+}
+
+// takeStreamClusterDoc drains the per-batch cluster accounting (delta-count
+// fan-out plus any re-mine coordinator docs) for a clustered stream and folds
+// it into the metrics set. Returns nil for local streams. Caller holds st.mu
+// (or is the single-threaded recovery path), which also serializes
+// st.mineCoords: the MineCounter closure appends on the Append caller
+// goroutine because core mining is synchronous.
+func (m *Manager) takeStreamClusterDoc(st *Stream) *cluster.StreamDoc {
+	if st.sc == nil {
+		return nil
+	}
+	cdoc := st.sc.TakeDoc()
+	for _, coord := range st.mineCoords {
+		cdoc.Mine = append(cdoc.Mine, coord.Doc())
+	}
+	st.mineCoords = nil
+	m.met.streamCluster(cdoc)
+	return cdoc
 }
 
 // recoverStreams rebuilds every persisted stream at daemon start: restore
@@ -629,8 +709,10 @@ func (m *Manager) recoverStreams() error {
 				st.errMsg = fmt.Sprintf("replay batch %d: %v", b.Seq, aerr)
 				break
 			}
+			cdoc := m.takeStreamClusterDoc(st)
 			st.lastDelta = streamDeltaDoc(delta)
-			obsv.EmitStream(st.tracer, streamEvent(st.ID, delta))
+			st.lastDelta.Cluster = cdoc
+			obsv.EmitStream(st.tracer, streamEvent(st.ID, delta, cdoc))
 			replayed++
 		}
 		if replayed > 0 {
